@@ -1,0 +1,297 @@
+//! The dual-environment (Safe Tcl) baseline (paper Section 5.4, fourth
+//! approach).
+//!
+//! *"Another approach, exemplified by Safe Tcl, is to use two execution
+//! environments — a safe one which hosts the agent, and a more powerful
+//! trusted one which provides access to resources. Whenever the agent
+//! calls a potentially dangerous operation, the safe environment acts as
+//! a monitor and screens the request ... it can incur substantial
+//! overhead because it may require a transition across system-level
+//! protection domains on every resource access."*
+//!
+//! The protection-domain transition here is **real**, not a fudge factor:
+//! the trusted environment runs on its own OS thread; every access
+//! marshals its arguments to canonical bytes, crosses to the trusted
+//! thread over a channel, is policy-checked and executed there, and the
+//! marshaled result crosses back. That is exactly the cost structure of
+//! interpreter-to-interpreter (or process-to-process) crossings in the
+//! systems the paper describes.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use ajanta_core::{Resource, SecurityPolicy};
+use ajanta_naming::Urn;
+use ajanta_vm::Value;
+use ajanta_wire::{decode_seq, encode_seq, Decoder, Encoder, Wire};
+
+/// Access failure from the dual environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DualEnvError {
+    /// The trusted side's policy denied the request.
+    Denied(String),
+    /// No such resource in the trusted environment.
+    UnknownResource(Urn),
+    /// Underlying resource failure (message text).
+    Resource(String),
+    /// The trusted environment is gone.
+    Disconnected,
+    /// A marshaled message failed to decode.
+    Marshal(String),
+}
+
+impl std::fmt::Display for DualEnvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DualEnvError::Denied(m) => write!(f, "denied: {m}"),
+            DualEnvError::UnknownResource(r) => write!(f, "no resource {r}"),
+            DualEnvError::Resource(m) => write!(f, "resource failed: {m}"),
+            DualEnvError::Disconnected => f.write_str("trusted environment is down"),
+            DualEnvError::Marshal(m) => write!(f, "marshal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DualEnvError {}
+
+/// A marshaled request crossing the domain boundary.
+struct Crossing {
+    /// Marshaled (agent, owner, resource, method, args).
+    request: Vec<u8>,
+    /// Where the marshaled reply goes.
+    reply: Sender<Vec<u8>>,
+}
+
+fn marshal_request(agent: &Urn, owner: &Urn, resource: &Urn, method: &str, args: &[Value]) -> Vec<u8> {
+    let mut e = Encoder::new();
+    agent.encode(&mut e);
+    owner.encode(&mut e);
+    resource.encode(&mut e);
+    e.put_str(method);
+    encode_seq(args, &mut e);
+    e.finish()
+}
+
+fn marshal_reply(result: &Result<Value, DualEnvError>) -> Vec<u8> {
+    let mut e = Encoder::new();
+    match result {
+        Ok(v) => {
+            e.put_u8(0);
+            v.encode(&mut e);
+        }
+        Err(err) => {
+            e.put_u8(1);
+            e.put_str(&err.to_string());
+            // Tag subtype for precise round-tripping of common cases.
+            e.put_u8(match err {
+                DualEnvError::Denied(_) => 0,
+                DualEnvError::UnknownResource(_) => 1,
+                _ => 2,
+            });
+        }
+    }
+    e.finish()
+}
+
+fn unmarshal_reply(bytes: &[u8]) -> Result<Value, DualEnvError> {
+    let mut d = Decoder::new(bytes);
+    match d.get_u8().map_err(|e| DualEnvError::Marshal(e.to_string()))? {
+        0 => Value::decode(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string())),
+        1 => {
+            let msg = d
+                .get_str()
+                .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+            let sub = d.get_u8().unwrap_or(2);
+            Err(match sub {
+                0 => DualEnvError::Denied(msg),
+                1 => DualEnvError::Resource(msg), // name lost in transit; message retained
+                _ => DualEnvError::Resource(msg),
+            })
+        }
+        t => Err(DualEnvError::Marshal(format!("bad reply tag {t}"))),
+    }
+}
+
+/// The safe-environment handle agents call through.
+pub struct DualEnv {
+    tx: Sender<Crossing>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DualEnv {
+    /// Starts the trusted environment with `policy` and `resources`.
+    pub fn start(policy: SecurityPolicy, resources: Vec<Arc<dyn Resource>>) -> DualEnv {
+        let (tx, rx): (Sender<Crossing>, Receiver<Crossing>) = unbounded();
+        let table: BTreeMap<Urn, Arc<dyn Resource>> = resources
+            .into_iter()
+            .map(|r| (r.name().clone(), r))
+            .collect();
+        let worker = std::thread::Builder::new()
+            .name("trusted-env".into())
+            .spawn(move || {
+                // The trusted domain: unmarshal, screen, execute, marshal.
+                while let Ok(crossing) = rx.recv() {
+                    let result = (|| {
+                        let mut d = Decoder::new(&crossing.request);
+                        let agent =
+                            Urn::decode(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                        let owner =
+                            Urn::decode(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                        let resource =
+                            Urn::decode(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                        let method = d
+                            .get_str()
+                            .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                        let args: Vec<Value> = decode_seq(&mut d)
+                            .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                        if !policy.rights_for(&agent, &owner).permits(&resource, &method) {
+                            return Err(DualEnvError::Denied(format!(
+                                "{agent} may not call {method} on {resource}"
+                            )));
+                        }
+                        let target = table
+                            .get(&resource)
+                            .ok_or_else(|| DualEnvError::UnknownResource(resource.clone()))?;
+                        target
+                            .invoke(&method, &args)
+                            .map_err(|e| DualEnvError::Resource(e.to_string()))
+                    })();
+                    let _ = crossing.reply.send(marshal_reply(&result));
+                }
+            })
+            .expect("spawning trusted environment");
+        DualEnv {
+            tx,
+            worker: Some(worker),
+        }
+    }
+
+    /// One guarded access: marshal → cross domains → screen → execute →
+    /// cross back → unmarshal.
+    pub fn invoke(
+        &self,
+        agent: &Urn,
+        owner: &Urn,
+        resource: &Urn,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, DualEnvError> {
+        let request = marshal_request(agent, owner, resource, method, args);
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Crossing {
+                request,
+                reply: reply_tx,
+            })
+            .map_err(|_| DualEnvError::Disconnected)?;
+        let reply = reply_rx.recv().map_err(|_| DualEnvError::Disconnected)?;
+        unmarshal_reply(&reply)
+    }
+}
+
+impl Drop for DualEnv {
+    fn drop(&mut self) {
+        // Closing the channel stops the trusted thread.
+        let (dead_tx, _) = unbounded();
+        self.tx = dead_tx;
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RecordStore;
+    use ajanta_core::{PrincipalPattern, Rights};
+
+    fn setup() -> (DualEnv, Urn, Urn, Urn) {
+        let rname = Urn::resource("x.org", ["db"]).unwrap();
+        let agent = Urn::agent("x.org", ["a"]).unwrap();
+        let owner = Urn::owner("x.org", ["alice"]).unwrap();
+        let policy = SecurityPolicy::new().allow(
+            PrincipalPattern::Exact(owner.clone()),
+            Rights::none()
+                .grant_method(rname.clone(), "count")
+                .grant_method(rname.clone(), "scan"),
+        );
+        let store = RecordStore::new(
+            rname.clone(),
+            Urn::owner("x.org", ["admin"]).unwrap(),
+            vec![b"alpha".to_vec(), b"beta".to_vec()],
+        );
+        (DualEnv::start(policy, vec![store]), agent, owner, rname)
+    }
+
+    #[test]
+    fn allowed_calls_cross_and_return() {
+        let (env, agent, owner, rname) = setup();
+        assert_eq!(
+            env.invoke(&agent, &owner, &rname, "count", &[]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            env.invoke(&agent, &owner, &rname, "scan", &[Value::str("al")])
+                .unwrap(),
+            Value::Bytes(b"alpha".to_vec())
+        );
+    }
+
+    #[test]
+    fn screening_happens_in_the_trusted_domain() {
+        let (env, agent, owner, rname) = setup();
+        assert!(matches!(
+            env.invoke(&agent, &owner, &rname, "get", &[Value::Int(0)]),
+            Err(DualEnvError::Denied(_))
+        ));
+        let eve = Urn::owner("x.org", ["eve"]).unwrap();
+        assert!(matches!(
+            env.invoke(&agent, &eve, &rname, "count", &[]),
+            Err(DualEnvError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn resource_errors_survive_the_crossing() {
+        let (env, agent, owner, rname) = setup();
+        // Allowed method, bad arguments → resource error, marshaled back.
+        let err = env
+            .invoke(&agent, &owner, &rname, "scan", &[Value::Int(5)])
+            .unwrap_err();
+        assert!(matches!(err, DualEnvError::Resource(_)));
+    }
+
+    #[test]
+    fn unknown_resource_reported() {
+        let (env, agent, owner, _) = setup();
+        let ghost = Urn::resource("x.org", ["ghost"]).unwrap();
+        // Policy has no grant for ghost → denied before lookup.
+        assert!(matches!(
+            env.invoke(&agent, &owner, &ghost, "count", &[]),
+            Err(DualEnvError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_callers_are_serialized_safely() {
+        let (env, agent, owner, rname) = setup();
+        let env = Arc::new(env);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let env = Arc::clone(&env);
+                let (agent, owner, rname) = (agent.clone(), owner.clone(), rname.clone());
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        assert_eq!(
+                            env.invoke(&agent, &owner, &rname, "count", &[]).unwrap(),
+                            Value::Int(2)
+                        );
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,43 @@
+//! Baselines: every design the paper compares proxies against, plus the
+//! client–server substrates for the communication-volume experiments.
+//!
+//! Paper Section 5.4 weighs four ways to bind agents to resources:
+//!
+//! 1. **security-manager-only** — route every access through the central
+//!    reference monitor ([`secmgr`]); the policy is evaluated on every
+//!    call and the monitor "may tend to become an excessively large
+//!    module".
+//! 2. **proxies** — the paper's choice (implemented in `ajanta-core`):
+//!    policy is consulted once at `get_proxy`, after which each call pays
+//!    only an enabled-set lookup.
+//! 3. **wrappers** — one wrapper per resource with an ACL checked on
+//!    *every* invocation ([`wrapper`]); "all clients must be subjected to
+//!    the same access control mechanism, which is invoked on every access
+//!    to the resource".
+//! 4. **dual environments** (Safe Tcl) — a safe environment screens each
+//!    request and forwards it to a trusted one; "it may require a
+//!    transition across system-level protection domains on every resource
+//!    access" ([`dualenv`] makes that transition a real thread crossing
+//!    with marshaled arguments).
+//!
+//! For the motivation experiments (Section 1, Harrison et al.): [`rpc`]
+//! (client–server remote procedure calls), [`rev`] (Stamos & Gifford's
+//! Remote Evaluation), and [`store`] (the record-store substrate all
+//! competitors query).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dualenv;
+pub mod rev;
+pub mod rpc;
+pub mod secmgr;
+pub mod store;
+pub mod wrapper;
+
+pub use dualenv::{DualEnv, DualEnvError};
+pub use rev::{filter_program, RevClient, RevRequest, RevServer};
+pub use rpc::{RpcClient, RpcRequest, RpcResponse, RpcServer};
+pub use secmgr::{GateError, SecurityManagerGate};
+pub use store::RecordStore;
+pub use wrapper::{WrappedResource, WrapperError};

@@ -1,0 +1,575 @@
+//! Remote Evaluation (Stamos & Gifford), the paper's Section 1
+//! intermediate point between RPC and mobile agents.
+//!
+//! *"the client sends its own procedure code to a remote server and
+//! requests the server to execute it and return the results. Thus in RPC,
+//! data is transmitted between the client and server in both directions
+//! whereas in REV, code is sent from the client to the server, and data is
+//! returned to the client."*
+//!
+//! The shipped code is an AgentScript module, verified and fuel-bounded by
+//! the server before execution, with access to the local record store via
+//! two deliberately fine-grained host calls (`rev.count`, `rev.get`): the
+//! *client's* code does the filtering at the server. REV differs from a
+//! mobile agent in exactly the ways the paper lists: no autonomy, no
+//! multi-hop migration, no carried mutable state — one shot, one reply.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
+use ajanta_naming::Urn;
+use ajanta_net::secure::ChannelIdentity;
+use ajanta_net::{Endpoint, ReplayGuard, SealedDatagram, SimNet};
+use ajanta_vm::{
+    ExecOutcome, HostError, HostImport, HostInterface, HostResponse, Interpreter, Limits, Module,
+    Namespace, Ty, Value,
+};
+use ajanta_wire::{Decoder, Encoder, Wire, WireError};
+
+use crate::rpc::RpcResponse;
+use crate::store::RecordStore;
+
+/// A remote-evaluation request: code + entry + argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevRequest {
+    /// Correlation id.
+    pub id: u64,
+    /// The code to evaluate (entry signature `(bytes) -> int` or any
+    /// function returning bytes/int; result is rendered as a [`Value`]).
+    pub module: Module,
+    /// Entry function name.
+    pub entry: String,
+    /// Argument passed to the entry.
+    pub arg: Vec<u8>,
+}
+
+impl Wire for RevRequest {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(self.id);
+        self.module.encode(e);
+        e.put_str(&self.entry);
+        e.put_bytes(&self.arg);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(RevRequest {
+            id: d.get_varint()?,
+            module: Module::decode(d)?,
+            entry: d.get_str()?,
+            arg: d.get_bytes()?,
+        })
+    }
+}
+
+/// The REV host interface: fine-grained store access only.
+struct StoreHost {
+    store: Arc<RecordStore>,
+}
+
+impl HostInterface for StoreHost {
+    fn call(&mut self, import: &HostImport, args: &[Value]) -> Result<HostResponse, HostError> {
+        match import.name.as_str() {
+            "rev.count" => {
+                if !import.params.is_empty() || import.ret != Ty::Int {
+                    return Err(HostError::Denied("rev.count signature".into()));
+                }
+                Ok(HostResponse::Value(Value::Int(self.store.len() as i64)))
+            }
+            "rev.get" => {
+                if import.params.as_slice() != [Ty::Int] || import.ret != Ty::Bytes {
+                    return Err(HostError::Denied("rev.get signature".into()));
+                }
+                let i = args[0].as_int().expect("verified");
+                match usize::try_from(i).ok().and_then(|i| self.store.get(i)) {
+                    Some(r) => Ok(HostResponse::Value(Value::Bytes(r.to_vec()))),
+                    None => Err(HostError::Failed(format!("record {i} out of range"))),
+                }
+            }
+            other => Err(HostError::Denied(format!("REV does not provide {other}"))),
+        }
+    }
+}
+
+/// A REV server on its own thread.
+pub struct RevServer {
+    name: Urn,
+    join: Option<std::thread::JoinHandle<()>>,
+    stop: crossbeam::channel::Sender<()>,
+}
+
+impl RevServer {
+    /// Starts the server, executing shipped code against `store` under
+    /// `limits`.
+    pub fn start(
+        net: &SimNet,
+        identity: ChannelIdentity,
+        keys: KeyPair,
+        roots: RootOfTrust,
+        store: Arc<RecordStore>,
+        limits: Limits,
+        seed: u64,
+    ) -> RevServer {
+        let endpoint = net.attach(identity.name.clone()).expect("rev name free");
+        let name = identity.name.clone();
+        let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+        let join = std::thread::Builder::new()
+            .name("rev-server".into())
+            .spawn(move || {
+                let mut guard = ReplayGuard::new(u64::MAX / 4);
+                let mut rng = DetRng::new(seed);
+                loop {
+                    if stop_rx.try_recv().is_ok() {
+                        return;
+                    }
+                    let delivery = match endpoint.recv_timeout(Duration::from_millis(10)) {
+                        Ok(d) => d,
+                        Err(_) => continue,
+                    };
+                    let now = endpoint.net().clock().now();
+                    let Ok(datagram) = SealedDatagram::from_bytes(&delivery.payload) else {
+                        continue;
+                    };
+                    let Ok((sender, plaintext)) =
+                        datagram.open(&identity, &keys, &roots, now, &mut guard)
+                    else {
+                        continue;
+                    };
+                    let Ok(request) = RevRequest::from_bytes(&plaintext) else {
+                        continue;
+                    };
+
+                    // Verify the shipped code in an empty namespace, then
+                    // run it fuel-bounded against the store host.
+                    let result = (|| -> Result<Value, String> {
+                        let mut ns = Namespace::new();
+                        let verified = ns
+                            .load(request.module.clone())
+                            .map_err(|e| format!("code rejected: {e}"))?;
+                        let mut host = StoreHost {
+                            store: Arc::clone(&store),
+                        };
+                        let mut interp = Interpreter::new(&verified, limits);
+                        match interp.run(
+                            &request.entry,
+                            vec![Value::Bytes(request.arg.clone())],
+                            &mut host,
+                        ) {
+                            ExecOutcome::Finished(v) => Ok(v),
+                            ExecOutcome::Trapped { kind, .. } => Err(format!("trap: {kind}")),
+                            ExecOutcome::OutOfFuel => Err("fuel exhausted".into()),
+                            ExecOutcome::HostStopped { .. } => {
+                                Err("REV code cannot migrate".into())
+                            }
+                        }
+                    })();
+
+                    let response = RpcResponse {
+                        id: request.id,
+                        result,
+                    };
+                    let Some(leaf) = datagram.chain.first() else {
+                        continue;
+                    };
+                    let reply = SealedDatagram::seal(
+                        &identity,
+                        &sender,
+                        leaf.subject_key,
+                        &response.to_bytes(),
+                        now,
+                        &mut rng,
+                    );
+                    let _ = endpoint.send(&sender, reply.to_bytes());
+                }
+            })
+            .expect("spawning rev server");
+        RevServer {
+            name,
+            join: Some(join),
+            stop: stop_tx,
+        }
+    }
+
+    /// The server's name.
+    pub fn name(&self) -> &Urn {
+        &self.name
+    }
+
+    /// Stops the server thread.
+    pub fn stop(mut self) {
+        let _ = self.stop.send(());
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// Client-side helper mirroring [`crate::rpc::RpcClient::call`] for REV.
+pub struct RevClient {
+    endpoint: Endpoint,
+    identity: ChannelIdentity,
+    keys: KeyPair,
+    roots: RootOfTrust,
+    guard: ReplayGuard,
+    rng: DetRng,
+    next_id: u64,
+}
+
+impl RevClient {
+    /// Attaches a client endpoint.
+    pub fn new(
+        net: &SimNet,
+        identity: ChannelIdentity,
+        keys: KeyPair,
+        roots: RootOfTrust,
+        seed: u64,
+    ) -> RevClient {
+        let endpoint = net.attach(identity.name.clone()).expect("client name free");
+        RevClient {
+            endpoint,
+            identity,
+            keys,
+            roots,
+            guard: ReplayGuard::new(u64::MAX / 4),
+            rng: DetRng::new(seed),
+            next_id: 1,
+        }
+    }
+
+    /// Ships `module` for evaluation and blocks for the result.
+    pub fn evaluate(
+        &mut self,
+        server: &Urn,
+        server_key: ajanta_crypto::sig::PublicKey,
+        module: Module,
+        entry: &str,
+        arg: Vec<u8>,
+    ) -> Result<Value, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = RevRequest {
+            id,
+            module,
+            entry: entry.to_string(),
+            arg,
+        };
+        let now = self.endpoint.net().clock().now();
+        let datagram = SealedDatagram::seal(
+            &self.identity,
+            server,
+            server_key,
+            &request.to_bytes(),
+            now,
+            &mut self.rng,
+        );
+        self.endpoint
+            .send(server, datagram.to_bytes())
+            .map_err(|e| e.to_string())?;
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let delivery = self
+                .endpoint
+                .recv_timeout(deadline.saturating_duration_since(std::time::Instant::now()))
+                .map_err(|_| "rev timeout".to_string())?;
+            let now = self.endpoint.net().clock().now();
+            let Ok(dg) = SealedDatagram::from_bytes(&delivery.payload) else {
+                continue;
+            };
+            let Ok((_, plaintext)) =
+                dg.open(&self.identity, &self.keys, &self.roots, now, &mut self.guard)
+            else {
+                continue;
+            };
+            let Ok(response) = RpcResponse::from_bytes(&plaintext) else {
+                continue;
+            };
+            if response.id == id {
+                return response.result;
+            }
+        }
+    }
+}
+
+/// Builds the canonical REV filter program: scans all records via
+/// `rev.get`, keeps those containing the selector (passed as the entry
+/// argument), returns them newline-joined. Shared by tests, benches and
+/// EXPERIMENTS.md so every consumer measures the same code.
+pub fn filter_program() -> Module {
+    let src = r#"
+        module rev-filter
+        import rev.count () -> int
+        import rev.get (int) -> bytes
+        data nl = "\n"
+
+        func filter(selector: bytes) -> bytes
+          locals i: int, n: int, acc: bytes, rec: bytes
+          hostcall rev.count
+          store n
+        loop:
+          load i
+          load n
+          lt
+          jz done
+          load i
+          hostcall rev.get
+          store rec
+          load rec
+          load selector
+          call contains
+          jz next
+          load acc
+          blen
+          jz first
+          load acc
+          pushd nl
+          bconcat
+          load rec
+          bconcat
+          store acc
+          jump next
+        first:
+          load rec
+          store acc
+        next:
+          load i
+          push 1
+          add
+          store i
+          jump loop
+        done:
+          load acc
+          ret
+
+        # substring search: returns 1 when needle occurs in hay
+        func contains(hay: bytes, needle: bytes) -> int
+          locals i: int, j: int, limit: int, ok: int
+          load needle
+          blen
+          jz yes
+          load hay
+          blen
+          load needle
+          blen
+          sub
+          store limit
+        outer:
+          load i
+          load limit
+          le
+          jz no
+          push 1
+          store ok
+          push 0
+          store j
+        inner:
+          load j
+          load needle
+          blen
+          lt
+          jz check
+          load hay
+          load i
+          load j
+          add
+          bindex
+          load needle
+          load j
+          bindex
+          ne
+          jz stepj
+          push 0
+          store ok
+          jump check
+        stepj:
+          load j
+          push 1
+          add
+          store j
+          jump inner
+        check:
+          load ok
+          jz stepi
+          push 1
+          ret
+        stepi:
+          load i
+          push 1
+          add
+          store i
+          jump outer
+        no:
+          push 0
+          ret
+        yes:
+          push 1
+          ret
+    "#;
+    ajanta_vm::assemble(src).expect("rev filter program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajanta_crypto::cert::Certificate;
+    use ajanta_net::LinkModel;
+    use ajanta_vm::verify;
+
+    #[test]
+    fn filter_program_verifies_and_filters() {
+        let module = filter_program();
+        verify(module.clone()).expect("filter program verifies");
+
+        // Run locally against a StoreHost to check semantics.
+        let store = RecordStore::new(
+            Urn::resource("x.org", ["db"]).unwrap(),
+            Urn::owner("x.org", ["admin"]).unwrap(),
+            vec![
+                b"red fox".to_vec(),
+                b"blue jay".to_vec(),
+                b"red hen".to_vec(),
+            ],
+        );
+        let mut ns = Namespace::new();
+        let verified = ns.load(module).unwrap();
+        let mut host = StoreHost { store };
+        let mut interp = Interpreter::new(&verified, Limits::default());
+        let out = interp.run("filter", vec![Value::str("red")], &mut host);
+        assert_eq!(
+            out,
+            ExecOutcome::Finished(Value::Bytes(b"red fox\nred hen".to_vec()))
+        );
+    }
+
+    #[test]
+    fn filter_program_empty_selector_matches_all() {
+        let store = RecordStore::new(
+            Urn::resource("x.org", ["db"]).unwrap(),
+            Urn::owner("x.org", ["admin"]).unwrap(),
+            vec![b"a".to_vec(), b"b".to_vec()],
+        );
+        let mut ns = Namespace::new();
+        let verified = ns.load(filter_program()).unwrap();
+        let mut host = StoreHost { store };
+        let mut interp = Interpreter::new(&verified, Limits::default());
+        let out = interp.run("filter", vec![Value::str("")], &mut host);
+        assert_eq!(out, ExecOutcome::Finished(Value::Bytes(b"a\nb".to_vec())));
+    }
+
+    #[test]
+    fn end_to_end_remote_evaluation() {
+        let mut rng = DetRng::new(41);
+        let net = SimNet::new(LinkModel::default(), 2);
+        let ca = KeyPair::generate(&mut rng);
+        let mut roots = RootOfTrust::new();
+        roots.trust("ca", ca.public);
+        let mk = |name: &Urn, serial, rng: &mut DetRng| {
+            let keys = KeyPair::generate(rng);
+            let cert = Certificate::issue(
+                name.to_string(),
+                keys.public,
+                "ca",
+                &ca,
+                u64::MAX,
+                serial,
+                rng,
+            );
+            (
+                ChannelIdentity {
+                    name: name.clone(),
+                    keys: keys.clone(),
+                    chain: vec![cert],
+                },
+                keys,
+            )
+        };
+        let sname = Urn::server("x.org", ["rev"]).unwrap();
+        let cname = Urn::server("y.org", ["client"]).unwrap();
+        let (sid, skeys) = mk(&sname, 1, &mut rng);
+        let (cid, ckeys) = mk(&cname, 2, &mut rng);
+        let server_key = skeys.public;
+
+        let store = RecordStore::new(
+            Urn::resource("x.org", ["db"]).unwrap(),
+            Urn::owner("x.org", ["admin"]).unwrap(),
+            vec![
+                b"widget red".to_vec(),
+                b"widget blue".to_vec(),
+                b"gadget red".to_vec(),
+            ],
+        );
+        let server = RevServer::start(&net, sid, skeys, roots.clone(), store, Limits::default(), 5);
+        let mut client = RevClient::new(&net, cid, ckeys, roots, 6);
+
+        let out = client
+            .evaluate(&sname, server_key, filter_program(), "filter", b"widget".to_vec())
+            .unwrap();
+        assert_eq!(out, Value::Bytes(b"widget red\nwidget blue".to_vec()));
+
+        // Two messages total: code out, matches back.
+        assert_eq!(net.stats().messages_delivered, 2);
+        server.stop();
+    }
+
+    #[test]
+    fn hostile_rev_code_is_contained() {
+        let mut rng = DetRng::new(43);
+        let net = SimNet::new(LinkModel::default(), 3);
+        let ca = KeyPair::generate(&mut rng);
+        let mut roots = RootOfTrust::new();
+        roots.trust("ca", ca.public);
+        let sname = Urn::server("x.org", ["rev"]).unwrap();
+        let cname = Urn::server("y.org", ["client"]).unwrap();
+        let skeys = KeyPair::generate(&mut rng);
+        let scert = Certificate::issue(sname.to_string(), skeys.public, "ca", &ca, u64::MAX, 1, &mut rng);
+        let ckeys = KeyPair::generate(&mut rng);
+        let ccert = Certificate::issue(cname.to_string(), ckeys.public, "ca", &ca, u64::MAX, 2, &mut rng);
+        let sid = ChannelIdentity {
+            name: sname.clone(),
+            keys: skeys.clone(),
+            chain: vec![scert],
+        };
+        let cid = ChannelIdentity {
+            name: cname.clone(),
+            keys: ckeys.clone(),
+            chain: vec![ccert],
+        };
+        let server_key = skeys.public;
+        let store = RecordStore::new(
+            Urn::resource("x.org", ["db"]).unwrap(),
+            Urn::owner("x.org", ["admin"]).unwrap(),
+            vec![b"r".to_vec()],
+        );
+        let server = RevServer::start(
+            &net,
+            sid,
+            skeys,
+            roots.clone(),
+            store,
+            Limits {
+                fuel: 10_000,
+                ..Limits::default()
+            },
+            7,
+        );
+        let mut client = RevClient::new(&net, cid, ckeys, roots, 8);
+
+        // Infinite loop: contained by fuel.
+        let spin = ajanta_vm::assemble(
+            "module spin\nfunc filter(arg: bytes) -> bytes\nloop:\n  jump loop",
+        )
+        .unwrap();
+        let err = client
+            .evaluate(&sname, server_key, spin, "filter", vec![])
+            .unwrap_err();
+        assert!(err.contains("fuel"));
+
+        // Unverifiable code: rejected before execution.
+        let mut b = ajanta_vm::ModuleBuilder::new("bad");
+        b.function("filter", [Ty::Bytes], [], Ty::Bytes, vec![ajanta_vm::Op::Add, ajanta_vm::Op::Ret]);
+        let err = client
+            .evaluate(&sname, server_key, b.build(), "filter", vec![])
+            .unwrap_err();
+        assert!(err.contains("rejected"));
+        server.stop();
+    }
+}

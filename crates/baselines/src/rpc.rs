@@ -1,0 +1,374 @@
+//! The RPC substrate (paper Section 1's traditional client–server
+//! paradigm).
+//!
+//! *"The RPC model is usually synchronous, i.e., the client suspends
+//! itself after sending a request to the server, waiting for the results
+//! of the call."* Data crosses the network **both ways on every call**;
+//! the experiments sweep how that compares with shipping code to the
+//! data.
+//!
+//! Requests and responses travel as sealed datagrams, exactly like agent
+//! transfers, so the byte accounting compares like with like.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ajanta_core::Resource;
+use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
+use ajanta_naming::Urn;
+use ajanta_net::secure::ChannelIdentity;
+use ajanta_net::{Endpoint, ReplayGuard, SealedDatagram, SimNet};
+use ajanta_vm::Value;
+use ajanta_wire::{decode_seq, encode_seq, Decoder, Encoder, Wire, WireError};
+
+use crate::store::RecordStore;
+
+/// One remote procedure call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcRequest {
+    /// Client-chosen correlation id.
+    pub id: u64,
+    /// Operation name (a [`RecordStore`] method).
+    pub op: String,
+    /// Arguments.
+    pub args: Vec<Value>,
+}
+
+impl Wire for RpcRequest {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(self.id);
+        e.put_str(&self.op);
+        encode_seq(&self.args, e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(RpcRequest {
+            id: d.get_varint()?,
+            op: d.get_str()?,
+            args: decode_seq(d)?,
+        })
+    }
+}
+
+/// The server's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcResponse {
+    /// Echoed correlation id.
+    pub id: u64,
+    /// The result or an error message.
+    pub result: Result<Value, String>,
+}
+
+impl Wire for RpcResponse {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(self.id);
+        match &self.result {
+            Ok(v) => {
+                e.put_u8(0);
+                v.encode(e);
+            }
+            Err(m) => {
+                e.put_u8(1);
+                e.put_str(m);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let id = d.get_varint()?;
+        let result = match d.get_u8()? {
+            0 => Ok(Value::decode(d)?),
+            1 => Err(d.get_str()?),
+            tag => return Err(WireError::BadTag { ty: "RpcResponse", tag }),
+        };
+        Ok(RpcResponse { id, result })
+    }
+}
+
+/// A record-store RPC server on its own thread.
+pub struct RpcServer {
+    name: Urn,
+    join: Option<std::thread::JoinHandle<()>>,
+    stop: crossbeam::channel::Sender<()>,
+}
+
+impl RpcServer {
+    /// Starts a server named by `identity`, serving `store`.
+    pub fn start(
+        net: &SimNet,
+        identity: ChannelIdentity,
+        keys: KeyPair,
+        roots: RootOfTrust,
+        store: Arc<RecordStore>,
+        seed: u64,
+    ) -> RpcServer {
+        let endpoint = net.attach(identity.name.clone()).expect("rpc name free");
+        let name = identity.name.clone();
+        let (stop_tx, stop_rx) = crossbeam::channel::bounded::<()>(1);
+        let join = std::thread::Builder::new()
+            .name("rpc-server".into())
+            .spawn(move || {
+                let mut guard = ReplayGuard::new(u64::MAX / 4);
+                let mut rng = DetRng::new(seed);
+                loop {
+                    if stop_rx.try_recv().is_ok() {
+                        return;
+                    }
+                    let delivery =
+                        match endpoint.recv_timeout(Duration::from_millis(10)) {
+                            Ok(d) => d,
+                            Err(_) => continue,
+                        };
+                    let now = endpoint.net().clock().now();
+                    let Ok(datagram) = SealedDatagram::from_bytes(&delivery.payload) else {
+                        continue;
+                    };
+                    let Ok((sender, plaintext)) =
+                        datagram.open(&identity, &keys, &roots, now, &mut guard)
+                    else {
+                        continue;
+                    };
+                    let Ok(request) = RpcRequest::from_bytes(&plaintext) else {
+                        continue;
+                    };
+                    let result = store
+                        .invoke(&request.op, &request.args)
+                        .map_err(|e| e.to_string());
+                    let response = RpcResponse {
+                        id: request.id,
+                        result,
+                    };
+                    // Reply sealed to the caller: needs the caller's key,
+                    // which came certified inside the request datagram.
+                    let Some(leaf) = datagram.chain.first() else {
+                        continue;
+                    };
+                    let reply = SealedDatagram::seal(
+                        &identity,
+                        &sender,
+                        leaf.subject_key,
+                        &response.to_bytes(),
+                        now,
+                        &mut rng,
+                    );
+                    let _ = endpoint.send(&sender, reply.to_bytes());
+                }
+            })
+            .expect("spawning rpc server");
+        RpcServer {
+            name,
+            join: Some(join),
+            stop: stop_tx,
+        }
+    }
+
+    /// The server's network name.
+    pub fn name(&self) -> &Urn {
+        &self.name
+    }
+
+    /// Stops the server thread.
+    pub fn stop(mut self) {
+        let _ = self.stop.send(());
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+/// A synchronous RPC client.
+pub struct RpcClient {
+    endpoint: Endpoint,
+    identity: ChannelIdentity,
+    keys: KeyPair,
+    roots: RootOfTrust,
+    guard: ReplayGuard,
+    rng: DetRng,
+    next_id: u64,
+}
+
+impl RpcClient {
+    /// Attaches a client endpoint.
+    pub fn new(
+        net: &SimNet,
+        identity: ChannelIdentity,
+        keys: KeyPair,
+        roots: RootOfTrust,
+        seed: u64,
+    ) -> RpcClient {
+        let endpoint = net.attach(identity.name.clone()).expect("client name free");
+        RpcClient {
+            endpoint,
+            identity,
+            keys,
+            roots,
+            guard: ReplayGuard::new(u64::MAX / 4),
+            rng: DetRng::new(seed),
+            next_id: 1,
+        }
+    }
+
+    /// One synchronous call: seal, send, block for the matching reply.
+    pub fn call(
+        &mut self,
+        server: &Urn,
+        server_key: ajanta_crypto::sig::PublicKey,
+        op: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, String> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = RpcRequest {
+            id,
+            op: op.to_string(),
+            args,
+        };
+        let now = self.endpoint.net().clock().now();
+        let datagram = SealedDatagram::seal(
+            &self.identity,
+            server,
+            server_key,
+            &request.to_bytes(),
+            now,
+            &mut self.rng,
+        );
+        self.endpoint
+            .send(server, datagram.to_bytes())
+            .map_err(|e| e.to_string())?;
+
+        // Synchronous wait (the RPC model's defining property).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let delivery = self
+                .endpoint
+                .recv_timeout(deadline.saturating_duration_since(std::time::Instant::now()))
+                .map_err(|_| "rpc timeout".to_string())?;
+            let now = self.endpoint.net().clock().now();
+            let Ok(dg) = SealedDatagram::from_bytes(&delivery.payload) else {
+                continue;
+            };
+            let Ok((_, plaintext)) =
+                dg.open(&self.identity, &self.keys, &self.roots, now, &mut self.guard)
+            else {
+                continue;
+            };
+            let Ok(response) = RpcResponse::from_bytes(&plaintext) else {
+                continue;
+            };
+            if response.id == id {
+                return response.result;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajanta_crypto::cert::Certificate;
+    use ajanta_net::LinkModel;
+
+    struct Rig {
+        net: SimNet,
+        server: RpcServer,
+        server_key: ajanta_crypto::sig::PublicKey,
+        client: RpcClient,
+    }
+
+    fn rig(records: Vec<Vec<u8>>) -> Rig {
+        let mut rng = DetRng::new(31);
+        let net = SimNet::new(LinkModel::default(), 1);
+        let ca = KeyPair::generate(&mut rng);
+        let mut roots = RootOfTrust::new();
+        roots.trust("ca", ca.public);
+        let mk = |name: &Urn, serial, rng: &mut DetRng| {
+            let keys = KeyPair::generate(rng);
+            let cert = Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, serial, rng);
+            (
+                ChannelIdentity {
+                    name: name.clone(),
+                    keys: keys.clone(),
+                    chain: vec![cert],
+                },
+                keys,
+            )
+        };
+        let sname = Urn::server("x.org", ["rpc"]).unwrap();
+        let cname = Urn::server("y.org", ["client"]).unwrap();
+        let (sid, skeys) = mk(&sname, 1, &mut rng);
+        let (cid, ckeys) = mk(&cname, 2, &mut rng);
+        let server_key = skeys.public;
+        let store = RecordStore::new(
+            Urn::resource("x.org", ["db"]).unwrap(),
+            Urn::owner("x.org", ["admin"]).unwrap(),
+            records,
+        );
+        let server = RpcServer::start(&net, sid, skeys, roots.clone(), store, 77);
+        let client = RpcClient::new(&net, cid, ckeys, roots, 78);
+        Rig {
+            net,
+            server,
+            server_key,
+            client,
+        }
+    }
+
+    #[test]
+    fn call_roundtrip() {
+        let mut rig = rig(vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        let server_name = rig.server.name().clone();
+        let v = rig
+            .client
+            .call(&server_name, rig.server_key, "count", vec![])
+            .unwrap();
+        assert_eq!(v, Value::Int(2));
+        let v = rig
+            .client
+            .call(&server_name, rig.server_key, "get", vec![Value::Int(1)])
+            .unwrap();
+        assert_eq!(v, Value::Bytes(b"beta".to_vec()));
+        rig.server.stop();
+    }
+
+    #[test]
+    fn server_side_scan() {
+        let mut rig = rig(vec![b"red fox".to_vec(), b"red hen".to_vec(), b"blue jay".to_vec()]);
+        let server_name = rig.server.name().clone();
+        let v = rig
+            .client
+            .call(&server_name, rig.server_key, "scan", vec![Value::str("red")])
+            .unwrap();
+        assert_eq!(v, Value::Bytes(b"red fox\nred hen".to_vec()));
+        rig.server.stop();
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut rig = rig(vec![b"only".to_vec()]);
+        let server_name = rig.server.name().clone();
+        let err = rig
+            .client
+            .call(&server_name, rig.server_key, "get", vec![Value::Int(9)])
+            .unwrap_err();
+        assert!(err.contains("out of range"));
+        let err = rig
+            .client
+            .call(&server_name, rig.server_key, "frobnicate", vec![])
+            .unwrap_err();
+        assert!(err.contains("no such method"));
+        rig.server.stop();
+    }
+
+    #[test]
+    fn network_bytes_are_accounted() {
+        let mut rig = rig(vec![vec![b'x'; 1000]; 10]);
+        let server_name = rig.server.name().clone();
+        rig.net.reset_stats();
+        rig.client
+            .call(&server_name, rig.server_key, "scan", vec![Value::str("")])
+            .unwrap();
+        let stats = rig.net.stats();
+        assert_eq!(stats.messages_delivered, 2); // request + response
+        // The response carried ~10 KB of records.
+        assert!(stats.bytes_delivered > 10_000, "{stats:?}");
+        rig.server.stop();
+    }
+}

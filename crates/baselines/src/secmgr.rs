@@ -1,0 +1,198 @@
+//! The security-manager-only baseline (paper Section 5.4, first
+//! approach).
+//!
+//! *"One approach would be to check all resource accesses using the
+//! security manager. This would require each resource developer to extend
+//! or modify the security manager ... the security manager may tend to
+//! become an excessively large module."*
+//!
+//! Here every access consults the full [`SecurityPolicy`] — groups,
+//! subtree rules, rule-list scan — on **every** invocation, for **every**
+//! resource. This is both the performance and the software-engineering
+//! contrast to proxies: one central choke point accreting all
+//! application policies.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use ajanta_core::{Resource, ResourceError, SecurityPolicy};
+use ajanta_naming::Urn;
+use ajanta_vm::Value;
+use parking_lot::RwLock;
+
+/// Access failure from the central gate. (`Denied` carries the full
+/// identity triple deliberately — audit trails need it; the error path is
+/// cold.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::result_large_err)]
+pub enum GateError {
+    /// The central policy denied this access.
+    Denied {
+        /// Refused agent.
+        agent: Urn,
+        /// Target resource.
+        resource: Urn,
+        /// Refused method.
+        method: String,
+    },
+    /// No such resource is registered with the gate.
+    UnknownResource(Urn),
+    /// Underlying resource error.
+    Resource(ResourceError),
+}
+
+impl std::fmt::Display for GateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GateError::Denied {
+                agent,
+                resource,
+                method,
+            } => write!(f, "policy denies {agent} calling {method} on {resource}"),
+            GateError::UnknownResource(r) => write!(f, "no resource {r}"),
+            GateError::Resource(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+/// The central gate: all resources, one policy, checked per call.
+pub struct SecurityManagerGate {
+    policy: RwLock<SecurityPolicy>,
+    resources: RwLock<BTreeMap<Urn, Arc<dyn Resource>>>,
+    checks: std::sync::atomic::AtomicU64,
+}
+
+impl SecurityManagerGate {
+    /// A gate enforcing `policy`.
+    pub fn new(policy: SecurityPolicy) -> Arc<Self> {
+        Arc::new(SecurityManagerGate {
+            policy: RwLock::new(policy),
+            resources: RwLock::new(BTreeMap::new()),
+            checks: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Registers a resource behind the gate.
+    pub fn add_resource(&self, resource: Arc<dyn Resource>) {
+        self.resources
+            .write()
+            .insert(resource.name().clone(), resource);
+    }
+
+    /// Replaces the policy (e.g. for dynamic policy-change tests).
+    pub fn set_policy(&self, policy: SecurityPolicy) {
+        *self.policy.write() = policy;
+    }
+
+    /// Every access from every agent lands here.
+    #[allow(clippy::result_large_err)] // cold error path carries the audit triple
+    pub fn invoke(
+        &self,
+        agent: &Urn,
+        owner: &Urn,
+        resource: &Urn,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, GateError> {
+        self.checks
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // Full policy evaluation per call — the cost proxies hoist to
+        // get_proxy time.
+        let allowed = self
+            .policy
+            .read()
+            .rights_for(agent, owner)
+            .permits(resource, method);
+        if !allowed {
+            return Err(GateError::Denied {
+                agent: agent.clone(),
+                resource: resource.clone(),
+                method: method.to_string(),
+            });
+        }
+        let target = self
+            .resources
+            .read()
+            .get(resource)
+            .cloned()
+            .ok_or_else(|| GateError::UnknownResource(resource.clone()))?;
+        target.invoke(method, args).map_err(GateError::Resource)
+    }
+
+    /// Total checks performed (monitor-pressure metric for X4).
+    pub fn checks_performed(&self) -> u64 {
+        self.checks.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RecordStore;
+    use ajanta_core::{PrincipalPattern, Rights};
+
+    fn setup() -> (Arc<SecurityManagerGate>, Urn, Urn, Urn) {
+        let rname = Urn::resource("x.org", ["db"]).unwrap();
+        let agent = Urn::agent("x.org", ["a"]).unwrap();
+        let owner = Urn::owner("x.org", ["alice"]).unwrap();
+        let policy = SecurityPolicy::new().allow(
+            PrincipalPattern::Exact(owner.clone()),
+            Rights::none().grant_method(rname.clone(), "count"),
+        );
+        let gate = SecurityManagerGate::new(policy);
+        gate.add_resource(RecordStore::new(
+            rname.clone(),
+            Urn::owner("x.org", ["admin"]).unwrap(),
+            vec![b"r1".to_vec()],
+        ));
+        (gate, agent, owner, rname)
+    }
+
+    #[test]
+    fn policy_enforced_per_call() {
+        let (gate, agent, owner, rname) = setup();
+        assert_eq!(
+            gate.invoke(&agent, &owner, &rname, "count", &[]).unwrap(),
+            Value::Int(1)
+        );
+        assert!(matches!(
+            gate.invoke(&agent, &owner, &rname, "scan", &[Value::str("r")]),
+            Err(GateError::Denied { .. })
+        ));
+        // Every attempt (allowed or not) cost a policy evaluation.
+        assert_eq!(gate.checks_performed(), 2);
+    }
+
+    #[test]
+    fn unknown_principal_denied() {
+        let (gate, agent, _, rname) = setup();
+        let eve = Urn::owner("x.org", ["eve"]).unwrap();
+        assert!(matches!(
+            gate.invoke(&agent, &eve, &rname, "count", &[]),
+            Err(GateError::Denied { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_resource_reported_after_policy() {
+        let (gate, agent, owner, _) = setup();
+        let ghost = Urn::resource("x.org", ["ghost"]).unwrap();
+        // Policy denies unknown resources first (no grant covers them).
+        assert!(matches!(
+            gate.invoke(&agent, &owner, &ghost, "count", &[]),
+            Err(GateError::Denied { .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_policy_change_applies_immediately() {
+        let (gate, agent, owner, rname) = setup();
+        gate.set_policy(SecurityPolicy::new()); // deny-all
+        assert!(matches!(
+            gate.invoke(&agent, &owner, &rname, "count", &[]),
+            Err(GateError::Denied { .. })
+        ));
+    }
+}

@@ -1,0 +1,171 @@
+//! The record store: the information substrate every competitor queries.
+//!
+//! A plain line-oriented store of byte records with substring selection —
+//! deliberately simple so the interesting measurements are about *where
+//! the filtering happens* (client, server, or migrated code), not about
+//! query sophistication.
+
+use std::sync::Arc;
+
+use ajanta_core::{MethodSpec, Resource, ResourceError};
+use ajanta_naming::Urn;
+use ajanta_vm::{Ty, Value};
+
+/// An immutable store of byte-string records.
+pub struct RecordStore {
+    name: Urn,
+    owner: Urn,
+    records: Vec<Vec<u8>>,
+}
+
+impl RecordStore {
+    /// Wraps `records` as a store named `name`.
+    pub fn new(name: Urn, owner: Urn, records: Vec<Vec<u8>>) -> Arc<Self> {
+        Arc::new(RecordStore {
+            name,
+            owner,
+            records,
+        })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record `i`, if present.
+    pub fn get(&self, i: usize) -> Option<&[u8]> {
+        self.records.get(i).map(|r| r.as_slice())
+    }
+
+    /// All records matching `selector` (substring match), newline-joined —
+    /// the server-side filtering path.
+    pub fn scan(&self, selector: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in &self.records {
+            if contains(r, selector) {
+                if !out.is_empty() {
+                    out.push(b'\n');
+                }
+                out.extend_from_slice(r);
+            }
+        }
+        out
+    }
+
+    /// Count of matching records.
+    pub fn scan_count(&self, selector: &[u8]) -> usize {
+        self.records.iter().filter(|r| contains(r, selector)).count()
+    }
+
+    /// Total bytes across all records (the bulk-transfer size).
+    pub fn total_bytes(&self) -> usize {
+        self.records.iter().map(|r| r.len()).sum()
+    }
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    needle.is_empty() || haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+impl Resource for RecordStore {
+    fn name(&self) -> &Urn {
+        &self.name
+    }
+    fn owner(&self) -> &Urn {
+        &self.owner
+    }
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("count", [], Ty::Int),
+            MethodSpec::new("get", [Ty::Int], Ty::Bytes),
+            MethodSpec::new("scan", [Ty::Bytes], Ty::Bytes),
+            MethodSpec::new("scan_count", [Ty::Bytes], Ty::Int),
+        ]
+    }
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ResourceError> {
+        self.check_args(method, args)?;
+        match method {
+            "count" => Ok(Value::Int(self.records.len() as i64)),
+            "get" => {
+                let i = args[0].as_int().expect("checked");
+                let i = usize::try_from(i)
+                    .ok()
+                    .filter(|&i| i < self.records.len())
+                    .ok_or_else(|| ResourceError::Failed(format!("index {i} out of range")))?;
+                Ok(Value::Bytes(self.records[i].clone()))
+            }
+            "scan" => Ok(Value::Bytes(self.scan(args[0].as_bytes().expect("checked")))),
+            "scan_count" => Ok(Value::Int(
+                self.scan_count(args[0].as_bytes().expect("checked")) as i64,
+            )),
+            other => Err(ResourceError::NoSuchMethod(other.into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> Arc<RecordStore> {
+        RecordStore::new(
+            Urn::resource("x.org", ["db"]).unwrap(),
+            Urn::owner("x.org", ["admin"]).unwrap(),
+            vec![
+                b"widget red 10".to_vec(),
+                b"widget blue 12".to_vec(),
+                b"gadget red 99".to_vec(),
+            ],
+        )
+    }
+
+    #[test]
+    fn scan_filters_by_substring() {
+        let s = store();
+        assert_eq!(s.scan(b"widget"), b"widget red 10\nwidget blue 12".to_vec());
+        assert_eq!(s.scan_count(b"red"), 2);
+        assert_eq!(s.scan(b"nothing"), Vec::<u8>::new());
+        assert_eq!(s.scan_count(b""), 3); // empty selector matches all
+    }
+
+    #[test]
+    fn resource_interface_works() {
+        let s = store();
+        assert_eq!(s.invoke("count", &[]).unwrap(), Value::Int(3));
+        assert_eq!(
+            s.invoke("get", &[Value::Int(2)]).unwrap(),
+            Value::Bytes(b"gadget red 99".to_vec())
+        );
+        assert_eq!(
+            s.invoke("scan_count", &[Value::str("blue")]).unwrap(),
+            Value::Int(1)
+        );
+    }
+
+    #[test]
+    fn out_of_range_get_fails() {
+        let s = store();
+        assert!(matches!(
+            s.invoke("get", &[Value::Int(3)]),
+            Err(ResourceError::Failed(_))
+        ));
+        assert!(matches!(
+            s.invoke("get", &[Value::Int(-1)]),
+            Err(ResourceError::Failed(_))
+        ));
+    }
+
+    #[test]
+    fn sizes_reported() {
+        let s = store();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.total_bytes(), 13 + 14 + 13);
+    }
+}

@@ -1,0 +1,216 @@
+//! The wrapper baseline (paper Section 5.4, third approach).
+//!
+//! *"Each resource is protected by encapsulating it in a wrapper object.
+//! ... The wrapper accepts requests for the resource and determines
+//! whether or not to allow the access based on the client's identity. For
+//! this it needs to maintain an access control list."*
+//!
+//! Exactly one wrapper exists per resource (vs. one proxy per agent), and
+//! the ACL — keyed by principal — is evaluated **on every invocation**.
+//! The paper's criticisms reproduced here: the ACL must enumerate
+//! principals up front ("in an open environment the identities of all
+//! potential clients may not be known beforehand"), and each call pays the
+//! full identity→rights evaluation that proxies pay only once.
+
+use std::sync::Arc;
+
+use ajanta_core::{Resource, ResourceError, Rights};
+use ajanta_naming::Urn;
+use ajanta_vm::Value;
+use parking_lot::RwLock;
+
+/// Access failure from a wrapper (kept distinct from core's proxy errors
+/// so benchmarks can't confuse the two paths).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WrapperError {
+    /// Caller not on the ACL at all.
+    UnknownPrincipal(Urn),
+    /// On the ACL, but the rights do not cover this method.
+    Denied {
+        /// The refused caller.
+        caller: Urn,
+        /// The refused method.
+        method: String,
+    },
+    /// Underlying resource error.
+    Resource(ResourceError),
+}
+
+impl std::fmt::Display for WrapperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WrapperError::UnknownPrincipal(p) => write!(f, "not on ACL: {p}"),
+            WrapperError::Denied { caller, method } => {
+                write!(f, "{caller} may not call {method}")
+            }
+            WrapperError::Resource(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WrapperError {}
+
+/// One shared wrapper around one resource.
+pub struct WrappedResource {
+    inner: Arc<dyn Resource>,
+    /// principal → rights; consulted per call.
+    acl: RwLock<Vec<(Urn, Rights)>>,
+}
+
+impl WrappedResource {
+    /// Wraps `inner` with an empty ACL (deny all).
+    pub fn new(inner: Arc<dyn Resource>) -> Arc<Self> {
+        Arc::new(WrappedResource {
+            inner,
+            acl: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Adds (or extends) a principal's entry.
+    pub fn grant(&self, principal: Urn, rights: Rights) {
+        let mut acl = self.acl.write();
+        match acl.iter_mut().find(|(p, _)| *p == principal) {
+            Some((_, r)) => *r = r.union(&rights),
+            None => acl.push((principal, rights)),
+        }
+    }
+
+    /// Removes a principal entirely. Returns whether it was present.
+    pub fn revoke(&self, principal: &Urn) -> bool {
+        let mut acl = self.acl.write();
+        let before = acl.len();
+        acl.retain(|(p, _)| p != principal);
+        acl.len() != before
+    }
+
+    /// Number of ACL entries.
+    pub fn acl_len(&self) -> usize {
+        self.acl.read().len()
+    }
+
+    /// The guarded invocation: identity lookup + rights evaluation on
+    /// **every** call, then pass-through.
+    pub fn invoke(
+        &self,
+        caller: &Urn,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value, WrapperError> {
+        let permitted = {
+            let acl = self.acl.read();
+            match acl.iter().find(|(p, _)| p == caller) {
+                None => return Err(WrapperError::UnknownPrincipal(caller.clone())),
+                Some((_, rights)) => rights.permits(self.inner.name(), method),
+            }
+        };
+        if !permitted {
+            return Err(WrapperError::Denied {
+                caller: caller.clone(),
+                method: method.to_string(),
+            });
+        }
+        self.inner
+            .invoke(method, args)
+            .map_err(WrapperError::Resource)
+    }
+
+    /// The wrapped resource's name.
+    pub fn name(&self) -> &Urn {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::RecordStore;
+
+    fn wrapped() -> Arc<WrappedResource> {
+        let store = RecordStore::new(
+            Urn::resource("x.org", ["db"]).unwrap(),
+            Urn::owner("x.org", ["admin"]).unwrap(),
+            vec![b"alpha".to_vec(), b"beta".to_vec()],
+        );
+        WrappedResource::new(store)
+    }
+
+    fn alice() -> Urn {
+        Urn::owner("x.org", ["alice"]).unwrap()
+    }
+    fn bob() -> Urn {
+        Urn::owner("x.org", ["bob"]).unwrap()
+    }
+
+    #[test]
+    fn empty_acl_denies_everyone() {
+        let w = wrapped();
+        assert_eq!(
+            w.invoke(&alice(), "count", &[]),
+            Err(WrapperError::UnknownPrincipal(alice()))
+        );
+    }
+
+    #[test]
+    fn acl_grants_by_principal_and_method() {
+        let w = wrapped();
+        w.grant(
+            alice(),
+            Rights::none().grant_method(w.name().clone(), "count"),
+        );
+        assert_eq!(w.invoke(&alice(), "count", &[]).unwrap(), Value::Int(2));
+        assert!(matches!(
+            w.invoke(&alice(), "scan", &[Value::str("a")]),
+            Err(WrapperError::Denied { .. })
+        ));
+        assert!(matches!(
+            w.invoke(&bob(), "count", &[]),
+            Err(WrapperError::UnknownPrincipal(_))
+        ));
+    }
+
+    #[test]
+    fn grants_accumulate() {
+        let w = wrapped();
+        w.grant(alice(), Rights::none().grant_method(w.name().clone(), "count"));
+        w.grant(alice(), Rights::none().grant_method(w.name().clone(), "scan"));
+        assert_eq!(w.acl_len(), 1);
+        w.invoke(&alice(), "count", &[]).unwrap();
+        w.invoke(&alice(), "scan", &[Value::str("a")]).unwrap();
+    }
+
+    #[test]
+    fn revocation_is_wholesale() {
+        // The paper's point: wrapper ACLs revoke principals, not
+        // individual live capabilities.
+        let w = wrapped();
+        w.grant(alice(), Rights::all());
+        w.invoke(&alice(), "count", &[]).unwrap();
+        assert!(w.revoke(&alice()));
+        assert!(!w.revoke(&alice()));
+        assert!(matches!(
+            w.invoke(&alice(), "count", &[]),
+            Err(WrapperError::UnknownPrincipal(_))
+        ));
+    }
+
+    #[test]
+    fn resource_errors_pass_through() {
+        let w = wrapped();
+        w.grant(alice(), Rights::all());
+        assert!(matches!(
+            w.invoke(&alice(), "get", &[Value::Int(99)]),
+            Err(WrapperError::Resource(ResourceError::Failed(_)))
+        ));
+    }
+
+    #[test]
+    fn one_wrapper_serves_all_principals() {
+        let w = wrapped();
+        w.grant(alice(), Rights::all());
+        w.grant(bob(), Rights::all());
+        // Same object, same checks — no per-agent state.
+        w.invoke(&alice(), "count", &[]).unwrap();
+        w.invoke(&bob(), "count", &[]).unwrap();
+        assert_eq!(w.acl_len(), 2);
+    }
+}

@@ -1,0 +1,52 @@
+//! X4 — per-invocation cost of each access-control mechanism.
+
+use std::sync::Arc;
+
+use ajanta_bench::fixtures;
+use ajanta_core::AccessProtocol;
+use ajanta_workloads::records::RecordSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let spec = RecordSpec {
+        count: 64,
+        ..Default::default()
+    };
+    let m = fixtures::mechanisms(&spec);
+    let rq = fixtures::requester();
+    let agent = fixtures::agent_urn();
+    let owner = fixtures::owner_urn();
+    let rname = fixtures::store_name();
+
+    let mut g = c.benchmark_group("x4_access");
+
+    use ajanta_core::Resource;
+    g.bench_function("direct", |b| {
+        b.iter(|| m.direct.invoke("count", &[]).unwrap())
+    });
+
+    let proxy = Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap();
+    g.bench_function("proxy_invoke", |b| {
+        b.iter(|| proxy.invoke(rq.domain, "count", &[], 0).unwrap())
+    });
+    g.bench_function("proxy_get_proxy_setup", |b| {
+        b.iter(|| Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap())
+    });
+
+    g.bench_function("wrapper_acl", |b| {
+        b.iter(|| m.wrapper.invoke(&owner, "count", &[]).unwrap())
+    });
+
+    g.bench_function("security_manager", |b| {
+        b.iter(|| m.gate.invoke(&agent, &owner, &rname, "count", &[]).unwrap())
+    });
+
+    g.bench_function("dual_environment", |b| {
+        b.iter(|| m.dualenv.invoke(&agent, &owner, &rname, "count", &[]).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

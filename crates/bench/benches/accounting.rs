@@ -1,0 +1,32 @@
+//! X6 — metering overhead per proxy call.
+
+use std::sync::Arc;
+
+use ajanta_bench::fixtures;
+use ajanta_core::{AccessProtocol, Guarded, MeterMode, ProxyPolicy};
+use ajanta_workloads::records::RecordSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let spec = RecordSpec { count: 16, ..Default::default() };
+    let mut g = c.benchmark_group("x6_accounting");
+    for (name, mode) in [
+        ("meter_off", MeterMode::Off),
+        ("meter_count", MeterMode::Count),
+        ("meter_timed", MeterMode::CountAndTime),
+    ] {
+        let resource = Guarded::new(
+            fixtures::store(&spec),
+            ProxyPolicy { meter_mode: mode, default_tariff: 1, ..Default::default() },
+        );
+        let rq = fixtures::requester();
+        let proxy = Arc::clone(&resource).get_proxy(&rq, 0).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| proxy.invoke(rq.domain, "count", &[], 0).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! X9 — paradigms end to end (small sizes; the report binary runs the
+//! full sweep).
+
+use ajanta_bench::x9_paradigms::{run, Scenario};
+use ajanta_net::LinkModel;
+use ajanta_workloads::records::RecordSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x9_paradigms");
+    g.sample_size(10);
+    g.bench_function("all_paradigms_2servers_60recs", |b| {
+        b.iter(|| {
+            run(&Scenario {
+                spec: RecordSpec { count: 60, record_len: 96, selectivity: 0.1, seed: 11 },
+                n_servers: 2,
+                link: LinkModel::local(),
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! X3 — the Fig. 6 dynamic binding protocol, step by step.
+
+use std::sync::Arc;
+
+use ajanta_bench::fixtures;
+use ajanta_core::{AccessProtocol, DomainId, Guarded, HostMonitor, ProxyPolicy, ResourceRegistry};
+use ajanta_workloads::records::RecordSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let spec = RecordSpec { count: 16, ..Default::default() };
+    let monitor = HostMonitor::new();
+    let server = ajanta_naming::Urn::server("stores.org", ["s"]).unwrap();
+    let rq = fixtures::requester();
+    let name = fixtures::store_name();
+
+    let mut g = c.benchmark_group("x3_binding");
+
+    g.bench_function("step1_register", |b| {
+        b.iter(|| {
+            let registry = ResourceRegistry::new();
+            let resource = Guarded::new(fixtures::store(&spec), ProxyPolicy::default());
+            registry.register(&monitor, DomainId::SERVER, &server, resource).unwrap();
+            registry
+        })
+    });
+
+    let registry = ResourceRegistry::new();
+    let resource = Guarded::new(fixtures::store(&spec), ProxyPolicy::default());
+    registry
+        .register(&monitor, DomainId::SERVER, &server, Arc::clone(&resource) as _)
+        .unwrap();
+
+    g.bench_function("steps2to5_bind", |b| {
+        b.iter(|| registry.bind(&rq, &name, 0).unwrap())
+    });
+    g.bench_function("steps4to5_get_proxy_upcall", |b| {
+        b.iter(|| Arc::clone(&resource).get_proxy(&rq, 0).unwrap())
+    });
+
+    let proxy = registry.bind(&rq, &name, 0).unwrap();
+    g.bench_function("step6_invoke", |b| {
+        b.iter(|| proxy.invoke(rq.domain, "count", &[], 0).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

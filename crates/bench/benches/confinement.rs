@@ -1,0 +1,28 @@
+//! X8 — identity-based capability confinement.
+
+use std::sync::Arc;
+
+use ajanta_bench::fixtures;
+use ajanta_core::{AccessProtocol, DomainId};
+use ajanta_workloads::records::RecordSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let spec = RecordSpec { count: 16, ..Default::default() };
+    let m = fixtures::mechanisms(&spec);
+    let rq = fixtures::requester();
+    let proxy = Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap();
+    let thief = DomainId(999);
+
+    let mut g = c.benchmark_group("x8_confinement");
+    g.bench_function("holder_call", |b| {
+        b.iter(|| proxy.invoke(rq.domain, "count", &[], 0).unwrap())
+    });
+    g.bench_function("stolen_proxy_rejected", |b| {
+        b.iter(|| proxy.invoke(thief, "count", &[], 0).unwrap_err())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

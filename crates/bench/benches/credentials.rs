@@ -1,0 +1,18 @@
+//! X14 — credential mint / verify / endorse costs.
+
+use ajanta_bench::x14_credentials;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // The driver already isolates each operation; here we wrap the whole
+    // batch so criterion tracks regressions of the pipeline.
+    let mut g = c.benchmark_group("x14_credentials");
+    g.sample_size(10);
+    g.bench_function("mint_verify_endorse_batch", |b| {
+        b.iter(|| x14_credentials::run(20))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

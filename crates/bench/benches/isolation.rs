@@ -1,0 +1,18 @@
+//! X12 — concurrent agents on one server.
+
+use ajanta_bench::x12_isolation::run;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x12_isolation");
+    g.sample_size(10);
+    for n in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("swarm", n), &n, |b, &n| {
+            b.iter(|| run(&[n], 2_000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

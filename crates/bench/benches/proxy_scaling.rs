@@ -1,0 +1,40 @@
+//! X5 — proxy creation scaling vs the shared wrapper.
+
+use std::sync::Arc;
+
+use ajanta_bench::fixtures;
+use ajanta_core::{AccessProtocol, DomainId, Requester, Rights};
+use ajanta_workloads::records::RecordSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let spec = RecordSpec { count: 16, ..Default::default() };
+    let mut g = c.benchmark_group("x5_proxy_scaling");
+    for n in [10usize, 100, 1000] {
+        g.bench_with_input(BenchmarkId::new("create_n_proxies", n), &n, |b, &n| {
+            let m = fixtures::mechanisms(&spec);
+            b.iter(|| {
+                (0..n)
+                    .map(|i| {
+                        let rq = Requester { domain: DomainId(i as u64 + 1), ..fixtures::requester() };
+                        Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("grant_n_acl_entries", n), &n, |b, &n| {
+            b.iter(|| {
+                let m = fixtures::mechanisms(&spec);
+                for i in 0..n {
+                    let p = ajanta_naming::Urn::owner("users.org", [format!("u{i}")]).unwrap();
+                    m.wrapper.grant(p, Rights::all());
+                }
+                m.wrapper.acl_len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

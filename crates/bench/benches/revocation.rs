@@ -1,0 +1,43 @@
+//! X7 — revocation and expiry management operations.
+
+use std::sync::Arc;
+
+use ajanta_bench::fixtures;
+use ajanta_core::{AccessProtocol, DomainId};
+use ajanta_workloads::records::RecordSpec;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let spec = RecordSpec { count: 16, ..Default::default() };
+    let m = fixtures::mechanisms(&spec);
+    let rq = fixtures::requester();
+    let mut g = c.benchmark_group("x7_revocation");
+
+    g.bench_function("revoke_fresh_proxy", |b| {
+        b.iter_with_setup(
+            || Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap(),
+            |p| p.control().revoke(DomainId::SERVER).unwrap(),
+        )
+    });
+    g.bench_function("disable_method", |b| {
+        b.iter_with_setup(
+            || Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap(),
+            |p| p.control().disable_method(DomainId::SERVER, "count").unwrap(),
+        )
+    });
+    g.bench_function("set_expiry", |b| {
+        b.iter_with_setup(
+            || Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap(),
+            |p| p.control().set_expiry(DomainId::SERVER, Some(100)).unwrap(),
+        )
+    });
+    let revoked = Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap();
+    revoked.control().revoke(DomainId::SERVER).unwrap();
+    g.bench_function("rejected_call_on_revoked", |b| {
+        b.iter(|| revoked.invoke(rq.domain, "count", &[], 0).unwrap_err())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

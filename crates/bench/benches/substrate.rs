@@ -1,0 +1,67 @@
+//! Substrate micro-benchmarks: hash, MAC, signatures, VM dispatch, wire
+//! codec — the building blocks every experiment cost decomposes into.
+
+use ajanta_crypto::{sha256, DetRng, HmacSha256, KeyPair};
+use ajanta_vm::{verify, Interpreter, Limits, ModuleBuilder, NoHost, Op, Ty};
+use ajanta_wire::Wire;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate");
+
+    for size in [64usize, 4096, 65536] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| sha256(d))
+        });
+        g.bench_with_input(BenchmarkId::new("hmac", size), &data, |b, d| {
+            b.iter(|| HmacSha256::mac(b"key", d))
+        });
+    }
+    g.throughput(Throughput::Elements(1));
+
+    let mut rng = DetRng::new(1);
+    let kp = KeyPair::generate(&mut rng);
+    let sig = kp.sign(b"msg", &mut rng);
+    g.bench_function("sign", |b| b.iter(|| kp.sign(b"msg", &mut rng)));
+    g.bench_function("verify", |b| {
+        b.iter(|| ajanta_crypto::sig::verify(&kp.public, b"msg", &sig).unwrap())
+    });
+
+    // VM: a tight arithmetic loop, instructions per second.
+    let mut mb = ModuleBuilder::new("loop");
+    mb.function(
+        "run",
+        [Ty::Int],
+        [Ty::Int],
+        Ty::Int,
+        vec![
+            Op::Load(0), Op::Store(1),
+            Op::Load(1), Op::JumpIfZero(9),
+            Op::Load(1), Op::PushI(1), Op::Sub, Op::Store(1),
+            Op::Jump(2),
+            Op::PushI(0), Op::Ret,
+        ],
+    );
+    let vm = verify(mb.build()).unwrap();
+    g.bench_function("vm_loop_1000_iters", |b| {
+        b.iter(|| {
+            let mut i = Interpreter::new(&vm, Limits::default());
+            i.run("run", vec![ajanta_vm::Value::Int(1000)], &mut NoHost)
+        })
+    });
+
+    // Wire codec round-trip of a module.
+    let module = vm.module().clone();
+    g.bench_function("wire_module_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = module.to_bytes();
+            ajanta_vm::Module::from_bytes(&bytes).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! X10 — sealed-datagram crypto share of agent transfer.
+
+use ajanta_bench::x10_transfer;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x10_transfer");
+    g.sample_size(10);
+    for size in [1_000usize, 10_000, 100_000] {
+        g.bench_with_input(BenchmarkId::new("seal_open", size), &size, |b, &size| {
+            b.iter(|| x10_transfer::crypto_cost_ns(size))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Regenerates every experiment table from DESIGN.md's index.
+//!
+//! ```text
+//! cargo run --release -p ajanta-bench --bin report            # everything
+//! cargo run --release -p ajanta-bench --bin report -- x4 x9   # a subset
+//! cargo run --release -p ajanta-bench --bin report -- quick   # small sizes
+//! ```
+
+use ajanta_bench as bench;
+use ajanta_net::LinkModel;
+use ajanta_workloads::records::RecordSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let wants = |tag: &str| {
+        args.is_empty() || args.iter().any(|a| a == tag) || (args.len() == 1 && quick)
+    };
+
+    // Scale factors: `quick` keeps CI fast; default sizes are what
+    // EXPERIMENTS.md records.
+    let calls: u64 = if quick { 2_000 } else { 20_000 };
+    let iters: u64 = if quick { 200 } else { 2_000 };
+
+    if wants("x3") {
+        print!("{}", bench::x3_binding::table(iters));
+        println!();
+    }
+    if wants("x4") {
+        print!("{}", bench::x4_access::table(calls));
+        println!();
+    }
+    if wants("x4b") {
+        let pops: &[usize] = if quick { &[4, 64, 512] } else { &[4, 16, 64, 256, 1024] };
+        print!("{}", bench::x4b_ablation::table(pops, calls / 2));
+        println!();
+    }
+    if wants("x5") {
+        let counts: &[usize] = if quick {
+            &[1, 10, 100]
+        } else {
+            &[1, 10, 100, 1_000, 10_000]
+        };
+        print!("{}", bench::x5_scaling::table(counts));
+        println!();
+    }
+    if wants("x6") {
+        print!("{}", bench::x6_accounting::table(calls));
+        println!();
+    }
+    if wants("x7") {
+        print!("{}", bench::x7_revocation::table(iters.min(500)));
+        println!();
+    }
+    if wants("x8") {
+        print!("{}", bench::x8_confinement::table(calls));
+        println!();
+    }
+    if wants("x9") {
+        let spec = RecordSpec {
+            count: if quick { 100 } else { 400 },
+            record_len: 128,
+            selectivity: 0.05,
+            seed: 0xDA7A,
+        };
+        // Sweep selectivity on a WAN.
+        for selectivity in [0.01, 0.05, 0.25, 1.0] {
+            let s = bench::x9_paradigms::Scenario {
+                spec: RecordSpec {
+                    selectivity,
+                    ..spec
+                },
+                n_servers: 3,
+                link: LinkModel::wan(),
+            };
+            print!(
+                "{}",
+                bench::x9_paradigms::table(
+                    &s,
+                    &format!("3 servers × {} records, selectivity {selectivity}, WAN", s.spec.count),
+                )
+            );
+            println!();
+        }
+        // Sweep the link on fixed selectivity.
+        for (label, link) in [
+            ("LAN", LinkModel::default()),
+            ("WAN", LinkModel::wan()),
+        ] {
+            let s = bench::x9_paradigms::Scenario {
+                spec,
+                n_servers: 3,
+                link,
+            };
+            print!(
+                "{}",
+                bench::x9_paradigms::table(
+                    &s,
+                    &format!("3 servers × {} records, selectivity 0.05, {label}", spec.count),
+                )
+            );
+            println!();
+        }
+    }
+    if wants("x10") {
+        let sizes: &[usize] = if quick {
+            &[0, 10_000]
+        } else {
+            &[0, 1_000, 10_000, 100_000, 1_000_000]
+        };
+        print!("{}", bench::x10_transfer::table(sizes));
+        println!();
+    }
+    if wants("x11") {
+        print!("{}", bench::x11_attacks::table(if quick { 3 } else { 10 }));
+        println!();
+    }
+    if wants("x12") {
+        let counts: &[usize] = if quick { &[1, 8] } else { &[1, 4, 16, 64, 256] };
+        print!(
+            "{}",
+            bench::x12_isolation::table(counts, if quick { 5_000 } else { 50_000 })
+        );
+        println!();
+    }
+    if wants("x14") {
+        print!("{}", bench::x14_credentials::table(iters));
+        println!();
+    }
+}

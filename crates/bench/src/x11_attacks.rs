@@ -1,0 +1,207 @@
+//! X11 — the threat model exercised end-to-end (paper Section 2).
+//!
+//! Each attack class from the paper gets a trial: launch `n` agents
+//! across an adversarial network and count what got through, what was
+//! detected, and what leaked. Expected: tampering/forgery/replay are
+//! detected 100%; dropping is silent loss (detectable only by timeout,
+//! as the paper notes active deletion "is difficult to prevent
+//! altogether"); the eavesdropper captures frames but never the agent's
+//! carried secret.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ajanta_net::{Dropper, Eavesdropper, Forger, Replayer, Tamperer};
+use ajanta_runtime::{ReportStatus, World};
+use ajanta_vm::{assemble, AgentImage, Value};
+
+/// One attack trial's outcome.
+#[derive(Debug, Clone)]
+pub struct AttackRow {
+    /// Attack class.
+    pub attack: &'static str,
+    /// Agents launched.
+    pub launched: u64,
+    /// Agents that completed normally.
+    pub completed: u64,
+    /// Security events recorded at the destination.
+    pub detections: u64,
+    /// Attack-specific note.
+    pub note: String,
+}
+
+/// The carried secret the eavesdropper must never see in plaintext.
+pub const SECRET: &[u8] = b"CARRIED-SECRET-4111111111111111";
+
+fn secret_agent() -> AgentImage {
+    let src = r#"
+        module secretive
+        global secret: bytes
+        func run(arg: bytes) -> int
+          gload secret
+          blen
+          ret
+    "#;
+    let module = assemble(src).unwrap();
+    AgentImage {
+        globals: vec![Value::Bytes(SECRET.to_vec())],
+        module,
+        entry: "run".into(),
+    }
+}
+
+fn trial(
+    attack: &'static str,
+    n: u64,
+    adversary: Option<Arc<dyn ajanta_net::Adversary>>,
+    note_fn: impl FnOnce(&World, u64) -> String,
+) -> AttackRow {
+    let mut world = World::new(2);
+    world.net.set_adversary(adversary);
+    let mut owner = world.owner("victim");
+    let home = world.server(0).name().clone();
+    for _ in 0..n {
+        let agent = owner.next_agent_name("secretive");
+        let creds = owner.credentials(agent, home.clone(), ajanta_core::Rights::all(), u64::MAX);
+        world
+            .server(0)
+            .launch(world.server(1).name().clone(), creds, secret_agent());
+    }
+    // Let everything settle: either n reports arrive or we time out
+    // (expected under active attacks).
+    let reports = world.server(0).wait_reports(n as usize, Duration::from_secs(5));
+    let completed = reports
+        .iter()
+        .filter(|r| matches!(r.status, ReportStatus::Completed(_)))
+        .count() as u64;
+    let detections = world.server(1).security_events().len() as u64
+        + world.server(0).security_events().len() as u64;
+    let note = note_fn(&world, completed);
+    world.shutdown();
+    AttackRow {
+        attack,
+        launched: n,
+        completed,
+        detections,
+        note,
+    }
+}
+
+/// Runs all attack trials with `n` agents each.
+pub fn run(n: u64) -> Vec<AttackRow> {
+    let mut rows = Vec::new();
+
+    rows.push(trial("none (control)", n, None, |_, _| "all reports arrive".into()));
+
+    let eve = Arc::new(Eavesdropper::new());
+    {
+        let eve2 = Arc::clone(&eve);
+        rows.push(trial("eavesdrop (passive)", n, Some(eve2), |_, _| String::new()));
+        let last = rows.last_mut().expect("just pushed");
+        last.note = format!(
+            "{} frames captured; carried secret visible: {}",
+            eve.frame_count(),
+            if eve.saw_plaintext(SECRET) { "YES (leak!)" } else { "no" }
+        );
+    }
+
+    let tamperer = Arc::new(Tamperer::new(0xBAD, 1.0));
+    {
+        let t2 = Arc::clone(&tamperer);
+        rows.push(trial("tamper (active)", n, Some(t2), |_, _| String::new()));
+        let last = rows.last_mut().expect("just pushed");
+        last.note = format!("{} frames modified", tamperer.tampered_count());
+    }
+
+    let forger = Arc::new(Forger::new(0xF0E));
+    {
+        let f2 = Arc::clone(&forger);
+        rows.push(trial("forge (active)", n, Some(f2), |_, _| String::new()));
+        let last = rows.last_mut().expect("just pushed");
+        last.note = format!(
+            "{} forgeries injected; genuine traffic still delivered",
+            forger.forged_count()
+        );
+    }
+
+    let replayer = Arc::new(Replayer::new());
+    {
+        let r2 = Arc::clone(&replayer);
+        rows.push(trial("replay (active)", n, Some(r2), |_, _| String::new()));
+        let last = rows.last_mut().expect("just pushed");
+        last.note = format!("{} replays injected", replayer.replayed_count());
+    }
+
+    let dropper = Arc::new(Dropper::new(0xD0, 1.0));
+    {
+        let d2 = Arc::clone(&dropper);
+        rows.push(trial("drop (active deletion)", n, Some(d2), |_, _| String::new()));
+        let last = rows.last_mut().expect("just pushed");
+        last.note = format!(
+            "{} messages deleted; loss is silent (timeout-detectable only)",
+            dropper.dropped_count()
+        );
+    }
+
+    rows
+}
+
+/// Renders the table.
+pub fn table(n: u64) -> String {
+    let rows = run(n);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.attack.to_string(),
+                r.launched.to_string(),
+                r.completed.to_string(),
+                r.detections.to_string(),
+                r.note.clone(),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &format!("X11 — threat model, {n} agents per trial"),
+        &["attack", "launched", "completed", "security events", "notes"],
+        &rendered,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_completes_and_attacks_are_detected() {
+        let rows = run(3);
+        let by = |n: &str| rows.iter().find(|r| r.attack.starts_with(n)).unwrap();
+
+        assert_eq!(by("none").completed, 3);
+        assert_eq!(by("none").detections, 0);
+
+        // Passive: everything completes, nothing leaks.
+        let eve = by("eavesdrop");
+        assert_eq!(eve.completed, 3);
+        assert!(eve.note.contains("visible: no"), "{}", eve.note);
+
+        // Tampering: nothing completes, every frame detected.
+        let tamper = by("tamper");
+        assert_eq!(tamper.completed, 0);
+        assert!(tamper.detections >= 3);
+
+        // Forgery: genuine agents still complete; forgeries detected.
+        let forge = by("forge");
+        assert_eq!(forge.completed, 3);
+        assert!(forge.detections >= 3);
+
+        // Replay: originals complete; replays rejected as events.
+        let replay = by("replay");
+        assert_eq!(replay.completed, 3);
+        assert!(replay.detections >= 3);
+
+        // Dropping: silent loss.
+        let drop = by("drop");
+        assert_eq!(drop.completed, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! X12 — multi-agent isolation and server throughput (Section 5.3).
+//!
+//! N agents execute concurrently on one server, each in its own
+//! protection domain and name-space. Measured: wall-clock completion,
+//! throughput, and the isolation invariants (every agent sees only its
+//! own state; the domain database is empty afterwards).
+
+use std::time::{Duration, Instant};
+
+use ajanta_runtime::{ReportStatus, World};
+use ajanta_vm::{assemble, AgentImage, Value};
+
+/// One concurrency level's measurements.
+#[derive(Debug, Clone)]
+pub struct IsolationRow {
+    /// Concurrent agents.
+    pub agents: usize,
+    /// Wall time until every agent reported, ms.
+    pub wall_ms: f64,
+    /// Agents per second.
+    pub throughput: f64,
+    /// All agents computed their own-id-derived answer (no cross-talk).
+    pub isolated: bool,
+    /// Resident agents after completion (must be 0).
+    pub residue: usize,
+}
+
+/// An agent that computes a value derived from its private seed global —
+/// if name-spaces or globals leaked between agents, answers would
+/// collide.
+fn compute_agent(seed: i64, iters: i64) -> AgentImage {
+    let src = r#"
+        module compute
+        global seed: int
+        global iters: int
+
+        func run(arg: bytes) -> int
+          locals acc: int, i: int
+          gload seed
+          store acc
+          gload iters
+          store i
+        loop:
+          load i
+          jz done
+          load acc
+          push 1103515245
+          mul
+          push 12345
+          add
+          store acc
+          load i
+          push 1
+          sub
+          store i
+          jump loop
+        done:
+          load acc
+          ret
+    "#;
+    let module = assemble(src).unwrap();
+    AgentImage {
+        globals: vec![Value::Int(seed), Value::Int(iters)],
+        module,
+        entry: "run".into(),
+    }
+}
+
+/// The reference computation (what each agent must independently produce).
+fn expected(seed: i64, iters: i64) -> i64 {
+    let mut acc = seed;
+    for _ in 0..iters {
+        acc = acc.wrapping_mul(1103515245).wrapping_add(12345);
+    }
+    acc
+}
+
+/// Runs the sweep over agent counts; each agent spins `iters` iterations.
+pub fn run(agent_counts: &[usize], iters: i64) -> Vec<IsolationRow> {
+    agent_counts
+        .iter()
+        .map(|&n| {
+            let mut world = World::new(2);
+            let mut owner = world.owner("swarm");
+            let home = world.server(0).name().clone();
+            let t0 = Instant::now();
+            for i in 0..n {
+                let agent = owner.next_agent_name("compute");
+                let creds =
+                    owner.credentials(agent, home.clone(), ajanta_core::Rights::all(), u64::MAX);
+                world.server(0).launch(
+                    world.server(1).name().clone(),
+                    creds,
+                    compute_agent(i as i64 + 1, iters),
+                );
+            }
+            let reports = world.server(0).wait_reports(n, Duration::from_secs(60));
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            // Every agent must report exactly its own seed's answer.
+            let mut answers: Vec<i64> = reports
+                .iter()
+                .filter_map(|r| match &r.status {
+                    ReportStatus::Completed(text) => text.parse().ok(),
+                    _ => None,
+                })
+                .collect();
+            answers.sort_unstable();
+            let mut want: Vec<i64> = (1..=n as i64).map(|s| expected(s, iters)).collect();
+            want.sort_unstable();
+            let isolated = answers == want;
+            let residue = world.server(1).resident_agents();
+            world.shutdown();
+
+            IsolationRow {
+                agents: n,
+                wall_ms,
+                throughput: n as f64 / (wall_ms / 1e3),
+                isolated,
+                residue,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(agent_counts: &[usize], iters: i64) -> String {
+    let rows = run(agent_counts, iters);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.agents.to_string(),
+                format!("{:.1} ms", r.wall_ms),
+                format!("{:.0} agents/s", r.throughput),
+                if r.isolated { "yes".into() } else { "VIOLATED".into() },
+                r.residue.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &format!("X12 — concurrent agents on one server ({iters} loop iterations each)"),
+        &["agents", "wall time", "throughput", "isolation held", "residue"],
+        &rendered,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolation_holds_under_concurrency() {
+        let rows = run(&[1, 8, 32], 5_000);
+        for r in &rows {
+            assert!(r.isolated, "{} agents: isolation violated", r.agents);
+            assert_eq!(r.residue, 0);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! X4b — ablation: per-call cost vs. principal-population size.
+//!
+//! The design choice under ablation: **where identity→rights evaluation
+//! happens**. Proxies evaluate it once at `get_proxy`; wrappers and the
+//! central security manager evaluate it per call, over a data structure
+//! that grows with the number of known principals. In the paper's "open
+//! environment", the principal population is unbounded — this sweep shows
+//! the per-call designs degrading linearly with it while the proxy stays
+//! flat.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ajanta_core::AccessProtocol;
+use ajanta_workloads::records::RecordSpec;
+
+use crate::fixtures;
+
+/// One population size's per-call costs.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Decoy principals on the ACL / policy.
+    pub principals: usize,
+    /// Proxy per-call, ns.
+    pub proxy_ns: f64,
+    /// Wrapper per-call, ns.
+    pub wrapper_ns: f64,
+    /// Security-manager per-call, ns.
+    pub gate_ns: f64,
+}
+
+/// Sweeps population sizes with `calls` invocations each.
+pub fn run(populations: &[usize], calls: u64) -> Vec<AblationRow> {
+    let spec = RecordSpec {
+        count: 16,
+        ..Default::default()
+    };
+    populations
+        .iter()
+        .map(|&n| {
+            let m = fixtures::mechanisms_with_decoys(&spec, n);
+            let rq = fixtures::requester();
+            let agent = fixtures::agent_urn();
+            let owner = fixtures::owner_urn();
+            let rname = fixtures::store_name();
+
+            let proxy = Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap();
+            let time = |mut f: Box<dyn FnMut() + '_>| -> f64 {
+                for _ in 0..200 {
+                    f();
+                }
+                let start = Instant::now();
+                for _ in 0..calls {
+                    f();
+                }
+                start.elapsed().as_nanos() as f64 / calls as f64
+            };
+
+            let proxy_ns = time(Box::new(|| {
+                proxy.invoke(rq.domain, "count", &[], 0).unwrap();
+            }));
+            let wrapper_ns = time(Box::new(|| {
+                m.wrapper.invoke(&owner, "count", &[]).unwrap();
+            }));
+            let gate_ns = time(Box::new(|| {
+                m.gate
+                    .invoke(&agent, &owner, &rname, "count", &[])
+                    .unwrap();
+            }));
+
+            AblationRow {
+                principals: n,
+                proxy_ns,
+                wrapper_ns,
+                gate_ns,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(populations: &[usize], calls: u64) -> String {
+    let rows = run(populations, calls);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.principals.to_string(),
+                crate::fmt_ns(r.proxy_ns),
+                crate::fmt_ns(r.wrapper_ns),
+                crate::fmt_ns(r.gate_ns),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &format!("X4b — per-call cost vs principal population ({calls} calls)"),
+        &["known principals", "proxy", "wrapper + ACL", "security manager"],
+        &rendered,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_call_designs_degrade_with_population() {
+        // Wall-clock shape tests are noisy when the whole workspace's
+        // test suites share the machine; accept the expected shape from
+        // any of a few attempts rather than demanding a quiet first run.
+        let mut last = String::new();
+        for attempt in 0..4 {
+            let rows = run(&[4, 512], 5_000);
+            let small = &rows[0];
+            let large = &rows[1];
+            let wrapper_grows = large.wrapper_ns > small.wrapper_ns * 3.0;
+            let gate_grows = large.gate_ns > small.gate_ns * 3.0;
+            let proxy_flat = large.proxy_ns < small.proxy_ns * 3.0 + 500.0;
+            if wrapper_grows && gate_grows && proxy_flat {
+                return;
+            }
+            last = format!(
+                "attempt {attempt}: wrapper {}->{}, gate {}->{}, proxy {}->{}",
+                small.wrapper_ns,
+                large.wrapper_ns,
+                small.gate_ns,
+                large.gate_ns,
+                small.proxy_ns,
+                large.proxy_ns
+            );
+        }
+        panic!("shape never stabilized: {last}");
+    }
+}

@@ -1,0 +1,123 @@
+//! X5 — proxy-per-agent scaling (Section 5.4's trade-off).
+//!
+//! *"Only one wrapper exists for each resource object. In contrast, when
+//! proxies are used, a proxy instance must be created for each agent that
+//! accesses the resource."* This experiment quantifies that cost: total
+//! creation time and live objects for N agents under each design.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ajanta_core::{AccessProtocol, DomainId, Requester, Rights};
+use ajanta_workloads::records::RecordSpec;
+
+use crate::fixtures;
+
+/// One population size's measurements.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Number of concurrently served agents.
+    pub agents: usize,
+    /// Total proxy-creation time for all agents, ns.
+    pub proxy_total_ns: f64,
+    /// Live proxy objects.
+    pub proxy_objects: usize,
+    /// Total wrapper ACL-entry insertion time, ns.
+    pub wrapper_total_ns: f64,
+    /// Live wrapper objects (always 1).
+    pub wrapper_objects: usize,
+}
+
+/// Runs the sweep.
+pub fn run(agent_counts: &[usize]) -> Vec<ScalingRow> {
+    let spec = RecordSpec {
+        count: 16,
+        ..Default::default()
+    };
+    agent_counts
+        .iter()
+        .map(|&n| {
+            let m = fixtures::mechanisms(&spec);
+
+            // Proxies: one per agent.
+            let start = Instant::now();
+            let proxies: Vec<_> = (0..n)
+                .map(|i| {
+                    let rq = Requester {
+                        domain: DomainId(i as u64 + 1),
+                        ..fixtures::requester()
+                    };
+                    Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap()
+                })
+                .collect();
+            let proxy_total_ns = start.elapsed().as_nanos() as f64;
+
+            // Wrapper: one shared object; one ACL entry per agent's owner.
+            let start = Instant::now();
+            for i in 0..n {
+                let principal =
+                    ajanta_naming::Urn::owner("users.org", [format!("u{i}")]).unwrap();
+                m.wrapper.grant(principal, Rights::all());
+            }
+            let wrapper_total_ns = start.elapsed().as_nanos() as f64;
+
+            ScalingRow {
+                agents: n,
+                proxy_total_ns,
+                proxy_objects: proxies.len(),
+                wrapper_total_ns,
+                wrapper_objects: 1,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn table(agent_counts: &[usize]) -> String {
+    let rows = run(agent_counts);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.agents.to_string(),
+                crate::fmt_ns(r.proxy_total_ns),
+                crate::fmt_ns(r.proxy_total_ns / r.agents.max(1) as f64),
+                r.proxy_objects.to_string(),
+                crate::fmt_ns(r.wrapper_total_ns),
+                r.wrapper_objects.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        "X5 — proxy-per-agent scaling vs one shared wrapper",
+        &[
+            "agents",
+            "proxies: total create",
+            "proxies: per agent",
+            "proxy objects",
+            "wrapper: total ACL setup",
+            "wrapper objects",
+        ],
+        &rendered,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_counts_match_design() {
+        let rows = run(&[1, 10, 100]);
+        for r in &rows {
+            assert_eq!(r.proxy_objects, r.agents);
+            assert_eq!(r.wrapper_objects, 1);
+        }
+        // Proxy creation scales roughly linearly (no quadratic blowup):
+        // 100 agents should cost well under 100× the 10-agent *per agent*
+        // figure.
+        let per_10 = rows[1].proxy_total_ns / 10.0;
+        let per_100 = rows[2].proxy_total_ns / 100.0;
+        assert!(per_100 < per_10 * 20.0, "per-agent cost exploded: {per_10} -> {per_100}");
+    }
+}

@@ -1,0 +1,153 @@
+//! X7 — revocation and expiration (Section 5.5).
+//!
+//! Claims: a resource manager "can invalidate any of its currently active
+//! proxies at any time"; it can "selectively revoke or add permissions
+//! for specific methods"; privileges "can also be revoked based on
+//! time-out". This measures the cost of each management operation and
+//! verifies immediacy (the very next call fails).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ajanta_core::{AccessError, AccessProtocol, DomainId};
+use ajanta_workloads::records::RecordSpec;
+
+use crate::fixtures;
+
+/// One management operation's cost.
+#[derive(Debug, Clone)]
+pub struct RevocationRow {
+    /// Operation.
+    pub op: &'static str,
+    /// Mean cost, ns.
+    pub ns: f64,
+    /// Whether the effect was observed on the immediately following call.
+    pub immediate: bool,
+}
+
+/// Measures each operation `iters` times (each on a fresh proxy).
+pub fn run(iters: u64) -> Vec<RevocationRow> {
+    let spec = RecordSpec {
+        count: 16,
+        ..Default::default()
+    };
+    let m = fixtures::mechanisms(&spec);
+    let rq = fixtures::requester();
+
+    let fresh_proxy = || Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap();
+
+    // Full revocation.
+    let mut revoke_total = 0u128;
+    let mut revoke_immediate = true;
+    for _ in 0..iters {
+        let p = fresh_proxy();
+        p.invoke(rq.domain, "count", &[], 0).unwrap();
+        let t = Instant::now();
+        p.control().revoke(DomainId::SERVER).unwrap();
+        revoke_total += t.elapsed().as_nanos();
+        revoke_immediate &=
+            p.invoke(rq.domain, "count", &[], 0) == Err(AccessError::Revoked);
+    }
+
+    // Selective method disable.
+    let mut disable_total = 0u128;
+    let mut disable_immediate = true;
+    for _ in 0..iters {
+        let p = fresh_proxy();
+        let t = Instant::now();
+        p.control().disable_method(DomainId::SERVER, "count").unwrap();
+        disable_total += t.elapsed().as_nanos();
+        disable_immediate &= matches!(
+            p.invoke(rq.domain, "count", &[], 0),
+            Err(AccessError::MethodDisabled(_))
+        );
+        // Other methods still work (selectivity).
+        disable_immediate &= p
+            .invoke(rq.domain, "scan_count", &[ajanta_vm::Value::str("x")], 0)
+            .is_ok();
+    }
+
+    // Method (re-)enable.
+    let mut enable_total = 0u128;
+    let mut enable_immediate = true;
+    for _ in 0..iters {
+        let p = fresh_proxy();
+        p.control().disable_method(DomainId::SERVER, "count").unwrap();
+        let t = Instant::now();
+        p.control().enable_method(DomainId::SERVER, "count").unwrap();
+        enable_total += t.elapsed().as_nanos();
+        enable_immediate &= p.invoke(rq.domain, "count", &[], 0).is_ok();
+    }
+
+    // Expiry: set, then probe one tick past.
+    let mut expire_total = 0u128;
+    let mut expire_immediate = true;
+    for _ in 0..iters {
+        let p = fresh_proxy();
+        let t = Instant::now();
+        p.control().set_expiry(DomainId::SERVER, Some(100)).unwrap();
+        expire_total += t.elapsed().as_nanos();
+        expire_immediate &= p.invoke(rq.domain, "count", &[], 100).is_ok();
+        expire_immediate &= matches!(
+            p.invoke(rq.domain, "count", &[], 101),
+            Err(AccessError::Expired { .. })
+        );
+    }
+
+    let per = |total: u128| total as f64 / iters as f64;
+    vec![
+        RevocationRow {
+            op: "revoke whole proxy",
+            ns: per(revoke_total),
+            immediate: revoke_immediate,
+        },
+        RevocationRow {
+            op: "disable one method",
+            ns: per(disable_total),
+            immediate: disable_immediate,
+        },
+        RevocationRow {
+            op: "re-enable one method",
+            ns: per(enable_total),
+            immediate: enable_immediate,
+        },
+        RevocationRow {
+            op: "set expiry (timeout revocation)",
+            ns: per(expire_total),
+            immediate: expire_immediate,
+        },
+    ]
+}
+
+/// Renders the table.
+pub fn table(iters: u64) -> String {
+    let rows = run(iters);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.op.to_string(),
+                crate::fmt_ns(r.ns),
+                if r.immediate { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &format!("X7 — revocation & expiration ({iters} fresh proxies per op)"),
+        &["management operation", "cost", "takes effect immediately"],
+        &rendered,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_operation_is_immediate() {
+        for row in run(50) {
+            assert!(row.immediate, "{} was not immediate", row.op);
+            assert!(row.ns > 0.0);
+        }
+    }
+}

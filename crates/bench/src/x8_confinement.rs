@@ -1,0 +1,103 @@
+//! X8 — identity-based capability confinement (Section 5.5).
+//!
+//! *"Even though the reference to a proxy is like a capability, we can
+//! limit its propagation from one agent to another by checking whether
+//! the invoker of the proxy belongs to the protection domain to which it
+//! was originally granted."*
+//!
+//! Measures (a) what the confinement check costs on the happy path (it is
+//! part of every call), and (b) that a leaked proxy is rejected for a
+//! non-holder, 100% of the time.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ajanta_core::{AccessError, AccessProtocol, DomainId};
+use ajanta_workloads::records::RecordSpec;
+
+use crate::fixtures;
+
+/// The experiment's outputs.
+#[derive(Debug, Clone)]
+pub struct ConfinementResult {
+    /// Per-call cost for the legitimate holder, ns.
+    pub holder_call_ns: f64,
+    /// Per-call cost of a rejected stolen-proxy call, ns.
+    pub thief_call_ns: f64,
+    /// Stolen-capability attempts made.
+    pub theft_attempts: u64,
+    /// Stolen-capability attempts rejected.
+    pub theft_rejected: u64,
+}
+
+/// Runs with `calls` invocations per measurement.
+pub fn run(calls: u64) -> ConfinementResult {
+    let spec = RecordSpec {
+        count: 16,
+        ..Default::default()
+    };
+    let m = fixtures::mechanisms(&spec);
+    let rq = fixtures::requester();
+    let proxy = Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap();
+    let thief = DomainId(999);
+
+    let start = Instant::now();
+    for _ in 0..calls {
+        proxy.invoke(rq.domain, "count", &[], 0).unwrap();
+    }
+    let holder_call_ns = start.elapsed().as_nanos() as f64 / calls as f64;
+
+    // The stolen reference: same proxy object, different domain.
+    let leaked = proxy.clone();
+    let mut rejected = 0;
+    let start = Instant::now();
+    for _ in 0..calls {
+        match leaked.invoke(thief, "count", &[], 0) {
+            Err(AccessError::NotHolder { .. }) => rejected += 1,
+            other => panic!("theft not rejected: {other:?}"),
+        }
+    }
+    let thief_call_ns = start.elapsed().as_nanos() as f64 / calls as f64;
+
+    ConfinementResult {
+        holder_call_ns,
+        thief_call_ns,
+        theft_attempts: calls,
+        theft_rejected: rejected,
+    }
+}
+
+/// Renders the table.
+pub fn table(calls: u64) -> String {
+    let r = run(calls);
+    crate::render_table(
+        &format!("X8 — capability confinement ({calls} calls each)"),
+        &["measurement", "value"],
+        &[
+            vec!["holder call (check passes)".into(), crate::fmt_ns(r.holder_call_ns)],
+            vec!["stolen-proxy call (rejected)".into(), crate::fmt_ns(r.thief_call_ns)],
+            vec!["theft attempts".into(), r.theft_attempts.to_string()],
+            vec![
+                "theft rejected".into(),
+                format!(
+                    "{} ({:.0}%)",
+                    r.theft_rejected,
+                    100.0 * r.theft_rejected as f64 / r.theft_attempts as f64
+                ),
+            ],
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confinement_is_total() {
+        let r = run(500);
+        assert_eq!(r.theft_attempts, r.theft_rejected);
+        // Rejection is cheap — it happens before any resource work.
+        assert!(r.thief_call_ns < r.holder_call_ns * 10.0 + 2_000.0);
+    }
+}

@@ -1,0 +1,405 @@
+//! X9 — RPC vs REV vs mobile agents (paper Section 1; Harrison et al.).
+//!
+//! The claim: *"by moving processing functions close to where the
+//! information is stored, [the agent paradigm] reduces communication
+//! between the client and the server"*. Five contenders perform the same
+//! task — find all hot records across `n_servers` record stores — and we
+//! account every byte and virtual nanosecond on the wire:
+//!
+//! * **rpc-per-record** — fetch each record individually, filter at the
+//!   client (fine-grained RPC; many round trips);
+//! * **rpc-bulk** — fetch whole stores, filter at the client (one round
+//!   trip per server, all data crosses);
+//! * **rpc-server-filter** — server-side `scan` via RPC (the server
+//!   cooperates; lower bound for client–server);
+//! * **rev** — ship filter code to each server, matches come back;
+//! * **agent** — one collector agent tours all servers and reports home.
+//!
+//! All five use the same sealed-datagram security, the same stores, the
+//! same link model; byte counts and virtual times are exact.
+
+use std::sync::Arc;
+
+use ajanta_crypto::cert::Certificate;
+use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
+use ajanta_naming::Urn;
+use ajanta_net::secure::ChannelIdentity;
+use ajanta_net::{LinkModel, SimNet};
+use ajanta_vm::Value;
+use ajanta_workloads::records::{record_population, selector_for, RecordSpec};
+
+use ajanta_baselines::{filter_program, RecordStore, RevClient, RevServer, RpcClient, RpcServer};
+
+/// One contender's accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParadigmRow {
+    /// Contender name.
+    pub paradigm: &'static str,
+    /// Payload bytes that crossed the network.
+    pub bytes: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Virtual completion time, ms.
+    pub virtual_ms: f64,
+    /// Matches found (must agree across contenders).
+    pub matches: usize,
+}
+
+/// The scenario: `n_servers` stores generated from `spec` (each server
+/// gets a distinct seed), linked by `link`.
+pub struct Scenario {
+    /// Base record population parameters.
+    pub spec: RecordSpec,
+    /// Number of store-holding servers.
+    pub n_servers: usize,
+    /// Link model between all parties.
+    pub link: LinkModel,
+}
+
+fn populations(s: &Scenario) -> Vec<Vec<Vec<u8>>> {
+    (0..s.n_servers)
+        .map(|k| {
+            record_population(&RecordSpec {
+                seed: s.spec.seed + k as u64,
+                ..s.spec
+            })
+        })
+        .collect()
+}
+
+fn count_matches(blob: &[u8]) -> usize {
+    if blob.is_empty() {
+        return 0;
+    }
+    blob.split(|&b| b == b'\n').count()
+}
+
+fn client_filter(blob: &[u8], selector: &[u8]) -> usize {
+    blob.split(|&b| b == b'\n')
+        .filter(|line| line.windows(selector.len()).any(|w| w == selector))
+        .count()
+}
+
+/// PKI boilerplate for the RPC/REV rigs.
+struct Rig {
+    net: SimNet,
+    roots: RootOfTrust,
+    server_ids: Vec<(ChannelIdentity, KeyPair)>,
+    client_id: (ChannelIdentity, KeyPair),
+}
+
+fn rig(s: &Scenario, seed: u64) -> Rig {
+    let mut rng = DetRng::new(seed);
+    let net = SimNet::new(s.link, rng.next_u64());
+    let ca = KeyPair::generate(&mut rng);
+    let mut roots = RootOfTrust::new();
+    roots.trust("ca", ca.public);
+    let mk = |name: &Urn, serial: u64, rng: &mut DetRng| {
+        let keys = KeyPair::generate(rng);
+        let cert = Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, serial, rng);
+        (
+            ChannelIdentity {
+                name: name.clone(),
+                keys: keys.clone(),
+                chain: vec![cert],
+            },
+            keys,
+        )
+    };
+    let server_ids: Vec<_> = (0..s.n_servers)
+        .map(|k| {
+            let name = Urn::server(format!("site{k}.org"), ["svc"]).unwrap();
+            mk(&name, k as u64 + 1, &mut rng)
+        })
+        .collect();
+    let client_name = Urn::server("client.org", ["c"]).unwrap();
+    let client_id = mk(&client_name, 1000, &mut rng);
+    Rig {
+        net,
+        roots,
+        server_ids,
+        client_id,
+    }
+}
+
+fn store_for(pop: Vec<Vec<u8>>) -> Arc<RecordStore> {
+    RecordStore::new(
+        Urn::resource("stores.org", ["db"]).unwrap(),
+        Urn::owner("stores.org", ["admin"]).unwrap(),
+        pop,
+    )
+}
+
+/// Runs one RPC variant; `mode` ∈ {per-record, bulk, server-filter}.
+fn run_rpc(s: &Scenario, mode: &'static str) -> ParadigmRow {
+    let r = rig(s, 0x99C);
+    let pops = populations(s);
+    let selector = selector_for();
+
+    let servers: Vec<RpcServer> = r
+        .server_ids
+        .iter()
+        .zip(pops)
+        .enumerate()
+        .map(|(k, ((id, keys), pop))| {
+            RpcServer::start(
+                &r.net,
+                id.clone(),
+                keys.clone(),
+                r.roots.clone(),
+                store_for(pop),
+                1_000 + k as u64,
+            )
+        })
+        .collect();
+    let mut client = RpcClient::new(
+        &r.net,
+        r.client_id.0.clone(),
+        r.client_id.1.clone(),
+        r.roots.clone(),
+        2_000,
+    );
+    r.net.reset_stats();
+    let t0 = r.net.clock().now();
+
+    let mut matches = 0usize;
+    for (id, keys) in &r.server_ids {
+        let key = keys.public;
+        match mode {
+            "per-record" => {
+                let n = client
+                    .call(&id.name, key, "count", vec![])
+                    .unwrap()
+                    .as_int()
+                    .unwrap();
+                for i in 0..n {
+                    let rec = client
+                        .call(&id.name, key, "get", vec![Value::Int(i)])
+                        .unwrap();
+                    let rec = rec.as_bytes().unwrap();
+                    if rec.windows(selector.len()).any(|w| w == selector) {
+                        matches += 1;
+                    }
+                }
+            }
+            "bulk" => {
+                let blob = client.call(&id.name, key, "scan", vec![Value::str("")]).unwrap();
+                matches += client_filter(blob.as_bytes().unwrap(), selector);
+            }
+            "server-filter" => {
+                let blob = client
+                    .call(&id.name, key, "scan", vec![Value::Bytes(selector.to_vec())])
+                    .unwrap();
+                matches += count_matches(blob.as_bytes().unwrap());
+            }
+            other => unreachable!("unknown rpc mode {other}"),
+        }
+    }
+
+    let stats = r.net.stats();
+    let virtual_ms = (r.net.clock().now() - t0) as f64 / 1e6;
+    for server in servers {
+        server.stop();
+    }
+    ParadigmRow {
+        paradigm: match mode {
+            "per-record" => "rpc-per-record",
+            "bulk" => "rpc-bulk",
+            _ => "rpc-server-filter",
+        },
+        bytes: stats.bytes_delivered,
+        messages: stats.messages_delivered,
+        virtual_ms,
+        matches,
+    }
+}
+
+fn run_rev(s: &Scenario) -> ParadigmRow {
+    let r = rig(s, 0xEE7);
+    let pops = populations(s);
+    let selector = selector_for();
+    let servers: Vec<RevServer> = r
+        .server_ids
+        .iter()
+        .zip(pops)
+        .enumerate()
+        .map(|(k, ((id, keys), pop))| {
+            RevServer::start(
+                &r.net,
+                id.clone(),
+                keys.clone(),
+                r.roots.clone(),
+                store_for(pop),
+                ajanta_vm::Limits::default(),
+                3_000 + k as u64,
+            )
+        })
+        .collect();
+    let mut client = RevClient::new(
+        &r.net,
+        r.client_id.0.clone(),
+        r.client_id.1.clone(),
+        r.roots.clone(),
+        4_000,
+    );
+    r.net.reset_stats();
+    let t0 = r.net.clock().now();
+
+    let mut matches = 0usize;
+    let program = filter_program();
+    for (id, keys) in &r.server_ids {
+        let blob = client
+            .evaluate(&id.name, keys.public, program.clone(), "filter", selector.to_vec())
+            .unwrap();
+        matches += count_matches(blob.as_bytes().unwrap());
+    }
+
+    let stats = r.net.stats();
+    let virtual_ms = (r.net.clock().now() - t0) as f64 / 1e6;
+    for server in servers {
+        server.stop();
+    }
+    ParadigmRow {
+        paradigm: "rev",
+        bytes: stats.bytes_delivered,
+        messages: stats.messages_delivered,
+        virtual_ms,
+        matches,
+    }
+}
+
+fn run_agent(s: &Scenario) -> ParadigmRow {
+    use ajanta_runtime::itinerary::Itinerary;
+    use ajanta_runtime::World;
+    use ajanta_workloads::collector_agent;
+
+    // Server 0 is the client's home; servers 1..=n hold the stores.
+    let mut world = World::builder(s.n_servers + 1).link(s.link).build();
+    let pops = populations(s);
+    for (k, pop) in pops.into_iter().enumerate() {
+        let guarded = ajanta_core::Guarded::new(store_for(pop), ajanta_core::ProxyPolicy::default());
+        world.server(k + 1).register_resource(guarded).unwrap();
+    }
+    let mut owner = world.owner("collector");
+    let agent = owner.next_agent_name("collector");
+    let home = world.server(0).name().clone();
+    let creds = owner.credentials(agent, home, ajanta_core::Rights::all(), u64::MAX);
+
+    let stops: Vec<Urn> = (2..=s.n_servers)
+        .map(|k| world.server(k).name().clone())
+        .collect();
+    let itinerary = Itinerary::new(stops);
+    let store_urn = Urn::resource("stores.org", ["db"]).unwrap();
+    let image = collector_agent(&store_urn, selector_for(), &itinerary);
+
+    world.net.reset_stats();
+    let t0 = world.net.clock().now();
+    world
+        .server(0)
+        .launch(world.server(1).name().clone(), creds, image);
+
+    let reports = world
+        .server(0)
+        .wait_reports(1, std::time::Duration::from_secs(30));
+    assert_eq!(reports.len(), 1, "agent never reported: {reports:?}");
+    let matches = match &reports[0].status {
+        ajanta_runtime::ReportStatus::Completed(text) => {
+            if text.is_empty() {
+                0
+            } else {
+                text.lines().count()
+            }
+        }
+        other => panic!("agent failed: {other:?}"),
+    };
+    let stats = world.net.stats();
+    let virtual_ms = (world.net.clock().now() - t0) as f64 / 1e6;
+    world.shutdown();
+    ParadigmRow {
+        paradigm: "mobile agent",
+        bytes: stats.bytes_delivered,
+        messages: stats.messages_delivered,
+        virtual_ms,
+        matches,
+    }
+}
+
+/// Runs all five contenders on one scenario.
+pub fn run(s: &Scenario) -> Vec<ParadigmRow> {
+    vec![
+        run_rpc(s, "per-record"),
+        run_rpc(s, "bulk"),
+        run_rpc(s, "server-filter"),
+        run_rev(s),
+        run_agent(s),
+    ]
+}
+
+/// Renders the table for one scenario.
+pub fn table(s: &Scenario, label: &str) -> String {
+    let rows = run(s);
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.paradigm.to_string(),
+                crate::fmt_bytes(r.bytes),
+                r.messages.to_string(),
+                format!("{:.2} ms", r.virtual_ms),
+                r.matches.to_string(),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &format!("X9 — paradigms: {label}"),
+        &["paradigm", "bytes on wire", "messages", "virtual time", "matches"],
+        &rendered,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario() -> Scenario {
+        Scenario {
+            spec: RecordSpec {
+                count: 60,
+                record_len: 96,
+                selectivity: 0.1,
+                seed: 11,
+            },
+            n_servers: 2,
+            link: LinkModel::wan(),
+        }
+    }
+
+    #[test]
+    fn all_paradigms_find_the_same_matches() {
+        let rows = run(&scenario());
+        let expected = rows[0].matches;
+        assert_eq!(expected, 12, "2 servers × 6 hot records");
+        for r in &rows {
+            assert_eq!(r.matches, expected, "{} disagrees", r.paradigm);
+        }
+    }
+
+    #[test]
+    fn shapes_match_harrisons_argument() {
+        let rows = run(&scenario());
+        let by = |n: &str| rows.iter().find(|r| r.paradigm == n).unwrap().clone();
+        let per_record = by("rpc-per-record");
+        let bulk = by("rpc-bulk");
+        let rev = by("rev");
+        let agent = by("mobile agent");
+
+        // Chatty RPC uses the most messages by far.
+        assert!(per_record.messages > bulk.messages * 10);
+        // At low selectivity, shipping code beats shipping all the data.
+        assert!(rev.bytes < bulk.bytes, "rev {} vs bulk {}", rev.bytes, bulk.bytes);
+        assert!(agent.bytes < bulk.bytes, "agent {} vs bulk {}", agent.bytes, bulk.bytes);
+        // Chatty RPC's round trips dominate virtual time on a WAN.
+        assert!(per_record.virtual_ms > rev.virtual_ms);
+        assert!(per_record.virtual_ms > agent.virtual_ms);
+    }
+}

@@ -1,0 +1,363 @@
+//! The paper's running example: a bounded buffer resource with a
+//! hand-written proxy — Figs. 4 and 5, line for line.
+//!
+//! Fig. 4 defines a `Buffer` interface extending `Resource` with
+//! synchronized `get`/`put`, implemented by `BufferImpl extends
+//! ResourceImpl implements Buffer, AccessProtocol`. Fig. 5 shows
+//! `BufferProxy implements Buffer` holding a **private** reference to the
+//! underlying buffer and checking `isEnabled(method)` before each
+//! pass-through, throwing a security exception otherwise.
+//!
+//! This module keeps both faces of the design:
+//!
+//! * [`Buffer`] / [`BoundedBuffer`] / [`BufferProxy`] — the statically
+//!   typed mirror of the figures (Rust privacy stands in for Java
+//!   encapsulation: `BufferProxy.inner` is not public, so holding a proxy
+//!   gives no path to the raw buffer);
+//! * `impl Resource for BoundedBuffer` — the dynamic face used by VM
+//!   agents through the registry, identical semantics.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use ajanta_naming::Urn;
+use ajanta_vm::{Ty, Value};
+use parking_lot::Mutex;
+
+use crate::domain::DomainId;
+use crate::proxy::{AccessError, Meter, ProxyControl, ResourceProxy};
+use crate::resource::{AccessProtocol, MethodSpec, Requester, Resource, ResourceError};
+
+/// The application-defined buffer interface (paper Fig. 4's `Buffer`).
+pub trait Buffer: Send + Sync {
+    /// Removes and returns the oldest item;
+    /// [`ResourceError::WouldBlock`] when empty.
+    fn get(&self) -> Result<Value, ResourceError>;
+    /// Appends an item; [`ResourceError::WouldBlock`] when full.
+    fn put(&self, item: Value) -> Result<(), ResourceError>;
+    /// Current number of items.
+    fn size(&self) -> usize;
+}
+
+/// The implementation (paper Fig. 4's `BufferImpl`).
+pub struct BoundedBuffer {
+    name: Urn,
+    owner: Urn,
+    capacity: usize,
+    items: Mutex<VecDeque<Value>>,
+}
+
+impl BoundedBuffer {
+    /// A buffer holding up to `capacity` items.
+    pub fn new(name: Urn, owner: Urn, capacity: usize) -> Arc<Self> {
+        assert!(capacity > 0, "capacity must be positive");
+        Arc::new(BoundedBuffer {
+            name,
+            owner,
+            capacity,
+            items: Mutex::new(VecDeque::with_capacity(capacity)),
+        })
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Buffer for BoundedBuffer {
+    fn get(&self) -> Result<Value, ResourceError> {
+        self.items.lock().pop_front().ok_or(ResourceError::WouldBlock)
+    }
+
+    fn put(&self, item: Value) -> Result<(), ResourceError> {
+        let mut items = self.items.lock();
+        if items.len() >= self.capacity {
+            return Err(ResourceError::WouldBlock);
+        }
+        items.push_back(item);
+        Ok(())
+    }
+
+    fn size(&self) -> usize {
+        self.items.lock().len()
+    }
+}
+
+impl Resource for BoundedBuffer {
+    fn name(&self) -> &Urn {
+        &self.name
+    }
+    fn owner(&self) -> &Urn {
+        &self.owner
+    }
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("get", [], Ty::Bytes),
+            MethodSpec::new("put", [Ty::Bytes], Ty::Int),
+            MethodSpec::new("size", [], Ty::Int),
+        ]
+    }
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ResourceError> {
+        self.check_args(method, args)?;
+        match method {
+            "get" => Buffer::get(self),
+            "put" => {
+                Buffer::put(self, args[0].clone())?;
+                Ok(Value::Int(0))
+            }
+            "size" => Ok(Value::Int(self.size() as i64)),
+            other => Err(ResourceError::NoSuchMethod(other.into())),
+        }
+    }
+}
+
+impl AccessProtocol for BoundedBuffer {
+    /// The `getProxy` of Fig. 7: enables exactly the methods the
+    /// requester's effective rights permit on this buffer.
+    fn get_proxy(
+        self: Arc<Self>,
+        requester: &Requester,
+        _now: u64,
+    ) -> Result<ResourceProxy, AccessError> {
+        let enabled: Vec<String> = self
+            .methods()
+            .into_iter()
+            .filter(|m| requester.rights.permits(&self.name, &m.name))
+            .map(|m| m.name)
+            .collect();
+        if enabled.is_empty() {
+            return Err(AccessError::PolicyDenied {
+                resource: self.name.clone(),
+                reason: format!("agent {} has no rights on this buffer", requester.agent),
+            });
+        }
+        let control = ProxyControl::new(requester.domain, [], enabled, None, Meter::off());
+        Ok(ResourceProxy::new(self, control))
+    }
+}
+
+/// The hand-written typed proxy (paper Fig. 5's `BufferProxy`).
+///
+/// ```java
+/// public class BufferProxy implements Buffer {
+///     private Buffer ref;                      // <- `inner`, private
+///     public synchronized BufItem get() {
+///         if (isEnabled("get")) return ref.get();
+///         else /* throw a security exception */
+///     }
+/// }
+/// ```
+pub struct BufferProxy {
+    /// "ref is a reference to the underlying resource" — private, so the
+    /// agent holding the proxy cannot bypass it (Java encapsulation ≙
+    /// Rust privacy).
+    inner: Arc<BoundedBuffer>,
+    control: Arc<ProxyControl>,
+    /// The domain on whose behalf typed calls are made. A typed proxy is
+    /// bound to its holder at creation — there is no caller parameter to
+    /// forge.
+    holder: DomainId,
+}
+
+impl BufferProxy {
+    /// Creates a typed proxy. `control` carries the enabled set, expiry,
+    /// metering and revocation state exactly as for dynamic proxies.
+    pub fn new(inner: Arc<BoundedBuffer>, control: Arc<ProxyControl>) -> Self {
+        let holder = control.holder();
+        BufferProxy {
+            inner,
+            control,
+            holder,
+        }
+    }
+
+    /// `get()`, guarded: the Fig. 5 `isEnabled("get")` check generalized
+    /// to the full check chain (revocation, expiry, confinement,
+    /// enablement).
+    pub fn get(&self, now: u64) -> Result<Value, AccessError> {
+        self.control.check(self.holder, "get", now)?;
+        let v = self.inner.get()?;
+        self.control.record_use("get", 0);
+        Ok(v)
+    }
+
+    /// `put(item)`, guarded.
+    pub fn put(&self, item: Value, now: u64) -> Result<(), AccessError> {
+        self.control.check(self.holder, "put", now)?;
+        self.inner.put(item)?;
+        self.control.record_use("put", 0);
+        Ok(())
+    }
+
+    /// `size()`, guarded.
+    pub fn size(&self, now: u64) -> Result<usize, AccessError> {
+        self.control.check(self.holder, "size", now)?;
+        let n = self.inner.size();
+        self.control.record_use("size", 0);
+        Ok(n)
+    }
+
+    /// The control block, for the resource manager.
+    pub fn control(&self) -> &Arc<ProxyControl> {
+        &self.control
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buffer(cap: usize) -> Arc<BoundedBuffer> {
+        BoundedBuffer::new(
+            Urn::resource("acme.com", ["buffer"]).unwrap(),
+            Urn::owner("acme.com", ["admin"]).unwrap(),
+            cap,
+        )
+    }
+
+    const AGENT: DomainId = DomainId(4);
+
+    fn typed_proxy(buf: &Arc<BoundedBuffer>, enabled: &[&str]) -> BufferProxy {
+        let control = ProxyControl::new(
+            AGENT,
+            [],
+            enabled.iter().map(|s| s.to_string()),
+            None,
+            Meter::off(),
+        );
+        BufferProxy::new(Arc::clone(buf), control)
+    }
+
+    #[test]
+    fn fifo_semantics() {
+        let b = buffer(3);
+        Buffer::put(&*b, Value::Int(1)).unwrap();
+        Buffer::put(&*b, Value::Int(2)).unwrap();
+        assert_eq!(Buffer::get(&*b).unwrap(), Value::Int(1));
+        assert_eq!(Buffer::get(&*b).unwrap(), Value::Int(2));
+        assert_eq!(Buffer::get(&*b), Err(ResourceError::WouldBlock));
+    }
+
+    #[test]
+    fn capacity_bound_enforced() {
+        let b = buffer(2);
+        Buffer::put(&*b, Value::Int(1)).unwrap();
+        Buffer::put(&*b, Value::Int(2)).unwrap();
+        assert_eq!(Buffer::put(&*b, Value::Int(3)), Err(ResourceError::WouldBlock));
+        assert_eq!(b.size(), 2);
+        // Draining frees a slot.
+        Buffer::get(&*b).unwrap();
+        Buffer::put(&*b, Value::Int(3)).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = buffer(0);
+    }
+
+    #[test]
+    fn typed_proxy_mirrors_figure_5() {
+        let b = buffer(4);
+        let p = typed_proxy(&b, &["get", "put"]);
+        p.put(Value::str("x"), 0).unwrap();
+        assert_eq!(p.get(0).unwrap(), Value::str("x"));
+        // "size" was not enabled: security exception.
+        assert_eq!(p.size(0), Err(AccessError::MethodDisabled("size".into())));
+    }
+
+    #[test]
+    fn typed_proxy_respects_revocation_and_expiry() {
+        let b = buffer(4);
+        let p = typed_proxy(&b, &["get", "put", "size"]);
+        p.control().set_expiry(DomainId::SERVER, Some(10)).unwrap();
+        p.put(Value::Int(1), 10).unwrap();
+        assert!(matches!(p.get(11), Err(AccessError::Expired { .. })));
+        p.control().set_expiry(DomainId::SERVER, None).unwrap();
+        p.control().revoke(DomainId::SERVER).unwrap();
+        assert_eq!(p.get(0), Err(AccessError::Revoked));
+    }
+
+    #[test]
+    fn typed_and_dynamic_paths_share_the_buffer() {
+        let b = buffer(4);
+        // Dynamic path (what VM agents use).
+        b.invoke("put", &[Value::str("via-dynamic")]).unwrap();
+        // Typed path sees the same state.
+        let p = typed_proxy(&b, &["get"]);
+        assert_eq!(p.get(0).unwrap(), Value::str("via-dynamic"));
+    }
+
+    #[test]
+    fn dynamic_get_proxy_filters_methods_by_rights() {
+        use crate::rights::Rights;
+        let b = buffer(4);
+        let requester = Requester {
+            agent: Urn::agent("umn.edu", ["a"]).unwrap(),
+            owner: Urn::owner("umn.edu", ["alice"]).unwrap(),
+            domain: AGENT,
+            rights: Rights::none().grant_method(b.name().clone(), "put"),
+        };
+        let proxy = Arc::clone(&b).get_proxy(&requester, 0).unwrap();
+        proxy
+            .invoke(AGENT, "put", &[Value::str("x")], 0)
+            .unwrap();
+        assert_eq!(
+            proxy.invoke(AGENT, "get", &[], 0),
+            Err(AccessError::MethodDisabled("get".into()))
+        );
+    }
+
+    #[test]
+    fn dynamic_get_proxy_denies_rightless_agents() {
+        use crate::rights::Rights;
+        let b = buffer(4);
+        let requester = Requester {
+            agent: Urn::agent("umn.edu", ["a"]).unwrap(),
+            owner: Urn::owner("umn.edu", ["alice"]).unwrap(),
+            domain: AGENT,
+            rights: Rights::none(),
+        };
+        assert!(matches!(
+            Arc::clone(&b).get_proxy(&requester, 0),
+            Err(AccessError::PolicyDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_put_type_checked() {
+        let b = buffer(4);
+        assert!(matches!(
+            b.invoke("put", &[Value::Int(3)]),
+            Err(ResourceError::BadArguments { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_preserve_count() {
+        let b = buffer(1024);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let b = Arc::clone(&b);
+                s.spawn(move || {
+                    for i in 0..100 {
+                        while Buffer::put(&*b, Value::Int(t * 1000 + i)).is_err() {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let mut got = 0;
+            while got < 2 * 100 {
+                if Buffer::get(&*b).is_ok() {
+                    got += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        });
+        // 400 produced, 200 consumed.
+        assert_eq!(b.size(), 200);
+    }
+}

@@ -1,0 +1,630 @@
+//! Agent credentials (paper Section 5.2).
+//!
+//! *"Each agent carries a set of credentials, which associate the agent's
+//! identity with those of its owner and creator, in a tamperproof manner.
+//! Apart from an identity (name), the credentials include the owner's
+//! public key certificate. The creator may delegate to the agent only a
+//! limited set of privileges ... Such access restrictions are also encoded
+//! in the credentials."*
+//!
+//! And: *"the credentials could have an expiration time so that stolen
+//! credentials cannot be misused indefinitely."*
+//!
+//! A server may also *"forward an agent to another server (like a
+//! subcontract) granting it some additional privileges or restricting some
+//! of its existing ones"* — modeled as a chain of signed
+//! [`Endorsement`]s appended by intermediate servers; the **effective
+//! rights are the intersection** of the owner's delegation and every
+//! endorsement's restriction, so no endorsement can amplify privilege
+//! beyond what the owner granted. (Additional privileges granted by a
+//! forwarding server are that server's to grant on its *own* resources —
+//! its local policy consults the endorsement chain via
+//! [`Credentials::endorsers`].)
+
+use ajanta_crypto::cert::Certificate;
+use ajanta_crypto::sig::{self, Signature};
+use ajanta_crypto::{DetRng, KeyPair, RootOfTrust, Sha256};
+use ajanta_naming::Urn;
+use ajanta_wire::{decode_seq, encode_seq, Decoder, Encoder, Wire, WireError};
+
+use crate::rights::Rights;
+
+/// Why credentials failed to validate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CredentialError {
+    /// The owner's certificate chain failed to validate.
+    BadOwnerCertificate(String),
+    /// The certified subject is not the claimed owner.
+    OwnerMismatch {
+        /// Owner claimed in the credentials.
+        claimed: String,
+        /// Subject certified by the chain.
+        certified: String,
+    },
+    /// The owner's signature over the credential body is invalid.
+    BadSignature,
+    /// The credentials expired.
+    Expired {
+        /// Expiry instant.
+        not_after: u64,
+        /// Validation instant.
+        now: u64,
+    },
+    /// An endorsement's certificate chain failed to validate.
+    BadEndorsementCertificate(String),
+    /// An endorsement's signature is invalid.
+    BadEndorsementSignature(usize),
+}
+
+impl std::fmt::Display for CredentialError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CredentialError::BadOwnerCertificate(e) => write!(f, "owner certificate: {e}"),
+            CredentialError::OwnerMismatch { claimed, certified } => {
+                write!(f, "claimed owner {claimed}, certified {certified}")
+            }
+            CredentialError::BadSignature => f.write_str("owner signature invalid"),
+            CredentialError::Expired { not_after, now } => {
+                write!(f, "credentials expired at {not_after}, now {now}")
+            }
+            CredentialError::BadEndorsementCertificate(e) => {
+                write!(f, "endorsement certificate: {e}")
+            }
+            CredentialError::BadEndorsementSignature(i) => {
+                write!(f, "endorsement {i} signature invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CredentialError {}
+
+/// A forwarding server's signed restriction on an agent's rights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Endorsement {
+    /// The endorsing server.
+    pub by: Urn,
+    /// The endorser's certificate chain (leaf first).
+    pub chain: Vec<Certificate>,
+    /// Rights mask to intersect with the effective rights so far.
+    pub restriction: Rights,
+    /// Signature over (previous-layer hash ‖ endorser ‖ restriction).
+    pub sig: Signature,
+}
+
+impl Wire for Endorsement {
+    fn encode(&self, e: &mut Encoder) {
+        self.by.encode(e);
+        encode_seq(&self.chain, e);
+        self.restriction.encode(e);
+        self.sig.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Endorsement {
+            by: Urn::decode(d)?,
+            chain: decode_seq(d)?,
+            restriction: Rights::decode(d)?,
+            sig: Signature::decode(d)?,
+        })
+    }
+}
+
+/// An agent's signed credentials.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credentials {
+    /// The agent's global name.
+    pub agent: Urn,
+    /// The human principal the agent acts for.
+    pub owner: Urn,
+    /// The entity that constructed the agent (application, another agent).
+    pub creator: Urn,
+    /// The agent's home site, where results are reported.
+    pub home: Urn,
+    /// Owner's certificate chain (leaf first) — carried so any server can
+    /// verify without an on-line authentication service (Section 5.2
+    /// explicitly notes one "may not always be available").
+    pub owner_chain: Vec<Certificate>,
+    /// Rights the owner delegated to this agent.
+    pub delegated: Rights,
+    /// Expiry instant (virtual ns).
+    pub not_after: u64,
+    /// Owner's signature over the body.
+    pub signature: Signature,
+    /// Restrictions appended by forwarding servers, oldest first.
+    pub endorsements: Vec<Endorsement>,
+}
+
+/// Hash of the owner-signed body (everything except endorsements).
+fn body_hash(
+    agent: &Urn,
+    owner: &Urn,
+    creator: &Urn,
+    home: &Urn,
+    owner_chain: &[Certificate],
+    delegated: &Rights,
+    not_after: u64,
+) -> [u8; 32] {
+    let mut e = Encoder::new();
+    agent.encode(&mut e);
+    owner.encode(&mut e);
+    creator.encode(&mut e);
+    home.encode(&mut e);
+    encode_seq(owner_chain, &mut e);
+    delegated.encode(&mut e);
+    e.put_varint(not_after);
+    let mut h = Sha256::new();
+    h.update(b"ajanta.cred.v1");
+    h.update(e.finish());
+    h.finalize().0
+}
+
+/// Hash of the credential state after `k` endorsements — each endorsement
+/// signs the hash of everything before it, so layers cannot be reordered
+/// or dropped without detection.
+fn layer_hash(prev: &[u8; 32], by: &Urn, restriction: &Rights) -> [u8; 32] {
+    let mut e = Encoder::new();
+    e.put_raw(prev);
+    by.encode(&mut e);
+    restriction.encode(&mut e);
+    let mut h = Sha256::new();
+    h.update(b"ajanta.cred.endorse.v1");
+    h.update(e.finish());
+    h.finalize().0
+}
+
+impl Credentials {
+    /// Validates the whole credential object at virtual instant `now`
+    /// against the verifier's roots of trust. On success returns the
+    /// **effective rights**: the owner's delegation intersected with every
+    /// endorsement restriction.
+    pub fn verify(&self, roots: &RootOfTrust, now: u64) -> Result<Rights, CredentialError> {
+        if now > self.not_after {
+            return Err(CredentialError::Expired {
+                not_after: self.not_after,
+                now,
+            });
+        }
+        let (subject, owner_key) = roots
+            .verify_chain(&self.owner_chain, now)
+            .map_err(|e| CredentialError::BadOwnerCertificate(e.to_string()))?;
+        let owner_str = self.owner.to_string();
+        if subject != owner_str {
+            return Err(CredentialError::OwnerMismatch {
+                claimed: owner_str,
+                certified: subject.to_string(),
+            });
+        }
+        let mut hash = body_hash(
+            &self.agent,
+            &self.owner,
+            &self.creator,
+            &self.home,
+            &self.owner_chain,
+            &self.delegated,
+            self.not_after,
+        );
+        sig::verify(&owner_key, &hash, &self.signature)
+            .map_err(|_| CredentialError::BadSignature)?;
+
+        let mut effective = self.delegated.clone();
+        for (i, endorsement) in self.endorsements.iter().enumerate() {
+            let (subject, key) = roots
+                .verify_chain(&endorsement.chain, now)
+                .map_err(|e| CredentialError::BadEndorsementCertificate(e.to_string()))?;
+            if subject != endorsement.by.to_string() {
+                return Err(CredentialError::BadEndorsementCertificate(format!(
+                    "endorser {} not certified (chain is for {subject})",
+                    endorsement.by
+                )));
+            }
+            hash = layer_hash(&hash, &endorsement.by, &endorsement.restriction);
+            sig::verify(&key, &hash, &endorsement.sig)
+                .map_err(|_| CredentialError::BadEndorsementSignature(i))?;
+            effective = effective.intersect(&endorsement.restriction);
+        }
+        Ok(effective)
+    }
+
+    /// Appends a forwarding server's restriction (the "subcontract" case).
+    /// The result's effective rights can only shrink.
+    pub fn endorse(
+        &self,
+        by: &Urn,
+        by_keys: &KeyPair,
+        by_chain: Vec<Certificate>,
+        restriction: Rights,
+        rng: &mut DetRng,
+    ) -> Credentials {
+        let mut hash = body_hash(
+            &self.agent,
+            &self.owner,
+            &self.creator,
+            &self.home,
+            &self.owner_chain,
+            &self.delegated,
+            self.not_after,
+        );
+        for e in &self.endorsements {
+            hash = layer_hash(&hash, &e.by, &e.restriction);
+        }
+        hash = layer_hash(&hash, by, &restriction);
+        let sig = by_keys.sign(&hash, rng);
+        let mut out = self.clone();
+        out.endorsements.push(Endorsement {
+            by: by.clone(),
+            chain: by_chain,
+            restriction,
+            sig,
+        });
+        out
+    }
+
+    /// Names of the servers that endorsed (forwarded) this agent, oldest
+    /// first — input to local policies that trust particular forwarders.
+    pub fn endorsers(&self) -> impl Iterator<Item = &Urn> {
+        self.endorsements.iter().map(|e| &e.by)
+    }
+}
+
+impl Wire for Credentials {
+    fn encode(&self, e: &mut Encoder) {
+        self.agent.encode(e);
+        self.owner.encode(e);
+        self.creator.encode(e);
+        self.home.encode(e);
+        encode_seq(&self.owner_chain, e);
+        self.delegated.encode(e);
+        e.put_varint(self.not_after);
+        self.signature.encode(e);
+        encode_seq(&self.endorsements, e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Credentials {
+            agent: Urn::decode(d)?,
+            owner: Urn::decode(d)?,
+            creator: Urn::decode(d)?,
+            home: Urn::decode(d)?,
+            owner_chain: decode_seq(d)?,
+            delegated: Rights::decode(d)?,
+            not_after: d.get_varint()?,
+            signature: Signature::decode(d)?,
+            endorsements: decode_seq(d)?,
+        })
+    }
+}
+
+/// Builder used by owners (their client applications) to mint credentials.
+pub struct CredentialsBuilder {
+    agent: Urn,
+    owner: Urn,
+    creator: Urn,
+    home: Urn,
+    owner_chain: Vec<Certificate>,
+    delegated: Rights,
+    not_after: u64,
+}
+
+impl CredentialsBuilder {
+    /// Starts a credential for `agent`, owned by `owner`.
+    pub fn new(agent: Urn, owner: Urn) -> Self {
+        let creator = owner.clone();
+        let home = owner.clone();
+        CredentialsBuilder {
+            agent,
+            owner,
+            creator,
+            home,
+            owner_chain: Vec::new(),
+            delegated: Rights::none(),
+            not_after: u64::MAX,
+        }
+    }
+
+    /// Sets the creator (defaults to the owner).
+    pub fn creator(mut self, creator: Urn) -> Self {
+        self.creator = creator;
+        self
+    }
+
+    /// Sets the home site (defaults to the owner name).
+    pub fn home(mut self, home: Urn) -> Self {
+        self.home = home;
+        self
+    }
+
+    /// Attaches the owner's certificate chain (leaf first).
+    pub fn owner_chain(mut self, chain: Vec<Certificate>) -> Self {
+        self.owner_chain = chain;
+        self
+    }
+
+    /// Sets the delegated rights (defaults to none — least privilege).
+    pub fn delegate(mut self, rights: Rights) -> Self {
+        self.delegated = rights;
+        self
+    }
+
+    /// Sets the expiry instant (defaults to never).
+    pub fn expires_at(mut self, not_after: u64) -> Self {
+        self.not_after = not_after;
+        self
+    }
+
+    /// Signs with the owner's key, producing the credentials.
+    pub fn sign(self, owner_keys: &KeyPair, rng: &mut DetRng) -> Credentials {
+        let hash = body_hash(
+            &self.agent,
+            &self.owner,
+            &self.creator,
+            &self.home,
+            &self.owner_chain,
+            &self.delegated,
+            self.not_after,
+        );
+        let signature = owner_keys.sign(&hash, rng);
+        Credentials {
+            agent: self.agent,
+            owner: self.owner,
+            creator: self.creator,
+            home: self.home,
+            owner_chain: self.owner_chain,
+            delegated: self.delegated,
+            not_after: self.not_after,
+            signature,
+            endorsements: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixture {
+        roots: RootOfTrust,
+        owner_keys: KeyPair,
+        owner: Urn,
+        owner_chain: Vec<Certificate>,
+        agent: Urn,
+        rng: DetRng,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = DetRng::new(2024);
+        let ca = KeyPair::generate(&mut rng);
+        let mut roots = RootOfTrust::new();
+        roots.trust("ca.root", ca.public);
+        let owner = Urn::owner("umn.edu", ["alice"]).unwrap();
+        let owner_keys = KeyPair::generate(&mut rng);
+        let cert = Certificate::issue(
+            owner.to_string(),
+            owner_keys.public,
+            "ca.root",
+            &ca,
+            u64::MAX,
+            1,
+            &mut rng,
+        );
+        Fixture {
+            roots,
+            owner_keys,
+            owner,
+            owner_chain: vec![cert],
+            agent: Urn::agent("umn.edu", ["shopper", "1"]).unwrap(),
+            rng,
+        }
+    }
+
+    fn res(p: &str) -> Urn {
+        Urn::resource("acme.com", [p]).unwrap()
+    }
+
+    fn mint(fx: &mut Fixture, rights: Rights, not_after: u64) -> Credentials {
+        CredentialsBuilder::new(fx.agent.clone(), fx.owner.clone())
+            .owner_chain(fx.owner_chain.clone())
+            .delegate(rights)
+            .expires_at(not_after)
+            .sign(&fx.owner_keys, &mut fx.rng)
+    }
+
+    #[test]
+    fn valid_credentials_verify_and_return_rights() {
+        let mut fx = fixture();
+        let rights = Rights::on_resource(res("catalog"));
+        let creds = mint(&mut fx, rights.clone(), 1_000);
+        let effective = creds.verify(&fx.roots, 500).unwrap();
+        assert_eq!(effective, rights);
+    }
+
+    #[test]
+    fn expiry_enforced() {
+        let mut fx = fixture();
+        let creds = mint(&mut fx, Rights::all(), 100);
+        assert!(creds.verify(&fx.roots, 100).is_ok());
+        assert_eq!(
+            creds.verify(&fx.roots, 101),
+            Err(CredentialError::Expired {
+                not_after: 100,
+                now: 101
+            })
+        );
+    }
+
+    #[test]
+    fn every_field_is_tamper_evident() {
+        let mut fx = fixture();
+        let creds = mint(&mut fx, Rights::on_resource(res("catalog")), 1_000);
+
+        let mut c = creds.clone();
+        c.agent = Urn::agent("umn.edu", ["imposter"]).unwrap();
+        assert_eq!(c.verify(&fx.roots, 0), Err(CredentialError::BadSignature));
+
+        let mut c = creds.clone();
+        c.creator = Urn::owner("evil.org", ["mallory"]).unwrap();
+        assert_eq!(c.verify(&fx.roots, 0), Err(CredentialError::BadSignature));
+
+        let mut c = creds.clone();
+        c.home = Urn::server("evil.org", ["sink"]).unwrap();
+        assert_eq!(c.verify(&fx.roots, 0), Err(CredentialError::BadSignature));
+
+        let mut c = creds.clone();
+        c.delegated = Rights::all(); // privilege escalation attempt
+        assert_eq!(c.verify(&fx.roots, 0), Err(CredentialError::BadSignature));
+
+        let mut c = creds.clone();
+        c.not_after = u64::MAX; // lifetime extension attempt
+        assert_eq!(c.verify(&fx.roots, 0), Err(CredentialError::BadSignature));
+
+        let mut c = creds;
+        c.owner = Urn::owner("umn.edu", ["bob"]).unwrap();
+        // Owner swap breaks the chain-subject match first.
+        assert!(matches!(
+            c.verify(&fx.roots, 0),
+            Err(CredentialError::OwnerMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_owner_ca_rejected() {
+        let mut fx = fixture();
+        let mut rng = DetRng::new(1);
+        let rogue_ca = KeyPair::generate(&mut rng);
+        let rogue_cert = Certificate::issue(
+            fx.owner.to_string(),
+            fx.owner_keys.public,
+            "ca.rogue",
+            &rogue_ca,
+            u64::MAX,
+            1,
+            &mut rng,
+        );
+        let creds = CredentialsBuilder::new(fx.agent.clone(), fx.owner.clone())
+            .owner_chain(vec![rogue_cert])
+            .sign(&fx.owner_keys, &mut fx.rng);
+        assert!(matches!(
+            creds.verify(&fx.roots, 0),
+            Err(CredentialError::BadOwnerCertificate(_))
+        ));
+    }
+
+    #[test]
+    fn endorsement_restricts_rights() {
+        let mut fx = fixture();
+        let creds = mint(&mut fx, Rights::on_subtree(res("catalog")), 1_000);
+
+        // A forwarding server endorses with a narrower mask.
+        let server = Urn::server("acme.com", ["s1"]).unwrap();
+        let server_keys = KeyPair::generate(&mut fx.rng);
+        let ca_keys = fx.roots.key_of("ca.root").copied().unwrap();
+        let _ = ca_keys;
+        // Need a CA-signed cert for the server; reuse the fixture CA via a
+        // fresh issue — regenerate CA deterministically.
+        let mut rng2 = DetRng::new(2024);
+        let ca = KeyPair::generate(&mut rng2);
+        let server_cert = Certificate::issue(
+            server.to_string(),
+            server_keys.public,
+            "ca.root",
+            &ca,
+            u64::MAX,
+            9,
+            &mut fx.rng,
+        );
+        let restricted = creds.endorse(
+            &server,
+            &server_keys,
+            vec![server_cert],
+            Rights::none().grant_method(res("catalog"), "query"),
+            &mut fx.rng,
+        );
+        let effective = restricted.verify(&fx.roots, 0).unwrap();
+        assert!(effective.permits(&res("catalog"), "query"));
+        assert!(!effective.permits(&res("catalog"), "buy"));
+        assert_eq!(restricted.endorsers().collect::<Vec<_>>(), vec![&server]);
+    }
+
+    #[test]
+    fn tampered_endorsement_detected() {
+        let mut fx = fixture();
+        let creds = mint(&mut fx, Rights::on_subtree(res("catalog")), 1_000);
+        let server = Urn::server("acme.com", ["s1"]).unwrap();
+        let server_keys = KeyPair::generate(&mut fx.rng);
+        let mut rng2 = DetRng::new(2024);
+        let ca = KeyPair::generate(&mut rng2);
+        let server_cert = Certificate::issue(
+            server.to_string(),
+            server_keys.public,
+            "ca.root",
+            &ca,
+            u64::MAX,
+            9,
+            &mut fx.rng,
+        );
+        let restricted = creds.endorse(
+            &server,
+            &server_keys,
+            vec![server_cert],
+            Rights::none().grant_method(res("catalog"), "query"),
+            &mut fx.rng,
+        );
+
+        // Widening the restriction after signing must be detected.
+        let mut tampered = restricted.clone();
+        tampered.endorsements[0].restriction = Rights::all();
+        assert_eq!(
+            tampered.verify(&fx.roots, 0),
+            Err(CredentialError::BadEndorsementSignature(0))
+        );
+
+        // Dropping the endorsement layer restores the owner's (wider)
+        // rights but is allowed structurally — protection against layer
+        // stripping comes from servers demanding endorsements from the
+        // forwarding path; record that contract here:
+        let mut stripped = restricted;
+        stripped.endorsements.clear();
+        assert!(stripped.verify(&fx.roots, 0).is_ok());
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_verifiability() {
+        let mut fx = fixture();
+        let creds = mint(&mut fx, Rights::on_resource(res("catalog")), 1_000);
+        let back = Credentials::from_bytes(&creds.to_bytes()).unwrap();
+        assert_eq!(back, creds);
+        back.verify(&fx.roots, 0).unwrap();
+    }
+
+    #[test]
+    fn bitflips_anywhere_break_verification() {
+        let mut fx = fixture();
+        let creds = mint(&mut fx, Rights::on_resource(res("catalog")), 1_000);
+        let bytes = creds.to_bytes();
+        let mut rejected = 0;
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            match Credentials::from_bytes(&bad) {
+                Err(_) => rejected += 1,
+                Ok(c) => {
+                    if c.verify(&fx.roots, 0).is_err() {
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+        // Every single-byte corruption is caught either at decode or at
+        // verification.
+        assert_eq!(rejected, bytes.len());
+    }
+
+    #[test]
+    fn builder_defaults_are_least_privilege() {
+        let mut fx = fixture();
+        let creds = CredentialsBuilder::new(fx.agent.clone(), fx.owner.clone())
+            .owner_chain(fx.owner_chain.clone())
+            .sign(&fx.owner_keys, &mut fx.rng);
+        let effective = creds.verify(&fx.roots, 0).unwrap();
+        assert!(effective.is_none(), "default delegation must be empty");
+        assert_eq!(creds.creator, fx.owner);
+    }
+}

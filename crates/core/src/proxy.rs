@@ -1,0 +1,651 @@
+//! Dynamically created, per-agent resource proxies (paper Fig. 5 and
+//! Section 5.5) — the central artifact of the paper.
+//!
+//! *"When an agent first makes a request to access a resource, the server
+//! consults the security policy and constructs a resource proxy, which is
+//! an object with a safe interface to the resource. If the agent is not
+//! trusted, certain operations on the resource may be disabled. A separate
+//! proxy is created for each agent. The agent only has a reference to the
+//! proxy, and its restricted interface ensures that the agent can only
+//! access the resource in a safe manner."*
+//!
+//! Extensions implemented here, from Section 5.5's "Accounting and
+//! Revocation":
+//!
+//! * **per-method enable/disable** — a disabled method raises a security
+//!   exception (Fig. 5's `isEnabled` check);
+//! * **usage metering and accounting** — invocation counts per method,
+//!   per-method tariffs, and elapsed-time metering;
+//! * **expiration** — after `not_after`, every invocation raises;
+//! * **selective revocation** — the resource manager can invalidate the
+//!   proxy, or revoke/add individual method permissions, at any time, via
+//!   privileged methods guarded by a management ACL of protection domains;
+//! * **identity-based capability confinement** — the proxy records the
+//!   protection domain it was granted to and refuses invocations from any
+//!   other domain, so passing the reference to another agent is useless
+//!   (Gong's identity-based capabilities, the paper's citation [6]).
+//!
+//! The actual resource reference is private to the proxy (Rust privacy ≈
+//! the paper's use of Java encapsulation): holding a [`ResourceProxy`]
+//! gives no way to reach the underlying [`Resource`] object directly.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use ajanta_naming::Urn;
+use ajanta_vm::Value;
+use parking_lot::RwLock;
+
+use crate::domain::DomainId;
+use crate::resource::{Resource, ResourceError};
+
+/// Access-control failure raised by a proxy — the "security exception" of
+/// Fig. 5 — or an application error forwarded from the resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// The proxy was revoked by the resource manager.
+    Revoked,
+    /// The proxy expired.
+    Expired {
+        /// Expiry instant.
+        not_after: u64,
+        /// Invocation instant.
+        now: u64,
+    },
+    /// The method is not in the enabled set.
+    MethodDisabled(String),
+    /// The caller is not the domain this capability was granted to.
+    NotHolder {
+        /// Domain the proxy was granted to.
+        holder: DomainId,
+        /// Domain that attempted the call.
+        caller: DomainId,
+    },
+    /// The caller is not on the management ACL for privileged methods.
+    ManagementDenied(DomainId),
+    /// Access was denied at proxy-creation time by the embedded policy.
+    PolicyDenied {
+        /// Resource that refused.
+        resource: Urn,
+        /// Why.
+        reason: String,
+    },
+    /// The resource method itself failed (application-level).
+    Resource(ResourceError),
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::Revoked => f.write_str("proxy revoked"),
+            AccessError::Expired { not_after, now } => {
+                write!(f, "proxy expired at {not_after}, now {now}")
+            }
+            AccessError::MethodDisabled(m) => write!(f, "method disabled: {m}"),
+            AccessError::NotHolder { holder, caller } => {
+                write!(f, "capability held by {holder}, invoked from {caller}")
+            }
+            AccessError::ManagementDenied(d) => {
+                write!(f, "{d} may not manage this proxy")
+            }
+            AccessError::PolicyDenied { resource, reason } => {
+                write!(f, "access to {resource} denied: {reason}")
+            }
+            AccessError::Resource(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+impl From<ResourceError> for AccessError {
+    fn from(e: ResourceError) -> Self {
+        AccessError::Resource(e)
+    }
+}
+
+/// How usage is metered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MeterMode {
+    /// No metering (cheapest).
+    #[default]
+    Off,
+    /// Count invocations per method and apply tariffs.
+    Count,
+    /// Count and also accumulate wall-clock execution time of the
+    /// underlying method ("metering the elapsed time for method execution
+    /// and then basing the charges on it").
+    CountAndTime,
+}
+
+/// Accumulated usage for one proxy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MeterReading {
+    /// Successful invocations per method.
+    pub per_method: BTreeMap<String, u64>,
+    /// Total successful invocations.
+    pub total: u64,
+    /// Total charge under the configured tariffs.
+    pub charge: u64,
+    /// Accumulated method execution time (real nanoseconds), when
+    /// time-metering is on.
+    pub elapsed_ns: u64,
+}
+
+/// The metering state inside a proxy.
+#[derive(Debug, Default)]
+pub struct Meter {
+    mode: MeterMode,
+    /// Cost charged per successful call of each method; methods absent
+    /// from the map cost `default_tariff`.
+    tariffs: BTreeMap<String, u64>,
+    default_tariff: u64,
+    reading: RwLock<MeterReading>,
+}
+
+impl Meter {
+    /// No metering.
+    pub fn off() -> Self {
+        Meter::default()
+    }
+
+    /// Invocation counting with a flat tariff.
+    pub fn counting(default_tariff: u64) -> Self {
+        Meter {
+            mode: MeterMode::Count,
+            default_tariff,
+            ..Default::default()
+        }
+    }
+
+    /// Counting plus elapsed-time accumulation.
+    pub fn timed(default_tariff: u64) -> Self {
+        Meter {
+            mode: MeterMode::CountAndTime,
+            default_tariff,
+            ..Default::default()
+        }
+    }
+
+    /// Sets a per-method tariff ("possibly assigning different costs to
+    /// different methods").
+    pub fn with_tariff(mut self, method: impl Into<String>, cost: u64) -> Self {
+        self.tariffs.insert(method.into(), cost);
+        self
+    }
+
+    /// The metering mode.
+    pub fn mode(&self) -> MeterMode {
+        self.mode
+    }
+
+    fn record(&self, method: &str, elapsed_ns: u64) {
+        if self.mode == MeterMode::Off {
+            return;
+        }
+        let cost = self
+            .tariffs
+            .get(method)
+            .copied()
+            .unwrap_or(self.default_tariff);
+        let mut r = self.reading.write();
+        *r.per_method.entry(method.to_string()).or_insert(0) += 1;
+        r.total += 1;
+        r.charge += cost;
+        if self.mode == MeterMode::CountAndTime {
+            r.elapsed_ns += elapsed_ns;
+        }
+    }
+
+    /// Snapshot of the accumulated usage.
+    pub fn reading(&self) -> MeterReading {
+        self.reading.read().clone()
+    }
+}
+
+/// The control block shared between a proxy and its resource manager.
+///
+/// The manager keeps an `Arc<ProxyControl>` after `get_proxy`, which is
+/// what makes *"a resource manager can invalidate any of its currently
+/// active proxies at any time it wishes"* work: revocation takes effect on
+/// the very next invocation, with no cooperation from the agent.
+#[derive(Debug)]
+pub struct ProxyControl {
+    /// Domain the capability was granted to.
+    holder: DomainId,
+    /// Domains allowed to call privileged (management) methods.
+    managers: BTreeSet<DomainId>,
+    enabled: RwLock<BTreeSet<String>>,
+    not_after: RwLock<Option<u64>>,
+    revoked: AtomicBool,
+    meter: Meter,
+}
+
+impl ProxyControl {
+    /// Creates a control block.
+    ///
+    /// * `holder` — the protection domain receiving the capability;
+    /// * `managers` — domains allowed to revoke/adjust it (the resource
+    ///   owner's domain; the server domain is always included);
+    /// * `enabled` — initially enabled methods;
+    /// * `not_after` — optional expiry;
+    /// * `meter` — accounting configuration.
+    pub fn new(
+        holder: DomainId,
+        managers: impl IntoIterator<Item = DomainId>,
+        enabled: impl IntoIterator<Item = String>,
+        not_after: Option<u64>,
+        meter: Meter,
+    ) -> Arc<Self> {
+        let mut managers: BTreeSet<DomainId> = managers.into_iter().collect();
+        managers.insert(DomainId::SERVER);
+        Arc::new(ProxyControl {
+            holder,
+            managers,
+            enabled: RwLock::new(enabled.into_iter().collect()),
+            not_after: RwLock::new(not_after),
+            revoked: AtomicBool::new(false),
+            meter,
+        })
+    }
+
+    /// The domain this capability belongs to.
+    pub fn holder(&self) -> DomainId {
+        self.holder
+    }
+
+    /// Pre-invocation checks, in a fixed order: revocation, expiry,
+    /// confinement, enablement. Factored out so the typed proxies in
+    /// [`crate::buffer`] and the generated proxies in [`crate::proxygen`]
+    /// share exactly this logic.
+    pub fn check(&self, caller: DomainId, method: &str, now: u64) -> Result<(), AccessError> {
+        if self.revoked.load(Ordering::Acquire) {
+            return Err(AccessError::Revoked);
+        }
+        if let Some(t) = *self.not_after.read() {
+            if now > t {
+                return Err(AccessError::Expired { not_after: t, now });
+            }
+        }
+        if caller != self.holder {
+            return Err(AccessError::NotHolder {
+                holder: self.holder,
+                caller,
+            });
+        }
+        if !self.enabled.read().contains(method) {
+            return Err(AccessError::MethodDisabled(method.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Records one successful invocation in the meter.
+    pub fn record_use(&self, method: &str, elapsed_ns: u64) {
+        self.meter.record(method, elapsed_ns);
+    }
+
+    /// The meter (for reading accumulated charges).
+    pub fn meter(&self) -> &Meter {
+        &self.meter
+    }
+
+    fn require_manager(&self, caller: DomainId) -> Result<(), AccessError> {
+        if self.managers.contains(&caller) {
+            Ok(())
+        } else {
+            Err(AccessError::ManagementDenied(caller))
+        }
+    }
+
+    /// Privileged: invalidates the proxy permanently.
+    pub fn revoke(&self, caller: DomainId) -> Result<(), AccessError> {
+        self.require_manager(caller)?;
+        self.revoked.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// Privileged: removes one method from the enabled set ("selectively
+    /// revoke ... permissions for specific methods of a given proxy").
+    pub fn disable_method(&self, caller: DomainId, method: &str) -> Result<bool, AccessError> {
+        self.require_manager(caller)?;
+        Ok(self.enabled.write().remove(method))
+    }
+
+    /// Privileged: adds one method to the enabled set ("or add
+    /// permissions").
+    pub fn enable_method(
+        &self,
+        caller: DomainId,
+        method: impl Into<String>,
+    ) -> Result<bool, AccessError> {
+        self.require_manager(caller)?;
+        Ok(self.enabled.write().insert(method.into()))
+    }
+
+    /// Privileged: changes the expiry instant.
+    pub fn set_expiry(&self, caller: DomainId, not_after: Option<u64>) -> Result<(), AccessError> {
+        self.require_manager(caller)?;
+        *self.not_after.write() = not_after;
+        Ok(())
+    }
+
+    /// Whether the proxy has been revoked.
+    pub fn is_revoked(&self) -> bool {
+        self.revoked.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of currently enabled methods.
+    pub fn enabled_methods(&self) -> Vec<String> {
+        self.enabled.read().iter().cloned().collect()
+    }
+}
+
+/// The proxy object handed to an agent (Fig. 5's `BufferProxy`,
+/// generalized). The underlying resource reference is private.
+#[derive(Clone)]
+pub struct ResourceProxy {
+    resource: Arc<dyn Resource>,
+    control: Arc<ProxyControl>,
+}
+
+impl ResourceProxy {
+    /// Assembles a proxy. Called from `get_proxy` implementations.
+    pub fn new(resource: Arc<dyn Resource>, control: Arc<ProxyControl>) -> Self {
+        ResourceProxy { resource, control }
+    }
+
+    /// The proxied resource's name (safe metadata, not the object).
+    pub fn resource_name(&self) -> &Urn {
+        self.resource.name()
+    }
+
+    /// The shared control block — the handle a resource manager retains
+    /// for revocation and accounting. Management methods on it are
+    /// ACL-guarded, so exposing it to the agent is harmless.
+    pub fn control(&self) -> &Arc<ProxyControl> {
+        &self.control
+    }
+
+    /// Invokes `method` through the proxy: access checks, dispatch,
+    /// metering. Argument validation is the resource's own job (every
+    /// [`Resource::invoke`] implementation begins with `check_args`), so
+    /// the proxy adds **only** the access-control cost — which is what
+    /// experiment X4 measures.
+    ///
+    /// `caller` is the invoking protection domain (supplied by the agent
+    /// environment, never by agent code), `now` the current virtual time.
+    pub fn invoke(
+        &self,
+        caller: DomainId,
+        method: &str,
+        args: &[Value],
+        now: u64,
+    ) -> Result<Value, AccessError> {
+        self.control.check(caller, method, now)?;
+        let timed = self.control.meter().mode() == MeterMode::CountAndTime;
+        let start = timed.then(std::time::Instant::now);
+        let result = self.resource.invoke(method, args)?;
+        let elapsed = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+        self.control.record_use(method, elapsed);
+        Ok(result)
+    }
+}
+
+impl std::fmt::Debug for ResourceProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResourceProxy")
+            .field("resource", self.resource.name())
+            .field("holder", &self.control.holder())
+            .field("revoked", &self.control.is_revoked())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::MethodSpec;
+    use ajanta_vm::Ty;
+
+    /// A counter resource with get/add/reset.
+    struct Counter {
+        name: Urn,
+        owner: Urn,
+        value: RwLock<i64>,
+    }
+
+    impl Counter {
+        fn new() -> Arc<Self> {
+            Arc::new(Counter {
+                name: Urn::resource("x.org", ["counter"]).unwrap(),
+                owner: Urn::owner("x.org", ["admin"]).unwrap(),
+                value: RwLock::new(0),
+            })
+        }
+    }
+
+    impl Resource for Counter {
+        fn name(&self) -> &Urn {
+            &self.name
+        }
+        fn owner(&self) -> &Urn {
+            &self.owner
+        }
+        fn methods(&self) -> Vec<MethodSpec> {
+            vec![
+                MethodSpec::new("get", [], Ty::Int),
+                MethodSpec::new("add", [Ty::Int], Ty::Int),
+                MethodSpec::new("reset", [], Ty::Int),
+            ]
+        }
+        fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ResourceError> {
+            self.check_args(method, args)?;
+            match method {
+                "get" => Ok(Value::Int(*self.value.read())),
+                "add" => {
+                    let mut v = self.value.write();
+                    *v += args[0].as_int().expect("checked");
+                    Ok(Value::Int(*v))
+                }
+                "reset" => {
+                    *self.value.write() = 0;
+                    Ok(Value::Int(0))
+                }
+                other => Err(ResourceError::NoSuchMethod(other.into())),
+            }
+        }
+    }
+
+    const AGENT: DomainId = DomainId(7);
+    const OTHER: DomainId = DomainId(8);
+
+    fn proxy(enabled: &[&str], not_after: Option<u64>, meter: Meter) -> ResourceProxy {
+        let control = ProxyControl::new(
+            AGENT,
+            [],
+            enabled.iter().map(|s| s.to_string()),
+            not_after,
+            meter,
+        );
+        ResourceProxy::new(Counter::new(), control)
+    }
+
+    #[test]
+    fn enabled_methods_pass_through() {
+        let p = proxy(&["get", "add"], None, Meter::off());
+        assert_eq!(p.invoke(AGENT, "add", &[Value::Int(5)], 0).unwrap(), Value::Int(5));
+        assert_eq!(p.invoke(AGENT, "get", &[], 0).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn disabled_method_raises_security_exception() {
+        let p = proxy(&["get"], None, Meter::off());
+        assert_eq!(
+            p.invoke(AGENT, "reset", &[], 0),
+            Err(AccessError::MethodDisabled("reset".into()))
+        );
+        // "get" still works — restriction is per-method.
+        p.invoke(AGENT, "get", &[], 0).unwrap();
+    }
+
+    #[test]
+    fn expiry_enforced_per_invocation() {
+        let p = proxy(&["get"], Some(100), Meter::off());
+        p.invoke(AGENT, "get", &[], 100).unwrap();
+        assert_eq!(
+            p.invoke(AGENT, "get", &[], 101),
+            Err(AccessError::Expired {
+                not_after: 100,
+                now: 101
+            })
+        );
+    }
+
+    #[test]
+    fn confinement_rejects_other_domains() {
+        let p = proxy(&["get"], None, Meter::off());
+        // The proxy reference is Clone; leak it to another agent.
+        let leaked = p.clone();
+        assert_eq!(
+            leaked.invoke(OTHER, "get", &[], 0),
+            Err(AccessError::NotHolder {
+                holder: AGENT,
+                caller: OTHER
+            })
+        );
+        // Original holder unaffected.
+        p.invoke(AGENT, "get", &[], 0).unwrap();
+    }
+
+    #[test]
+    fn revocation_is_immediate_and_permanent() {
+        let p = proxy(&["get"], None, Meter::off());
+        p.invoke(AGENT, "get", &[], 0).unwrap();
+        p.control().revoke(DomainId::SERVER).unwrap();
+        assert_eq!(p.invoke(AGENT, "get", &[], 0), Err(AccessError::Revoked));
+        assert!(p.control().is_revoked());
+    }
+
+    #[test]
+    fn selective_method_revocation_and_addition() {
+        let p = proxy(&["get", "add"], None, Meter::off());
+        assert!(p.control().disable_method(DomainId::SERVER, "add").unwrap());
+        assert_eq!(
+            p.invoke(AGENT, "add", &[Value::Int(1)], 0),
+            Err(AccessError::MethodDisabled("add".into()))
+        );
+        assert!(p.control().enable_method(DomainId::SERVER, "reset").unwrap());
+        p.invoke(AGENT, "reset", &[], 0).unwrap();
+        // Enabled set reflects the changes.
+        assert_eq!(p.control().enabled_methods(), ["get", "reset"]);
+    }
+
+    #[test]
+    fn management_requires_acl_membership() {
+        let p = proxy(&["get"], None, Meter::off());
+        // The holding agent itself is NOT a manager.
+        assert_eq!(
+            p.control().revoke(AGENT),
+            Err(AccessError::ManagementDenied(AGENT))
+        );
+        assert_eq!(
+            p.control().disable_method(OTHER, "get"),
+            Err(AccessError::ManagementDenied(OTHER))
+        );
+        assert_eq!(
+            p.control().set_expiry(AGENT, Some(5)),
+            Err(AccessError::ManagementDenied(AGENT))
+        );
+        // Proxy still live.
+        p.invoke(AGENT, "get", &[], 0).unwrap();
+    }
+
+    #[test]
+    fn extra_manager_domains_work() {
+        let manager = DomainId(99);
+        let control = ProxyControl::new(AGENT, [manager], ["get".to_string()], None, Meter::off());
+        let p = ResourceProxy::new(Counter::new(), control);
+        p.control().revoke(manager).unwrap();
+        assert!(p.control().is_revoked());
+    }
+
+    #[test]
+    fn set_expiry_takes_effect() {
+        let p = proxy(&["get"], None, Meter::off());
+        p.control().set_expiry(DomainId::SERVER, Some(10)).unwrap();
+        assert!(matches!(
+            p.invoke(AGENT, "get", &[], 11),
+            Err(AccessError::Expired { .. })
+        ));
+        p.control().set_expiry(DomainId::SERVER, None).unwrap();
+        p.invoke(AGENT, "get", &[], 11).unwrap();
+    }
+
+    #[test]
+    fn counting_meter_accumulates_per_method_and_tariffs() {
+        let meter = Meter::counting(1).with_tariff("add", 5);
+        let p = proxy(&["get", "add"], None, meter);
+        p.invoke(AGENT, "get", &[], 0).unwrap();
+        p.invoke(AGENT, "add", &[Value::Int(1)], 0).unwrap();
+        p.invoke(AGENT, "add", &[Value::Int(1)], 0).unwrap();
+        let r = p.control().meter().reading();
+        assert_eq!(r.total, 3);
+        assert_eq!(r.per_method["get"], 1);
+        assert_eq!(r.per_method["add"], 2);
+        assert_eq!(r.charge, 1 + 5 + 5);
+        assert_eq!(r.elapsed_ns, 0); // counting mode does not time
+    }
+
+    #[test]
+    fn denied_calls_are_not_charged() {
+        let p = proxy(&["get"], None, Meter::counting(1));
+        let _ = p.invoke(AGENT, "reset", &[], 0);
+        let _ = p.invoke(OTHER, "get", &[], 0);
+        assert_eq!(p.control().meter().reading().total, 0);
+    }
+
+    #[test]
+    fn failed_resource_calls_are_not_charged() {
+        let p = proxy(&["add"], None, Meter::counting(1));
+        // Wrong arity: resource-level failure after access checks pass.
+        let err = p.invoke(AGENT, "add", &[], 0).unwrap_err();
+        assert!(matches!(err, AccessError::Resource(_)));
+        assert_eq!(p.control().meter().reading().total, 0);
+    }
+
+    #[test]
+    fn timed_meter_accumulates_elapsed() {
+        let p = proxy(&["get"], None, Meter::timed(0));
+        for _ in 0..50 {
+            p.invoke(AGENT, "get", &[], 0).unwrap();
+        }
+        let r = p.control().meter().reading();
+        assert_eq!(r.total, 50);
+        assert!(r.elapsed_ns > 0, "elapsed time should accumulate");
+    }
+
+    #[test]
+    fn check_order_revocation_before_confinement() {
+        // A revoked proxy reports Revoked even to a non-holder — no
+        // information leak about holders, and deterministic ordering.
+        let p = proxy(&["get"], None, Meter::off());
+        p.control().revoke(DomainId::SERVER).unwrap();
+        assert_eq!(p.invoke(OTHER, "get", &[], 0), Err(AccessError::Revoked));
+    }
+
+    #[test]
+    fn argument_checks_happen_after_access_checks() {
+        let p = proxy(&["add"], None, Meter::off());
+        // Bad args from the holder: resource error.
+        assert!(matches!(
+            p.invoke(AGENT, "add", &[Value::str("x")], 0),
+            Err(AccessError::Resource(ResourceError::BadArguments { .. }))
+        ));
+        // Bad args from a non-holder: confinement error, args never seen.
+        assert!(matches!(
+            p.invoke(OTHER, "add", &[Value::str("x")], 0),
+            Err(AccessError::NotHolder { .. })
+        ));
+    }
+}

@@ -1,0 +1,255 @@
+//! The `Resource` and `AccessProtocol` interfaces (paper Figs. 3 and 7).
+//!
+//! *"A resource is an object that acts as an interface to some service or
+//! information available at the host"* (Section 4). The system-defined
+//! interface provides *"generic functionality for all resources, such as
+//! resource naming, ownership, charging protocols"* (Fig. 3); each
+//! application resource also implements the access protocol — a
+//! `get_proxy` method that consults policy and manufactures a restricted
+//! proxy for the requesting agent (Fig. 7).
+//!
+//! Agents are mobile programs, so the general invocation surface is
+//! dynamic: methods are named, arguments are [`Value`]s. (The statically
+//! typed face of the same design — the paper's Java code — is mirrored in
+//! [`crate::buffer`], whose `BufferProxy` is hand-written exactly like
+//! Fig. 5.)
+
+use std::sync::Arc;
+
+use ajanta_naming::Urn;
+use ajanta_vm::{Ty, Value};
+
+use crate::domain::DomainId;
+use crate::proxy::ResourceProxy;
+use crate::rights::Rights;
+
+/// Signature of one resource method, used for interface discovery and for
+/// checking invocation arity/types before dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSpec {
+    /// Method name (unique per resource).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+}
+
+impl MethodSpec {
+    /// A method spec with no parameters.
+    pub fn new(name: impl Into<String>, params: impl Into<Vec<Ty>>, ret: Ty) -> Self {
+        MethodSpec {
+            name: name.into(),
+            params: params.into(),
+            ret,
+        }
+    }
+}
+
+/// Failures raised by resource method bodies (distinct from access-control
+/// failures, which are [`crate::proxy::AccessError`]s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceError {
+    /// No such method on this resource.
+    NoSuchMethod(String),
+    /// Argument count or types did not match the method spec.
+    BadArguments {
+        /// Method that was invoked.
+        method: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The method ran and failed (application-defined).
+    Failed(String),
+    /// The method cannot complete now (e.g. take on an empty buffer) —
+    /// agents may retry.
+    WouldBlock,
+}
+
+impl std::fmt::Display for ResourceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResourceError::NoSuchMethod(m) => write!(f, "no such method: {m}"),
+            ResourceError::BadArguments { method, detail } => {
+                write!(f, "bad arguments to {method}: {detail}")
+            }
+            ResourceError::Failed(m) => write!(f, "resource operation failed: {m}"),
+            ResourceError::WouldBlock => f.write_str("operation would block"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceError {}
+
+/// The generic resource interface (Fig. 3's `Resource` +
+/// `ResourceImpl`): naming, ownership, interface discovery, invocation.
+pub trait Resource: Send + Sync {
+    /// The resource's global name.
+    fn name(&self) -> &Urn;
+
+    /// The owning principal (controls registry entries and proxy
+    /// management rights).
+    fn owner(&self) -> &Urn;
+
+    /// The callable interface.
+    fn methods(&self) -> Vec<MethodSpec>;
+
+    /// Invokes `method`. Implementations are responsible for validating
+    /// their own arguments — begin with [`Resource::check_args`] — since
+    /// proxies deliberately add only access-control checks, not argument
+    /// checks (a single validation point keeps the per-call proxy
+    /// overhead to exactly the security cost).
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ResourceError>;
+
+    /// Checks `args` against the spec for `method`. Provided.
+    fn check_args(&self, method: &str, args: &[Value]) -> Result<(), ResourceError> {
+        let specs = self.methods();
+        let spec = specs
+            .iter()
+            .find(|m| m.name == method)
+            .ok_or_else(|| ResourceError::NoSuchMethod(method.to_string()))?;
+        if args.len() != spec.params.len() {
+            return Err(ResourceError::BadArguments {
+                method: method.to_string(),
+                detail: format!("expected {} args, got {}", spec.params.len(), args.len()),
+            });
+        }
+        for (i, (a, &p)) in args.iter().zip(&spec.params).enumerate() {
+            if a.ty() != p {
+                return Err(ResourceError::BadArguments {
+                    method: method.to_string(),
+                    detail: format!("arg {i} expected {p}, got {}", a.ty()),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Identity of a requesting agent as seen by `get_proxy`: the validated
+/// facts the resource's embedded policy can rely on.
+#[derive(Debug, Clone)]
+pub struct Requester {
+    /// The agent's name (from verified credentials).
+    pub agent: Urn,
+    /// Its owner.
+    pub owner: Urn,
+    /// Its protection domain at this server.
+    pub domain: DomainId,
+    /// The agent's **effective rights** (owner delegation ∩ endorsements ∩
+    /// server policy), as computed at admission.
+    pub rights: Rights,
+}
+
+/// The access protocol (Fig. 7): how a resource manufactures a restricted
+/// proxy for an agent.
+///
+/// *"This method is responsible for creating the proxy and selectively
+/// disabling some of its methods, based on the calling agent's
+/// credentials."* (Section 5.5)
+pub trait AccessProtocol: Resource {
+    /// Creates a proxy for `requester`, or refuses. `now` is the current
+    /// virtual time, used to stamp expiry.
+    fn get_proxy(
+        self: Arc<Self>,
+        requester: &Requester,
+        now: u64,
+    ) -> Result<ResourceProxy, crate::proxy::AccessError>;
+}
+
+/// Object-safe alias for what the registry stores.
+pub trait ProtectedResource: AccessProtocol {}
+impl<T: AccessProtocol + ?Sized> ProtectedResource for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal resource used to exercise the provided methods.
+    struct Echo {
+        name: Urn,
+        owner: Urn,
+    }
+
+    impl Resource for Echo {
+        fn name(&self) -> &Urn {
+            &self.name
+        }
+        fn owner(&self) -> &Urn {
+            &self.owner
+        }
+        fn methods(&self) -> Vec<MethodSpec> {
+            vec![
+                MethodSpec::new("echo", [Ty::Bytes], Ty::Bytes),
+                MethodSpec::new("length", [Ty::Bytes], Ty::Int),
+            ]
+        }
+        fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ResourceError> {
+            self.check_args(method, args)?;
+            match method {
+                "echo" => Ok(args[0].clone()),
+                "length" => Ok(Value::Int(args[0].as_bytes().unwrap().len() as i64)),
+                _ => Err(ResourceError::NoSuchMethod(method.into())),
+            }
+        }
+    }
+
+    fn echo() -> Echo {
+        Echo {
+            name: Urn::resource("x.org", ["echo"]).unwrap(),
+            owner: Urn::owner("x.org", ["admin"]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn invoke_dispatches_by_name() {
+        let e = echo();
+        assert_eq!(
+            e.invoke("echo", &[Value::str("hi")]).unwrap(),
+            Value::str("hi")
+        );
+        assert_eq!(
+            e.invoke("length", &[Value::str("hello")]).unwrap(),
+            Value::Int(5)
+        );
+    }
+
+    #[test]
+    fn unknown_method_rejected() {
+        assert_eq!(
+            echo().invoke("ghost", &[]),
+            Err(ResourceError::NoSuchMethod("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn arity_checked() {
+        assert!(matches!(
+            echo().invoke("echo", &[]),
+            Err(ResourceError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            echo().invoke("echo", &[Value::str("a"), Value::str("b")]),
+            Err(ResourceError::BadArguments { .. })
+        ));
+    }
+
+    #[test]
+    fn types_checked() {
+        let err = echo().invoke("echo", &[Value::Int(1)]).unwrap_err();
+        match err {
+            ResourceError::BadArguments { detail, .. } => {
+                assert!(detail.contains("expected bytes"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_specs_describe_interface() {
+        let specs = echo().methods();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "echo");
+        assert_eq!(specs[0].ret, Ty::Bytes);
+    }
+}

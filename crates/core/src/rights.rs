@@ -1,0 +1,433 @@
+//! The rights algebra: what an agent may do to which resources.
+//!
+//! The paper requires that *"the creator may delegate to the agent only a
+//! limited set of privileges"* and that a forwarding server may grant an
+//! agent *"some additional privileges or restrict some of its existing
+//! ones"* (Section 5.2). That calls for a small algebra with a crucial
+//! law: **composition along a delegation chain can only shrink the
+//! permitted set** — enforced here by intersection, and property-tested in
+//! `tests/properties.rs`.
+//!
+//! A [`Rights`] value is a set of grants `(scope, method-pattern)`:
+//! * scope — an exact resource name or a whole name subtree;
+//! * method pattern — an exact method name or the `*` wildcard.
+
+use ajanta_naming::Urn;
+use ajanta_wire::{decode_seq, encode_seq, Decoder, Encoder, Wire, WireError};
+use serde::{Deserialize, Serialize};
+
+/// Which resources a grant covers.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// Exactly this resource.
+    Exact(Urn),
+    /// Every resource whose name lies within this subtree
+    /// (see [`Urn::is_within`]).
+    Subtree(Urn),
+}
+
+impl Scope {
+    /// Does this scope cover `resource`?
+    pub fn covers(&self, resource: &Urn) -> bool {
+        match self {
+            Scope::Exact(u) => u == resource,
+            Scope::Subtree(root) => resource.is_within(root),
+        }
+    }
+
+    /// Is every resource covered by `self` also covered by `other`?
+    pub fn within(&self, other: &Scope) -> bool {
+        match (self, other) {
+            (Scope::Exact(a), Scope::Exact(b)) => a == b,
+            (Scope::Exact(a), Scope::Subtree(b)) => a.is_within(b),
+            (Scope::Subtree(a), Scope::Subtree(b)) => a.is_within(b),
+            // A subtree is never inside a single name (the subtree always
+            // contains names longer than the exact one).
+            (Scope::Subtree(_), Scope::Exact(_)) => false,
+        }
+    }
+}
+
+impl Wire for Scope {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Scope::Exact(u) => {
+                e.put_u8(0);
+                u.encode(e);
+            }
+            Scope::Subtree(u) => {
+                e.put_u8(1);
+                u.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(Scope::Exact(Urn::decode(d)?)),
+            1 => Ok(Scope::Subtree(Urn::decode(d)?)),
+            tag => Err(WireError::BadTag { ty: "Scope", tag }),
+        }
+    }
+}
+
+/// Which methods a grant covers.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MethodPattern {
+    /// Any method on the covered resources.
+    Any,
+    /// Exactly this method name.
+    Exact(String),
+}
+
+impl MethodPattern {
+    /// Does the pattern match `method`?
+    pub fn matches(&self, method: &str) -> bool {
+        match self {
+            MethodPattern::Any => true,
+            MethodPattern::Exact(m) => m == method,
+        }
+    }
+
+    /// Is every method matched by `self` also matched by `other`?
+    pub fn within(&self, other: &MethodPattern) -> bool {
+        match (self, other) {
+            (_, MethodPattern::Any) => true,
+            (MethodPattern::Any, MethodPattern::Exact(_)) => false,
+            (MethodPattern::Exact(a), MethodPattern::Exact(b)) => a == b,
+        }
+    }
+}
+
+impl Wire for MethodPattern {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            MethodPattern::Any => e.put_u8(0),
+            MethodPattern::Exact(m) => {
+                e.put_u8(1);
+                e.put_str(m);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(MethodPattern::Any),
+            1 => Ok(MethodPattern::Exact(d.get_str()?)),
+            tag => Err(WireError::BadTag {
+                ty: "MethodPattern",
+                tag,
+            }),
+        }
+    }
+}
+
+/// One grant: a scope and a method pattern.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Grant {
+    /// Resources covered.
+    pub scope: Scope,
+    /// Methods covered on those resources.
+    pub methods: MethodPattern,
+}
+
+impl Grant {
+    /// Does this grant permit `method` on `resource`?
+    pub fn permits(&self, resource: &Urn, method: &str) -> bool {
+        self.scope.covers(resource) && self.methods.matches(method)
+    }
+
+    /// Is everything permitted by `self` also permitted by `other`?
+    pub fn within(&self, other: &Grant) -> bool {
+        self.scope.within(&other.scope) && self.methods.within(&other.methods)
+    }
+}
+
+impl Wire for Grant {
+    fn encode(&self, e: &mut Encoder) {
+        self.scope.encode(e);
+        self.methods.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Grant {
+            scope: Scope::decode(d)?,
+            methods: MethodPattern::decode(d)?,
+        })
+    }
+}
+
+/// A set of grants. Semantically a union: an action is permitted when any
+/// grant permits it. The distinguished **universal** set (see
+/// [`Rights::all`]) permits everything and is the identity of
+/// [`Rights::intersect`] — a grant covering every authority cannot be
+/// expressed as one subtree, so "all" is a marker, not a grant list.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Rights {
+    universal: bool,
+    grants: Vec<Grant>,
+}
+
+impl Rights {
+    /// The empty rights set (permits nothing).
+    pub fn none() -> Self {
+        Rights::default()
+    }
+
+    /// Rights permitting **everything** — the identity of intersection,
+    /// used as the starting point of a delegation chain.
+    pub fn all() -> Self {
+        Rights {
+            universal: true,
+            grants: vec![],
+        }
+    }
+
+    /// One exact-resource, any-method grant.
+    pub fn on_resource(resource: Urn) -> Self {
+        Rights::none().grant(Scope::Exact(resource), MethodPattern::Any)
+    }
+
+    /// One subtree, any-method grant.
+    pub fn on_subtree(root: Urn) -> Self {
+        Rights::none().grant(Scope::Subtree(root), MethodPattern::Any)
+    }
+
+    /// Adds a grant (builder-style).
+    pub fn grant(mut self, scope: Scope, methods: MethodPattern) -> Self {
+        self.grants.push(Grant { scope, methods });
+        self
+    }
+
+    /// Adds an exact-method grant on an exact resource (builder-style).
+    pub fn grant_method(self, resource: Urn, method: impl Into<String>) -> Self {
+        self.grant(Scope::Exact(resource), MethodPattern::Exact(method.into()))
+    }
+
+    /// Does this rights set permit `method` on `resource`?
+    pub fn permits(&self, resource: &Urn, method: &str) -> bool {
+        self.universal || self.grants.iter().any(|g| g.permits(resource, method))
+    }
+
+    /// Union: permits what either side permits.
+    pub fn union(&self, other: &Rights) -> Rights {
+        if self.universal || other.universal {
+            return Rights::all();
+        }
+        let mut grants = self.grants.clone();
+        grants.extend(other.grants.iter().cloned());
+        grants.sort();
+        grants.dedup();
+        Rights {
+            grants,
+            universal: false,
+        }
+    }
+
+    /// Intersection — the delegation-restriction operator. The law that
+    /// makes delegation safe: `a.intersect(b).permits(r, m)` holds iff
+    /// both `a.permits(r, m)` and `b.permits(r, m)` hold.
+    pub fn intersect(&self, other: &Rights) -> Rights {
+        if self.universal {
+            return other.clone();
+        }
+        if other.universal {
+            return self.clone();
+        }
+        let mut grants = Vec::new();
+        for a in &self.grants {
+            for b in &other.grants {
+                if let Some(g) = intersect_grants(a, b) {
+                    grants.push(g);
+                }
+            }
+        }
+        grants.sort();
+        grants.dedup();
+        Rights {
+            grants,
+            universal: false,
+        }
+    }
+
+    /// True when no action is permitted. (Conservative: a non-universal
+    /// set with grants is "empty" only if it has no grants; overlapping
+    /// grant simplification is not attempted.)
+    pub fn is_none(&self) -> bool {
+        !self.universal && self.grants.is_empty()
+    }
+
+    /// True when every action is permitted.
+    pub fn is_all(&self) -> bool {
+        self.universal
+    }
+
+    /// The individual grants (empty for the universal set).
+    pub fn grants(&self) -> &[Grant] {
+        &self.grants
+    }
+}
+
+fn intersect_grants(a: &Grant, b: &Grant) -> Option<Grant> {
+    let scope = intersect_scopes(&a.scope, &b.scope)?;
+    let methods = intersect_methods(&a.methods, &b.methods)?;
+    Some(Grant { scope, methods })
+}
+
+fn intersect_scopes(a: &Scope, b: &Scope) -> Option<Scope> {
+    if a.within(b) {
+        return Some(a.clone());
+    }
+    if b.within(a) {
+        return Some(b.clone());
+    }
+    None
+}
+
+fn intersect_methods(a: &MethodPattern, b: &MethodPattern) -> Option<MethodPattern> {
+    if a.within(b) {
+        return Some(a.clone());
+    }
+    if b.within(a) {
+        return Some(b.clone());
+    }
+    None
+}
+
+impl Wire for Rights {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(u8::from(self.universal));
+        encode_seq(&self.grants, e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let universal = match d.get_u8()? {
+            0 => false,
+            1 => true,
+            tag => return Err(WireError::BadTag { ty: "Rights", tag }),
+        };
+        Ok(Rights {
+            universal,
+            grants: decode_seq(d)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn res(path: &str) -> Urn {
+        Urn::resource("umn.edu", path.split('/')).unwrap()
+    }
+
+    #[test]
+    fn exact_grant_permits_only_that_pair() {
+        let r = Rights::none().grant_method(res("buffer"), "get");
+        assert!(r.permits(&res("buffer"), "get"));
+        assert!(!r.permits(&res("buffer"), "put"));
+        assert!(!r.permits(&res("other"), "get"));
+    }
+
+    #[test]
+    fn subtree_grant_covers_descendants() {
+        let r = Rights::on_subtree(res("catalog"));
+        assert!(r.permits(&res("catalog"), "query"));
+        assert!(r.permits(&res("catalog/books"), "query"));
+        assert!(r.permits(&res("catalog/books/rare"), "buy"));
+        assert!(!r.permits(&res("catalogue"), "query")); // sibling, not child
+    }
+
+    #[test]
+    fn all_and_none_are_extremes() {
+        assert!(Rights::all().permits(&res("x"), "anything"));
+        assert!(!Rights::none().permits(&res("x"), "anything"));
+        assert!(Rights::all().is_all());
+        assert!(Rights::none().is_none());
+    }
+
+    #[test]
+    fn union_permits_either() {
+        let a = Rights::on_resource(res("a"));
+        let b = Rights::on_resource(res("b"));
+        let u = a.union(&b);
+        assert!(u.permits(&res("a"), "m"));
+        assert!(u.permits(&res("b"), "m"));
+        assert!(!u.permits(&res("c"), "m"));
+    }
+
+    #[test]
+    fn intersect_requires_both() {
+        let a = Rights::on_subtree(res("catalog"));
+        let b = Rights::none()
+            .grant_method(res("catalog/books"), "query")
+            .grant_method(res("elsewhere"), "query");
+        let i = a.intersect(&b);
+        assert!(i.permits(&res("catalog/books"), "query"));
+        assert!(!i.permits(&res("catalog/books"), "buy")); // b restricts methods
+        assert!(!i.permits(&res("elsewhere"), "query")); // a lacks scope
+    }
+
+    #[test]
+    fn intersect_with_all_is_identity() {
+        let r = Rights::none().grant_method(res("buffer"), "get");
+        assert_eq!(Rights::all().intersect(&r), r);
+        assert_eq!(r.intersect(&Rights::all()), r);
+    }
+
+    #[test]
+    fn intersect_with_none_is_none() {
+        let r = Rights::on_subtree(res("catalog"));
+        assert!(Rights::none().intersect(&r).is_none());
+        assert!(r.intersect(&Rights::none()).is_none());
+    }
+
+    #[test]
+    fn disjoint_scopes_intersect_to_nothing() {
+        let a = Rights::on_resource(res("a"));
+        let b = Rights::on_resource(res("b"));
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    fn nested_subtrees_intersect_to_inner() {
+        let outer = Rights::on_subtree(res("catalog"));
+        let inner = Rights::on_subtree(res("catalog/books"));
+        let i = outer.intersect(&inner);
+        assert!(i.permits(&res("catalog/books/rare"), "m"));
+        assert!(!i.permits(&res("catalog/music"), "m"));
+    }
+
+    #[test]
+    fn scope_within_rules() {
+        let exact = Scope::Exact(res("catalog/books"));
+        let sub = Scope::Subtree(res("catalog"));
+        assert!(exact.within(&sub));
+        assert!(!sub.within(&exact));
+        assert!(sub.within(&Scope::Subtree(res("catalog"))));
+        assert!(Scope::Exact(res("x")).within(&Scope::Exact(res("x"))));
+    }
+
+    #[test]
+    fn method_pattern_rules() {
+        assert!(MethodPattern::Exact("get".into()).within(&MethodPattern::Any));
+        assert!(!MethodPattern::Any.within(&MethodPattern::Exact("get".into())));
+        assert!(MethodPattern::Any.matches("whatever"));
+        assert!(MethodPattern::Exact("get".into()).matches("get"));
+        assert!(!MethodPattern::Exact("get".into()).matches("put"));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        for r in [
+            Rights::all(),
+            Rights::none(),
+            Rights::on_subtree(res("catalog")).grant_method(res("buffer"), "get"),
+        ] {
+            assert_eq!(Rights::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn union_dedups() {
+        let a = Rights::on_resource(res("a"));
+        let u = a.union(&a);
+        assert_eq!(u.grants().len(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Property tests for the rights algebra, credentials, and proxy
+//! invariants — the security laws the paper's design depends on.
+
+use ajanta_core::credentials::CredentialsBuilder;
+use ajanta_core::proxy::{Meter, ProxyControl};
+use ajanta_core::rights::{MethodPattern, Rights, Scope};
+use ajanta_core::DomainId;
+use ajanta_crypto::cert::Certificate;
+use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
+use ajanta_naming::Urn;
+use ajanta_wire::Wire;
+use proptest::prelude::*;
+
+/// Strategy over resource names in a small universe, so scopes overlap
+/// often enough to exercise the interesting cases.
+fn resource() -> impl Strategy<Value = Urn> {
+    proptest::collection::vec(prop::sample::select(vec!["a", "b", "c"]), 1..4)
+        .prop_map(|segs| Urn::resource("x.org", segs).unwrap())
+}
+
+fn method() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["get", "put", "query", "buy"]).prop_map(String::from)
+}
+
+fn scope() -> impl Strategy<Value = Scope> {
+    prop_oneof![
+        resource().prop_map(Scope::Exact),
+        resource().prop_map(Scope::Subtree),
+    ]
+}
+
+fn pattern() -> impl Strategy<Value = MethodPattern> {
+    prop_oneof![
+        Just(MethodPattern::Any),
+        method().prop_map(MethodPattern::Exact),
+    ]
+}
+
+fn rights() -> impl Strategy<Value = Rights> {
+    prop_oneof![
+        1 => Just(Rights::all()),
+        1 => Just(Rights::none()),
+        6 => proptest::collection::vec((scope(), pattern()), 0..5).prop_map(|gs| {
+            let mut r = Rights::none();
+            for (s, m) in gs {
+                r = r.grant(s, m);
+            }
+            r
+        }),
+    ]
+}
+
+proptest! {
+    /// THE delegation-safety law: intersection permits exactly what both
+    /// sides permit. Sound (never amplifies) and complete (never loses a
+    /// mutually-permitted action).
+    #[test]
+    fn intersection_is_conjunction(a in rights(), b in rights(),
+                                   r in resource(), m in method()) {
+        let i = a.intersect(&b);
+        prop_assert_eq!(i.permits(&r, &m), a.permits(&r, &m) && b.permits(&r, &m));
+    }
+
+    /// Union permits exactly what either side permits.
+    #[test]
+    fn union_is_disjunction(a in rights(), b in rights(),
+                            r in resource(), m in method()) {
+        let u = a.union(&b);
+        prop_assert_eq!(u.permits(&r, &m), a.permits(&r, &m) || b.permits(&r, &m));
+    }
+
+    /// A delegation chain is monotonically non-increasing: adding any
+    /// restriction never enables a previously-denied action.
+    #[test]
+    fn delegation_chains_never_amplify(chain in proptest::collection::vec(rights(), 1..5),
+                                       r in resource(), m in method()) {
+        let mut effective = Rights::all();
+        let mut prev_permitted = true;
+        for link in &chain {
+            effective = effective.intersect(link);
+            let now_permitted = effective.permits(&r, &m);
+            prop_assert!(!now_permitted || prev_permitted,
+                "a link re-enabled a denied action");
+            prev_permitted = now_permitted;
+        }
+    }
+
+    /// Intersection is commutative and associative observationally.
+    #[test]
+    fn intersection_laws(a in rights(), b in rights(), c in rights(),
+                         r in resource(), m in method()) {
+        let ab = a.intersect(&b);
+        let ba = b.intersect(&a);
+        prop_assert_eq!(ab.permits(&r, &m), ba.permits(&r, &m));
+        let left = a.intersect(&b).intersect(&c);
+        let right = a.intersect(&b.intersect(&c));
+        prop_assert_eq!(left.permits(&r, &m), right.permits(&r, &m));
+    }
+
+    /// Rights wire-encoding round-trips.
+    #[test]
+    fn rights_wire_roundtrip(a in rights()) {
+        prop_assert_eq!(Rights::from_bytes(&a.to_bytes()).unwrap(), a);
+    }
+
+    /// Credentials tamper-evidence under arbitrary single-byte corruption
+    /// (randomized complement of the exhaustive unit test).
+    #[test]
+    fn credentials_random_corruption_detected(seed in any::<u64>(),
+                                              idx in any::<prop::sample::Index>(),
+                                              flip in 1u8..=255) {
+        let mut rng = DetRng::new(seed);
+        let ca = KeyPair::generate(&mut rng);
+        let mut roots = RootOfTrust::new();
+        roots.trust("ca", ca.public);
+        let owner = Urn::owner("x.org", ["alice"]).unwrap();
+        let keys = KeyPair::generate(&mut rng);
+        let cert = Certificate::issue(owner.to_string(), keys.public, "ca", &ca, u64::MAX, 1, &mut rng);
+        let creds = CredentialsBuilder::new(Urn::agent("x.org", ["a"]).unwrap(), owner)
+            .owner_chain(vec![cert])
+            .delegate(Rights::on_resource(Urn::resource("x.org", ["r"]).unwrap()))
+            .sign(&keys, &mut rng);
+        creds.verify(&roots, 0).unwrap();
+
+        let mut bytes = creds.to_bytes();
+        let i = idx.index(bytes.len());
+        bytes[i] ^= flip;
+        match ajanta_core::Credentials::from_bytes(&bytes) {
+            Err(_) => {}
+            Ok(c) => prop_assert!(c.verify(&roots, 0).is_err(),
+                "corruption at byte {i} went undetected"),
+        }
+    }
+
+    /// Proxy confinement: only the holder domain ever passes the check,
+    /// regardless of the enabled set.
+    #[test]
+    fn proxy_confinement_total(holder in 1u64..50, caller in 1u64..50,
+                               methods in proptest::collection::vec(method(), 0..4),
+                               probe in method()) {
+        let control = ProxyControl::new(
+            DomainId(holder),
+            [],
+            methods.clone(),
+            None,
+            Meter::off(),
+        );
+        let outcome = control.check(DomainId(caller), &probe, 0);
+        if caller != holder {
+            prop_assert!(outcome.is_err());
+        } else {
+            prop_assert_eq!(outcome.is_ok(), methods.contains(&probe));
+        }
+    }
+
+    /// Expiry is a strict threshold: allowed at `t <= not_after`, denied
+    /// after.
+    #[test]
+    fn proxy_expiry_threshold(not_after in 0u64..1_000, probe_at in 0u64..2_000) {
+        let control = ProxyControl::new(
+            DomainId(1),
+            [],
+            ["m".to_string()],
+            Some(not_after),
+            Meter::off(),
+        );
+        let ok = control.check(DomainId(1), "m", probe_at).is_ok();
+        prop_assert_eq!(ok, probe_at <= not_after);
+    }
+
+    /// Revocation wins over everything and is irreversible.
+    #[test]
+    fn revocation_is_absorbing(ops in proptest::collection::vec(0u8..3, 0..8)) {
+        let control = ProxyControl::new(DomainId(1), [], ["m".to_string()], None, Meter::off());
+        control.revoke(DomainId::SERVER).unwrap();
+        for op in ops {
+            match op {
+                0 => { let _ = control.enable_method(DomainId::SERVER, "m"); }
+                1 => { let _ = control.set_expiry(DomainId::SERVER, None); }
+                _ => { let _ = control.disable_method(DomainId::SERVER, "m"); }
+            }
+        }
+        prop_assert!(control.check(DomainId(1), "m", 0).is_err());
+        prop_assert!(control.is_revoked());
+    }
+}

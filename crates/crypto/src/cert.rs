@@ -1,0 +1,433 @@
+//! Public-key certificates and chains.
+//!
+//! The paper's credentials *"include the owner's public key certificate"*
+//! (Section 5.2) and motivate expiry *"so that stolen credentials cannot be
+//! misused indefinitely"*. A [`Certificate`] binds a subject name to a
+//! [`PublicKey`] under an issuer's signature, with an expiration instant in
+//! **virtual time** (the simulated clock from `ajanta-net`); a
+//! [`RootOfTrust`] validates chains bottom-up to a trusted issuer.
+//!
+//! Subjects and issuers are plain strings here (canonically, rendered
+//! `ajn:` URNs) to keep this crate independent of `ajanta-naming`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DetRng;
+use crate::sha256::Sha256;
+use crate::sig::{self, KeyPair, PublicKey, Signature};
+
+/// A signed binding of a subject name to a public key.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Name of the key holder (canonically a rendered URN).
+    pub subject: String,
+    /// The key being certified.
+    pub subject_key: PublicKey,
+    /// Name of the signing authority.
+    pub issuer: String,
+    /// Expiry instant in virtual nanoseconds; the certificate is invalid at
+    /// any `now > not_after`.
+    pub not_after: u64,
+    /// Issuer-assigned serial number.
+    pub serial: u64,
+    /// Issuer signature over the canonical encoding of the fields above.
+    pub signature: Signature,
+}
+
+/// Why certificate validation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateError {
+    /// Signature did not verify under the issuer key.
+    BadSignature,
+    /// `now` is past `not_after`.
+    Expired {
+        /// The expiry instant carried by the certificate.
+        not_after: u64,
+        /// The validation instant.
+        now: u64,
+    },
+    /// No trusted key is known for this issuer.
+    UnknownIssuer(String),
+    /// A chain link's issuer does not match the next certificate's subject.
+    BrokenChain {
+        /// Issuer expected by the lower certificate.
+        expected_issuer: String,
+        /// Subject actually found on the next certificate.
+        found_subject: String,
+    },
+    /// An empty chain was presented.
+    EmptyChain,
+}
+
+impl std::fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertificateError::BadSignature => f.write_str("certificate signature invalid"),
+            CertificateError::Expired { not_after, now } => {
+                write!(f, "certificate expired at {not_after}, now {now}")
+            }
+            CertificateError::UnknownIssuer(i) => write!(f, "issuer not trusted: {i}"),
+            CertificateError::BrokenChain {
+                expected_issuer,
+                found_subject,
+            } => write!(
+                f,
+                "chain broken: expected issuer {expected_issuer}, next subject {found_subject}"
+            ),
+            CertificateError::EmptyChain => f.write_str("empty certificate chain"),
+        }
+    }
+}
+
+impl std::error::Error for CertificateError {}
+
+/// Canonical byte encoding signed by the issuer. Length-prefixed fields
+/// prevent ambiguity (e.g. subject="ab", issuer="c" vs subject="a",
+/// issuer="bc").
+fn to_be_signed(subject: &str, key: &PublicKey, issuer: &str, not_after: u64, serial: u64) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"ajanta.cert.v1");
+    h.update((subject.len() as u64).to_be_bytes());
+    h.update(subject.as_bytes());
+    h.update(key.0.to_be_bytes());
+    h.update((issuer.len() as u64).to_be_bytes());
+    h.update(issuer.as_bytes());
+    h.update(not_after.to_be_bytes());
+    h.update(serial.to_be_bytes());
+    h.finalize().0
+}
+
+impl Certificate {
+    /// Issues a certificate: `issuer_keys` signs the binding of
+    /// `subject` to `subject_key`.
+    pub fn issue(
+        subject: impl Into<String>,
+        subject_key: PublicKey,
+        issuer: impl Into<String>,
+        issuer_keys: &KeyPair,
+        not_after: u64,
+        serial: u64,
+        rng: &mut DetRng,
+    ) -> Certificate {
+        let subject = subject.into();
+        let issuer = issuer.into();
+        let tbs = to_be_signed(&subject, &subject_key, &issuer, not_after, serial);
+        let signature = issuer_keys.sign(&tbs, rng);
+        Certificate {
+            subject,
+            subject_key,
+            issuer,
+            not_after,
+            serial,
+            signature,
+        }
+    }
+
+    /// Verifies this single certificate against a known issuer key at
+    /// virtual instant `now`.
+    pub fn verify(&self, issuer_key: &PublicKey, now: u64) -> Result<(), CertificateError> {
+        if now > self.not_after {
+            return Err(CertificateError::Expired {
+                not_after: self.not_after,
+                now,
+            });
+        }
+        let tbs = to_be_signed(
+            &self.subject,
+            &self.subject_key,
+            &self.issuer,
+            self.not_after,
+            self.serial,
+        );
+        sig::verify(issuer_key, &tbs, &self.signature)
+            .map_err(|_| CertificateError::BadSignature)
+    }
+}
+
+/// The verifier's set of trusted issuers.
+///
+/// The paper's design explicitly avoids *"a ubiquitous or central authority
+/// for security policy enforcement"* (Section 5.2, citing Bull et al.):
+/// each server configures its own roots, so different servers may trust
+/// different federations.
+#[derive(Debug, Clone, Default)]
+pub struct RootOfTrust {
+    trusted: std::collections::BTreeMap<String, PublicKey>,
+}
+
+impl RootOfTrust {
+    /// An empty trust store (trusts nobody).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a trusted issuer key.
+    pub fn trust(&mut self, issuer: impl Into<String>, key: PublicKey) {
+        self.trusted.insert(issuer.into(), key);
+    }
+
+    /// Removes trust in an issuer. Returns whether it was present.
+    pub fn revoke_trust(&mut self, issuer: &str) -> bool {
+        self.trusted.remove(issuer).is_some()
+    }
+
+    /// Looks up a trusted issuer key.
+    pub fn key_of(&self, issuer: &str) -> Option<&PublicKey> {
+        self.trusted.get(issuer)
+    }
+
+    /// Verifies a chain ordered leaf-first: `chain[0]` is the subject of
+    /// interest; each `chain[i]`'s issuer must be certified by
+    /// `chain[i+1]`, and the final issuer must be in this trust store.
+    ///
+    /// Returns the leaf's `(subject, key)` on success.
+    pub fn verify_chain<'a>(
+        &self,
+        chain: &'a [Certificate],
+        now: u64,
+    ) -> Result<(&'a str, PublicKey), CertificateError> {
+        let leaf = chain.first().ok_or(CertificateError::EmptyChain)?;
+        for (i, cert) in chain.iter().enumerate() {
+            // Find the key that vouches for this certificate: either a
+            // trusted root, or the next certificate up the chain.
+            if let Some(root_key) = self.trusted.get(&cert.issuer) {
+                cert.verify(root_key, now)?;
+                // Anchored; ignore any remaining (redundant) links.
+                return Ok((&leaf.subject, leaf.subject_key));
+            }
+            let parent = chain
+                .get(i + 1)
+                .ok_or_else(|| CertificateError::UnknownIssuer(cert.issuer.clone()))?;
+            if parent.subject != cert.issuer {
+                return Err(CertificateError::BrokenChain {
+                    expected_issuer: cert.issuer.clone(),
+                    found_subject: parent.subject.clone(),
+                });
+            }
+            cert.verify(&parent.subject_key, now)?;
+        }
+        // Walked the whole chain without reaching a trusted root.
+        Err(CertificateError::UnknownIssuer(
+            chain.last().expect("non-empty").issuer.clone(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixture {
+        root_keys: KeyPair,
+        roots: RootOfTrust,
+        rng: DetRng,
+    }
+
+    fn fixture() -> Fixture {
+        let mut rng = DetRng::new(7777);
+        let root_keys = KeyPair::generate(&mut rng);
+        let mut roots = RootOfTrust::new();
+        roots.trust("ca.umn.edu", root_keys.public);
+        Fixture {
+            root_keys,
+            roots,
+            rng,
+        }
+    }
+
+    #[test]
+    fn single_cert_verifies_and_expires() {
+        let mut fx = fixture();
+        let subject_keys = KeyPair::generate(&mut fx.rng);
+        let cert = Certificate::issue(
+            "ajn://umn.edu/owner/alice",
+            subject_keys.public,
+            "ca.umn.edu",
+            &fx.root_keys,
+            1_000,
+            1,
+            &mut fx.rng,
+        );
+        cert.verify(&fx.root_keys.public, 999).unwrap();
+        cert.verify(&fx.root_keys.public, 1_000).unwrap();
+        assert_eq!(
+            cert.verify(&fx.root_keys.public, 1_001),
+            Err(CertificateError::Expired {
+                not_after: 1_000,
+                now: 1_001
+            })
+        );
+    }
+
+    #[test]
+    fn tampered_fields_fail_verification() {
+        let mut fx = fixture();
+        let subject_keys = KeyPair::generate(&mut fx.rng);
+        let cert = Certificate::issue(
+            "alice",
+            subject_keys.public,
+            "ca.umn.edu",
+            &fx.root_keys,
+            1_000,
+            1,
+            &mut fx.rng,
+        );
+
+        let mut c = cert.clone();
+        c.subject = "mallory".into();
+        assert_eq!(c.verify(&fx.root_keys.public, 0), Err(CertificateError::BadSignature));
+
+        let mut c = cert.clone();
+        c.subject_key = PublicKey(sig::G); // some other valid-looking element
+        assert_eq!(c.verify(&fx.root_keys.public, 0), Err(CertificateError::BadSignature));
+
+        let mut c = cert.clone();
+        c.not_after = u64::MAX; // stretch the lifetime
+        assert_eq!(c.verify(&fx.root_keys.public, 0), Err(CertificateError::BadSignature));
+
+        let mut c = cert;
+        c.serial += 1;
+        assert_eq!(c.verify(&fx.root_keys.public, 0), Err(CertificateError::BadSignature));
+    }
+
+    #[test]
+    fn field_boundary_ambiguity_is_prevented() {
+        // subject="ab", issuer="c" must not collide with subject="a",
+        // issuer="bc" thanks to length prefixes.
+        let k = PublicKey(sig::G);
+        let a = to_be_signed("ab", &k, "c", 10, 1);
+        let b = to_be_signed("a", &k, "bc", 10, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn chain_of_two_verifies() {
+        let mut fx = fixture();
+        // root → dept CA → alice
+        let dept_keys = KeyPair::generate(&mut fx.rng);
+        let dept_cert = Certificate::issue(
+            "ca.cs.umn.edu",
+            dept_keys.public,
+            "ca.umn.edu",
+            &fx.root_keys,
+            10_000,
+            2,
+            &mut fx.rng,
+        );
+        let alice_keys = KeyPair::generate(&mut fx.rng);
+        let alice_cert = Certificate::issue(
+            "ajn://umn.edu/owner/alice",
+            alice_keys.public,
+            "ca.cs.umn.edu",
+            &dept_keys,
+            10_000,
+            3,
+            &mut fx.rng,
+        );
+        let chain = [alice_cert, dept_cert];
+        let (subject, key) = fx.roots.verify_chain(&chain, 5_000).unwrap();
+        assert_eq!(subject, "ajn://umn.edu/owner/alice");
+        assert_eq!(key, alice_keys.public);
+    }
+
+    #[test]
+    fn chain_broken_link_detected() {
+        let mut fx = fixture();
+        let dept_keys = KeyPair::generate(&mut fx.rng);
+        let dept_cert = Certificate::issue(
+            "ca.othername.edu", // does NOT match alice's issuer
+            dept_keys.public,
+            "ca.umn.edu",
+            &fx.root_keys,
+            10_000,
+            2,
+            &mut fx.rng,
+        );
+        let alice_keys = KeyPair::generate(&mut fx.rng);
+        let alice_cert = Certificate::issue(
+            "alice",
+            alice_keys.public,
+            "ca.cs.umn.edu",
+            &dept_keys,
+            10_000,
+            3,
+            &mut fx.rng,
+        );
+        let err = fx.roots.verify_chain(&[alice_cert, dept_cert], 0).unwrap_err();
+        assert!(matches!(err, CertificateError::BrokenChain { .. }));
+    }
+
+    #[test]
+    fn untrusted_issuer_rejected() {
+        let mut fx = fixture();
+        let rogue_keys = KeyPair::generate(&mut fx.rng);
+        let cert = Certificate::issue(
+            "alice",
+            rogue_keys.public,
+            "ca.rogue.org",
+            &rogue_keys, // self-issued
+            10_000,
+            1,
+            &mut fx.rng,
+        );
+        assert_eq!(
+            fx.roots.verify_chain(&[cert], 0),
+            Err(CertificateError::UnknownIssuer("ca.rogue.org".into()))
+        );
+    }
+
+    #[test]
+    fn expired_intermediate_invalidates_chain() {
+        let mut fx = fixture();
+        let dept_keys = KeyPair::generate(&mut fx.rng);
+        let dept_cert = Certificate::issue(
+            "ca.cs.umn.edu",
+            dept_keys.public,
+            "ca.umn.edu",
+            &fx.root_keys,
+            100, // expires early
+            2,
+            &mut fx.rng,
+        );
+        let alice_keys = KeyPair::generate(&mut fx.rng);
+        let alice_cert = Certificate::issue(
+            "alice",
+            alice_keys.public,
+            "ca.cs.umn.edu",
+            &dept_keys,
+            10_000,
+            3,
+            &mut fx.rng,
+        );
+        let err = fx.roots.verify_chain(&[alice_cert, dept_cert], 5_000).unwrap_err();
+        assert!(matches!(err, CertificateError::Expired { .. }));
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let fx = fixture();
+        assert_eq!(fx.roots.verify_chain(&[], 0), Err(CertificateError::EmptyChain));
+    }
+
+    #[test]
+    fn revoking_trust_invalidates_future_verifications() {
+        let mut fx = fixture();
+        let subject_keys = KeyPair::generate(&mut fx.rng);
+        let cert = Certificate::issue(
+            "alice",
+            subject_keys.public,
+            "ca.umn.edu",
+            &fx.root_keys,
+            10_000,
+            1,
+            &mut fx.rng,
+        );
+        fx.roots.verify_chain(std::slice::from_ref(&cert), 0).unwrap();
+        assert!(fx.roots.revoke_trust("ca.umn.edu"));
+        assert!(!fx.roots.revoke_trust("ca.umn.edu"));
+        assert_eq!(
+            fx.roots.verify_chain(&[cert], 0),
+            Err(CertificateError::UnknownIssuer("ca.umn.edu".into()))
+        );
+    }
+}

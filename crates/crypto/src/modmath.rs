@@ -1,0 +1,203 @@
+//! Modular arithmetic over 64-bit moduli, supporting the signature group.
+//!
+//! Everything here is deterministic and allocation-free. The Miller–Rabin
+//! test uses a base set proven deterministic for all `n < 3.3 × 10^24`,
+//! so the unit tests can *prove* the hardcoded group parameters prime.
+
+/// `(a + b) mod m`, assuming `a, b < m`.
+#[inline]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    let (s, carry) = a.overflowing_add(b);
+    if carry || s >= m {
+        s.wrapping_sub(m)
+    } else {
+        s
+    }
+}
+
+/// `(a - b) mod m`, assuming `a, b < m`.
+#[inline]
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    debug_assert!(a < m && b < m);
+    if a >= b {
+        a - b
+    } else {
+        a + (m - b)
+    }
+}
+
+/// `(a * b) mod m` via 128-bit widening.
+#[inline]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+/// `base^exp mod m` by square-and-multiply.
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse of `a` modulo prime `p` via Fermat's little theorem.
+/// Returns `None` when `a ≡ 0 (mod p)`.
+pub fn inv_mod_prime(a: u64, p: u64) -> Option<u64> {
+    let a = a % p;
+    if a == 0 {
+        return None;
+    }
+    Some(pow_mod(a, p - 2, p))
+}
+
+/// Deterministic Miller–Rabin for 64-bit integers.
+///
+/// The base set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}` is known to
+/// be deterministic for all `n < 3.317 × 10^24`, which covers `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d * 2^r with d odd
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sub_wraparound() {
+        let m = u64::MAX - 58; // arbitrary large modulus
+        assert_eq!(add_mod(m - 1, m - 1, m), m - 2);
+        assert_eq!(add_mod(0, 0, m), 0);
+        assert_eq!(sub_mod(0, m - 1, m), 1);
+        assert_eq!(sub_mod(5, 5, m), 0);
+    }
+
+    #[test]
+    fn mul_mod_matches_naive_small() {
+        for a in 0..40u64 {
+            for b in 0..40u64 {
+                assert_eq!(mul_mod(a, b, 37), (a * b) % 37);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_mod_large_operands() {
+        let m = (1u64 << 62) - 57;
+        let a = m - 1;
+        // (m-1)^2 mod m == 1
+        assert_eq!(mul_mod(a, a, m), 1 % m);
+    }
+
+    #[test]
+    fn pow_mod_basics() {
+        assert_eq!(pow_mod(2, 10, 1_000_000_007), 1024);
+        assert_eq!(pow_mod(5, 0, 13), 1);
+        assert_eq!(pow_mod(0, 5, 13), 0);
+        assert_eq!(pow_mod(7, 1, 13), 7);
+        assert_eq!(pow_mod(123, 456, 1), 0);
+    }
+
+    #[test]
+    fn fermat_holds_for_primes() {
+        for p in [3u64, 5, 97, 1_000_000_007] {
+            for a in [2u64, 3, 10, 123_456] {
+                if a % p != 0 {
+                    assert_eq!(pow_mod(a, p - 1, p), 1, "a={a} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let p = 1_000_000_007u64;
+        for a in [1u64, 2, 3, 999, 123_456_789] {
+            let inv = inv_mod_prime(a, p).unwrap();
+            assert_eq!(mul_mod(a, inv, p), 1);
+        }
+        assert_eq!(inv_mod_prime(0, p), None);
+        assert_eq!(inv_mod_prime(p, p), None); // p ≡ 0 mod p
+    }
+
+    #[test]
+    fn primality_known_values() {
+        let primes = [2u64, 3, 5, 7, 61, 97, 2_147_483_647, 1_000_000_007];
+        let composites = [0u64, 1, 4, 9, 561, 1105, 2_147_483_649, 1_000_000_005];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn primality_strong_pseudoprimes() {
+        // Strong pseudoprimes to base 2 must still be rejected.
+        for n in [2047u64, 3277, 4033, 4681, 8321, 3_215_031_751] {
+            assert!(!is_prime(n), "{n} is a base-2 pseudoprime, not a prime");
+        }
+    }
+
+    #[test]
+    fn primality_exhaustive_small() {
+        // Cross-check against trial division for n < 2000.
+        fn trial(n: u64) -> bool {
+            if n < 2 {
+                return false;
+            }
+            let mut d = 2;
+            while d * d <= n {
+                if n.is_multiple_of(d) {
+                    return false;
+                }
+                d += 1;
+            }
+            true
+        }
+        for n in 0..2000u64 {
+            assert_eq!(is_prime(n), trial(n), "n={n}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Canonical wire encodings for keys, signatures, digests, certificates.
+
+use ajanta_wire::{Decoder, Encoder, Wire, WireError};
+
+use crate::cert::Certificate;
+use crate::sha256::Digest;
+use crate::sig::{PublicKey, Signature};
+
+impl Wire for PublicKey {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(self.0);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(PublicKey(d.get_varint()?))
+    }
+}
+
+impl Wire for Signature {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(self.e);
+        e.put_varint(self.s);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Signature {
+            e: d.get_varint()?,
+            s: d.get_varint()?,
+        })
+    }
+}
+
+impl Wire for Digest {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_raw(&self.0);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let raw = d.get_raw(32)?;
+        Ok(Digest(raw.try_into().expect("get_raw returns 32 bytes")))
+    }
+}
+
+impl Wire for Certificate {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.subject);
+        self.subject_key.encode(e);
+        e.put_str(&self.issuer);
+        e.put_varint(self.not_after);
+        e.put_varint(self.serial);
+        self.signature.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Certificate {
+            subject: d.get_str()?,
+            subject_key: PublicKey::decode(d)?,
+            issuer: d.get_str()?,
+            not_after: d.get_varint()?,
+            serial: d.get_varint()?,
+            signature: Signature::decode(d)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+    use crate::sha256::sha256;
+    use crate::sig::KeyPair;
+
+    #[test]
+    fn key_and_signature_roundtrip() {
+        let mut rng = DetRng::new(1);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = kp.sign(b"msg", &mut rng);
+        assert_eq!(PublicKey::from_bytes(&kp.public.to_bytes()).unwrap(), kp.public);
+        assert_eq!(Signature::from_bytes(&sig.to_bytes()).unwrap(), sig);
+    }
+
+    #[test]
+    fn digest_roundtrip_is_fixed_width() {
+        let d = sha256(b"x");
+        let bytes = d.to_bytes();
+        assert_eq!(bytes.len(), 32);
+        assert_eq!(Digest::from_bytes(&bytes).unwrap(), d);
+        assert!(Digest::from_bytes(&bytes[..31]).is_err());
+    }
+
+    #[test]
+    fn certificate_roundtrip() {
+        let mut rng = DetRng::new(2);
+        let ca = KeyPair::generate(&mut rng);
+        let subj = KeyPair::generate(&mut rng);
+        let cert = Certificate::issue("alice", subj.public, "ca", &ca, 1000, 7, &mut rng);
+        let back = Certificate::from_bytes(&cert.to_bytes()).unwrap();
+        assert_eq!(back, cert);
+        // The decoded certificate still verifies.
+        back.verify(&ca.public, 500).unwrap();
+    }
+
+    #[test]
+    fn decode_garbage_never_panics() {
+        for len in 0..64 {
+            let bytes = vec![0xA5u8; len];
+            let _ = PublicKey::from_bytes(&bytes);
+            let _ = Signature::from_bytes(&bytes);
+            let _ = Digest::from_bytes(&bytes);
+            let _ = Certificate::from_bytes(&bytes);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the cryptographic substrate.
+
+use ajanta_crypto::modmath::{add_mod, inv_mod_prime, mul_mod, pow_mod, sub_mod};
+use ajanta_crypto::sig::{self, KeyPair, Signature, P, Q};
+use ajanta_crypto::{sha256, DetRng, HmacSha256, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Incremental hashing over arbitrary chunkings equals one-shot.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                 cuts in proptest::collection::vec(any::<prop::sample::Index>(), 0..8)) {
+        let oneshot = sha256(&data);
+        let mut points: Vec<usize> = cuts.iter().map(|c| c.index(data.len() + 1)).collect();
+        points.push(0);
+        points.push(data.len());
+        points.sort_unstable();
+        let mut h = Sha256::new();
+        for w in points.windows(2) {
+            h.update(&data[w[0]..w[1]]);
+        }
+        prop_assert_eq!(h.finalize(), oneshot);
+    }
+
+    /// Different inputs essentially never collide (sanity, not proof).
+    #[test]
+    fn sha256_distinguishes_neighbors(data in proptest::collection::vec(any::<u8>(), 1..512),
+                                      idx in any::<prop::sample::Index>()) {
+        let i = idx.index(data.len());
+        let mut other = data.clone();
+        other[i] ^= 0x01;
+        prop_assert_ne!(sha256(&data), sha256(&other));
+    }
+
+    /// HMAC is key-separated and message-sensitive.
+    #[test]
+    fn hmac_key_and_message_sensitivity(key in proptest::collection::vec(any::<u8>(), 0..96),
+                                        msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let tag = HmacSha256::mac(&key, &msg);
+        prop_assert!(HmacSha256::verify(&key, &msg, &tag));
+
+        let mut key2 = key.clone();
+        key2.push(0xAB);
+        prop_assert!(!HmacSha256::verify(&key2, &msg, &tag));
+
+        let mut msg2 = msg.clone();
+        msg2.push(0xCD);
+        prop_assert!(!HmacSha256::verify(&key, &msg2, &tag));
+    }
+
+    /// Field laws mod P: commutativity, associativity, inverses.
+    #[test]
+    fn modmath_field_laws(a in 0..P, b in 0..P, c in 0..P) {
+        prop_assert_eq!(add_mod(a, b, P), add_mod(b, a, P));
+        prop_assert_eq!(mul_mod(a, b, P), mul_mod(b, a, P));
+        prop_assert_eq!(
+            mul_mod(mul_mod(a, b, P), c, P),
+            mul_mod(a, mul_mod(b, c, P), P)
+        );
+        prop_assert_eq!(
+            mul_mod(a, add_mod(b, c, P), P),
+            add_mod(mul_mod(a, b, P), mul_mod(a, c, P), P)
+        );
+        prop_assert_eq!(sub_mod(add_mod(a, b, P), b, P), a);
+        if a != 0 {
+            let inv = inv_mod_prime(a, P).unwrap();
+            prop_assert_eq!(mul_mod(a, inv, P), 1);
+        }
+    }
+
+    /// Exponent laws: g^(a+b) == g^a * g^b (mod p), exponents mod q.
+    #[test]
+    fn modmath_exponent_laws(a in 0..Q, b in 0..Q) {
+        let lhs = pow_mod(sig::G, add_mod(a, b, Q), P);
+        let rhs = mul_mod(pow_mod(sig::G, a, P), pow_mod(sig::G, b, P), P);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Every generated signature verifies; any single-field perturbation
+    /// fails.
+    #[test]
+    fn signature_soundness(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..256),
+                           de in 1..Q, ds in 1..Q) {
+        let mut rng = DetRng::new(seed);
+        let kp = KeyPair::generate(&mut rng);
+        let s = kp.sign(&msg, &mut rng);
+        prop_assert!(sig::verify(&kp.public, &msg, &s).is_ok());
+
+        let bad_e = Signature { e: (s.e + de) % Q, s: s.s };
+        let bad_s = Signature { e: s.e, s: (s.s + ds) % Q };
+        prop_assert!(sig::verify(&kp.public, &msg, &bad_e).is_err());
+        prop_assert!(sig::verify(&kp.public, &msg, &bad_s).is_err());
+    }
+
+    /// A signature never verifies for a different message (append a byte).
+    #[test]
+    fn signature_binds_message(seed in any::<u64>(), msg in proptest::collection::vec(any::<u8>(), 0..256),
+                               extra in any::<u8>()) {
+        let mut rng = DetRng::new(seed);
+        let kp = KeyPair::generate(&mut rng);
+        let s = kp.sign(&msg, &mut rng);
+        let mut msg2 = msg.clone();
+        msg2.push(extra);
+        prop_assert!(sig::verify(&kp.public, &msg2, &s).is_err());
+    }
+
+    /// DetRng::below is always within bounds.
+    #[test]
+    fn rng_below_in_bounds(seed in any::<u64>(), bound in 1..u64::MAX) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}

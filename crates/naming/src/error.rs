@@ -1,0 +1,33 @@
+//! Errors produced while parsing or validating names.
+
+use std::fmt;
+
+/// Reasons a string fails to parse as a canonical [`crate::Urn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// The name does not begin with the `ajn://` scheme prefix.
+    BadScheme,
+    /// The authority (organization) component is empty or malformed.
+    BadAuthority(String),
+    /// The kind segment is not one of the recognized [`crate::NameKind`]s.
+    BadKind(String),
+    /// The path is empty — every name must identify a concrete object.
+    EmptyPath,
+    /// A path segment is empty or contains a character outside the
+    /// canonical set (`[a-z0-9._-]`).
+    BadSegment(String),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::BadScheme => write!(f, "name must start with `ajn://`"),
+            NameError::BadAuthority(a) => write!(f, "bad authority component: {a:?}"),
+            NameError::BadKind(k) => write!(f, "unknown name kind: {k:?}"),
+            NameError::EmptyPath => write!(f, "name has an empty path"),
+            NameError::BadSegment(s) => write!(f, "bad path segment: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}

@@ -1,0 +1,41 @@
+//! Global, location-independent naming for the Ajanta reproduction.
+//!
+//! The paper (Section 4) requires that *"all agents, agent servers, and
+//! resources are assigned global, location-independent names"*. This crate
+//! provides that name space:
+//!
+//! * [`Urn`] — a parsed, canonical `ajn:` name such as
+//!   `ajn://umn.edu/agent/shopper/42`.
+//! * [`NameKind`] — the kind tag embedded in every name (agent, server,
+//!   resource, group, owner).
+//! * [`NameRegistry`] — an ownership-checked name registry, the naming
+//!   substrate used by the resource registry and the domain database in
+//!   `ajanta-core`.
+//!
+//! Names are deliberately *location independent*: the authority component
+//! identifies the registering organization, not a network address. Mapping
+//! names to current locations is the job of higher layers (the domain
+//! database tracks where an agent currently runs).
+//!
+//! # Example
+//!
+//! ```
+//! use ajanta_naming::{Urn, NameKind};
+//!
+//! let n: Urn = "ajn://umn.edu/resource/stock-quotes".parse().unwrap();
+//! assert_eq!(n.kind(), NameKind::Resource);
+//! assert_eq!(n.authority(), "umn.edu");
+//! assert_eq!(n.to_string(), "ajn://umn.edu/resource/stock-quotes");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod registry;
+mod urn;
+mod wire_impls;
+
+pub use error::NameError;
+pub use registry::{NameRecord, NameRegistry, RegistryError};
+pub use urn::{NameKind, Urn};

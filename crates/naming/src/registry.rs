@@ -1,0 +1,258 @@
+//! An ownership-checked name registry.
+//!
+//! The paper's resource registry (Fig. 6, step 1) records *"ownership
+//! information, which is used to prevent any unauthorized modifications to
+//! the registry entries"*. This module provides that discipline generically:
+//! a map from [`Urn`] to a [`NameRecord`] whose mutation requires presenting
+//! the owner recorded at registration time.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Urn;
+
+/// What the registry knows about one registered name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NameRecord {
+    /// The principal that registered the name and may modify/remove it.
+    pub owner: Urn,
+    /// Free-form description shown in directory listings.
+    pub description: String,
+    /// Registration sequence number (monotone per registry).
+    pub serial: u64,
+}
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name is already registered.
+    AlreadyRegistered(Urn),
+    /// The name is not registered.
+    NotFound(Urn),
+    /// The caller is not the recorded owner of the entry.
+    NotOwner {
+        /// Name whose entry was targeted.
+        name: Urn,
+        /// Principal that attempted the modification.
+        caller: Urn,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::AlreadyRegistered(n) => write!(f, "name already registered: {n}"),
+            RegistryError::NotFound(n) => write!(f, "name not registered: {n}"),
+            RegistryError::NotOwner { name, caller } => {
+                write!(f, "{caller} does not own registry entry {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// A directory of names with owner-gated mutation.
+///
+/// The registry is a plain data structure (no interior locking); callers
+/// that share it across threads wrap it in their own lock, as
+/// `ajanta-core`'s resource registry does.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct NameRegistry {
+    entries: BTreeMap<Urn, NameRecord>,
+    next_serial: u64,
+}
+
+impl NameRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name` under `owner`. Fails if the name is taken.
+    pub fn register(
+        &mut self,
+        name: Urn,
+        owner: Urn,
+        description: impl Into<String>,
+    ) -> Result<&NameRecord, RegistryError> {
+        if self.entries.contains_key(&name) {
+            return Err(RegistryError::AlreadyRegistered(name));
+        }
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let record = NameRecord {
+            owner,
+            description: description.into(),
+            serial,
+        };
+        Ok(self.entries.entry(name).or_insert(record))
+    }
+
+    /// Looks up a name.
+    pub fn lookup(&self, name: &Urn) -> Option<&NameRecord> {
+        self.entries.get(name)
+    }
+
+    /// Removes `name`; only its recorded owner may do so.
+    pub fn unregister(&mut self, name: &Urn, caller: &Urn) -> Result<NameRecord, RegistryError> {
+        let record = self
+            .entries
+            .get(name)
+            .ok_or_else(|| RegistryError::NotFound(name.clone()))?;
+        if &record.owner != caller {
+            return Err(RegistryError::NotOwner {
+                name: name.clone(),
+                caller: caller.clone(),
+            });
+        }
+        Ok(self.entries.remove(name).expect("checked present"))
+    }
+
+    /// Replaces the description of an entry; owner-gated like removal.
+    pub fn update_description(
+        &mut self,
+        name: &Urn,
+        caller: &Urn,
+        description: impl Into<String>,
+    ) -> Result<(), RegistryError> {
+        let record = self
+            .entries
+            .get_mut(name)
+            .ok_or_else(|| RegistryError::NotFound(name.clone()))?;
+        if &record.owner != caller {
+            return Err(RegistryError::NotOwner {
+                name: name.clone(),
+                caller: caller.clone(),
+            });
+        }
+        record.description = description.into();
+        Ok(())
+    }
+
+    /// Iterates entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Urn, &NameRecord)> {
+        self.entries.iter()
+    }
+
+    /// All names inside `prefix`'s subtree (see [`Urn::is_within`]).
+    pub fn find_within<'a>(&'a self, prefix: &'a Urn) -> impl Iterator<Item = &'a Urn> + 'a {
+        self.entries.keys().filter(move |n| n.is_within(prefix))
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owner(tag: &str) -> Urn {
+        Urn::owner("umn.edu", [tag]).unwrap()
+    }
+
+    fn res(tag: &str) -> Urn {
+        Urn::resource("umn.edu", [tag]).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut reg = NameRegistry::new();
+        reg.register(res("buffer"), owner("alice"), "bounded buffer").unwrap();
+        let rec = reg.lookup(&res("buffer")).unwrap();
+        assert_eq!(rec.owner, owner("alice"));
+        assert_eq!(rec.description, "bounded buffer");
+        assert_eq!(rec.serial, 0);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut reg = NameRegistry::new();
+        reg.register(res("b"), owner("alice"), "").unwrap();
+        assert_eq!(
+            reg.register(res("b"), owner("bob"), ""),
+            Err(RegistryError::AlreadyRegistered(res("b")))
+        );
+        // Original entry untouched.
+        assert_eq!(reg.lookup(&res("b")).unwrap().owner, owner("alice"));
+    }
+
+    #[test]
+    fn serials_are_monotone() {
+        let mut reg = NameRegistry::new();
+        reg.register(res("a"), owner("o"), "").unwrap();
+        reg.register(res("b"), owner("o"), "").unwrap();
+        reg.unregister(&res("a"), &owner("o")).unwrap();
+        reg.register(res("c"), owner("o"), "").unwrap();
+        assert_eq!(reg.lookup(&res("c")).unwrap().serial, 2);
+    }
+
+    #[test]
+    fn only_owner_may_unregister() {
+        let mut reg = NameRegistry::new();
+        reg.register(res("b"), owner("alice"), "").unwrap();
+        let err = reg.unregister(&res("b"), &owner("mallory")).unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::NotOwner {
+                name: res("b"),
+                caller: owner("mallory")
+            }
+        );
+        assert!(reg.lookup(&res("b")).is_some());
+        reg.unregister(&res("b"), &owner("alice")).unwrap();
+        assert!(reg.lookup(&res("b")).is_none());
+    }
+
+    #[test]
+    fn only_owner_may_update_description() {
+        let mut reg = NameRegistry::new();
+        reg.register(res("b"), owner("alice"), "v1").unwrap();
+        assert!(reg.update_description(&res("b"), &owner("eve"), "v2").is_err());
+        reg.update_description(&res("b"), &owner("alice"), "v2").unwrap();
+        assert_eq!(reg.lookup(&res("b")).unwrap().description, "v2");
+    }
+
+    #[test]
+    fn missing_names_report_not_found() {
+        let mut reg = NameRegistry::new();
+        assert_eq!(
+            reg.unregister(&res("ghost"), &owner("o")),
+            Err(RegistryError::NotFound(res("ghost")))
+        );
+        assert_eq!(
+            reg.update_description(&res("ghost"), &owner("o"), ""),
+            Err(RegistryError::NotFound(res("ghost")))
+        );
+    }
+
+    #[test]
+    fn find_within_filters_subtree() {
+        let mut reg = NameRegistry::new();
+        let root = Urn::resource("umn.edu", ["catalog"]).unwrap();
+        reg.register(root.child("books").unwrap(), owner("o"), "").unwrap();
+        reg.register(root.child("music").unwrap(), owner("o"), "").unwrap();
+        reg.register(res("unrelated"), owner("o"), "").unwrap();
+        let found: Vec<_> = reg.find_within(&root).collect();
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|n| n.is_within(&root)));
+    }
+
+    #[test]
+    fn len_and_is_empty_track_contents() {
+        let mut reg = NameRegistry::new();
+        assert!(reg.is_empty());
+        reg.register(res("a"), owner("o"), "").unwrap();
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Canonical wire encoding for names.
+//!
+//! A [`Urn`] travels as its canonical text form; decoding re-runs the full
+//! grammar validation, so a forged frame cannot smuggle a malformed name
+//! past the parser.
+
+use ajanta_wire::{Decoder, Encoder, Wire, WireError};
+
+use crate::Urn;
+
+impl Wire for Urn {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.to_string());
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        d.get_str()?
+            .parse()
+            .map_err(|_| WireError::Invalid("malformed urn"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NameKind;
+
+    #[test]
+    fn urn_roundtrips() {
+        for text in [
+            "ajn://umn.edu/agent/shopper/42",
+            "ajn://a.b.c/resource/x",
+            "ajn://x.org/owner/alice",
+        ] {
+            let u: Urn = text.parse().unwrap();
+            assert_eq!(Urn::from_bytes(&u.to_bytes()).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn malformed_names_rejected_on_decode() {
+        let mut e = Encoder::new();
+        e.put_str("not-a-urn");
+        assert_eq!(
+            Urn::from_bytes(&e.finish()),
+            Err(WireError::Invalid("malformed urn"))
+        );
+        let mut e = Encoder::new();
+        e.put_str("ajn://UPPER/agent/a");
+        assert!(Urn::from_bytes(&e.finish()).is_err());
+    }
+
+    #[test]
+    fn all_kinds_roundtrip() {
+        for kind in NameKind::ALL {
+            let u = Urn::new("x.org", kind, ["leaf"]).unwrap();
+            assert_eq!(Urn::from_bytes(&u.to_bytes()).unwrap(), u);
+        }
+    }
+}

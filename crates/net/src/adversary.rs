@@ -1,0 +1,324 @@
+//! The paper's attacker taxonomy, as pluggable link interceptors.
+//!
+//! Section 2 distinguishes **passive** attacks (eavesdropping) from
+//! **active** ones (interception/modification, deletion, forgery/insertion,
+//! replay, impersonation). Each class gets an [`Adversary`] implementation
+//! that the [`crate::SimNet`] consults for every message in transit, so
+//! integration tests and experiment X11 can switch attacks on and measure
+//! whether the secure channel detects or survives them.
+
+use ajanta_crypto::DetRng;
+use ajanta_naming::Urn;
+use parking_lot::Mutex;
+
+/// What the adversary does to one in-transit message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransitAction {
+    /// Deliver unchanged.
+    Pass,
+    /// Deliver these bytes instead (modification attack).
+    Tamper(Vec<u8>),
+    /// Silently delete the message.
+    Drop,
+    /// Deliver unchanged, then also deliver the extra messages
+    /// (insertion/replay attacks). Each entry is `(spoofed_from, bytes)` —
+    /// the adversary controls claimed origins (impersonation).
+    InjectAfter(Vec<(Urn, Vec<u8>)>),
+}
+
+/// An attacker sitting on the network.
+///
+/// Implementations must be `Send + Sync`: the simulated network is shared
+/// across server threads.
+pub trait Adversary: Send + Sync {
+    /// Observe (and possibly act on) one message in transit.
+    fn on_transit(&self, from: &Urn, to: &Urn, bytes: &[u8]) -> TransitAction;
+}
+
+/// Passive attacker: records a copy of every frame, never interferes.
+///
+/// The security property under test: everything it captures from a
+/// [`crate::secure::SecureChannel`] is ciphertext — the plaintext never
+/// appears as a substring of any captured frame.
+#[derive(Default)]
+pub struct Eavesdropper {
+    captured: Mutex<Vec<(Urn, Urn, Vec<u8>)>>,
+}
+
+impl Eavesdropper {
+    /// A fresh eavesdropper with an empty capture log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies of everything seen so far.
+    pub fn captured(&self) -> Vec<(Urn, Urn, Vec<u8>)> {
+        self.captured.lock().clone()
+    }
+
+    /// True when `needle` occurs inside any captured frame — used to
+    /// assert that plaintext secrets do NOT leak.
+    pub fn saw_plaintext(&self, needle: &[u8]) -> bool {
+        self.captured
+            .lock()
+            .iter()
+            .any(|(_, _, frame)| contains_subslice(frame, needle))
+    }
+
+    /// Number of captured frames.
+    pub fn frame_count(&self) -> usize {
+        self.captured.lock().len()
+    }
+}
+
+fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+impl Adversary for Eavesdropper {
+    fn on_transit(&self, from: &Urn, to: &Urn, bytes: &[u8]) -> TransitAction {
+        self.captured
+            .lock()
+            .push((from.clone(), to.clone(), bytes.to_vec()));
+        TransitAction::Pass
+    }
+}
+
+/// Active attacker: flips bits in a fraction of messages.
+pub struct Tamperer {
+    rng: Mutex<DetRng>,
+    /// Probability of tampering with any given message.
+    probability: f64,
+    tampered: Mutex<u64>,
+}
+
+impl Tamperer {
+    /// Tampers with each message independently with `probability`.
+    pub fn new(seed: u64, probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        Tamperer {
+            rng: Mutex::new(DetRng::new(seed)),
+            probability,
+            tampered: Mutex::new(0),
+        }
+    }
+
+    /// How many messages were modified.
+    pub fn tampered_count(&self) -> u64 {
+        *self.tampered.lock()
+    }
+}
+
+impl Adversary for Tamperer {
+    fn on_transit(&self, _from: &Urn, _to: &Urn, bytes: &[u8]) -> TransitAction {
+        let mut rng = self.rng.lock();
+        if bytes.is_empty() || rng.unit_f64() >= self.probability {
+            return TransitAction::Pass;
+        }
+        let mut copy = bytes.to_vec();
+        let idx = rng.below(copy.len() as u64) as usize;
+        let bit = rng.below(8) as u8;
+        copy[idx] ^= 1 << bit;
+        *self.tampered.lock() += 1;
+        TransitAction::Tamper(copy)
+    }
+}
+
+/// Active attacker: deletes a fraction of messages.
+pub struct Dropper {
+    rng: Mutex<DetRng>,
+    probability: f64,
+    dropped: Mutex<u64>,
+}
+
+impl Dropper {
+    /// Drops each message independently with `probability`.
+    pub fn new(seed: u64, probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        Dropper {
+            rng: Mutex::new(DetRng::new(seed)),
+            probability,
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// How many messages were deleted.
+    pub fn dropped_count(&self) -> u64 {
+        *self.dropped.lock()
+    }
+}
+
+impl Adversary for Dropper {
+    fn on_transit(&self, _from: &Urn, _to: &Urn, _bytes: &[u8]) -> TransitAction {
+        let mut rng = self.rng.lock();
+        if rng.unit_f64() < self.probability {
+            *self.dropped.lock() += 1;
+            TransitAction::Drop
+        } else {
+            TransitAction::Pass
+        }
+    }
+}
+
+/// Active attacker: re-sends every observed message a second time
+/// (replay), claiming the original sender's identity.
+#[derive(Default)]
+pub struct Replayer {
+    replayed: Mutex<u64>,
+}
+
+impl Replayer {
+    /// A fresh replayer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many replays were injected.
+    pub fn replayed_count(&self) -> u64 {
+        *self.replayed.lock()
+    }
+}
+
+impl Adversary for Replayer {
+    fn on_transit(&self, from: &Urn, _to: &Urn, bytes: &[u8]) -> TransitAction {
+        *self.replayed.lock() += 1;
+        TransitAction::InjectAfter(vec![(from.clone(), bytes.to_vec())])
+    }
+}
+
+/// Active attacker: inserts forged messages after each genuine one,
+/// impersonating the sender with attacker-chosen payloads.
+pub struct Forger {
+    rng: Mutex<DetRng>,
+    forged: Mutex<u64>,
+}
+
+impl Forger {
+    /// A forger whose payloads are generated from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Forger {
+            rng: Mutex::new(DetRng::new(seed)),
+            forged: Mutex::new(0),
+        }
+    }
+
+    /// How many forgeries were injected.
+    pub fn forged_count(&self) -> u64 {
+        *self.forged.lock()
+    }
+}
+
+impl Adversary for Forger {
+    fn on_transit(&self, from: &Urn, _to: &Urn, bytes: &[u8]) -> TransitAction {
+        let mut rng = self.rng.lock();
+        // Forge something shaped like the real message.
+        let mut fake = vec![0u8; bytes.len().max(8)];
+        rng.fill_bytes(&mut fake);
+        *self.forged.lock() += 1;
+        TransitAction::InjectAfter(vec![(from.clone(), fake)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn urn(n: &str) -> Urn {
+        Urn::server("x.org", [n]).unwrap()
+    }
+
+    #[test]
+    fn eavesdropper_records_and_matches_substrings() {
+        let e = Eavesdropper::new();
+        assert_eq!(
+            e.on_transit(&urn("a"), &urn("b"), b"top secret payload"),
+            TransitAction::Pass
+        );
+        assert_eq!(e.frame_count(), 1);
+        assert!(e.saw_plaintext(b"secret"));
+        assert!(!e.saw_plaintext(b"missing"));
+        assert!(e.saw_plaintext(b"")); // degenerate needle
+    }
+
+    #[test]
+    fn tamperer_flips_exactly_one_bit() {
+        let t = Tamperer::new(1, 1.0);
+        let msg = vec![0u8; 32];
+        match t.on_transit(&urn("a"), &urn("b"), &msg) {
+            TransitAction::Tamper(out) => {
+                let flipped: u32 = msg
+                    .iter()
+                    .zip(&out)
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(flipped, 1);
+            }
+            other => panic!("expected tamper, got {other:?}"),
+        }
+        assert_eq!(t.tampered_count(), 1);
+    }
+
+    #[test]
+    fn tamperer_zero_probability_passes() {
+        let t = Tamperer::new(1, 0.0);
+        assert_eq!(t.on_transit(&urn("a"), &urn("b"), b"x"), TransitAction::Pass);
+        assert_eq!(t.tampered_count(), 0);
+    }
+
+    #[test]
+    fn tamperer_passes_empty_messages() {
+        let t = Tamperer::new(1, 1.0);
+        assert_eq!(t.on_transit(&urn("a"), &urn("b"), b""), TransitAction::Pass);
+    }
+
+    #[test]
+    fn dropper_honors_probability_extremes() {
+        let d = Dropper::new(2, 1.0);
+        assert_eq!(d.on_transit(&urn("a"), &urn("b"), b"x"), TransitAction::Drop);
+        assert_eq!(d.dropped_count(), 1);
+        let d = Dropper::new(2, 0.0);
+        assert_eq!(d.on_transit(&urn("a"), &urn("b"), b"x"), TransitAction::Pass);
+    }
+
+    #[test]
+    fn replayer_duplicates_with_original_sender() {
+        let r = Replayer::new();
+        match r.on_transit(&urn("a"), &urn("b"), b"frame") {
+            TransitAction::InjectAfter(extra) => {
+                assert_eq!(extra, vec![(urn("a"), b"frame".to_vec())]);
+            }
+            other => panic!("expected inject, got {other:?}"),
+        }
+        assert_eq!(r.replayed_count(), 1);
+    }
+
+    #[test]
+    fn forger_injects_random_payload_of_similar_shape() {
+        let f = Forger::new(3);
+        match f.on_transit(&urn("a"), &urn("b"), &[7u8; 100]) {
+            TransitAction::InjectAfter(extra) => {
+                assert_eq!(extra.len(), 1);
+                assert_eq!(extra[0].0, urn("a"));
+                assert_eq!(extra[0].1.len(), 100);
+                assert_ne!(extra[0].1, vec![7u8; 100]);
+            }
+            other => panic!("expected inject, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let msg = vec![9u8; 64];
+        let t1 = Tamperer::new(77, 0.5);
+        let t2 = Tamperer::new(77, 0.5);
+        for _ in 0..50 {
+            assert_eq!(
+                t1.on_transit(&urn("a"), &urn("b"), &msg),
+                t2.on_transit(&urn("a"), &urn("b"), &msg)
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Link models: how long a message takes and whether it survives.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{MICROS, MILLIS};
+
+/// Latency/bandwidth/loss model for one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Fixed propagation delay, virtual ns.
+    pub latency_ns: u64,
+    /// Throughput in bytes per virtual second (0 = infinite).
+    pub bandwidth_bps: u64,
+    /// Probability a message is silently lost, in [0, 1].
+    pub drop_prob: f64,
+}
+
+impl Default for LinkModel {
+    /// A campus LAN: 0.5 ms, ~12.5 MB/s, lossless — roughly the 100 Mbit
+    /// Ethernet of the paper's era.
+    fn default() -> Self {
+        LinkModel {
+            latency_ns: 500 * MICROS,
+            bandwidth_bps: 12_500_000,
+            drop_prob: 0.0,
+        }
+    }
+}
+
+impl LinkModel {
+    /// A loopback-grade link for colocated servers.
+    pub fn local() -> Self {
+        LinkModel {
+            latency_ns: 10 * MICROS,
+            bandwidth_bps: 1_250_000_000,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// A 1998-era wide-area internet path: 40 ms, ~150 KB/s.
+    pub fn wan() -> Self {
+        LinkModel {
+            latency_ns: 40 * MILLIS,
+            bandwidth_bps: 150_000,
+            drop_prob: 0.0,
+        }
+    }
+
+    /// A lossy variant of any model.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_prob = p;
+        self
+    }
+
+    /// A variant with different latency.
+    pub fn with_latency_ns(mut self, ns: u64) -> Self {
+        self.latency_ns = ns;
+        self
+    }
+
+    /// Transit time for a message of `size` bytes: propagation plus
+    /// serialization at the modeled bandwidth.
+    pub fn transit_ns(&self, size: usize) -> u64 {
+        let serialization = if self.bandwidth_bps == 0 {
+            0
+        } else {
+            // ns = bytes * 1e9 / bytes_per_sec, in u128 to avoid overflow.
+            ((size as u128 * 1_000_000_000) / self.bandwidth_bps as u128) as u64
+        };
+        self.latency_ns + serialization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_time_adds_serialization() {
+        let link = LinkModel {
+            latency_ns: 1_000,
+            bandwidth_bps: 1_000_000, // 1 byte per microsecond
+            drop_prob: 0.0,
+        };
+        assert_eq!(link.transit_ns(0), 1_000);
+        assert_eq!(link.transit_ns(1), 2_000);
+        assert_eq!(link.transit_ns(1000), 1_001_000);
+    }
+
+    #[test]
+    fn zero_bandwidth_means_infinite() {
+        let link = LinkModel {
+            latency_ns: 5,
+            bandwidth_bps: 0,
+            drop_prob: 0.0,
+        };
+        assert_eq!(link.transit_ns(1 << 30), 5);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let msg = 10_000;
+        assert!(LinkModel::local().transit_ns(msg) < LinkModel::default().transit_ns(msg));
+        assert!(LinkModel::default().transit_ns(msg) < LinkModel::wan().transit_ns(msg));
+    }
+
+    #[test]
+    fn with_loss_sets_probability() {
+        let l = LinkModel::default().with_loss(0.25);
+        assert_eq!(l.drop_prob, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn with_loss_rejects_bad_probability() {
+        let _ = LinkModel::default().with_loss(1.5);
+    }
+
+    #[test]
+    fn no_overflow_on_huge_messages() {
+        let link = LinkModel::wan();
+        // 4 GiB message should not overflow the ns computation.
+        let t = link.transit_ns(4 << 30);
+        assert!(t > link.latency_ns);
+    }
+}

@@ -1,0 +1,104 @@
+//! Virtual time.
+//!
+//! All latencies, expirations and completion times in the reproduction are
+//! **virtual nanoseconds** on a shared [`VClock`]. Virtual time makes every
+//! experiment deterministic and machine-independent: a transfer over a
+//! 50 ms link advances the clock by exactly the modeled amount whether the
+//! host is fast or slow. Credential and proxy expiry in `ajanta-core` read
+//! the same clock, so "expires in 10 ms" means 10 virtual milliseconds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared, monotone virtual clock.
+///
+/// Cloning yields a handle to the same clock. Monotonicity is guaranteed
+/// even under concurrent advancement (`fetch_max`).
+#[derive(Debug, Clone, Default)]
+pub struct VClock {
+    now_ns: Arc<AtomicU64>,
+}
+
+impl VClock {
+    /// A clock starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> u64 {
+        self.now_ns.load(Ordering::Acquire)
+    }
+
+    /// Advances the clock to at least `t` (no-op when already past).
+    /// Returns the new current time.
+    pub fn advance_to(&self, t: u64) -> u64 {
+        self.now_ns.fetch_max(t, Ordering::AcqRel).max(t)
+    }
+
+    /// Advances the clock by `delta` nanoseconds from its current value
+    /// and returns the new time.
+    pub fn advance_by(&self, delta: u64) -> u64 {
+        self.now_ns.fetch_add(delta, Ordering::AcqRel) + delta
+    }
+}
+
+/// Convenience: nanoseconds per millisecond.
+pub const MILLIS: u64 = 1_000_000;
+/// Convenience: nanoseconds per microsecond.
+pub const MICROS: u64 = 1_000;
+/// Convenience: nanoseconds per second.
+pub const SECONDS: u64 = 1_000_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = VClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance_by(10), 10);
+        assert_eq!(c.now(), 10);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = VClock::new();
+        c.advance_to(100);
+        assert_eq!(c.now(), 100);
+        // Going backwards is a no-op.
+        assert_eq!(c.advance_to(50), 100);
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = VClock::new();
+        let b = a.clone();
+        a.advance_to(42);
+        assert_eq!(b.now(), 42);
+    }
+
+    #[test]
+    fn concurrent_advancement_stays_monotone() {
+        let c = VClock::new();
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for j in 0..1000u64 {
+                        c.advance_to(i * 1000 + j);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.now(), 7999);
+    }
+
+    #[test]
+    fn unit_constants() {
+        assert_eq!(MILLIS, 1_000 * MICROS);
+        assert_eq!(SECONDS, 1_000 * MILLIS);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the network security layers: no corrupted frame or
+//! datagram is ever accepted, decoding is total on garbage, and link
+//! timing is monotone.
+
+use ajanta_crypto::cert::Certificate;
+use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
+use ajanta_net::secure::{ChannelIdentity, SecureChannel};
+use ajanta_net::{LinkModel, ReplayGuard, SealedDatagram};
+use ajanta_naming::Urn;
+use ajanta_wire::Wire;
+use proptest::prelude::*;
+
+fn world(seed: u64) -> (RootOfTrust, ChannelIdentity, KeyPair, ChannelIdentity, KeyPair, DetRng) {
+    let mut rng = DetRng::new(seed);
+    let ca = KeyPair::generate(&mut rng);
+    let mut roots = RootOfTrust::new();
+    roots.trust("ca", ca.public);
+    let mk = |name: &Urn, serial: u64, rng: &mut DetRng| {
+        let keys = KeyPair::generate(rng);
+        let cert =
+            Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, serial, rng);
+        (
+            ChannelIdentity {
+                name: name.clone(),
+                keys: keys.clone(),
+                chain: vec![cert],
+            },
+            keys,
+        )
+    };
+    let a_name = Urn::server("a.org", ["a"]).unwrap();
+    let b_name = Urn::server("b.org", ["b"]).unwrap();
+    let (a, ak) = mk(&a_name, 1, &mut rng);
+    let (b, bk) = mk(&b_name, 2, &mut rng);
+    (roots, a, ak, b, bk, rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-byte corruption of a sealed datagram is rejected (at
+    /// decode or at open) — never silently accepted with altered content.
+    #[test]
+    fn corrupted_datagrams_never_open(seed in any::<u64>(),
+                                      payload in proptest::collection::vec(any::<u8>(), 0..256),
+                                      idx in any::<prop::sample::Index>(),
+                                      flip in 1u8..=255) {
+        let (roots, a, _ak, b, bk, mut rng) = world(seed);
+        let d = SealedDatagram::seal(&a, &b.name, bk.public, &payload, 100, &mut rng);
+        let bytes = d.to_bytes();
+        let mut bad = bytes.clone();
+        let i = idx.index(bad.len());
+        bad[i] ^= flip;
+        prop_assume!(bad != bytes);
+
+        let mut guard = ReplayGuard::new(u64::MAX / 4);
+        match SealedDatagram::from_bytes(&bad) {
+            Err(_) => {} // structural rejection
+            Ok(dg) => {
+                let out = dg.open(&b, &bk, &roots, 100, &mut guard);
+                if let Ok((from, got)) = out {
+                    // The only acceptable "success" would be a corruption
+                    // that somehow left everything semantically identical;
+                    // since we assumed the bytes differ, any success with
+                    // identical plaintext+sender means the flipped byte
+                    // was in a non-canonical gap — our codec has none, so
+                    // this must not happen.
+                    prop_assert!(from == a.name && got == payload,
+                        "corruption accepted with ALTERED content");
+                    prop_assert!(false, "corruption accepted at byte {i}");
+                }
+            }
+        }
+    }
+
+    /// Secure-channel frames: any corruption is rejected; the original
+    /// still opens exactly once.
+    #[test]
+    fn corrupted_frames_never_open(seed in any::<u64>(),
+                                   payload in proptest::collection::vec(any::<u8>(), 0..256),
+                                   idx in any::<prop::sample::Index>(),
+                                   flip in 1u8..=255) {
+        let (roots, a, _ak, b, _bk, mut rng) = world(seed);
+        let (hello, pending) = SecureChannel::initiate(&a, &b.name, &mut rng);
+        let (ack, mut chan_b) = SecureChannel::respond(&b, &roots, &hello, 0, &mut rng).unwrap();
+        let mut chan_a = pending.finish(&roots, &ack, 0).unwrap();
+
+        let frame = chan_a.seal(&payload);
+        let mut bad = frame.clone();
+        let i = idx.index(bad.len());
+        bad[i] ^= flip;
+        prop_assume!(bad != frame);
+        prop_assert!(chan_b.open(&bad).is_err(), "corrupted frame accepted");
+        // The genuine frame still arrives intact afterwards.
+        prop_assert_eq!(chan_b.open(&frame).unwrap(), payload);
+    }
+
+    /// Sealing is confidential for every payload: the plaintext never
+    /// appears as a substring of the wire bytes (for payloads long enough
+    /// to make accidental collision negligible).
+    #[test]
+    fn datagrams_hide_payloads(seed in any::<u64>(),
+                               payload in proptest::collection::vec(any::<u8>(), 16..256)) {
+        let (_roots, a, _ak, b, bk, mut rng) = world(seed);
+        let d = SealedDatagram::seal(&a, &b.name, bk.public, &payload, 0, &mut rng);
+        let bytes = d.to_bytes();
+        prop_assert!(!bytes.windows(payload.len()).any(|w| w == payload.as_slice()));
+    }
+
+    /// Link transit time is monotone in message size and never less than
+    /// the propagation latency.
+    #[test]
+    fn link_transit_monotone(latency in 0u64..10_000_000, bw in 1u64..1_000_000_000,
+                             s1 in 0usize..1_000_000, s2 in 0usize..1_000_000) {
+        let link = LinkModel { latency_ns: latency, bandwidth_bps: bw, drop_prob: 0.0 };
+        let (small, large) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(link.transit_ns(small) <= link.transit_ns(large));
+        prop_assert!(link.transit_ns(small) >= latency);
+    }
+
+    /// Datagram decode is total on arbitrary garbage.
+    #[test]
+    fn datagram_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = SealedDatagram::from_bytes(&bytes);
+    }
+}

@@ -1,0 +1,138 @@
+//! Itinerary encoding shared by Rust launchers and AgentScript agents.
+//!
+//! Paper Section 1: agents visit sites *"either on a predetermined path or
+//! one that the agents themselves determine based on dynamically gathered
+//! information"*; Section 4: *"higher-level abstractions such as ...
+//! specification of itineraries are implemented on top of the go
+//! primitive"*.
+//!
+//! The encoding is a newline-separated list of rendered server URNs —
+//! deliberately trivial so agent bytecode can manipulate it with `bslice`
+//! / `bindex`, and the environment offers `env.itin_head` /
+//! `env.itin_tail` so most agents never parse at all.
+
+use ajanta_naming::Urn;
+
+/// A predetermined travel plan.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Itinerary {
+    stops: Vec<Urn>,
+}
+
+impl Itinerary {
+    /// An itinerary over the given stops, in visiting order.
+    pub fn new(stops: impl IntoIterator<Item = Urn>) -> Self {
+        Itinerary {
+            stops: stops.into_iter().collect(),
+        }
+    }
+
+    /// The stops remaining.
+    pub fn stops(&self) -> &[Urn] {
+        &self.stops
+    }
+
+    /// Splits off the next stop, returning it and the remainder.
+    pub fn next_stop(mut self) -> (Option<Urn>, Itinerary) {
+        if self.stops.is_empty() {
+            (None, self)
+        } else {
+            let head = self.stops.remove(0);
+            (Some(head), self)
+        }
+    }
+
+    /// The byte encoding agents carry in a global.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (i, stop) in self.stops.iter().enumerate() {
+            if i > 0 {
+                out.push(b'\n');
+            }
+            out.extend_from_slice(stop.to_string().as_bytes());
+        }
+        out
+    }
+
+    /// Parses the byte encoding; malformed URNs yield `None`.
+    pub fn decode(bytes: &[u8]) -> Option<Itinerary> {
+        if bytes.is_empty() {
+            return Some(Itinerary::default());
+        }
+        let text = std::str::from_utf8(bytes).ok()?;
+        let stops: Option<Vec<Urn>> = text.split('\n').map(|l| l.parse().ok()).collect();
+        Some(Itinerary { stops: stops? })
+    }
+}
+
+/// First line of a newline-separated list (empty input → empty output).
+pub fn head(bytes: &[u8]) -> &[u8] {
+    match bytes.iter().position(|&b| b == b'\n') {
+        Some(i) => &bytes[..i],
+        None => bytes,
+    }
+}
+
+/// Everything after the first line (no newline → empty).
+pub fn tail(bytes: &[u8]) -> &[u8] {
+    match bytes.iter().position(|&b| b == b'\n') {
+        Some(i) => &bytes[i + 1..],
+        None => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server(n: &str) -> Urn {
+        Urn::server("x.org", [n]).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let it = Itinerary::new([server("a"), server("b"), server("c")]);
+        let bytes = it.encode();
+        assert_eq!(Itinerary::decode(&bytes), Some(it));
+    }
+
+    #[test]
+    fn empty_itinerary() {
+        let it = Itinerary::default();
+        assert!(it.encode().is_empty());
+        assert_eq!(Itinerary::decode(b""), Some(Itinerary::default()));
+        let (next, rest) = it.next_stop();
+        assert_eq!(next, None);
+        assert!(rest.stops().is_empty());
+    }
+
+    #[test]
+    fn next_stop_pops_in_order() {
+        let it = Itinerary::new([server("a"), server("b")]);
+        let (first, rest) = it.next_stop();
+        assert_eq!(first, Some(server("a")));
+        let (second, rest) = rest.next_stop();
+        assert_eq!(second, Some(server("b")));
+        let (third, _) = rest.next_stop();
+        assert_eq!(third, None);
+    }
+
+    #[test]
+    fn malformed_entries_rejected() {
+        assert_eq!(Itinerary::decode(b"not a urn"), None);
+        assert_eq!(Itinerary::decode(&[0xff, 0xfe]), None);
+    }
+
+    #[test]
+    fn head_tail_match_encoding() {
+        let it = Itinerary::new([server("a"), server("b"), server("c")]);
+        let bytes = it.encode();
+        assert_eq!(head(&bytes), server("a").to_string().as_bytes());
+        let rest = tail(&bytes);
+        assert_eq!(head(rest), server("b").to_string().as_bytes());
+        // One-element list: head is everything, tail empty.
+        let one = Itinerary::new([server("z")]).encode();
+        assert_eq!(head(&one), one.as_slice());
+        assert_eq!(tail(&one), b"");
+    }
+}

@@ -1,0 +1,42 @@
+//! The Ajanta agent-server runtime: hosting, migration, itineraries.
+//!
+//! This crate assembles the paper's Fig. 1 out of the lower layers: an
+//! [`AgentServer`] runs as a thread, accepts agents over the simulated
+//! network, gives each a protection domain and an **agent environment**
+//! (the `host` reference of Section 4), and executes it under the
+//! server's reference monitor, policy, and quotas.
+//!
+//! * [`messages`] — the server-to-server protocol messages (transfer,
+//!   reports, agent-to-agent mail), carried in sealed datagrams.
+//! * [`directory`] — the certificate directory servers use to find each
+//!   other's keys (the PKI lookup the paper abstracts).
+//! * [`vmres`] — resources implemented *by agent bytecode*: what makes
+//!   the paper's dynamic server extension (Section 5.5) real — an agent
+//!   installs a resource, dies, and later agents call it.
+//! * [`env`] — the agent environment: `go`, `get_resource`, proxy
+//!   invocation, messaging, logging — every primitive mediated.
+//! * [`server`] — the server proper plus its control handle.
+//! * [`owner`] — the owner-side application endpoint that mints
+//!   credentials and launches agents.
+//! * [`itinerary`] — helpers for the itinerary encoding agents carry.
+//! * [`world`] — a test/experiment harness that wires up a CA, N servers,
+//!   a directory and owners in one call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod env;
+pub mod itinerary;
+pub mod messages;
+pub mod owner;
+pub mod server;
+pub mod vmres;
+pub mod world;
+
+pub use directory::Directory;
+pub use messages::{Message, Report, ReportStatus};
+pub use owner::Owner;
+pub use server::{AgentServer, SecurityEvent, ServerConfig, ServerHandle};
+pub use vmres::VmResource;
+pub use world::World;

@@ -1,0 +1,156 @@
+//! The owner-side application endpoint.
+//!
+//! An owner (a human principal's client application) mints agent names
+//! and signed credentials, and launches agents via its home server's
+//! control handle — the "client process working on behalf of some
+//! authorized user" of paper Section 2.
+
+use ajanta_core::{Credentials, CredentialsBuilder, Rights};
+use ajanta_crypto::cert::Certificate;
+use ajanta_crypto::{DetRng, KeyPair};
+use ajanta_naming::Urn;
+
+/// An owner principal with signing keys and a certified identity.
+pub struct Owner {
+    name: Urn,
+    keys: KeyPair,
+    chain: Vec<Certificate>,
+    rng: DetRng,
+    counter: u64,
+}
+
+impl Owner {
+    /// Wraps an owner identity. `chain` must certify `name` (leaf first).
+    pub fn new(name: Urn, keys: KeyPair, chain: Vec<Certificate>, seed: u64) -> Self {
+        Owner {
+            name,
+            keys,
+            chain,
+            rng: DetRng::new(seed),
+            counter: 0,
+        }
+    }
+
+    /// The owner's global name.
+    pub fn name(&self) -> &Urn {
+        &self.name
+    }
+
+    /// Mints a fresh agent name under this owner's authority, scoped by
+    /// the owner's own leaf so distinct owners can never collide.
+    pub fn next_agent_name(&mut self, tag: &str) -> Urn {
+        self.counter += 1;
+        Urn::agent(
+            self.name.authority(),
+            [self.name.leaf(), tag, &format!("{}", self.counter)],
+        )
+        .expect("owner authority and counter are canonical")
+    }
+
+    /// Mints signed credentials for an agent.
+    ///
+    /// * `home` — the server reports return to;
+    /// * `rights` — the delegated rights (least privilege: delegate only
+    ///   what the errand needs, Section 5.2);
+    /// * `not_after` — expiry instant (stolen credentials cannot be
+    ///   misused indefinitely).
+    pub fn credentials(
+        &mut self,
+        agent: Urn,
+        home: Urn,
+        rights: Rights,
+        not_after: u64,
+    ) -> Credentials {
+        CredentialsBuilder::new(agent, self.name.clone())
+            .home(home)
+            .owner_chain(self.chain.clone())
+            .delegate(rights)
+            .expires_at(not_after)
+            .sign(&self.keys, &mut self.rng)
+    }
+
+    /// Endorses another principal's agent credentials with a restriction —
+    /// this owner acting as the forwarding server of Section 5.2's
+    /// "subcontract" case. The effective rights can only shrink.
+    pub fn endorse(&mut self, creds: &Credentials, restriction: Rights) -> Credentials {
+        creds.endorse(
+            &self.name,
+            &self.keys,
+            self.chain.clone(),
+            restriction,
+            &mut self.rng,
+        )
+    }
+
+    /// Credentials with a creator distinct from the owner (e.g. an
+    /// application or parent agent created this one).
+    pub fn credentials_created_by(
+        &mut self,
+        agent: Urn,
+        creator: Urn,
+        home: Urn,
+        rights: Rights,
+        not_after: u64,
+    ) -> Credentials {
+        CredentialsBuilder::new(agent, self.name.clone())
+            .creator(creator)
+            .home(home)
+            .owner_chain(self.chain.clone())
+            .delegate(rights)
+            .expires_at(not_after)
+            .sign(&self.keys, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajanta_crypto::RootOfTrust;
+
+    fn owner() -> (Owner, RootOfTrust) {
+        let mut rng = DetRng::new(4);
+        let ca = KeyPair::generate(&mut rng);
+        let mut roots = RootOfTrust::new();
+        roots.trust("ca", ca.public);
+        let name = Urn::owner("umn.edu", ["alice"]).unwrap();
+        let keys = KeyPair::generate(&mut rng);
+        let cert =
+            Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, 1, &mut rng);
+        (Owner::new(name, keys, vec![cert], 42), roots)
+    }
+
+    #[test]
+    fn agent_names_are_fresh_and_scoped() {
+        let (mut o, _) = owner();
+        let a1 = o.next_agent_name("shopper");
+        let a2 = o.next_agent_name("shopper");
+        assert_ne!(a1, a2);
+        assert_eq!(a1.authority(), "umn.edu");
+        assert!(a1.to_string().contains("shopper"));
+    }
+
+    #[test]
+    fn minted_credentials_verify() {
+        let (mut o, roots) = owner();
+        let agent = o.next_agent_name("t");
+        let home = Urn::server("umn.edu", ["home"]).unwrap();
+        let rights = Rights::on_resource(Urn::resource("acme.com", ["r"]).unwrap());
+        let creds = o.credentials(agent.clone(), home.clone(), rights.clone(), 10_000);
+        assert_eq!(creds.agent, agent);
+        assert_eq!(creds.home, home);
+        assert_eq!(creds.creator, *o.name());
+        assert_eq!(creds.verify(&roots, 0).unwrap(), rights);
+    }
+
+    #[test]
+    fn creator_can_differ() {
+        let (mut o, roots) = owner();
+        let agent = o.next_agent_name("child");
+        let creator = Urn::agent("umn.edu", ["parent", "1"]).unwrap();
+        let home = Urn::server("umn.edu", ["home"]).unwrap();
+        let creds =
+            o.credentials_created_by(agent, creator.clone(), home, Rights::none(), u64::MAX);
+        assert_eq!(creds.creator, creator);
+        creds.verify(&roots, 0).unwrap();
+    }
+}

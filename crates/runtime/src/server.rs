@@ -1,0 +1,868 @@
+//! The agent server (paper Fig. 1), as a thread with a control handle.
+//!
+//! One [`AgentServer`] owns: a network endpoint, the reference monitor,
+//! the resource registry, the domain database, a security policy, the
+//! system module set, and its cryptographic identity. Visiting agents
+//! execute on worker threads, each confined to its own protection domain
+//! and talking to the server only through [`crate::env::AgentEnv`].
+//!
+//! Admission pipeline for an arriving transfer (Section 5.2's problem
+//! list, in order): datagram authentication → credential verification →
+//! byte-code verification in a fresh name-space → policy authorization →
+//! domain creation → execution under quotas.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use ajanta_core::{
+    AccessProtocol, BindError, Credentials, DomainDatabase, DomainId, Guarded, HostMonitor,
+    ProxyPolicy, Requester, ResourceProxy, ResourceRegistry, Rights, SecurityPolicy, SystemOp,
+    UsageLimits,
+};
+use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
+use ajanta_naming::Urn;
+use ajanta_net::secure::ChannelIdentity;
+use ajanta_net::{Delivery, Endpoint, ReplayGuard, SealedDatagram, SimNet};
+use ajanta_vm::{
+    AgentImage, ExecOutcome, Interpreter, Limits, Module, Namespace, Value, VerifiedModule,
+};
+use ajanta_wire::Wire;
+
+use crate::directory::Directory;
+use crate::env::AgentEnv;
+use crate::messages::{AgentStatus, Message, Report, ReportStatus};
+use crate::vmres::VmResource;
+
+/// A recorded security-relevant rejection (experiment X11's raw data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecurityEvent {
+    /// Virtual time of the event.
+    pub at: u64,
+    /// Short category: `bad-datagram`, `bad-credentials`, `bad-image`,
+    /// `impostor-module`, `duplicate-agent`, `mail-denied`.
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Aggregate counters exposed by [`ServerHandle::stats`].
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Agents admitted and executed.
+    pub agents_hosted: AtomicU64,
+    /// Transfers sent onward (migrations out + launches).
+    pub transfers_out: AtomicU64,
+    /// Reports received (as a home site).
+    pub reports_in: AtomicU64,
+    /// Mail messages delivered to local agents.
+    pub mail_delivered: AtomicU64,
+}
+
+/// Snapshot of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Agents admitted and executed.
+    pub agents_hosted: u64,
+    /// Transfers sent onward.
+    pub transfers_out: u64,
+    /// Reports received.
+    pub reports_in: u64,
+    /// Mail messages delivered.
+    pub mail_delivered: u64,
+}
+
+/// Configuration for one server.
+pub struct ServerConfig {
+    /// The server's global name.
+    pub name: Urn,
+    /// Its signing identity (certificate chain should be published in the
+    /// directory by the caller).
+    pub identity: ChannelIdentity,
+    /// Full key pair (the identity holds the same keys; kept explicitly
+    /// for datagram decryption).
+    pub keys: KeyPair,
+    /// Trusted certificate roots.
+    pub roots: RootOfTrust,
+    /// The shared server directory.
+    pub directory: Directory,
+    /// Authorization policy.
+    pub policy: SecurityPolicy,
+    /// Modules every agent name-space is pre-populated with.
+    pub system_modules: Vec<Arc<VerifiedModule>>,
+    /// Per-agent quotas recorded in the domain database.
+    pub agent_limits: UsageLimits,
+    /// Interpreter limits per agent execution.
+    pub vm_limits: Limits,
+    /// Whether visiting agents may dispatch further agents.
+    pub agents_may_dispatch: bool,
+    /// Replay-guard freshness window (virtual ns).
+    pub replay_window_ns: u64,
+    /// Seed for this server's nonce/ephemeral randomness.
+    pub seed: u64,
+}
+
+/// Queued (sender, payload) mail for one agent.
+type Mailbox = VecDeque<(Urn, Vec<u8>)>;
+
+/// State shared between the server loop, agent worker threads, and the
+/// control handle.
+pub struct Shared {
+    name: Urn,
+    identity: ChannelIdentity,
+    keys: KeyPair,
+    roots: RootOfTrust,
+    directory: Directory,
+    net: SimNet,
+    monitor: HostMonitor,
+    registry: ResourceRegistry,
+    domains: Mutex<DomainDatabase>,
+    policy: RwLock<SecurityPolicy>,
+    system_modules: Vec<Arc<VerifiedModule>>,
+    agent_limits: UsageLimits,
+    vm_limits: Limits,
+    mailboxes: Mutex<BTreeMap<Urn, Mailbox>>,
+    logs: Mutex<Vec<(Urn, String)>>,
+    events: Mutex<Vec<SecurityEvent>>,
+    reports: Mutex<Vec<Report>>,
+    rng: Mutex<DetRng>,
+    guard: Mutex<ReplayGuard>,
+    stats: ServerStats,
+    pending_queries: Mutex<BTreeMap<u64, crossbeam::channel::Sender<AgentStatus>>>,
+    next_query_id: AtomicU64,
+}
+
+impl Shared {
+    /// The server's name.
+    pub fn name(&self) -> &Urn {
+        &self.name
+    }
+
+    /// Current virtual time.
+    pub fn clock_now(&self) -> u64 {
+        self.net.clock().now()
+    }
+
+    /// Appends to the per-agent log.
+    pub fn log(&self, agent: &Urn, text: String) {
+        self.logs.lock().push((agent.clone(), text));
+    }
+
+    fn record_event(&self, kind: &'static str, detail: String) {
+        self.events.lock().push(SecurityEvent {
+            at: self.clock_now(),
+            kind,
+            detail,
+        });
+    }
+
+    /// Fig. 6 steps 2–5 on behalf of an agent, with domain-database
+    /// bookkeeping.
+    pub fn bind_resource(
+        &self,
+        requester: &Requester,
+        name: &Urn,
+        now: u64,
+    ) -> Result<ResourceProxy, String> {
+        // Binding quota first.
+        self.domains
+            .lock()
+            .add_binding(DomainId::SERVER, requester.domain, name.clone())
+            .map_err(|e| e.to_string())?;
+        match self.registry.bind(requester, name, now) {
+            Ok(proxy) => Ok(proxy),
+            Err(e) => {
+                let _ = self.domains.lock().remove_binding(
+                    DomainId::SERVER,
+                    requester.domain,
+                    name,
+                );
+                Err(match e {
+                    BindError::NotFound(n) => format!("no resource {n}"),
+                    other => other.to_string(),
+                })
+            }
+        }
+    }
+
+    /// Delivers mail to a co-located agent's mailbox. Returns whether the
+    /// recipient is resident here.
+    pub fn local_mail(&self, from: Urn, to: Urn, data: Vec<u8>) -> bool {
+        let resident = self.domains.lock().domain_of(&to).is_some();
+        if !resident {
+            return false;
+        }
+        self.mailboxes
+            .lock()
+            .entry(to)
+            .or_default()
+            .push_back((from, data));
+        self.stats.mail_delivered.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Sends mail to an agent on another server.
+    pub fn remote_mail(&self, from: Urn, server: Urn, to: Urn, data: Vec<u8>) -> Result<(), String> {
+        self.send_message(&server, &Message::AgentMail { from, to, data })
+    }
+
+    /// Takes the oldest mail item for `agent`.
+    pub fn take_mail(&self, agent: &Urn) -> Option<(Urn, Vec<u8>)> {
+        self.mailboxes.lock().get_mut(agent)?.pop_front()
+    }
+
+    /// Dynamic extension: installs an agent-supplied module as a resource
+    /// (paper Section 5.5), guarded by the monitor and registry ownership.
+    pub fn install_vm_resource(
+        &self,
+        caller: DomainId,
+        installer: &Urn,
+        name: Urn,
+        module: Module,
+    ) -> Result<(), String> {
+        let res = VmResource::install(name, installer.clone(), module, self.vm_limits)
+            .map_err(|e| format!("module rejected: {e}"))?;
+        let guarded = Guarded::new(res, ProxyPolicy::default());
+        self.registry
+            .register(&self.monitor, caller, installer, guarded)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Dispatches a child agent on behalf of `parent` (paper Section 4:
+    /// agents can create child agents; Section 2: the creator may be
+    /// another agent). The child runs under the parent's credentials with
+    /// a name inside the parent's subtree; the reference monitor gates
+    /// agent-initiated dispatch.
+    #[allow(clippy::too_many_arguments)]
+    pub fn dispatch_child(
+        &self,
+        caller: DomainId,
+        parent: &Urn,
+        credentials: &Credentials,
+        module: Module,
+        dest: &Urn,
+        entry: String,
+        payload: Vec<u8>,
+        seq: u64,
+    ) -> Result<Urn, String> {
+        self.monitor
+            .check(caller, SystemOp::DispatchAgent)
+            .map_err(|v| v.to_string())?;
+        let child = parent
+            .child(format!("child-{seq}"))
+            .map_err(|e| e.to_string())?;
+        let globals = module.initial_globals();
+        let image = AgentImage {
+            module,
+            globals,
+            entry,
+        };
+        image
+            .validate()
+            .map_err(|e| format!("child image invalid: {e}"))?;
+        self.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
+        let msg = Message::Transfer {
+            run_as: child.clone(),
+            credentials: credentials.clone(),
+            image,
+            hop: 0,
+            arg: payload,
+        };
+        self.send_message(dest, &msg)?;
+        Ok(child)
+    }
+
+    /// Seals and sends one protocol message to a peer server.
+    pub fn send_message(&self, to: &Urn, msg: &Message) -> Result<(), String> {
+        let now = self.clock_now();
+        let key = self
+            .directory
+            .verified_key(to, &self.roots, now)
+            .ok_or_else(|| format!("no verified directory entry for {to}"))?;
+        let payload = msg.to_bytes();
+        let datagram = {
+            let mut rng = self.rng.lock();
+            SealedDatagram::seal(&self.identity, to, key, &payload, now, &mut rng)
+        };
+        self.net
+            .send_as(&self.name, to, datagram.to_bytes())
+            .map_err(|e| e.to_string())
+    }
+
+    fn report_home(&self, run_as: &Urn, credentials: &Credentials, status: ReportStatus) {
+        let report = Report {
+            agent: run_as.clone(),
+            server: self.name.clone(),
+            status,
+            at: self.clock_now(),
+        };
+        if credentials.home == self.name {
+            self.stats.reports_in.fetch_add(1, Ordering::Relaxed);
+            self.reports.lock().push(report);
+            return;
+        }
+        if let Err(e) = self.send_message(&credentials.home.clone(), &Message::Report(report)) {
+            self.record_event("report-undeliverable", e);
+        }
+    }
+}
+
+/// Control-channel commands. (`Launch` carries a whole agent; boxing
+/// would only obscure the one-shot hand-off.)
+#[allow(clippy::large_enum_variant)]
+enum Control {
+    Launch {
+        dest: Urn,
+        credentials: Credentials,
+        image: AgentImage,
+    },
+    QueryStatus {
+        server: Urn,
+        agent: Urn,
+        reply: crossbeam::channel::Sender<AgentStatus>,
+    },
+    Shutdown,
+}
+
+/// The running server's control handle. Dropping it does **not** stop the
+/// server; call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    name: Urn,
+    shared: Arc<Shared>,
+    ctrl: Sender<Control>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The server's name.
+    pub fn name(&self) -> &Urn {
+        &self.name
+    }
+
+    /// Launches an agent from this (home) server toward `dest`.
+    pub fn launch(&self, dest: Urn, credentials: Credentials, image: AgentImage) {
+        let _ = self.ctrl.send(Control::Launch {
+            dest,
+            credentials,
+            image,
+        });
+    }
+
+    /// Registers a resource in this server's registry (server domain).
+    pub fn register_resource(&self, resource: Arc<dyn AccessProtocol>) -> Result<(), String> {
+        let registrar = self.name.clone();
+        self.shared
+            .registry
+            .register(&self.shared.monitor, DomainId::SERVER, &registrar, resource)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Runs `f` against the server's policy (e.g. to add rules at
+    /// runtime — Section 5.1's dynamically modified policies).
+    pub fn with_policy<R>(&self, f: impl FnOnce(&mut SecurityPolicy) -> R) -> R {
+        f(&mut self.shared.policy.write())
+    }
+
+    /// Snapshot of reports received here as a home site.
+    pub fn reports(&self) -> Vec<Report> {
+        self.shared.reports.lock().clone()
+    }
+
+    /// Blocks (real time) until at least `n` reports have arrived or the
+    /// timeout elapses; returns the snapshot either way.
+    pub fn wait_reports(&self, n: usize, timeout: std::time::Duration) -> Vec<Report> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let reports = self.reports();
+            if reports.len() >= n || std::time::Instant::now() >= deadline {
+                return reports;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    /// Asks `server`'s domain database about `agent` over the network —
+    /// paper Section 4: the domain database "responds to status queries
+    /// from their owners". Returns `None` on timeout or send failure.
+    pub fn query_status(
+        &self,
+        server: &Urn,
+        agent: &Urn,
+        timeout: std::time::Duration,
+    ) -> Option<AgentStatus> {
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        self.ctrl
+            .send(Control::QueryStatus {
+                server: server.clone(),
+                agent: agent.clone(),
+                reply: reply_tx,
+            })
+            .ok()?;
+        reply_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Per-agent log lines.
+    pub fn logs(&self) -> Vec<(Urn, String)> {
+        self.shared.logs.lock().clone()
+    }
+
+    /// Security events recorded by this server.
+    pub fn security_events(&self) -> Vec<SecurityEvent> {
+        self.shared.events.lock().clone()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            agents_hosted: self.shared.stats.agents_hosted.load(Ordering::Relaxed),
+            transfers_out: self.shared.stats.transfers_out.load(Ordering::Relaxed),
+            reports_in: self.shared.stats.reports_in.load(Ordering::Relaxed),
+            mail_delivered: self.shared.stats.mail_delivered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of currently resident agents.
+    pub fn resident_agents(&self) -> usize {
+        self.shared.domains.lock().len()
+    }
+
+    /// Names in the resource registry.
+    pub fn resources(&self) -> Vec<Urn> {
+        self.shared.registry.list()
+    }
+
+    /// The monitor's audit log length (X12 instrumentation).
+    pub fn audit_len(&self) -> usize {
+        self.shared.monitor.audit_log().len()
+    }
+
+    /// Stops the server loop and joins all threads.
+    pub fn shutdown(mut self) {
+        let _ = self.ctrl.send(Control::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+/// The agent server. Construct with [`AgentServer::spawn`].
+pub struct AgentServer;
+
+impl AgentServer {
+    /// Starts a server thread attached to `net` and returns its handle.
+    ///
+    /// # Panics
+    /// Panics if the server name is already attached to the network.
+    pub fn spawn(net: &SimNet, config: ServerConfig) -> ServerHandle {
+        let endpoint = net
+            .attach(config.name.clone())
+            .expect("server name already attached");
+        let monitor = if config.agents_may_dispatch {
+            HostMonitor::new()
+        } else {
+            HostMonitor::no_agent_dispatch()
+        };
+        let shared = Arc::new(Shared {
+            name: config.name.clone(),
+            identity: config.identity,
+            keys: config.keys,
+            roots: config.roots,
+            directory: config.directory,
+            net: net.clone(),
+            monitor,
+            registry: ResourceRegistry::new(),
+            domains: Mutex::new(DomainDatabase::new()),
+            policy: RwLock::new(config.policy),
+            system_modules: config.system_modules,
+            agent_limits: config.agent_limits,
+            vm_limits: config.vm_limits,
+            mailboxes: Mutex::new(BTreeMap::new()),
+            logs: Mutex::new(Vec::new()),
+            events: Mutex::new(Vec::new()),
+            reports: Mutex::new(Vec::new()),
+            rng: Mutex::new(DetRng::new(config.seed)),
+            guard: Mutex::new(ReplayGuard::new(config.replay_window_ns)),
+            stats: ServerStats::default(),
+            pending_queries: Mutex::new(BTreeMap::new()),
+            next_query_id: AtomicU64::new(1),
+        });
+
+        let (ctrl_tx, ctrl_rx) = unbounded();
+        let loop_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name(format!("ajanta-{}", config.name.leaf()))
+            .spawn(move || server_loop(loop_shared, endpoint, ctrl_rx))
+            .expect("spawning server thread");
+
+        ServerHandle {
+            name: config.name,
+            shared,
+            ctrl: ctrl_tx,
+            join: Some(join),
+        }
+    }
+}
+
+fn server_loop(shared: Arc<Shared>, endpoint: Endpoint, ctrl: Receiver<Control>) {
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        crossbeam::channel::select! {
+            recv(ctrl) -> cmd => match cmd {
+                Ok(Control::Launch { dest, credentials, image }) => {
+                    shared.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
+                    let msg = Message::Transfer {
+                        run_as: credentials.agent.clone(),
+                        credentials: credentials.clone(),
+                        image,
+                        hop: 0,
+                        arg: Vec::new(),
+                    };
+                    if let Err(e) = shared.send_message(&dest, &msg) {
+                        shared.report_home(&credentials.agent.clone(), &credentials, ReportStatus::Refused(
+                            format!("launch toward {dest} failed: {e}"),
+                        ));
+                    }
+                }
+                Ok(Control::QueryStatus { server, agent, reply }) => {
+                    let query_id = shared.next_query_id.fetch_add(1, Ordering::Relaxed);
+                    shared.pending_queries.lock().insert(query_id, reply);
+                    let msg = Message::StatusQuery { query_id, agent };
+                    if shared.send_message(&server, &msg).is_err() {
+                        // Drop the pending entry; the caller times out.
+                        shared.pending_queries.lock().remove(&query_id);
+                    }
+                }
+                Ok(Control::Shutdown) | Err(_) => break,
+            },
+            recv(endpoint.receiver()) -> delivery => match delivery {
+                Ok(d) => {
+                    shared.net.clock().advance_to(d.arrival_ns);
+                    handle_delivery(&shared, d, &mut workers);
+                }
+                Err(_) => break,
+            },
+        }
+        // Reap finished workers so the vector stays bounded.
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, workers: &mut Vec<std::thread::JoinHandle<()>>) {
+    let now = shared.clock_now();
+    let datagram = match SealedDatagram::from_bytes(&delivery.payload) {
+        Ok(d) => d,
+        Err(e) => {
+            shared.record_event("bad-datagram", format!("undecodable: {e}"));
+            return;
+        }
+    };
+    let opened = {
+        let mut guard = shared.guard.lock();
+        datagram.open(&shared.identity, &shared.keys, &shared.roots, now, &mut guard)
+    };
+    let (sender, plaintext) = match opened {
+        Ok(x) => x,
+        Err(e) => {
+            shared.record_event("bad-datagram", e.to_string());
+            return;
+        }
+    };
+    let message = match Message::from_bytes(&plaintext) {
+        Ok(m) => m,
+        Err(e) => {
+            shared.record_event("bad-datagram", format!("bad message from {sender}: {e}"));
+            return;
+        }
+    };
+    match message {
+        Message::Transfer {
+            credentials,
+            image,
+            hop,
+            run_as,
+            arg,
+        } => handle_transfer(shared, credentials, image, hop, run_as, arg, workers),
+        Message::Report(report) => {
+            shared.stats.reports_in.fetch_add(1, Ordering::Relaxed);
+            shared.reports.lock().push(report);
+        }
+        Message::AgentMail { from, to, data } => {
+            if !shared.local_mail(from.clone(), to.clone(), data) {
+                shared.record_event(
+                    "mail-denied",
+                    format!("no resident agent {to} (mail from {from})"),
+                );
+            }
+        }
+        Message::StatusQuery { query_id, agent } => {
+            let status = {
+                let domains = shared.domains.lock();
+                match domains.record_of(&agent) {
+                    Some(rec) => AgentStatus::Resident {
+                        owner: rec.owner.clone(),
+                        creator: rec.creator.clone(),
+                        fuel_used: rec.usage.fuel,
+                        bindings: rec.bindings.clone(),
+                    },
+                    None => AgentStatus::NotResident,
+                }
+            };
+            let reply = Message::StatusReply {
+                query_id,
+                agent,
+                status,
+            };
+            if let Err(e) = shared.send_message(&sender, &reply) {
+                shared.record_event("report-undeliverable", e);
+            }
+        }
+        Message::StatusReply { query_id, status, .. } => {
+            if let Some(reply) = shared.pending_queries.lock().remove(&query_id) {
+                let _ = reply.send(status);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_transfer(
+    shared: &Arc<Shared>,
+    credentials: Credentials,
+    image: AgentImage,
+    hop: u64,
+    run_as: Urn,
+    arg: Vec<u8>,
+    workers: &mut Vec<std::thread::JoinHandle<()>>,
+) {
+    let now = shared.clock_now();
+
+    // 1. Credentials: tamper-evidence, expiry, certification.
+    let delegated = match credentials.verify(&shared.roots, now) {
+        Ok(rights) => rights,
+        Err(e) => {
+            shared.record_event("bad-credentials", format!("{}: {e}", credentials.agent));
+            return; // nothing about the sender can be trusted; drop.
+        }
+    };
+
+    // 1b. The executing identity must be the credentialed agent or a
+    // child within its name subtree (Section 2: an agent's creator may be
+    // another agent). Anything else is an identity-forgery attempt.
+    if run_as != credentials.agent && !run_as.is_within(&credentials.agent) {
+        shared.record_event(
+            "bad-identity",
+            format!("{} is not within {}", run_as, credentials.agent),
+        );
+        return;
+    }
+
+    // 2. Code: fresh name-space, re-verification, impostor refusal.
+    let mut namespace = match Namespace::with_system(&shared.system_modules) {
+        Ok(ns) => ns,
+        Err(e) => {
+            shared.record_event("bad-image", format!("system namespace: {e}"));
+            return;
+        }
+    };
+    if image.validate().is_err() {
+        shared.record_event("bad-image", format!("{run_as}: inconsistent image"));
+        shared.report_home(&run_as, &credentials, ReportStatus::Refused("inconsistent image".into()));
+        return;
+    }
+    let verified = match namespace.load(image.module.clone()) {
+        Ok(v) => v,
+        Err(e) => {
+            let kind = if matches!(e, ajanta_vm::LoadError::ShadowsSystemModule(_)) {
+                "impostor-module"
+            } else {
+                "bad-image"
+            };
+            shared.record_event(kind, format!("{run_as}: {e}"));
+            shared.report_home(&run_as, &credentials, ReportStatus::Refused(e.to_string()));
+            return;
+        }
+    };
+
+    // 3. Authorization: server policy ∩ owner delegation.
+    let authorization = shared
+        .policy
+        .read()
+        .authorize(&credentials.agent, &credentials.owner, &delegated);
+
+    // 4. Domain creation. For a dispatched child, the creator is the
+    // parent agent; otherwise the credentialed creator.
+    let creator = if run_as == credentials.agent {
+        credentials.creator.clone()
+    } else {
+        credentials.agent.clone()
+    };
+    let domain = {
+        let mut domains = shared.domains.lock();
+        match domains.admit(
+            DomainId::SERVER,
+            run_as.clone(),
+            credentials.owner.clone(),
+            creator,
+            credentials.home.clone(),
+            authorization.clone(),
+            shared.agent_limits,
+        ) {
+            Ok(d) => d,
+            Err(e) => {
+                shared.record_event("duplicate-agent", e.to_string());
+                shared.report_home(&run_as, &credentials, ReportStatus::Refused(e.to_string()));
+                return;
+            }
+        }
+    };
+
+    // Thread creation for the agent's domain — mediated by the monitor
+    // (Section 5.3: thread-group manipulation is privileged).
+    if shared
+        .monitor
+        .check(DomainId::SERVER, SystemOp::CreateThread { target: domain })
+        .is_err()
+    {
+        return; // unreachable with the default policy; defensive.
+    }
+
+    shared.stats.agents_hosted.fetch_add(1, Ordering::Relaxed);
+    let shared = Arc::clone(shared);
+    let worker = std::thread::Builder::new()
+        .name(format!("agent-{}", run_as.leaf()))
+        .spawn(move || {
+            run_agent(
+                shared,
+                domain,
+                credentials,
+                verified,
+                image,
+                hop,
+                run_as,
+                arg,
+                authorization,
+            );
+        })
+        .expect("spawning agent thread");
+    workers.push(worker);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_agent(
+    shared: Arc<Shared>,
+    domain: DomainId,
+    credentials: Credentials,
+    verified: Arc<VerifiedModule>,
+    image: AgentImage,
+    hop: u64,
+    run_as: Urn,
+    arg: Vec<u8>,
+    authorization: Rights,
+) {
+    let mut env = AgentEnv::new(
+        Arc::clone(&shared),
+        domain,
+        run_as.clone(),
+        credentials.clone(),
+        authorization,
+    );
+    env.set_module(Arc::clone(&verified));
+    let mut interp = Interpreter::new(&verified, shared.vm_limits);
+    if !interp.restore_globals(image.globals.clone()) {
+        shared.report_home(&run_as, &credentials, ReportStatus::Refused("global mismatch".into()));
+        let _ = shared.domains.lock().evict(DomainId::SERVER, domain);
+        return;
+    }
+
+    // By convention an empty entry argument means "the current server's
+    // name"; a dispatching parent may have chosen a payload instead.
+    let entry_arg = if arg.is_empty() {
+        Value::str(shared.name().to_string())
+    } else {
+        Value::Bytes(arg)
+    };
+    let outcome = interp.run(&image.entry, vec![entry_arg], &mut env);
+
+    // Account fuel against the domain quota (for status queries; the
+    // interpreter's own limit already bounded the run).
+    let _ = shared
+        .domains
+        .lock()
+        .charge_fuel(DomainId::SERVER, domain, interp.fuel_used());
+
+    match outcome {
+        ExecOutcome::Finished(v) => {
+            shared.report_home(&run_as, &credentials, ReportStatus::Completed(v.display_lossy()));
+        }
+        ExecOutcome::HostStopped { .. } => {
+            let pending = env.pending_go().cloned();
+            match pending {
+                Some(go) => {
+                    // Re-package: same code, current globals, new entry.
+                    let image = AgentImage {
+                        module: image.module,
+                        globals: interp.globals().to_vec(),
+                        entry: go.entry,
+                    };
+                    if image.validate().is_err() {
+                        shared.report_home(
+                            &run_as,
+                            &credentials,
+                            ReportStatus::Failed(format!(
+                                "go: entry {:?} missing or misshapen",
+                                image.entry
+                            )),
+                        );
+                    } else {
+                        shared.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
+                        let msg = Message::Transfer {
+                            run_as: run_as.clone(),
+                            credentials: credentials.clone(),
+                            image,
+                            hop: hop + 1,
+                            arg: Vec::new(),
+                        };
+                        if let Err(e) = shared.send_message(&go.dest, &msg) {
+                            shared.report_home(
+                                &run_as,
+                                &credentials,
+                                ReportStatus::Failed(format!("go toward {} failed: {e}", go.dest)),
+                            );
+                        }
+                    }
+                }
+                None => {
+                    shared.report_home(
+                        &run_as,
+                        &credentials,
+                        ReportStatus::Failed("host stop without destination".into()),
+                    );
+                }
+            }
+        }
+        ExecOutcome::Trapped { kind, func, ip } => {
+            shared.report_home(
+                &run_as,
+                &credentials,
+                ReportStatus::Failed(format!("trap at fn#{func}@{ip}: {kind}")),
+            );
+        }
+        ExecOutcome::OutOfFuel => {
+            shared.report_home(
+                &run_as,
+                &credentials,
+                ReportStatus::QuotaExceeded("instruction fuel exhausted".into()),
+            );
+        }
+    }
+
+    // Departure: drop bindings and the domain. Installed resources stay.
+    shared.mailboxes.lock().remove(&run_as);
+    let _ = shared.domains.lock().evict(DomainId::SERVER, domain);
+}

@@ -1,0 +1,239 @@
+//! Resources implemented by agent bytecode — dynamic server extension.
+//!
+//! Paper Section 5.5: *"A service provider can dispatch an agent at any
+//! time, to install new resources dynamically. The agent can carry
+//! resource objects, each of which encapsulates a customized access
+//! control protocol, proxy creation mechanism, etc. ... Having done so,
+//! the agent thread may terminate, leaving the passive resource objects
+//! behind."*
+//!
+//! In the Java original the carried resource is a Java object; here it is
+//! a verified AgentScript [`Module`]: each exported function becomes a
+//! resource method, and every invocation runs in a fresh fuel-bounded
+//! interpreter over the resource's **own persistent globals** — so an
+//! installed resource keeps state between calls, exactly like a passive
+//! object left behind.
+
+use std::sync::Arc;
+
+use ajanta_naming::Urn;
+use ajanta_vm::{
+    ExecOutcome, Interpreter, Limits, Module, NoHost, Value, VerifiedModule,
+};
+use parking_lot::Mutex;
+
+use ajanta_core::{MethodSpec, Resource, ResourceError};
+
+/// A resource whose implementation is mobile code.
+pub struct VmResource {
+    name: Urn,
+    owner: Urn,
+    module: Arc<VerifiedModule>,
+    /// Persistent state across invocations.
+    globals: Mutex<Vec<Value>>,
+    /// Fuel/allocation budget per invocation — the host protects itself
+    /// from a hostile installed resource the same way it does from a
+    /// hostile agent.
+    limits: Limits,
+}
+
+impl VmResource {
+    /// Verifies `module` and wraps it as a resource. Every function in
+    /// the module becomes an invocable method.
+    pub fn install(
+        name: Urn,
+        owner: Urn,
+        module: Module,
+        limits: Limits,
+    ) -> Result<Arc<Self>, ajanta_vm::VerifyError> {
+        let module = Arc::new(ajanta_vm::verify(module)?);
+        let globals = module.module().initial_globals();
+        Ok(Arc::new(VmResource {
+            name,
+            owner,
+            module,
+            globals: Mutex::new(globals),
+            limits,
+        }))
+    }
+
+    /// The verified implementation module.
+    pub fn module(&self) -> &Arc<VerifiedModule> {
+        &self.module
+    }
+}
+
+impl Resource for VmResource {
+    fn name(&self) -> &Urn {
+        &self.name
+    }
+    fn owner(&self) -> &Urn {
+        &self.owner
+    }
+    fn methods(&self) -> Vec<MethodSpec> {
+        self.module
+            .module()
+            .functions
+            .iter()
+            .map(|f| MethodSpec::new(f.name.clone(), f.params.clone(), f.ret))
+            .collect()
+    }
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ResourceError> {
+        self.check_args(method, args)?;
+        // Hold the state lock for the whole call: resource methods are
+        // synchronized, like the paper's `synchronized` buffer methods.
+        let mut globals = self.globals.lock();
+        let mut interp = Interpreter::new(&self.module, self.limits);
+        if !interp.restore_globals(globals.clone()) {
+            return Err(ResourceError::Failed("resource state corrupt".into()));
+        }
+        match interp.run(method, args.to_vec(), &mut NoHost) {
+            ExecOutcome::Finished(v) => {
+                *globals = interp.globals().to_vec();
+                Ok(v)
+            }
+            ExecOutcome::Trapped { kind, .. } => {
+                // State is NOT committed on failure: invocations are
+                // all-or-nothing.
+                Err(ResourceError::Failed(format!("resource code trapped: {kind}")))
+            }
+            ExecOutcome::OutOfFuel => Err(ResourceError::Failed(
+                "resource code exceeded its fuel budget".into(),
+            )),
+            ExecOutcome::HostStopped { .. } => unreachable!("NoHost cannot stop execution"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajanta_vm::{ModuleBuilder, Op, Ty};
+
+    /// A counter service: `bump(n) -> new_total`, `total() -> total`.
+    fn counter_module() -> Module {
+        let mut b = ModuleBuilder::new("counter-svc");
+        let g = b.global(Ty::Int);
+        b.function(
+            "bump",
+            [Ty::Int],
+            [],
+            Ty::Int,
+            vec![
+                Op::GLoad(g),
+                Op::Load(0),
+                Op::Add,
+                Op::GStore(g),
+                Op::GLoad(g),
+                Op::Ret,
+            ],
+        );
+        b.function("total", [], [], Ty::Int, vec![Op::GLoad(g), Op::Ret]);
+        b.function(
+            "boom",
+            [],
+            [],
+            Ty::Int,
+            vec![Op::GLoad(g), Op::PushI(1), Op::GStore(g), Op::PushI(0), Op::PushI(0), Op::Div, Op::Ret],
+        );
+        b.build()
+    }
+
+    fn install() -> Arc<VmResource> {
+        VmResource::install(
+            Urn::resource("x.org", ["counter-svc"]).unwrap(),
+            Urn::owner("x.org", ["installer"]).unwrap(),
+            counter_module(),
+            Limits::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn functions_become_methods() {
+        let r = install();
+        let methods = r.methods();
+        assert_eq!(methods.len(), 3);
+        assert_eq!(methods[0].name, "bump");
+        assert_eq!(methods[0].params, vec![Ty::Int]);
+    }
+
+    #[test]
+    fn state_persists_across_invocations() {
+        let r = install();
+        assert_eq!(r.invoke("bump", &[Value::Int(5)]).unwrap(), Value::Int(5));
+        assert_eq!(r.invoke("bump", &[Value::Int(3)]).unwrap(), Value::Int(8));
+        assert_eq!(r.invoke("total", &[]).unwrap(), Value::Int(8));
+    }
+
+    #[test]
+    fn unverifiable_module_refused_at_install() {
+        let mut b = ModuleBuilder::new("bad");
+        b.function("f", [], [], Ty::Int, vec![Op::Add, Op::Ret]);
+        assert!(VmResource::install(
+            Urn::resource("x.org", ["bad"]).unwrap(),
+            Urn::owner("x.org", ["i"]).unwrap(),
+            b.build(),
+            Limits::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trapping_method_reports_failure_and_rolls_back() {
+        let r = install();
+        r.invoke("bump", &[Value::Int(7)]).unwrap();
+        // `boom` first writes the global then divides by zero; the write
+        // must not be committed.
+        let err = r.invoke("boom", &[]).unwrap_err();
+        assert!(matches!(err, ResourceError::Failed(_)));
+        assert_eq!(r.invoke("total", &[]).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn fuel_budget_bounds_hostile_resources() {
+        let mut b = ModuleBuilder::new("spin");
+        b.function("spin", [], [], Ty::Int, vec![Op::Jump(0)]);
+        let r = VmResource::install(
+            Urn::resource("x.org", ["spin"]).unwrap(),
+            Urn::owner("x.org", ["i"]).unwrap(),
+            b.build(),
+            Limits {
+                fuel: 1_000,
+                ..Limits::default()
+            },
+        )
+        .unwrap();
+        let err = r.invoke("spin", &[]).unwrap_err();
+        assert!(matches!(err, ResourceError::Failed(m) if m.contains("fuel")));
+    }
+
+    #[test]
+    fn bad_arguments_rejected_before_execution() {
+        let r = install();
+        assert!(matches!(
+            r.invoke("bump", &[Value::str("not an int")]),
+            Err(ResourceError::BadArguments { .. })
+        ));
+        assert!(matches!(
+            r.invoke("ghost", &[]),
+            Err(ResourceError::NoSuchMethod(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_invocations_are_serialized() {
+        let r = install();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = Arc::clone(&r);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        r.invoke("bump", &[Value::Int(1)]).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(r.invoke("total", &[]).unwrap(), Value::Int(200));
+    }
+}

@@ -1,0 +1,276 @@
+//! One-call world construction for tests, examples and experiments: a
+//! certificate authority, a simulated network, N agent servers with
+//! published certificates, and owner principals.
+
+use ajanta_core::{PrincipalPattern, Rights, SecurityPolicy, UsageLimits};
+use ajanta_crypto::cert::Certificate;
+use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
+use ajanta_naming::Urn;
+use ajanta_net::secure::ChannelIdentity;
+use ajanta_net::{LinkModel, SimNet};
+use ajanta_vm::Limits;
+
+use crate::directory::Directory;
+use crate::owner::Owner;
+use crate::server::{AgentServer, ServerConfig, ServerHandle};
+
+/// Per-server policy factory: (server index, server name) → policy.
+type PolicyFactory = Box<dyn Fn(usize, &Urn) -> SecurityPolicy>;
+
+/// Builder for a [`World`].
+pub struct WorldBuilder {
+    servers: usize,
+    link: LinkModel,
+    seed: u64,
+    policy_fn: PolicyFactory,
+    agent_limits: UsageLimits,
+    vm_limits: Limits,
+    agents_may_dispatch: bool,
+    system_modules: Vec<std::sync::Arc<ajanta_vm::VerifiedModule>>,
+}
+
+impl WorldBuilder {
+    /// Starts a builder for `servers` servers.
+    pub fn new(servers: usize) -> Self {
+        WorldBuilder {
+            servers,
+            link: LinkModel::default(),
+            seed: 0x0A14_A17A,
+            // Default policy: every authenticated principal may use every
+            // resource — examples override with real policies; the
+            // delegation intersection still applies.
+            policy_fn: Box::new(|_, _| {
+                SecurityPolicy::new().allow(PrincipalPattern::Anyone, Rights::all())
+            }),
+            agent_limits: UsageLimits::default(),
+            vm_limits: Limits::default(),
+            agents_may_dispatch: true,
+            system_modules: Vec::new(),
+        }
+    }
+
+    /// Sets the default link model.
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-server policy factory (index, server name) → policy.
+    pub fn policy(mut self, f: impl Fn(usize, &Urn) -> SecurityPolicy + 'static) -> Self {
+        self.policy_fn = Box::new(f);
+        self
+    }
+
+    /// Sets per-agent quotas.
+    pub fn agent_limits(mut self, limits: UsageLimits) -> Self {
+        self.agent_limits = limits;
+        self
+    }
+
+    /// Sets interpreter limits.
+    pub fn vm_limits(mut self, limits: Limits) -> Self {
+        self.vm_limits = limits;
+        self
+    }
+
+    /// Pre-loads these modules into every agent name-space (they can
+    /// never be shadowed by agent code).
+    pub fn system_modules(
+        mut self,
+        modules: Vec<std::sync::Arc<ajanta_vm::VerifiedModule>>,
+    ) -> Self {
+        self.system_modules = modules;
+        self
+    }
+
+    /// Forbids agent-initiated dispatch on all servers.
+    pub fn no_agent_dispatch(mut self) -> Self {
+        self.agents_may_dispatch = false;
+        self
+    }
+
+    /// Builds and starts the world.
+    pub fn build(self) -> World {
+        let mut rng = DetRng::new(self.seed);
+        let net = SimNet::new(self.link, rng.next_u64());
+        let ca = KeyPair::generate(&mut rng);
+        let mut roots = RootOfTrust::new();
+        roots.trust("ca.world", ca.public);
+        let directory = Directory::new();
+
+        let mut servers = Vec::with_capacity(self.servers);
+        let mut serial = 1;
+        for i in 0..self.servers {
+            let name = Urn::server(format!("site{i}.org"), ["s".to_string()])
+                .expect("generated name is canonical");
+            let keys = KeyPair::generate(&mut rng);
+            let cert = Certificate::issue(
+                name.to_string(),
+                keys.public,
+                "ca.world",
+                &ca,
+                u64::MAX,
+                serial,
+                &mut rng,
+            );
+            serial += 1;
+            directory.publish(name.clone(), cert.clone());
+            let identity = ChannelIdentity {
+                name: name.clone(),
+                keys: keys.clone(),
+                chain: vec![cert],
+            };
+            let config = ServerConfig {
+                name: name.clone(),
+                identity,
+                keys,
+                roots: roots.clone(),
+                directory: directory.clone(),
+                policy: (self.policy_fn)(i, &name),
+                system_modules: self.system_modules.clone(),
+                agent_limits: self.agent_limits,
+                vm_limits: self.vm_limits,
+                agents_may_dispatch: self.agents_may_dispatch,
+                replay_window_ns: u64::MAX / 4,
+                seed: rng.next_u64(),
+            };
+            servers.push(AgentServer::spawn(&net, config));
+        }
+
+        World {
+            net,
+            directory,
+            roots,
+            ca,
+            servers,
+            rng,
+            owner_serial: serial,
+        }
+    }
+}
+
+/// A running multi-server world.
+pub struct World {
+    /// The simulated network.
+    pub net: SimNet,
+    /// The shared certificate directory.
+    pub directory: Directory,
+    /// The trust roots every party uses.
+    pub roots: RootOfTrust,
+    ca: KeyPair,
+    /// The running servers, in creation order.
+    pub servers: Vec<ServerHandle>,
+    rng: DetRng,
+    owner_serial: u64,
+}
+
+impl World {
+    /// A world with `n` servers, default links, default seed.
+    pub fn new(n: usize) -> World {
+        WorldBuilder::new(n).build()
+    }
+
+    /// A builder for customized worlds.
+    pub fn builder(n: usize) -> WorldBuilder {
+        WorldBuilder::new(n)
+    }
+
+    /// Server `i`'s handle.
+    pub fn server(&self, i: usize) -> &ServerHandle {
+        &self.servers[i]
+    }
+
+    /// Mints an owner with a CA-issued certificate.
+    pub fn owner(&mut self, tag: &str) -> Owner {
+        let name = Urn::owner("users.org", [tag]).expect("canonical owner tag");
+        let keys = KeyPair::generate(&mut self.rng);
+        self.owner_serial += 1;
+        let cert = Certificate::issue(
+            name.to_string(),
+            keys.public,
+            "ca.world",
+            &self.ca,
+            u64::MAX,
+            self.owner_serial,
+            &mut self.rng,
+        );
+        Owner::new(name, keys, vec![cert], self.rng.next_u64())
+    }
+
+    /// Mints a CA-certified *server* identity that is published in the
+    /// directory but runs no server loop — a rogue-but-certified peer for
+    /// attack tests (it can seal datagrams other servers will
+    /// authenticate, then misbehave at the protocol layer).
+    pub fn certified_rogue(
+        &mut self,
+        tag: &str,
+    ) -> (ajanta_net::secure::ChannelIdentity, KeyPair) {
+        let name = Urn::server("rogue.org", [tag]).expect("canonical rogue tag");
+        let keys = KeyPair::generate(&mut self.rng);
+        self.owner_serial += 1;
+        let cert = Certificate::issue(
+            name.to_string(),
+            keys.public,
+            "ca.world",
+            &self.ca,
+            u64::MAX,
+            self.owner_serial,
+            &mut self.rng,
+        );
+        self.directory.publish(name.clone(), cert.clone());
+        (
+            ajanta_net::secure::ChannelIdentity {
+                name,
+                keys: keys.clone(),
+                chain: vec![cert],
+            },
+            keys,
+        )
+    }
+
+    /// Shuts every server down and joins their threads.
+    pub fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_spins_up_and_down() {
+        let world = World::new(3);
+        assert_eq!(world.servers.len(), 3);
+        assert_eq!(world.directory.len(), 3);
+        // Names are distinct and resolvable.
+        let keys: Vec<_> = world
+            .servers
+            .iter()
+            .map(|s| {
+                world
+                    .directory
+                    .verified_key(s.name(), &world.roots, 0)
+                    .expect("published key verifies")
+            })
+            .collect();
+        assert_eq!(keys.len(), 3);
+        world.shutdown();
+    }
+
+    #[test]
+    fn owners_are_certified() {
+        let mut world = World::new(1);
+        let owner = world.owner("alice");
+        assert_eq!(owner.name().to_string(), "ajn://users.org/owner/alice");
+        world.shutdown();
+    }
+}

@@ -1,0 +1,615 @@
+//! A small text assembler for AgentScript.
+//!
+//! Examples and workloads define agent programs in a readable form instead
+//! of raw `Op` vectors. Grammar (line-oriented; `#` starts a comment):
+//!
+//! ```text
+//! module shopper
+//! import env.get_resource (bytes) -> int
+//! global counter: int
+//! data greeting = "hello"
+//!
+//! func main(args: bytes) -> int
+//!   locals i: int, buf: bytes
+//!   push 5
+//!   store i
+//! loop:
+//!   load i
+//!   jz done
+//!   load i
+//!   push 1
+//!   sub
+//!   store i
+//!   jump loop
+//! done:
+//!   push 0
+//!   ret
+//! ```
+//!
+//! Names are resolved at assembly time: locals/globals/data/imports/
+//! functions are referenced by name; labels resolve forward and backward.
+//! The output is an **unverified** [`Module`] — callers pass it through
+//! the verifier (or a [`crate::loader::Namespace`]) like any other code.
+
+use std::collections::BTreeMap;
+
+use crate::isa::Op;
+use crate::module::{Function, HostImport, Module};
+use crate::value::Ty;
+
+/// Assembly failure, with a 1-based source line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line where assembly failed.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_ty(s: &str, line: usize) -> Result<Ty, AsmError> {
+    match s {
+        "int" => Ok(Ty::Int),
+        "bytes" => Ok(Ty::Bytes),
+        other => Err(err(line, format!("unknown type {other:?}"))),
+    }
+}
+
+/// Parses `name: ty` pairs separated by commas; empty input is fine.
+fn parse_typed_list(s: &str, line: usize) -> Result<Vec<(String, Ty)>, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|part| {
+            let (name, ty) = part
+                .split_once(':')
+                .ok_or_else(|| err(line, format!("expected `name: type` in {part:?}")))?;
+            Ok((name.trim().to_string(), parse_ty(ty.trim(), line)?))
+        })
+        .collect()
+}
+
+/// Parses a double-quoted string literal with `\n`, `\t`, `\"`, `\\`
+/// escapes.
+fn parse_string_literal(s: &str, line: usize) -> Result<Vec<u8>, AsmError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| err(line, "expected a double-quoted string"))?;
+    let mut out = Vec::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('"') => out.push(b'"'),
+                Some('\\') => out.push(b'\\'),
+                other => return Err(err(line, format!("bad escape: \\{other:?}"))),
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+struct PendingFn {
+    name: String,
+    params: Vec<(String, Ty)>,
+    locals: Vec<(String, Ty)>,
+    ret: Ty,
+    /// (line, mnemonic, operand) triples; resolved in pass two.
+    body: Vec<(usize, String, Option<String>)>,
+    /// label -> instruction index
+    labels: BTreeMap<String, u32>,
+    decl_line: usize,
+}
+
+/// Assembles source text into a module.
+pub fn assemble(source: &str) -> Result<Module, AsmError> {
+    let mut module_name: Option<String> = None;
+    let mut imports: Vec<HostImport> = Vec::new();
+    let mut globals: Vec<(String, Ty)> = Vec::new();
+    let mut data: Vec<(String, Vec<u8>)> = Vec::new();
+    let mut funcs: Vec<PendingFn> = Vec::new();
+    let mut current: Option<PendingFn> = None;
+
+    for (i, raw) in source.lines().enumerate() {
+        let lineno = i + 1;
+        let line = match raw.split_once('#') {
+            Some((before, _)) => before.trim(),
+            None => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+
+        let (word, rest) = match line.split_once(char::is_whitespace) {
+            Some((w, r)) => (w, r.trim()),
+            None => (line, ""),
+        };
+
+        match word {
+            "module" => {
+                if module_name.is_some() {
+                    return Err(err(lineno, "duplicate module declaration"));
+                }
+                if rest.is_empty() {
+                    return Err(err(lineno, "module needs a name"));
+                }
+                module_name = Some(rest.to_string());
+            }
+            "import" => {
+                // import env.log (bytes) -> int
+                let (name, sig) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err(lineno, "import needs `name (types) -> ret`"))?;
+                let (params_s, ret_s) = sig
+                    .split_once("->")
+                    .ok_or_else(|| err(lineno, "import needs `-> ret`"))?;
+                let params_s = params_s
+                    .trim()
+                    .strip_prefix('(')
+                    .and_then(|s| s.strip_suffix(')'))
+                    .ok_or_else(|| err(lineno, "import params need parentheses"))?;
+                let params = if params_s.trim().is_empty() {
+                    Vec::new()
+                } else {
+                    params_s
+                        .split(',')
+                        .map(|t| parse_ty(t.trim(), lineno))
+                        .collect::<Result<_, _>>()?
+                };
+                imports.push(HostImport {
+                    name: name.to_string(),
+                    params,
+                    ret: parse_ty(ret_s.trim(), lineno)?,
+                });
+            }
+            "global" => {
+                let mut pairs = parse_typed_list(rest, lineno)?;
+                if pairs.len() != 1 {
+                    return Err(err(lineno, "one global per line"));
+                }
+                let pair = pairs.pop().expect("checked length");
+                if globals.iter().any(|(n, _)| *n == pair.0) {
+                    return Err(err(lineno, format!("duplicate global {:?}", pair.0)));
+                }
+                globals.push(pair);
+            }
+            "data" => {
+                let (name, value) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err(lineno, "data needs `name = \"...\"`"))?;
+                let name = name.trim().to_string();
+                if data.iter().any(|(n, _)| *n == name) {
+                    return Err(err(lineno, format!("duplicate data {name:?}")));
+                }
+                data.push((name, parse_string_literal(value, lineno)?));
+            }
+            "func" => {
+                if let Some(f) = current.take() {
+                    funcs.push(f);
+                }
+                // func main(args: bytes) -> int
+                let (head, ret_s) = rest
+                    .split_once("->")
+                    .ok_or_else(|| err(lineno, "func needs `-> ret`"))?;
+                let head = head.trim();
+                let open = head
+                    .find('(')
+                    .ok_or_else(|| err(lineno, "func needs a parameter list"))?;
+                let name = head[..open].trim().to_string();
+                let params_s = head[open + 1..]
+                    .strip_suffix(')')
+                    .ok_or_else(|| err(lineno, "unclosed parameter list"))?;
+                current = Some(PendingFn {
+                    name,
+                    params: parse_typed_list(params_s, lineno)?,
+                    locals: Vec::new(),
+                    ret: parse_ty(ret_s.trim(), lineno)?,
+                    body: Vec::new(),
+                    labels: BTreeMap::new(),
+                    decl_line: lineno,
+                });
+            }
+            "locals" => {
+                let f = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "locals outside a func"))?;
+                if !f.body.is_empty() {
+                    return Err(err(lineno, "locals must precede instructions"));
+                }
+                f.locals.extend(parse_typed_list(rest, lineno)?);
+            }
+            _ if word.ends_with(':') && rest.is_empty() => {
+                let f = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "label outside a func"))?;
+                let label = word.trim_end_matches(':').to_string();
+                let at = f.body.len() as u32;
+                if f.labels.insert(label.clone(), at).is_some() {
+                    return Err(err(lineno, format!("duplicate label {label:?}")));
+                }
+            }
+            mnemonic => {
+                let f = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "instruction outside a func"))?;
+                let operand = if rest.is_empty() {
+                    None
+                } else {
+                    Some(rest.to_string())
+                };
+                f.body.push((lineno, mnemonic.to_string(), operand));
+            }
+        }
+    }
+    if let Some(f) = current.take() {
+        funcs.push(f);
+    }
+
+    let module_name = module_name.ok_or_else(|| err(1, "missing module declaration"))?;
+
+    // Pass two: resolve names and labels into operands.
+    let func_names: Vec<String> = funcs.iter().map(|f| f.name.clone()).collect();
+    let mut functions = Vec::with_capacity(funcs.len());
+    for f in &funcs {
+        let mut code = Vec::with_capacity(f.body.len());
+        let local_index = |name: &str| -> Option<u16> {
+            f.params
+                .iter()
+                .chain(f.locals.iter())
+                .position(|(n, _)| n == name)
+                .map(|i| i as u16)
+        };
+        for (lineno, mnemonic, operand) in &f.body {
+            let lineno = *lineno;
+            let need = |what: &str| -> Result<&str, AsmError> {
+                operand
+                    .as_deref()
+                    .ok_or_else(|| err(lineno, format!("{mnemonic} needs {what}")))
+            };
+            let none = |op: Op| -> Result<Op, AsmError> {
+                if operand.is_some() {
+                    Err(err(lineno, format!("{mnemonic} takes no operand")))
+                } else {
+                    Ok(op)
+                }
+            };
+            let label = |name: &str| -> Result<u32, AsmError> {
+                f.labels
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| err(lineno, format!("unknown label {name:?}")))
+            };
+            let op = match mnemonic.as_str() {
+                "push" => Op::PushI(
+                    need("an integer")?
+                        .parse::<i64>()
+                        .map_err(|_| err(lineno, "push needs an integer"))?,
+                ),
+                "pushd" => {
+                    let name = need("a data name")?;
+                    let idx = data
+                        .iter()
+                        .position(|(n, _)| n == name)
+                        .ok_or_else(|| err(lineno, format!("unknown data {name:?}")))?;
+                    Op::PushD(idx as u32)
+                }
+                "dup" => none(Op::Dup)?,
+                "drop" => none(Op::Drop)?,
+                "swap" => none(Op::Swap)?,
+                "add" => none(Op::Add)?,
+                "sub" => none(Op::Sub)?,
+                "mul" => none(Op::Mul)?,
+                "div" => none(Op::Div)?,
+                "rem" => none(Op::Rem)?,
+                "neg" => none(Op::Neg)?,
+                "eq" => none(Op::Eq)?,
+                "ne" => none(Op::Ne)?,
+                "lt" => none(Op::Lt)?,
+                "le" => none(Op::Le)?,
+                "gt" => none(Op::Gt)?,
+                "ge" => none(Op::Ge)?,
+                "and" => none(Op::And)?,
+                "or" => none(Op::Or)?,
+                "not" => none(Op::Not)?,
+                "bconcat" => none(Op::BConcat)?,
+                "blen" => none(Op::BLen)?,
+                "bindex" => none(Op::BIndex)?,
+                "bslice" => none(Op::BSlice)?,
+                "beq" => none(Op::BEq)?,
+                "itoa" => none(Op::IToA)?,
+                "atoi" => none(Op::AToI)?,
+                "load" => {
+                    let name = need("a local name")?;
+                    Op::Load(
+                        local_index(name)
+                            .ok_or_else(|| err(lineno, format!("unknown local {name:?}")))?,
+                    )
+                }
+                "store" => {
+                    let name = need("a local name")?;
+                    Op::Store(
+                        local_index(name)
+                            .ok_or_else(|| err(lineno, format!("unknown local {name:?}")))?,
+                    )
+                }
+                "gload" => {
+                    let name = need("a global name")?;
+                    let idx = globals
+                        .iter()
+                        .position(|(n, _)| n == name)
+                        .ok_or_else(|| err(lineno, format!("unknown global {name:?}")))?;
+                    Op::GLoad(idx as u16)
+                }
+                "gstore" => {
+                    let name = need("a global name")?;
+                    let idx = globals
+                        .iter()
+                        .position(|(n, _)| n == name)
+                        .ok_or_else(|| err(lineno, format!("unknown global {name:?}")))?;
+                    Op::GStore(idx as u16)
+                }
+                "jump" => Op::Jump(label(need("a label")?)?),
+                "jz" => Op::JumpIfZero(label(need("a label")?)?),
+                "call" => {
+                    let name = need("a function name")?;
+                    let idx = func_names
+                        .iter()
+                        .position(|n| n == name)
+                        .ok_or_else(|| err(lineno, format!("unknown function {name:?}")))?;
+                    Op::Call(idx as u32)
+                }
+                "hostcall" => {
+                    let name = need("an import name")?;
+                    let idx = imports
+                        .iter()
+                        .position(|im| im.name == name)
+                        .ok_or_else(|| err(lineno, format!("unknown import {name:?}")))?;
+                    Op::HostCall(idx as u32)
+                }
+                "ret" => none(Op::Ret)?,
+                "halt" => none(Op::Halt)?,
+                "nop" => none(Op::Nop)?,
+                other => return Err(err(lineno, format!("unknown mnemonic {other:?}"))),
+            };
+            code.push(op);
+        }
+        // Labels may point one past the final instruction only if unused;
+        // the verifier will catch genuinely bad targets. An empty body is
+        // rejected here with a clearer message.
+        if code.is_empty() {
+            return Err(err(f.decl_line, format!("function {:?} has no body", f.name)));
+        }
+        functions.push(Function {
+            name: f.name.clone(),
+            params: f.params.iter().map(|(_, t)| *t).collect(),
+            locals: f.locals.iter().map(|(_, t)| *t).collect(),
+            ret: f.ret,
+            code,
+        });
+    }
+
+    Ok(Module {
+        name: module_name,
+        imports,
+        functions,
+        globals: globals.into_iter().map(|(_, t)| t).collect(),
+        data: data.into_iter().map(|(_, b)| b).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{ExecOutcome, Interpreter, Limits, NoHost};
+    use crate::value::Value;
+    use crate::verifier::verify;
+
+    fn run(source: &str, entry: &str) -> ExecOutcome {
+        let module = assemble(source).unwrap();
+        let vm = verify(module).unwrap();
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        interp.run(entry, vec![], &mut NoHost)
+    }
+
+    #[test]
+    fn assembles_and_runs_countdown() {
+        let src = r#"
+            module countdown
+            func main() -> int
+              locals i: int, acc: int
+              push 5
+              store i
+            loop:
+              load i
+              jz done
+              load acc
+              load i
+              add
+              store acc
+              load i
+              push 1
+              sub
+              store i
+              jump loop
+            done:
+              load acc
+              ret
+        "#;
+        assert_eq!(run(src, "main"), ExecOutcome::Finished(Value::Int(15)));
+    }
+
+    #[test]
+    fn data_and_string_escapes() {
+        let src = r#"
+            module strings
+            data msg = "a\"b\n\t\\"
+            func main() -> int
+              pushd msg
+              blen
+              ret
+        "#;
+        // a, ", b, \n, \t, \\ = 6 bytes
+        assert_eq!(run(src, "main"), ExecOutcome::Finished(Value::Int(6)));
+    }
+
+    #[test]
+    fn globals_and_calls() {
+        let src = r#"
+            module gc
+            global counter: int
+
+            func bump() -> int
+              gload counter
+              push 1
+              add
+              gstore counter
+              gload counter
+              ret
+
+            func main() -> int
+              call bump
+              drop
+              call bump
+              ret
+        "#;
+        assert_eq!(run(src, "main"), ExecOutcome::Finished(Value::Int(2)));
+    }
+
+    #[test]
+    fn imports_resolve_by_name() {
+        let src = r#"
+            module im
+            import env.log (bytes) -> int
+            import env.get (bytes, int) -> bytes
+            data q = "query"
+            func main() -> int
+              pushd q
+              push 3
+              hostcall env.get
+              blen
+              ret
+        "#;
+        let m = assemble(src).unwrap();
+        assert_eq!(m.imports.len(), 2);
+        assert_eq!(m.functions[0].code[2], Op::HostCall(1));
+        verify(m).unwrap();
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "
+            # leading comment
+            module c  # trailing words are part of the name? no: comment stripped first
+
+            func main() -> int   # entry
+              push 1   # one
+              ret
+        ";
+        // note: '# trailing...' is stripped before parsing the name
+        let m = assemble(src).unwrap();
+        assert_eq!(m.name, "c");
+    }
+
+    #[test]
+    fn params_become_locals() {
+        let src = r#"
+            module p
+            func diff(a: int, b: int) -> int
+              load a
+              load b
+              sub
+              ret
+            func main() -> int
+              push 50
+              push 8
+              call diff
+              ret
+        "#;
+        assert_eq!(run(src, "main"), ExecOutcome::Finished(Value::Int(42)));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let src = "module m\nfunc main() -> int\n  frobnicate\n  ret\n";
+        let e = assemble(src).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        for (line, src) in [
+            ("label", "module m\nfunc f() -> int\n  jump nowhere\n  ret"),
+            ("local", "module m\nfunc f() -> int\n  load ghost\n  ret"),
+            ("global", "module m\nfunc f() -> int\n  gload ghost\n  ret"),
+            ("data", "module m\nfunc f() -> int\n  pushd ghost\n  ret"),
+            ("function", "module m\nfunc f() -> int\n  call ghost\n  ret"),
+            ("import", "module m\nfunc f() -> int\n  hostcall ghost\n  ret"),
+        ] {
+            assert!(assemble(src).is_err(), "should reject unknown {line}");
+        }
+    }
+
+    #[test]
+    fn structural_errors_rejected() {
+        assert!(assemble("func f() -> int\n  ret").is_err()); // no module
+        assert!(assemble("module m\n  push 1").is_err()); // instr outside func
+        assert!(assemble("module m\nfunc f() -> int").is_err()); // empty body
+        assert!(assemble("module m\nmodule n").is_err()); // duplicate module
+        assert!(assemble("module m\nglobal x: int\nglobal x: int").is_err());
+        assert!(assemble("module m\ndata d = \"a\"\ndata d = \"b\"").is_err());
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let src = "module m\nfunc f() -> int\nl:\nl:\n  push 0\n  ret";
+        let e = assemble(src).unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn operand_arity_enforced() {
+        assert!(assemble("module m\nfunc f() -> int\n  push\n  ret").is_err());
+        assert!(assemble("module m\nfunc f() -> int\n  add 3\n  ret").is_err());
+    }
+
+    #[test]
+    fn assembled_module_roundtrips_through_wire() {
+        use ajanta_wire::Wire;
+        let src = r#"
+            module rt
+            global g: bytes
+            data d = "payload"
+            import env.x (int) -> int
+            func main() -> int
+              push 1
+              hostcall env.x
+              ret
+        "#;
+        let m = assemble(src).unwrap();
+        assert_eq!(Module::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+}

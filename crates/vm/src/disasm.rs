@@ -1,0 +1,246 @@
+//! Disassembler: renders a [`Module`] back to assembler syntax.
+//!
+//! Useful for debugging migrated agents (servers can dump exactly what
+//! code arrived) and for testing: `assemble(disassemble(m))` reproduces
+//! `m` up to naming of labels/locals, and exactly for modules that came
+//! from the assembler in the first place (see the round-trip property in
+//! `tests/properties.rs`).
+
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+use crate::isa::Op;
+use crate::module::{Function, Module};
+use crate::value::Ty;
+
+/// Renders `module` as assembler source accepted by [`crate::assemble`].
+pub fn disassemble(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", m.name);
+
+    for import in &m.imports {
+        let params: Vec<String> = import.params.iter().map(|t| t.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "import {} ({}) -> {}",
+            import.name,
+            params.join(", "),
+            import.ret
+        );
+    }
+    for (i, ty) in m.globals.iter().enumerate() {
+        let _ = writeln!(out, "global g{i}: {ty}");
+    }
+    for (i, data) in m.data.iter().enumerate() {
+        let _ = writeln!(out, "data d{i} = \"{}\"", escape(data));
+    }
+
+    for f in &m.functions {
+        let _ = writeln!(out);
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, t)| format!("p{i}: {t}"))
+            .collect();
+        let _ = writeln!(out, "func {}({}) -> {}", f.name, params.join(", "), f.ret);
+        if !f.locals.is_empty() {
+            let locals: Vec<String> = f
+                .locals
+                .iter()
+                .enumerate()
+                .map(|(i, t)| format!("l{}: {t}", i + f.params.len()))
+                .collect();
+            let _ = writeln!(out, "  locals {}", locals.join(", "));
+        }
+        render_body(&mut out, m, f);
+    }
+    out
+}
+
+fn render_body(out: &mut String, m: &Module, f: &Function) {
+    // Collect jump targets so they get labels.
+    let mut targets = BTreeSet::new();
+    for op in &f.code {
+        match op {
+            Op::Jump(t) | Op::JumpIfZero(t) => {
+                targets.insert(*t);
+            }
+            _ => {}
+        }
+    }
+    let local_name = |i: u16| -> String {
+        if (i as usize) < f.params.len() {
+            format!("p{i}")
+        } else {
+            format!("l{i}")
+        }
+    };
+    for (ip, op) in f.code.iter().enumerate() {
+        if targets.contains(&(ip as u32)) {
+            let _ = writeln!(out, "L{ip}:");
+        }
+        let line = match op {
+            Op::PushI(v) => format!("push {v}"),
+            Op::PushD(d) => format!("pushd d{d}"),
+            Op::Load(n) => format!("load {}", local_name(*n)),
+            Op::Store(n) => format!("store {}", local_name(*n)),
+            Op::GLoad(n) => format!("gload g{n}"),
+            Op::GStore(n) => format!("gstore g{n}"),
+            Op::Jump(t) => format!("jump L{t}"),
+            Op::JumpIfZero(t) => format!("jz L{t}"),
+            Op::Call(i) => format!(
+                "call {}",
+                m.functions
+                    .get(*i as usize)
+                    .map(|g| g.name.as_str())
+                    .unwrap_or("<bad-fn>")
+            ),
+            Op::HostCall(i) => format!(
+                "hostcall {}",
+                m.imports
+                    .get(*i as usize)
+                    .map(|im| im.name.as_str())
+                    .unwrap_or("<bad-import>")
+            ),
+            other => other.mnemonic().to_string(),
+        };
+        let _ = writeln!(out, "  {line}");
+    }
+}
+
+fn escape(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len());
+    for &b in bytes {
+        match b {
+            b'\n' => s.push_str("\\n"),
+            b'\t' => s.push_str("\\t"),
+            b'"' => s.push_str("\\\""),
+            b'\\' => s.push_str("\\\\"),
+            0x20..=0x7e => s.push(b as char),
+            other => {
+                // Assembler strings are text; arbitrary bytes fall back to
+                // a visible marker. Binary payloads should travel in
+                // globals, not the data pool. (The round-trip property is
+                // stated for text-pool modules.)
+                let _ = write!(s, "\\x{other:02x}");
+            }
+        }
+    }
+    s
+}
+
+/// True when every data-pool entry can round-trip through assembler
+/// string syntax (printable ASCII plus the standard escapes).
+pub fn pool_is_textual(m: &Module) -> bool {
+    m.data.iter().all(|d| {
+        d.iter()
+            .all(|&b| matches!(b, 0x20..=0x7e | b'\n' | b'\t'))
+    })
+}
+
+/// Keep the unused-ty warning away while documenting intent: the
+/// disassembler names locals after their slot, typed from the function
+/// signature.
+#[allow(dead_code)]
+fn ty_name(t: Ty) -> &'static str {
+    match t {
+        Ty::Int => "int",
+        Ty::Bytes => "bytes",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::module::ModuleBuilder;
+    use crate::verifier::verify;
+
+    const SAMPLE: &str = r#"
+        module sample
+        import env.log (bytes) -> int
+        global counter: int
+        data greeting = "hi\n"
+
+        func run(arg: bytes) -> int
+          locals i: int
+          push 3
+          store i
+        loop:
+          load i
+          jz done
+          pushd greeting
+          hostcall env.log
+          drop
+          load i
+          push 1
+          sub
+          store i
+          jump loop
+        done:
+          gload counter
+          ret
+    "#;
+
+    #[test]
+    fn disassembly_reassembles_to_identical_code() {
+        let original = assemble(SAMPLE).unwrap();
+        let text = disassemble(&original);
+        let again = assemble(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        // Same code, imports, globals, data; names differ (placeholders).
+        assert_eq!(again.imports, original.imports);
+        assert_eq!(again.globals, original.globals);
+        assert_eq!(again.data, original.data);
+        assert_eq!(again.functions.len(), original.functions.len());
+        for (a, b) in again.functions.iter().zip(&original.functions) {
+            assert_eq!(a.code, b.code, "code drifted through disassembly");
+            assert_eq!(a.params, b.params);
+            assert_eq!(a.locals, b.locals);
+            assert_eq!(a.ret, b.ret);
+        }
+        // Still verifies, obviously.
+        verify(again).unwrap();
+    }
+
+    #[test]
+    fn escapes_render_and_roundtrip() {
+        let mut b = ModuleBuilder::new("esc");
+        b.data(b"tab\there \"quoted\" back\\slash\nnewline".to_vec());
+        b.function(
+            "run",
+            [],
+            [],
+            Ty::Int,
+            vec![Op::PushI(0), Op::Ret],
+        );
+        let m = b.build();
+        assert!(pool_is_textual(&m));
+        let text = disassemble(&m);
+        let again = assemble(&text).unwrap();
+        assert_eq!(again.data, m.data);
+    }
+
+    #[test]
+    fn binary_pools_are_flagged() {
+        let mut b = ModuleBuilder::new("bin");
+        b.data(vec![0x00, 0xff, 0x80]);
+        b.function("run", [], [], Ty::Int, vec![Op::PushI(0), Op::Ret]);
+        let m = b.build();
+        assert!(!pool_is_textual(&m));
+        // Disassembly still renders something (with \x escapes), it just
+        // won't reassemble byte-identically; callers check
+        // `pool_is_textual` first.
+        let text = disassemble(&m);
+        assert!(text.contains("\\x00"));
+    }
+
+    #[test]
+    fn labels_only_where_targeted() {
+        let original = assemble(SAMPLE).unwrap();
+        let text = disassemble(&original);
+        // Exactly the two jump targets get labels.
+        let labels = text.lines().filter(|l| l.trim_end().ends_with(':')).count();
+        assert_eq!(labels, 2, "{text}");
+    }
+}

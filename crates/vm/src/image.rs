@@ -1,0 +1,515 @@
+//! Serialization: code and mobile state as canonical bytes.
+//!
+//! An [`AgentImage`] is what actually travels between agent servers: the
+//! agent's main module (code), its global values (mobile state), and the
+//! entry function to resume at. `ajanta-runtime` wraps the image in signed,
+//! MAC-framed transfer messages; the canonical encoding from `ajanta-wire`
+//! guarantees the signature covers exactly one possible byte string.
+
+use ajanta_wire::{decode_seq, encode_seq, Decoder, Encoder, Wire, WireError};
+
+use crate::isa::Op;
+use crate::module::{Function, HostImport, Module};
+use crate::value::{Ty, Value};
+
+impl Wire for Ty {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(match self {
+            Ty::Int => 0,
+            Ty::Bytes => 1,
+        });
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(Ty::Int),
+            1 => Ok(Ty::Bytes),
+            tag => Err(WireError::BadTag { ty: "Ty", tag }),
+        }
+    }
+}
+
+impl Wire for Value {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Value::Int(i) => {
+                e.put_u8(0);
+                e.put_varint_signed(*i);
+            }
+            Value::Bytes(b) => {
+                e.put_u8(1);
+                e.put_bytes(b);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(Value::Int(d.get_varint_signed()?)),
+            1 => Ok(Value::Bytes(d.get_bytes()?)),
+            tag => Err(WireError::BadTag { ty: "Value", tag }),
+        }
+    }
+}
+
+/// Opcode tags. Kept explicit (not derived from discriminants) so the wire
+/// format is stable under enum reordering.
+mod optag {
+    pub const PUSH_I: u8 = 0;
+    pub const PUSH_D: u8 = 1;
+    pub const DUP: u8 = 2;
+    pub const DROP: u8 = 3;
+    pub const SWAP: u8 = 4;
+    pub const ADD: u8 = 5;
+    pub const SUB: u8 = 6;
+    pub const MUL: u8 = 7;
+    pub const DIV: u8 = 8;
+    pub const REM: u8 = 9;
+    pub const NEG: u8 = 10;
+    pub const EQ: u8 = 11;
+    pub const NE: u8 = 12;
+    pub const LT: u8 = 13;
+    pub const LE: u8 = 14;
+    pub const GT: u8 = 15;
+    pub const GE: u8 = 16;
+    pub const AND: u8 = 17;
+    pub const OR: u8 = 18;
+    pub const NOT: u8 = 19;
+    pub const BCONCAT: u8 = 20;
+    pub const BLEN: u8 = 21;
+    pub const BINDEX: u8 = 22;
+    pub const BSLICE: u8 = 23;
+    pub const BEQ: u8 = 24;
+    pub const ITOA: u8 = 25;
+    pub const ATOI: u8 = 26;
+    pub const LOAD: u8 = 27;
+    pub const STORE: u8 = 28;
+    pub const GLOAD: u8 = 29;
+    pub const GSTORE: u8 = 30;
+    pub const JUMP: u8 = 31;
+    pub const JZ: u8 = 32;
+    pub const CALL: u8 = 33;
+    pub const RET: u8 = 34;
+    pub const HALT: u8 = 35;
+    pub const HOSTCALL: u8 = 36;
+    pub const NOP: u8 = 37;
+}
+
+impl Wire for Op {
+    fn encode(&self, e: &mut Encoder) {
+        use optag::*;
+        match *self {
+            Op::PushI(i) => {
+                e.put_u8(PUSH_I);
+                e.put_varint_signed(i);
+            }
+            Op::PushD(d) => {
+                e.put_u8(PUSH_D);
+                e.put_varint(u64::from(d));
+            }
+            Op::Dup => e.put_u8(DUP),
+            Op::Drop => e.put_u8(DROP),
+            Op::Swap => e.put_u8(SWAP),
+            Op::Add => e.put_u8(ADD),
+            Op::Sub => e.put_u8(SUB),
+            Op::Mul => e.put_u8(MUL),
+            Op::Div => e.put_u8(DIV),
+            Op::Rem => e.put_u8(REM),
+            Op::Neg => e.put_u8(NEG),
+            Op::Eq => e.put_u8(EQ),
+            Op::Ne => e.put_u8(NE),
+            Op::Lt => e.put_u8(LT),
+            Op::Le => e.put_u8(LE),
+            Op::Gt => e.put_u8(GT),
+            Op::Ge => e.put_u8(GE),
+            Op::And => e.put_u8(AND),
+            Op::Or => e.put_u8(OR),
+            Op::Not => e.put_u8(NOT),
+            Op::BConcat => e.put_u8(BCONCAT),
+            Op::BLen => e.put_u8(BLEN),
+            Op::BIndex => e.put_u8(BINDEX),
+            Op::BSlice => e.put_u8(BSLICE),
+            Op::BEq => e.put_u8(BEQ),
+            Op::IToA => e.put_u8(ITOA),
+            Op::AToI => e.put_u8(ATOI),
+            Op::Load(n) => {
+                e.put_u8(LOAD);
+                e.put_varint(u64::from(n));
+            }
+            Op::Store(n) => {
+                e.put_u8(STORE);
+                e.put_varint(u64::from(n));
+            }
+            Op::GLoad(n) => {
+                e.put_u8(GLOAD);
+                e.put_varint(u64::from(n));
+            }
+            Op::GStore(n) => {
+                e.put_u8(GSTORE);
+                e.put_varint(u64::from(n));
+            }
+            Op::Jump(t) => {
+                e.put_u8(JUMP);
+                e.put_varint(u64::from(t));
+            }
+            Op::JumpIfZero(t) => {
+                e.put_u8(JZ);
+                e.put_varint(u64::from(t));
+            }
+            Op::Call(f) => {
+                e.put_u8(CALL);
+                e.put_varint(u64::from(f));
+            }
+            Op::Ret => e.put_u8(RET),
+            Op::Halt => e.put_u8(HALT),
+            Op::HostCall(i) => {
+                e.put_u8(HOSTCALL);
+                e.put_varint(u64::from(i));
+            }
+            Op::Nop => e.put_u8(NOP),
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        use optag::*;
+        let tag = d.get_u8()?;
+        let u32_of = |d: &mut Decoder<'_>| -> Result<u32, WireError> {
+            u32::try_from(d.get_varint()?).map_err(|_| WireError::Invalid("operand too large"))
+        };
+        let u16_of = |d: &mut Decoder<'_>| -> Result<u16, WireError> {
+            u16::try_from(d.get_varint()?).map_err(|_| WireError::Invalid("operand too large"))
+        };
+        Ok(match tag {
+            PUSH_I => Op::PushI(d.get_varint_signed()?),
+            PUSH_D => Op::PushD(u32_of(d)?),
+            DUP => Op::Dup,
+            DROP => Op::Drop,
+            SWAP => Op::Swap,
+            ADD => Op::Add,
+            SUB => Op::Sub,
+            MUL => Op::Mul,
+            DIV => Op::Div,
+            REM => Op::Rem,
+            NEG => Op::Neg,
+            EQ => Op::Eq,
+            NE => Op::Ne,
+            LT => Op::Lt,
+            LE => Op::Le,
+            GT => Op::Gt,
+            GE => Op::Ge,
+            AND => Op::And,
+            OR => Op::Or,
+            NOT => Op::Not,
+            BCONCAT => Op::BConcat,
+            BLEN => Op::BLen,
+            BINDEX => Op::BIndex,
+            BSLICE => Op::BSlice,
+            BEQ => Op::BEq,
+            ITOA => Op::IToA,
+            ATOI => Op::AToI,
+            LOAD => Op::Load(u16_of(d)?),
+            STORE => Op::Store(u16_of(d)?),
+            GLOAD => Op::GLoad(u16_of(d)?),
+            GSTORE => Op::GStore(u16_of(d)?),
+            JUMP => Op::Jump(u32_of(d)?),
+            JZ => Op::JumpIfZero(u32_of(d)?),
+            CALL => Op::Call(u32_of(d)?),
+            RET => Op::Ret,
+            HALT => Op::Halt,
+            HOSTCALL => Op::HostCall(u32_of(d)?),
+            NOP => Op::Nop,
+            tag => return Err(WireError::BadTag { ty: "Op", tag }),
+        })
+    }
+}
+
+impl Wire for Function {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.name);
+        encode_seq(&self.params, e);
+        encode_seq(&self.locals, e);
+        self.ret.encode(e);
+        encode_seq(&self.code, e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Function {
+            name: d.get_str()?,
+            params: decode_seq(d)?,
+            locals: decode_seq(d)?,
+            ret: Ty::decode(d)?,
+            code: decode_seq(d)?,
+        })
+    }
+}
+
+impl Wire for HostImport {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.name);
+        encode_seq(&self.params, e);
+        self.ret.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(HostImport {
+            name: d.get_str()?,
+            params: decode_seq(d)?,
+            ret: Ty::decode(d)?,
+        })
+    }
+}
+
+impl Wire for Module {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(&self.name);
+        encode_seq(&self.imports, e);
+        encode_seq(&self.functions, e);
+        encode_seq(&self.globals, e);
+        encode_seq(&self.data, e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(Module {
+            name: d.get_str()?,
+            imports: decode_seq(d)?,
+            functions: decode_seq(d)?,
+            globals: decode_seq(d)?,
+            data: decode_seq(d)?,
+        })
+    }
+}
+
+/// The unit of agent mobility: code + mobile state + resume point.
+///
+/// **Received images are untrusted input**: the receiving server re-runs
+/// the byte-code verifier (via [`crate::verifier::verify`]) and re-checks
+/// the globals' types before execution — never trust the sender's claim
+/// that code was verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AgentImage {
+    /// The agent's code.
+    pub module: Module,
+    /// Global values captured at departure (must match `module.globals`).
+    pub globals: Vec<Value>,
+    /// Entry function to invoke on arrival.
+    pub entry: String,
+}
+
+impl AgentImage {
+    /// Validates internal consistency: globals match declarations and the
+    /// entry function exists with the conventional signature
+    /// `(bytes) -> int` or `(bytes) -> bytes` (the return value is carried
+    /// home in the agent's completion report either way).
+    pub fn validate(&self) -> Result<(), WireError> {
+        if self.globals.len() != self.module.globals.len() {
+            return Err(WireError::Invalid("global count mismatch"));
+        }
+        for (v, &t) in self.globals.iter().zip(&self.module.globals) {
+            if v.ty() != t {
+                return Err(WireError::Invalid("global type mismatch"));
+            }
+        }
+        let idx = self
+            .module
+            .function_index(&self.entry)
+            .ok_or(WireError::Invalid("entry function missing"))?;
+        let f = &self.module.functions[idx as usize];
+        if f.params.as_slice() != [Ty::Bytes] {
+            return Err(WireError::Invalid("entry must take exactly (bytes)"));
+        }
+        Ok(())
+    }
+
+    /// Total encoded size — the "agent size" axis in transfer experiments.
+    pub fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+impl Wire for AgentImage {
+    fn encode(&self, e: &mut Encoder) {
+        self.module.encode(e);
+        encode_seq(&self.globals, e);
+        e.put_str(&self.entry);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let img = AgentImage {
+            module: Module::decode(d)?,
+            globals: decode_seq(d)?,
+            entry: d.get_str()?,
+        };
+        img.validate()?;
+        Ok(img)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleBuilder;
+
+    fn sample_module() -> Module {
+        let mut b = ModuleBuilder::new("tour");
+        let g = b.global(Ty::Int);
+        let gb = b.global(Ty::Bytes);
+        let greeting = b.str_data("hello");
+        b.import("env.log", [Ty::Bytes], Ty::Int);
+        b.function(
+            "run",
+            [Ty::Bytes],
+            [Ty::Int],
+            Ty::Int,
+            vec![
+                Op::GLoad(g),
+                Op::PushI(1),
+                Op::Add,
+                Op::GStore(g),
+                Op::PushD(greeting),
+                Op::GStore(gb),
+                Op::PushI(0),
+                Op::Ret,
+            ],
+        );
+        b.build()
+    }
+
+    fn sample_image() -> AgentImage {
+        let module = sample_module();
+        let globals = module.initial_globals();
+        AgentImage {
+            module,
+            globals,
+            entry: "run".into(),
+        }
+    }
+
+    #[test]
+    fn every_op_roundtrips() {
+        let ops = vec![
+            Op::PushI(i64::MIN),
+            Op::PushI(i64::MAX),
+            Op::PushD(u32::MAX),
+            Op::Dup,
+            Op::Drop,
+            Op::Swap,
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Rem,
+            Op::Neg,
+            Op::Eq,
+            Op::Ne,
+            Op::Lt,
+            Op::Le,
+            Op::Gt,
+            Op::Ge,
+            Op::And,
+            Op::Or,
+            Op::Not,
+            Op::BConcat,
+            Op::BLen,
+            Op::BIndex,
+            Op::BSlice,
+            Op::BEq,
+            Op::IToA,
+            Op::AToI,
+            Op::Load(u16::MAX),
+            Op::Store(0),
+            Op::GLoad(1),
+            Op::GStore(2),
+            Op::Jump(12345),
+            Op::JumpIfZero(0),
+            Op::Call(7),
+            Op::Ret,
+            Op::Halt,
+            Op::HostCall(3),
+            Op::Nop,
+        ];
+        for op in ops {
+            let bytes = op.to_bytes();
+            assert_eq!(Op::from_bytes(&bytes).unwrap(), op, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn module_roundtrips() {
+        let m = sample_module();
+        assert_eq!(Module::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn image_roundtrips_and_validates() {
+        let img = sample_image();
+        let back = AgentImage::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn image_with_mutated_state_roundtrips() {
+        let mut img = sample_image();
+        img.globals[0] = Value::Int(41);
+        img.globals[1] = Value::str("carried data");
+        let back = AgentImage::from_bytes(&img.to_bytes()).unwrap();
+        assert_eq!(back.globals[0], Value::Int(41));
+    }
+
+    #[test]
+    fn validation_rejects_global_mismatches() {
+        let mut img = sample_image();
+        img.globals.pop();
+        assert!(img.validate().is_err());
+
+        let mut img = sample_image();
+        img.globals.swap(0, 1);
+        assert!(img.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_missing_or_misshapen_entry() {
+        let mut img = sample_image();
+        img.entry = "ghost".into();
+        assert!(img.validate().is_err());
+
+        let mut img = sample_image();
+        img.module.functions[0].params = vec![Ty::Int];
+        img.entry = "run".into();
+        assert!(img.validate().is_err());
+    }
+
+    #[test]
+    fn decode_runs_validation() {
+        let mut img = sample_image();
+        img.entry = "ghost".into();
+        // Encode bypasses validation; decode must reject.
+        let bytes = img.to_bytes();
+        assert!(AgentImage::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_op_tag_rejected() {
+        assert!(matches!(
+            Op::from_bytes(&[200]),
+            Err(WireError::BadTag { ty: "Op", tag: 200 })
+        ));
+    }
+
+    #[test]
+    fn encoded_len_tracks_state_size() {
+        let small = sample_image();
+        let mut large = sample_image();
+        large.globals[1] = Value::Bytes(vec![7u8; 10_000]);
+        assert!(large.encoded_len() > small.encoded_len() + 9_000);
+    }
+
+    #[test]
+    fn ty_tags_strict() {
+        assert!(matches!(
+            Ty::from_bytes(&[9]),
+            Err(WireError::BadTag { ty: "Ty", tag: 9 })
+        ));
+    }
+
+    #[test]
+    fn value_tags_strict() {
+        assert!(matches!(
+            Value::from_bytes(&[7]),
+            Err(WireError::BadTag { ty: "Value", tag: 7 })
+        ));
+    }
+}

@@ -1,0 +1,1033 @@
+//! The fuel-metered AgentScript interpreter.
+//!
+//! The interpreter only executes [`VerifiedModule`]s, so no type or bounds
+//! check here can fail for *verified* reasons — runtime traps are limited
+//! to genuinely dynamic conditions (division by zero, byte-index range,
+//! malformed `atoi` input, call-depth and quota exhaustion, and host-call
+//! denials). Quota exhaustion is the paper's denial-of-service containment
+//! (Section 2: "inordinate consumption of a host's resources").
+
+use crate::module::HostImport;
+use crate::value::Value;
+use crate::verifier::VerifiedModule;
+use crate::Op;
+
+/// Resource limits a server imposes on one agent execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Instruction-fuel budget (see [`Op::fuel_cost`]).
+    pub fuel: u64,
+    /// Extra fuel charged per host call, on top of the opcode cost.
+    pub host_call_fuel: u64,
+    /// Maximum call-frame depth.
+    pub max_call_depth: usize,
+    /// Byte-allocation budget for byte-string results.
+    pub alloc_budget: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            fuel: 10_000_000,
+            host_call_fuel: 50,
+            max_call_depth: 128,
+            alloc_budget: 64 << 20,
+        }
+    }
+}
+
+/// Dynamic failure of an agent program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrapKind {
+    /// Integer division or remainder by zero (or `i64::MIN / -1`).
+    DivideByZero,
+    /// Byte index/slice out of range.
+    BytesOutOfRange,
+    /// `atoi` on non-numeric input.
+    MalformedNumber,
+    /// Call depth exceeded [`Limits::max_call_depth`].
+    CallDepthExceeded,
+    /// Allocation budget exceeded.
+    AllocBudgetExceeded,
+    /// The host denied an operation — the paper's *security exception*
+    /// raised by a proxy whose method is disabled, expired, or revoked.
+    SecurityException(String),
+    /// A host call failed for a non-security reason.
+    HostFailure(String),
+}
+
+impl std::fmt::Display for TrapKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrapKind::DivideByZero => f.write_str("divide by zero"),
+            TrapKind::BytesOutOfRange => f.write_str("byte index out of range"),
+            TrapKind::MalformedNumber => f.write_str("malformed number in atoi"),
+            TrapKind::CallDepthExceeded => f.write_str("call depth exceeded"),
+            TrapKind::AllocBudgetExceeded => f.write_str("allocation budget exceeded"),
+            TrapKind::SecurityException(m) => write!(f, "security exception: {m}"),
+            TrapKind::HostFailure(m) => write!(f, "host failure: {m}"),
+        }
+    }
+}
+
+/// How one `run` call ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// The entry function returned (or `Halt` executed) with this value.
+    Finished(Value),
+    /// A dynamic trap; the program is dead at `func`/`ip`.
+    Trapped {
+        /// Trap reason.
+        kind: TrapKind,
+        /// Function index where the trap occurred.
+        func: u32,
+        /// Instruction index where the trap occurred.
+        ip: u32,
+    },
+    /// The fuel budget ran out — quota violation.
+    OutOfFuel,
+    /// A host call asked execution to stop (e.g. the `go` migration
+    /// primitive): the agent will resume elsewhere/later.
+    HostStopped {
+        /// Name of the import that stopped execution.
+        import: String,
+        /// Payload the host attached (e.g. encoded destination).
+        payload: Value,
+    },
+}
+
+/// How the host answers a host call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostResponse {
+    /// Produce this value as the call's result and continue.
+    Value(Value),
+    /// Stop execution (e.g. migration); the payload is surfaced in
+    /// [`ExecOutcome::HostStopped`].
+    Stop(Value),
+}
+
+/// Host-call failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// Access denied — becomes [`TrapKind::SecurityException`].
+    Denied(String),
+    /// Operational failure — becomes [`TrapKind::HostFailure`].
+    Failed(String),
+}
+
+impl HostError {
+    fn into_trap(self) -> TrapKind {
+        match self {
+            HostError::Denied(m) => TrapKind::SecurityException(m),
+            HostError::Failed(m) => TrapKind::HostFailure(m),
+        }
+    }
+}
+
+/// The server side of the host-call boundary.
+///
+/// In `ajanta-runtime` the implementation is the **agent environment**
+/// (paper Fig. 1): it mediates `get_resource`, proxy invocations, `go`,
+/// messaging and monitoring — always under the server's reference monitor.
+pub trait HostInterface {
+    /// Handles one host call. `import` carries the verified signature; the
+    /// interpreter guarantees `args` matches `import.params` (in
+    /// declaration order) and that a `Value` response of the wrong type is
+    /// reported as a host failure rather than corrupting the stack.
+    fn call(&mut self, import: &HostImport, args: &[Value]) -> Result<HostResponse, HostError>;
+}
+
+/// A no-op host for pure computations: denies every call.
+pub struct NoHost;
+
+impl HostInterface for NoHost {
+    fn call(&mut self, import: &HostImport, _args: &[Value]) -> Result<HostResponse, HostError> {
+        Err(HostError::Denied(format!(
+            "no host bound for import {:?}",
+            import.name
+        )))
+    }
+}
+
+struct Frame {
+    func: u32,
+    ip: u32,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+}
+
+/// Executes entry functions of one verified module against a host.
+///
+/// The interpreter owns the module's **global state** (the agent's mobile
+/// data); run an entry function, then read the globals back out for
+/// migration.
+pub struct Interpreter<'m> {
+    module: &'m VerifiedModule,
+    globals: Vec<Value>,
+    limits: Limits,
+    fuel_used: u64,
+    alloc_used: u64,
+    host_calls: u64,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter with default-initialized globals.
+    pub fn new(module: &'m VerifiedModule, limits: Limits) -> Self {
+        let globals = module.module().initial_globals();
+        Interpreter {
+            module,
+            globals,
+            limits,
+            fuel_used: 0,
+            alloc_used: 0,
+            host_calls: 0,
+        }
+    }
+
+    /// Replaces the global state (e.g. on arrival after migration).
+    /// Returns `false` (and leaves state unchanged) when the shape or
+    /// types do not match the module's declarations.
+    pub fn restore_globals(&mut self, globals: Vec<Value>) -> bool {
+        let decl = &self.module.module().globals;
+        if globals.len() != decl.len() || globals.iter().zip(decl).any(|(v, &t)| v.ty() != t) {
+            return false;
+        }
+        self.globals = globals;
+        true
+    }
+
+    /// Read access to the agent's mobile state.
+    pub fn globals(&self) -> &[Value] {
+        &self.globals
+    }
+
+    /// Fuel consumed so far (accumulates across `run` calls) — the raw
+    /// input to time-based usage metering experiments.
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_used
+    }
+
+    /// Number of host calls made so far.
+    pub fn host_calls(&self) -> u64 {
+        self.host_calls
+    }
+
+    /// Runs function `entry` with `args`, returning how execution ended.
+    ///
+    /// # Panics
+    /// Panics if `entry` does not exist or `args` do not match its
+    /// signature — programming errors at the embedding boundary, not agent
+    /// faults.
+    pub fn run(
+        &mut self,
+        entry: &str,
+        args: Vec<Value>,
+        host: &mut dyn HostInterface,
+    ) -> ExecOutcome {
+        let m = self.module.module();
+        let func = m
+            .function_index(entry)
+            .unwrap_or_else(|| panic!("entry function {entry:?} not found"));
+        let f = &m.functions[func as usize];
+        assert_eq!(
+            args.len(),
+            f.params.len(),
+            "entry arity mismatch for {entry:?}"
+        );
+        for (a, &p) in args.iter().zip(&f.params) {
+            assert_eq!(a.ty(), p, "entry argument type mismatch for {entry:?}");
+        }
+
+        let mut locals: Vec<Value> = args;
+        locals.extend(f.locals.iter().map(|&t| Value::default_of(t)));
+        let mut frames = vec![Frame {
+            func,
+            ip: 0,
+            locals,
+            stack: Vec::new(),
+        }];
+
+        loop {
+            let depth = frames.len();
+            let frame = frames.last_mut().expect("at least one frame");
+            let func_idx = frame.func;
+            let ip = frame.ip;
+            let code = &m.functions[func_idx as usize].code;
+            let op = code[ip as usize];
+
+            // Fuel accounting.
+            let mut cost = op.fuel_cost();
+            if matches!(op, Op::HostCall(_)) {
+                cost += self.limits.host_call_fuel;
+            }
+            self.fuel_used += cost;
+            if self.fuel_used > self.limits.fuel {
+                return ExecOutcome::OutOfFuel;
+            }
+
+            macro_rules! trap {
+                ($kind:expr) => {
+                    return ExecOutcome::Trapped {
+                        kind: $kind,
+                        func: func_idx,
+                        ip,
+                    }
+                };
+            }
+            macro_rules! pop_int {
+                () => {
+                    match frame.stack.pop() {
+                        Some(Value::Int(i)) => i,
+                        _ => unreachable!("verifier guarantees an int on top"),
+                    }
+                };
+            }
+            macro_rules! pop_bytes {
+                () => {
+                    match frame.stack.pop() {
+                        Some(Value::Bytes(b)) => b,
+                        _ => unreachable!("verifier guarantees bytes on top"),
+                    }
+                };
+            }
+
+            frame.ip += 1; // default: fall through; jumps overwrite below
+            match op {
+                Op::PushI(i) => frame.stack.push(Value::Int(i)),
+                Op::PushD(d) => {
+                    let bytes = m.data[d as usize].clone();
+                    self.alloc_used += bytes.len() as u64;
+                    if self.alloc_used > self.limits.alloc_budget {
+                        trap!(TrapKind::AllocBudgetExceeded);
+                    }
+                    frame.stack.push(Value::Bytes(bytes));
+                }
+                Op::Dup => {
+                    let v = frame.stack.last().expect("verified").clone();
+                    if let Value::Bytes(b) = &v {
+                        self.alloc_used += b.len() as u64;
+                        if self.alloc_used > self.limits.alloc_budget {
+                            trap!(TrapKind::AllocBudgetExceeded);
+                        }
+                    }
+                    frame.stack.push(v);
+                }
+                Op::Drop => {
+                    frame.stack.pop();
+                }
+                Op::Swap => {
+                    let n = frame.stack.len();
+                    frame.stack.swap(n - 1, n - 2);
+                }
+                Op::Add => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int(a.wrapping_add(b)));
+                }
+                Op::Sub => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int(a.wrapping_sub(b)));
+                }
+                Op::Mul => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int(a.wrapping_mul(b)));
+                }
+                Op::Div => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    match a.checked_div(b) {
+                        Some(v) => frame.stack.push(Value::Int(v)),
+                        None => trap!(TrapKind::DivideByZero),
+                    }
+                }
+                Op::Rem => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    match a.checked_rem(b) {
+                        Some(v) => frame.stack.push(Value::Int(v)),
+                        None => trap!(TrapKind::DivideByZero),
+                    }
+                }
+                Op::Neg => {
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int(a.wrapping_neg()));
+                }
+                Op::Eq => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int((a == b) as i64));
+                }
+                Op::Ne => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int((a != b) as i64));
+                }
+                Op::Lt => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int((a < b) as i64));
+                }
+                Op::Le => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int((a <= b) as i64));
+                }
+                Op::Gt => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int((a > b) as i64));
+                }
+                Op::Ge => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int((a >= b) as i64));
+                }
+                Op::And => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int(a & b));
+                }
+                Op::Or => {
+                    let b = pop_int!();
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int(a | b));
+                }
+                Op::Not => {
+                    let a = pop_int!();
+                    frame.stack.push(Value::Int((a == 0) as i64));
+                }
+                Op::BConcat => {
+                    let b = pop_bytes!();
+                    let mut a = pop_bytes!();
+                    self.alloc_used += b.len() as u64;
+                    if self.alloc_used > self.limits.alloc_budget {
+                        trap!(TrapKind::AllocBudgetExceeded);
+                    }
+                    a.extend_from_slice(&b);
+                    frame.stack.push(Value::Bytes(a));
+                }
+                Op::BLen => {
+                    let b = pop_bytes!();
+                    frame.stack.push(Value::Int(b.len() as i64));
+                }
+                Op::BIndex => {
+                    let i = pop_int!();
+                    let b = pop_bytes!();
+                    match usize::try_from(i).ok().and_then(|i| b.get(i)) {
+                        Some(&byte) => frame.stack.push(Value::Int(byte as i64)),
+                        None => trap!(TrapKind::BytesOutOfRange),
+                    }
+                }
+                Op::BSlice => {
+                    let len = pop_int!();
+                    let start = pop_int!();
+                    let b = pop_bytes!();
+                    let (Ok(start), Ok(len)) = (usize::try_from(start), usize::try_from(len))
+                    else {
+                        trap!(TrapKind::BytesOutOfRange)
+                    };
+                    let Some(end) = start.checked_add(len) else {
+                        trap!(TrapKind::BytesOutOfRange)
+                    };
+                    if end > b.len() {
+                        trap!(TrapKind::BytesOutOfRange);
+                    }
+                    self.alloc_used += len as u64;
+                    if self.alloc_used > self.limits.alloc_budget {
+                        trap!(TrapKind::AllocBudgetExceeded);
+                    }
+                    frame.stack.push(Value::Bytes(b[start..end].to_vec()));
+                }
+                Op::BEq => {
+                    let b = pop_bytes!();
+                    let a = pop_bytes!();
+                    frame.stack.push(Value::Int((a == b) as i64));
+                }
+                Op::IToA => {
+                    let i = pop_int!();
+                    let s = i.to_string().into_bytes();
+                    self.alloc_used += s.len() as u64;
+                    if self.alloc_used > self.limits.alloc_budget {
+                        trap!(TrapKind::AllocBudgetExceeded);
+                    }
+                    frame.stack.push(Value::Bytes(s));
+                }
+                Op::AToI => {
+                    let b = pop_bytes!();
+                    match std::str::from_utf8(&b).ok().and_then(|s| s.parse::<i64>().ok()) {
+                        Some(v) => frame.stack.push(Value::Int(v)),
+                        None => trap!(TrapKind::MalformedNumber),
+                    }
+                }
+                Op::Load(n) => {
+                    let v = frame.locals[n as usize].clone();
+                    if let Value::Bytes(b) = &v {
+                        self.alloc_used += b.len() as u64;
+                        if self.alloc_used > self.limits.alloc_budget {
+                            trap!(TrapKind::AllocBudgetExceeded);
+                        }
+                    }
+                    frame.stack.push(v);
+                }
+                Op::Store(n) => {
+                    let v = frame.stack.pop().expect("verified");
+                    frame.locals[n as usize] = v;
+                }
+                Op::GLoad(n) => {
+                    let v = self.globals[n as usize].clone();
+                    if let Value::Bytes(b) = &v {
+                        self.alloc_used += b.len() as u64;
+                        if self.alloc_used > self.limits.alloc_budget {
+                            trap!(TrapKind::AllocBudgetExceeded);
+                        }
+                    }
+                    frame.stack.push(v);
+                }
+                Op::GStore(n) => {
+                    let v = frame.stack.pop().expect("verified");
+                    self.globals[n as usize] = v;
+                }
+                Op::Jump(t) => frame.ip = t,
+                Op::JumpIfZero(t) => {
+                    if pop_int!() == 0 {
+                        frame.ip = t;
+                    }
+                }
+                Op::Call(callee) => {
+                    if depth >= self.limits.max_call_depth {
+                        trap!(TrapKind::CallDepthExceeded);
+                    }
+                    let g = &m.functions[callee as usize];
+                    let argc = g.params.len();
+                    let split = frame.stack.len() - argc;
+                    let mut locals: Vec<Value> = frame.stack.split_off(split);
+                    locals.extend(g.locals.iter().map(|&t| Value::default_of(t)));
+                    frames.push(Frame {
+                        func: callee,
+                        ip: 0,
+                        locals,
+                        stack: Vec::new(),
+                    });
+                }
+                Op::Ret => {
+                    let rv = frames
+                        .last_mut()
+                        .expect("frame")
+                        .stack
+                        .pop()
+                        .expect("verified return value");
+                    frames.pop();
+                    match frames.last_mut() {
+                        Some(caller) => caller.stack.push(rv),
+                        None => return ExecOutcome::Finished(rv),
+                    }
+                }
+                Op::Halt => {
+                    let rv = Value::Int(pop_int!());
+                    return ExecOutcome::Finished(rv);
+                }
+                Op::HostCall(idx) => {
+                    let import = &m.imports[idx as usize];
+                    let argc = import.params.len();
+                    let split = frame.stack.len() - argc;
+                    let args: Vec<Value> = frame.stack.split_off(split);
+                    self.host_calls += 1;
+                    match host.call(import, &args) {
+                        Ok(HostResponse::Value(v)) => {
+                            if v.ty() != import.ret {
+                                trap!(TrapKind::HostFailure(format!(
+                                    "host returned {} for import {:?} declared {}",
+                                    v.ty(),
+                                    import.name,
+                                    import.ret
+                                )));
+                            }
+                            if let Value::Bytes(b) = &v {
+                                self.alloc_used += b.len() as u64;
+                                if self.alloc_used > self.limits.alloc_budget {
+                                    trap!(TrapKind::AllocBudgetExceeded);
+                                }
+                            }
+                            frame.stack.push(v);
+                        }
+                        Ok(HostResponse::Stop(payload)) => {
+                            return ExecOutcome::HostStopped {
+                                import: import.name.clone(),
+                                payload,
+                            };
+                        }
+                        Err(e) => trap!(e.into_trap()),
+                    }
+                }
+                Op::Nop => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleBuilder;
+    use crate::value::Ty;
+    use crate::verifier::verify;
+
+    fn run_main(code: Vec<Op>) -> ExecOutcome {
+        run_main_with(code, Limits::default())
+    }
+
+    fn run_main_with(code: Vec<Op>, limits: Limits) -> ExecOutcome {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main", [], [Ty::Int, Ty::Int], Ty::Int, code);
+        let vm = verify(b.build()).unwrap();
+        let mut interp = Interpreter::new(&vm, limits);
+        interp.run("main", vec![], &mut NoHost)
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        // (3 + 4) * 5 - 1 = 34
+        let out = run_main(vec![
+            Op::PushI(3),
+            Op::PushI(4),
+            Op::Add,
+            Op::PushI(5),
+            Op::Mul,
+            Op::PushI(1),
+            Op::Sub,
+            Op::Ret,
+        ]);
+        assert_eq!(out, ExecOutcome::Finished(Value::Int(34)));
+    }
+
+    #[test]
+    fn loop_sums_one_to_ten() {
+        // local0 = acc, local1 = i
+        let out = run_main(vec![
+            /*0*/ Op::PushI(10),
+            /*1*/ Op::Store(1),
+            /*2*/ Op::Load(1),
+            /*3*/ Op::JumpIfZero(12),
+            /*4*/ Op::Load(0),
+            /*5*/ Op::Load(1),
+            /*6*/ Op::Add,
+            /*7*/ Op::Store(0),
+            /*8*/ Op::Load(1),
+            /*9*/ Op::PushI(1),
+            /*10*/ Op::Sub,
+            /*11*/ Op::Store(1),
+            /*12*/ Op::Load(1),
+            /*13*/ Op::PushI(0),
+            /*14*/ Op::Ne,
+            /*15*/ Op::JumpIfZero(17),
+            /*16*/ Op::Jump(2),
+            /*17*/ Op::Load(0),
+            /*18*/ Op::Ret,
+        ]);
+        // First pass through 2..: handled; expected sum 10+9+...+1 = 55.
+        assert_eq!(out, ExecOutcome::Finished(Value::Int(55)));
+    }
+
+    #[test]
+    fn division_traps_on_zero() {
+        let out = run_main(vec![Op::PushI(1), Op::PushI(0), Op::Div, Op::Ret]);
+        assert!(matches!(
+            out,
+            ExecOutcome::Trapped {
+                kind: TrapKind::DivideByZero,
+                ..
+            }
+        ));
+        let out = run_main(vec![Op::PushI(i64::MIN), Op::PushI(-1), Op::Div, Op::Ret]);
+        assert!(matches!(
+            out,
+            ExecOutcome::Trapped {
+                kind: TrapKind::DivideByZero,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bytes_operations() {
+        let mut b = ModuleBuilder::new("t");
+        let hello = b.str_data("hello ");
+        let world = b.str_data("world");
+        b.function(
+            "main",
+            [],
+            [],
+            Ty::Int,
+            vec![
+                Op::PushD(hello),
+                Op::PushD(world),
+                Op::BConcat, // "hello world"
+                Op::BLen,    // 11
+                Op::Ret,
+            ],
+        );
+        let vm = verify(b.build()).unwrap();
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        assert_eq!(
+            interp.run("main", vec![], &mut NoHost),
+            ExecOutcome::Finished(Value::Int(11))
+        );
+    }
+
+    #[test]
+    fn slice_and_index_range_checks() {
+        let mut b = ModuleBuilder::new("t");
+        let d = b.str_data("abc");
+        b.function(
+            "ok",
+            [],
+            [],
+            Ty::Int,
+            vec![Op::PushD(d), Op::PushI(1), Op::BIndex, Op::Ret],
+        );
+        b.function(
+            "bad",
+            [],
+            [],
+            Ty::Int,
+            vec![Op::PushD(d), Op::PushI(3), Op::BIndex, Op::Ret],
+        );
+        b.function(
+            "badslice",
+            [],
+            [],
+            Ty::Int,
+            vec![
+                Op::PushD(d),
+                Op::PushI(2),
+                Op::PushI(2),
+                Op::BSlice,
+                Op::BLen,
+                Op::Ret,
+            ],
+        );
+        let vm = verify(b.build()).unwrap();
+        let mut i1 = Interpreter::new(&vm, Limits::default());
+        assert_eq!(
+            i1.run("ok", vec![], &mut NoHost),
+            ExecOutcome::Finished(Value::Int(b'b' as i64))
+        );
+        let mut i2 = Interpreter::new(&vm, Limits::default());
+        assert!(matches!(
+            i2.run("bad", vec![], &mut NoHost),
+            ExecOutcome::Trapped {
+                kind: TrapKind::BytesOutOfRange,
+                ..
+            }
+        ));
+        let mut i3 = Interpreter::new(&vm, Limits::default());
+        assert!(matches!(
+            i3.run("badslice", vec![], &mut NoHost),
+            ExecOutcome::Trapped {
+                kind: TrapKind::BytesOutOfRange,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn itoa_atoi_roundtrip_and_malformed() {
+        let out = run_main(vec![Op::PushI(-12345), Op::IToA, Op::AToI, Op::Ret]);
+        assert_eq!(out, ExecOutcome::Finished(Value::Int(-12345)));
+
+        let mut b = ModuleBuilder::new("t");
+        let d = b.str_data("not-a-number");
+        b.function("main", [], [], Ty::Int, vec![Op::PushD(d), Op::AToI, Op::Ret]);
+        let vm = verify(b.build()).unwrap();
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        assert!(matches!(
+            interp.run("main", vec![], &mut NoHost),
+            ExecOutcome::Trapped {
+                kind: TrapKind::MalformedNumber,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn out_of_fuel_stops_infinite_loop() {
+        let out = run_main_with(
+            vec![Op::Jump(0)],
+            Limits {
+                fuel: 1000,
+                ..Limits::default()
+            },
+        );
+        assert_eq!(out, ExecOutcome::OutOfFuel);
+    }
+
+    #[test]
+    fn call_depth_limit() {
+        // Infinite recursion main -> main is impossible (Call indexes a
+        // second function); build f() { f() }.
+        let mut b = ModuleBuilder::new("t");
+        b.function("rec", [], [], Ty::Int, vec![Op::Call(0), Op::Ret]);
+        let vm = verify(b.build()).unwrap();
+        let mut interp = Interpreter::new(
+            &vm,
+            Limits {
+                max_call_depth: 16,
+                ..Limits::default()
+            },
+        );
+        assert!(matches!(
+            interp.run("rec", vec![], &mut NoHost),
+            ExecOutcome::Trapped {
+                kind: TrapKind::CallDepthExceeded,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn alloc_budget_enforced() {
+        // Repeated self-concatenation doubles a string until the budget
+        // trips.
+        let mut b = ModuleBuilder::new("t");
+        let d = b.str_data("0123456789abcdef");
+        b.function(
+            "main",
+            [],
+            [Ty::Bytes],
+            Ty::Int,
+            vec![
+                /*0*/ Op::PushD(d),
+                /*1*/ Op::Store(0),
+                /*2*/ Op::Load(0),
+                /*3*/ Op::Load(0),
+                /*4*/ Op::BConcat,
+                /*5*/ Op::Store(0),
+                /*6*/ Op::Jump(2),
+            ],
+        );
+        let vm = verify(b.build()).unwrap();
+        let mut interp = Interpreter::new(
+            &vm,
+            Limits {
+                alloc_budget: 1 << 16,
+                ..Limits::default()
+            },
+        );
+        assert!(matches!(
+            interp.run("main", vec![], &mut NoHost),
+            ExecOutcome::Trapped {
+                kind: TrapKind::AllocBudgetExceeded,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn globals_survive_across_runs() {
+        let mut b = ModuleBuilder::new("t");
+        let g = b.global(Ty::Int);
+        b.function(
+            "bump",
+            [],
+            [],
+            Ty::Int,
+            vec![
+                Op::GLoad(g),
+                Op::PushI(1),
+                Op::Add,
+                Op::GStore(g),
+                Op::GLoad(g),
+                Op::Ret,
+            ],
+        );
+        let vm = verify(b.build()).unwrap();
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        assert_eq!(
+            interp.run("bump", vec![], &mut NoHost),
+            ExecOutcome::Finished(Value::Int(1))
+        );
+        assert_eq!(
+            interp.run("bump", vec![], &mut NoHost),
+            ExecOutcome::Finished(Value::Int(2))
+        );
+        assert_eq!(interp.globals(), &[Value::Int(2)]);
+    }
+
+    #[test]
+    fn restore_globals_validates_shape() {
+        let mut b = ModuleBuilder::new("t");
+        b.global(Ty::Int);
+        b.global(Ty::Bytes);
+        b.function("main", [], [], Ty::Int, vec![Op::PushI(0), Op::Ret]);
+        let vm = verify(b.build()).unwrap();
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        assert!(interp.restore_globals(vec![Value::Int(5), Value::str("s")]));
+        assert!(!interp.restore_globals(vec![Value::Int(5)]));
+        assert!(!interp.restore_globals(vec![Value::str("s"), Value::Int(5)]));
+        assert_eq!(interp.globals(), &[Value::Int(5), Value::str("s")]);
+    }
+
+    /// A host that records calls and returns canned values / stops.
+    struct ScriptedHost {
+        log: Vec<(String, Vec<Value>)>,
+        stop_on: Option<String>,
+    }
+
+    impl HostInterface for ScriptedHost {
+        fn call(
+            &mut self,
+            import: &HostImport,
+            args: &[Value],
+        ) -> Result<HostResponse, HostError> {
+            self.log.push((import.name.clone(), args.to_vec()));
+            if self.stop_on.as_deref() == Some(import.name.as_str()) {
+                return Ok(HostResponse::Stop(Value::str("dest")));
+            }
+            match import.name.as_str() {
+                "env.add" => Ok(HostResponse::Value(Value::Int(
+                    args[0].as_int().unwrap() + args[1].as_int().unwrap(),
+                ))),
+                "env.deny" => Err(HostError::Denied("method disabled".into())),
+                "env.badtype" => Ok(HostResponse::Value(Value::str("oops"))),
+                other => Err(HostError::Failed(format!("unknown {other}"))),
+            }
+        }
+    }
+
+    fn host_module() -> VerifiedModule {
+        let mut b = ModuleBuilder::new("t");
+        let add = b.import("env.add", [Ty::Int, Ty::Int], Ty::Int);
+        let deny = b.import("env.deny", [], Ty::Int);
+        let bad = b.import("env.badtype", [], Ty::Int);
+        let go = b.import("env.go", [], Ty::Int);
+        b.function(
+            "use_add",
+            [],
+            [],
+            Ty::Int,
+            vec![Op::PushI(20), Op::PushI(22), Op::HostCall(add), Op::Ret],
+        );
+        b.function("use_deny", [], [], Ty::Int, vec![Op::HostCall(deny), Op::Ret]);
+        b.function("use_bad", [], [], Ty::Int, vec![Op::HostCall(bad), Op::Ret]);
+        b.function("use_go", [], [], Ty::Int, vec![Op::HostCall(go), Op::Ret]);
+        verify(b.build()).unwrap()
+    }
+
+    #[test]
+    fn host_call_passes_args_in_declaration_order() {
+        let vm = host_module();
+        let mut host = ScriptedHost {
+            log: vec![],
+            stop_on: None,
+        };
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        assert_eq!(
+            interp.run("use_add", vec![], &mut host),
+            ExecOutcome::Finished(Value::Int(42))
+        );
+        assert_eq!(
+            host.log,
+            vec![("env.add".to_string(), vec![Value::Int(20), Value::Int(22)])]
+        );
+        assert_eq!(interp.host_calls(), 1);
+    }
+
+    #[test]
+    fn host_denial_becomes_security_exception() {
+        let vm = host_module();
+        let mut host = ScriptedHost {
+            log: vec![],
+            stop_on: None,
+        };
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        assert!(matches!(
+            interp.run("use_deny", vec![], &mut host),
+            ExecOutcome::Trapped {
+                kind: TrapKind::SecurityException(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn host_return_type_is_checked() {
+        let vm = host_module();
+        let mut host = ScriptedHost {
+            log: vec![],
+            stop_on: None,
+        };
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        assert!(matches!(
+            interp.run("use_bad", vec![], &mut host),
+            ExecOutcome::Trapped {
+                kind: TrapKind::HostFailure(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn host_stop_surfaces_migration() {
+        let vm = host_module();
+        let mut host = ScriptedHost {
+            log: vec![],
+            stop_on: Some("env.go".into()),
+        };
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        assert_eq!(
+            interp.run("use_go", vec![], &mut host),
+            ExecOutcome::HostStopped {
+                import: "env.go".into(),
+                payload: Value::str("dest"),
+            }
+        );
+    }
+
+    #[test]
+    fn entry_args_are_locals() {
+        let mut b = ModuleBuilder::new("t");
+        b.function(
+            "main",
+            [Ty::Int, Ty::Int],
+            [],
+            Ty::Int,
+            vec![Op::Load(0), Op::Load(1), Op::Sub, Op::Ret],
+        );
+        let vm = verify(b.build()).unwrap();
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        assert_eq!(
+            interp.run("main", vec![Value::Int(50), Value::Int(8)], &mut NoHost),
+            ExecOutcome::Finished(Value::Int(42))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "entry function")]
+    fn unknown_entry_panics() {
+        let vm = host_module();
+        Interpreter::new(&vm, Limits::default()).run("nope", vec![], &mut NoHost);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main", [Ty::Int], [], Ty::Int, vec![Op::Load(0), Op::Ret]);
+        let vm = verify(b.build()).unwrap();
+        Interpreter::new(&vm, Limits::default()).run("main", vec![], &mut NoHost);
+    }
+
+    #[test]
+    fn fuel_accumulates_across_runs() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main", [], [], Ty::Int, vec![Op::PushI(0), Op::Ret]);
+        let vm = verify(b.build()).unwrap();
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        interp.run("main", vec![], &mut NoHost);
+        let f1 = interp.fuel_used();
+        interp.run("main", vec![], &mut NoHost);
+        assert_eq!(interp.fuel_used(), 2 * f1);
+    }
+}

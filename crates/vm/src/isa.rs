@@ -1,0 +1,228 @@
+//! The AgentScript instruction set.
+//!
+//! A compact, typed stack machine. Design constraints:
+//!
+//! * Every instruction has a statically known stack effect, so the
+//!   verifier can compute types without widening.
+//! * Code is a `Vec<Op>` — plain data, serializable and hashable, which is
+//!   what makes agents *mobile* (code travels as bytes).
+//! * No instruction can address memory outside the frame's locals, the
+//!   module's globals, or the operand stack; there is no raw memory at all.
+
+use serde::{Deserialize, Serialize};
+
+/// One instruction. Operands are embedded (fixed-width decode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    // ---- stack -----------------------------------------------------------
+    /// Push an integer literal.
+    PushI(i64),
+    /// Push the data-pool entry at this index (a byte string).
+    PushD(u32),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Drop,
+    /// Swap the top two stack slots.
+    Swap,
+
+    // ---- integer arithmetic (int int -> int) ------------------------------
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division; traps on divide-by-zero or `i64::MIN / -1`.
+    Div,
+    /// Remainder; traps like [`Op::Div`].
+    Rem,
+    /// Arithmetic negation (int -> int).
+    Neg,
+
+    // ---- comparisons (int int -> int; 0 or 1) -----------------------------
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+
+    // ---- boolean/bitwise on ints ------------------------------------------
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Logical not (0 -> 1, nonzero -> 0).
+    Not,
+
+    // ---- byte strings ------------------------------------------------------
+    /// Concatenate (bytes bytes -> bytes).
+    BConcat,
+    /// Length (bytes -> int).
+    BLen,
+    /// Byte at index (bytes int -> int); traps when out of range.
+    BIndex,
+    /// Substring (bytes start len -> bytes); traps when out of range.
+    BSlice,
+    /// Byte-string equality (bytes bytes -> int).
+    BEq,
+    /// Render an int as decimal ASCII (int -> bytes).
+    IToA,
+    /// Parse decimal ASCII to int (bytes -> int); traps on malformed input.
+    AToI,
+
+    // ---- locals & globals ---------------------------------------------------
+    /// Push local `n`.
+    Load(u16),
+    /// Pop into local `n`.
+    Store(u16),
+    /// Push global `n` (agent mobile state).
+    GLoad(u16),
+    /// Pop into global `n`.
+    GStore(u16),
+
+    // ---- control flow --------------------------------------------------------
+    /// Unconditional jump to instruction index.
+    Jump(u32),
+    /// Pop an int; jump when it is zero.
+    JumpIfZero(u32),
+    /// Call function `n` in the same module.
+    Call(u32),
+    /// Return from the current function (pops the declared return value).
+    Ret,
+    /// Stop the program successfully (pops the entry function's return
+    /// value if any remains unconsumed — by convention entry returns int).
+    Halt,
+
+    // ---- host interface --------------------------------------------------------
+    /// Invoke host import `n` (bound by the hosting server at load time).
+    HostCall(u32),
+
+    /// No operation (padding / patch target).
+    Nop,
+}
+
+impl Op {
+    /// Fuel charged for executing this instruction. Host calls carry an
+    /// extra charge applied by the interpreter on top of this base cost.
+    pub fn fuel_cost(&self) -> u64 {
+        match self {
+            // Byte-string operators allocate; charge more.
+            Op::BConcat | Op::BSlice | Op::IToA | Op::AToI => 4,
+            Op::Call(_) | Op::HostCall(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// Human-readable mnemonic (matches the assembler's syntax).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Op::PushI(_) => "push",
+            Op::PushD(_) => "pushd",
+            Op::Dup => "dup",
+            Op::Drop => "drop",
+            Op::Swap => "swap",
+            Op::Add => "add",
+            Op::Sub => "sub",
+            Op::Mul => "mul",
+            Op::Div => "div",
+            Op::Rem => "rem",
+            Op::Neg => "neg",
+            Op::Eq => "eq",
+            Op::Ne => "ne",
+            Op::Lt => "lt",
+            Op::Le => "le",
+            Op::Gt => "gt",
+            Op::Ge => "ge",
+            Op::And => "and",
+            Op::Or => "or",
+            Op::Not => "not",
+            Op::BConcat => "bconcat",
+            Op::BLen => "blen",
+            Op::BIndex => "bindex",
+            Op::BSlice => "bslice",
+            Op::BEq => "beq",
+            Op::IToA => "itoa",
+            Op::AToI => "atoi",
+            Op::Load(_) => "load",
+            Op::Store(_) => "store",
+            Op::GLoad(_) => "gload",
+            Op::GStore(_) => "gstore",
+            Op::Jump(_) => "jump",
+            Op::JumpIfZero(_) => "jz",
+            Op::Call(_) => "call",
+            Op::Ret => "ret",
+            Op::Halt => "halt",
+            Op::HostCall(_) => "hostcall",
+            Op::Nop => "nop",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuel_costs_ordered() {
+        assert_eq!(Op::Add.fuel_cost(), 1);
+        assert!(Op::BConcat.fuel_cost() > Op::Add.fuel_cost());
+        assert!(Op::Call(0).fuel_cost() > Op::Add.fuel_cost());
+    }
+
+    #[test]
+    fn mnemonics_are_lowercase_and_nonempty() {
+        let ops = [
+            Op::PushI(0),
+            Op::PushD(0),
+            Op::Dup,
+            Op::Drop,
+            Op::Swap,
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::Div,
+            Op::Rem,
+            Op::Neg,
+            Op::Eq,
+            Op::Ne,
+            Op::Lt,
+            Op::Le,
+            Op::Gt,
+            Op::Ge,
+            Op::And,
+            Op::Or,
+            Op::Not,
+            Op::BConcat,
+            Op::BLen,
+            Op::BIndex,
+            Op::BSlice,
+            Op::BEq,
+            Op::IToA,
+            Op::AToI,
+            Op::Load(0),
+            Op::Store(0),
+            Op::GLoad(0),
+            Op::GStore(0),
+            Op::Jump(0),
+            Op::JumpIfZero(0),
+            Op::Call(0),
+            Op::Ret,
+            Op::Halt,
+            Op::HostCall(0),
+            Op::Nop,
+        ];
+        for op in ops {
+            let m = op.mnemonic();
+            assert!(!m.is_empty());
+            assert_eq!(m, m.to_lowercase());
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! AgentScript: the mobile-code substrate (JVM substitute).
+//!
+//! The paper's protection mechanisms rest on the Java security model
+//! (Section 3.2): a byte-code verifier, class-loader name-space separation,
+//! and a security manager. Rust cannot ship native code between hosts, so
+//! this crate provides the equivalent substrate the reproduction runs
+//! mobile agents on:
+//!
+//! * [`isa`] — a compact, typed stack-machine instruction set. Code is
+//!   plain data: serializable, hashable, transferable.
+//! * [`module`] — code containers: functions, globals (the agent's mobile
+//!   state), a data pool, and a declared **host-import table**. Imports are
+//!   bound by the *hosting server* at load time, which is where the paper's
+//!   "safe binding between the visiting agent code and the server
+//!   resources" (Section 5.2) happens at the language level.
+//! * [`verifier`] — the byte-code verifier: type/stack discipline, valid
+//!   jump targets, local/global index bounds, call-signature agreement.
+//!   Mirrors the role of Java's verifier ("programs do not violate
+//!   type-safety ... or cause run-time errors that can result in security
+//!   vulnerabilities").
+//! * [`loader`] — per-agent name-spaces. An agent resolves inter-module
+//!   references **only within its own loaded set**, so a malicious agent
+//!   cannot install an "impostor" module that shadows another agent's or
+//!   the server's code (Section 5.3, "Domain creation").
+//! * [`interp`] — a fuel-metered interpreter. Fuel exhaustion is the
+//!   quota mechanism that contains denial-of-service by buggy or malicious
+//!   agents (Section 2).
+//! * [`asm`] — a small text assembler used by examples and workloads.
+//! * [`image`] — serialization of code + mobile state into the byte image
+//!   that `ajanta-runtime` ships between servers.
+//!
+//! Migration model: like Ajanta itself (and Aglets), state capture is at
+//! the *application level* — an agent's mobile state is its globals, and
+//! after a `go` the agent resumes at a designated entry function on the new
+//! server. No mid-stack capture is required, exactly as in the Java systems
+//! the paper describes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod disasm;
+pub mod image;
+pub mod interp;
+pub mod isa;
+pub mod loader;
+pub mod module;
+pub mod value;
+pub mod verifier;
+
+pub use asm::{assemble, AsmError};
+pub use disasm::disassemble;
+pub use image::AgentImage;
+pub use interp::{
+    ExecOutcome, HostError, HostInterface, HostResponse, Interpreter, Limits, NoHost, TrapKind,
+};
+pub use isa::Op;
+pub use loader::{LoadError, Namespace, Origin};
+pub use module::{Function, HostImport, Module, ModuleBuilder};
+pub use value::{Ty, Value};
+pub use verifier::{verify, VerifiedModule, VerifyError};

@@ -1,0 +1,241 @@
+//! Per-agent name-spaces: the class-loader analogue.
+//!
+//! In the Java model (paper Section 3.2), *"a class is fully identified by
+//! the combination of its name and the class loader instance that installed
+//! it"*, and giving each applet/agent its own loader prevents *"accidental
+//! or deliberate name-clashes across applications that can cause security
+//! breaches"*. [`Namespace`] reproduces that discipline for AgentScript
+//! modules:
+//!
+//! * each agent gets its own `Namespace`;
+//! * **system modules** (installed by the server before any agent code
+//!   loads) can never be shadowed or replaced — the impostor-class attack
+//!   of Section 5.3 fails at load time;
+//! * module names are bind-once even for agent modules, so later code
+//!   cannot swap implementations under earlier code;
+//! * every module is (re-)verified on the way in. Verification status is
+//!   never taken on faith from the network.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::module::Module;
+use crate::verifier::{verify, VerifiedModule, VerifyError};
+
+/// Why a module failed to load into a namespace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// The name is already bound to a **system** module — the attempted
+    /// impostor installation the paper warns about.
+    ShadowsSystemModule(String),
+    /// The name is already bound by this agent; bindings are immutable.
+    AlreadyLoaded(String),
+    /// Byte-code verification failed.
+    Rejected(VerifyError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::ShadowsSystemModule(n) => {
+                write!(f, "module {n:?} would shadow a system module")
+            }
+            LoadError::AlreadyLoaded(n) => write!(f, "module {n:?} is already loaded"),
+            LoadError::Rejected(e) => write!(f, "verification rejected module: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<VerifyError> for LoadError {
+    fn from(e: VerifyError) -> Self {
+        LoadError::Rejected(e)
+    }
+}
+
+/// Provenance of a loaded module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Origin {
+    /// Installed by the server from its local, trusted code base —
+    /// the analogue of classes on the local classpath.
+    System,
+    /// Carried in by the agent over the network.
+    Agent,
+}
+
+/// One agent's (or the server's) module name-space.
+#[derive(Debug, Clone, Default)]
+pub struct Namespace {
+    modules: BTreeMap<String, (Origin, Arc<VerifiedModule>)>,
+}
+
+impl Namespace {
+    /// An empty namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A namespace pre-populated with the server's system modules. Shares
+    /// the (already verified) system module objects — cheap per-agent.
+    pub fn with_system(system: &[Arc<VerifiedModule>]) -> Result<Self, LoadError> {
+        let mut ns = Namespace::new();
+        for m in system {
+            let name = m.module().name.clone();
+            if ns.modules.contains_key(&name) {
+                return Err(LoadError::AlreadyLoaded(name));
+            }
+            ns.modules.insert(name, (Origin::System, Arc::clone(m)));
+        }
+        Ok(ns)
+    }
+
+    /// Loads an untrusted module brought by the agent: verifies it and
+    /// binds it, refusing to shadow anything.
+    pub fn load(&mut self, module: Module) -> Result<Arc<VerifiedModule>, LoadError> {
+        match self.modules.get(&module.name) {
+            Some((Origin::System, _)) => {
+                return Err(LoadError::ShadowsSystemModule(module.name));
+            }
+            Some((Origin::Agent, _)) => {
+                return Err(LoadError::AlreadyLoaded(module.name));
+            }
+            None => {}
+        }
+        let name = module.name.clone();
+        let verified = Arc::new(verify(module)?);
+        self.modules
+            .insert(name, (Origin::Agent, Arc::clone(&verified)));
+        Ok(verified)
+    }
+
+    /// Resolves a module by name **within this namespace only** — there is
+    /// no global fallback, which is exactly the isolation property.
+    pub fn resolve(&self, name: &str) -> Option<&Arc<VerifiedModule>> {
+        self.modules.get(name).map(|(_, m)| m)
+    }
+
+    /// The provenance of a bound name.
+    pub fn origin(&self, name: &str) -> Option<Origin> {
+        self.modules.get(name).map(|(o, _)| *o)
+    }
+
+    /// Number of bound modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// Iterates bound names in order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.modules.keys().map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Op;
+    use crate::module::ModuleBuilder;
+    use crate::value::Ty;
+
+    fn module(name: &str, ret: i64) -> Module {
+        let mut b = ModuleBuilder::new(name);
+        b.function("main", [], [], Ty::Int, vec![Op::PushI(ret), Op::Ret]);
+        b.build()
+    }
+
+    fn system_set() -> Vec<Arc<VerifiedModule>> {
+        vec![Arc::new(verify(module("sys.io", 1)).unwrap())]
+    }
+
+    #[test]
+    fn loads_and_resolves() {
+        let mut ns = Namespace::new();
+        ns.load(module("shopper", 7)).unwrap();
+        assert!(ns.resolve("shopper").is_some());
+        assert!(ns.resolve("other").is_none());
+        assert_eq!(ns.origin("shopper"), Some(Origin::Agent));
+        assert_eq!(ns.len(), 1);
+    }
+
+    #[test]
+    fn impostor_system_module_rejected() {
+        let mut ns = Namespace::with_system(&system_set()).unwrap();
+        let err = ns.load(module("sys.io", 666)).unwrap_err();
+        assert_eq!(err, LoadError::ShadowsSystemModule("sys.io".into()));
+        // The system module is untouched.
+        assert_eq!(ns.origin("sys.io"), Some(Origin::System));
+        let kept = ns.resolve("sys.io").unwrap();
+        assert_eq!(kept.module().functions[0].code[0], Op::PushI(1));
+    }
+
+    #[test]
+    fn rebinding_agent_module_rejected() {
+        let mut ns = Namespace::new();
+        ns.load(module("util", 1)).unwrap();
+        let err = ns.load(module("util", 2)).unwrap_err();
+        assert_eq!(err, LoadError::AlreadyLoaded("util".into()));
+        let kept = ns.resolve("util").unwrap();
+        assert_eq!(kept.module().functions[0].code[0], Op::PushI(1));
+    }
+
+    #[test]
+    fn unverifiable_module_rejected() {
+        let mut b = ModuleBuilder::new("evil");
+        b.function("main", [], [], Ty::Int, vec![Op::Add, Op::Ret]);
+        let mut ns = Namespace::new();
+        assert!(matches!(
+            ns.load(b.build()),
+            Err(LoadError::Rejected(VerifyError::StackUnderflow { .. }))
+        ));
+        assert!(ns.is_empty());
+    }
+
+    #[test]
+    fn namespaces_are_isolated() {
+        // Two agents load different code under the same name; neither sees
+        // the other's module.
+        let mut ns_a = Namespace::new();
+        let mut ns_b = Namespace::new();
+        ns_a.load(module("util", 1)).unwrap();
+        ns_b.load(module("util", 2)).unwrap();
+        let a = ns_a.resolve("util").unwrap();
+        let b = ns_b.resolve("util").unwrap();
+        assert_eq!(a.module().functions[0].code[0], Op::PushI(1));
+        assert_eq!(b.module().functions[0].code[0], Op::PushI(2));
+    }
+
+    #[test]
+    fn system_modules_shared_not_copied() {
+        let sys = system_set();
+        let ns1 = Namespace::with_system(&sys).unwrap();
+        let ns2 = Namespace::with_system(&sys).unwrap();
+        assert!(Arc::ptr_eq(ns1.resolve("sys.io").unwrap(), ns2.resolve("sys.io").unwrap()));
+    }
+
+    #[test]
+    fn duplicate_system_modules_rejected() {
+        let sys = vec![
+            Arc::new(verify(module("sys.io", 1)).unwrap()),
+            Arc::new(verify(module("sys.io", 2)).unwrap()),
+        ];
+        assert_eq!(
+            Namespace::with_system(&sys).unwrap_err(),
+            LoadError::AlreadyLoaded("sys.io".into())
+        );
+    }
+
+    #[test]
+    fn names_iterates_sorted() {
+        let mut ns = Namespace::new();
+        ns.load(module("zeta", 0)).unwrap();
+        ns.load(module("alpha", 0)).unwrap();
+        let names: Vec<&str> = ns.names().collect();
+        assert_eq!(names, ["alpha", "zeta"]);
+    }
+}

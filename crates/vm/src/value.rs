@@ -1,0 +1,153 @@
+//! Runtime values and the two-point type lattice.
+
+use serde::{Deserialize, Serialize};
+
+/// Static type of a value. The verifier tracks these through every
+/// instruction; keeping the lattice tiny (two ground types) keeps the
+/// verifier decidable by simple equality at join points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// Immutable byte string (also used for UTF-8 text).
+    Bytes,
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ty::Int => f.write_str("int"),
+            Ty::Bytes => f.write_str("bytes"),
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Immutable byte string.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn ty(&self) -> Ty {
+        match self {
+            Value::Int(_) => Ty::Int,
+            Value::Bytes(_) => Ty::Bytes,
+        }
+    }
+
+    /// The zero/empty value of a type — initial content of locals and
+    /// globals.
+    pub fn default_of(ty: Ty) -> Value {
+        match ty {
+            Ty::Int => Value::Int(0),
+            Ty::Bytes => Value::Bytes(Vec::new()),
+        }
+    }
+
+    /// Extracts an integer; `None` for bytes.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bytes(_) => None,
+        }
+    }
+
+    /// Extracts the byte string; `None` for ints.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Int(_) => None,
+            Value::Bytes(b) => Some(b),
+        }
+    }
+
+    /// Convenience constructor from UTF-8 text.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Bytes(s.as_ref().as_bytes().to_vec())
+    }
+
+    /// Renders bytes as UTF-8 (lossy) for diagnostics; ints as decimal.
+    pub fn display_lossy(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Bytes(b) => String::from_utf8_lossy(b).into_owned(),
+        }
+    }
+
+    /// Approximate memory footprint in bytes, used by per-agent memory
+    /// quotas.
+    pub fn heap_size(&self) -> usize {
+        match self {
+            Value::Int(_) => 8,
+            Value::Bytes(b) => 24 + b.len(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Bytes(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_match_constructors() {
+        assert_eq!(Value::Int(5).ty(), Ty::Int);
+        assert_eq!(Value::Bytes(vec![1]).ty(), Ty::Bytes);
+        assert_eq!(Value::str("x").ty(), Ty::Bytes);
+    }
+
+    #[test]
+    fn defaults_are_zero_like() {
+        assert_eq!(Value::default_of(Ty::Int), Value::Int(0));
+        assert_eq!(Value::default_of(Ty::Bytes), Value::Bytes(vec![]));
+    }
+
+    #[test]
+    fn extractors_are_type_safe() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Int(3).as_bytes(), None);
+        assert_eq!(Value::str("ab").as_bytes(), Some(b"ab".as_slice()));
+        assert_eq!(Value::str("ab").as_int(), None);
+    }
+
+    #[test]
+    fn display_lossy_renders_both() {
+        assert_eq!(Value::Int(-7).display_lossy(), "-7");
+        assert_eq!(Value::str("héllo").display_lossy(), "héllo");
+        assert_eq!(Value::Bytes(vec![0xff, 0xfe]).display_lossy().len(), 6); // two replacement chars
+    }
+
+    #[test]
+    fn heap_size_scales_with_bytes() {
+        assert_eq!(Value::Int(0).heap_size(), 8);
+        assert!(Value::Bytes(vec![0; 100]).heap_size() > Value::Bytes(vec![]).heap_size());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(vec![9u8]), Value::Bytes(vec![9]));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+    }
+}

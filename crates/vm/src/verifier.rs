@@ -1,0 +1,696 @@
+//! The AgentScript byte-code verifier.
+//!
+//! Plays the role of Java's verifier in the paper's security model
+//! (Section 3.2): *"ensures that programs do not violate type-safety,
+//! encapsulation properties, etc. or cause run-time errors that can result
+//! in security vulnerabilities"*. Verification is a static abstract
+//! interpretation over the two-point type lattice:
+//!
+//! * every instruction's stack effect is checked against the abstract
+//!   stack shape flowing into it;
+//! * at control-flow joins the incoming shapes must agree exactly (no
+//!   widening — shapes are set once and re-encounters only compare);
+//! * jump targets, local/global/data/function/import indices are bounds-
+//!   checked;
+//! * execution cannot fall off the end of a function;
+//! * the static operand-stack depth is bounded by [`MAX_STACK`].
+//!
+//! A successfully verified module is witnessed by [`VerifiedModule`], the
+//! only type the interpreter accepts — "verified" is a type-level fact.
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::Op;
+use crate::module::Module;
+use crate::value::Ty;
+
+/// Maximum statically determined operand-stack depth per frame.
+pub const MAX_STACK: usize = 256;
+
+/// Why verification rejected a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A stack operation would underflow.
+    StackUnderflow {
+        /// Function index.
+        func: u32,
+        /// Instruction index.
+        ip: u32,
+    },
+    /// The static stack depth exceeds [`MAX_STACK`].
+    StackOverflow {
+        /// Function index.
+        func: u32,
+        /// Instruction index.
+        ip: u32,
+    },
+    /// An operand had the wrong type.
+    TypeMismatch {
+        /// Function index.
+        func: u32,
+        /// Instruction index.
+        ip: u32,
+        /// Type required by the instruction.
+        expected: Ty,
+        /// Type found on the abstract stack.
+        found: Ty,
+    },
+    /// Two control-flow paths reach the same instruction with different
+    /// stack shapes.
+    InconsistentJoin {
+        /// Function index.
+        func: u32,
+        /// Instruction index.
+        ip: u32,
+    },
+    /// A jump targets an instruction index outside the function.
+    BadJumpTarget {
+        /// Function index.
+        func: u32,
+        /// Instruction index.
+        ip: u32,
+        /// The out-of-range target.
+        target: u32,
+    },
+    /// A local index is out of range for the function.
+    BadLocal {
+        /// Function index.
+        func: u32,
+        /// Instruction index.
+        ip: u32,
+        /// The bad local slot.
+        local: u16,
+    },
+    /// A global index is out of range for the module.
+    BadGlobal {
+        /// Function index.
+        func: u32,
+        /// Instruction index.
+        ip: u32,
+        /// The bad global slot.
+        global: u16,
+    },
+    /// A data-pool index is out of range.
+    BadData {
+        /// Function index.
+        func: u32,
+        /// Instruction index.
+        ip: u32,
+        /// The bad data index.
+        data: u32,
+    },
+    /// A `Call` references a nonexistent function.
+    BadFunction {
+        /// Function index.
+        func: u32,
+        /// Instruction index.
+        ip: u32,
+        /// The bad callee index.
+        callee: u32,
+    },
+    /// A `HostCall` references a nonexistent import.
+    BadImport {
+        /// Function index.
+        func: u32,
+        /// Instruction index.
+        ip: u32,
+        /// The bad import index.
+        import: u32,
+    },
+    /// Execution can fall off the end of the function body.
+    FallsOffEnd {
+        /// Function index.
+        func: u32,
+    },
+    /// A function body is empty.
+    EmptyBody {
+        /// Function index.
+        func: u32,
+    },
+    /// Two functions share a name, which would make name-based entry
+    /// resolution ambiguous.
+    DuplicateFunctionName(String),
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::StackUnderflow { func, ip } => {
+                write!(f, "fn#{func}@{ip}: stack underflow")
+            }
+            VerifyError::StackOverflow { func, ip } => {
+                write!(f, "fn#{func}@{ip}: stack deeper than {MAX_STACK}")
+            }
+            VerifyError::TypeMismatch {
+                func,
+                ip,
+                expected,
+                found,
+            } => write!(f, "fn#{func}@{ip}: expected {expected}, found {found}"),
+            VerifyError::InconsistentJoin { func, ip } => {
+                write!(f, "fn#{func}@{ip}: inconsistent stack shapes at join")
+            }
+            VerifyError::BadJumpTarget { func, ip, target } => {
+                write!(f, "fn#{func}@{ip}: jump target {target} out of range")
+            }
+            VerifyError::BadLocal { func, ip, local } => {
+                write!(f, "fn#{func}@{ip}: local {local} out of range")
+            }
+            VerifyError::BadGlobal { func, ip, global } => {
+                write!(f, "fn#{func}@{ip}: global {global} out of range")
+            }
+            VerifyError::BadData { func, ip, data } => {
+                write!(f, "fn#{func}@{ip}: data index {data} out of range")
+            }
+            VerifyError::BadFunction { func, ip, callee } => {
+                write!(f, "fn#{func}@{ip}: call target {callee} out of range")
+            }
+            VerifyError::BadImport { func, ip, import } => {
+                write!(f, "fn#{func}@{ip}: host import {import} out of range")
+            }
+            VerifyError::FallsOffEnd { func } => {
+                write!(f, "fn#{func}: control flow can fall off the end")
+            }
+            VerifyError::EmptyBody { func } => write!(f, "fn#{func}: empty body"),
+            VerifyError::DuplicateFunctionName(n) => {
+                write!(f, "duplicate function name: {n:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A module that passed verification. The only way to construct one is
+/// [`verify`], so holding a `VerifiedModule` *is* the proof the
+/// interpreter relies on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerifiedModule {
+    module: Module,
+}
+
+impl VerifiedModule {
+    /// The underlying module (read-only; mutation would invalidate the
+    /// verification witness).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// Verifies a whole module.
+pub fn verify(module: Module) -> Result<VerifiedModule, VerifyError> {
+    let mut names = std::collections::BTreeSet::new();
+    for f in &module.functions {
+        if !names.insert(f.name.as_str()) {
+            return Err(VerifyError::DuplicateFunctionName(f.name.clone()));
+        }
+    }
+    for (i, _) in module.functions.iter().enumerate() {
+        verify_function(&module, i as u32)?;
+    }
+    Ok(VerifiedModule { module })
+}
+
+/// Abstract stack shapes per instruction entry point.
+type Shape = Vec<Ty>;
+
+fn verify_function(m: &Module, func: u32) -> Result<(), VerifyError> {
+    let f = &m.functions[func as usize];
+    let code = &f.code;
+    if code.is_empty() {
+        return Err(VerifyError::EmptyBody { func });
+    }
+
+    let mut shapes: Vec<Option<Shape>> = vec![None; code.len()];
+    let mut worklist: Vec<u32> = vec![0];
+    shapes[0] = Some(Vec::new());
+
+    while let Some(ip) = worklist.pop() {
+        let mut stack = shapes[ip as usize]
+            .clone()
+            .expect("worklist entries always have shapes");
+        let op = code[ip as usize];
+
+        // Helper closures over the local abstract stack.
+        let pop = |stack: &mut Shape, expected: Option<Ty>| -> Result<Ty, VerifyError> {
+            let found = stack
+                .pop()
+                .ok_or(VerifyError::StackUnderflow { func, ip })?;
+            if let Some(exp) = expected {
+                if found != exp {
+                    return Err(VerifyError::TypeMismatch {
+                        func,
+                        ip,
+                        expected: exp,
+                        found,
+                    });
+                }
+            }
+            Ok(found)
+        };
+        let push = |stack: &mut Shape, t: Ty| -> Result<(), VerifyError> {
+            if stack.len() >= MAX_STACK {
+                return Err(VerifyError::StackOverflow { func, ip });
+            }
+            stack.push(t);
+            Ok(())
+        };
+
+        // Successors: (next ip, shape) pairs; None means terminal.
+        let mut successors: Vec<u32> = Vec::with_capacity(2);
+        match op {
+            Op::PushI(_) => {
+                push(&mut stack, Ty::Int)?;
+                successors.push(ip + 1);
+            }
+            Op::PushD(d) => {
+                if d as usize >= m.data.len() {
+                    return Err(VerifyError::BadData { func, ip, data: d });
+                }
+                push(&mut stack, Ty::Bytes)?;
+                successors.push(ip + 1);
+            }
+            Op::Dup => {
+                let t = pop(&mut stack, None)?;
+                push(&mut stack, t)?;
+                push(&mut stack, t)?;
+                successors.push(ip + 1);
+            }
+            Op::Drop => {
+                pop(&mut stack, None)?;
+                successors.push(ip + 1);
+            }
+            Op::Swap => {
+                let a = pop(&mut stack, None)?;
+                let b = pop(&mut stack, None)?;
+                push(&mut stack, a)?;
+                push(&mut stack, b)?;
+                successors.push(ip + 1);
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::Eq | Op::Ne | Op::Lt
+            | Op::Le | Op::Gt | Op::Ge | Op::And | Op::Or => {
+                pop(&mut stack, Some(Ty::Int))?;
+                pop(&mut stack, Some(Ty::Int))?;
+                push(&mut stack, Ty::Int)?;
+                successors.push(ip + 1);
+            }
+            Op::Neg | Op::Not => {
+                pop(&mut stack, Some(Ty::Int))?;
+                push(&mut stack, Ty::Int)?;
+                successors.push(ip + 1);
+            }
+            Op::BConcat => {
+                pop(&mut stack, Some(Ty::Bytes))?;
+                pop(&mut stack, Some(Ty::Bytes))?;
+                push(&mut stack, Ty::Bytes)?;
+                successors.push(ip + 1);
+            }
+            Op::BLen => {
+                pop(&mut stack, Some(Ty::Bytes))?;
+                push(&mut stack, Ty::Int)?;
+                successors.push(ip + 1);
+            }
+            Op::BIndex => {
+                pop(&mut stack, Some(Ty::Int))?;
+                pop(&mut stack, Some(Ty::Bytes))?;
+                push(&mut stack, Ty::Int)?;
+                successors.push(ip + 1);
+            }
+            Op::BSlice => {
+                pop(&mut stack, Some(Ty::Int))?; // len
+                pop(&mut stack, Some(Ty::Int))?; // start
+                pop(&mut stack, Some(Ty::Bytes))?;
+                push(&mut stack, Ty::Bytes)?;
+                successors.push(ip + 1);
+            }
+            Op::BEq => {
+                pop(&mut stack, Some(Ty::Bytes))?;
+                pop(&mut stack, Some(Ty::Bytes))?;
+                push(&mut stack, Ty::Int)?;
+                successors.push(ip + 1);
+            }
+            Op::IToA => {
+                pop(&mut stack, Some(Ty::Int))?;
+                push(&mut stack, Ty::Bytes)?;
+                successors.push(ip + 1);
+            }
+            Op::AToI => {
+                pop(&mut stack, Some(Ty::Bytes))?;
+                push(&mut stack, Ty::Int)?;
+                successors.push(ip + 1);
+            }
+            Op::Load(n) => {
+                let t = f
+                    .local_ty(n as usize)
+                    .ok_or(VerifyError::BadLocal { func, ip, local: n })?;
+                push(&mut stack, t)?;
+                successors.push(ip + 1);
+            }
+            Op::Store(n) => {
+                let t = f
+                    .local_ty(n as usize)
+                    .ok_or(VerifyError::BadLocal { func, ip, local: n })?;
+                pop(&mut stack, Some(t))?;
+                successors.push(ip + 1);
+            }
+            Op::GLoad(n) => {
+                let t = m
+                    .globals
+                    .get(n as usize)
+                    .copied()
+                    .ok_or(VerifyError::BadGlobal { func, ip, global: n })?;
+                push(&mut stack, t)?;
+                successors.push(ip + 1);
+            }
+            Op::GStore(n) => {
+                let t = m
+                    .globals
+                    .get(n as usize)
+                    .copied()
+                    .ok_or(VerifyError::BadGlobal { func, ip, global: n })?;
+                pop(&mut stack, Some(t))?;
+                successors.push(ip + 1);
+            }
+            Op::Jump(t) => {
+                if t as usize >= code.len() {
+                    return Err(VerifyError::BadJumpTarget { func, ip, target: t });
+                }
+                successors.push(t);
+            }
+            Op::JumpIfZero(t) => {
+                if t as usize >= code.len() {
+                    return Err(VerifyError::BadJumpTarget { func, ip, target: t });
+                }
+                pop(&mut stack, Some(Ty::Int))?;
+                successors.push(t);
+                successors.push(ip + 1);
+            }
+            Op::Call(callee) => {
+                let g = m
+                    .functions
+                    .get(callee as usize)
+                    .ok_or(VerifyError::BadFunction { func, ip, callee })?;
+                // Arguments are pushed left-to-right, so the last parameter
+                // is on top: pop in reverse declaration order.
+                for &pt in g.params.iter().rev() {
+                    pop(&mut stack, Some(pt))?;
+                }
+                push(&mut stack, g.ret)?;
+                successors.push(ip + 1);
+            }
+            Op::HostCall(idx) => {
+                let im = m
+                    .imports
+                    .get(idx as usize)
+                    .ok_or(VerifyError::BadImport { func, ip, import: idx })?;
+                for &pt in im.params.iter().rev() {
+                    pop(&mut stack, Some(pt))?;
+                }
+                push(&mut stack, im.ret)?;
+                successors.push(ip + 1);
+            }
+            Op::Ret => {
+                pop(&mut stack, Some(f.ret))?;
+                // Terminal: leftover stack values are permitted and
+                // discarded with the frame (as in the JVM).
+            }
+            Op::Halt => {
+                pop(&mut stack, Some(Ty::Int))?;
+                // Terminal.
+            }
+            Op::Nop => {
+                successors.push(ip + 1);
+            }
+        }
+
+        for succ in successors {
+            if succ as usize >= code.len() {
+                return Err(VerifyError::FallsOffEnd { func });
+            }
+            match &shapes[succ as usize] {
+                None => {
+                    shapes[succ as usize] = Some(stack.clone());
+                    worklist.push(succ);
+                }
+                Some(existing) => {
+                    if existing != &stack {
+                        return Err(VerifyError::InconsistentJoin { func, ip: succ });
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::ModuleBuilder;
+
+    fn single(code: Vec<Op>) -> Result<VerifiedModule, VerifyError> {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main", [Ty::Int], [Ty::Int], Ty::Int, code);
+        verify(b.build())
+    }
+
+    #[test]
+    fn accepts_trivial_return() {
+        single(vec![Op::PushI(42), Op::Ret]).unwrap();
+    }
+
+    #[test]
+    fn accepts_arithmetic_and_locals() {
+        single(vec![
+            Op::Load(0),
+            Op::PushI(2),
+            Op::Mul,
+            Op::Store(1),
+            Op::Load(1),
+            Op::Ret,
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn accepts_loop_with_consistent_shapes() {
+        // local1 = 10; while (local1 != 0) local1 -= 1; return 0
+        single(vec![
+            /*0*/ Op::PushI(10),
+            /*1*/ Op::Store(1),
+            /*2*/ Op::Load(1),
+            /*3*/ Op::JumpIfZero(8),
+            /*4*/ Op::Load(1),
+            /*5*/ Op::PushI(1),
+            /*6*/ Op::Sub,
+            /*7*/ Op::Store(1),
+            // note: ip 8 is the exit, loop back happens below
+            /*8*/ Op::PushI(0),
+            /*9*/ Op::Ret,
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        assert!(matches!(
+            single(vec![Op::Add, Op::Ret]),
+            Err(VerifyError::StackUnderflow { .. })
+        ));
+        assert!(matches!(
+            single(vec![Op::Drop, Op::PushI(0), Op::Ret]),
+            Err(VerifyError::StackUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_type_confusion() {
+        // bytes + int addition
+        let mut b = ModuleBuilder::new("t");
+        let d = b.str_data("x");
+        b.function(
+            "main",
+            [],
+            [],
+            Ty::Int,
+            vec![Op::PushD(d), Op::PushI(1), Op::Add, Op::Ret],
+        );
+        assert!(matches!(
+            verify(b.build()),
+            Err(VerifyError::TypeMismatch {
+                expected: Ty::Int,
+                found: Ty::Bytes,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_return_type() {
+        let mut b = ModuleBuilder::new("t");
+        let d = b.str_data("x");
+        b.function("main", [], [], Ty::Int, vec![Op::PushD(d), Op::Ret]);
+        assert!(matches!(
+            verify(b.build()),
+            Err(VerifyError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_jump_targets() {
+        assert!(matches!(
+            single(vec![Op::Jump(99), Op::PushI(0), Op::Ret]),
+            Err(VerifyError::BadJumpTarget { target: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_fall_off_end() {
+        assert!(matches!(
+            single(vec![Op::PushI(1), Op::Drop]),
+            Err(VerifyError::FallsOffEnd { .. })
+        ));
+        // Jump to last instruction which is not terminal
+        assert!(matches!(
+            single(vec![Op::PushI(0), Op::Nop]),
+            Err(VerifyError::FallsOffEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        assert!(matches!(single(vec![]), Err(VerifyError::EmptyBody { .. })));
+    }
+
+    #[test]
+    fn rejects_inconsistent_join() {
+        // Two paths into ip 4 with different stack shapes:
+        // path A pushes one int; path B pushes two.
+        let code = vec![
+            /*0*/ Op::Load(0),
+            /*1*/ Op::JumpIfZero(5),
+            /*2*/ Op::PushI(1),
+            /*3*/ Op::PushI(2),
+            /*4*/ Op::Jump(6),
+            /*5*/ Op::PushI(1), // joins ip 6 with depth 1 vs depth 2
+            /*6*/ Op::Ret,
+        ];
+        assert!(matches!(
+            single(code),
+            Err(VerifyError::InconsistentJoin { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_indices() {
+        assert!(matches!(
+            single(vec![Op::Load(99), Op::Ret]),
+            Err(VerifyError::BadLocal { local: 99, .. })
+        ));
+        assert!(matches!(
+            single(vec![Op::GLoad(0), Op::Ret]),
+            Err(VerifyError::BadGlobal { .. })
+        ));
+        assert!(matches!(
+            single(vec![Op::PushD(7), Op::Drop, Op::PushI(0), Op::Ret]),
+            Err(VerifyError::BadData { data: 7, .. })
+        ));
+        assert!(matches!(
+            single(vec![Op::Call(9), Op::Ret]),
+            Err(VerifyError::BadFunction { callee: 9, .. })
+        ));
+        assert!(matches!(
+            single(vec![Op::HostCall(0), Op::Ret]),
+            Err(VerifyError::BadImport { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_static_stack_overflow() {
+        // A loop that pushes without popping has an inconsistent join, but
+        // a straight-line push chain past MAX_STACK must overflow.
+        let mut code = Vec::new();
+        for _ in 0..=MAX_STACK {
+            code.push(Op::PushI(1));
+        }
+        code.push(Op::Ret);
+        assert!(matches!(
+            single(code),
+            Err(VerifyError::StackOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn verifies_calls_with_signatures() {
+        let mut b = ModuleBuilder::new("t");
+        b.function(
+            "callee",
+            [Ty::Int, Ty::Bytes],
+            [],
+            Ty::Int,
+            vec![Op::Load(0), Op::Ret],
+        );
+        let d = b.str_data("payload");
+        b.function(
+            "main",
+            [],
+            [],
+            Ty::Int,
+            vec![Op::PushI(7), Op::PushD(d), Op::Call(0), Op::Ret],
+        );
+        verify(b.build()).unwrap();
+    }
+
+    #[test]
+    fn rejects_call_with_swapped_args() {
+        let mut b = ModuleBuilder::new("t");
+        b.function(
+            "callee",
+            [Ty::Int, Ty::Bytes],
+            [],
+            Ty::Int,
+            vec![Op::Load(0), Op::Ret],
+        );
+        let d = b.str_data("payload");
+        b.function(
+            "main",
+            [],
+            [],
+            Ty::Int,
+            vec![Op::PushD(d), Op::PushI(7), Op::Call(0), Op::Ret],
+        );
+        assert!(matches!(
+            verify(b.build()),
+            Err(VerifyError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_function_names() {
+        let mut b = ModuleBuilder::new("t");
+        b.function("f", [], [], Ty::Int, vec![Op::PushI(0), Op::Ret]);
+        b.function("f", [], [], Ty::Int, vec![Op::PushI(1), Op::Ret]);
+        assert_eq!(
+            verify(b.build()),
+            Err(VerifyError::DuplicateFunctionName("f".into()))
+        );
+    }
+
+    #[test]
+    fn halt_requires_int() {
+        single(vec![Op::PushI(0), Op::Halt]).unwrap();
+        let mut b = ModuleBuilder::new("t");
+        let d = b.str_data("x");
+        b.function("main", [], [], Ty::Int, vec![Op::PushD(d), Op::Halt]);
+        assert!(matches!(
+            verify(b.build()),
+            Err(VerifyError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn leftover_stack_at_ret_is_allowed() {
+        single(vec![Op::PushI(1), Op::PushI(2), Op::Ret]).unwrap();
+    }
+}

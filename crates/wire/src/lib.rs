@@ -1,0 +1,532 @@
+//! Canonical binary encoding for the Ajanta reproduction.
+//!
+//! Everything that crosses the simulated network (agent images, transfer
+//! frames) or gets signed (credentials, certificates) must have one
+//! unambiguous byte representation — signatures bind *bytes*, so two
+//! encodings of the same value would be a security bug. This crate is that
+//! single source of truth: a tiny, dependency-free, deterministic codec.
+//!
+//! Format rules:
+//! * integers: unsigned LEB128 varints (`u64`); signed values zig-zag
+//!   first;
+//! * byte strings & UTF-8 strings: varint length prefix, then raw bytes;
+//! * sequences: varint element count, then elements in order;
+//! * options: 1-byte tag (0 = none, 1 = some);
+//! * enums: 1-byte discriminant chosen by the implementing type.
+//!
+//! Types participate by implementing [`Wire`]; decoding is strict (trailing
+//! garbage, truncation, over-long varints and invalid UTF-8 are all
+//! errors).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A varint used more than 10 bytes or had a non-minimal encoding.
+    BadVarint,
+    /// A string field contained invalid UTF-8.
+    BadUtf8,
+    /// An enum discriminant byte was out of range for the type.
+    BadTag {
+        /// Name of the type being decoded.
+        ty: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// A length prefix exceeded the decoder's sanity limit.
+    TooLong(u64),
+    /// Trailing bytes remained after a complete top-level decode.
+    TrailingBytes(usize),
+    /// Domain-specific validation failed after structural decoding.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("input truncated"),
+            WireError::BadVarint => f.write_str("malformed varint"),
+            WireError::BadUtf8 => f.write_str("invalid utf-8 in string"),
+            WireError::BadTag { ty, tag } => write!(f, "bad tag {tag} for {ty}"),
+            WireError::TooLong(n) => write!(f, "length {n} exceeds decoder limit"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            WireError::Invalid(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Sanity cap on any single length prefix (64 MiB). Prevents a malicious
+/// peer from making a decoder pre-allocate unbounded memory.
+pub const MAX_LEN: u64 = 64 << 20;
+
+/// Encoder: an append-only byte sink.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encoder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Consumes the encoder, yielding the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes one raw byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+
+    /// Writes a `u64` as LEB128.
+    pub fn put_varint(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Writes an `i64` zig-zag encoded.
+    pub fn put_varint_signed(&mut self, v: i64) {
+        self.put_varint(((v << 1) ^ (v >> 63)) as u64);
+    }
+
+    /// Writes raw bytes with a varint length prefix.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_varint(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a string with a varint length prefix.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Writes raw bytes with **no** length prefix (fixed-width fields).
+    pub fn put_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Decoder: a cursor over input bytes.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Fails unless the input is fully consumed.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    /// Reads one raw byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.buf.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a LEB128 `u64`, rejecting non-minimal encodings.
+    pub fn get_varint(&mut self) -> Result<u64, WireError> {
+        let mut value = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.get_u8()?;
+            if shift == 63 && byte > 1 {
+                return Err(WireError::BadVarint); // would overflow u64
+            }
+            value |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                // Reject non-minimal encodings like [0x80, 0x00].
+                if byte == 0 && shift != 0 {
+                    return Err(WireError::BadVarint);
+                }
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(WireError::BadVarint);
+            }
+        }
+    }
+
+    /// Reads a zig-zag `i64`.
+    pub fn get_varint_signed(&mut self) -> Result<i64, WireError> {
+        let v = self.get_varint()?;
+        Ok(((v >> 1) as i64) ^ -((v & 1) as i64))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        let len = self.get_varint()?;
+        if len > MAX_LEN {
+            return Err(WireError::TooLong(len));
+        }
+        let len = len as usize;
+        if self.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let out = self.buf[self.pos..self.pos + len].to_vec();
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.get_bytes()?).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads exactly `n` raw bytes (fixed-width fields).
+    pub fn get_raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+/// A type with one canonical byte encoding.
+pub trait Wire: Sized {
+    /// Appends the canonical encoding of `self`.
+    fn encode(&self, e: &mut Encoder);
+    /// Decodes one value from the cursor.
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError>;
+
+    /// Encodes to a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.encode(&mut e);
+        e.finish()
+    }
+
+    /// Decodes a complete value, rejecting trailing bytes.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut d = Decoder::new(bytes);
+        let v = Self::decode(&mut d)?;
+        d.expect_end()?;
+        Ok(v)
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        d.get_varint()
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(u64::from(*self));
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        u32::try_from(d.get_varint()?).map_err(|_| WireError::Invalid("u32 out of range"))
+    }
+}
+
+impl Wire for u16 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(u64::from(*self));
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        u16::try_from(d.get_varint()?).map_err(|_| WireError::Invalid("u16 out of range"))
+    }
+}
+
+impl Wire for i64 {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint_signed(*self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        d.get_varint_signed()
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(u8::from(*self));
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::BadTag { ty: "bool", tag }),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_str(self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        d.get_str()
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_bytes(self);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        d.get_bytes()
+    }
+}
+
+/// Sequences: count then elements. (Blanket impl would conflict with
+/// `Vec<u8>`'s specialized packed form, so each element type gets the
+/// generic path through this helper pair.)
+pub fn encode_seq<T: Wire>(items: &[T], e: &mut Encoder) {
+    e.put_varint(items.len() as u64);
+    for item in items {
+        item.encode(e);
+    }
+}
+
+/// Decodes a sequence written by [`encode_seq`].
+pub fn decode_seq<T: Wire>(d: &mut Decoder<'_>) -> Result<Vec<T>, WireError> {
+    let n = d.get_varint()?;
+    if n > MAX_LEN {
+        return Err(WireError::TooLong(n));
+    }
+    // Guard pre-allocation by remaining input: every element costs ≥1 byte.
+    let n = n as usize;
+    if n > d.remaining() {
+        return Err(WireError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(T::decode(d)?);
+    }
+    Ok(out)
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            None => e.put_u8(0),
+            Some(v) => {
+                e.put_u8(1);
+                v.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        match d.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(d)?)),
+            tag => Err(WireError::BadTag { ty: "Option", tag }),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, e: &mut Encoder) {
+        self.0.encode(e);
+        self.1.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok((A::decode(d)?, B::decode(d)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn varint_roundtrips_boundaries() {
+        for v in [0u64, 1, 127, 128, 129, 16383, 16384, u64::MAX / 2, u64::MAX] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn varint_encoding_is_minimal() {
+        // 127 must be one byte, 128 two.
+        assert_eq!(127u64.to_bytes().len(), 1);
+        assert_eq!(128u64.to_bytes().len(), 2);
+        // Non-minimal encoding [0x80, 0x00] must be rejected.
+        assert_eq!(u64::from_bytes(&[0x80, 0x00]), Err(WireError::BadVarint));
+    }
+
+    #[test]
+    fn varint_rejects_overflow_and_truncation() {
+        assert_eq!(u64::from_bytes(&[0x80]), Err(WireError::Truncated));
+        // 11 continuation bytes: too many.
+        let long = [0xffu8; 11];
+        assert!(matches!(
+            u64::from_bytes(&long),
+            Err(WireError::BadVarint) | Err(WireError::TrailingBytes(_))
+        ));
+        // 2^64 exactly: 10th byte = 2.
+        let overflow = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        assert_eq!(u64::from_bytes(&overflow), Err(WireError::BadVarint));
+    }
+
+    #[test]
+    fn strings_and_bytes_roundtrip() {
+        roundtrip(String::from(""));
+        roundtrip(String::from("héllo wörld"));
+        roundtrip(Vec::<u8>::new());
+        roundtrip(vec![0u8, 255, 1, 2, 3]);
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut e = Encoder::new();
+        e.put_bytes(&[0xff, 0xfe]);
+        assert_eq!(String::from_bytes(&e.finish()), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        roundtrip(Option::<u64>::None);
+        roundtrip(Some(42u64));
+        roundtrip((7u64, String::from("x")));
+        assert!(matches!(
+            Option::<u64>::from_bytes(&[9]),
+            Err(WireError::BadTag { ty: "Option", tag: 9 })
+        ));
+    }
+
+    #[test]
+    fn bool_tags_strict() {
+        roundtrip(true);
+        roundtrip(false);
+        assert!(matches!(
+            bool::from_bytes(&[2]),
+            Err(WireError::BadTag { ty: "bool", tag: 2 })
+        ));
+    }
+
+    #[test]
+    fn sequences_roundtrip() {
+        let v: Vec<u64> = (0..100).collect();
+        let mut e = Encoder::new();
+        encode_seq(&v, &mut e);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(decode_seq::<u64>(&mut d).unwrap(), v);
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn sequence_count_lies_are_caught() {
+        let mut e = Encoder::new();
+        e.put_varint(1_000_000); // claims a million elements
+        e.put_varint(1); // provides one
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(decode_seq::<u64>(&mut d).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut e = Encoder::new();
+        e.put_varint(MAX_LEN + 1);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_bytes(), Err(WireError::TooLong(MAX_LEN + 1)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_at_top_level() {
+        let mut bytes = 5u64.to_bytes();
+        bytes.push(0);
+        assert_eq!(u64::from_bytes(&bytes), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn truncated_bytes_field() {
+        let mut e = Encoder::new();
+        e.put_varint(10);
+        e.put_raw(&[1, 2, 3]); // only 3 of 10
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_bytes(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn raw_fixed_width_fields() {
+        let mut e = Encoder::new();
+        e.put_raw(&[9, 8, 7]);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_raw(3).unwrap(), &[9, 8, 7]);
+        assert_eq!(d.get_raw(1), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn encoder_capacity_and_len() {
+        let mut e = Encoder::with_capacity(64);
+        assert!(e.is_empty());
+        e.put_u8(1);
+        assert_eq!(e.len(), 1);
+    }
+}

@@ -1,0 +1,482 @@
+//! Canonical agent programs.
+//!
+//! Each builder returns a ready-to-launch [`AgentImage`]; the same
+//! programs power the examples, the integration tests, and the benchmark
+//! tables, so measurements describe the artifacts actually demonstrated.
+
+use ajanta_naming::Urn;
+use ajanta_runtime::itinerary::Itinerary;
+use ajanta_vm::{assemble, AgentImage, Value};
+
+fn build(src: &str, globals: Vec<Value>, entry: &str) -> AgentImage {
+    let module = assemble(src).unwrap_or_else(|e| panic!("workload agent fails to assemble: {e}"));
+    let image = AgentImage {
+        module,
+        globals,
+        entry: entry.into(),
+    };
+    image
+        .validate()
+        .unwrap_or_else(|e| panic!("workload agent image invalid: {e}"));
+    image
+}
+
+/// An agent that immediately completes with 0 (admission-cost floor).
+pub fn noop_agent() -> AgentImage {
+    build(
+        r#"
+        module noop
+        func run(arg: bytes) -> int
+          push 0
+          ret
+        "#,
+        vec![],
+        "run",
+    )
+}
+
+/// An agent that burns fuel forever (quota-enforcement probe).
+pub fn spin_agent() -> AgentImage {
+    build(
+        r#"
+        module spin
+        func run(arg: bytes) -> int
+        loop:
+          jump loop
+        "#,
+        vec![],
+        "run",
+    )
+}
+
+/// An agent carrying `state_bytes` of mobile state along `itinerary`,
+/// returning its hop count — the X10 transfer-cost probe.
+pub fn payload_agent(state_bytes: usize, itinerary: &Itinerary) -> AgentImage {
+    let src = r#"
+        module payload
+        import env.go (bytes, bytes) -> int
+        import env.itin_head (bytes) -> bytes
+        import env.itin_tail (bytes) -> bytes
+        global itin: bytes
+        global cargo: bytes
+        global hops: int
+        data entry = "run"
+
+        func run(arg: bytes) -> int
+          locals next: bytes
+          gload hops
+          push 1
+          add
+          gstore hops
+          gload itin
+          blen
+          jz done
+          gload itin
+          hostcall env.itin_head
+          store next
+          gload itin
+          hostcall env.itin_tail
+          gstore itin
+          load next
+          pushd entry
+          hostcall env.go
+          drop
+          push 0
+          ret
+        done:
+          gload hops
+          ret
+    "#;
+    // Incompressible-ish deterministic cargo (varied bytes, not zeros).
+    let cargo: Vec<u8> = (0..state_bytes).map(|i| (i * 131 % 251) as u8).collect();
+    build(
+        src,
+        vec![
+            Value::Bytes(itinerary.encode()),
+            Value::Bytes(cargo),
+            Value::Int(0),
+        ],
+        "run",
+    )
+}
+
+/// The multi-hop collector (experiment X9's agent contender): at each
+/// server it binds the well-known store, asks it to `scan` for the
+/// selector, appends the matches to its carried state, and moves on;
+/// from the last stop it returns everything collected.
+///
+/// `store` is the location-independent resource name each site registers
+/// its replica under.
+pub fn collector_agent(store: &Urn, selector: &[u8], itinerary: &Itinerary) -> AgentImage {
+    let src = format!(
+        r#"
+        module collector
+        import env.get_resource (bytes) -> int
+        import env.invoke (int, bytes, bytes) -> bytes
+        import env.args_b (bytes) -> bytes
+        import env.res_bytes (bytes) -> bytes
+        import env.go (bytes, bytes) -> int
+        import env.itin_head (bytes) -> bytes
+        import env.itin_tail (bytes) -> bytes
+        global itin: bytes
+        global acc: bytes
+        global sel: bytes
+        data store = "{store}"
+        data mscan = "scan"
+        data nl = "\n"
+        data entry = "run"
+
+        # The selector rides in a global: entry arguments are not carried
+        # across migrations (the runtime passes the current server name).
+        func run(arg: bytes) -> bytes
+          locals h: int, m: bytes
+          pushd store
+          hostcall env.get_resource
+          store h
+          load h
+          pushd mscan
+          gload sel
+          hostcall env.args_b
+          hostcall env.invoke
+          hostcall env.res_bytes
+          store m
+          load m
+          blen
+          jz after
+          gload acc
+          blen
+          jz firstm
+          gload acc
+          pushd nl
+          bconcat
+          load m
+          bconcat
+          gstore acc
+          jump after
+        firstm:
+          load m
+          gstore acc
+        after:
+          gload itin
+          blen
+          jz done
+          gload itin
+          hostcall env.itin_head
+          gload itin
+          hostcall env.itin_tail
+          gstore itin
+          pushd entry
+          hostcall env.go
+          drop
+          gload acc
+          ret
+        done:
+          gload acc
+          ret
+    "#
+    );
+    build(
+        &src,
+        vec![
+            Value::Bytes(itinerary.encode()),
+            Value::Bytes(Vec::new()),
+            Value::Bytes(selector.to_vec()),
+        ],
+        "run",
+    )
+}
+
+/// The price-comparison shopper (the paper's motivating application): it
+/// tours vendor servers, scans each catalog for `item=<item>`, parses the
+/// price out of the quote *in agent code*, keeps the cheapest, and
+/// returns the winning quote line.
+pub fn shopper_agent(catalog: &Urn, item: &str, itinerary: &Itinerary) -> AgentImage {
+    let src = format!(
+        r#"
+        module shopper
+        import env.get_resource (bytes) -> int
+        import env.invoke (int, bytes, bytes) -> bytes
+        import env.args_b (bytes) -> bytes
+        import env.res_bytes (bytes) -> bytes
+        import env.go (bytes, bytes) -> int
+        import env.itin_head (bytes) -> bytes
+        import env.itin_tail (bytes) -> bytes
+        global itin: bytes
+        global best_price: int
+        global best_line: bytes
+        data catalog = "{catalog}"
+        data mscan = "scan"
+        data query = "item={item} "
+        data price_key = "price="
+        data entry = "run"
+
+        func run(arg: bytes) -> bytes
+          locals h: int, m: bytes, line: bytes, p: int
+          pushd catalog
+          hostcall env.get_resource
+          store h
+          load h
+          pushd mscan
+          pushd query
+          hostcall env.args_b
+          hostcall env.invoke
+          hostcall env.res_bytes
+          store m
+          load m
+          blen
+          jz travel
+          # take the first line of the scan result
+          load m
+          call first_line
+          store line
+          # parse the price
+          load line
+          call parse_price
+          store p
+          # keep the minimum (best_price == 0 means "none yet")
+          gload best_price
+          jz take
+          load p
+          gload best_price
+          lt
+          jz travel
+        take:
+          load p
+          gstore best_price
+          load line
+          gstore best_line
+        travel:
+          gload itin
+          blen
+          jz done
+          gload itin
+          hostcall env.itin_head
+          gload itin
+          hostcall env.itin_tail
+          gstore itin
+          pushd entry
+          hostcall env.go
+          drop
+          gload best_line
+          ret
+        done:
+          gload best_line
+          ret
+
+        func first_line(m: bytes) -> bytes
+          locals i: int, n: int
+          load m
+          blen
+          store n
+        scanloop:
+          load i
+          load n
+          lt
+          jz whole
+          load m
+          load i
+          bindex
+          push 10
+          eq
+          jz step
+          load m
+          push 0
+          load i
+          bslice
+          ret
+        step:
+          load i
+          push 1
+          add
+          store i
+          jump scanloop
+        whole:
+          load m
+          ret
+
+        # finds "price=" in the line and parses the following digits
+        func parse_price(line: bytes) -> int
+          locals i: int, limit: int, j: int, ok: int, acc: int, c: int, n: int
+          load line
+          blen
+          store n
+          pushd price_key
+          blen
+          load n
+          swap
+          sub
+          store limit
+        outer:
+          load i
+          load limit
+          le
+          jz fail
+          push 1
+          store ok
+          push 0
+          store j
+        inner:
+          load j
+          pushd price_key
+          blen
+          lt
+          jz matched
+          load line
+          load i
+          load j
+          add
+          bindex
+          pushd price_key
+          load j
+          bindex
+          ne
+          jz stepj
+          push 0
+          store ok
+          jump matched
+        stepj:
+          load j
+          push 1
+          add
+          store j
+          jump inner
+        matched:
+          load ok
+          jz stepi
+          # digits start at i + len("price=")
+          load i
+          pushd price_key
+          blen
+          add
+          store i
+          push 0
+          store acc
+        digits:
+          load i
+          load n
+          lt
+          jz havenum
+          load line
+          load i
+          bindex
+          store c
+          load c
+          push 48
+          ge
+          jz havenum
+          load c
+          push 57
+          le
+          jz havenum
+          load acc
+          push 10
+          mul
+          load c
+          add
+          push 48
+          sub
+          store acc
+          load i
+          push 1
+          add
+          store i
+          jump digits
+        havenum:
+          load acc
+          ret
+        stepi:
+          load i
+          push 1
+          add
+          store i
+          jump outer
+        fail:
+          push 0
+          ret
+    "#
+    );
+    build(
+        &src,
+        vec![
+            Value::Bytes(itinerary.encode()),
+            Value::Int(0),
+            Value::Bytes(Vec::new()),
+        ],
+        "run",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajanta_vm::verify;
+
+    fn server(n: &str) -> Urn {
+        Urn::server("x.org", [n]).unwrap()
+    }
+
+    #[test]
+    fn all_builders_produce_verifiable_images() {
+        let it = Itinerary::new([server("a"), server("b")]);
+        let store = Urn::resource("stores.org", ["db"]).unwrap();
+        for img in [
+            noop_agent(),
+            spin_agent(),
+            payload_agent(1024, &it),
+            collector_agent(&store, b"HOT", &it),
+            shopper_agent(&store, "modem56k", &it),
+        ] {
+            verify(img.module.clone()).expect("workload agent verifies");
+            img.validate().expect("image consistent");
+        }
+    }
+
+    #[test]
+    fn payload_agent_carries_requested_state() {
+        let it = Itinerary::new([server("a")]);
+        let img = payload_agent(10_000, &it);
+        match &img.globals[1] {
+            Value::Bytes(b) => assert_eq!(b.len(), 10_000),
+            other => panic!("cargo global wrong: {other:?}"),
+        }
+        // Encoded size scales with the cargo.
+        let small = payload_agent(0, &it);
+        assert!(img.encoded_len() > small.encoded_len() + 9_000);
+    }
+
+    #[test]
+    fn shopper_parse_price_works_in_vm() {
+        // Drive the parse_price helper directly.
+        use ajanta_vm::{ExecOutcome, Interpreter, Limits, NoHost};
+        let it = Itinerary::default();
+        let store = Urn::resource("stores.org", ["db"]).unwrap();
+        let img = shopper_agent(&store, "modem56k", &it);
+        let vm = verify(img.module).unwrap();
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        let out = interp.run(
+            "parse_price",
+            vec![Value::str("item=modem56k vendor=acme price=4321")],
+            &mut NoHost,
+        );
+        assert_eq!(out, ExecOutcome::Finished(Value::Int(4321)));
+        // No price → 0.
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        let out = interp.run("parse_price", vec![Value::str("no price here")], &mut NoHost);
+        assert_eq!(out, ExecOutcome::Finished(Value::Int(0)));
+    }
+
+    #[test]
+    fn shopper_first_line_works_in_vm() {
+        use ajanta_vm::{ExecOutcome, Interpreter, Limits, NoHost};
+        let it = Itinerary::default();
+        let store = Urn::resource("stores.org", ["db"]).unwrap();
+        let img = shopper_agent(&store, "modem56k", &it);
+        let vm = verify(img.module).unwrap();
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        let out = interp.run("first_line", vec![Value::str("line1\nline2")], &mut NoHost);
+        assert_eq!(out, ExecOutcome::Finished(Value::str("line1")));
+        let mut interp = Interpreter::new(&vm, Limits::default());
+        let out = interp.run("first_line", vec![Value::str("only")], &mut NoHost);
+        assert_eq!(out, ExecOutcome::Finished(Value::str("only")));
+    }
+}

@@ -1,0 +1,134 @@
+//! Vendor price catalogs for the shopping scenario.
+//!
+//! The paper's introduction motivates agents with errands "from on-line
+//! shopping to ... distributed scientific computation"; the shopping
+//! example sends an agent around vendor servers comparing prices.
+//! Catalog records are store records of the form
+//! `item=<name> vendor=<vendor> price=<cents>`.
+
+use ajanta_crypto::DetRng;
+
+/// One price quote parsed back out of a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Item name.
+    pub item: String,
+    /// Vendor tag.
+    pub vendor: String,
+    /// Price in cents.
+    pub price: u64,
+}
+
+impl Quote {
+    /// Parses a catalog record; `None` when the record is not a quote.
+    pub fn parse(record: &[u8]) -> Option<Quote> {
+        let text = std::str::from_utf8(record).ok()?;
+        let mut item = None;
+        let mut vendor = None;
+        let mut price = None;
+        for field in text.split_whitespace() {
+            if let Some(v) = field.strip_prefix("item=") {
+                item = Some(v.to_string());
+            } else if let Some(v) = field.strip_prefix("vendor=") {
+                vendor = Some(v.to_string());
+            } else if let Some(v) = field.strip_prefix("price=") {
+                price = v.parse().ok();
+            }
+        }
+        Some(Quote {
+            item: item?,
+            vendor: vendor?,
+            price: price?,
+        })
+    }
+}
+
+/// Item names every vendor stocks (so cross-vendor comparison always has
+/// matches).
+pub const ITEMS: [&str; 8] = [
+    "modem56k",
+    "zipdrive",
+    "crt17in",
+    "scsi-card",
+    "ethernet-hub",
+    "trackball",
+    "mousepad",
+    "ram-64mb",
+];
+
+/// Generates vendor `v`'s catalog: one quote per item with a
+/// vendor-specific deterministic price, plus `extra` filler records.
+pub fn vendor_catalog(vendor: &str, extra: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = DetRng::new(seed ^ hash_tag(vendor));
+    let mut records = Vec::with_capacity(ITEMS.len() + extra);
+    for item in ITEMS {
+        let price = 1_000 + rng.below(9_000);
+        records.push(format!("item={item} vendor={vendor} price={price}").into_bytes());
+    }
+    for i in 0..extra {
+        records.push(format!("filler-{i:05} vendor={vendor} noise={}", rng.below(1 << 30)).into_bytes());
+    }
+    records
+}
+
+fn hash_tag(tag: &str) -> u64 {
+    // FNV-1a, enough to decorrelate vendor seeds.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in tag.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cheapest quote for `item` across raw scan output (newline-joined
+/// records) — the client-side reference the agent's answer is checked
+/// against.
+pub fn best_quote(scan_output: &[u8], item: &str) -> Option<Quote> {
+    scan_output
+        .split(|&b| b == b'\n')
+        .filter_map(Quote::parse)
+        .filter(|q| q.item == item)
+        .min_by_key(|q| q.price)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogs_are_deterministic_and_vendor_specific() {
+        let a1 = vendor_catalog("acme", 5, 1);
+        let a2 = vendor_catalog("acme", 5, 1);
+        let b = vendor_catalog("bulk", 5, 1);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.len(), ITEMS.len() + 5);
+    }
+
+    #[test]
+    fn quotes_parse_back() {
+        let records = vendor_catalog("acme", 0, 7);
+        for r in &records {
+            let q = Quote::parse(r).expect("catalog rows are quotes");
+            assert_eq!(q.vendor, "acme");
+            assert!(ITEMS.contains(&q.item.as_str()));
+            assert!((1_000..10_000).contains(&q.price));
+        }
+    }
+
+    #[test]
+    fn filler_rows_are_not_quotes() {
+        let records = vendor_catalog("acme", 3, 7);
+        assert!(Quote::parse(&records[ITEMS.len()]).is_none());
+    }
+
+    #[test]
+    fn best_quote_finds_minimum() {
+        let blob = b"item=x vendor=a price=500\nitem=x vendor=b price=300\nitem=y vendor=c price=100".to_vec();
+        let best = best_quote(&blob, "x").unwrap();
+        assert_eq!(best.vendor, "b");
+        assert_eq!(best.price, 300);
+        assert!(best_quote(&blob, "zzz").is_none());
+    }
+}

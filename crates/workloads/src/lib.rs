@@ -1,0 +1,24 @@
+//! Deterministic workload generators and canonical agent programs for the
+//! experiment harness.
+//!
+//! Everything here is a pure function of its seed, so every experiment
+//! table in EXPERIMENTS.md regenerates exactly.
+//!
+//! * [`records`] — record-store populations with controlled selectivity
+//!   (the information-retrieval scenario driving experiment X9).
+//! * [`catalog`] — vendor price catalogs (the shopping scenario from the
+//!   paper's introduction).
+//! * [`agents`] — the canonical agent programs: collectors, shoppers,
+//!   payload carriers, spinners. Benches, examples and tests all use
+//!   these same builders, so measured agents are the demonstrated agents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agents;
+pub mod catalog;
+pub mod records;
+
+pub use agents::{collector_agent, noop_agent, payload_agent, shopper_agent, spin_agent};
+pub use catalog::{vendor_catalog, Quote};
+pub use records::{record_population, selector_for, RecordSpec};

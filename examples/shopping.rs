@@ -1,0 +1,93 @@
+//! The shopping scenario from the paper's introduction: a
+//! price-comparison agent tours vendor servers, scans each catalog
+//! through a proxy, keeps the best quote in its mobile state, and brings
+//! the answer home.
+//!
+//! ```text
+//! cargo run --example shopping
+//! ```
+
+use std::time::Duration;
+
+use ajanta::baselines::RecordStore;
+use ajanta::core::{Guarded, ProxyPolicy, Rights};
+use ajanta::naming::Urn;
+use ajanta::runtime::itinerary::Itinerary;
+use ajanta::runtime::{ReportStatus, World};
+use ajanta::workloads::catalog::{best_quote, vendor_catalog};
+use ajanta::workloads::shopper_agent;
+
+const ITEM: &str = "modem56k";
+
+fn main() {
+    // Four vendors plus the shopper's home server.
+    let vendors = ["acme", "bulkmart", "cyberdeals", "dataden"];
+    let mut world = World::new(vendors.len() + 1);
+
+    // Every vendor registers its catalog under the same
+    // location-independent name — like a well-known service.
+    let catalog_name = Urn::resource("market.org", ["catalog"]).unwrap();
+    let mut all_records: Vec<u8> = Vec::new();
+    for (i, vendor) in vendors.iter().enumerate() {
+        let records = vendor_catalog(vendor, 50, 0x5E11);
+        for r in &records {
+            all_records.extend_from_slice(r);
+            all_records.push(b'\n');
+        }
+        let store = RecordStore::new(
+            catalog_name.clone(),
+            Urn::owner("market.org", [*vendor]).unwrap(),
+            records,
+        );
+        world
+            .server(i + 1)
+            .register_resource(Guarded::new(store, ProxyPolicy::default()))
+            .expect("catalog registers");
+        println!("vendor {vendor:>10} at {}", world.server(i + 1).name());
+    }
+
+    // The ground truth, computed locally for comparison.
+    let truth = best_quote(&all_records, ITEM).expect("every vendor stocks the item");
+    println!(
+        "\nground truth: {} from {} at {} cents",
+        truth.item, truth.vendor, truth.price
+    );
+
+    // The shopper: visits vendor 1 first, carries the rest as itinerary.
+    let stops: Vec<Urn> = (2..=vendors.len())
+        .map(|i| world.server(i).name().clone())
+        .collect();
+    let image = shopper_agent(&catalog_name, ITEM, &Itinerary::new(stops));
+    println!(
+        "shopper code+state: {} bytes",
+        image.encoded_len()
+    );
+
+    let mut buyer = world.owner("buyer");
+    let agent = buyer.next_agent_name("shopper");
+    let home = world.server(0).name().clone();
+    // Delegate exactly catalog access, nothing else.
+    let creds = buyer.credentials(agent, home, Rights::on_resource(catalog_name), u64::MAX);
+
+    world
+        .server(0)
+        .launch(world.server(1).name().clone(), creds, image);
+
+    let reports = world.server(0).wait_reports(1, Duration::from_secs(15));
+    match &reports[0].status {
+        ReportStatus::Completed(winner) => {
+            println!("\nagent's answer: {winner}");
+            let agrees = winner.contains(&format!("vendor={}", truth.vendor))
+                && winner.contains(&format!("price={}", truth.price));
+            println!("matches ground truth: {}", if agrees { "yes" } else { "NO" });
+            assert!(agrees, "the shopper must find the true best quote");
+        }
+        other => panic!("shopper failed: {other:?}"),
+    }
+    println!(
+        "network totals: {} messages, {} bytes",
+        world.net.stats().messages_delivered,
+        world.net.stats().bytes_delivered
+    );
+    world.shutdown();
+}

@@ -1,0 +1,59 @@
+//! # Ajanta-RS
+//!
+//! A from-scratch Rust reproduction of Tripathi & Karnik, *"Protected
+//! Resource Access for Mobile Agent-based Distributed Computing"*
+//! (ICPP 1998) — the proxy-based access-control design of the Ajanta
+//! mobile-agent system, together with every substrate it needs to run:
+//! a verified mobile-code VM, a simulated open network with
+//! attack injection, credentials and certificates, agent servers, and
+//! the baseline designs the paper compares against.
+//!
+//! This facade re-exports the workspace crates under short names and
+//! hosts the runnable examples and cross-crate integration tests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ajanta::runtime::{World, ReportStatus};
+//! use ajanta::core::Rights;
+//! use ajanta::vm::{assemble, AgentImage};
+//!
+//! // Two agent servers on a simulated network, with a CA and directory.
+//! let mut world = World::new(2);
+//! let mut owner = world.owner("alice");
+//!
+//! // A tiny agent, written in AgentScript assembly.
+//! let module = assemble(r#"
+//!     module hello
+//!     func run(arg: bytes) -> int
+//!       push 42
+//!       ret
+//! "#).unwrap();
+//! let image = AgentImage { globals: vec![], module, entry: "run".into() };
+//!
+//! // Signed credentials: who the agent is, who it acts for, what it may do.
+//! let agent = owner.next_agent_name("hello");
+//! let home = world.server(0).name().clone();
+//! let creds = owner.credentials(agent, home, Rights::all(), u64::MAX);
+//!
+//! // Launch it at server 1 and collect the report at home.
+//! world.server(0).launch(world.server(1).name().clone(), creds, image);
+//! let reports = world.server(0).wait_reports(1, std::time::Duration::from_secs(10));
+//! assert_eq!(reports[0].status, ReportStatus::Completed("42".into()));
+//! world.shutdown();
+//! ```
+//!
+//! See `examples/` for full scenarios and DESIGN.md for the architecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ajanta_baselines as baselines;
+pub use ajanta_core as core;
+pub use ajanta_crypto as crypto;
+pub use ajanta_naming as naming;
+pub use ajanta_net as net;
+pub use ajanta_runtime as runtime;
+pub use ajanta_vm as vm;
+pub use ajanta_wire as wire;
+pub use ajanta_workloads as workloads;

@@ -1,0 +1,168 @@
+//! X2 — the code figures (Figs. 2–5, 7) reproduced faithfully: the
+//! resource class hierarchy, the hand-written typed `BufferProxy`, the
+//! generated proxies, and the access-protocol upcall — all from outside
+//! the defining crate, as an application developer would use them.
+
+use std::sync::Arc;
+
+use ajanta::core::{
+    declare_resource_proxy, AccessError, AccessProtocol, BoundedBuffer, Buffer, BufferProxy,
+    DomainId, Guarded, Meter, MethodSpec, ProxyControl, ProxyPolicy, Requester, Resource,
+    ResourceError, ResourceProxy, Rights,
+};
+use ajanta::naming::Urn;
+use ajanta::vm::{Ty, Value};
+
+fn buffer() -> Arc<BoundedBuffer> {
+    BoundedBuffer::new(
+        Urn::resource("acme.com", ["buffer"]).unwrap(),
+        Urn::owner("acme.com", ["admin"]).unwrap(),
+        4,
+    )
+}
+
+fn requester(domain: DomainId, rights: Rights) -> Requester {
+    Requester {
+        agent: Urn::agent("umn.edu", ["a", "1"]).unwrap(),
+        owner: Urn::owner("umn.edu", ["alice"]).unwrap(),
+        domain,
+        rights,
+    }
+}
+
+/// Fig. 4: the Buffer interface extends the generic Resource interface.
+#[test]
+fn figure_2_hierarchy_holds() {
+    let b = buffer();
+    // As a Buffer (application interface).
+    Buffer::put(&*b, Value::Int(1)).unwrap();
+    assert_eq!(b.size(), 1);
+    // As a Resource (generic interface): naming, ownership, discovery.
+    assert_eq!(Resource::name(&*b).leaf(), "buffer");
+    assert_eq!(Resource::owner(&*b).leaf(), "admin");
+    let methods: Vec<String> = b.methods().into_iter().map(|m| m.name).collect();
+    assert_eq!(methods, ["get", "put", "size"]);
+    // As an AccessProtocol (Fig. 7): getProxy returns a typed-checked,
+    // restricted proxy.
+    let rq = requester(DomainId(1), Rights::all());
+    let proxy = Arc::clone(&b).get_proxy(&rq, 0).unwrap();
+    assert_eq!(
+        proxy.invoke(DomainId(1), "get", &[], 0).unwrap(),
+        Value::Int(1)
+    );
+}
+
+/// Fig. 5: the hand-written `BufferProxy` — `private Buffer ref` plus the
+/// `isEnabled` check on each method, raising a security exception.
+#[test]
+fn figure_5_typed_proxy_semantics() {
+    let b = buffer();
+    let control = ProxyControl::new(
+        DomainId(3),
+        [],
+        ["get".to_string(), "put".to_string()],
+        None,
+        Meter::counting(1),
+    );
+    let proxy = BufferProxy::new(Arc::clone(&b), control);
+
+    proxy.put(Value::str("x"), 0).unwrap();
+    assert_eq!(proxy.get(0).unwrap(), Value::str("x"));
+    // "size" is disabled → the security exception of Fig. 5.
+    assert_eq!(proxy.size(0), Err(AccessError::MethodDisabled("size".into())));
+    // Accounting accumulated through the same control block.
+    assert_eq!(proxy.control().meter().reading().total, 2);
+}
+
+// The paper's "simple lexical processing tool": generate a typed proxy.
+declare_resource_proxy! {
+    /// Generated typed proxy over the buffer's dynamic interface.
+    pub struct GenBufferProxy {
+        fn get() -> "get";
+        fn put(item: bytes) -> "put";
+        fn size() -> "size";
+    }
+}
+
+#[test]
+fn generated_proxy_from_outside_the_crate() {
+    let b = buffer();
+    let g = Guarded::new(Arc::clone(&b), ProxyPolicy::default());
+    let rq = requester(
+        DomainId(9),
+        Rights::none()
+            .grant_method(Urn::resource("acme.com", ["buffer"]).unwrap(), "put")
+            .grant_method(Urn::resource("acme.com", ["buffer"]).unwrap(), "size"),
+    );
+    let p = GenBufferProxy::new(g.get_proxy(&rq, 0).unwrap());
+    p.put(0, Value::str("job")).unwrap();
+    assert_eq!(p.size(0).unwrap(), Value::Int(1));
+    // get was not granted.
+    assert!(matches!(p.get(0), Err(AccessError::MethodDisabled(_))));
+}
+
+/// An application-defined resource built from scratch against the public
+/// API — the extension story of Fig. 3 ("All application-defined resource
+/// classes must implement the Resource interface").
+struct Thermometer {
+    name: Urn,
+    owner: Urn,
+    reading: parking_lot::Mutex<i64>,
+}
+
+impl Resource for Thermometer {
+    fn name(&self) -> &Urn {
+        &self.name
+    }
+    fn owner(&self) -> &Urn {
+        &self.owner
+    }
+    fn methods(&self) -> Vec<MethodSpec> {
+        vec![
+            MethodSpec::new("read", [], Ty::Int),
+            MethodSpec::new("calibrate", [Ty::Int], Ty::Int),
+        ]
+    }
+    fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ResourceError> {
+        self.check_args(method, args)?;
+        match method {
+            "read" => Ok(Value::Int(*self.reading.lock())),
+            "calibrate" => {
+                let mut r = self.reading.lock();
+                *r += args[0].as_int().expect("checked");
+                Ok(Value::Int(*r))
+            }
+            other => Err(ResourceError::NoSuchMethod(other.into())),
+        }
+    }
+}
+
+#[test]
+fn application_defined_resource_gets_proxies_for_free() {
+    let t = Arc::new(Thermometer {
+        name: Urn::resource("lab.org", ["thermo"]).unwrap(),
+        owner: Urn::owner("lab.org", ["pi"]).unwrap(),
+        reading: parking_lot::Mutex::new(20),
+    });
+    let g = Guarded::new(t, ProxyPolicy::default());
+    // Operators may calibrate; guests may only read.
+    let operator = requester(DomainId(1), Rights::all());
+    let guest = requester(
+        DomainId(2),
+        Rights::none().grant_method(Urn::resource("lab.org", ["thermo"]).unwrap(), "read"),
+    );
+    let op_proxy: ResourceProxy = Arc::clone(&g).get_proxy(&operator, 0).unwrap();
+    let guest_proxy: ResourceProxy = g.get_proxy(&guest, 0).unwrap();
+
+    op_proxy
+        .invoke(DomainId(1), "calibrate", &[Value::Int(2)], 0)
+        .unwrap();
+    assert_eq!(
+        guest_proxy.invoke(DomainId(2), "read", &[], 0).unwrap(),
+        Value::Int(22)
+    );
+    assert!(matches!(
+        guest_proxy.invoke(DomainId(2), "calibrate", &[Value::Int(1)], 0),
+        Err(AccessError::MethodDisabled(_))
+    ));
+}

@@ -1,0 +1,240 @@
+//! Cross-crate security flows: delegation chains through live servers,
+//! runtime policy changes, per-owner differentiation, and the secure
+//! session channel under attack.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ajanta::baselines::RecordStore;
+use ajanta::core::{Guarded, PrincipalPattern, ProxyPolicy, Rights, SecurityPolicy};
+use ajanta::naming::Urn;
+use ajanta::runtime::{ReportStatus, World};
+use ajanta::vm::{assemble, AgentImage};
+
+fn store_resource() -> Arc<Guarded<RecordStore>> {
+    let store = RecordStore::new(
+        Urn::resource("site1.org", ["db"]).unwrap(),
+        Urn::owner("site1.org", ["admin"]).unwrap(),
+        vec![b"r1".to_vec(), b"r2".to_vec()],
+    );
+    Guarded::new(store, ProxyPolicy::default())
+}
+
+const COUNTER: &str = r#"
+    module counteruser
+    import env.get_resource (bytes) -> int
+    import env.invoke (int, bytes, bytes) -> bytes
+    import env.args0 () -> bytes
+    import env.res_int (bytes) -> int
+    data rname = "ajn://site1.org/resource/db"
+    data mcount = "count"
+
+    func run(arg: bytes) -> int
+      pushd rname
+      hostcall env.get_resource
+      pushd mcount
+      hostcall env.args0
+      hostcall env.invoke
+      hostcall env.res_int
+      ret
+"#;
+
+fn counter_image() -> AgentImage {
+    let module = assemble(COUNTER).unwrap();
+    AgentImage {
+        globals: module.initial_globals(),
+        module,
+        entry: "run".into(),
+    }
+}
+
+#[test]
+fn per_owner_policies_differentiate_agents() {
+    // Server policy: only alice's principals reach the store.
+    let alice_owner = Urn::owner("users.org", ["alice"]).unwrap();
+    let alice_for_policy = alice_owner.clone();
+    let mut world = World::builder(2)
+        .policy(move |i, _| {
+            if i == 1 {
+                SecurityPolicy::new().allow(
+                    PrincipalPattern::Exact(alice_for_policy.clone()),
+                    Rights::all(),
+                )
+            } else {
+                SecurityPolicy::new().allow(PrincipalPattern::Anyone, Rights::all())
+            }
+        })
+        .build();
+    world.server(1).register_resource(store_resource()).unwrap();
+
+    let home = world.server(0).name().clone();
+    let dest = world.server(1).name().clone();
+
+    let mut alice = world.owner("alice");
+    assert_eq!(*alice.name(), alice_owner);
+    let a = alice.next_agent_name("reader");
+    let creds = alice.credentials(a, home.clone(), Rights::all(), u64::MAX);
+    world.server(0).launch(dest.clone(), creds, counter_image());
+
+    let mut bob = world.owner("bob");
+    let b = bob.next_agent_name("reader");
+    let creds = bob.credentials(b, home, Rights::all(), u64::MAX);
+    world.server(0).launch(dest, creds, counter_image());
+
+    let reports = world.server(0).wait_reports(2, Duration::from_secs(10));
+    let mut completed = 0;
+    let mut denied = 0;
+    for r in &reports {
+        match &r.status {
+            ReportStatus::Completed(v) => {
+                assert_eq!(v, "2");
+                completed += 1;
+            }
+            ReportStatus::Failed(msg) => {
+                assert!(msg.contains("security exception"), "{msg}");
+                denied += 1;
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    assert_eq!((completed, denied), (1, 1));
+    world.shutdown();
+}
+
+#[test]
+fn runtime_policy_change_affects_future_bindings() {
+    // Section 5.1: "security policies of such resources can be
+    // dynamically modified by their owners."
+    let mut world = World::new(2);
+    world.server(1).register_resource(store_resource()).unwrap();
+    let home = world.server(0).name().clone();
+    let dest = world.server(1).name().clone();
+    let mut owner = world.owner("carol");
+
+    // First agent succeeds under the permissive default policy.
+    let a1 = owner.next_agent_name("reader");
+    let creds = owner.credentials(a1, home.clone(), Rights::all(), u64::MAX);
+    world.server(0).launch(dest.clone(), creds, counter_image());
+    let reports = world.server(0).wait_reports(1, Duration::from_secs(10));
+    assert_eq!(reports[0].status, ReportStatus::Completed("2".into()));
+
+    // The administrator tightens the policy at runtime.
+    world.server(1).with_policy(|p| {
+        *p = SecurityPolicy::new(); // deny everything
+    });
+
+    let a2 = owner.next_agent_name("reader");
+    let creds = owner.credentials(a2, home, Rights::all(), u64::MAX);
+    world.server(0).launch(dest, creds, counter_image());
+    let reports = world.server(0).wait_reports(2, Duration::from_secs(10));
+    match &reports[1].status {
+        ReportStatus::Failed(msg) => assert!(msg.contains("security exception"), "{msg}"),
+        other => panic!("expected denial after policy change, got {other:?}"),
+    }
+    world.shutdown();
+}
+
+#[test]
+fn delegation_chain_restricts_through_endorsements() {
+    // The "subcontract" of Section 5.2: a forwarding principal endorses
+    // an agent's credentials with a restriction; every later verifier
+    // (using the same world roots) sees only the narrowed rights, and
+    // tampering with the endorsement is detected.
+    let mut world = World::new(1);
+    let mut owner = world.owner("dave");
+    let agent = owner.next_agent_name("sub");
+    let home = world.server(0).name().clone();
+    let rname = Urn::resource("site1.org", ["db"]).unwrap();
+    let creds = owner.credentials(agent, home, Rights::on_resource(rname.clone()), u64::MAX);
+    let effective = creds.verify(&world.roots, 0).unwrap();
+    assert!(effective.permits(&rname, "scan"));
+    assert!(effective.permits(&rname, "count"));
+
+    // The forwarding principal (CA-certified, like a server) restricts
+    // the agent to `count`.
+    let mut forwarder = world.owner("forwarding-server");
+    let restricted = forwarder.endorse(
+        &creds,
+        Rights::none().grant_method(rname.clone(), "count"),
+    );
+    let effective = restricted.verify(&world.roots, 0).unwrap();
+    assert!(effective.permits(&rname, "count"));
+    assert!(!effective.permits(&rname, "scan"));
+    assert_eq!(
+        restricted.endorsers().collect::<Vec<_>>(),
+        vec![forwarder.name()]
+    );
+
+    // Widening the restriction after signing is detected.
+    let mut tampered = restricted;
+    tampered.endorsements[0].restriction = Rights::all();
+    assert!(tampered.verify(&world.roots, 0).is_err());
+    world.shutdown();
+}
+
+#[test]
+fn secure_channel_sessions_over_the_simnet() {
+    use ajanta::crypto::cert::Certificate;
+    use ajanta::crypto::{DetRng, KeyPair, RootOfTrust};
+    use ajanta::net::secure::ChannelIdentity;
+    use ajanta::net::{LinkModel, SecureChannel, SimNet};
+
+    let mut rng = DetRng::new(0x5EC);
+    let net = SimNet::new(LinkModel::default(), 1);
+    let ca = KeyPair::generate(&mut rng);
+    let mut roots = RootOfTrust::new();
+    roots.trust("ca", ca.public);
+    let mk = |name: &Urn, serial: u64, rng: &mut DetRng| {
+        let keys = KeyPair::generate(rng);
+        let cert =
+            Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, serial, rng);
+        ChannelIdentity {
+            name: name.clone(),
+            keys,
+            chain: vec![cert],
+        }
+    };
+    let a_name = Urn::server("a.org", ["a"]).unwrap();
+    let b_name = Urn::server("b.org", ["b"]).unwrap();
+    let a_id = mk(&a_name, 1, &mut rng);
+    let b_id = mk(&b_name, 2, &mut rng);
+
+    let a_ep = net.attach(a_name.clone()).unwrap();
+    let b_ep = net.attach(b_name.clone()).unwrap();
+
+    // Handshake over the simulated network.
+    let (hello, pending) = SecureChannel::initiate(&a_id, &b_name, &mut rng);
+    a_ep.send(&b_name, hello).unwrap();
+    let d = b_ep.recv().unwrap();
+    let (ack, mut chan_b) =
+        SecureChannel::respond(&b_id, &roots, &d.payload, net.clock().now(), &mut rng).unwrap();
+    b_ep.send(&a_name, ack).unwrap();
+    let d = a_ep.recv().unwrap();
+    let mut chan_a = pending.finish(&roots, &d.payload, net.clock().now()).unwrap();
+
+    // Framed traffic both ways.
+    for i in 0..5u32 {
+        let frame = chan_a.seal(format!("ping {i}").as_bytes());
+        a_ep.send(&b_name, frame).unwrap();
+        let d = b_ep.recv().unwrap();
+        let msg = chan_b.open(&d.payload).unwrap();
+        assert_eq!(msg, format!("ping {i}").as_bytes());
+
+        let frame = chan_b.seal(format!("pong {i}").as_bytes());
+        b_ep.send(&a_name, frame).unwrap();
+        let d = a_ep.recv().unwrap();
+        assert_eq!(chan_a.open(&d.payload).unwrap(), format!("pong {i}").as_bytes());
+    }
+
+    // A replayed frame is rejected by sequence tracking.
+    let frame = chan_a.seal(b"pay once");
+    a_ep.send(&b_name, frame.clone()).unwrap();
+    let d = b_ep.recv().unwrap();
+    chan_b.open(&d.payload).unwrap();
+    a_ep.send(&b_name, frame).unwrap();
+    let d = b_ep.recv().unwrap();
+    assert!(matches!(
+        chan_b.open(&d.payload),
+        Err(ajanta::net::ChannelError::Replay { .. })
+    ));
+}
