@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use ajanta_core::{Resource, SecurityPolicy};
+use ajanta_core::{MethodId, MethodTable, Resource, SecurityPolicy};
 use ajanta_naming::Urn;
 use ajanta_vm::Value;
 use ajanta_wire::{decode_seq, encode_seq, Decoder, Encoder, Wire};
@@ -64,12 +64,36 @@ struct Crossing {
     reply: Sender<Vec<u8>>,
 }
 
-fn marshal_request(agent: &Urn, owner: &Urn, resource: &Urn, method: &str, args: &[Value]) -> Vec<u8> {
+/// How the request names its method on the wire. The interned form is
+/// the common case — a varint id resolved at bind time in the safe
+/// environment; the string form survives only for methods outside the
+/// published interface (cold path, same semantics as before interning).
+enum MethodSel<'a> {
+    Id(MethodId),
+    Name(&'a str),
+}
+
+fn marshal_request(
+    agent: &Urn,
+    owner: &Urn,
+    resource: &Urn,
+    method: &MethodSel<'_>,
+    args: &[Value],
+) -> Vec<u8> {
     let mut e = Encoder::new();
     agent.encode(&mut e);
     owner.encode(&mut e);
     resource.encode(&mut e);
-    e.put_str(method);
+    match method {
+        MethodSel::Id(id) => {
+            e.put_u8(0);
+            e.put_varint(u64::from(id.0));
+        }
+        MethodSel::Name(name) => {
+            e.put_u8(1);
+            e.put_str(name);
+        }
+    }
     encode_seq(args, &mut e);
     e.finish()
 }
@@ -117,6 +141,11 @@ fn unmarshal_reply(bytes: &[u8]) -> Result<Value, DualEnvError> {
 /// The safe-environment handle agents call through.
 pub struct DualEnv {
     tx: Sender<Crossing>,
+    /// The published interfaces of the trusted side's resources — the
+    /// safe environment resolves method names to interned ids against
+    /// these once, at bind time, so the per-call wire traffic carries a
+    /// varint id instead of a method string.
+    interfaces: BTreeMap<Urn, Arc<MethodTable>>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -124,9 +153,16 @@ impl DualEnv {
     /// Starts the trusted environment with `policy` and `resources`.
     pub fn start(policy: SecurityPolicy, resources: Vec<Arc<dyn Resource>>) -> DualEnv {
         let (tx, rx): (Sender<Crossing>, Receiver<Crossing>) = unbounded();
-        let table: BTreeMap<Urn, Arc<dyn Resource>> = resources
+        let table: BTreeMap<Urn, (Arc<dyn Resource>, Arc<MethodTable>)> = resources
             .into_iter()
-            .map(|r| (r.name().clone(), r))
+            .map(|r| {
+                let t = r.method_table();
+                (r.name().clone(), (r, t))
+            })
+            .collect();
+        let interfaces: BTreeMap<Urn, Arc<MethodTable>> = table
+            .iter()
+            .map(|(name, (_, t))| (name.clone(), Arc::clone(t)))
             .collect();
         let worker = std::thread::Builder::new()
             .name("trusted-env".into())
@@ -141,9 +177,31 @@ impl DualEnv {
                             Urn::decode(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string()))?;
                         let resource =
                             Urn::decode(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string()))?;
-                        let method = d
-                            .get_str()
-                            .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                        let entry = table.get(&resource);
+                        let method: String = match d
+                            .get_u8()
+                            .map_err(|e| DualEnvError::Marshal(e.to_string()))?
+                        {
+                            0 => {
+                                let raw = d
+                                    .get_varint()
+                                    .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                                let id = u16::try_from(raw)
+                                    .map_err(|_| DualEnvError::Marshal(format!("method id {raw}")))?;
+                                // Interned ids are only meaningful relative
+                                // to a published interface.
+                                entry
+                                    .and_then(|(_, t)| t.name(MethodId(id)))
+                                    .ok_or_else(|| {
+                                        DualEnvError::Marshal(format!("unknown method id {id}"))
+                                    })?
+                                    .to_string()
+                            }
+                            1 => d
+                                .get_str()
+                                .map_err(|e| DualEnvError::Marshal(e.to_string()))?,
+                            t => return Err(DualEnvError::Marshal(format!("bad method tag {t}"))),
+                        };
                         let args: Vec<Value> = decode_seq(&mut d)
                             .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
                         if !policy.rights_for(&agent, &owner).permits(&resource, &method) {
@@ -151,8 +209,7 @@ impl DualEnv {
                                 "{agent} may not call {method} on {resource}"
                             )));
                         }
-                        let target = table
-                            .get(&resource)
+                        let (target, _) = entry
                             .ok_or_else(|| DualEnvError::UnknownResource(resource.clone()))?;
                         target
                             .invoke(&method, &args)
@@ -164,12 +221,40 @@ impl DualEnv {
             .expect("spawning trusted environment");
         DualEnv {
             tx,
+            interfaces,
             worker: Some(worker),
         }
     }
 
-    /// One guarded access: marshal → cross domains → screen → execute →
-    /// cross back → unmarshal.
+    /// Bind-time resolution: a method name against a trusted resource's
+    /// published interface.
+    pub fn method_id(&self, resource: &Urn, method: &str) -> Option<MethodId> {
+        self.interfaces.get(resource)?.id(method)
+    }
+
+    /// One guarded access by interned id: marshal (varint id, no method
+    /// string) → cross domains → screen → execute → cross back →
+    /// unmarshal. The crossing itself is the mechanism's intrinsic cost.
+    pub fn invoke_id(
+        &self,
+        agent: &Urn,
+        owner: &Urn,
+        resource: &Urn,
+        method: MethodId,
+        args: &[Value],
+    ) -> Result<Value, DualEnvError> {
+        self.cross(marshal_request(
+            agent,
+            owner,
+            resource,
+            &MethodSel::Id(method),
+            args,
+        ))
+    }
+
+    /// Name-keyed access: resolves the id at the safe-side boundary when
+    /// the interface is published; methods outside it still cross as
+    /// strings and get the trusted side's full screening (cold path).
     pub fn invoke(
         &self,
         agent: &Urn,
@@ -178,7 +263,14 @@ impl DualEnv {
         method: &str,
         args: &[Value],
     ) -> Result<Value, DualEnvError> {
-        let request = marshal_request(agent, owner, resource, method, args);
+        let sel = match self.method_id(resource, method) {
+            Some(id) => MethodSel::Id(id),
+            None => MethodSel::Name(method),
+        };
+        self.cross(marshal_request(agent, owner, resource, &sel, args))
+    }
+
+    fn cross(&self, request: Vec<u8>) -> Result<Value, DualEnvError> {
         let (reply_tx, reply_rx) = unbounded();
         self.tx
             .send(Crossing {
@@ -252,6 +344,30 @@ mod tests {
             env.invoke(&agent, &eve, &rname, "count", &[]),
             Err(DualEnvError::Denied(_))
         ));
+    }
+
+    #[test]
+    fn interned_crossing_matches_string_crossing() {
+        let (env, agent, owner, rname) = setup();
+        let count = env.method_id(&rname, "count").unwrap();
+        let get = env.method_id(&rname, "get").unwrap();
+        assert_eq!(
+            env.invoke_id(&agent, &owner, &rname, count, &[]).unwrap(),
+            Value::Int(2)
+        );
+        // Screening still happens in the trusted domain, id or not.
+        assert!(matches!(
+            env.invoke_id(&agent, &owner, &rname, get, &[Value::Int(0)]),
+            Err(DualEnvError::Denied(_))
+        ));
+        // Methods outside the published interface don't intern…
+        assert_eq!(env.method_id(&rname, "ghost"), None);
+        // …and an id outside the trusted side's table is refused there
+        // (the reply encoding folds marshal faults into `Resource`).
+        let err = env
+            .invoke_id(&agent, &owner, &rname, MethodId(99), &[])
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown method id 99"), "{err}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use ajanta_core::{Resource, ResourceError, SecurityPolicy};
+use ajanta_core::{MethodId, MethodTable, Resource, ResourceError, SecurityPolicy};
 use ajanta_naming::Urn;
 use ajanta_vm::Value;
 use parking_lot::RwLock;
@@ -125,6 +125,73 @@ impl SecurityManagerGate {
     pub fn checks_performed(&self) -> u64 {
         self.checks.load(std::sync::atomic::Ordering::Relaxed)
     }
+
+    /// Resolves a resource once into a [`GateBinding`]: the target object
+    /// and its interned method table are looked up at bind time, so each
+    /// call pays only the mechanism's intrinsic cost — the full policy
+    /// evaluation — and not a name-keyed map probe the proxy pipeline no
+    /// longer pays.
+    pub fn bind(self: &Arc<Self>, resource: &Urn) -> Option<GateBinding> {
+        let target = self.resources.read().get(resource).cloned()?;
+        let table = target.method_table();
+        Some(GateBinding {
+            gate: Arc::clone(self),
+            name: resource.clone(),
+            target,
+            table,
+        })
+    }
+}
+
+/// A client's bound handle onto one gated resource. The central policy is
+/// still consulted on **every** invocation — binding removes only the
+/// incidental resource/method string lookups.
+pub struct GateBinding {
+    gate: Arc<SecurityManagerGate>,
+    name: Urn,
+    target: Arc<dyn Resource>,
+    table: Arc<MethodTable>,
+}
+
+impl GateBinding {
+    /// Resolves a method name against the bound interface (bind-time).
+    pub fn method_id(&self, name: &str) -> Option<MethodId> {
+        self.table.id(name)
+    }
+
+    /// One gated access by interned id: policy evaluation per call, then
+    /// array-indexed dispatch.
+    #[allow(clippy::result_large_err)] // cold error path carries the audit triple
+    pub fn invoke_id(
+        &self,
+        agent: &Urn,
+        owner: &Urn,
+        method: MethodId,
+        args: &[Value],
+    ) -> Result<Value, GateError> {
+        self.gate
+            .checks
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let name = self.table.name(method).ok_or_else(|| GateError::Denied {
+            agent: agent.clone(),
+            resource: self.name.clone(),
+            method: format!("#{}", method.0),
+        })?;
+        let allowed = self
+            .gate
+            .policy
+            .read()
+            .rights_for(agent, owner)
+            .permits(&self.name, name);
+        if !allowed {
+            return Err(GateError::Denied {
+                agent: agent.clone(),
+                resource: self.name.clone(),
+                method: name.to_string(),
+            });
+        }
+        self.target.invoke(name, args).map_err(GateError::Resource)
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +251,32 @@ mod tests {
             gate.invoke(&agent, &owner, &ghost, "count", &[]),
             Err(GateError::Denied { .. })
         ));
+    }
+
+    #[test]
+    fn bound_gate_matches_string_path() {
+        let (gate, agent, owner, rname) = setup();
+        let binding = gate.bind(&rname).expect("resource is registered");
+        let count = binding.method_id("count").unwrap();
+        let scan = binding.method_id("scan").unwrap();
+        assert_eq!(
+            binding.invoke_id(&agent, &owner, count, &[]).unwrap(),
+            Value::Int(1)
+        );
+        assert!(matches!(
+            binding.invoke_id(&agent, &owner, scan, &[Value::str("r")]),
+            Err(GateError::Denied { .. })
+        ));
+        // Bound calls still hit the central monitor's counter.
+        assert_eq!(gate.checks_performed(), 2);
+        // Policy swaps apply to existing bindings immediately — binding
+        // caches the target, never the decision.
+        gate.set_policy(SecurityPolicy::new());
+        assert!(matches!(
+            binding.invoke_id(&agent, &owner, count, &[]),
+            Err(GateError::Denied { .. })
+        ));
+        assert!(gate.bind(&Urn::resource("x.org", ["ghost"]).unwrap()).is_none());
     }
 
     #[test]

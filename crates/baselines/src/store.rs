@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use ajanta_core::{MethodSpec, Resource, ResourceError};
+use ajanta_core::{MethodSpec, MethodTable, Resource, ResourceError};
 use ajanta_naming::Urn;
 use ajanta_vm::{Ty, Value};
 
@@ -16,6 +16,9 @@ pub struct RecordStore {
     name: Urn,
     owner: Urn,
     records: Vec<Vec<u8>>,
+    /// Interned interface, built once — every mechanism benched over this
+    /// store binds method names through the same table.
+    table: Arc<MethodTable>,
 }
 
 impl RecordStore {
@@ -25,6 +28,7 @@ impl RecordStore {
             name,
             owner,
             records,
+            table: MethodTable::new(["count", "get", "scan", "scan_count"]),
         })
     }
 
@@ -87,6 +91,9 @@ impl Resource for RecordStore {
             MethodSpec::new("scan", [Ty::Bytes], Ty::Bytes),
             MethodSpec::new("scan_count", [Ty::Bytes], Ty::Int),
         ]
+    }
+    fn method_table(&self) -> Arc<MethodTable> {
+        Arc::clone(&self.table)
     }
     fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ResourceError> {
         self.check_args(method, args)?;

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use ajanta_core::{Resource, ResourceError, Rights};
+use ajanta_core::{MethodId, MethodTable, Resource, ResourceError, Rights};
 use ajanta_naming::Urn;
 use ajanta_vm::Value;
 use parking_lot::RwLock;
@@ -53,6 +53,10 @@ impl std::error::Error for WrapperError {}
 /// One shared wrapper around one resource.
 pub struct WrappedResource {
     inner: Arc<dyn Resource>,
+    /// Interned interface of `inner` — clients resolve names to
+    /// [`MethodId`]s once, so the per-call cost is the ACL evaluation the
+    /// mechanism intrinsically pays, not string hashing.
+    table: Arc<MethodTable>,
     /// principal → rights; consulted per call.
     acl: RwLock<Vec<(Urn, Rights)>>,
 }
@@ -60,10 +64,23 @@ pub struct WrappedResource {
 impl WrappedResource {
     /// Wraps `inner` with an empty ACL (deny all).
     pub fn new(inner: Arc<dyn Resource>) -> Arc<Self> {
+        let table = inner.method_table();
         Arc::new(WrappedResource {
             inner,
+            table,
             acl: RwLock::new(Vec::new()),
         })
+    }
+
+    /// Resolves a method name against the wrapped interface — the
+    /// bind-time step clients do once, like proxy binding.
+    pub fn method_id(&self, name: &str) -> Option<MethodId> {
+        self.table.id(name)
+    }
+
+    /// The wrapped interface's interned method universe.
+    pub fn method_table(&self) -> &Arc<MethodTable> {
+        &self.table
     }
 
     /// Adds (or extends) a principal's entry.
@@ -88,30 +105,67 @@ impl WrappedResource {
         self.acl.read().len()
     }
 
-    /// The guarded invocation: identity lookup + rights evaluation on
-    /// **every** call, then pass-through.
+    /// The guarded invocation by interned id: identity lookup + rights
+    /// evaluation on **every** call (the wrapper's intrinsic cost), then
+    /// pass-through. Method dispatch is an array index, matching what
+    /// the proxy pipeline pays.
+    pub fn invoke_id(
+        &self,
+        caller: &Urn,
+        method: MethodId,
+        args: &[Value],
+    ) -> Result<Value, WrapperError> {
+        let name = self.table.name(method).ok_or_else(|| WrapperError::Denied {
+            caller: caller.clone(),
+            method: format!("#{}", method.0),
+        })?;
+        let permitted = {
+            let acl = self.acl.read();
+            match acl.iter().find(|(p, _)| p == caller) {
+                None => return Err(WrapperError::UnknownPrincipal(caller.clone())),
+                Some((_, rights)) => rights.permits(self.inner.name(), name),
+            }
+        };
+        if !permitted {
+            return Err(WrapperError::Denied {
+                caller: caller.clone(),
+                method: name.to_string(),
+            });
+        }
+        self.inner.invoke(name, args).map_err(WrapperError::Resource)
+    }
+
+    /// Name-keyed invocation: resolves through the interned table and
+    /// delegates to [`WrappedResource::invoke_id`]. Methods outside the
+    /// wrapped interface still pay the per-call ACL evaluation before
+    /// being refused, as the original string path did.
     pub fn invoke(
         &self,
         caller: &Urn,
         method: &str,
         args: &[Value],
     ) -> Result<Value, WrapperError> {
-        let permitted = {
-            let acl = self.acl.read();
-            match acl.iter().find(|(p, _)| p == caller) {
-                None => return Err(WrapperError::UnknownPrincipal(caller.clone())),
-                Some((_, rights)) => rights.permits(self.inner.name(), method),
+        match self.table.id(method) {
+            Some(id) => self.invoke_id(caller, id, args),
+            None => {
+                let permitted = {
+                    let acl = self.acl.read();
+                    match acl.iter().find(|(p, _)| p == caller) {
+                        None => return Err(WrapperError::UnknownPrincipal(caller.clone())),
+                        Some((_, rights)) => rights.permits(self.inner.name(), method),
+                    }
+                };
+                if !permitted {
+                    return Err(WrapperError::Denied {
+                        caller: caller.clone(),
+                        method: method.to_string(),
+                    });
+                }
+                self.inner
+                    .invoke(method, args)
+                    .map_err(WrapperError::Resource)
             }
-        };
-        if !permitted {
-            return Err(WrapperError::Denied {
-                caller: caller.clone(),
-                method: method.to_string(),
-            });
         }
-        self.inner
-            .invoke(method, args)
-            .map_err(WrapperError::Resource)
     }
 
     /// The wrapped resource's name.
@@ -166,6 +220,27 @@ mod tests {
             w.invoke(&bob(), "count", &[]),
             Err(WrapperError::UnknownPrincipal(_))
         ));
+    }
+
+    #[test]
+    fn interned_path_matches_string_path() {
+        let w = wrapped();
+        w.grant(
+            alice(),
+            Rights::none().grant_method(w.name().clone(), "count"),
+        );
+        let count = w.method_id("count").unwrap();
+        let scan = w.method_id("scan").unwrap();
+        assert_eq!(w.invoke_id(&alice(), count, &[]).unwrap(), Value::Int(2));
+        assert!(matches!(
+            w.invoke_id(&alice(), scan, &[Value::str("a")]),
+            Err(WrapperError::Denied { .. })
+        ));
+        assert!(matches!(
+            w.invoke_id(&bob(), count, &[]),
+            Err(WrapperError::UnknownPrincipal(_))
+        ));
+        assert_eq!(w.method_id("ghost"), None);
     }
 
     #[test]

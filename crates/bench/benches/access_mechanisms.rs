@@ -20,29 +20,43 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("x4_access");
 
+    // Method names are interned to MethodIds at bind time for every
+    // mechanism; per-iteration work is the mechanism's intrinsic cost.
     use ajanta_core::Resource;
     g.bench_function("direct", |b| {
         b.iter(|| m.direct.invoke("count", &[]).unwrap())
     });
 
     let proxy = Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap();
+    let proxy_count = proxy.method_id("count").unwrap();
     g.bench_function("proxy_invoke", |b| {
+        b.iter(|| proxy.invoke_id(rq.domain, proxy_count, &[], 0).unwrap())
+    });
+    g.bench_function("proxy_invoke_by_name", |b| {
         b.iter(|| proxy.invoke(rq.domain, "count", &[], 0).unwrap())
     });
     g.bench_function("proxy_get_proxy_setup", |b| {
         b.iter(|| Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap())
     });
 
+    let wrapper_count = m.wrapper.method_id("count").unwrap();
     g.bench_function("wrapper_acl", |b| {
-        b.iter(|| m.wrapper.invoke(&owner, "count", &[]).unwrap())
+        b.iter(|| m.wrapper.invoke_id(&owner, wrapper_count, &[]).unwrap())
     });
 
+    let gate = m.gate.bind(&rname).unwrap();
+    let gate_count = gate.method_id("count").unwrap();
     g.bench_function("security_manager", |b| {
-        b.iter(|| m.gate.invoke(&agent, &owner, &rname, "count", &[]).unwrap())
+        b.iter(|| gate.invoke_id(&agent, &owner, gate_count, &[]).unwrap())
     });
 
+    let dual_count = m.dualenv.method_id(&rname, "count").unwrap();
     g.bench_function("dual_environment", |b| {
-        b.iter(|| m.dualenv.invoke(&agent, &owner, &rname, "count", &[]).unwrap())
+        b.iter(|| {
+            m.dualenv
+                .invoke_id(&agent, &owner, &rname, dual_count, &[])
+                .unwrap()
+        })
     });
 
     g.finish();

@@ -17,7 +17,10 @@ pub struct IsolationRow {
     pub agents: usize,
     /// Wall time until every agent reported, ms.
     pub wall_ms: f64,
-    /// Agents per second.
+    /// VM loop-iterations completed per second across all agents
+    /// (work/s). Wall time includes the fixed launch/report overhead, so
+    /// agents/s would *rise* with the batch size even at flat capacity;
+    /// work/s makes rows comparable.
     pub throughput: f64,
     /// All agents computed their own-id-derived answer (no cross-talk).
     pub isolated: bool,
@@ -115,7 +118,7 @@ pub fn run(agent_counts: &[usize], iters: i64) -> Vec<IsolationRow> {
             IsolationRow {
                 agents: n,
                 wall_ms,
-                throughput: n as f64 / (wall_ms / 1e3),
+                throughput: (n as f64 * iters as f64) / (wall_ms / 1e3),
                 isolated,
                 residue,
             }
@@ -132,7 +135,7 @@ pub fn table(agent_counts: &[usize], iters: i64) -> String {
             vec![
                 r.agents.to_string(),
                 format!("{:.1} ms", r.wall_ms),
-                format!("{:.0} agents/s", r.throughput),
+                format!("{:.2} Miters/s", r.throughput / 1e6),
                 if r.isolated { "yes".into() } else { "VIOLATED".into() },
                 r.residue.to_string(),
             ]
@@ -140,7 +143,7 @@ pub fn table(agent_counts: &[usize], iters: i64) -> String {
         .collect();
     crate::render_table(
         &format!("X12 — concurrent agents on one server ({iters} loop iterations each)"),
-        &["agents", "wall time", "throughput", "isolation held", "residue"],
+        &["agents", "wall time", "work rate", "isolation held", "residue"],
         &rendered,
     )
 }

@@ -44,33 +44,42 @@ pub fn run(calls: u64) -> Vec<AccessRow> {
 
     use ajanta_core::Resource;
 
+    // Every mechanism binds "count" to its interned MethodId up front, so
+    // the per-call numbers compare mechanisms — not incidental string
+    // hashing the proxy pipeline no longer pays.
+
     // Direct (floor): no setup, raw invoke.
     let direct_per = time_per_call(calls, || {
         m.direct.invoke("count", &[]).unwrap();
     });
 
-    // Proxy: one-time get_proxy, then checked invokes.
+    // Proxy: one-time get_proxy + method binding, then checked invokes.
     let setup_start = Instant::now();
     let proxy = Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap();
+    let proxy_count = proxy.method_id("count").expect("store has count");
     let proxy_setup = setup_start.elapsed().as_nanos() as f64;
     let proxy_per = time_per_call(calls, || {
-        proxy.invoke(rq.domain, "count", &[], 0).unwrap();
+        proxy.invoke_id(rq.domain, proxy_count, &[], 0).unwrap();
     });
 
     // Wrapper: no per-agent setup; ACL per call.
+    let wrapper_count = m.wrapper.method_id("count").expect("store has count");
     let wrapper_per = time_per_call(calls, || {
-        m.wrapper.invoke(&owner, "count", &[]).unwrap();
+        m.wrapper.invoke_id(&owner, wrapper_count, &[]).unwrap();
     });
 
     // Security manager: no per-agent setup; full policy per call.
+    let gate = m.gate.bind(&rname).expect("store is registered");
+    let gate_count = gate.method_id("count").expect("store has count");
     let gate_per = time_per_call(calls, || {
-        m.gate.invoke(&agent, &owner, &rname, "count", &[]).unwrap();
+        gate.invoke_id(&agent, &owner, gate_count, &[]).unwrap();
     });
 
     // Dual environment: no per-agent setup; domain crossing per call.
+    let dual_count = m.dualenv.method_id(&rname, "count").expect("store has count");
     let dual_per = time_per_call(calls, || {
         m.dualenv
-            .invoke(&agent, &owner, &rname, "count", &[])
+            .invoke_id(&agent, &owner, &rname, dual_count, &[])
             .unwrap();
     });
 

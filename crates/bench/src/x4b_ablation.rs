@@ -44,7 +44,13 @@ pub fn run(populations: &[usize], calls: u64) -> Vec<AblationRow> {
             let owner = fixtures::owner_urn();
             let rname = fixtures::store_name();
 
+            // Bind-time resolution for every mechanism: the sweep varies
+            // only the principal population, never string-lookup overhead.
             let proxy = Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap();
+            let proxy_count = proxy.method_id("count").expect("store has count");
+            let wrapper_count = m.wrapper.method_id("count").expect("store has count");
+            let gate = m.gate.bind(&rname).expect("store is registered");
+            let gate_count = gate.method_id("count").expect("store has count");
             let time = |mut f: Box<dyn FnMut() + '_>| -> f64 {
                 for _ in 0..200 {
                     f();
@@ -57,15 +63,13 @@ pub fn run(populations: &[usize], calls: u64) -> Vec<AblationRow> {
             };
 
             let proxy_ns = time(Box::new(|| {
-                proxy.invoke(rq.domain, "count", &[], 0).unwrap();
+                proxy.invoke_id(rq.domain, proxy_count, &[], 0).unwrap();
             }));
             let wrapper_ns = time(Box::new(|| {
-                m.wrapper.invoke(&owner, "count", &[]).unwrap();
+                m.wrapper.invoke_id(&owner, wrapper_count, &[]).unwrap();
             }));
             let gate_ns = time(Box::new(|| {
-                m.gate
-                    .invoke(&agent, &owner, &rname, "count", &[])
-                    .unwrap();
+                gate.invoke_id(&agent, &owner, gate_count, &[]).unwrap();
             }));
 
             AblationRow {

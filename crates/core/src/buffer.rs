@@ -26,7 +26,9 @@ use parking_lot::Mutex;
 
 use crate::domain::DomainId;
 use crate::proxy::{AccessError, Meter, ProxyControl, ResourceProxy};
-use crate::resource::{AccessProtocol, MethodSpec, Requester, Resource, ResourceError};
+use crate::resource::{
+    AccessProtocol, MethodId, MethodSpec, MethodTable, Requester, Resource, ResourceError,
+};
 
 /// The application-defined buffer interface (paper Fig. 4's `Buffer`).
 pub trait Buffer: Send + Sync {
@@ -44,6 +46,9 @@ pub struct BoundedBuffer {
     name: Urn,
     owner: Urn,
     capacity: usize,
+    /// Interned method universe, built once at construction (Fig. 6
+    /// step 4 happens against this, not against per-call strings).
+    table: Arc<MethodTable>,
     items: Mutex<VecDeque<Value>>,
 }
 
@@ -55,6 +60,7 @@ impl BoundedBuffer {
             name,
             owner,
             capacity,
+            table: MethodTable::new(["get", "put", "size"]),
             items: Mutex::new(VecDeque::with_capacity(capacity)),
         })
     }
@@ -110,6 +116,9 @@ impl Resource for BoundedBuffer {
             other => Err(ResourceError::NoSuchMethod(other.into())),
         }
     }
+    fn method_table(&self) -> Arc<MethodTable> {
+        Arc::clone(&self.table)
+    }
 }
 
 impl AccessProtocol for BoundedBuffer {
@@ -120,11 +129,14 @@ impl AccessProtocol for BoundedBuffer {
         requester: &Requester,
         _now: u64,
     ) -> Result<ResourceProxy, AccessError> {
-        let enabled: Vec<String> = self
-            .methods()
-            .into_iter()
-            .filter(|m| requester.rights.permits(&self.name, &m.name))
-            .map(|m| m.name)
+        // Bind-time resolution: rights are evaluated against the interned
+        // table once, yielding MethodIds — no strings survive into the
+        // invocation path.
+        let enabled: Vec<MethodId> = self
+            .table
+            .iter()
+            .filter(|(_, name)| requester.rights.permits(&self.name, name))
+            .map(|(id, _)| id)
             .collect();
         if enabled.is_empty() {
             return Err(AccessError::PolicyDenied {
@@ -132,7 +144,14 @@ impl AccessProtocol for BoundedBuffer {
                 reason: format!("agent {} has no rights on this buffer", requester.agent),
             });
         }
-        let control = ProxyControl::new(requester.domain, [], enabled, None, Meter::off());
+        let control = ProxyControl::new(
+            requester.domain,
+            [],
+            Arc::clone(&self.table),
+            enabled,
+            None,
+            Meter::off(),
+        );
         Ok(ResourceProxy::new(self, control))
     }
 }
@@ -158,6 +177,11 @@ pub struct BufferProxy {
     /// bound to its holder at creation — there is no caller parameter to
     /// forge.
     holder: DomainId,
+    /// Method ids resolved once at construction (the bind-time step of
+    /// Fig. 6): every typed call below is atomics-only, no name lookup.
+    m_get: MethodId,
+    m_put: MethodId,
+    m_size: MethodId,
 }
 
 impl BufferProxy {
@@ -165,10 +189,17 @@ impl BufferProxy {
     /// metering and revocation state exactly as for dynamic proxies.
     pub fn new(inner: Arc<BoundedBuffer>, control: Arc<ProxyControl>) -> Self {
         let holder = control.holder();
+        let table = control.table();
+        let m_get = table.id("get").expect("buffer table has get");
+        let m_put = table.id("put").expect("buffer table has put");
+        let m_size = table.id("size").expect("buffer table has size");
         BufferProxy {
             inner,
             control,
             holder,
+            m_get,
+            m_put,
+            m_size,
         }
     }
 
@@ -176,25 +207,25 @@ impl BufferProxy {
     /// to the full check chain (revocation, expiry, confinement,
     /// enablement).
     pub fn get(&self, now: u64) -> Result<Value, AccessError> {
-        self.control.check(self.holder, "get", now)?;
+        self.control.check_id(self.holder, self.m_get, now)?;
         let v = self.inner.get()?;
-        self.control.record_use("get", 0);
+        self.control.record_use_id(self.m_get, 0);
         Ok(v)
     }
 
     /// `put(item)`, guarded.
     pub fn put(&self, item: Value, now: u64) -> Result<(), AccessError> {
-        self.control.check(self.holder, "put", now)?;
+        self.control.check_id(self.holder, self.m_put, now)?;
         self.inner.put(item)?;
-        self.control.record_use("put", 0);
+        self.control.record_use_id(self.m_put, 0);
         Ok(())
     }
 
     /// `size()`, guarded.
     pub fn size(&self, now: u64) -> Result<usize, AccessError> {
-        self.control.check(self.holder, "size", now)?;
+        self.control.check_id(self.holder, self.m_size, now)?;
         let n = self.inner.size();
-        self.control.record_use("size", 0);
+        self.control.record_use_id(self.m_size, 0);
         Ok(n)
     }
 
@@ -219,10 +250,11 @@ mod tests {
     const AGENT: DomainId = DomainId(4);
 
     fn typed_proxy(buf: &Arc<BoundedBuffer>, enabled: &[&str]) -> BufferProxy {
-        let control = ProxyControl::new(
+        let control = ProxyControl::new_named(
             AGENT,
             [],
-            enabled.iter().map(|s| s.to_string()),
+            buf.method_table(),
+            enabled.iter().copied(),
             None,
             Meter::off(),
         );

@@ -14,12 +14,19 @@
 //! database can be updated only by a thread executing in the server's
 //! protection domain."*
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use ajanta_naming::Urn;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
+use crate::registry::key_hash;
 use crate::rights::Rights;
+
+/// Lock shards for the two indices. Sequential domain ids spread evenly by
+/// simple modulo; agent URNs by hash.
+const SHARDS: usize = 16;
 
 /// A protection-domain identifier. Domain 0 is the server's own domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -151,20 +158,49 @@ impl std::error::Error for DomainError {}
 /// non-server callers — the paper's "can be updated only by a thread
 /// executing in the server's protection domain" rule, enforced in the API
 /// rather than by convention.
-#[derive(Debug, Default)]
+///
+/// The database is internally sharded: records are spread over [`SHARDS`]
+/// independently locked maps keyed by domain id (with a parallel
+/// agent-name → domain index sharded by URN hash), and the id allocator is
+/// an atomic. All methods take `&self`, so many server worker threads can
+/// admit, charge and evict concurrently without funneling through one
+/// database-wide lock — the contention that capped agent throughput when
+/// the whole database sat behind a single `Mutex`.
+///
+/// Lookups return **clones** of the record: a snapshot, consistent at read
+/// time, that stays valid after the shard lock is released.
+#[derive(Debug)]
 pub struct DomainDatabase {
-    by_domain: BTreeMap<DomainId, AgentRecord>,
-    by_agent: BTreeMap<Urn, DomainId>,
-    next_domain: u64,
+    /// Domain id → record, sharded by `id % SHARDS` (ids are sequential,
+    /// so this spreads perfectly).
+    by_domain: [RwLock<HashMap<DomainId, AgentRecord>>; SHARDS],
+    /// Agent name → domain id, sharded by URN hash.
+    by_agent: [RwLock<HashMap<Urn, DomainId>>; SHARDS],
+    next_domain: AtomicU64,
+}
+
+impl Default for DomainDatabase {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DomainDatabase {
     /// An empty database. Domain ids start at 1 (0 is the server).
     pub fn new() -> Self {
         DomainDatabase {
-            next_domain: 1,
-            ..Default::default()
+            by_domain: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            by_agent: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            next_domain: AtomicU64::new(1),
         }
+    }
+
+    fn domain_shard(&self, domain: DomainId) -> &RwLock<HashMap<DomainId, AgentRecord>> {
+        &self.by_domain[domain.0 as usize % SHARDS]
+    }
+
+    fn agent_shard(&self, agent: &Urn) -> &RwLock<HashMap<Urn, DomainId>> {
+        &self.by_agent[key_hash(agent) % SHARDS]
     }
 
     fn require_server(caller: DomainId) -> Result<(), DomainError> {
@@ -177,9 +213,16 @@ impl DomainDatabase {
 
     /// Creates a fresh protection domain for an arriving agent and records
     /// it. Server-domain only.
+    ///
+    /// The name index entry is claimed first (one shard lock, which also
+    /// performs the duplicate check), then the record is inserted into its
+    /// domain shard; the two locks are never held together, so admissions
+    /// on different shards proceed fully in parallel. A reader racing an
+    /// in-flight admission may see the name mapped before the record
+    /// lands; [`DomainDatabase::record_of`] treats that window as absent.
     #[allow(clippy::too_many_arguments)]
     pub fn admit(
-        &mut self,
+        &self,
         caller: DomainId,
         agent: Urn,
         owner: Urn,
@@ -189,13 +232,16 @@ impl DomainDatabase {
         limits: UsageLimits,
     ) -> Result<DomainId, DomainError> {
         Self::require_server(caller)?;
-        if self.by_agent.contains_key(&agent) {
-            return Err(DomainError::DuplicateAgent(agent));
-        }
-        let domain = DomainId(self.next_domain);
-        self.next_domain += 1;
-        self.by_agent.insert(agent.clone(), domain);
-        self.by_domain.insert(
+        let domain = {
+            let mut names = self.agent_shard(&agent).write();
+            if names.contains_key(&agent) {
+                return Err(DomainError::DuplicateAgent(agent));
+            }
+            let domain = DomainId(self.next_domain.fetch_add(1, Ordering::Relaxed));
+            names.insert(agent.clone(), domain);
+            domain
+        };
+        self.domain_shard(domain).write().insert(
             domain,
             AgentRecord {
                 agent,
@@ -212,113 +258,131 @@ impl DomainDatabase {
         Ok(domain)
     }
 
-    /// Removes a departing/terminated agent. Server-domain only.
-    pub fn evict(&mut self, caller: DomainId, domain: DomainId) -> Result<AgentRecord, DomainError> {
+    /// Removes a departing/terminated agent. Server-domain only. By the
+    /// time this returns, both indices are clear and the agent's name may
+    /// be re-admitted.
+    pub fn evict(&self, caller: DomainId, domain: DomainId) -> Result<AgentRecord, DomainError> {
         Self::require_server(caller)?;
         let record = self
-            .by_domain
+            .domain_shard(domain)
+            .write()
             .remove(&domain)
             .ok_or(DomainError::UnknownDomain(domain))?;
-        self.by_agent.remove(&record.agent);
+        self.agent_shard(&record.agent).write().remove(&record.agent);
         Ok(record)
     }
 
     /// Looks up by domain (read-only; any caller — reads are not
-    /// restricted, only updates are).
-    pub fn record(&self, domain: DomainId) -> Option<&AgentRecord> {
-        self.by_domain.get(&domain)
+    /// restricted, only updates are). Returns a snapshot.
+    pub fn record(&self, domain: DomainId) -> Option<AgentRecord> {
+        self.domain_shard(domain).read().get(&domain).cloned()
     }
 
-    /// Looks up by agent name.
-    pub fn record_of(&self, agent: &Urn) -> Option<&AgentRecord> {
-        self.by_agent.get(agent).and_then(|d| self.by_domain.get(d))
+    /// Looks up by agent name. Returns a snapshot.
+    pub fn record_of(&self, agent: &Urn) -> Option<AgentRecord> {
+        let domain = self.domain_of(agent)?;
+        self.record(domain)
     }
 
     /// The domain hosting `agent`, if present.
     pub fn domain_of(&self, agent: &Urn) -> Option<DomainId> {
-        self.by_agent.get(agent).copied()
+        self.agent_shard(agent).read().get(agent).copied()
     }
 
     /// Number of resident agents.
     pub fn len(&self) -> usize {
-        self.by_domain.len()
+        self.by_domain.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when no agents are resident.
     pub fn is_empty(&self) -> bool {
-        self.by_domain.is_empty()
+        self.by_domain.iter().all(|s| s.read().is_empty())
     }
 
-    /// Iterates all records (status queries from owners, Section 4).
-    pub fn iter(&self) -> impl Iterator<Item = &AgentRecord> {
-        self.by_domain.values()
+    /// Snapshots all records (status queries from owners, Section 4).
+    /// Shards are visited in turn, so the result is consistent per shard
+    /// but not across concurrent mutations — fine for status reporting.
+    pub fn iter(&self) -> impl Iterator<Item = AgentRecord> {
+        let mut records: Vec<AgentRecord> = self
+            .by_domain
+            .iter()
+            .flat_map(|s| s.read().values().cloned().collect::<Vec<_>>())
+            .collect();
+        records.sort_by_key(|r| r.domain);
+        records.into_iter()
+    }
+
+    /// Applies `f` to one record under its shard's write lock.
+    fn update<T>(
+        &self,
+        caller: DomainId,
+        domain: DomainId,
+        f: impl FnOnce(&mut AgentRecord) -> Result<T, DomainError>,
+    ) -> Result<T, DomainError> {
+        Self::require_server(caller)?;
+        let mut shard = self.domain_shard(domain).write();
+        let rec = shard
+            .get_mut(&domain)
+            .ok_or(DomainError::UnknownDomain(domain))?;
+        f(rec)
     }
 
     /// Charges fuel against an agent's quota. Server-domain only.
     pub fn charge_fuel(
-        &mut self,
+        &self,
         caller: DomainId,
         domain: DomainId,
         fuel: u64,
     ) -> Result<(), DomainError> {
-        Self::require_server(caller)?;
-        let rec = self
-            .by_domain
-            .get_mut(&domain)
-            .ok_or(DomainError::UnknownDomain(domain))?;
-        let new = rec.usage.fuel.saturating_add(fuel);
-        if new > rec.limits.fuel {
-            return Err(DomainError::QuotaExceeded {
-                what: "fuel",
-                limit: rec.limits.fuel,
-                requested: new,
-            });
-        }
-        rec.usage.fuel = new;
-        Ok(())
+        self.update(caller, domain, |rec| {
+            let new = rec.usage.fuel.saturating_add(fuel);
+            if new > rec.limits.fuel {
+                return Err(DomainError::QuotaExceeded {
+                    what: "fuel",
+                    limit: rec.limits.fuel,
+                    requested: new,
+                });
+            }
+            rec.usage.fuel = new;
+            Ok(())
+        })
     }
 
     /// Records a new resource binding. Server-domain only.
     pub fn add_binding(
-        &mut self,
+        &self,
         caller: DomainId,
         domain: DomainId,
         resource: Urn,
     ) -> Result<(), DomainError> {
-        Self::require_server(caller)?;
-        let rec = self
-            .by_domain
-            .get_mut(&domain)
-            .ok_or(DomainError::UnknownDomain(domain))?;
-        if rec.bindings.len() + 1 > rec.limits.max_bindings {
-            return Err(DomainError::QuotaExceeded {
-                what: "bindings",
-                limit: rec.limits.max_bindings as u64,
-                requested: rec.bindings.len() as u64 + 1,
-            });
-        }
-        rec.bindings.push(resource);
-        rec.usage.bindings = rec.bindings.len();
-        Ok(())
+        self.update(caller, domain, |rec| {
+            if rec.bindings.len() + 1 > rec.limits.max_bindings {
+                return Err(DomainError::QuotaExceeded {
+                    what: "bindings",
+                    limit: rec.limits.max_bindings as u64,
+                    requested: rec.bindings.len() as u64 + 1,
+                });
+            }
+            rec.bindings.push(resource);
+            rec.usage.bindings = rec.bindings.len();
+            Ok(())
+        })
     }
 
     /// Drops a recorded binding (e.g. after revocation). Server-domain
     /// only. Returns whether the binding was present.
     pub fn remove_binding(
-        &mut self,
+        &self,
         caller: DomainId,
         domain: DomainId,
         resource: &Urn,
     ) -> Result<bool, DomainError> {
-        Self::require_server(caller)?;
-        let rec = self
-            .by_domain
-            .get_mut(&domain)
-            .ok_or(DomainError::UnknownDomain(domain))?;
-        let before = rec.bindings.len();
-        rec.bindings.retain(|r| r != resource);
-        rec.usage.bindings = rec.bindings.len();
-        Ok(rec.bindings.len() != before)
+        self.update(caller, domain, |rec| {
+            let before = rec.bindings.len();
+            rec.bindings.retain(|r| r != resource);
+            rec.usage.bindings = rec.bindings.len();
+            Ok(rec.bindings.len() != before)
+        })
     }
 }
 
@@ -335,7 +399,7 @@ mod tests {
         )
     }
 
-    fn admit(db: &mut DomainDatabase) -> DomainId {
+    fn admit(db: &DomainDatabase) -> DomainId {
         let (a, o, c, h) = names();
         db.admit(
             DomainId::SERVER,
@@ -351,8 +415,8 @@ mod tests {
 
     #[test]
     fn admit_assigns_distinct_nonserver_domains() {
-        let mut db = DomainDatabase::new();
-        let d1 = admit(&mut db);
+        let db = DomainDatabase::new();
+        let d1 = admit(&db);
         let (_, o, c, h) = names();
         let a2 = Urn::agent("umn.edu", ["a2"]).unwrap();
         let d2 = db
@@ -366,8 +430,8 @@ mod tests {
 
     #[test]
     fn only_server_domain_may_mutate() {
-        let mut db = DomainDatabase::new();
-        let d = admit(&mut db);
+        let db = DomainDatabase::new();
+        let d = admit(&db);
         let (a2, o, c, h) = names();
         let agent_domain = d;
 
@@ -402,8 +466,8 @@ mod tests {
 
     #[test]
     fn duplicate_agents_rejected() {
-        let mut db = DomainDatabase::new();
-        admit(&mut db);
+        let db = DomainDatabase::new();
+        admit(&db);
         let (a, o, c, h) = names();
         assert_eq!(
             db.admit(DomainId::SERVER, a.clone(), o, c, h, Rights::none(), UsageLimits::default())
@@ -414,8 +478,8 @@ mod tests {
 
     #[test]
     fn lookup_by_name_and_domain_agree() {
-        let mut db = DomainDatabase::new();
-        let d = admit(&mut db);
+        let db = DomainDatabase::new();
+        let d = admit(&db);
         let (a, ..) = names();
         assert_eq!(db.domain_of(&a), Some(d));
         assert_eq!(db.record_of(&a).unwrap().domain, d);
@@ -424,8 +488,8 @@ mod tests {
 
     #[test]
     fn evict_frees_both_indices() {
-        let mut db = DomainDatabase::new();
-        let d = admit(&mut db);
+        let db = DomainDatabase::new();
+        let d = admit(&db);
         let (a, ..) = names();
         let rec = db.evict(DomainId::SERVER, d).unwrap();
         assert_eq!(rec.agent, a);
@@ -436,12 +500,12 @@ mod tests {
             Err(DomainError::UnknownDomain(_))
         ));
         // The name can be reused after eviction (re-arrival).
-        admit(&mut db);
+        admit(&db);
     }
 
     #[test]
     fn fuel_quota_enforced() {
-        let mut db = DomainDatabase::new();
+        let db = DomainDatabase::new();
         let (a, o, c, h) = names();
         let d = db
             .admit(
@@ -473,7 +537,7 @@ mod tests {
 
     #[test]
     fn binding_quota_and_bookkeeping() {
-        let mut db = DomainDatabase::new();
+        let db = DomainDatabase::new();
         let (a, o, c, h) = names();
         let d = db
             .admit(
@@ -506,8 +570,8 @@ mod tests {
 
     #[test]
     fn iter_supports_status_queries() {
-        let mut db = DomainDatabase::new();
-        admit(&mut db);
+        let db = DomainDatabase::new();
+        admit(&db);
         let owners: Vec<_> = db.iter().map(|r| r.owner.clone()).collect();
         assert_eq!(owners.len(), 1);
         assert_eq!(owners[0], names().1);

@@ -31,9 +31,10 @@
 //! * [`buffer`] — the paper's running example, a bounded buffer with a
 //!   hand-written typed proxy mirroring Figs. 4–5 line for line.
 //! * [`proxygen`] — the "simple lexical processing tool" (Section 5.5)
-//!   that generates proxies: a [`proxygen::MethodTable`] driven generic
+//!   that generates proxies: a [`resource::MethodTable`]-driven generic
 //!   proxy plus the [`crate::declare_resource_proxy!`] macro for typed
-//!   proxies.
+//!   proxies, both resolving method names to interned
+//!   [`resource::MethodId`]s at bind time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,11 +55,14 @@ pub use credentials::{CredentialError, Credentials, CredentialsBuilder, Endorsem
 pub use domain::{AgentRecord, DomainDatabase, DomainError, DomainId, Usage, UsageLimits};
 pub use monitor::{AuditEntry, HostMonitor, SystemOp, Violation};
 pub use policy::{Groups, PrincipalPattern, SecurityPolicy};
-pub use proxy::{AccessError, Meter, MeterMode, MeterReading, ProxyControl, ResourceProxy};
+pub use proxy::{
+    AccessError, BoundMeter, Meter, MeterMode, MeterReading, ProxyControl, ResourceProxy,
+};
 pub use proxygen::{Guarded, ProxyPolicy};
 pub use registry::{BindError, ResourceRegistry};
 pub use resource::{
-    AccessProtocol, MethodSpec, ProtectedResource, Requester, Resource, ResourceError,
+    AccessProtocol, MethodId, MethodSpec, MethodTable, ProtectedResource, Requester, Resource,
+    ResourceError,
 };
 pub use rights::{Grant, MethodPattern, Rights, Scope};
 

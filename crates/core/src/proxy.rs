@@ -25,12 +25,35 @@
 //!   other domain, so passing the reference to another agent is useless
 //!   (Gong's identity-based capabilities, the paper's citation [6]).
 //!
+//! # The interned-method fast path
+//!
+//! The paper's performance claim (Section 5.4) is that a proxy amortizes
+//! the identity → rights evaluation, so each invocation costs barely more
+//! than a direct call. To honor that, every per-invocation structure here
+//! is keyed by [`MethodId`] and backed by atomics:
+//!
+//! * the enabled set is an `AtomicU64` **bitmask** for method ids < 64
+//!   (interfaces wider than 64 methods spill the remainder into an
+//!   `RwLock` side set — the lock is consulted only for ids ≥ 64, so
+//!   ordinary interfaces never touch it);
+//! * expiry is an `AtomicU64` with `u64::MAX` meaning "never expires", so
+//!   the check is one load and one compare — no `Option`, no lock;
+//! * the meter is **bound** at proxy-creation time ([`Meter`] is the
+//!   string-keyed builder; [`BoundMeter`] holds a per-id tariff array and
+//!   per-id `AtomicU64` counters).
+//!
+//! [`ProxyControl::check_id`] + [`BoundMeter`] recording therefore perform
+//! **no heap allocation and take no lock** on the grant path. The
+//! string-keyed methods ([`ProxyControl::check`], enable/disable by name)
+//! remain as thin compatibility shims that resolve through the proxy's
+//! [`MethodTable`] first.
+//!
 //! The actual resource reference is private to the proxy (Rust privacy ≈
 //! the paper's use of Java encapsulation): holding a [`ResourceProxy`]
 //! gives no way to reach the underlying [`Resource`] object directly.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ajanta_naming::Urn;
@@ -38,7 +61,7 @@ use ajanta_vm::Value;
 use parking_lot::RwLock;
 
 use crate::domain::DomainId;
-use crate::resource::{Resource, ResourceError};
+use crate::resource::{MethodId, MethodTable, Resource, ResourceError};
 
 /// Access-control failure raised by a proxy — the "security exception" of
 /// Fig. 5 — or an application error forwarded from the resource.
@@ -119,10 +142,12 @@ pub enum MeterMode {
     CountAndTime,
 }
 
-/// Accumulated usage for one proxy.
+/// Accumulated usage for one proxy (a snapshot; see
+/// [`BoundMeter::reading`]).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MeterReading {
-    /// Successful invocations per method.
+    /// Successful invocations per method (methods never invoked have no
+    /// entry).
     pub per_method: BTreeMap<String, u64>,
     /// Total successful invocations.
     pub total: u64,
@@ -133,15 +158,17 @@ pub struct MeterReading {
     pub elapsed_ns: u64,
 }
 
-/// The metering state inside a proxy.
-#[derive(Debug, Default)]
+/// Metering **configuration** — the string-keyed builder a resource owner
+/// writes tariffs into. At proxy creation it is bound against the
+/// resource's [`MethodTable`] into a [`BoundMeter`], which is what actually
+/// counts (per-id atomic counters; no strings, no locks).
+#[derive(Debug, Clone, Default)]
 pub struct Meter {
     mode: MeterMode,
     /// Cost charged per successful call of each method; methods absent
     /// from the map cost `default_tariff`.
     tariffs: BTreeMap<String, u64>,
     default_tariff: u64,
-    reading: RwLock<MeterReading>,
 }
 
 impl Meter {
@@ -180,29 +207,97 @@ impl Meter {
         self.mode
     }
 
-    fn record(&self, method: &str, elapsed_ns: u64) {
+    /// Binds the configuration against a method table: tariffs become a
+    /// per-id array, counters become per-id atomics. Tariffs naming
+    /// methods outside the table are dropped (they could never be
+    /// invoked).
+    fn bind(self, table: &Arc<MethodTable>) -> BoundMeter {
+        let mut tariffs = vec![self.default_tariff; table.len()];
+        for (name, cost) in &self.tariffs {
+            if let Some(MethodId(id)) = table.id(name) {
+                tariffs[id as usize] = *cost;
+            }
+        }
+        BoundMeter {
+            mode: self.mode,
+            table: Arc::clone(table),
+            tariffs: tariffs.into_boxed_slice(),
+            counts: (0..table.len()).map(|_| AtomicU64::new(0)).collect(),
+            total: AtomicU64::new(0),
+            charge: AtomicU64::new(0),
+            elapsed_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The live metering state inside a proxy: per-[`MethodId`] tariffs and
+/// atomic counters bound from a [`Meter`] at proxy creation. Recording is
+/// lock-free and allocation-free; [`BoundMeter::reading`] reconstructs the
+/// string-keyed snapshot on demand (cold path).
+#[derive(Debug)]
+pub struct BoundMeter {
+    mode: MeterMode,
+    table: Arc<MethodTable>,
+    tariffs: Box<[u64]>,
+    counts: Box<[AtomicU64]>,
+    total: AtomicU64,
+    charge: AtomicU64,
+    elapsed_ns: AtomicU64,
+}
+
+impl BoundMeter {
+    /// The metering mode.
+    pub fn mode(&self) -> MeterMode {
+        self.mode
+    }
+
+    #[inline]
+    fn record(&self, MethodId(id): MethodId, elapsed_ns: u64) {
         if self.mode == MeterMode::Off {
             return;
         }
-        let cost = self
-            .tariffs
-            .get(method)
-            .copied()
-            .unwrap_or(self.default_tariff);
-        let mut r = self.reading.write();
-        *r.per_method.entry(method.to_string()).or_insert(0) += 1;
-        r.total += 1;
-        r.charge += cost;
+        let id = id as usize;
+        if id >= self.counts.len() {
+            return;
+        }
+        self.counts[id].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.charge.fetch_add(self.tariffs[id], Ordering::Relaxed);
         if self.mode == MeterMode::CountAndTime {
-            r.elapsed_ns += elapsed_ns;
+            self.elapsed_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
         }
     }
 
-    /// Snapshot of the accumulated usage.
+    /// Snapshot of the accumulated usage, with method names resolved back
+    /// through the table. Methods with zero invocations are omitted,
+    /// matching the lazily-populated map of the pre-interning design.
     pub fn reading(&self) -> MeterReading {
-        self.reading.read().clone()
+        let mut per_method = BTreeMap::new();
+        for (i, count) in self.counts.iter().enumerate() {
+            let n = count.load(Ordering::Relaxed);
+            if n > 0 {
+                if let Some(name) = self.table.name(MethodId(i as u16)) {
+                    per_method.insert(name.to_string(), n);
+                }
+            }
+        }
+        MeterReading {
+            per_method,
+            total: self.total.load(Ordering::Relaxed),
+            charge: self.charge.load(Ordering::Relaxed),
+            elapsed_ns: self.elapsed_ns.load(Ordering::Relaxed),
+        }
     }
 }
+
+/// Sentinel in the `not_after` atomic meaning "never expires" (virtual
+/// time never reaches `u64::MAX`, so a single `now > t` compare covers
+/// both cases).
+const NEVER: u64 = u64::MAX;
+
+/// How many method ids the atomic bitmask covers; ids beyond it use the
+/// spill set.
+const MASK_BITS: u16 = 64;
 
 /// The control block shared between a proxy and its resource manager.
 ///
@@ -210,44 +305,94 @@ impl Meter {
 /// what makes *"a resource manager can invalidate any of its currently
 /// active proxies at any time it wishes"* work: revocation takes effect on
 /// the very next invocation, with no cooperation from the agent.
+///
+/// All per-invocation state is atomic (see the module docs); the one lock
+/// ([`spill`](#structfield.enabled_spill)) guards enabled bits for method
+/// ids ≥ 64 and is only consulted when such an id is checked.
 #[derive(Debug)]
 pub struct ProxyControl {
     /// Domain the capability was granted to.
     holder: DomainId,
     /// Domains allowed to call privileged (management) methods.
     managers: BTreeSet<DomainId>,
-    enabled: RwLock<BTreeSet<String>>,
-    not_after: RwLock<Option<u64>>,
+    /// The proxied interface's interned method universe.
+    table: Arc<MethodTable>,
+    /// Enabled bits for method ids 0..64.
+    enabled_mask: AtomicU64,
+    /// Enabled ids ≥ 64 — the documented spill path for interfaces wider
+    /// than the mask. Checked only for such ids.
+    enabled_spill: RwLock<BTreeSet<u16>>,
+    /// Expiry instant; [`NEVER`] when the proxy does not expire.
+    not_after: AtomicU64,
+    /// `SeqCst` so "no call succeeds after `revoke` returns" holds across
+    /// threads (the revocation-race test relies on it).
     revoked: AtomicBool,
-    meter: Meter,
+    meter: BoundMeter,
 }
 
 impl ProxyControl {
-    /// Creates a control block.
+    /// Creates a control block over an interned interface.
     ///
     /// * `holder` — the protection domain receiving the capability;
     /// * `managers` — domains allowed to revoke/adjust it (the resource
     ///   owner's domain; the server domain is always included);
-    /// * `enabled` — initially enabled methods;
+    /// * `table` — the resource's method universe (ids are interpreted
+    ///   against it);
+    /// * `enabled` — initially enabled method ids;
     /// * `not_after` — optional expiry;
-    /// * `meter` — accounting configuration.
+    /// * `meter` — accounting configuration, bound against `table` here.
     pub fn new(
         holder: DomainId,
         managers: impl IntoIterator<Item = DomainId>,
-        enabled: impl IntoIterator<Item = String>,
+        table: Arc<MethodTable>,
+        enabled: impl IntoIterator<Item = MethodId>,
         not_after: Option<u64>,
         meter: Meter,
     ) -> Arc<Self> {
         let mut managers: BTreeSet<DomainId> = managers.into_iter().collect();
         managers.insert(DomainId::SERVER);
+        let mut mask = 0u64;
+        let mut spill = BTreeSet::new();
+        for MethodId(id) in enabled {
+            if id < MASK_BITS {
+                mask |= 1 << id;
+            } else {
+                spill.insert(id);
+            }
+        }
+        let meter = meter.bind(&table);
         Arc::new(ProxyControl {
             holder,
             managers,
-            enabled: RwLock::new(enabled.into_iter().collect()),
-            not_after: RwLock::new(not_after),
+            table,
+            enabled_mask: AtomicU64::new(mask),
+            enabled_spill: RwLock::new(spill),
+            not_after: AtomicU64::new(not_after.unwrap_or(NEVER)),
             revoked: AtomicBool::new(false),
             meter,
         })
+    }
+
+    /// String-keyed compatibility constructor: resolves `enabled` names
+    /// through `table`. Names outside the table are dropped — they could
+    /// never be invoked on the resource anyway.
+    pub fn new_named<I, S>(
+        holder: DomainId,
+        managers: impl IntoIterator<Item = DomainId>,
+        table: Arc<MethodTable>,
+        enabled: I,
+        not_after: Option<u64>,
+        meter: Meter,
+    ) -> Arc<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let ids: Vec<MethodId> = enabled
+            .into_iter()
+            .filter_map(|name| table.id(name.as_ref()))
+            .collect();
+        Self::new(holder, managers, table, ids, not_after, meter)
     }
 
     /// The domain this capability belongs to.
@@ -255,18 +400,33 @@ impl ProxyControl {
         self.holder
     }
 
+    /// The interned method universe this control block interprets ids
+    /// against.
+    pub fn table(&self) -> &Arc<MethodTable> {
+        &self.table
+    }
+
     /// Pre-invocation checks, in a fixed order: revocation, expiry,
     /// confinement, enablement. Factored out so the typed proxies in
     /// [`crate::buffer`] and the generated proxies in [`crate::proxygen`]
     /// share exactly this logic.
-    pub fn check(&self, caller: DomainId, method: &str, now: u64) -> Result<(), AccessError> {
-        if self.revoked.load(Ordering::Acquire) {
+    ///
+    /// **Fast path**: for method ids < 64 this is three atomic loads and
+    /// compares — no lock, no allocation. Ids ≥ 64 read the spill set
+    /// under a read lock (the documented wide-interface path).
+    #[inline]
+    pub fn check_id(
+        &self,
+        caller: DomainId,
+        method: MethodId,
+        now: u64,
+    ) -> Result<(), AccessError> {
+        if self.revoked.load(Ordering::SeqCst) {
             return Err(AccessError::Revoked);
         }
-        if let Some(t) = *self.not_after.read() {
-            if now > t {
-                return Err(AccessError::Expired { not_after: t, now });
-            }
+        let t = self.not_after.load(Ordering::Acquire);
+        if now > t {
+            return Err(AccessError::Expired { not_after: t, now });
         }
         if caller != self.holder {
             return Err(AccessError::NotHolder {
@@ -274,19 +434,54 @@ impl ProxyControl {
                 caller,
             });
         }
-        if !self.enabled.read().contains(method) {
-            return Err(AccessError::MethodDisabled(method.to_string()));
+        let MethodId(id) = method;
+        let enabled = if id < MASK_BITS {
+            self.enabled_mask.load(Ordering::Acquire) & (1 << id) != 0
+        } else {
+            self.enabled_spill.read().contains(&id)
+        };
+        if !enabled {
+            return Err(AccessError::MethodDisabled(self.method_label(method)));
         }
         Ok(())
     }
 
-    /// Records one successful invocation in the meter.
-    pub fn record_use(&self, method: &str, elapsed_ns: u64) {
+    /// String-keyed compatibility shim over [`ProxyControl::check_id`]:
+    /// resolves `method` through the table first. Unknown methods fail
+    /// `MethodDisabled` after the same revocation/expiry/confinement
+    /// checks, preserving the pre-interning check order.
+    pub fn check(&self, caller: DomainId, method: &str, now: u64) -> Result<(), AccessError> {
+        match self.table.id(method) {
+            Some(id) => self.check_id(caller, id, now),
+            None => {
+                self.check_id(caller, MethodId(u16::MAX), now)
+                    .and(Err(AccessError::MethodDisabled(method.to_string())))
+                    .map_err(|e| match e {
+                        AccessError::MethodDisabled(_) => {
+                            AccessError::MethodDisabled(method.to_string())
+                        }
+                        other => other,
+                    })
+            }
+        }
+    }
+
+    /// Records one successful invocation in the meter (lock-free).
+    #[inline]
+    pub fn record_use_id(&self, method: MethodId, elapsed_ns: u64) {
         self.meter.record(method, elapsed_ns);
     }
 
-    /// The meter (for reading accumulated charges).
-    pub fn meter(&self) -> &Meter {
+    /// String-keyed compatibility shim over
+    /// [`ProxyControl::record_use_id`]. Unknown methods are not recorded.
+    pub fn record_use(&self, method: &str, elapsed_ns: u64) {
+        if let Some(id) = self.table.id(method) {
+            self.meter.record(id, elapsed_ns);
+        }
+    }
+
+    /// The bound meter (for reading accumulated charges).
+    pub fn meter(&self) -> &BoundMeter {
         &self.meter
     }
 
@@ -298,46 +493,122 @@ impl ProxyControl {
         }
     }
 
-    /// Privileged: invalidates the proxy permanently.
+    fn method_label(&self, id: MethodId) -> String {
+        self.table
+            .name(id)
+            .map(str::to_string)
+            .unwrap_or_else(|| id.to_string())
+    }
+
+    /// Privileged: invalidates the proxy permanently. After this returns,
+    /// no in-flight or future invocation passes the check.
     pub fn revoke(&self, caller: DomainId) -> Result<(), AccessError> {
         self.require_manager(caller)?;
-        self.revoked.store(true, Ordering::Release);
+        self.revoked.store(true, Ordering::SeqCst);
         Ok(())
     }
 
-    /// Privileged: removes one method from the enabled set ("selectively
-    /// revoke ... permissions for specific methods of a given proxy").
-    pub fn disable_method(&self, caller: DomainId, method: &str) -> Result<bool, AccessError> {
+    /// Privileged: removes one method id from the enabled set
+    /// ("selectively revoke ... permissions for specific methods of a
+    /// given proxy"). Returns whether the method had been enabled.
+    pub fn disable_id(&self, caller: DomainId, method: MethodId) -> Result<bool, AccessError> {
         self.require_manager(caller)?;
-        Ok(self.enabled.write().remove(method))
+        let MethodId(id) = method;
+        if id < MASK_BITS {
+            let bit = 1u64 << id;
+            Ok(self.enabled_mask.fetch_and(!bit, Ordering::SeqCst) & bit != 0)
+        } else {
+            Ok(self.enabled_spill.write().remove(&id))
+        }
     }
 
-    /// Privileged: adds one method to the enabled set ("or add
-    /// permissions").
+    /// Privileged: adds one method id to the enabled set ("or add
+    /// permissions"). Returns whether the method was newly enabled.
+    pub fn enable_id(&self, caller: DomainId, method: MethodId) -> Result<bool, AccessError> {
+        self.require_manager(caller)?;
+        let MethodId(id) = method;
+        if id < MASK_BITS {
+            let bit = 1u64 << id;
+            Ok(self.enabled_mask.fetch_or(bit, Ordering::SeqCst) & bit == 0)
+        } else {
+            Ok(self.enabled_spill.write().insert(id))
+        }
+    }
+
+    /// String-keyed shim over [`ProxyControl::disable_id`]. Disabling a
+    /// method the interface does not have returns `Ok(false)` (it was
+    /// never enabled).
+    pub fn disable_method(&self, caller: DomainId, method: &str) -> Result<bool, AccessError> {
+        match self.table.id(method) {
+            Some(id) => self.disable_id(caller, id),
+            None => {
+                self.require_manager(caller)?;
+                Ok(false)
+            }
+        }
+    }
+
+    /// String-keyed shim over [`ProxyControl::enable_id`]. Enabling a
+    /// method the interface does not have returns `Ok(false)`: such a
+    /// method could never be dispatched, so there is no bit to set. (The
+    /// pre-interning design would store the useless name; this is the one
+    /// deliberate semantic change of the interning refactor.)
     pub fn enable_method(
         &self,
         caller: DomainId,
         method: impl Into<String>,
     ) -> Result<bool, AccessError> {
-        self.require_manager(caller)?;
-        Ok(self.enabled.write().insert(method.into()))
+        let method = method.into();
+        match self.table.id(&method) {
+            Some(id) => self.enable_id(caller, id),
+            None => {
+                self.require_manager(caller)?;
+                Ok(false)
+            }
+        }
     }
 
-    /// Privileged: changes the expiry instant.
+    /// Privileged: changes the expiry instant (`None` = never).
     pub fn set_expiry(&self, caller: DomainId, not_after: Option<u64>) -> Result<(), AccessError> {
         self.require_manager(caller)?;
-        *self.not_after.write() = not_after;
+        self.not_after
+            .store(not_after.unwrap_or(NEVER), Ordering::Release);
         Ok(())
     }
 
     /// Whether the proxy has been revoked.
     pub fn is_revoked(&self) -> bool {
-        self.revoked.load(Ordering::Acquire)
+        self.revoked.load(Ordering::SeqCst)
     }
 
-    /// Snapshot of currently enabled methods.
+    /// Whether one method id is currently enabled.
+    pub fn is_enabled(&self, method: MethodId) -> bool {
+        let MethodId(id) = method;
+        if id < MASK_BITS {
+            self.enabled_mask.load(Ordering::Acquire) & (1 << id) != 0
+        } else {
+            self.enabled_spill.read().contains(&id)
+        }
+    }
+
+    /// Snapshot of currently enabled methods, lexicographically sorted.
     pub fn enabled_methods(&self) -> Vec<String> {
-        self.enabled.read().iter().cloned().collect()
+        let mask = self.enabled_mask.load(Ordering::Acquire);
+        let spill = self.enabled_spill.read();
+        let mut names: Vec<String> = self
+            .table
+            .iter()
+            .filter(|(MethodId(id), _)| {
+                if *id < MASK_BITS {
+                    mask & (1 << id) != 0
+                } else {
+                    spill.contains(id)
+                }
+            })
+            .map(|(_, name)| name.to_string())
+            .collect();
+        names.sort_unstable();
+        names
     }
 }
 
@@ -367,14 +638,52 @@ impl ResourceProxy {
         &self.control
     }
 
-    /// Invokes `method` through the proxy: access checks, dispatch,
-    /// metering. Argument validation is the resource's own job (every
+    /// Resolves a method name against the proxied interface — the
+    /// bind-time step. Callers that hold the returned id invoke through
+    /// [`ResourceProxy::invoke_id`] without ever re-resolving the name.
+    pub fn method_id(&self, method: &str) -> Option<MethodId> {
+        self.control.table().id(method)
+    }
+
+    /// Invokes an interned method through the proxy: access checks,
+    /// dispatch, metering. This is the fast path — checks and metering
+    /// are atomics only (no lock, no heap allocation on the grant path);
+    /// the id → name resolution for dispatch is an array index.
+    ///
+    /// Argument validation is the resource's own job (every
     /// [`Resource::invoke`] implementation begins with `check_args`), so
     /// the proxy adds **only** the access-control cost — which is what
     /// experiment X4 measures.
     ///
     /// `caller` is the invoking protection domain (supplied by the agent
     /// environment, never by agent code), `now` the current virtual time.
+    pub fn invoke_id(
+        &self,
+        caller: DomainId,
+        method: MethodId,
+        args: &[Value],
+        now: u64,
+    ) -> Result<Value, AccessError> {
+        self.control.check_id(caller, method, now)?;
+        let name = self
+            .control
+            .table()
+            .name(method)
+            .ok_or(AccessError::Resource(ResourceError::NoSuchMethod(
+                String::new(),
+            )))?;
+        let timed = self.control.meter().mode() == MeterMode::CountAndTime;
+        let start = timed.then(std::time::Instant::now);
+        let result = self.resource.invoke(name, args)?;
+        let elapsed = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
+        self.control.record_use_id(method, elapsed);
+        Ok(result)
+    }
+
+    /// String-keyed compatibility shim over [`ResourceProxy::invoke_id`]:
+    /// resolves `method` through the method table per call. Prefer
+    /// resolving once with [`ResourceProxy::method_id`] and invoking by
+    /// id.
     pub fn invoke(
         &self,
         caller: DomainId,
@@ -382,13 +691,18 @@ impl ResourceProxy {
         args: &[Value],
         now: u64,
     ) -> Result<Value, AccessError> {
-        self.control.check(caller, method, now)?;
-        let timed = self.control.meter().mode() == MeterMode::CountAndTime;
-        let start = timed.then(std::time::Instant::now);
-        let result = self.resource.invoke(method, args)?;
-        let elapsed = start.map_or(0, |s| s.elapsed().as_nanos() as u64);
-        self.control.record_use(method, elapsed);
-        Ok(result)
+        match self.control.table().id(method) {
+            Some(id) => self.invoke_id(caller, id, args, now),
+            None => {
+                // Unknown method: run the same check order against a
+                // never-enabled id so revocation/expiry/confinement errors
+                // surface identically, then name the method in the error.
+                self.control.check(caller, method, now)?;
+                Err(AccessError::Resource(ResourceError::NoSuchMethod(
+                    method.to_string(),
+                )))
+            }
+        }
     }
 }
 
@@ -412,6 +726,7 @@ mod tests {
     struct Counter {
         name: Urn,
         owner: Urn,
+        table: Arc<MethodTable>,
         value: RwLock<i64>,
     }
 
@@ -420,6 +735,7 @@ mod tests {
             Arc::new(Counter {
                 name: Urn::resource("x.org", ["counter"]).unwrap(),
                 owner: Urn::owner("x.org", ["admin"]).unwrap(),
+                table: MethodTable::new(["get", "add", "reset"]),
                 value: RwLock::new(0),
             })
         }
@@ -438,6 +754,9 @@ mod tests {
                 MethodSpec::new("add", [Ty::Int], Ty::Int),
                 MethodSpec::new("reset", [], Ty::Int),
             ]
+        }
+        fn method_table(&self) -> Arc<MethodTable> {
+            Arc::clone(&self.table)
         }
         fn invoke(&self, method: &str, args: &[Value]) -> Result<Value, ResourceError> {
             self.check_args(method, args)?;
@@ -461,14 +780,16 @@ mod tests {
     const OTHER: DomainId = DomainId(8);
 
     fn proxy(enabled: &[&str], not_after: Option<u64>, meter: Meter) -> ResourceProxy {
-        let control = ProxyControl::new(
+        let counter = Counter::new();
+        let control = ProxyControl::new_named(
             AGENT,
             [],
-            enabled.iter().map(|s| s.to_string()),
+            counter.method_table(),
+            enabled.iter().copied(),
             not_after,
             meter,
         );
-        ResourceProxy::new(Counter::new(), control)
+        ResourceProxy::new(counter, control)
     }
 
     #[test]
@@ -476,6 +797,20 @@ mod tests {
         let p = proxy(&["get", "add"], None, Meter::off());
         assert_eq!(p.invoke(AGENT, "add", &[Value::Int(5)], 0).unwrap(), Value::Int(5));
         assert_eq!(p.invoke(AGENT, "get", &[], 0).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn interned_invocation_matches_string_invocation() {
+        let p = proxy(&["get", "add"], None, Meter::off());
+        let add = p.method_id("add").unwrap();
+        let get = p.method_id("get").unwrap();
+        assert_eq!(p.invoke_id(AGENT, add, &[Value::Int(5)], 0).unwrap(), Value::Int(5));
+        assert_eq!(p.invoke_id(AGENT, get, &[], 0).unwrap(), Value::Int(5));
+        // Ids outside the interface are never enabled.
+        assert!(matches!(
+            p.invoke_id(AGENT, MethodId(999), &[], 0),
+            Err(AccessError::MethodDisabled(_))
+        ));
     }
 
     #[test]
@@ -542,6 +877,19 @@ mod tests {
     }
 
     #[test]
+    fn enabling_a_method_outside_the_interface_is_a_noop() {
+        let p = proxy(&["get"], None, Meter::off());
+        // Such a method could never be dispatched; there is no bit for it.
+        assert!(!p.control().enable_method(DomainId::SERVER, "ghost").unwrap());
+        assert!(!p.control().disable_method(DomainId::SERVER, "ghost").unwrap());
+        // Management ACL still enforced on the shim path.
+        assert_eq!(
+            p.control().enable_method(AGENT, "ghost"),
+            Err(AccessError::ManagementDenied(AGENT))
+        );
+    }
+
+    #[test]
     fn management_requires_acl_membership() {
         let p = proxy(&["get"], None, Meter::off());
         // The holding agent itself is NOT a manager.
@@ -564,8 +912,16 @@ mod tests {
     #[test]
     fn extra_manager_domains_work() {
         let manager = DomainId(99);
-        let control = ProxyControl::new(AGENT, [manager], ["get".to_string()], None, Meter::off());
-        let p = ResourceProxy::new(Counter::new(), control);
+        let counter = Counter::new();
+        let control = ProxyControl::new_named(
+            AGENT,
+            [manager],
+            counter.method_table(),
+            ["get"],
+            None,
+            Meter::off(),
+        );
+        let p = ResourceProxy::new(counter, control);
         p.control().revoke(manager).unwrap();
         assert!(p.control().is_revoked());
     }
@@ -632,6 +988,8 @@ mod tests {
         let p = proxy(&["get"], None, Meter::off());
         p.control().revoke(DomainId::SERVER).unwrap();
         assert_eq!(p.invoke(OTHER, "get", &[], 0), Err(AccessError::Revoked));
+        // Same for a method outside the interface entirely.
+        assert_eq!(p.invoke(OTHER, "ghost", &[], 0), Err(AccessError::Revoked));
     }
 
     #[test]
@@ -647,5 +1005,44 @@ mod tests {
             p.invoke(OTHER, "add", &[Value::str("x")], 0),
             Err(AccessError::NotHolder { .. })
         ));
+    }
+
+    #[test]
+    fn spill_path_handles_wide_interfaces() {
+        // A synthetic 100-method interface: ids ≥ 64 live in the spill
+        // set, and enable/disable/check work identically across the seam.
+        let table = MethodTable::new((0..100).map(|i| format!("m{i}")));
+        let control = ProxyControl::new(
+            AGENT,
+            [],
+            Arc::clone(&table),
+            [MethodId(3), MethodId(63), MethodId(64), MethodId(99)],
+            None,
+            Meter::off(),
+        );
+        for id in [3u16, 63, 64, 99] {
+            assert!(control.is_enabled(MethodId(id)), "id {id} should be enabled");
+            assert!(control.check_id(AGENT, MethodId(id), 0).is_ok());
+        }
+        for id in [0u16, 62, 65, 98] {
+            assert!(!control.is_enabled(MethodId(id)), "id {id} should be disabled");
+        }
+        assert!(control.disable_id(DomainId::SERVER, MethodId(99)).unwrap());
+        assert!(!control.is_enabled(MethodId(99)));
+        assert!(control.enable_id(DomainId::SERVER, MethodId(98)).unwrap());
+        assert!(control.check_id(AGENT, MethodId(98), 0).is_ok());
+        let enabled = control.enabled_methods();
+        assert!(enabled.contains(&"m64".to_string()));
+        assert!(enabled.contains(&"m98".to_string()));
+        assert!(!enabled.contains(&"m99".to_string()));
+    }
+
+    #[test]
+    fn unknown_method_with_live_proxy_reports_no_such_method() {
+        let p = proxy(&["get"], None, Meter::off());
+        assert_eq!(
+            p.invoke(AGENT, "ghost", &[], 0),
+            Err(AccessError::MethodDisabled("ghost".to_string()))
+        );
     }
 }

@@ -21,7 +21,8 @@
 //! runtime — with the same trust story: `get_proxy` receives only the
 //! verified [`Requester`] facts, never agent-controlled data.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use ajanta_naming::{NameRegistry, RegistryError, Urn};
@@ -31,6 +32,18 @@ use crate::domain::DomainId;
 use crate::monitor::{HostMonitor, SystemOp, Violation};
 use crate::proxy::{AccessError, ResourceProxy};
 use crate::resource::{AccessProtocol, Requester};
+
+/// How many independent locks the object map is spread over. Binds from
+/// concurrent agent threads contend only when their resources hash to the
+/// same shard, so lookup throughput scales with thread count.
+const SHARDS: usize = 16;
+
+/// Hash a shard key; callers reduce modulo their own shard count.
+pub(crate) fn key_hash<K: Hash + ?Sized>(key: &K) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish() as usize
+}
 
 /// Why a bind (or registration) failed.
 #[derive(Debug)]
@@ -77,9 +90,15 @@ impl From<AccessError> for BindError {
 }
 
 /// The server's resource registry.
+///
+/// The object map — the structure every `bind` reads — is split over
+/// [`SHARDS`] independently locked hash maps keyed by the resource URN's
+/// hash, so concurrent binds from many agent threads do not serialize on
+/// one registry-wide lock. The name directory (registration metadata,
+/// cold path) keeps a single lock.
 pub struct ResourceRegistry {
     names: RwLock<NameRegistry>,
-    objects: RwLock<BTreeMap<Urn, Arc<dyn AccessProtocol>>>,
+    objects: [RwLock<HashMap<Urn, Arc<dyn AccessProtocol>>>; SHARDS],
 }
 
 impl Default for ResourceRegistry {
@@ -93,8 +112,12 @@ impl ResourceRegistry {
     pub fn new() -> Self {
         ResourceRegistry {
             names: RwLock::new(NameRegistry::new()),
-            objects: RwLock::new(BTreeMap::new()),
+            objects: std::array::from_fn(|_| RwLock::new(HashMap::new())),
         }
+    }
+
+    fn shard(&self, name: &Urn) -> &RwLock<HashMap<Urn, Arc<dyn AccessProtocol>>> {
+        &self.objects[key_hash(name) % SHARDS]
     }
 
     /// Step 1: registers `resource` on behalf of `registrar` (the domain
@@ -114,7 +137,7 @@ impl ResourceRegistry {
             let mut names = self.names.write();
             names.register(name.clone(), registrar.clone(), description)?;
         }
-        self.objects.write().insert(name, resource);
+        self.shard(&name).write().insert(name, resource);
         Ok(())
     }
 
@@ -128,7 +151,7 @@ impl ResourceRegistry {
     ) -> Result<Arc<dyn AccessProtocol>, BindError> {
         monitor.check(caller, SystemOp::MutateRegistry)?;
         self.names.write().unregister(name, registrar)?;
-        self.objects
+        self.shard(name)
             .write()
             .remove(name)
             .ok_or_else(|| BindError::NotFound(name.clone()))
@@ -142,7 +165,9 @@ impl ResourceRegistry {
         now: u64,
     ) -> Result<ResourceProxy, BindError> {
         let resource = {
-            let objects = self.objects.read();
+            // Only this name's shard is locked: binds for resources on
+            // other shards proceed concurrently.
+            let objects = self.shard(name).read();
             objects
                 .get(name)
                 .cloned()
@@ -161,12 +186,12 @@ impl ResourceRegistry {
 
     /// Number of registered resources.
     pub fn len(&self) -> usize {
-        self.objects.read().len()
+        self.objects.iter().map(|s| s.read().len()).sum()
     }
 
     /// True when nothing is registered.
     pub fn is_empty(&self) -> bool {
-        self.objects.read().is_empty()
+        self.objects.iter().all(|s| s.read().is_empty())
     }
 }
 
@@ -213,11 +238,11 @@ mod tests {
             requester: &Requester,
             _now: u64,
         ) -> Result<ResourceProxy, AccessError> {
-            let enabled: Vec<String> = self
-                .methods()
-                .into_iter()
-                .filter(|m| requester.rights.permits(self.name(), &m.name))
-                .map(|m| m.name)
+            let table = self.method_table();
+            let enabled: Vec<_> = table
+                .iter()
+                .filter(|(_, name)| requester.rights.permits(self.name(), name))
+                .map(|(id, _)| id)
                 .collect();
             if enabled.is_empty() {
                 return Err(AccessError::PolicyDenied {
@@ -225,7 +250,8 @@ mod tests {
                     reason: "no methods permitted".into(),
                 });
             }
-            let control = ProxyControl::new(requester.domain, [], enabled, None, Meter::off());
+            let control =
+                ProxyControl::new(requester.domain, [], table, enabled, None, Meter::off());
             Ok(ResourceProxy::new(self, control))
         }
     }

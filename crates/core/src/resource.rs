@@ -14,6 +14,7 @@
 //! [`crate::buffer`], whose `BufferProxy` is hand-written exactly like
 //! Fig. 5.)
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use ajanta_naming::Urn;
@@ -22,6 +23,89 @@ use ajanta_vm::{Ty, Value};
 use crate::domain::DomainId;
 use crate::proxy::ResourceProxy;
 use crate::rights::Rights;
+
+/// Interned identifier of one method within a resource interface.
+///
+/// Ids are assigned by the resource's [`MethodTable`] in declaration order
+/// and are stable for the lifetime of the resource. All per-invocation
+/// access machinery ([`crate::proxy::ProxyControl`], metering) operates on
+/// ids, so the invoke fast path never touches a string; names are resolved
+/// to ids once, at bind time (the paper's Fig. 6 step 4), and resolved back
+/// only on cold paths (error messages, meter snapshots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MethodId(pub u16);
+
+impl std::fmt::Display for MethodId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m#{}", self.0)
+    }
+}
+
+/// The interned method universe of one resource interface: a bijection
+/// between method names and dense [`MethodId`]s, built once per resource.
+///
+/// `id()` (name → id) is the bind-time direction; `name()` (id → name) is
+/// an array index, so even cold-path reverse lookups never allocate.
+#[derive(Debug, Default)]
+pub struct MethodTable {
+    names: Vec<String>,
+    index: HashMap<String, u16>,
+}
+
+impl MethodTable {
+    /// Interns `names` in order. Duplicates keep their first id. Panics if
+    /// the interface exceeds `u16::MAX` methods.
+    pub fn new<I, S>(names: I) -> Arc<Self>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut table = MethodTable::default();
+        for name in names {
+            let name = name.into();
+            if table.index.contains_key(&name) {
+                continue;
+            }
+            let id = u16::try_from(table.names.len()).expect("method table overflow");
+            table.index.insert(name.clone(), id);
+            table.names.push(name);
+        }
+        Arc::new(table)
+    }
+
+    /// Interns the names of `specs` (the common construction).
+    pub fn from_specs(specs: &[MethodSpec]) -> Arc<Self> {
+        Self::new(specs.iter().map(|s| s.name.clone()))
+    }
+
+    /// Resolves a method name to its id, if the interface has it.
+    pub fn id(&self, name: &str) -> Option<MethodId> {
+        self.index.get(name).copied().map(MethodId)
+    }
+
+    /// Resolves an id back to its name (an array index — no allocation).
+    pub fn name(&self, id: MethodId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of interned methods.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interface has no methods.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (MethodId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (MethodId(i as u16), n.as_str()))
+    }
+}
 
 /// Signature of one resource method, used for interface discovery and for
 /// checking invocation arity/types before dispatch.
@@ -93,6 +177,14 @@ pub trait Resource: Send + Sync {
 
     /// The callable interface.
     fn methods(&self) -> Vec<MethodSpec>;
+
+    /// The interned method universe of this interface. The default builds
+    /// a fresh table from [`Resource::methods`]; resources on the hot path
+    /// override it to return one table built at construction, so binding
+    /// (name → id resolution) shares a single interning pass.
+    fn method_table(&self) -> Arc<MethodTable> {
+        MethodTable::from_specs(&self.methods())
+    }
 
     /// Invokes `method`. Implementations are responsible for validating
     /// their own arguments — begin with [`Resource::check_args`] — since
@@ -251,5 +343,26 @@ mod tests {
         assert_eq!(specs.len(), 2);
         assert_eq!(specs[0].name, "echo");
         assert_eq!(specs[0].ret, Ty::Bytes);
+    }
+
+    #[test]
+    fn method_table_interns_in_declaration_order() {
+        let t = echo().method_table();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.id("echo"), Some(MethodId(0)));
+        assert_eq!(t.id("length"), Some(MethodId(1)));
+        assert_eq!(t.id("ghost"), None);
+        assert_eq!(t.name(MethodId(0)), Some("echo"));
+        assert_eq!(t.name(MethodId(9)), None);
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs, [(MethodId(0), "echo"), (MethodId(1), "length")]);
+    }
+
+    #[test]
+    fn method_table_dedups_keeping_first_id() {
+        let t = MethodTable::new(["a", "b", "a", "c"]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.id("a"), Some(MethodId(0)));
+        assert_eq!(t.id("c"), Some(MethodId(2)));
     }
 }

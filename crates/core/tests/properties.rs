@@ -1,10 +1,13 @@
 //! Property tests for the rights algebra, credentials, and proxy
 //! invariants — the security laws the paper's design depends on.
 
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
 use ajanta_core::credentials::CredentialsBuilder;
 use ajanta_core::proxy::{Meter, ProxyControl};
 use ajanta_core::rights::{MethodPattern, Rights, Scope};
-use ajanta_core::DomainId;
+use ajanta_core::{DomainId, MethodTable};
 use ajanta_crypto::cert::Certificate;
 use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
 use ajanta_naming::Urn;
@@ -138,10 +141,12 @@ proptest! {
     fn proxy_confinement_total(holder in 1u64..50, caller in 1u64..50,
                                methods in proptest::collection::vec(method(), 0..4),
                                probe in method()) {
-        let control = ProxyControl::new(
+        let table = MethodTable::new(["get", "put", "query", "buy"]);
+        let control = ProxyControl::new_named(
             DomainId(holder),
             [],
-            methods.clone(),
+            table,
+            methods.iter().map(String::as_str),
             None,
             Meter::off(),
         );
@@ -157,10 +162,11 @@ proptest! {
     /// after.
     #[test]
     fn proxy_expiry_threshold(not_after in 0u64..1_000, probe_at in 0u64..2_000) {
-        let control = ProxyControl::new(
+        let control = ProxyControl::new_named(
             DomainId(1),
             [],
-            ["m".to_string()],
+            MethodTable::new(["m"]),
+            ["m"],
             Some(not_after),
             Meter::off(),
         );
@@ -171,7 +177,14 @@ proptest! {
     /// Revocation wins over everything and is irreversible.
     #[test]
     fn revocation_is_absorbing(ops in proptest::collection::vec(0u8..3, 0..8)) {
-        let control = ProxyControl::new(DomainId(1), [], ["m".to_string()], None, Meter::off());
+        let control = ProxyControl::new_named(
+            DomainId(1),
+            [],
+            MethodTable::new(["m"]),
+            ["m"],
+            None,
+            Meter::off(),
+        );
         control.revoke(DomainId::SERVER).unwrap();
         for op in ops {
             match op {
@@ -182,5 +195,49 @@ proptest! {
         }
         prop_assert!(control.check(DomainId(1), "m", 0).is_err());
         prop_assert!(control.is_revoked());
+    }
+
+    /// The interned enabled set (64-bit atomic mask + spill set for wide
+    /// interfaces) is observationally identical to the old
+    /// `BTreeSet<String>` model: same enable/disable return values, same
+    /// check outcomes, same `enabled_methods()` listing — over random
+    /// method universes both narrower and wider than the 64-bit mask.
+    #[test]
+    fn bitmask_enabled_set_matches_set_model(
+        width in 1usize..100,
+        seed in proptest::collection::vec(any::<prop::sample::Index>(), 0..20),
+        ops in proptest::collection::vec((any::<bool>(), any::<prop::sample::Index>()), 0..30),
+    ) {
+        let names: Vec<String> = (0..width).map(|i| format!("m{i}")).collect();
+        let table = MethodTable::new(names.iter().cloned());
+        let initial: Vec<&str> =
+            seed.iter().map(|ix| names[ix.index(width)].as_str()).collect();
+        let mut model: BTreeSet<String> =
+            initial.iter().map(|s| s.to_string()).collect();
+        let control = ProxyControl::new_named(
+            DomainId(1),
+            [],
+            Arc::clone(&table),
+            initial.iter().copied(),
+            None,
+            Meter::off(),
+        );
+        for (enable, ix) in ops {
+            let name = &names[ix.index(width)];
+            if enable {
+                let newly = control.enable_method(DomainId::SERVER, name.clone()).unwrap();
+                prop_assert_eq!(newly, model.insert(name.clone()));
+            } else {
+                let was = control.disable_method(DomainId::SERVER, name).unwrap();
+                prop_assert_eq!(was, model.remove(name));
+            }
+        }
+        // BTreeSet iterates lexicographically, matching enabled_methods().
+        let expect: Vec<String> = model.iter().cloned().collect();
+        prop_assert_eq!(control.enabled_methods(), expect);
+        for name in &names {
+            let ok = control.check(DomainId(1), name, 0).is_ok();
+            prop_assert_eq!(ok, model.contains(name));
+        }
     }
 }

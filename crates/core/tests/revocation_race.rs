@@ -1,0 +1,180 @@
+//! Revocation under contention — the paper's "a resource manager can
+//! invalidate any of its currently active proxies at any time it wishes"
+//! (Section 5.5), exercised as a cross-thread race.
+//!
+//! The contract under test: the instant `revoke` (or `disable_method`)
+//! **returns** to the manager, no invocation observed to start afterwards
+//! may succeed — on any thread, with no cooperation from the agent — and
+//! the lock-free check path must neither panic nor deadlock while the
+//! enabled set is being churned underneath it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use ajanta_core::{
+    BoundedBuffer, BufferProxy, DomainId, Meter, MethodId, MethodTable, ProxyControl, Resource,
+};
+use ajanta_naming::Urn;
+
+const AGENT: DomainId = DomainId(9);
+
+fn buffer_proxy() -> (Arc<ProxyControl>, BufferProxy) {
+    let buf = BoundedBuffer::new(
+        Urn::resource("x.org", ["race-buffer"]).unwrap(),
+        Urn::owner("x.org", ["admin"]).unwrap(),
+        64,
+    );
+    let control = ProxyControl::new_named(
+        AGENT,
+        [],
+        buf.method_table(),
+        ["get", "put", "size"],
+        None,
+        Meter::off(),
+    );
+    let proxy = BufferProxy::new(Arc::clone(&buf), Arc::clone(&control));
+    (control, proxy)
+}
+
+/// One thread spins invocations while the manager revokes the proxy.
+/// Every invocation that starts after `revoke` returned must fail.
+#[test]
+fn no_call_succeeds_after_revoke_returns() {
+    let (control, proxy) = buffer_proxy();
+    let revoke_returned = Arc::new(AtomicBool::new(false));
+
+    thread::scope(|s| {
+        let flag = Arc::clone(&revoke_returned);
+        let invoker = s.spawn(move || {
+            let mut late_successes = 0u64;
+            loop {
+                // Sample the flag BEFORE invoking: if the manager's
+                // revoke had already returned at that point, this call
+                // (and all later ones) must be rejected.
+                let after_revoke = flag.load(Ordering::SeqCst);
+                let outcome = proxy.size(0);
+                if after_revoke {
+                    late_successes += u64::from(outcome.is_ok());
+                    // Revocation is permanent: a burst of further calls
+                    // must all fail too.
+                    for _ in 0..256 {
+                        late_successes += u64::from(proxy.size(0).is_ok());
+                    }
+                    return late_successes;
+                }
+            }
+        });
+
+        // Let the invoker get some successful calls in first.
+        thread::sleep(Duration::from_millis(5));
+        control.revoke(DomainId::SERVER).unwrap();
+        revoke_returned.store(true, Ordering::SeqCst);
+
+        assert_eq!(
+            invoker.join().expect("invoker must not panic"),
+            0,
+            "invocations succeeded after revoke() had returned"
+        );
+    });
+    assert!(control.is_revoked());
+}
+
+/// Selective revocation has the same fence: after `disable_method`
+/// returns, the disabled method never passes, while other methods keep
+/// working.
+#[test]
+fn no_call_succeeds_after_disable_returns() {
+    let (control, proxy) = buffer_proxy();
+    let disable_returned = Arc::new(AtomicBool::new(false));
+
+    thread::scope(|s| {
+        let flag = Arc::clone(&disable_returned);
+        let invoker = s.spawn(move || {
+            let mut late_successes = 0u64;
+            loop {
+                let after_disable = flag.load(Ordering::SeqCst);
+                let outcome = proxy.size(0);
+                if after_disable {
+                    late_successes += u64::from(outcome.is_ok());
+                    for _ in 0..256 {
+                        late_successes += u64::from(proxy.size(0).is_ok());
+                    }
+                    // The untouched method still passes the whole chain.
+                    assert!(proxy.put(ajanta_vm::Value::Int(1), 0).is_ok());
+                    return late_successes;
+                }
+            }
+        });
+
+        thread::sleep(Duration::from_millis(5));
+        assert!(control.disable_method(DomainId::SERVER, "size").unwrap());
+        disable_returned.store(true, Ordering::SeqCst);
+
+        assert_eq!(
+            invoker.join().expect("invoker must not panic"),
+            0,
+            "invocations of a disabled method succeeded after disable_method() had returned"
+        );
+    });
+}
+
+/// Continuous enable/disable churn across the mask/spill seam of a wide
+/// (100-method) interface while checker threads spin: no panic, no
+/// deadlock, and the final revocation still fences every id.
+#[test]
+fn enabled_set_churn_is_panic_and_deadlock_free() {
+    let table = MethodTable::new((0..100).map(|i| format!("m{i}")));
+    let control = ProxyControl::new(
+        AGENT,
+        [],
+        Arc::clone(&table),
+        (0..100).map(MethodId),
+        None,
+        Meter::off(),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+
+    thread::scope(|s| {
+        // Checkers spin over ids on both sides of the 64-bit mask.
+        let mut checkers = Vec::new();
+        for lane in [3u16, 63, 64, 99] {
+            let control = Arc::clone(&control);
+            let stop = Arc::clone(&stop);
+            checkers.push(s.spawn(move || {
+                let mut calls = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Either outcome is fine mid-churn; it just must not
+                    // wedge or panic.
+                    let _ = control.check_id(AGENT, MethodId(lane), 0);
+                    calls += 1;
+                }
+                calls
+            }));
+        }
+        // Churner toggles ids straddling the seam.
+        for round in 0..2_000u16 {
+            let id = MethodId(56 + round % 16); // 56..72: crosses bit 63/64
+            if round % 2 == 0 {
+                let _ = control.disable_id(DomainId::SERVER, id);
+            } else {
+                let _ = control.enable_id(DomainId::SERVER, id);
+            }
+        }
+        control.revoke(DomainId::SERVER).unwrap();
+        stop.store(true, Ordering::SeqCst);
+        let total: u64 = checkers
+            .into_iter()
+            .map(|c| c.join().expect("checker must not panic"))
+            .sum();
+        // Scheduling may starve an individual lane, but the pool as a
+        // whole must have made progress (no livelock).
+        assert!(total > 0);
+    });
+
+    // Post-revocation, every id is fenced regardless of its enabled bit.
+    for id in 0..100u16 {
+        assert!(control.check_id(AGENT, MethodId(id), 0).is_err());
+    }
+}

@@ -273,12 +273,14 @@ impl HostInterface for AgentEnv {
                     .and_then(|h| h.checked_sub(1))
                     .and_then(|h| self.proxies.get(h))
                     .ok_or_else(|| HostError::Failed(format!("bad proxy handle {handle}")))?;
-                let method = String::from_utf8(args[1].as_bytes().expect("verified").to_vec())
+                // Borrow the method name in place: the VM→proxy hot path
+                // must not allocate per call.
+                let method = std::str::from_utf8(args[1].as_bytes().expect("verified"))
                     .map_err(|_| HostError::Failed("malformed method name".into()))?;
                 let mut d = Decoder::new(args[2].as_bytes().expect("verified"));
                 let call_args: Vec<Value> = decode_seq(&mut d)
                     .map_err(|e| HostError::Failed(format!("malformed args: {e}")))?;
-                match proxy.invoke(self.domain, &method, &call_args, self.now()) {
+                match proxy.invoke(self.domain, method, &call_args, self.now()) {
                     Ok(v) => val(Value::Bytes(encode_ok(&v))),
                     // Application-level failures are recoverable results…
                     Err(AccessError::Resource(ResourceError::WouldBlock)) => {

@@ -11,7 +11,8 @@
 //! byte-code verification in a fresh name-space → policy authorization →
 //! domain creation → execution under quotas.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -108,6 +109,17 @@ pub struct ServerConfig {
 /// Queued (sender, payload) mail for one agent.
 type Mailbox = VecDeque<(Urn, Vec<u8>)>;
 
+/// Lock shards for the mailbox map. Mail delivery and pickup for
+/// different agents contend only within a shard, so many agent worker
+/// threads exchange mail without serializing on one map-wide lock.
+const MAILBOX_SHARDS: usize = 16;
+
+fn mailbox_shard_of(agent: &Urn) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    agent.hash(&mut h);
+    (h.finish() as usize) % MAILBOX_SHARDS
+}
+
 /// State shared between the server loop, agent worker threads, and the
 /// control handle.
 pub struct Shared {
@@ -119,12 +131,15 @@ pub struct Shared {
     net: SimNet,
     monitor: HostMonitor,
     registry: ResourceRegistry,
-    domains: Mutex<DomainDatabase>,
+    /// Internally sharded; every method takes `&self`, so agent worker
+    /// threads admit/charge/evict concurrently (the old outer `Mutex`
+    /// serialized all of them and capped multi-agent throughput).
+    domains: DomainDatabase,
     policy: RwLock<SecurityPolicy>,
     system_modules: Vec<Arc<VerifiedModule>>,
     agent_limits: UsageLimits,
     vm_limits: Limits,
-    mailboxes: Mutex<BTreeMap<Urn, Mailbox>>,
+    mailboxes: [Mutex<HashMap<Urn, Mailbox>>; MAILBOX_SHARDS],
     logs: Mutex<Vec<(Urn, String)>>,
     events: Mutex<Vec<SecurityEvent>>,
     reports: Mutex<Vec<Report>>,
@@ -139,6 +154,10 @@ impl Shared {
     /// The server's name.
     pub fn name(&self) -> &Urn {
         &self.name
+    }
+
+    fn mailbox_shard(&self, agent: &Urn) -> &Mutex<HashMap<Urn, Mailbox>> {
+        &self.mailboxes[mailbox_shard_of(agent)]
     }
 
     /// Current virtual time.
@@ -169,17 +188,14 @@ impl Shared {
     ) -> Result<ResourceProxy, String> {
         // Binding quota first.
         self.domains
-            .lock()
             .add_binding(DomainId::SERVER, requester.domain, name.clone())
             .map_err(|e| e.to_string())?;
         match self.registry.bind(requester, name, now) {
             Ok(proxy) => Ok(proxy),
             Err(e) => {
-                let _ = self.domains.lock().remove_binding(
-                    DomainId::SERVER,
-                    requester.domain,
-                    name,
-                );
+                let _ = self
+                    .domains
+                    .remove_binding(DomainId::SERVER, requester.domain, name);
                 Err(match e {
                     BindError::NotFound(n) => format!("no resource {n}"),
                     other => other.to_string(),
@@ -191,11 +207,11 @@ impl Shared {
     /// Delivers mail to a co-located agent's mailbox. Returns whether the
     /// recipient is resident here.
     pub fn local_mail(&self, from: Urn, to: Urn, data: Vec<u8>) -> bool {
-        let resident = self.domains.lock().domain_of(&to).is_some();
+        let resident = self.domains.domain_of(&to).is_some();
         if !resident {
             return false;
         }
-        self.mailboxes
+        self.mailbox_shard(&to)
             .lock()
             .entry(to)
             .or_default()
@@ -211,7 +227,7 @@ impl Shared {
 
     /// Takes the oldest mail item for `agent`.
     pub fn take_mail(&self, agent: &Urn) -> Option<(Urn, Vec<u8>)> {
-        self.mailboxes.lock().get_mut(agent)?.pop_front()
+        self.mailbox_shard(agent).lock().get_mut(agent)?.pop_front()
     }
 
     /// Dynamic extension: installs an agent-supplied module as a resource
@@ -426,7 +442,7 @@ impl ServerHandle {
 
     /// Number of currently resident agents.
     pub fn resident_agents(&self) -> usize {
-        self.shared.domains.lock().len()
+        self.shared.domains.len()
     }
 
     /// Names in the resource registry.
@@ -474,12 +490,12 @@ impl AgentServer {
             net: net.clone(),
             monitor,
             registry: ResourceRegistry::new(),
-            domains: Mutex::new(DomainDatabase::new()),
+            domains: DomainDatabase::new(),
             policy: RwLock::new(config.policy),
             system_modules: config.system_modules,
             agent_limits: config.agent_limits,
             vm_limits: config.vm_limits,
-            mailboxes: Mutex::new(BTreeMap::new()),
+            mailboxes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             logs: Mutex::new(Vec::new()),
             events: Mutex::new(Vec::new()),
             reports: Mutex::new(Vec::new()),
@@ -601,17 +617,14 @@ fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, workers: &mut Vec<s
             }
         }
         Message::StatusQuery { query_id, agent } => {
-            let status = {
-                let domains = shared.domains.lock();
-                match domains.record_of(&agent) {
-                    Some(rec) => AgentStatus::Resident {
-                        owner: rec.owner.clone(),
-                        creator: rec.creator.clone(),
-                        fuel_used: rec.usage.fuel,
-                        bindings: rec.bindings.clone(),
-                    },
-                    None => AgentStatus::NotResident,
-                }
+            let status = match shared.domains.record_of(&agent) {
+                Some(rec) => AgentStatus::Resident {
+                    owner: rec.owner,
+                    creator: rec.creator,
+                    fuel_used: rec.usage.fuel,
+                    bindings: rec.bindings,
+                },
+                None => AgentStatus::NotResident,
             };
             let reply = Message::StatusReply {
                 query_id,
@@ -702,23 +715,20 @@ fn handle_transfer(
     } else {
         credentials.agent.clone()
     };
-    let domain = {
-        let mut domains = shared.domains.lock();
-        match domains.admit(
-            DomainId::SERVER,
-            run_as.clone(),
-            credentials.owner.clone(),
-            creator,
-            credentials.home.clone(),
-            authorization.clone(),
-            shared.agent_limits,
-        ) {
-            Ok(d) => d,
-            Err(e) => {
-                shared.record_event("duplicate-agent", e.to_string());
-                shared.report_home(&run_as, &credentials, ReportStatus::Refused(e.to_string()));
-                return;
-            }
+    let domain = match shared.domains.admit(
+        DomainId::SERVER,
+        run_as.clone(),
+        credentials.owner.clone(),
+        creator,
+        credentials.home.clone(),
+        authorization.clone(),
+        shared.agent_limits,
+    ) {
+        Ok(d) => d,
+        Err(e) => {
+            shared.record_event("duplicate-agent", e.to_string());
+            shared.report_home(&run_as, &credentials, ReportStatus::Refused(e.to_string()));
+            return;
         }
     };
 
@@ -775,8 +785,10 @@ fn run_agent(
     env.set_module(Arc::clone(&verified));
     let mut interp = Interpreter::new(&verified, shared.vm_limits);
     if !interp.restore_globals(image.globals.clone()) {
+        // Evict before reporting: once the home site sees a report, this
+        // server must already show no residue for the agent.
+        let _ = shared.domains.evict(DomainId::SERVER, domain);
         shared.report_home(&run_as, &credentials, ReportStatus::Refused("global mismatch".into()));
-        let _ = shared.domains.lock().evict(DomainId::SERVER, domain);
         return;
     }
 
@@ -793,8 +805,15 @@ fn run_agent(
     // interpreter's own limit already bounded the run).
     let _ = shared
         .domains
-        .lock()
         .charge_fuel(DomainId::SERVER, domain, interp.fuel_used());
+
+    // Departure happens BEFORE any completion report or onward transfer:
+    // the home site (or next hop) learning the agent's fate must
+    // happen-after this server has cleared its residue, so "all reports
+    // in" implies "no domains left" — the isolation invariant X12 checks.
+    // Installed resources stay.
+    shared.mailbox_shard(&run_as).lock().remove(&run_as);
+    let _ = shared.domains.evict(DomainId::SERVER, domain);
 
     match outcome {
         ExecOutcome::Finished(v) => {
@@ -861,8 +880,4 @@ fn run_agent(
             );
         }
     }
-
-    // Departure: drop bindings and the domain. Installed resources stay.
-    shared.mailboxes.lock().remove(&run_as);
-    let _ = shared.domains.lock().evict(DomainId::SERVER, domain);
 }

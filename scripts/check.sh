@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, lint. Falls back to --offline when
+# crates.io is unreachable (all external deps are vendored under vendor/,
+# so offline builds are fully supported).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=""
+if ! cargo metadata --format-version 1 >/dev/null 2>&1; then
+    OFFLINE="--offline"
+fi
+
+run() {
+    echo "+ $*"
+    "$@"
+}
+
+run cargo build --release $OFFLINE
+run cargo test -q $OFFLINE
+run cargo clippy --all-targets $OFFLINE -- -D warnings
+echo "check.sh: all green"

@@ -57,10 +57,11 @@ fn figure_2_hierarchy_holds() {
 #[test]
 fn figure_5_typed_proxy_semantics() {
     let b = buffer();
-    let control = ProxyControl::new(
+    let control = ProxyControl::new_named(
         DomainId(3),
         [],
-        ["get".to_string(), "put".to_string()],
+        Resource::method_table(&*b),
+        ["get", "put"],
         None,
         Meter::counting(1),
     );

@@ -1,0 +1,415 @@
+//! MPMC channels compatible with the `crossbeam-channel` API surface this
+//! workspace uses.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+pub use crate::select;
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent message back to the caller.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T> std::error::Error for SendError<T> {}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty but senders remain.
+    Empty,
+    /// The channel is empty and all senders have been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived before the deadline.
+    Timeout,
+    /// The channel is empty and all senders have been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on a channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// One-shot wakeup used by `select!` to sleep until *any* watched channel
+/// has activity.
+struct SelectSignal {
+    fired: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl SelectSignal {
+    fn new() -> Arc<Self> {
+        Arc::new(SelectSignal {
+            fired: Mutex::new(false),
+            cond: Condvar::new(),
+        })
+    }
+
+    fn fire(&self) {
+        *self.fired.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cond.notify_all();
+    }
+
+    fn wait(&self, timeout: Duration) {
+        let guard = self.fired.lock().unwrap_or_else(|e| e.into_inner());
+        if *guard {
+            return;
+        }
+        let _ = self
+            .cond
+            .wait_timeout_while(guard, timeout, |fired| !*fired);
+    }
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+    /// One-shot select wakers; drained on every send / disconnect.
+    selects: Vec<Arc<SelectSignal>>,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when a message arrives or the last sender leaves.
+    recv_cond: Condvar,
+    /// Signalled when queue space frees up or the last receiver leaves.
+    send_cond: Condvar,
+    /// `None` for unbounded channels.
+    cap: Option<usize>,
+}
+
+impl<T> Inner<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wake_selects(state: &mut State<T>) {
+        for s in state.selects.drain(..) {
+            s.fire();
+        }
+    }
+}
+
+/// The sending half of a channel. Cloneable (multi-producer).
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel. Cloneable (multi-consumer).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a channel with unlimited capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Creates a channel that holds at most `cap` in-flight messages; `send`
+/// blocks while the channel is full. `bounded(0)` is approximated with a
+/// capacity of one (no rendezvous semantics — unused in this workspace).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap.max(1)))
+}
+
+fn with_capacity<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+            selects: Vec::new(),
+        }),
+        recv_cond: Condvar::new(),
+        send_cond: Condvar::new(),
+        cap,
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, blocking while a bounded channel is full. Fails only
+    /// when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.inner.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            match self.inner.cap {
+                Some(cap) if state.queue.len() >= cap => {
+                    state = self
+                        .inner
+                        .send_cond
+                        .wait(state)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        Inner::wake_selects(&mut state);
+        drop(state);
+        self.inner.recv_cond.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.inner.lock().senders += 1;
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.lock();
+        state.senders -= 1;
+        if state.senders == 0 {
+            Inner::wake_selects(&mut state);
+            drop(state);
+            self.inner.recv_cond.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one arrives or all senders leave.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut state = self.inner.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.inner.send_cond.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvError);
+            }
+            state = self
+                .inner
+                .recv_cond
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Receives a message, giving up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.inner.send_cond.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, _timed_out) = self
+                .inner
+                .recv_cond
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.inner.lock();
+        if let Some(v) = state.queue.pop_front() {
+            drop(state);
+            self.inner.send_cond.notify_one();
+            return Ok(v);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of messages currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// Whether the channel currently holds no messages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking iterator over messages until disconnect.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
+    }
+
+    /// Identity helper used by the `select!` expansion so both owned
+    /// receivers and `&Receiver` expressions unify via auto-(de)ref.
+    #[doc(hidden)]
+    pub fn __select_ref(&self) -> &Receiver<T> {
+        self
+    }
+
+    fn register_select(&self, signal: &Arc<SelectSignal>) {
+        let mut state = self.inner.lock();
+        // Already actionable: fire immediately instead of registering.
+        if !state.queue.is_empty() || state.senders == 0 {
+            signal.fire();
+        } else {
+            state.selects.push(Arc::clone(signal));
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.lock().receivers += 1;
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.lock();
+        state.receivers -= 1;
+        if state.receivers == 0 {
+            drop(state);
+            self.inner.send_cond.notify_all();
+        }
+    }
+}
+
+/// Blocking message iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Which of the two watched channels produced a result.
+#[doc(hidden)]
+pub enum __Select2<A, B> {
+    A(Result<A, RecvError>),
+    B(Result<B, RecvError>),
+}
+
+/// Blocks until either receiver yields a message or disconnects, popping
+/// atomically. Backs the two-receiver [`select!`] form; arm bodies run in
+/// the caller, *outside* any loop, so `break`/`continue` inside them bind
+/// to the caller's enclosing loop exactly as with real crossbeam.
+#[doc(hidden)]
+pub fn __select2<A, B>(ra: &Receiver<A>, rb: &Receiver<B>) -> __Select2<A, B> {
+    loop {
+        match ra.try_recv() {
+            Ok(v) => return __Select2::A(Ok(v)),
+            Err(TryRecvError::Disconnected) => return __Select2::A(Err(RecvError)),
+            Err(TryRecvError::Empty) => {}
+        }
+        match rb.try_recv() {
+            Ok(v) => return __Select2::B(Ok(v)),
+            Err(TryRecvError::Disconnected) => return __Select2::B(Err(RecvError)),
+            Err(TryRecvError::Empty) => {}
+        }
+        let signal = SelectSignal::new();
+        ra.register_select(&signal);
+        rb.register_select(&signal);
+        // Bounded wait as a lost-wakeup backstop; normal wakeups arrive via
+        // the registered signal the moment either channel changes state.
+        signal.wait(Duration::from_millis(50));
+    }
+}
+
+/// Two-receiver `select!` supporting the
+/// `recv(r) -> msg => body` arm form of `crossbeam::channel::select!`.
+#[macro_export]
+macro_rules! select {
+    (recv($ra:expr) -> $pa:pat => $ba:expr, recv($rb:expr) -> $pb:pat => $bb:expr $(,)?) => {
+        match $crate::channel::__select2($ra.__select_ref(), $rb.__select_ref()) {
+            $crate::channel::__Select2::A(__msg) => {
+                let $pa = __msg;
+                $ba
+            }
+            $crate::channel::__Select2::B(__msg) => {
+                let $pb = __msg;
+                $bb
+            }
+        }
+    };
+}

@@ -1,0 +1,13 @@
+//! Offline vendored shim for the `crossbeam` crate (channel API only).
+//!
+//! The build sandbox cannot reach crates.io, so this workspace vendors the
+//! subset of `crossbeam::channel` it uses: [`channel::unbounded`],
+//! [`channel::bounded`], blocking/timeout/non-blocking receives with
+//! disconnect detection, and a [`select!`] macro supporting the two-receiver
+//! form the runtime's server loop needs. Implemented with
+//! `Mutex<VecDeque>` + `Condvar` plus a one-shot waker registry so `select!`
+//! blocks properly instead of busy-polling.
+
+#![forbid(unsafe_code)]
+
+pub mod channel;

@@ -1,0 +1,17 @@
+//! Offline vendored shim for the `serde` crate.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! purely as interface documentation — all real serialization goes through
+//! `ajanta-wire`. With no crates.io access in the build sandbox, this shim
+//! provides empty marker traits plus the no-op derives from the vendored
+//! `serde_derive`, so the annotations compile without pulling anything in.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline vendored shim for `serde_derive`.
+//!
+//! This workspace uses `#[derive(Serialize, Deserialize)]` only as interface
+//! documentation — nothing serializes through serde (the wire format is
+//! `ajanta-wire`). The sandbox cannot reach crates.io, so these derives
+//! expand to nothing; the annotated types simply do not implement the (empty)
+//! marker traits in the vendored `serde` shim.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
