@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ajanta_net::{Dropper, Eavesdropper, Forger, Replayer, Tamperer};
-use ajanta_runtime::{ReportStatus, World};
+use ajanta_runtime::{Counter, Event, RejectKind, ReportStatus, World};
 use ajanta_vm::{assemble, AgentImage, Value};
 
 /// One attack trial's outcome.
@@ -24,8 +24,12 @@ pub struct AttackRow {
     pub launched: u64,
     /// Agents that completed normally.
     pub completed: u64,
-    /// Security events recorded at the destination.
+    /// Rejections journaled across both servers (the `Rejections`
+    /// counter — exact even past the journal's retention bound).
     pub detections: u64,
+    /// Rejections classified as replay-class ([`RejectKind::Replay`])
+    /// by the typed journal.
+    pub replays: u64,
     /// Attack-specific note.
     pub note: String,
 }
@@ -74,8 +78,27 @@ fn trial(
         .iter()
         .filter(|r| matches!(r.status, ReportStatus::Completed(_)))
         .count() as u64;
-    let detections = world.server(1).security_events().len() as u64
-        + world.server(0).security_events().len() as u64;
+    // Typed telemetry instead of string-matched event kinds: the
+    // aggregate comes from O(1) counters, the replay classification from
+    // matching journal records on their `RejectKind` variant.
+    let (mut detections, mut replays) = (0u64, 0u64);
+    for i in [0, 1] {
+        let journal = world.server(i).journal();
+        detections += journal.counter(Counter::Rejections);
+        replays += journal
+            .snapshot()
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    Event::Rejected {
+                        kind: RejectKind::Replay,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+    }
     let note = note_fn(&world, completed);
     world.shutdown();
     AttackRow {
@@ -83,6 +106,7 @@ fn trial(
         launched: n,
         completed,
         detections,
+        replays,
         note,
     }
 }
@@ -157,13 +181,14 @@ pub fn table(n: u64) -> String {
                 r.launched.to_string(),
                 r.completed.to_string(),
                 r.detections.to_string(),
+                r.replays.to_string(),
                 r.note.clone(),
             ]
         })
         .collect();
     crate::render_table(
         &format!("X11 — threat model, {n} agents per trial"),
-        &["attack", "launched", "completed", "security events", "notes"],
+        &["attack", "launched", "completed", "rejections", "replay-class", "notes"],
         &rendered,
     )
 }
@@ -195,10 +220,18 @@ mod tests {
         assert_eq!(forge.completed, 3);
         assert!(forge.detections >= 3);
 
-        // Replay: originals complete; replays rejected as events.
+        // Replay: originals complete; replays rejected as events, and the
+        // typed journal files them under the replay class specifically.
         let replay = by("replay");
         assert_eq!(replay.completed, 3);
         assert!(replay.detections >= 3);
+        assert!(
+            replay.replays >= 3,
+            "replay detections should be replay-class, got {replay:?}"
+        );
+
+        // The control run journals no replay-class rejections at all.
+        assert_eq!(by("none").replays, 0);
 
         // Dropping: silent loss.
         let drop = by("drop");

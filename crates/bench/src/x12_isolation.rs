@@ -7,7 +7,7 @@
 
 use std::time::{Duration, Instant};
 
-use ajanta_runtime::{ReportStatus, World};
+use ajanta_runtime::{Counter, ReportStatus, World};
 use ajanta_vm::{assemble, AgentImage, Value};
 
 /// One concurrency level's measurements.
@@ -15,6 +15,9 @@ use ajanta_vm::{assemble, AgentImage, Value};
 pub struct IsolationRow {
     /// Concurrent agents.
     pub agents: usize,
+    /// Agents the hosting server admitted, from its journal's typed
+    /// `AgentsAdmitted` counter (must equal `agents`).
+    pub admitted: u64,
     /// Wall time until every agent reported, ms.
     pub wall_ms: f64,
     /// VM loop-iterations completed per second across all agents
@@ -113,10 +116,12 @@ pub fn run(agent_counts: &[usize], iters: i64) -> Vec<IsolationRow> {
             want.sort_unstable();
             let isolated = answers == want;
             let residue = world.server(1).resident_agents();
+            let admitted = world.server(1).journal().counter(Counter::AgentsAdmitted);
             world.shutdown();
 
             IsolationRow {
                 agents: n,
+                admitted,
                 wall_ms,
                 throughput: (n as f64 * iters as f64) / (wall_ms / 1e3),
                 isolated,
@@ -134,6 +139,7 @@ pub fn table(agent_counts: &[usize], iters: i64) -> String {
         .map(|r| {
             vec![
                 r.agents.to_string(),
+                r.admitted.to_string(),
                 format!("{:.1} ms", r.wall_ms),
                 format!("{:.2} Miters/s", r.throughput / 1e6),
                 if r.isolated { "yes".into() } else { "VIOLATED".into() },
@@ -143,7 +149,7 @@ pub fn table(agent_counts: &[usize], iters: i64) -> String {
         .collect();
     crate::render_table(
         &format!("X12 — concurrent agents on one server ({iters} loop iterations each)"),
-        &["agents", "wall time", "work rate", "isolation held", "residue"],
+        &["agents", "admitted", "wall time", "work rate", "isolation held", "residue"],
         &rendered,
     )
 }
@@ -158,6 +164,8 @@ mod tests {
         for r in &rows {
             assert!(r.isolated, "{} agents: isolation violated", r.agents);
             assert_eq!(r.residue, 0);
+            // The journal's lifecycle counter agrees with the launch count.
+            assert_eq!(r.admitted, r.agents as u64);
         }
     }
 }

@@ -35,6 +35,10 @@
 //!   proxy plus the [`crate::declare_resource_proxy!`] macro for typed
 //!   proxies, both resolving method names to interned
 //!   [`resource::MethodId`]s at bind time.
+//! * [`telemetry`] — the typed event journal unifying the monitor's
+//!   audit log (Section 3.2), proxy metering/accounting (Section 5.5),
+//!   and the server's security-event stream into one bounded, sharded,
+//!   counter-backed pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +53,7 @@ pub mod proxygen;
 pub mod registry;
 pub mod resource;
 pub mod rights;
+pub mod telemetry;
 
 pub use buffer::{BoundedBuffer, Buffer, BufferProxy};
 pub use credentials::{CredentialError, Credentials, CredentialsBuilder, Endorsement};
@@ -65,6 +70,9 @@ pub use resource::{
     ResourceError,
 };
 pub use rights::{Grant, MethodPattern, Rights, Scope};
+pub use telemetry::{
+    Counter, CounterSet, Event, Journal, JournalHook, Record, RejectKind, Severity,
+};
 
 /// Hidden re-export used by [`declare_resource_proxy!`] expansions in
 /// downstream crates.

@@ -12,12 +12,16 @@
 //! thread/domain manipulation (Section 5.3: "thread group manipulation
 //! operations must therefore be treated as privileged"), registry
 //! mutation, domain-database writes, agent launch/dispatch, and monitor
-//! replacement itself. It also keeps an audit log, which experiment X12
-//! reads.
+//! replacement itself. Every decision is appended to the shared
+//! [`telemetry::Journal`](crate::telemetry::Journal) as an
+//! [`Event::Audit`](crate::telemetry::Event::Audit); [`HostMonitor::audit_log`]
+//! and [`HostMonitor::denial_count`] are views over that journal, so the
+//! monitor no longer holds (unbounded) private state of its own.
 
-use parking_lot::RwLock;
+use std::sync::Arc;
 
 use crate::domain::DomainId;
+use crate::telemetry::{Counter, Event, Journal};
 
 /// A system-level operation subject to mediation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,7 +66,8 @@ impl std::fmt::Display for Violation {
 
 impl std::error::Error for Violation {}
 
-/// One audit-log entry.
+/// One audit-log entry, as returned by [`HostMonitor::audit_log`] —
+/// a projection of [`Event::Audit`] records in the journal.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AuditEntry {
     /// Who asked.
@@ -78,36 +83,53 @@ pub struct AuditEntry {
 /// The policy is fixed at construction (agents cannot install their own —
 /// paper Section 3.2: "Applets are not permitted to install their own
 /// security managers"); even the server goes through [`HostMonitor::check`]
-/// so the audit log is complete.
-#[derive(Debug, Default)]
+/// so the audit log is complete. Decisions are journaled in the shared
+/// [`Journal`] — pass one in with [`HostMonitor::with_journal`] to unify
+/// the audit trail with the rest of the server's telemetry, or use
+/// [`HostMonitor::new`] for a standalone monitor with a private journal.
+#[derive(Debug)]
 pub struct HostMonitor {
     /// Whether agents may dispatch (launch) further agents from here.
     agents_may_dispatch: bool,
-    audit: RwLock<Vec<AuditEntry>>,
+    journal: Arc<Journal>,
+}
+
+impl Default for HostMonitor {
+    fn default() -> Self {
+        HostMonitor::new()
+    }
 }
 
 impl HostMonitor {
     /// A monitor with the default policy (agents may dispatch agents —
-    /// needed for the dynamic-extension scenario of Section 5.5).
+    /// needed for the dynamic-extension scenario of Section 5.5) and a
+    /// private journal.
     pub fn new() -> Self {
-        HostMonitor {
-            agents_may_dispatch: true,
-            audit: RwLock::new(Vec::new()),
-        }
+        HostMonitor::with_journal(Arc::new(Journal::new()), true)
     }
 
     /// A stricter monitor that refuses agent-initiated dispatch.
     pub fn no_agent_dispatch() -> Self {
+        HostMonitor::with_journal(Arc::new(Journal::new()), false)
+    }
+
+    /// A monitor appending its audit decisions to `journal`.
+    pub fn with_journal(journal: Arc<Journal>, agents_may_dispatch: bool) -> Self {
         HostMonitor {
-            agents_may_dispatch: false,
-            audit: RwLock::new(Vec::new()),
+            agents_may_dispatch,
+            journal,
         }
+    }
+
+    /// The journal this monitor audits into.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
     }
 
     /// The single mediation point.
     pub fn check(&self, caller: DomainId, op: SystemOp) -> Result<(), Violation> {
         let decision = self.decide(caller, &op);
-        self.audit.write().push(AuditEntry {
+        self.journal.append(Event::Audit {
             caller,
             op: op.clone(),
             allowed: decision.is_none(),
@@ -157,14 +179,32 @@ impl HostMonitor {
         }
     }
 
-    /// Snapshot of the audit log.
+    /// The audit trail: every retained [`Event::Audit`] record, in order.
+    ///
+    /// This is a filtered **view** of the journal. Under the journal's
+    /// capacity bound the oldest entries may have been evicted; use
+    /// [`HostMonitor::audit_len`] for the exact lifetime count.
     pub fn audit_log(&self) -> Vec<AuditEntry> {
-        self.audit.read().clone()
+        self.journal
+            .snapshot()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                Event::Audit { caller, op, allowed } => Some(AuditEntry { caller, op, allowed }),
+                _ => None,
+            })
+            .collect()
     }
 
-    /// Number of denials so far.
+    /// Lifetime number of audited decisions — O(1), no cloning, and exact
+    /// even after old records are evicted from the journal.
+    pub fn audit_len(&self) -> usize {
+        (self.journal.counter(Counter::AuditAllowed) + self.journal.counter(Counter::AuditDenied))
+            as usize
+    }
+
+    /// Lifetime number of denials — O(1) counter read.
     pub fn denial_count(&self) -> usize {
-        self.audit.read().iter().filter(|e| !e.allowed).count()
+        self.journal.counter(Counter::AuditDenied) as usize
     }
 }
 
@@ -246,7 +286,34 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert!(log[0].allowed);
         assert!(!log[1].allowed);
+        assert_eq!(m.audit_len(), 2);
         assert_eq!(m.denial_count(), 1);
+    }
+
+    #[test]
+    fn audit_goes_to_the_shared_journal() {
+        let journal = Arc::new(Journal::new());
+        let m = HostMonitor::with_journal(Arc::clone(&journal), true);
+        let _ = m.check(DomainId(9), SystemOp::MutateDomainDatabase);
+        assert_eq!(journal.counter(Counter::AuditDenied), 1);
+        let snap = journal.snapshot();
+        assert!(matches!(
+            snap[0].event,
+            Event::Audit { caller: DomainId(9), allowed: false, .. }
+        ));
+    }
+
+    #[test]
+    fn audit_len_is_exact_past_journal_capacity() {
+        let journal = Arc::new(Journal::with_capacity(8));
+        let m = HostMonitor::with_journal(journal, true);
+        for _ in 0..100 {
+            m.check(DomainId::SERVER, SystemOp::MutateRegistry).unwrap();
+        }
+        // The journal retains only 8 records, but the counters are exact.
+        assert_eq!(m.audit_len(), 100);
+        assert_eq!(m.audit_log().len(), 8);
+        assert_eq!(m.denial_count(), 0);
     }
 
     #[test]

@@ -62,6 +62,7 @@ use parking_lot::RwLock;
 
 use crate::domain::DomainId;
 use crate::resource::{MethodId, MethodTable, Resource, ResourceError};
+use crate::telemetry::{Event, Journal, JournalHook};
 
 /// Access-control failure raised by a proxy — the "security exception" of
 /// Fig. 5 — or an application error forwarded from the resource.
@@ -251,21 +252,27 @@ impl BoundMeter {
         self.mode
     }
 
+    /// Records one metered invocation; returns the units charged
+    /// (`None` when metering is off or the id is out of range), which is
+    /// what [`ProxyControl::record_use_id`] publishes as a
+    /// [`Event::MeterCharge`] when a journal is attached.
     #[inline]
-    fn record(&self, MethodId(id): MethodId, elapsed_ns: u64) {
+    fn record(&self, MethodId(id): MethodId, elapsed_ns: u64) -> Option<u64> {
         if self.mode == MeterMode::Off {
-            return;
+            return None;
         }
         let id = id as usize;
         if id >= self.counts.len() {
-            return;
+            return None;
         }
         self.counts[id].fetch_add(1, Ordering::Relaxed);
         self.total.fetch_add(1, Ordering::Relaxed);
-        self.charge.fetch_add(self.tariffs[id], Ordering::Relaxed);
+        let amount = self.tariffs[id];
+        self.charge.fetch_add(amount, Ordering::Relaxed);
         if self.mode == MeterMode::CountAndTime {
             self.elapsed_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
         }
+        Some(amount)
     }
 
     /// Snapshot of the accumulated usage, with method names resolved back
@@ -328,6 +335,11 @@ pub struct ProxyControl {
     /// threads (the revocation-race test relies on it).
     revoked: AtomicBool,
     meter: BoundMeter,
+    /// Optional telemetry attachment (made at bind time by the runtime).
+    /// While detached — the default, and the state in every
+    /// direct-proxy benchmark — the hot path pays a single relaxed
+    /// atomic load.
+    journal: JournalHook,
 }
 
 impl ProxyControl {
@@ -370,6 +382,7 @@ impl ProxyControl {
             not_after: AtomicU64::new(not_after.unwrap_or(NEVER)),
             revoked: AtomicBool::new(false),
             meter,
+            journal: JournalHook::new(),
         })
     }
 
@@ -426,6 +439,13 @@ impl ProxyControl {
         }
         let t = self.not_after.load(Ordering::Acquire);
         if now > t {
+            self.journal.with(|j, resource| {
+                j.append(Event::ProxyExpiry {
+                    resource: resource.clone(),
+                    holder: self.holder,
+                    not_after: t,
+                })
+            });
             return Err(AccessError::Expired { not_after: t, now });
         }
         if caller != self.holder {
@@ -466,18 +486,37 @@ impl ProxyControl {
         }
     }
 
-    /// Records one successful invocation in the meter (lock-free).
+    /// Records one successful invocation in the meter (lock-free), and —
+    /// when a journal is attached and the invocation was metered —
+    /// publishes the charge as an [`Event::MeterCharge`].
     #[inline]
     pub fn record_use_id(&self, method: MethodId, elapsed_ns: u64) {
-        self.meter.record(method, elapsed_ns);
+        if let Some(amount) = self.meter.record(method, elapsed_ns) {
+            self.journal.with(|j, resource| {
+                j.append(Event::MeterCharge {
+                    resource: resource.clone(),
+                    holder: self.holder,
+                    method: self.method_label(method),
+                    amount,
+                })
+            });
+        }
     }
 
     /// String-keyed compatibility shim over
     /// [`ProxyControl::record_use_id`]. Unknown methods are not recorded.
     pub fn record_use(&self, method: &str, elapsed_ns: u64) {
         if let Some(id) = self.table.id(method) {
-            self.meter.record(id, elapsed_ns);
+            self.record_use_id(id, elapsed_ns);
         }
+    }
+
+    /// Attaches a telemetry journal: subsequent charges, revocations, and
+    /// expiries of this proxy are published to it, tagged with `resource`.
+    /// Called by the runtime at bind time; standalone proxies stay
+    /// detached and pay (almost) nothing.
+    pub fn attach_journal(&self, journal: Arc<Journal>, resource: Urn) {
+        self.journal.attach(journal, resource);
     }
 
     /// The bound meter (for reading accumulated charges).
@@ -505,6 +544,12 @@ impl ProxyControl {
     pub fn revoke(&self, caller: DomainId) -> Result<(), AccessError> {
         self.require_manager(caller)?;
         self.revoked.store(true, Ordering::SeqCst);
+        self.journal.with(|j, resource| {
+            j.append(Event::ProxyRevoke {
+                resource: resource.clone(),
+                holder: self.holder,
+            })
+        });
         Ok(())
     }
 
@@ -1035,6 +1080,34 @@ mod tests {
         assert!(enabled.contains(&"m64".to_string()));
         assert!(enabled.contains(&"m98".to_string()));
         assert!(!enabled.contains(&"m99".to_string()));
+    }
+
+    #[test]
+    fn attached_journal_receives_charge_revoke_and_expiry_events() {
+        use crate::telemetry::Counter as TCounter;
+        let p = proxy(&["get"], Some(100), Meter::counting(3));
+        let journal = Arc::new(Journal::new());
+        p.control()
+            .attach_journal(Arc::clone(&journal), p.resource_name().clone());
+        p.invoke(AGENT, "get", &[], 0).unwrap();
+        let _ = p.invoke(AGENT, "get", &[], 101); // expired
+        p.control().revoke(DomainId::SERVER).unwrap();
+        assert_eq!(journal.counter(TCounter::MeterCharges), 1);
+        assert_eq!(journal.counter(TCounter::ChargeUnits), 3);
+        assert_eq!(journal.counter(TCounter::ProxyExpiries), 1);
+        assert_eq!(journal.counter(TCounter::ProxyRevocations), 1);
+        let snap = journal.snapshot();
+        assert!(matches!(
+            &snap[0].event,
+            Event::MeterCharge { method, amount: 3, .. } if method == "get"
+        ));
+    }
+
+    #[test]
+    fn detached_proxy_emits_nothing_and_still_meters() {
+        let p = proxy(&["get"], None, Meter::counting(1));
+        p.invoke(AGENT, "get", &[], 0).unwrap();
+        assert_eq!(p.control().meter().reading().charge, 1);
     }
 
     #[test]

@@ -1,0 +1,709 @@
+//! The telemetry journal — one typed, bounded, sharded event pipeline for
+//! everything the paper makes the server *accountable* for.
+//!
+//! The paper's mechanism is trustworthy because every mediated action
+//! leaves a trace: the reference monitor keeps an audit log (Section 3.2),
+//! and proxies meter usage so access can be charged for (Section 5.5,
+//! "Accounting and Revocation"). Before this module, that accountability
+//! was scattered over three ad-hoc sinks — the monitor's private
+//! `RwLock<Vec<AuditEntry>>`, the server's unbounded `Mutex<Vec<_>>` event
+//! and log vectors with stringly-typed kinds, and per-proxy meter
+//! snapshots. This module replaces all of them with:
+//!
+//! * a single [`Event`] enum — monitor audit decisions, proxy
+//!   grant/deny/revoke/expiry, meter charges, agent lifecycle
+//!   (admit/dispatch/report), per-agent log lines, and net-layer
+//!   rejections ([`RejectKind`]) — stamped with a global sequence number,
+//!   a virtual-time timestamp, and a [`Severity`];
+//! * a [`Journal`] of per-shard ring buffers with an overflow drop
+//!   counter, so memory stays bounded no matter how long a server runs or
+//!   how hard an adversary hammers it;
+//! * a [`CounterSet`] of atomic counters with a Prometheus-style text
+//!   [`CounterSet::snapshot`], so aggregates (denials, charges, admissions)
+//!   are readable without walking the journal at all.
+//!
+//! Appending is cheap by design: one `fetch_add` for the sequence number,
+//! one relaxed counter bump, and one short critical section on a single
+//! shard's ring — writers on different shards never contend. Readers
+//! ([`Journal::snapshot`], the filtered views in `HostMonitor` and the
+//! runtime server) pay the collation cost instead, which is the right
+//! trade for a hot-path-write / cold-path-read log.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ajanta_naming::Urn;
+use parking_lot::Mutex;
+
+use crate::domain::DomainId;
+use crate::monitor::SystemOp;
+
+/// How loudly an event should be treated by dashboards and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Routine bookkeeping (grants, charges, log lines, lifecycle).
+    Info,
+    /// Expected-but-notable (expiry, revocation taking effect).
+    Warn,
+    /// A refused or rejected action — the security-relevant record.
+    Security,
+}
+
+/// Typed category for a rejected input — the former `&'static str` kinds
+/// of the server's `SecurityEvent`, promoted to an enum so experiments and
+/// tests match on variants instead of strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RejectKind {
+    /// A datagram failed authentication, decoding, or integrity checks.
+    BadDatagram,
+    /// A datagram was stale or its nonce was already consumed.
+    Replay,
+    /// An agent's credentials failed verification (tampered, expired,
+    /// uncertified).
+    BadCredentials,
+    /// The executing identity is outside the credentialed name subtree.
+    BadIdentity,
+    /// The agent image failed validation or byte-code verification.
+    BadImage,
+    /// Agent code tried to shadow a pre-loaded system module.
+    ImpostorModule,
+    /// An agent with this name is already resident.
+    DuplicateAgent,
+    /// Mail arrived for an agent that is not resident here.
+    MailDenied,
+    /// A report or reply could not be delivered to its home site.
+    ReportUndeliverable,
+}
+
+impl RejectKind {
+    /// Stable short label (the pre-refactor string kind), for rendering.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RejectKind::BadDatagram => "bad-datagram",
+            RejectKind::Replay => "replay",
+            RejectKind::BadCredentials => "bad-credentials",
+            RejectKind::BadIdentity => "bad-identity",
+            RejectKind::BadImage => "bad-image",
+            RejectKind::ImpostorModule => "impostor-module",
+            RejectKind::DuplicateAgent => "duplicate-agent",
+            RejectKind::MailDenied => "mail-denied",
+            RejectKind::ReportUndeliverable => "report-undeliverable",
+        }
+    }
+}
+
+impl std::fmt::Display for RejectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One telemetry event. Every accountable action in the system is a
+/// variant here; free-text detail survives only as a field, never as the
+/// discriminant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A reference-monitor decision (Section 3.2's audit log).
+    Audit {
+        /// Who asked.
+        caller: DomainId,
+        /// What was asked.
+        op: SystemOp,
+        /// Whether it was allowed.
+        allowed: bool,
+    },
+    /// A proxy was issued to an agent (Fig. 6 step 5).
+    ProxyGrant {
+        /// The resource bound.
+        resource: Urn,
+        /// The protection domain receiving the capability.
+        holder: DomainId,
+    },
+    /// A bind request was refused (policy, quota, or missing resource).
+    ProxyDeny {
+        /// The resource requested.
+        resource: Urn,
+        /// The protection domain that asked.
+        holder: DomainId,
+        /// Why (display of the bind error).
+        detail: String,
+    },
+    /// A resource manager invalidated a proxy (Section 5.5 revocation).
+    ProxyRevoke {
+        /// The revoked proxy's resource.
+        resource: Urn,
+        /// The domain that held it.
+        holder: DomainId,
+    },
+    /// An invocation was refused because the proxy had expired.
+    ProxyExpiry {
+        /// The expired proxy's resource.
+        resource: Urn,
+        /// The domain that held it.
+        holder: DomainId,
+        /// The expiry instant that was exceeded.
+        not_after: u64,
+    },
+    /// A metered invocation was charged (Section 5.5 accounting).
+    MeterCharge {
+        /// The resource invoked.
+        resource: Urn,
+        /// The paying domain.
+        holder: DomainId,
+        /// Method name (resolved from the interned id at emission).
+        method: String,
+        /// Tariff units charged for this call.
+        amount: u64,
+    },
+    /// An agent passed admission and got a protection domain.
+    AgentAdmitted {
+        /// The admitted agent.
+        agent: Urn,
+        /// Its new protection domain.
+        domain: DomainId,
+    },
+    /// An agent (or launch request) was sent toward another server.
+    AgentDispatched {
+        /// The traveling agent.
+        agent: Urn,
+        /// Where it was sent.
+        dest: Urn,
+    },
+    /// A status report was recorded at this (home) server.
+    AgentReported {
+        /// The reporting agent.
+        agent: Urn,
+        /// Outcome label: `completed`, `failed`, `refused`, `quota`.
+        status: &'static str,
+    },
+    /// A line the agent wrote through `env.log`.
+    AgentLog {
+        /// The writing agent.
+        agent: Urn,
+        /// The line.
+        text: String,
+    },
+    /// A security-relevant rejection (bad datagram, credentials, image…).
+    Rejected {
+        /// Typed category.
+        kind: RejectKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Event {
+    /// The severity this event is journaled at.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Event::Rejected { .. } | Event::ProxyDeny { .. } => Severity::Security,
+            Event::Audit { allowed, .. } => {
+                if *allowed {
+                    Severity::Info
+                } else {
+                    Severity::Security
+                }
+            }
+            Event::ProxyRevoke { .. } | Event::ProxyExpiry { .. } => Severity::Warn,
+            _ => Severity::Info,
+        }
+    }
+}
+
+/// One journaled record: a globally ordered, timestamped [`Event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Global sequence number (dense, monotone across all shards).
+    pub seq: u64,
+    /// Virtual time of the event.
+    pub at: u64,
+    /// Cached severity (computed once at append).
+    pub severity: Severity,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// The aggregate counters the journal maintains alongside the rings.
+/// `*_total` naming follows Prometheus conventions; see
+/// [`CounterSet::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variant names are the documentation
+pub enum Counter {
+    EventsAppended,
+    EventsDropped,
+    AuditAllowed,
+    AuditDenied,
+    ProxyGrants,
+    ProxyDenials,
+    ProxyRevocations,
+    ProxyExpiries,
+    MeterCharges,
+    ChargeUnits,
+    AgentsAdmitted,
+    AgentsDispatched,
+    AgentsReported,
+    LogLines,
+    Rejections,
+}
+
+impl Counter {
+    /// All counters, in snapshot order.
+    pub const ALL: [Counter; 15] = [
+        Counter::EventsAppended,
+        Counter::EventsDropped,
+        Counter::AuditAllowed,
+        Counter::AuditDenied,
+        Counter::ProxyGrants,
+        Counter::ProxyDenials,
+        Counter::ProxyRevocations,
+        Counter::ProxyExpiries,
+        Counter::MeterCharges,
+        Counter::ChargeUnits,
+        Counter::AgentsAdmitted,
+        Counter::AgentsDispatched,
+        Counter::AgentsReported,
+        Counter::LogLines,
+        Counter::Rejections,
+    ];
+
+    /// The exported metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::EventsAppended => "ajanta_journal_events_total",
+            Counter::EventsDropped => "ajanta_journal_dropped_total",
+            Counter::AuditAllowed => "ajanta_audit_allowed_total",
+            Counter::AuditDenied => "ajanta_audit_denied_total",
+            Counter::ProxyGrants => "ajanta_proxy_grants_total",
+            Counter::ProxyDenials => "ajanta_proxy_denials_total",
+            Counter::ProxyRevocations => "ajanta_proxy_revocations_total",
+            Counter::ProxyExpiries => "ajanta_proxy_expiries_total",
+            Counter::MeterCharges => "ajanta_meter_charges_total",
+            Counter::ChargeUnits => "ajanta_meter_charge_units_total",
+            Counter::AgentsAdmitted => "ajanta_agents_admitted_total",
+            Counter::AgentsDispatched => "ajanta_agents_dispatched_total",
+            Counter::AgentsReported => "ajanta_agents_reported_total",
+            Counter::LogLines => "ajanta_agent_log_lines_total",
+            Counter::Rejections => "ajanta_rejections_total",
+        }
+    }
+}
+
+/// A fixed set of atomic counters, cheap to bump from any thread.
+#[derive(Debug, Default)]
+pub struct CounterSet {
+    counters: [AtomicU64; Counter::ALL.len()],
+}
+
+impl CounterSet {
+    /// A zeroed set.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// Adds `n` to one counter.
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        self.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Prometheus-style text exposition: one `name value` line per
+    /// counter, in [`Counter::ALL`] order.
+    pub fn snapshot(&self) -> String {
+        let mut out = String::new();
+        for c in Counter::ALL {
+            out.push_str(c.name());
+            out.push(' ');
+            out.push_str(&self.get(c).to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One shard: a bounded ring plus its own drop counter.
+#[derive(Debug)]
+struct Shard {
+    ring: Mutex<VecDeque<Record>>,
+    dropped: AtomicU64,
+}
+
+/// How many independently locked rings the journal spreads appends over.
+/// The global sequence number doubles as the shard selector, so successive
+/// appends — even from one thread — land on successive shards and writers
+/// only contend at 1/SHARDS probability.
+const SHARDS: usize = 8;
+
+/// Default total capacity (records retained across all shards).
+pub const DEFAULT_CAPACITY: usize = 8192;
+
+/// The bounded, sharded, append-only event journal.
+///
+/// Construction is cheap; servers hold it in an `Arc` shared between the
+/// monitor, the registry path, proxies, and the delivery loop. When the
+/// journal is full the **oldest** record in the selected shard is dropped
+/// and counted — recent history is always retained, and
+/// [`Journal::dropped`] says exactly how much was lost.
+pub struct Journal {
+    seq: AtomicU64,
+    shards: Box<[Shard]>,
+    per_shard: usize,
+    counters: CounterSet,
+    /// Virtual-time source; the default returns 0 (standalone use, e.g.
+    /// a monitor outside any server, where no clock exists).
+    clock: Option<Arc<dyn Fn() -> u64 + Send + Sync>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("seq", &self.seq)
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new()
+    }
+}
+
+impl Journal {
+    /// A journal with the default capacity.
+    pub fn new() -> Self {
+        Journal::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A journal retaining at most `capacity` records (rounded up to a
+    /// multiple of the shard count; minimum one record per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        Journal {
+            seq: AtomicU64::new(0),
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    ring: Mutex::new(VecDeque::new()),
+                    dropped: AtomicU64::new(0),
+                })
+                .collect(),
+            per_shard,
+            counters: CounterSet::new(),
+            clock: None,
+        }
+    }
+
+    /// Attaches a virtual-time source; subsequent [`Journal::append`]s are
+    /// stamped with it. (Builder-style: call before sharing the journal.)
+    pub fn with_clock(mut self, clock: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
+        self.clock = Some(Arc::new(clock));
+        self
+    }
+
+    /// Current virtual time according to the attached clock (0 if none).
+    pub fn now(&self) -> u64 {
+        self.clock.as_ref().map_or(0, |c| c())
+    }
+
+    /// Maximum records retained.
+    pub fn capacity(&self) -> usize {
+        self.per_shard * self.shards.len()
+    }
+
+    /// Appends one event stamped with the journal clock's current time.
+    /// Returns the record's global sequence number.
+    pub fn append(&self, event: Event) -> u64 {
+        self.append_at(self.now(), event)
+    }
+
+    /// Appends one event with an explicit timestamp.
+    pub fn append_at(&self, at: u64, event: Event) -> u64 {
+        self.bump(&event);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let record = Record {
+            seq,
+            at,
+            severity: event.severity(),
+            event,
+        };
+        let shard = &self.shards[(seq % self.shards.len() as u64) as usize];
+        let mut ring = shard.ring.lock();
+        if ring.len() >= self.per_shard {
+            ring.pop_front();
+            shard.dropped.fetch_add(1, Ordering::Relaxed);
+            self.counters.add(Counter::EventsDropped, 1);
+        }
+        ring.push_back(record);
+        seq
+    }
+
+    /// Updates the aggregate counters for one event.
+    fn bump(&self, event: &Event) {
+        self.counters.add(Counter::EventsAppended, 1);
+        let c = match event {
+            Event::Audit { allowed: true, .. } => Counter::AuditAllowed,
+            Event::Audit { allowed: false, .. } => Counter::AuditDenied,
+            Event::ProxyGrant { .. } => Counter::ProxyGrants,
+            Event::ProxyDeny { .. } => Counter::ProxyDenials,
+            Event::ProxyRevoke { .. } => Counter::ProxyRevocations,
+            Event::ProxyExpiry { .. } => Counter::ProxyExpiries,
+            Event::MeterCharge { amount, .. } => {
+                self.counters.add(Counter::ChargeUnits, *amount);
+                Counter::MeterCharges
+            }
+            Event::AgentAdmitted { .. } => Counter::AgentsAdmitted,
+            Event::AgentDispatched { .. } => Counter::AgentsDispatched,
+            Event::AgentReported { .. } => Counter::AgentsReported,
+            Event::AgentLog { .. } => Counter::LogLines,
+            Event::Rejected { .. } => Counter::Rejections,
+        };
+        self.counters.add(c, 1);
+    }
+
+    /// Records currently retained (≤ [`Journal::capacity`]).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.ring.lock().len()).sum()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.ring.lock().is_empty())
+    }
+
+    /// Total records evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Every retained record, globally ordered by sequence number.
+    pub fn snapshot(&self) -> Vec<Record> {
+        let mut all: Vec<Record> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.ring.lock().iter().cloned().collect::<Vec<_>>())
+            .collect();
+        all.sort_unstable_by_key(|r| r.seq);
+        all
+    }
+
+    /// The `n` most recent retained records, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<Record> {
+        let mut all = self.snapshot();
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
+
+    /// The aggregate counters.
+    pub fn counters(&self) -> &CounterSet {
+        &self.counters
+    }
+
+    /// Shorthand for `counters().get(c)`.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.get(c)
+    }
+}
+
+/// A lazily attachable handle to a journal plus the context a proxy needs
+/// to emit events about itself ([`crate::proxy::ProxyControl`] holds one).
+///
+/// The fast path pays one relaxed `AtomicBool` load while detached; the
+/// lock is touched only after attachment, which happens at most once, at
+/// bind time, before the proxy is handed to the agent.
+#[derive(Debug, Default)]
+pub struct JournalHook {
+    attached: AtomicBool,
+    slot: Mutex<Option<(Arc<Journal>, Urn)>>,
+}
+
+impl JournalHook {
+    /// A detached hook.
+    pub fn new() -> Self {
+        JournalHook::default()
+    }
+
+    /// Attaches `journal`, tagging future events with `resource`.
+    pub fn attach(&self, journal: Arc<Journal>, resource: Urn) {
+        *self.slot.lock() = Some((journal, resource));
+        self.attached.store(true, Ordering::Release);
+    }
+
+    /// Runs `f` with the journal and resource name, if attached.
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(&Arc<Journal>, &Urn) -> R) -> Option<R> {
+        if !self.attached.load(Ordering::Acquire) {
+            return None;
+        }
+        let slot = self.slot.lock();
+        slot.as_ref().map(|(j, r)| f(j, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn urn(leaf: &str) -> Urn {
+        Urn::resource("x.org", [leaf]).unwrap()
+    }
+
+    fn reject(detail: &str) -> Event {
+        Event::Rejected {
+            kind: RejectKind::BadDatagram,
+            detail: detail.into(),
+        }
+    }
+
+    #[test]
+    fn sequence_numbers_are_dense_and_records_ordered() {
+        let j = Journal::with_capacity(64);
+        for i in 0..10 {
+            let seq = j.append_at(i, reject("x"));
+            assert_eq!(seq, i);
+        }
+        let snap = j.snapshot();
+        assert_eq!(snap.len(), 10);
+        for (i, r) in snap.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+            assert_eq!(r.at, i as u64);
+        }
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_memory_and_counts_drops() {
+        let j = Journal::with_capacity(16);
+        assert_eq!(j.capacity(), 16);
+        for i in 0..100u64 {
+            j.append_at(i, reject("x"));
+        }
+        assert_eq!(j.len(), 16);
+        assert_eq!(j.dropped(), 84);
+        assert_eq!(j.counter(Counter::EventsDropped), 84);
+        // Single-threaded, round-robin sharding: exactly the newest 16
+        // records survive.
+        let seqs: Vec<u64> = j.snapshot().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (84..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn counters_track_event_variants() {
+        let j = Journal::new();
+        j.append(Event::Audit {
+            caller: DomainId(1),
+            op: SystemOp::MutateRegistry,
+            allowed: true,
+        });
+        j.append(Event::Audit {
+            caller: DomainId(1),
+            op: SystemOp::MutateDomainDatabase,
+            allowed: false,
+        });
+        j.append(Event::MeterCharge {
+            resource: urn("r"),
+            holder: DomainId(1),
+            method: "get".into(),
+            amount: 7,
+        });
+        j.append(Event::ProxyGrant {
+            resource: urn("r"),
+            holder: DomainId(1),
+        });
+        assert_eq!(j.counter(Counter::AuditAllowed), 1);
+        assert_eq!(j.counter(Counter::AuditDenied), 1);
+        assert_eq!(j.counter(Counter::MeterCharges), 1);
+        assert_eq!(j.counter(Counter::ChargeUnits), 7);
+        assert_eq!(j.counter(Counter::ProxyGrants), 1);
+        assert_eq!(j.counter(Counter::EventsAppended), 4);
+    }
+
+    #[test]
+    fn severity_classification() {
+        assert_eq!(reject("x").severity(), Severity::Security);
+        assert_eq!(
+            Event::Audit {
+                caller: DomainId(1),
+                op: SystemOp::MutateRegistry,
+                allowed: false
+            }
+            .severity(),
+            Severity::Security
+        );
+        assert_eq!(
+            Event::AgentLog {
+                agent: Urn::agent("x.org", ["a"]).unwrap(),
+                text: "hi".into()
+            }
+            .severity(),
+            Severity::Info
+        );
+        assert_eq!(
+            Event::ProxyExpiry {
+                resource: urn("r"),
+                holder: DomainId(1),
+                not_after: 5
+            }
+            .severity(),
+            Severity::Warn
+        );
+    }
+
+    #[test]
+    fn prometheus_snapshot_has_one_line_per_counter() {
+        let j = Journal::new();
+        j.append(reject("x"));
+        let text = j.counters().snapshot();
+        assert_eq!(text.lines().count(), Counter::ALL.len());
+        assert!(text.contains("ajanta_rejections_total 1\n"));
+        assert!(text.contains("ajanta_journal_events_total 1\n"));
+        // Every exported name is unique.
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn clock_stamps_appends() {
+        let t = Arc::new(AtomicU64::new(42));
+        let t2 = Arc::clone(&t);
+        let j = Journal::new().with_clock(move || t2.load(Ordering::Relaxed));
+        j.append(reject("a"));
+        t.store(99, Ordering::Relaxed);
+        j.append(reject("b"));
+        let snap = j.snapshot();
+        assert_eq!(snap[0].at, 42);
+        assert_eq!(snap[1].at, 99);
+    }
+
+    #[test]
+    fn recent_returns_tail() {
+        let j = Journal::new();
+        for i in 0..10 {
+            j.append_at(i, reject("x"));
+        }
+        let tail = j.recent(3);
+        assert_eq!(tail.iter().map(|r| r.seq).collect::<Vec<_>>(), [7, 8, 9]);
+    }
+
+    #[test]
+    fn hook_detached_is_a_noop() {
+        let hook = JournalHook::new();
+        assert_eq!(hook.with(|_, _| 1), None);
+        let j = Arc::new(Journal::new());
+        hook.attach(Arc::clone(&j), urn("r"));
+        assert_eq!(hook.with(|_, r| r.leaf().to_string()), Some("r".into()));
+    }
+}

@@ -135,6 +135,7 @@ fn enabled_set_churn_is_panic_and_deadlock_free() {
         Meter::off(),
     );
     let stop = Arc::new(AtomicBool::new(false));
+    let started = Arc::new(std::sync::atomic::AtomicU64::new(0));
 
     thread::scope(|s| {
         // Checkers spin over ids on both sides of the 64-bit mask.
@@ -142,8 +143,14 @@ fn enabled_set_churn_is_panic_and_deadlock_free() {
         for lane in [3u16, 63, 64, 99] {
             let control = Arc::clone(&control);
             let stop = Arc::clone(&stop);
+            let started = Arc::clone(&started);
             checkers.push(s.spawn(move || {
-                let mut calls = 0u64;
+                // One guaranteed check before signalling readiness, so
+                // every lane contributes at least one call no matter how
+                // the scheduler treats it afterwards.
+                let _ = control.check_id(AGENT, MethodId(lane), 0);
+                let mut calls = 1u64;
+                started.fetch_add(1, Ordering::SeqCst);
                 while !stop.load(Ordering::Relaxed) {
                     // Either outcome is fine mid-churn; it just must not
                     // wedge or panic.
@@ -152,6 +159,12 @@ fn enabled_set_churn_is_panic_and_deadlock_free() {
                 }
                 calls
             }));
+        }
+        // On a loaded machine the checker threads may take a while to be
+        // scheduled; start churning only once they are all spinning, so
+        // the no-livelock assertion below cannot be starved trivially.
+        while started.load(Ordering::SeqCst) < 4 {
+            std::thread::yield_now();
         }
         // Churner toggles ids straddling the seam.
         for round in 0..2_000u16 {

@@ -63,6 +63,19 @@ pub enum DatagramError {
     Replayed(u64),
 }
 
+impl DatagramError {
+    /// Whether this rejection is in the **replay class** (a stale
+    /// timestamp or a reused nonce) as opposed to tampering/decode
+    /// failures. Telemetry uses this to file the event under
+    /// `RejectKind::Replay` rather than `RejectKind::BadDatagram`.
+    pub fn is_replay(&self) -> bool {
+        matches!(
+            self,
+            DatagramError::Stale { .. } | DatagramError::Replayed(_)
+        )
+    }
+}
+
 impl std::fmt::Display for DatagramError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

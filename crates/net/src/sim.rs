@@ -209,6 +209,10 @@ impl SimNet {
                     .ok_or_else(|| NetError::UnknownEndpoint(to.clone()))?
             };
             let size = bytes.len() as u64;
+            // Hold the stats lock across the enqueue: once the receiver
+            // can observe the delivery, anyone reading `stats()` must
+            // already see it counted.
+            let mut stats = self.inner.stats.lock();
             sender
                 .send(Delivery {
                     from: claimed_from,
@@ -216,7 +220,6 @@ impl SimNet {
                     payload: bytes,
                 })
                 .map_err(|_| NetError::Disconnected)?;
-            let mut stats = self.inner.stats.lock();
             stats.messages_delivered += 1;
             stats.bytes_delivered += size;
         }

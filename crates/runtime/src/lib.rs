@@ -40,3 +40,7 @@ pub use owner::Owner;
 pub use server::{AgentServer, SecurityEvent, ServerConfig, ServerHandle};
 pub use vmres::VmResource;
 pub use world::World;
+
+// Telemetry types surface through the runtime so experiments and
+// examples can match on journal events without a direct core import.
+pub use ajanta_core::telemetry::{Counter, Event, Journal, Record, RejectKind, Severity};

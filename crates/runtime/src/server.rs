@@ -20,9 +20,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Mutex, RwLock};
 
 use ajanta_core::{
-    AccessProtocol, BindError, Credentials, DomainDatabase, DomainId, Guarded, HostMonitor,
-    ProxyPolicy, Requester, ResourceProxy, ResourceRegistry, Rights, SecurityPolicy, SystemOp,
-    UsageLimits,
+    AccessProtocol, BindError, Credentials, DomainDatabase, DomainId, Event, Guarded, HostMonitor,
+    Journal, ProxyPolicy, RejectKind, Requester, ResourceProxy, ResourceRegistry, Rights,
+    SecurityPolicy, SystemOp, UsageLimits,
 };
 use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
 use ajanta_naming::Urn;
@@ -38,14 +38,17 @@ use crate::env::AgentEnv;
 use crate::messages::{AgentStatus, Message, Report, ReportStatus};
 use crate::vmres::VmResource;
 
-/// A recorded security-relevant rejection (experiment X11's raw data).
+/// A recorded security-relevant rejection (experiment X11's raw data) —
+/// a projection of the journal's [`Event::Rejected`] records, kept as a
+/// convenience view; the journal itself is reachable via
+/// [`ServerHandle::journal`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SecurityEvent {
     /// Virtual time of the event.
     pub at: u64,
-    /// Short category: `bad-datagram`, `bad-credentials`, `bad-image`,
-    /// `impostor-module`, `duplicate-agent`, `mail-denied`.
-    pub kind: &'static str,
+    /// Typed category (formerly a `&'static str`; `kind.as_str()` yields
+    /// the old kebab-case label).
+    pub kind: RejectKind,
     /// Human-readable detail.
     pub detail: String,
 }
@@ -104,6 +107,10 @@ pub struct ServerConfig {
     pub replay_window_ns: u64,
     /// Seed for this server's nonce/ephemeral randomness.
     pub seed: u64,
+    /// Total records the telemetry journal retains (audit decisions,
+    /// rejections, agent log lines, lifecycle and charge events share
+    /// this bound; aggregate counters stay exact past it).
+    pub journal_capacity: usize,
 }
 
 /// Queued (sender, payload) mail for one agent.
@@ -140,8 +147,10 @@ pub struct Shared {
     agent_limits: UsageLimits,
     vm_limits: Limits,
     mailboxes: [Mutex<HashMap<Urn, Mailbox>>; MAILBOX_SHARDS],
-    logs: Mutex<Vec<(Urn, String)>>,
-    events: Mutex<Vec<SecurityEvent>>,
+    /// The one telemetry sink: audit decisions (via the monitor),
+    /// rejections, agent log lines, lifecycle and proxy/meter events.
+    /// Bounded; replaces the old unbounded `logs`/`events` vectors.
+    journal: Arc<Journal>,
     reports: Mutex<Vec<Report>>,
     rng: Mutex<DetRng>,
     guard: Mutex<ReplayGuard>,
@@ -165,17 +174,23 @@ impl Shared {
         self.net.clock().now()
     }
 
-    /// Appends to the per-agent log.
-    pub fn log(&self, agent: &Urn, text: String) {
-        self.logs.lock().push((agent.clone(), text));
+    /// The server's telemetry journal.
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
     }
 
-    fn record_event(&self, kind: &'static str, detail: String) {
-        self.events.lock().push(SecurityEvent {
-            at: self.clock_now(),
-            kind,
-            detail,
+    /// Appends to the per-agent log (journaled, hence bounded: a
+    /// long-running agent can no longer grow server memory without limit).
+    pub fn log(&self, agent: &Urn, text: String) {
+        self.journal.append(Event::AgentLog {
+            agent: agent.clone(),
+            text,
         });
+    }
+
+    /// Journals one security-relevant rejection.
+    fn reject(&self, kind: RejectKind, detail: String) {
+        self.journal.append(Event::Rejected { kind, detail });
     }
 
     /// Fig. 6 steps 2–5 on behalf of an agent, with domain-database
@@ -189,17 +204,42 @@ impl Shared {
         // Binding quota first.
         self.domains
             .add_binding(DomainId::SERVER, requester.domain, name.clone())
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| {
+                self.journal.append(Event::ProxyDeny {
+                    resource: name.clone(),
+                    holder: requester.domain,
+                    detail: e.to_string(),
+                });
+                e.to_string()
+            })?;
         match self.registry.bind(requester, name, now) {
-            Ok(proxy) => Ok(proxy),
+            Ok(proxy) => {
+                // Proxy telemetry rides the server journal from here on:
+                // meter charges, revocations, and expiries of this grant
+                // all land in the same stream as the grant itself.
+                proxy
+                    .control()
+                    .attach_journal(Arc::clone(&self.journal), name.clone());
+                self.journal.append(Event::ProxyGrant {
+                    resource: name.clone(),
+                    holder: requester.domain,
+                });
+                Ok(proxy)
+            }
             Err(e) => {
                 let _ = self
                     .domains
                     .remove_binding(DomainId::SERVER, requester.domain, name);
-                Err(match e {
+                let detail = match e {
                     BindError::NotFound(n) => format!("no resource {n}"),
                     other => other.to_string(),
-                })
+                };
+                self.journal.append(Event::ProxyDeny {
+                    resource: name.clone(),
+                    holder: requester.domain,
+                    detail: detail.clone(),
+                });
+                Err(detail)
             }
         }
     }
@@ -280,6 +320,10 @@ impl Shared {
             .validate()
             .map_err(|e| format!("child image invalid: {e}"))?;
         self.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
+        self.journal.append(Event::AgentDispatched {
+            agent: child.clone(),
+            dest: dest.clone(),
+        });
         let msg = Message::Transfer {
             run_as: child.clone(),
             credentials: credentials.clone(),
@@ -308,6 +352,22 @@ impl Shared {
             .map_err(|e| e.to_string())
     }
 
+    /// Records a report arriving at this (home) server, journaling the
+    /// agent's outcome.
+    fn record_report(&self, report: Report) {
+        self.stats.reports_in.fetch_add(1, Ordering::Relaxed);
+        self.journal.append(Event::AgentReported {
+            agent: report.agent.clone(),
+            status: match report.status {
+                ReportStatus::Completed(_) => "completed",
+                ReportStatus::Failed(_) => "failed",
+                ReportStatus::QuotaExceeded(_) => "quota",
+                ReportStatus::Refused(_) => "refused",
+            },
+        });
+        self.reports.lock().push(report);
+    }
+
     fn report_home(&self, run_as: &Urn, credentials: &Credentials, status: ReportStatus) {
         let report = Report {
             agent: run_as.clone(),
@@ -316,12 +376,11 @@ impl Shared {
             at: self.clock_now(),
         };
         if credentials.home == self.name {
-            self.stats.reports_in.fetch_add(1, Ordering::Relaxed);
-            self.reports.lock().push(report);
+            self.record_report(report);
             return;
         }
         if let Err(e) = self.send_message(&credentials.home.clone(), &Message::Report(report)) {
-            self.record_event("report-undeliverable", e);
+            self.reject(RejectKind::ReportUndeliverable, e);
         }
     }
 }
@@ -420,14 +479,44 @@ impl ServerHandle {
         reply_rx.recv_timeout(timeout).ok()
     }
 
-    /// Per-agent log lines.
+    /// Per-agent log lines — a filtered view of the journal's
+    /// [`Event::AgentLog`] records. Bounded by the journal capacity; the
+    /// exact lifetime count (including evicted lines) is the journal's
+    /// `LogLines` counter.
     pub fn logs(&self) -> Vec<(Urn, String)> {
-        self.shared.logs.lock().clone()
+        self.shared
+            .journal
+            .snapshot()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                Event::AgentLog { agent, text } => Some((agent, text)),
+                _ => None,
+            })
+            .collect()
     }
 
-    /// Security events recorded by this server.
+    /// Security events recorded by this server — a filtered view of the
+    /// journal's [`Event::Rejected`] records.
     pub fn security_events(&self) -> Vec<SecurityEvent> {
-        self.shared.events.lock().clone()
+        self.shared
+            .journal
+            .snapshot()
+            .into_iter()
+            .filter_map(|r| match r.event {
+                Event::Rejected { kind, detail } => Some(SecurityEvent {
+                    at: r.at,
+                    kind,
+                    detail,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The server's telemetry journal: typed events, aggregate counters,
+    /// and the Prometheus-style snapshot.
+    pub fn journal(&self) -> Arc<Journal> {
+        Arc::clone(&self.shared.journal)
     }
 
     /// Counter snapshot.
@@ -450,9 +539,11 @@ impl ServerHandle {
         self.shared.registry.list()
     }
 
-    /// The monitor's audit log length (X12 instrumentation).
+    /// The monitor's audit-log length (X12 instrumentation) — an O(1)
+    /// counter read; the old implementation cloned the whole log to count
+    /// it.
     pub fn audit_len(&self) -> usize {
-        self.shared.monitor.audit_log().len()
+        self.shared.monitor.audit_len()
     }
 
     /// Stops the server loop and joins all threads.
@@ -476,11 +567,14 @@ impl AgentServer {
         let endpoint = net
             .attach(config.name.clone())
             .expect("server name already attached");
-        let monitor = if config.agents_may_dispatch {
-            HostMonitor::new()
-        } else {
-            HostMonitor::no_agent_dispatch()
-        };
+        // One journal per server, stamped with the network's virtual
+        // clock; the monitor audits into it, so the audit trail shares
+        // the stream (and the bound) with everything else.
+        let clock = net.clock().clone();
+        let journal = Arc::new(
+            Journal::with_capacity(config.journal_capacity).with_clock(move || clock.now()),
+        );
+        let monitor = HostMonitor::with_journal(Arc::clone(&journal), config.agents_may_dispatch);
         let shared = Arc::new(Shared {
             name: config.name.clone(),
             identity: config.identity,
@@ -496,8 +590,7 @@ impl AgentServer {
             agent_limits: config.agent_limits,
             vm_limits: config.vm_limits,
             mailboxes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
-            logs: Mutex::new(Vec::new()),
-            events: Mutex::new(Vec::new()),
+            journal,
             reports: Mutex::new(Vec::new()),
             rng: Mutex::new(DetRng::new(config.seed)),
             guard: Mutex::new(ReplayGuard::new(config.replay_window_ns)),
@@ -529,6 +622,10 @@ fn server_loop(shared: Arc<Shared>, endpoint: Endpoint, ctrl: Receiver<Control>)
             recv(ctrl) -> cmd => match cmd {
                 Ok(Control::Launch { dest, credentials, image }) => {
                     shared.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
+                    shared.journal.append(Event::AgentDispatched {
+                        agent: credentials.agent.clone(),
+                        dest: dest.clone(),
+                    });
                     let msg = Message::Transfer {
                         run_as: credentials.agent.clone(),
                         credentials: credentials.clone(),
@@ -574,7 +671,7 @@ fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, workers: &mut Vec<s
     let datagram = match SealedDatagram::from_bytes(&delivery.payload) {
         Ok(d) => d,
         Err(e) => {
-            shared.record_event("bad-datagram", format!("undecodable: {e}"));
+            shared.reject(RejectKind::BadDatagram, format!("undecodable: {e}"));
             return;
         }
     };
@@ -585,14 +682,25 @@ fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, workers: &mut Vec<s
     let (sender, plaintext) = match opened {
         Ok(x) => x,
         Err(e) => {
-            shared.record_event("bad-datagram", e.to_string());
+            // Replay-class failures (stale timestamp, reused nonce) get
+            // their own typed category; everything else is tampering or
+            // decode trouble.
+            let kind = if e.is_replay() {
+                RejectKind::Replay
+            } else {
+                RejectKind::BadDatagram
+            };
+            shared.reject(kind, e.to_string());
             return;
         }
     };
     let message = match Message::from_bytes(&plaintext) {
         Ok(m) => m,
         Err(e) => {
-            shared.record_event("bad-datagram", format!("bad message from {sender}: {e}"));
+            shared.reject(
+                RejectKind::BadDatagram,
+                format!("bad message from {sender}: {e}"),
+            );
             return;
         }
     };
@@ -605,13 +713,12 @@ fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, workers: &mut Vec<s
             arg,
         } => handle_transfer(shared, credentials, image, hop, run_as, arg, workers),
         Message::Report(report) => {
-            shared.stats.reports_in.fetch_add(1, Ordering::Relaxed);
-            shared.reports.lock().push(report);
+            shared.record_report(report);
         }
         Message::AgentMail { from, to, data } => {
             if !shared.local_mail(from.clone(), to.clone(), data) {
-                shared.record_event(
-                    "mail-denied",
+                shared.reject(
+                    RejectKind::MailDenied,
                     format!("no resident agent {to} (mail from {from})"),
                 );
             }
@@ -632,7 +739,7 @@ fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, workers: &mut Vec<s
                 status,
             };
             if let Err(e) = shared.send_message(&sender, &reply) {
-                shared.record_event("report-undeliverable", e);
+                shared.reject(RejectKind::ReportUndeliverable, e);
             }
         }
         Message::StatusReply { query_id, status, .. } => {
@@ -659,7 +766,10 @@ fn handle_transfer(
     let delegated = match credentials.verify(&shared.roots, now) {
         Ok(rights) => rights,
         Err(e) => {
-            shared.record_event("bad-credentials", format!("{}: {e}", credentials.agent));
+            shared.reject(
+                RejectKind::BadCredentials,
+                format!("{}: {e}", credentials.agent),
+            );
             return; // nothing about the sender can be trusted; drop.
         }
     };
@@ -668,8 +778,8 @@ fn handle_transfer(
     // child within its name subtree (Section 2: an agent's creator may be
     // another agent). Anything else is an identity-forgery attempt.
     if run_as != credentials.agent && !run_as.is_within(&credentials.agent) {
-        shared.record_event(
-            "bad-identity",
+        shared.reject(
+            RejectKind::BadIdentity,
             format!("{} is not within {}", run_as, credentials.agent),
         );
         return;
@@ -679,12 +789,12 @@ fn handle_transfer(
     let mut namespace = match Namespace::with_system(&shared.system_modules) {
         Ok(ns) => ns,
         Err(e) => {
-            shared.record_event("bad-image", format!("system namespace: {e}"));
+            shared.reject(RejectKind::BadImage, format!("system namespace: {e}"));
             return;
         }
     };
     if image.validate().is_err() {
-        shared.record_event("bad-image", format!("{run_as}: inconsistent image"));
+        shared.reject(RejectKind::BadImage, format!("{run_as}: inconsistent image"));
         shared.report_home(&run_as, &credentials, ReportStatus::Refused("inconsistent image".into()));
         return;
     }
@@ -692,11 +802,11 @@ fn handle_transfer(
         Ok(v) => v,
         Err(e) => {
             let kind = if matches!(e, ajanta_vm::LoadError::ShadowsSystemModule(_)) {
-                "impostor-module"
+                RejectKind::ImpostorModule
             } else {
-                "bad-image"
+                RejectKind::BadImage
             };
-            shared.record_event(kind, format!("{run_as}: {e}"));
+            shared.reject(kind, format!("{run_as}: {e}"));
             shared.report_home(&run_as, &credentials, ReportStatus::Refused(e.to_string()));
             return;
         }
@@ -726,11 +836,15 @@ fn handle_transfer(
     ) {
         Ok(d) => d,
         Err(e) => {
-            shared.record_event("duplicate-agent", e.to_string());
+            shared.reject(RejectKind::DuplicateAgent, e.to_string());
             shared.report_home(&run_as, &credentials, ReportStatus::Refused(e.to_string()));
             return;
         }
     };
+    shared.journal.append(Event::AgentAdmitted {
+        agent: run_as.clone(),
+        domain,
+    });
 
     // Thread creation for the agent's domain — mediated by the monitor
     // (Section 5.3: thread-group manipulation is privileged).
@@ -840,6 +954,10 @@ fn run_agent(
                         );
                     } else {
                         shared.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
+                        shared.journal.append(Event::AgentDispatched {
+                            agent: run_as.clone(),
+                            dest: go.dest.clone(),
+                        });
                         let msg = Message::Transfer {
                             run_as: run_as.clone(),
                             credentials: credentials.clone(),

@@ -27,6 +27,7 @@ pub struct WorldBuilder {
     vm_limits: Limits,
     agents_may_dispatch: bool,
     system_modules: Vec<std::sync::Arc<ajanta_vm::VerifiedModule>>,
+    journal_capacity: usize,
 }
 
 impl WorldBuilder {
@@ -46,7 +47,15 @@ impl WorldBuilder {
             vm_limits: Limits::default(),
             agents_may_dispatch: true,
             system_modules: Vec::new(),
+            journal_capacity: ajanta_core::telemetry::DEFAULT_CAPACITY,
         }
+    }
+
+    /// Sets how many telemetry records each server's journal retains
+    /// (aggregate counters stay exact past the bound).
+    pub fn journal_capacity(mut self, capacity: usize) -> Self {
+        self.journal_capacity = capacity;
+        self
     }
 
     /// Sets the default link model.
@@ -139,6 +148,7 @@ impl WorldBuilder {
                 agents_may_dispatch: self.agents_may_dispatch,
                 replay_window_ns: u64::MAX / 4,
                 seed: rng.next_u64(),
+                journal_capacity: self.journal_capacity,
             };
             servers.push(AgentServer::spawn(&net, config));
         }

@@ -11,7 +11,7 @@ use ajanta_core::{
 use ajanta_naming::Urn;
 use ajanta_net::Tamperer;
 use ajanta_runtime::itinerary::Itinerary;
-use ajanta_runtime::{ReportStatus, World};
+use ajanta_runtime::{RejectKind, ReportStatus, World};
 use ajanta_vm::{assemble, AgentImage, Limits, Value};
 use ajanta_wire::Wire;
 
@@ -474,7 +474,7 @@ fn impostor_system_module_refused() {
     let reports = world.server(0).wait_reports(1, WAIT);
     assert!(matches!(reports[0].status, ReportStatus::Refused(_)));
     let events = world.server(1).security_events();
-    assert!(events.iter().any(|e| e.kind == "impostor-module"));
+    assert!(events.iter().any(|e| e.kind == RejectKind::ImpostorModule));
     assert_eq!(world.server(1).stats().agents_hosted, 0);
     world.shutdown();
 }
@@ -504,7 +504,7 @@ fn tampered_transfers_are_rejected() {
     }
     let events = world.server(1).security_events();
     assert!(
-        events.iter().any(|e| e.kind == "bad-datagram"),
+        events.iter().any(|e| e.kind == RejectKind::BadDatagram),
         "expected tamper detection, got {events:?}"
     );
     assert_eq!(world.server(1).stats().agents_hosted, 0);
@@ -532,7 +532,7 @@ fn expired_credentials_refused() {
         std::thread::sleep(Duration::from_millis(5));
     }
     let events = world.server(1).security_events();
-    assert!(events.iter().any(|e| e.kind == "bad-credentials"));
+    assert!(events.iter().any(|e| e.kind == RejectKind::BadCredentials));
     assert_eq!(world.server(1).stats().agents_hosted, 0);
     world.shutdown();
 }
@@ -904,7 +904,7 @@ fn forged_child_identity_outside_subtree_is_rejected() {
     }
     let events = world.server(1).security_events();
     assert!(
-        events.iter().any(|e| e.kind == "bad-identity"),
+        events.iter().any(|e| e.kind == RejectKind::BadIdentity),
         "expected bad-identity, got {events:?}"
     );
     // The forged agent never ran.

@@ -110,6 +110,21 @@ fn main() {
         "network: {:?}",
         world.net.stats()
     );
+
+    // Everything the server did on the agent's behalf left a typed trace
+    // in its telemetry journal: the Prometheus-style counter snapshot
+    // gives the aggregates, the tail of the journal the actual events.
+    let journal = world.server(1).journal();
+    println!("\nserver 1 telemetry counters:");
+    for line in journal.counters().snapshot().lines() {
+        if !line.ends_with(" 0") {
+            println!("  {line}");
+        }
+    }
+    println!("last journal events:");
+    for record in journal.recent(6) {
+        println!("  #{:<3} t={:<12} {:?}", record.seq, record.at, record.event);
+    }
     world.shutdown();
     println!("done.");
 }
