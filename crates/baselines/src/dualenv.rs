@@ -121,7 +121,10 @@ fn marshal_reply(result: &Result<Value, DualEnvError>) -> Vec<u8> {
 
 fn unmarshal_reply(bytes: &[u8]) -> Result<Value, DualEnvError> {
     let mut d = Decoder::new(bytes);
-    match d.get_u8().map_err(|e| DualEnvError::Marshal(e.to_string()))? {
+    match d
+        .get_u8()
+        .map_err(|e| DualEnvError::Marshal(e.to_string()))?
+    {
         0 => Value::decode(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string())),
         1 => {
             let msg = d
@@ -171,12 +174,12 @@ impl DualEnv {
                 while let Ok(crossing) = rx.recv() {
                     let result = (|| {
                         let mut d = Decoder::new(&crossing.request);
-                        let agent =
-                            Urn::decode(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string()))?;
-                        let owner =
-                            Urn::decode(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string()))?;
-                        let resource =
-                            Urn::decode(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                        let agent = Urn::decode(&mut d)
+                            .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                        let owner = Urn::decode(&mut d)
+                            .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                        let resource = Urn::decode(&mut d)
+                            .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
                         let entry = table.get(&resource);
                         let method: String = match d
                             .get_u8()
@@ -186,8 +189,9 @@ impl DualEnv {
                                 let raw = d
                                     .get_varint()
                                     .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
-                                let id = u16::try_from(raw)
-                                    .map_err(|_| DualEnvError::Marshal(format!("method id {raw}")))?;
+                                let id = u16::try_from(raw).map_err(|_| {
+                                    DualEnvError::Marshal(format!("method id {raw}"))
+                                })?;
                                 // Interned ids are only meaningful relative
                                 // to a published interface.
                                 entry
@@ -202,15 +206,18 @@ impl DualEnv {
                                 .map_err(|e| DualEnvError::Marshal(e.to_string()))?,
                             t => return Err(DualEnvError::Marshal(format!("bad method tag {t}"))),
                         };
-                        let args: Vec<Value> = decode_seq(&mut d)
-                            .map_err(|e| DualEnvError::Marshal(e.to_string()))?;
-                        if !policy.rights_for(&agent, &owner).permits(&resource, &method) {
+                        let args: Vec<Value> =
+                            decode_seq(&mut d).map_err(|e| DualEnvError::Marshal(e.to_string()))?;
+                        if !policy
+                            .rights_for(&agent, &owner)
+                            .permits(&resource, &method)
+                        {
                             return Err(DualEnvError::Denied(format!(
                                 "{agent} may not call {method} on {resource}"
                             )));
                         }
-                        let (target, _) = entry
-                            .ok_or_else(|| DualEnvError::UnknownResource(resource.clone()))?;
+                        let (target, _) =
+                            entry.ok_or_else(|| DualEnvError::UnknownResource(resource.clone()))?;
                         target
                             .invoke(&method, &args)
                             .map_err(|e| DualEnvError::Resource(e.to_string()))

@@ -275,9 +275,13 @@ impl RevClient {
             let Ok(dg) = SealedDatagram::from_bytes(&delivery.payload) else {
                 continue;
             };
-            let Ok((_, plaintext)) =
-                dg.open(&self.identity, &self.keys, &self.roots, now, &mut self.guard)
-            else {
+            let Ok((_, plaintext)) = dg.open(
+                &self.identity,
+                &self.keys,
+                &self.roots,
+                now,
+                &mut self.guard,
+            ) else {
                 continue;
             };
             let Ok(response) = RpcResponse::from_bytes(&plaintext) else {
@@ -501,7 +505,13 @@ mod tests {
         let mut client = RevClient::new(&net, cid, ckeys, roots, 6);
 
         let out = client
-            .evaluate(&sname, server_key, filter_program(), "filter", b"widget".to_vec())
+            .evaluate(
+                &sname,
+                server_key,
+                filter_program(),
+                "filter",
+                b"widget".to_vec(),
+            )
             .unwrap();
         assert_eq!(out, Value::Bytes(b"widget red\nwidget blue".to_vec()));
 
@@ -520,9 +530,25 @@ mod tests {
         let sname = Urn::server("x.org", ["rev"]).unwrap();
         let cname = Urn::server("y.org", ["client"]).unwrap();
         let skeys = KeyPair::generate(&mut rng);
-        let scert = Certificate::issue(sname.to_string(), skeys.public, "ca", &ca, u64::MAX, 1, &mut rng);
+        let scert = Certificate::issue(
+            sname.to_string(),
+            skeys.public,
+            "ca",
+            &ca,
+            u64::MAX,
+            1,
+            &mut rng,
+        );
         let ckeys = KeyPair::generate(&mut rng);
-        let ccert = Certificate::issue(cname.to_string(), ckeys.public, "ca", &ca, u64::MAX, 2, &mut rng);
+        let ccert = Certificate::issue(
+            cname.to_string(),
+            ckeys.public,
+            "ca",
+            &ca,
+            u64::MAX,
+            2,
+            &mut rng,
+        );
         let sid = ChannelIdentity {
             name: sname.clone(),
             keys: skeys.clone(),
@@ -565,7 +591,13 @@ mod tests {
 
         // Unverifiable code: rejected before execution.
         let mut b = ajanta_vm::ModuleBuilder::new("bad");
-        b.function("filter", [Ty::Bytes], [], Ty::Bytes, vec![ajanta_vm::Op::Add, ajanta_vm::Op::Ret]);
+        b.function(
+            "filter",
+            [Ty::Bytes],
+            [],
+            Ty::Bytes,
+            vec![ajanta_vm::Op::Add, ajanta_vm::Op::Ret],
+        );
         let err = client
             .evaluate(&sname, server_key, b.build(), "filter", vec![])
             .unwrap_err();

@@ -77,7 +77,12 @@ impl Wire for RpcResponse {
         let result = match d.get_u8()? {
             0 => Ok(Value::decode(d)?),
             1 => Err(d.get_str()?),
-            tag => return Err(WireError::BadTag { ty: "RpcResponse", tag }),
+            tag => {
+                return Err(WireError::BadTag {
+                    ty: "RpcResponse",
+                    tag,
+                })
+            }
         };
         Ok(RpcResponse { id, result })
     }
@@ -112,11 +117,10 @@ impl RpcServer {
                     if stop_rx.try_recv().is_ok() {
                         return;
                     }
-                    let delivery =
-                        match endpoint.recv_timeout(Duration::from_millis(10)) {
-                            Ok(d) => d,
-                            Err(_) => continue,
-                        };
+                    let delivery = match endpoint.recv_timeout(Duration::from_millis(10)) {
+                        Ok(d) => d,
+                        Err(_) => continue,
+                    };
                     let now = endpoint.net().clock().now();
                     let Ok(datagram) = SealedDatagram::from_bytes(&delivery.payload) else {
                         continue;
@@ -245,9 +249,13 @@ impl RpcClient {
             let Ok(dg) = SealedDatagram::from_bytes(&delivery.payload) else {
                 continue;
             };
-            let Ok((_, plaintext)) =
-                dg.open(&self.identity, &self.keys, &self.roots, now, &mut self.guard)
-            else {
+            let Ok((_, plaintext)) = dg.open(
+                &self.identity,
+                &self.keys,
+                &self.roots,
+                now,
+                &mut self.guard,
+            ) else {
                 continue;
             };
             let Ok(response) = RpcResponse::from_bytes(&plaintext) else {
@@ -281,7 +289,15 @@ mod tests {
         roots.trust("ca", ca.public);
         let mk = |name: &Urn, serial, rng: &mut DetRng| {
             let keys = KeyPair::generate(rng);
-            let cert = Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, serial, rng);
+            let cert = Certificate::issue(
+                name.to_string(),
+                keys.public,
+                "ca",
+                &ca,
+                u64::MAX,
+                serial,
+                rng,
+            );
             (
                 ChannelIdentity {
                     name: name.clone(),
@@ -330,11 +346,20 @@ mod tests {
 
     #[test]
     fn server_side_scan() {
-        let mut rig = rig(vec![b"red fox".to_vec(), b"red hen".to_vec(), b"blue jay".to_vec()]);
+        let mut rig = rig(vec![
+            b"red fox".to_vec(),
+            b"red hen".to_vec(),
+            b"blue jay".to_vec(),
+        ]);
         let server_name = rig.server.name().clone();
         let v = rig
             .client
-            .call(&server_name, rig.server_key, "scan", vec![Value::str("red")])
+            .call(
+                &server_name,
+                rig.server_key,
+                "scan",
+                vec![Value::str("red")],
+            )
             .unwrap();
         assert_eq!(v, Value::Bytes(b"red fox\nred hen".to_vec()));
         rig.server.stop();
@@ -367,7 +392,7 @@ mod tests {
             .unwrap();
         let stats = rig.net.stats();
         assert_eq!(stats.messages_delivered, 2); // request + response
-        // The response carried ~10 KB of records.
+                                                 // The response carried ~10 KB of records.
         assert!(stats.bytes_delivered > 10_000, "{stats:?}");
         rig.server.stop();
     }

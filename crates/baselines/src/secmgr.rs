@@ -276,7 +276,9 @@ mod tests {
             binding.invoke_id(&agent, &owner, count, &[]),
             Err(GateError::Denied { .. })
         ));
-        assert!(gate.bind(&Urn::resource("x.org", ["ghost"]).unwrap()).is_none());
+        assert!(gate
+            .bind(&Urn::resource("x.org", ["ghost"]).unwrap())
+            .is_none());
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl RecordStore {
 
     /// Count of matching records.
     pub fn scan_count(&self, selector: &[u8]) -> usize {
-        self.records.iter().filter(|r| contains(r, selector)).count()
+        self.records
+            .iter()
+            .filter(|r| contains(r, selector))
+            .count()
     }
 
     /// Total bytes across all records (the bulk-transfer size).
@@ -107,7 +110,9 @@ impl Resource for RecordStore {
                     .ok_or_else(|| ResourceError::Failed(format!("index {i} out of range")))?;
                 Ok(Value::Bytes(self.records[i].clone()))
             }
-            "scan" => Ok(Value::Bytes(self.scan(args[0].as_bytes().expect("checked")))),
+            "scan" => Ok(Value::Bytes(
+                self.scan(args[0].as_bytes().expect("checked")),
+            )),
             "scan_count" => Ok(Value::Int(
                 self.scan_count(args[0].as_bytes().expect("checked")) as i64,
             )),

@@ -115,10 +115,13 @@ impl WrappedResource {
         method: MethodId,
         args: &[Value],
     ) -> Result<Value, WrapperError> {
-        let name = self.table.name(method).ok_or_else(|| WrapperError::Denied {
-            caller: caller.clone(),
-            method: format!("#{}", method.0),
-        })?;
+        let name = self
+            .table
+            .name(method)
+            .ok_or_else(|| WrapperError::Denied {
+                caller: caller.clone(),
+                method: format!("#{}", method.0),
+            })?;
         let permitted = {
             let acl = self.acl.read();
             match acl.iter().find(|(p, _)| p == caller) {
@@ -132,7 +135,9 @@ impl WrappedResource {
                 method: name.to_string(),
             });
         }
-        self.inner.invoke(name, args).map_err(WrapperError::Resource)
+        self.inner
+            .invoke(name, args)
+            .map_err(WrapperError::Resource)
     }
 
     /// Name-keyed invocation: resolves through the interned table and
@@ -246,8 +251,14 @@ mod tests {
     #[test]
     fn grants_accumulate() {
         let w = wrapped();
-        w.grant(alice(), Rights::none().grant_method(w.name().clone(), "count"));
-        w.grant(alice(), Rights::none().grant_method(w.name().clone(), "scan"));
+        w.grant(
+            alice(),
+            Rights::none().grant_method(w.name().clone(), "count"),
+        );
+        w.grant(
+            alice(),
+            Rights::none().grant_method(w.name().clone(), "scan"),
+        );
         assert_eq!(w.acl_len(), 1);
         w.invoke(&alice(), "count", &[]).unwrap();
         w.invoke(&alice(), "scan", &[Value::str("a")]).unwrap();

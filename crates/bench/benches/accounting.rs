@@ -8,7 +8,10 @@ use ajanta_workloads::records::RecordSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let spec = RecordSpec { count: 16, ..Default::default() };
+    let spec = RecordSpec {
+        count: 16,
+        ..Default::default()
+    };
     let mut g = c.benchmark_group("x6_accounting");
     for (name, mode) in [
         ("meter_off", MeterMode::Off),
@@ -17,7 +20,11 @@ fn bench(c: &mut Criterion) {
     ] {
         let resource = Guarded::new(
             fixtures::store(&spec),
-            ProxyPolicy { meter_mode: mode, default_tariff: 1, ..Default::default() },
+            ProxyPolicy {
+                meter_mode: mode,
+                default_tariff: 1,
+                ..Default::default()
+            },
         );
         let rq = fixtures::requester();
         let proxy = Arc::clone(&resource).get_proxy(&rq, 0).unwrap();

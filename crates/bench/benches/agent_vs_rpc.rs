@@ -12,7 +12,12 @@ fn bench(c: &mut Criterion) {
     g.bench_function("all_paradigms_2servers_60recs", |b| {
         b.iter(|| {
             run(&Scenario {
-                spec: RecordSpec { count: 60, record_len: 96, selectivity: 0.1, seed: 11 },
+                spec: RecordSpec {
+                    count: 60,
+                    record_len: 96,
+                    selectivity: 0.1,
+                    seed: 11,
+                },
                 n_servers: 2,
                 link: LinkModel::local(),
             })

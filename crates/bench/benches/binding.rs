@@ -8,7 +8,10 @@ use ajanta_workloads::records::RecordSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let spec = RecordSpec { count: 16, ..Default::default() };
+    let spec = RecordSpec {
+        count: 16,
+        ..Default::default()
+    };
     let monitor = HostMonitor::new();
     let server = ajanta_naming::Urn::server("stores.org", ["s"]).unwrap();
     let rq = fixtures::requester();
@@ -20,7 +23,9 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let registry = ResourceRegistry::new();
             let resource = Guarded::new(fixtures::store(&spec), ProxyPolicy::default());
-            registry.register(&monitor, DomainId::SERVER, &server, resource).unwrap();
+            registry
+                .register(&monitor, DomainId::SERVER, &server, resource)
+                .unwrap();
             registry
         })
     });
@@ -28,7 +33,12 @@ fn bench(c: &mut Criterion) {
     let registry = ResourceRegistry::new();
     let resource = Guarded::new(fixtures::store(&spec), ProxyPolicy::default());
     registry
-        .register(&monitor, DomainId::SERVER, &server, Arc::clone(&resource) as _)
+        .register(
+            &monitor,
+            DomainId::SERVER,
+            &server,
+            Arc::clone(&resource) as _,
+        )
         .unwrap();
 
     g.bench_function("steps2to5_bind", |b| {

@@ -8,7 +8,10 @@ use ajanta_workloads::records::RecordSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let spec = RecordSpec { count: 16, ..Default::default() };
+    let spec = RecordSpec {
+        count: 16,
+        ..Default::default()
+    };
     let m = fixtures::mechanisms(&spec);
     let rq = fixtures::requester();
     let proxy = Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap();

@@ -8,7 +8,10 @@ use ajanta_workloads::records::RecordSpec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let spec = RecordSpec { count: 16, ..Default::default() };
+    let spec = RecordSpec {
+        count: 16,
+        ..Default::default()
+    };
     let mut g = c.benchmark_group("x5_proxy_scaling");
     for n in [10usize, 100, 1000] {
         g.bench_with_input(BenchmarkId::new("create_n_proxies", n), &n, |b, &n| {
@@ -16,7 +19,10 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 (0..n)
                     .map(|i| {
-                        let rq = Requester { domain: DomainId(i as u64 + 1), ..fixtures::requester() };
+                        let rq = Requester {
+                            domain: DomainId(i as u64 + 1),
+                            ..fixtures::requester()
+                        };
                         Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap()
                     })
                     .collect::<Vec<_>>()

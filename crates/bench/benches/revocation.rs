@@ -8,7 +8,10 @@ use ajanta_workloads::records::RecordSpec;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let spec = RecordSpec { count: 16, ..Default::default() };
+    let spec = RecordSpec {
+        count: 16,
+        ..Default::default()
+    };
     let m = fixtures::mechanisms(&spec);
     let rq = fixtures::requester();
     let mut g = c.benchmark_group("x7_revocation");
@@ -22,7 +25,11 @@ fn bench(c: &mut Criterion) {
     g.bench_function("disable_method", |b| {
         b.iter_with_setup(
             || Arc::clone(&m.guarded).get_proxy(&rq, 0).unwrap(),
-            |p| p.control().disable_method(DomainId::SERVER, "count").unwrap(),
+            |p| {
+                p.control()
+                    .disable_method(DomainId::SERVER, "count")
+                    .unwrap()
+            },
         )
     });
     g.bench_function("set_expiry", |b| {

@@ -37,11 +37,17 @@ fn bench(c: &mut Criterion) {
         [Ty::Int],
         Ty::Int,
         vec![
-            Op::Load(0), Op::Store(1),
-            Op::Load(1), Op::JumpIfZero(9),
-            Op::Load(1), Op::PushI(1), Op::Sub, Op::Store(1),
+            Op::Load(0),
+            Op::Store(1),
+            Op::Load(1),
+            Op::JumpIfZero(9),
+            Op::Load(1),
+            Op::PushI(1),
+            Op::Sub,
+            Op::Store(1),
             Op::Jump(2),
-            Op::PushI(0), Op::Ret,
+            Op::PushI(0),
+            Op::Ret,
         ],
     );
     let vm = verify(mb.build()).unwrap();

@@ -13,9 +13,8 @@ use ajanta_workloads::records::RecordSpec;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "quick");
-    let wants = |tag: &str| {
-        args.is_empty() || args.iter().any(|a| a == tag) || (args.len() == 1 && quick)
-    };
+    let wants =
+        |tag: &str| args.is_empty() || args.iter().any(|a| a == tag) || (args.len() == 1 && quick);
 
     // Scale factors: `quick` keeps CI fast; default sizes are what
     // EXPERIMENTS.md records.
@@ -31,7 +30,11 @@ fn main() {
         println!();
     }
     if wants("x4b") {
-        let pops: &[usize] = if quick { &[4, 64, 512] } else { &[4, 16, 64, 256, 1024] };
+        let pops: &[usize] = if quick {
+            &[4, 64, 512]
+        } else {
+            &[4, 16, 64, 256, 1024]
+        };
         print!("{}", bench::x4b_ablation::table(pops, calls / 2));
         println!();
     }
@@ -77,16 +80,16 @@ fn main() {
                 "{}",
                 bench::x9_paradigms::table(
                     &s,
-                    &format!("3 servers × {} records, selectivity {selectivity}, WAN", s.spec.count),
+                    &format!(
+                        "3 servers × {} records, selectivity {selectivity}, WAN",
+                        s.spec.count
+                    ),
                 )
             );
             println!();
         }
         // Sweep the link on fixed selectivity.
-        for (label, link) in [
-            ("LAN", LinkModel::default()),
-            ("WAN", LinkModel::wan()),
-        ] {
+        for (label, link) in [("LAN", LinkModel::default()), ("WAN", LinkModel::wan())] {
             let s = bench::x9_paradigms::Scenario {
                 spec,
                 n_servers: 3,
@@ -96,7 +99,10 @@ fn main() {
                 "{}",
                 bench::x9_paradigms::table(
                     &s,
-                    &format!("3 servers × {} records, selectivity 0.05, {label}", spec.count),
+                    &format!(
+                        "3 servers × {} records, selectivity 0.05, {label}",
+                        spec.count
+                    ),
                 )
             );
             println!();
@@ -121,6 +127,15 @@ fn main() {
             "{}",
             bench::x12_isolation::table(counts, if quick { 5_000 } else { 50_000 })
         );
+        println!();
+    }
+    if wants("x13f") {
+        let (agents, drops): (usize, &[f64]) = if quick {
+            (8, &[0.0, 0.2])
+        } else {
+            (32, &[0.0, 0.05, 0.1, 0.2, 0.3])
+        };
+        print!("{}", bench::x13_recovery::table(agents, 5, drops));
         println!();
     }
     if wants("x14") {

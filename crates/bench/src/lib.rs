@@ -11,6 +11,11 @@
 #![warn(missing_docs)]
 
 pub mod fixtures;
+pub mod x10_transfer;
+pub mod x11_attacks;
+pub mod x12_isolation;
+pub mod x13_recovery;
+pub mod x14_credentials;
 pub mod x3_binding;
 pub mod x4_access;
 pub mod x4b_ablation;
@@ -19,10 +24,6 @@ pub mod x6_accounting;
 pub mod x7_revocation;
 pub mod x8_confinement;
 pub mod x9_paradigms;
-pub mod x10_transfer;
-pub mod x11_attacks;
-pub mod x12_isolation;
-pub mod x14_credentials;
 
 /// Renders rows as an aligned plain-text table.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {

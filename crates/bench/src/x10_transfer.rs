@@ -87,8 +87,24 @@ pub fn crypto_cost_ns(size: usize) -> f64 {
     let b_name = Urn::server("b.org", ["b"]).unwrap();
     let a_keys = KeyPair::generate(&mut rng);
     let b_keys = KeyPair::generate(&mut rng);
-    let a_cert = Certificate::issue(a_name.to_string(), a_keys.public, "ca", &ca, u64::MAX, 1, &mut rng);
-    let b_cert = Certificate::issue(b_name.to_string(), b_keys.public, "ca", &ca, u64::MAX, 2, &mut rng);
+    let a_cert = Certificate::issue(
+        a_name.to_string(),
+        a_keys.public,
+        "ca",
+        &ca,
+        u64::MAX,
+        1,
+        &mut rng,
+    );
+    let b_cert = Certificate::issue(
+        b_name.to_string(),
+        b_keys.public,
+        "ca",
+        &ca,
+        u64::MAX,
+        2,
+        &mut rng,
+    );
     let a = ChannelIdentity {
         name: a_name,
         keys: a_keys,
@@ -108,7 +124,8 @@ pub fn crypto_cost_ns(size: usize) -> f64 {
         let bytes = d.to_bytes();
         let d2 = SealedDatagram::from_bytes(&bytes).unwrap();
         let mut guard = ReplayGuard::new(u64::MAX / 4);
-        d2.open(&b, &b_keys, &roots, u64::from(i), &mut guard).unwrap();
+        d2.open(&b, &b_keys, &roots, u64::from(i), &mut guard)
+            .unwrap();
     }
     start.elapsed().as_nanos() as f64 / f64::from(iters)
 }
@@ -162,6 +179,9 @@ mod tests {
         // bigger transfer is not disproportionately larger.
         let small = crypto_cost_ns(1_000);
         let large = crypto_cost_ns(100_000);
-        assert!(large < small * 300.0, "crypto cost blew up: {small} -> {large}");
+        assert!(
+            large < small * 300.0,
+            "crypto cost blew up: {small} -> {large}"
+        );
     }
 }

@@ -73,7 +73,9 @@ fn trial(
     }
     // Let everything settle: either n reports arrive or we time out
     // (expected under active attacks).
-    let reports = world.server(0).wait_reports(n as usize, Duration::from_secs(5));
+    let reports = world
+        .server(0)
+        .wait_reports(n as usize, Duration::from_secs(5));
     let completed = reports
         .iter()
         .filter(|r| matches!(r.status, ReportStatus::Completed(_)))
@@ -115,17 +117,25 @@ fn trial(
 pub fn run(n: u64) -> Vec<AttackRow> {
     let mut rows = Vec::new();
 
-    rows.push(trial("none (control)", n, None, |_, _| "all reports arrive".into()));
+    rows.push(trial("none (control)", n, None, |_, _| {
+        "all reports arrive".into()
+    }));
 
     let eve = Arc::new(Eavesdropper::new());
     {
         let eve2 = Arc::clone(&eve);
-        rows.push(trial("eavesdrop (passive)", n, Some(eve2), |_, _| String::new()));
+        rows.push(trial("eavesdrop (passive)", n, Some(eve2), |_, _| {
+            String::new()
+        }));
         let last = rows.last_mut().expect("just pushed");
         last.note = format!(
             "{} frames captured; carried secret visible: {}",
             eve.frame_count(),
-            if eve.saw_plaintext(SECRET) { "YES (leak!)" } else { "no" }
+            if eve.saw_plaintext(SECRET) {
+                "YES (leak!)"
+            } else {
+                "no"
+            }
         );
     }
 
@@ -159,7 +169,9 @@ pub fn run(n: u64) -> Vec<AttackRow> {
     let dropper = Arc::new(Dropper::new(0xD0, 1.0));
     {
         let d2 = Arc::clone(&dropper);
-        rows.push(trial("drop (active deletion)", n, Some(d2), |_, _| String::new()));
+        rows.push(trial("drop (active deletion)", n, Some(d2), |_, _| {
+            String::new()
+        }));
         let last = rows.last_mut().expect("just pushed");
         last.note = format!(
             "{} messages deleted; loss is silent (timeout-detectable only)",
@@ -188,7 +200,14 @@ pub fn table(n: u64) -> String {
         .collect();
     crate::render_table(
         &format!("X11 — threat model, {n} agents per trial"),
-        &["attack", "launched", "completed", "rejections", "replay-class", "notes"],
+        &[
+            "attack",
+            "launched",
+            "completed",
+            "rejections",
+            "replay-class",
+            "notes",
+        ],
         &rendered,
     )
 }

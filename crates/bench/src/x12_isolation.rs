@@ -142,14 +142,25 @@ pub fn table(agent_counts: &[usize], iters: i64) -> String {
                 r.admitted.to_string(),
                 format!("{:.1} ms", r.wall_ms),
                 format!("{:.2} Miters/s", r.throughput / 1e6),
-                if r.isolated { "yes".into() } else { "VIOLATED".into() },
+                if r.isolated {
+                    "yes".into()
+                } else {
+                    "VIOLATED".into()
+                },
                 r.residue.to_string(),
             ]
         })
         .collect();
     crate::render_table(
         &format!("X12 — concurrent agents on one server ({iters} loop iterations each)"),
-        &["agents", "admitted", "wall time", "work rate", "isolation held", "residue"],
+        &[
+            "agents",
+            "admitted",
+            "wall time",
+            "work rate",
+            "isolation held",
+            "residue",
+        ],
         &rendered,
     )
 }

@@ -38,8 +38,15 @@ fn fixture() -> Fixture {
     roots.trust("ca", ca.public);
     let owner = Urn::owner("users.org", ["alice"]).unwrap();
     let owner_keys = KeyPair::generate(&mut rng);
-    let cert =
-        Certificate::issue(owner.to_string(), owner_keys.public, "ca", &ca, u64::MAX, 1, &mut rng);
+    let cert = Certificate::issue(
+        owner.to_string(),
+        owner_keys.public,
+        "ca",
+        &ca,
+        u64::MAX,
+        1,
+        &mut rng,
+    );
     let server = Urn::server("site.org", ["s"]).unwrap();
     let server_keys = KeyPair::generate(&mut rng);
     let server_cert = Certificate::issue(

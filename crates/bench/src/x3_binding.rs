@@ -4,9 +4,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use ajanta_core::{
-    DomainId, Guarded, HostMonitor, ProxyPolicy, ResourceRegistry,
-};
+use ajanta_core::{DomainId, Guarded, HostMonitor, ProxyPolicy, ResourceRegistry};
 use ajanta_workloads::records::RecordSpec;
 
 use crate::fixtures;
@@ -49,7 +47,12 @@ pub fn run(iters: u64) -> Vec<BindingRow> {
     let registry = ResourceRegistry::new();
     let resource = Guarded::new(fixtures::store(&spec), ProxyPolicy::default());
     registry
-        .register(&monitor, DomainId::SERVER, &server, Arc::clone(&resource) as _)
+        .register(
+            &monitor,
+            DomainId::SERVER,
+            &server,
+            Arc::clone(&resource) as _,
+        )
         .unwrap();
     let rq = fixtures::requester();
     let name = fixtures::store_name();

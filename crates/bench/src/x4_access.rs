@@ -76,7 +76,10 @@ pub fn run(calls: u64) -> Vec<AccessRow> {
     });
 
     // Dual environment: no per-agent setup; domain crossing per call.
-    let dual_count = m.dualenv.method_id(&rname, "count").expect("store has count");
+    let dual_count = m
+        .dualenv
+        .method_id(&rname, "count")
+        .expect("store has count");
     let dual_per = time_per_call(calls, || {
         m.dualenv
             .invoke_id(&agent, &owner, &rname, dual_count, &[])
@@ -159,7 +162,12 @@ pub fn table(calls: u64) -> String {
         .collect();
     crate::render_table(
         &format!("X4 — access mechanisms, {calls} invocations of count()"),
-        &["mechanism", "one-time setup", "per call", "beats wrapper after"],
+        &[
+            "mechanism",
+            "one-time setup",
+            "per call",
+            "beats wrapper after",
+        ],
         &rendered,
     )
 }

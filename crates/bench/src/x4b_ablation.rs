@@ -98,7 +98,12 @@ pub fn table(populations: &[usize], calls: u64) -> String {
         .collect();
     crate::render_table(
         &format!("X4b — per-call cost vs principal population ({calls} calls)"),
-        &["known principals", "proxy", "wrapper + ACL", "security manager"],
+        &[
+            "known principals",
+            "proxy",
+            "wrapper + ACL",
+            "security manager",
+        ],
         &rendered,
     )
 }

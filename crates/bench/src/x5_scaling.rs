@@ -55,8 +55,7 @@ pub fn run(agent_counts: &[usize]) -> Vec<ScalingRow> {
             // Wrapper: one shared object; one ACL entry per agent's owner.
             let start = Instant::now();
             for i in 0..n {
-                let principal =
-                    ajanta_naming::Urn::owner("users.org", [format!("u{i}")]).unwrap();
+                let principal = ajanta_naming::Urn::owner("users.org", [format!("u{i}")]).unwrap();
                 m.wrapper.grant(principal, Rights::all());
             }
             let wrapper_total_ns = start.elapsed().as_nanos() as f64;
@@ -118,6 +117,9 @@ mod tests {
         // figure.
         let per_10 = rows[1].proxy_total_ns / 10.0;
         let per_100 = rows[2].proxy_total_ns / 100.0;
-        assert!(per_100 < per_10 * 20.0, "per-agent cost exploded: {per_10} -> {per_100}");
+        assert!(
+            per_100 < per_10 * 20.0,
+            "per-agent cost exploded: {per_10} -> {per_100}"
+        );
     }
 }

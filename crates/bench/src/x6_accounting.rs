@@ -96,7 +96,7 @@ mod tests {
     fn charges_accumulate_only_when_metering() {
         let rows = run(1_000);
         assert_eq!(rows[0].charge, 0); // off
-        // count mode: warm-up (100) + calls (1000), tariff 3 each.
+                                       // count mode: warm-up (100) + calls (1000), tariff 3 each.
         assert_eq!(rows[1].charge, 3 * 1_100);
         assert_eq!(rows[2].charge, 3 * 1_100);
     }

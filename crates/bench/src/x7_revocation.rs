@@ -45,8 +45,7 @@ pub fn run(iters: u64) -> Vec<RevocationRow> {
         let t = Instant::now();
         p.control().revoke(DomainId::SERVER).unwrap();
         revoke_total += t.elapsed().as_nanos();
-        revoke_immediate &=
-            p.invoke(rq.domain, "count", &[], 0) == Err(AccessError::Revoked);
+        revoke_immediate &= p.invoke(rq.domain, "count", &[], 0) == Err(AccessError::Revoked);
     }
 
     // Selective method disable.
@@ -55,7 +54,9 @@ pub fn run(iters: u64) -> Vec<RevocationRow> {
     for _ in 0..iters {
         let p = fresh_proxy();
         let t = Instant::now();
-        p.control().disable_method(DomainId::SERVER, "count").unwrap();
+        p.control()
+            .disable_method(DomainId::SERVER, "count")
+            .unwrap();
         disable_total += t.elapsed().as_nanos();
         disable_immediate &= matches!(
             p.invoke(rq.domain, "count", &[], 0),
@@ -72,9 +73,13 @@ pub fn run(iters: u64) -> Vec<RevocationRow> {
     let mut enable_immediate = true;
     for _ in 0..iters {
         let p = fresh_proxy();
-        p.control().disable_method(DomainId::SERVER, "count").unwrap();
+        p.control()
+            .disable_method(DomainId::SERVER, "count")
+            .unwrap();
         let t = Instant::now();
-        p.control().enable_method(DomainId::SERVER, "count").unwrap();
+        p.control()
+            .enable_method(DomainId::SERVER, "count")
+            .unwrap();
         enable_total += t.elapsed().as_nanos();
         enable_immediate &= p.invoke(rq.domain, "count", &[], 0).is_ok();
     }
@@ -128,7 +133,11 @@ pub fn table(iters: u64) -> String {
             vec![
                 r.op.to_string(),
                 crate::fmt_ns(r.ns),
-                if r.immediate { "yes".into() } else { "NO".into() },
+                if r.immediate {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]
         })
         .collect();

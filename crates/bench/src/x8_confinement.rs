@@ -74,8 +74,14 @@ pub fn table(calls: u64) -> String {
         &format!("X8 — capability confinement ({calls} calls each)"),
         &["measurement", "value"],
         &[
-            vec!["holder call (check passes)".into(), crate::fmt_ns(r.holder_call_ns)],
-            vec!["stolen-proxy call (rejected)".into(), crate::fmt_ns(r.thief_call_ns)],
+            vec![
+                "holder call (check passes)".into(),
+                crate::fmt_ns(r.holder_call_ns),
+            ],
+            vec![
+                "stolen-proxy call (rejected)".into(),
+                crate::fmt_ns(r.thief_call_ns),
+            ],
             vec!["theft attempts".into(), r.theft_attempts.to_string()],
             vec![
                 "theft rejected".into(),

@@ -96,7 +96,15 @@ fn rig(s: &Scenario, seed: u64) -> Rig {
     roots.trust("ca", ca.public);
     let mk = |name: &Urn, serial: u64, rng: &mut DetRng| {
         let keys = KeyPair::generate(rng);
-        let cert = Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, serial, rng);
+        let cert = Certificate::issue(
+            name.to_string(),
+            keys.public,
+            "ca",
+            &ca,
+            u64::MAX,
+            serial,
+            rng,
+        );
         (
             ChannelIdentity {
                 name: name.clone(),
@@ -183,7 +191,9 @@ fn run_rpc(s: &Scenario, mode: &'static str) -> ParadigmRow {
                 }
             }
             "bulk" => {
-                let blob = client.call(&id.name, key, "scan", vec![Value::str("")]).unwrap();
+                let blob = client
+                    .call(&id.name, key, "scan", vec![Value::str("")])
+                    .unwrap();
                 matches += client_filter(blob.as_bytes().unwrap(), selector);
             }
             "server-filter" => {
@@ -249,7 +259,13 @@ fn run_rev(s: &Scenario) -> ParadigmRow {
     let program = filter_program();
     for (id, keys) in &r.server_ids {
         let blob = client
-            .evaluate(&id.name, keys.public, program.clone(), "filter", selector.to_vec())
+            .evaluate(
+                &id.name,
+                keys.public,
+                program.clone(),
+                "filter",
+                selector.to_vec(),
+            )
             .unwrap();
         matches += count_matches(blob.as_bytes().unwrap());
     }
@@ -277,7 +293,8 @@ fn run_agent(s: &Scenario) -> ParadigmRow {
     let mut world = World::builder(s.n_servers + 1).link(s.link).build();
     let pops = populations(s);
     for (k, pop) in pops.into_iter().enumerate() {
-        let guarded = ajanta_core::Guarded::new(store_for(pop), ajanta_core::ProxyPolicy::default());
+        let guarded =
+            ajanta_core::Guarded::new(store_for(pop), ajanta_core::ProxyPolicy::default());
         world.server(k + 1).register_resource(guarded).unwrap();
     }
     let mut owner = world.owner("collector");
@@ -352,7 +369,13 @@ pub fn table(s: &Scenario, label: &str) -> String {
         .collect();
     crate::render_table(
         &format!("X9 — paradigms: {label}"),
-        &["paradigm", "bytes on wire", "messages", "virtual time", "matches"],
+        &[
+            "paradigm",
+            "bytes on wire",
+            "messages",
+            "virtual time",
+            "matches",
+        ],
         &rendered,
     )
 }
@@ -396,8 +419,18 @@ mod tests {
         // Chatty RPC uses the most messages by far.
         assert!(per_record.messages > bulk.messages * 10);
         // At low selectivity, shipping code beats shipping all the data.
-        assert!(rev.bytes < bulk.bytes, "rev {} vs bulk {}", rev.bytes, bulk.bytes);
-        assert!(agent.bytes < bulk.bytes, "agent {} vs bulk {}", agent.bytes, bulk.bytes);
+        assert!(
+            rev.bytes < bulk.bytes,
+            "rev {} vs bulk {}",
+            rev.bytes,
+            bulk.bytes
+        );
+        assert!(
+            agent.bytes < bulk.bytes,
+            "agent {} vs bulk {}",
+            agent.bytes,
+            bulk.bytes
+        );
         // Chatty RPC's round trips dominate virtual time on a WAN.
         assert!(per_record.virtual_ms > rev.virtual_ms);
         assert!(per_record.virtual_ms > agent.virtual_ms);

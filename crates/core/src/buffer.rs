@@ -73,7 +73,10 @@ impl BoundedBuffer {
 
 impl Buffer for BoundedBuffer {
     fn get(&self) -> Result<Value, ResourceError> {
-        self.items.lock().pop_front().ok_or(ResourceError::WouldBlock)
+        self.items
+            .lock()
+            .pop_front()
+            .ok_or(ResourceError::WouldBlock)
     }
 
     fn put(&self, item: Value) -> Result<(), ResourceError> {
@@ -276,7 +279,10 @@ mod tests {
         let b = buffer(2);
         Buffer::put(&*b, Value::Int(1)).unwrap();
         Buffer::put(&*b, Value::Int(2)).unwrap();
-        assert_eq!(Buffer::put(&*b, Value::Int(3)), Err(ResourceError::WouldBlock));
+        assert_eq!(
+            Buffer::put(&*b, Value::Int(3)),
+            Err(ResourceError::WouldBlock)
+        );
         assert_eq!(b.size(), 2);
         // Draining frees a slot.
         Buffer::get(&*b).unwrap();
@@ -332,9 +338,7 @@ mod tests {
             rights: Rights::none().grant_method(b.name().clone(), "put"),
         };
         let proxy = Arc::clone(&b).get_proxy(&requester, 0).unwrap();
-        proxy
-            .invoke(AGENT, "put", &[Value::str("x")], 0)
-            .unwrap();
+        proxy.invoke(AGENT, "put", &[Value::str("x")], 0).unwrap();
         assert_eq!(
             proxy.invoke(AGENT, "get", &[], 0),
             Err(AccessError::MethodDisabled("get".into()))

@@ -268,7 +268,9 @@ impl DomainDatabase {
             .write()
             .remove(&domain)
             .ok_or(DomainError::UnknownDomain(domain))?;
-        self.agent_shard(&record.agent).write().remove(&record.agent);
+        self.agent_shard(&record.agent)
+            .write()
+            .remove(&record.agent);
         Ok(record)
     }
 
@@ -420,7 +422,15 @@ mod tests {
         let (_, o, c, h) = names();
         let a2 = Urn::agent("umn.edu", ["a2"]).unwrap();
         let d2 = db
-            .admit(DomainId::SERVER, a2, o, c, h, Rights::none(), UsageLimits::default())
+            .admit(
+                DomainId::SERVER,
+                a2,
+                o,
+                c,
+                h,
+                Rights::none(),
+                UsageLimits::default(),
+            )
             .unwrap();
         assert_ne!(d1, d2);
         assert!(!d1.is_server());
@@ -470,8 +480,16 @@ mod tests {
         admit(&db);
         let (a, o, c, h) = names();
         assert_eq!(
-            db.admit(DomainId::SERVER, a.clone(), o, c, h, Rights::none(), UsageLimits::default())
-                .unwrap_err(),
+            db.admit(
+                DomainId::SERVER,
+                a.clone(),
+                o,
+                c,
+                h,
+                Rights::none(),
+                UsageLimits::default()
+            )
+            .unwrap_err(),
             DomainError::DuplicateAgent(a)
         );
     }
@@ -560,7 +578,10 @@ mod tests {
         db.add_binding(DomainId::SERVER, d, r2).unwrap();
         assert!(matches!(
             db.add_binding(DomainId::SERVER, d, r3),
-            Err(DomainError::QuotaExceeded { what: "bindings", .. })
+            Err(DomainError::QuotaExceeded {
+                what: "bindings",
+                ..
+            })
         ));
         assert_eq!(db.record(d).unwrap().usage.bindings, 2);
         assert!(db.remove_binding(DomainId::SERVER, d, &r1).unwrap());

@@ -189,7 +189,15 @@ impl HostMonitor {
             .snapshot()
             .into_iter()
             .filter_map(|r| match r.event {
-                Event::Audit { caller, op, allowed } => Some(AuditEntry { caller, op, allowed }),
+                Event::Audit {
+                    caller,
+                    op,
+                    allowed,
+                } => Some(AuditEntry {
+                    caller,
+                    op,
+                    allowed,
+                }),
                 _ => None,
             })
             .collect()
@@ -216,8 +224,12 @@ mod tests {
     fn server_domain_is_trusted() {
         let m = HostMonitor::new();
         for op in [
-            SystemOp::CreateThread { target: DomainId(5) },
-            SystemOp::ManipulateDomain { target: DomainId(5) },
+            SystemOp::CreateThread {
+                target: DomainId(5),
+            },
+            SystemOp::ManipulateDomain {
+                target: DomainId(5),
+            },
             SystemOp::MutateRegistry,
             SystemOp::MutateDomainDatabase,
             SystemOp::DispatchAgent,
@@ -232,21 +244,31 @@ mod tests {
         let me = DomainId(3);
         let other = DomainId(4);
         m.check(me, SystemOp::CreateThread { target: me }).unwrap();
-        m.check(me, SystemOp::ManipulateDomain { target: me }).unwrap();
-        assert!(m.check(me, SystemOp::CreateThread { target: other }).is_err());
+        m.check(me, SystemOp::ManipulateDomain { target: me })
+            .unwrap();
+        assert!(m
+            .check(me, SystemOp::CreateThread { target: other })
+            .is_err());
         assert!(m
             .check(me, SystemOp::ManipulateDomain { target: other })
             .is_err());
         // In particular, an agent cannot act on the SERVER domain.
         assert!(m
-            .check(me, SystemOp::ManipulateDomain { target: DomainId::SERVER })
+            .check(
+                me,
+                SystemOp::ManipulateDomain {
+                    target: DomainId::SERVER
+                }
+            )
             .is_err());
     }
 
     #[test]
     fn domain_database_writes_are_server_only() {
         let m = HostMonitor::new();
-        assert!(m.check(DomainId(1), SystemOp::MutateDomainDatabase).is_err());
+        assert!(m
+            .check(DomainId(1), SystemOp::MutateDomainDatabase)
+            .is_err());
         m.check(DomainId::SERVER, SystemOp::MutateDomainDatabase)
             .unwrap();
     }
@@ -267,7 +289,9 @@ mod tests {
         let strict = HostMonitor::no_agent_dispatch();
         assert!(strict.check(DomainId(1), SystemOp::DispatchAgent).is_err());
         // Server dispatch is always allowed.
-        strict.check(DomainId::SERVER, SystemOp::DispatchAgent).unwrap();
+        strict
+            .check(DomainId::SERVER, SystemOp::DispatchAgent)
+            .unwrap();
     }
 
     #[test]
@@ -299,7 +323,11 @@ mod tests {
         let snap = journal.snapshot();
         assert!(matches!(
             snap[0].event,
-            Event::Audit { caller: DomainId(9), allowed: false, .. }
+            Event::Audit {
+                caller: DomainId(9),
+                allowed: false,
+                ..
+            }
         ));
     }
 

@@ -142,9 +142,7 @@ impl SecurityPolicy {
                 PrincipalPattern::Group(g) => {
                     self.groups.contains(g, agent) || self.groups.contains(g, owner)
                 }
-                PrincipalPattern::Subtree(root) => {
-                    agent.is_within(root) || owner.is_within(root)
-                }
+                PrincipalPattern::Subtree(root) => agent.is_within(root) || owner.is_within(root),
                 PrincipalPattern::Anyone => true,
             };
             if matches {
@@ -185,14 +183,18 @@ mod tests {
 
     #[test]
     fn exact_rule_matches_owner_or_agent() {
-        let p = SecurityPolicy::new()
-            .allow(PrincipalPattern::Exact(owner("alice")), Rights::on_resource(res("db")));
+        let p = SecurityPolicy::new().allow(
+            PrincipalPattern::Exact(owner("alice")),
+            Rights::on_resource(res("db")),
+        );
         let r = p.rights_for(&agent("a"), &owner("alice"));
         assert!(r.permits(&res("db"), "query"));
         assert!(p.rights_for(&agent("a"), &owner("bob")).is_none());
 
-        let p2 = SecurityPolicy::new()
-            .allow(PrincipalPattern::Exact(agent("a")), Rights::on_resource(res("db")));
+        let p2 = SecurityPolicy::new().allow(
+            PrincipalPattern::Exact(agent("a")),
+            Rights::on_resource(res("db")),
+        );
         assert!(p2
             .rights_for(&agent("a"), &owner("bob"))
             .permits(&res("db"), "query"));

@@ -473,16 +473,15 @@ impl ProxyControl {
     pub fn check(&self, caller: DomainId, method: &str, now: u64) -> Result<(), AccessError> {
         match self.table.id(method) {
             Some(id) => self.check_id(caller, id, now),
-            None => {
-                self.check_id(caller, MethodId(u16::MAX), now)
-                    .and(Err(AccessError::MethodDisabled(method.to_string())))
-                    .map_err(|e| match e {
-                        AccessError::MethodDisabled(_) => {
-                            AccessError::MethodDisabled(method.to_string())
-                        }
-                        other => other,
-                    })
-            }
+            None => self
+                .check_id(caller, MethodId(u16::MAX), now)
+                .and(Err(AccessError::MethodDisabled(method.to_string())))
+                .map_err(|e| match e {
+                    AccessError::MethodDisabled(_) => {
+                        AccessError::MethodDisabled(method.to_string())
+                    }
+                    other => other,
+                }),
         }
     }
 
@@ -840,7 +839,10 @@ mod tests {
     #[test]
     fn enabled_methods_pass_through() {
         let p = proxy(&["get", "add"], None, Meter::off());
-        assert_eq!(p.invoke(AGENT, "add", &[Value::Int(5)], 0).unwrap(), Value::Int(5));
+        assert_eq!(
+            p.invoke(AGENT, "add", &[Value::Int(5)], 0).unwrap(),
+            Value::Int(5)
+        );
         assert_eq!(p.invoke(AGENT, "get", &[], 0).unwrap(), Value::Int(5));
     }
 
@@ -849,7 +851,10 @@ mod tests {
         let p = proxy(&["get", "add"], None, Meter::off());
         let add = p.method_id("add").unwrap();
         let get = p.method_id("get").unwrap();
-        assert_eq!(p.invoke_id(AGENT, add, &[Value::Int(5)], 0).unwrap(), Value::Int(5));
+        assert_eq!(
+            p.invoke_id(AGENT, add, &[Value::Int(5)], 0).unwrap(),
+            Value::Int(5)
+        );
         assert_eq!(p.invoke_id(AGENT, get, &[], 0).unwrap(), Value::Int(5));
         // Ids outside the interface are never enabled.
         assert!(matches!(
@@ -915,7 +920,10 @@ mod tests {
             p.invoke(AGENT, "add", &[Value::Int(1)], 0),
             Err(AccessError::MethodDisabled("add".into()))
         );
-        assert!(p.control().enable_method(DomainId::SERVER, "reset").unwrap());
+        assert!(p
+            .control()
+            .enable_method(DomainId::SERVER, "reset")
+            .unwrap());
         p.invoke(AGENT, "reset", &[], 0).unwrap();
         // Enabled set reflects the changes.
         assert_eq!(p.control().enabled_methods(), ["get", "reset"]);
@@ -925,8 +933,14 @@ mod tests {
     fn enabling_a_method_outside_the_interface_is_a_noop() {
         let p = proxy(&["get"], None, Meter::off());
         // Such a method could never be dispatched; there is no bit for it.
-        assert!(!p.control().enable_method(DomainId::SERVER, "ghost").unwrap());
-        assert!(!p.control().disable_method(DomainId::SERVER, "ghost").unwrap());
+        assert!(!p
+            .control()
+            .enable_method(DomainId::SERVER, "ghost")
+            .unwrap());
+        assert!(!p
+            .control()
+            .disable_method(DomainId::SERVER, "ghost")
+            .unwrap());
         // Management ACL still enforced on the shim path.
         assert_eq!(
             p.control().enable_method(AGENT, "ghost"),
@@ -1066,11 +1080,17 @@ mod tests {
             Meter::off(),
         );
         for id in [3u16, 63, 64, 99] {
-            assert!(control.is_enabled(MethodId(id)), "id {id} should be enabled");
+            assert!(
+                control.is_enabled(MethodId(id)),
+                "id {id} should be enabled"
+            );
             assert!(control.check_id(AGENT, MethodId(id), 0).is_ok());
         }
         for id in [0u16, 62, 65, 98] {
-            assert!(!control.is_enabled(MethodId(id)), "id {id} should be disabled");
+            assert!(
+                !control.is_enabled(MethodId(id)),
+                "id {id} should be disabled"
+            );
         }
         assert!(control.disable_id(DomainId::SERVER, MethodId(99)).unwrap());
         assert!(!control.is_enabled(MethodId(99)));

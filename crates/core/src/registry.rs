@@ -293,7 +293,10 @@ mod tests {
         let proxy = reg.bind(&rq, &rname, 0).unwrap();
 
         // Step 6.
-        assert_eq!(proxy.invoke(rq.domain, "query", &[], 0).unwrap(), Value::Int(1));
+        assert_eq!(
+            proxy.invoke(rq.domain, "query", &[], 0).unwrap(),
+            Value::Int(1)
+        );
         // "buy" was not permitted, so the proxy has it disabled.
         assert_eq!(
             proxy.invoke(rq.domain, "buy", &[], 0),
@@ -378,7 +381,10 @@ mod tests {
         let rname = Urn::resource("acme.com", ["persistent"]).unwrap();
         let rq = requester(Rights::on_resource(rname.clone()));
         let proxy = reg.bind(&rq, &rname, 0).unwrap();
-        assert_eq!(proxy.invoke(rq.domain, "query", &[], 0).unwrap(), Value::Int(1));
+        assert_eq!(
+            proxy.invoke(rq.domain, "query", &[], 0).unwrap(),
+            Value::Int(1)
+        );
     }
 
     #[test]
@@ -416,8 +422,14 @@ mod tests {
         let p2 = reg.bind(&rq2, &rname, 0).unwrap();
 
         p1.control().revoke(DomainId::SERVER).unwrap();
-        assert_eq!(p1.invoke(rq1.domain, "query", &[], 0), Err(AccessError::Revoked));
+        assert_eq!(
+            p1.invoke(rq1.domain, "query", &[], 0),
+            Err(AccessError::Revoked)
+        );
         // Agent 2 is unaffected.
-        assert_eq!(p2.invoke(rq2.domain, "query", &[], 0).unwrap(), Value::Int(1));
+        assert_eq!(
+            p2.invoke(rq2.domain, "query", &[], 0).unwrap(),
+            Value::Int(1)
+        );
     }
 }

@@ -74,6 +74,9 @@ pub enum RejectKind {
     MailDenied,
     /// A report or reply could not be delivered to its home site.
     ReportUndeliverable,
+    /// A transfer or report frame for an already-processed `(agent, seq)`
+    /// key arrived again — acknowledged, but not applied twice.
+    DuplicateHop,
 }
 
 impl RejectKind {
@@ -89,6 +92,7 @@ impl RejectKind {
             RejectKind::DuplicateAgent => "duplicate-agent",
             RejectKind::MailDenied => "mail-denied",
             RejectKind::ReportUndeliverable => "report-undeliverable",
+            RejectKind::DuplicateHop => "duplicate-hop",
         }
     }
 }
@@ -162,6 +166,10 @@ pub enum Event {
         agent: Urn,
         /// Its new protection domain.
         domain: DomainId,
+        /// The itinerary hop this admission is for — with at-least-once
+        /// transfer delivery, (agent, hop) is the idempotency key, so a
+        /// journal never shows the same pair admitted twice.
+        hop: u64,
     },
     /// An agent (or launch request) was sent toward another server.
     AgentDispatched {
@@ -191,6 +199,40 @@ pub enum Event {
         /// Human-readable detail.
         detail: String,
     },
+    /// A transfer (or launch) was re-sent after its delivery ack timed
+    /// out — the fault-tolerant migration layer at work.
+    TransferRetried {
+        /// The traveling agent.
+        agent: Urn,
+        /// The destination being retried.
+        dest: Urn,
+        /// The hop being retried (the idempotency key's sequence half).
+        hop: u64,
+        /// Which attempt this is (2 = first retry).
+        attempt: u32,
+    },
+    /// Retries toward a stop exhausted and the itinerary supplied a
+    /// fallback, so the agent was re-routed around the dead stop.
+    HopSkipped {
+        /// The traveling agent.
+        agent: Urn,
+        /// The unreachable stop that was given up on.
+        skipped: Urn,
+        /// The fallback stop the agent was re-routed to.
+        next: Urn,
+        /// The hop at which the skip happened.
+        hop: u64,
+    },
+    /// A dead-stopped agent's fate was resolved — no orphans: it was
+    /// either re-routed or reported home as `Failed(hop)`.
+    AgentRecovered {
+        /// The agent whose fate was resolved.
+        agent: Urn,
+        /// The hop at which recovery happened.
+        hop: u64,
+        /// How it was resolved: `skipped` or `sent-home`.
+        disposition: &'static str,
+    },
 }
 
 impl Event {
@@ -205,7 +247,11 @@ impl Event {
                     Severity::Security
                 }
             }
-            Event::ProxyRevoke { .. } | Event::ProxyExpiry { .. } => Severity::Warn,
+            Event::ProxyRevoke { .. }
+            | Event::ProxyExpiry { .. }
+            | Event::TransferRetried { .. }
+            | Event::HopSkipped { .. }
+            | Event::AgentRecovered { .. } => Severity::Warn,
             _ => Severity::Info,
         }
     }
@@ -245,11 +291,14 @@ pub enum Counter {
     AgentsReported,
     LogLines,
     Rejections,
+    TransfersRetried,
+    HopsSkipped,
+    AgentsRecovered,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 18] = [
         Counter::EventsAppended,
         Counter::EventsDropped,
         Counter::AuditAllowed,
@@ -265,6 +314,9 @@ impl Counter {
         Counter::AgentsReported,
         Counter::LogLines,
         Counter::Rejections,
+        Counter::TransfersRetried,
+        Counter::HopsSkipped,
+        Counter::AgentsRecovered,
     ];
 
     /// The exported metric name.
@@ -285,6 +337,9 @@ impl Counter {
             Counter::AgentsReported => "ajanta_agents_reported_total",
             Counter::LogLines => "ajanta_agent_log_lines_total",
             Counter::Rejections => "ajanta_rejections_total",
+            Counter::TransfersRetried => "ajanta_transfers_retried_total",
+            Counter::HopsSkipped => "ajanta_hops_skipped_total",
+            Counter::AgentsRecovered => "ajanta_agents_recovered_total",
         }
     }
 }
@@ -463,6 +518,9 @@ impl Journal {
             Event::AgentReported { .. } => Counter::AgentsReported,
             Event::AgentLog { .. } => Counter::LogLines,
             Event::Rejected { .. } => Counter::Rejections,
+            Event::TransferRetried { .. } => Counter::TransfersRetried,
+            Event::HopSkipped { .. } => Counter::HopsSkipped,
+            Event::AgentRecovered { .. } => Counter::AgentsRecovered,
         };
         self.counters.add(c, 1);
     }

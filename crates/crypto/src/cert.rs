@@ -84,7 +84,13 @@ impl std::error::Error for CertificateError {}
 /// Canonical byte encoding signed by the issuer. Length-prefixed fields
 /// prevent ambiguity (e.g. subject="ab", issuer="c" vs subject="a",
 /// issuer="bc").
-fn to_be_signed(subject: &str, key: &PublicKey, issuer: &str, not_after: u64, serial: u64) -> [u8; 32] {
+fn to_be_signed(
+    subject: &str,
+    key: &PublicKey,
+    issuer: &str,
+    not_after: u64,
+    serial: u64,
+) -> [u8; 32] {
     let mut h = Sha256::new();
     h.update(b"ajanta.cert.v1");
     h.update((subject.len() as u64).to_be_bytes());
@@ -139,8 +145,7 @@ impl Certificate {
             self.not_after,
             self.serial,
         );
-        sig::verify(issuer_key, &tbs, &self.signature)
-            .map_err(|_| CertificateError::BadSignature)
+        sig::verify(issuer_key, &tbs, &self.signature).map_err(|_| CertificateError::BadSignature)
     }
 }
 
@@ -275,19 +280,31 @@ mod tests {
 
         let mut c = cert.clone();
         c.subject = "mallory".into();
-        assert_eq!(c.verify(&fx.root_keys.public, 0), Err(CertificateError::BadSignature));
+        assert_eq!(
+            c.verify(&fx.root_keys.public, 0),
+            Err(CertificateError::BadSignature)
+        );
 
         let mut c = cert.clone();
         c.subject_key = PublicKey(sig::G); // some other valid-looking element
-        assert_eq!(c.verify(&fx.root_keys.public, 0), Err(CertificateError::BadSignature));
+        assert_eq!(
+            c.verify(&fx.root_keys.public, 0),
+            Err(CertificateError::BadSignature)
+        );
 
         let mut c = cert.clone();
         c.not_after = u64::MAX; // stretch the lifetime
-        assert_eq!(c.verify(&fx.root_keys.public, 0), Err(CertificateError::BadSignature));
+        assert_eq!(
+            c.verify(&fx.root_keys.public, 0),
+            Err(CertificateError::BadSignature)
+        );
 
         let mut c = cert;
         c.serial += 1;
-        assert_eq!(c.verify(&fx.root_keys.public, 0), Err(CertificateError::BadSignature));
+        assert_eq!(
+            c.verify(&fx.root_keys.public, 0),
+            Err(CertificateError::BadSignature)
+        );
     }
 
     #[test]
@@ -353,7 +370,10 @@ mod tests {
             3,
             &mut fx.rng,
         );
-        let err = fx.roots.verify_chain(&[alice_cert, dept_cert], 0).unwrap_err();
+        let err = fx
+            .roots
+            .verify_chain(&[alice_cert, dept_cert], 0)
+            .unwrap_err();
         assert!(matches!(err, CertificateError::BrokenChain { .. }));
     }
 
@@ -399,14 +419,20 @@ mod tests {
             3,
             &mut fx.rng,
         );
-        let err = fx.roots.verify_chain(&[alice_cert, dept_cert], 5_000).unwrap_err();
+        let err = fx
+            .roots
+            .verify_chain(&[alice_cert, dept_cert], 5_000)
+            .unwrap_err();
         assert!(matches!(err, CertificateError::Expired { .. }));
     }
 
     #[test]
     fn empty_chain_rejected() {
         let fx = fixture();
-        assert_eq!(fx.roots.verify_chain(&[], 0), Err(CertificateError::EmptyChain));
+        assert_eq!(
+            fx.roots.verify_chain(&[], 0),
+            Err(CertificateError::EmptyChain)
+        );
     }
 
     #[test]
@@ -422,7 +448,9 @@ mod tests {
             1,
             &mut fx.rng,
         );
-        fx.roots.verify_chain(std::slice::from_ref(&cert), 0).unwrap();
+        fx.roots
+            .verify_chain(std::slice::from_ref(&cert), 0)
+            .unwrap();
         assert!(fx.roots.revoke_trust("ca.umn.edu"));
         assert!(!fx.roots.revoke_trust("ca.umn.edu"));
         assert_eq!(

@@ -114,7 +114,10 @@ impl Sha256 {
         // Whole blocks straight from the input.
         let mut chunks = data.chunks_exact(64);
         for block in &mut chunks {
-            compress(&mut self.state, block.try_into().expect("chunk is 64 bytes"));
+            compress(
+                &mut self.state,
+                block.try_into().expect("chunk is 64 bytes"),
+            );
         }
 
         // Stash the tail.
@@ -269,7 +272,10 @@ mod tests {
     fn digest_hex_and_prefix() {
         let d = sha256(b"abc");
         assert_eq!(d.to_hex().len(), 64);
-        assert_eq!(d.prefix_u64(), u64::from_be_bytes(d.0[..8].try_into().unwrap()));
+        assert_eq!(
+            d.prefix_u64(),
+            u64::from_be_bytes(d.0[..8].try_into().unwrap())
+        );
     }
 
     #[test]

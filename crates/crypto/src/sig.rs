@@ -225,10 +225,22 @@ mod tests {
         let msg = b"perturbation test";
         let sig = kp.sign(msg, &mut rng);
         for bit in 0..62 {
-            let bad_e = Signature { e: sig.e ^ (1 << bit), s: sig.s };
-            let bad_s = Signature { e: sig.e, s: sig.s ^ (1 << bit) };
-            assert!(verify(&kp.public, msg, &bad_e).is_err(), "flipped e bit {bit}");
-            assert!(verify(&kp.public, msg, &bad_s).is_err(), "flipped s bit {bit}");
+            let bad_e = Signature {
+                e: sig.e ^ (1 << bit),
+                s: sig.s,
+            };
+            let bad_s = Signature {
+                e: sig.e,
+                s: sig.s ^ (1 << bit),
+            };
+            assert!(
+                verify(&kp.public, msg, &bad_e).is_err(),
+                "flipped e bit {bit}"
+            );
+            assert!(
+                verify(&kp.public, msg, &bad_s).is_err(),
+                "flipped s bit {bit}"
+            );
         }
     }
 
@@ -241,7 +253,10 @@ mod tests {
             Signature { e: Q, s: sig.s },
             Signature { e: sig.e, s: Q },
         ] {
-            assert_eq!(verify(&kp.public, b"m", &bad), Err(SignatureError::BadSignature));
+            assert_eq!(
+                verify(&kp.public, b"m", &bad),
+                Err(SignatureError::BadSignature)
+            );
         }
     }
 
@@ -260,7 +275,10 @@ mod tests {
         // any quadratic non-residue, e.g. g' = 2 (since 2^q mod p != 1 for
         // this group) — verify that validity check catches it.
         assert_ne!(pow_mod(2, Q, P), 1, "2 must be a non-residue for this test");
-        assert_eq!(verify(&PublicKey(2), b"m", &sig), Err(SignatureError::BadKey));
+        assert_eq!(
+            verify(&PublicKey(2), b"m", &sig),
+            Err(SignatureError::BadKey)
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ mod tests {
         let mut rng = DetRng::new(1);
         let kp = KeyPair::generate(&mut rng);
         let sig = kp.sign(b"msg", &mut rng);
-        assert_eq!(PublicKey::from_bytes(&kp.public.to_bytes()).unwrap(), kp.public);
+        assert_eq!(
+            PublicKey::from_bytes(&kp.public.to_bytes()).unwrap(),
+            kp.public
+        );
         assert_eq!(Signature::from_bytes(&sig.to_bytes()).unwrap(), sig);
     }
 

@@ -167,7 +167,8 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut reg = NameRegistry::new();
-        reg.register(res("buffer"), owner("alice"), "bounded buffer").unwrap();
+        reg.register(res("buffer"), owner("alice"), "bounded buffer")
+            .unwrap();
         let rec = reg.lookup(&res("buffer")).unwrap();
         assert_eq!(rec.owner, owner("alice"));
         assert_eq!(rec.description, "bounded buffer");
@@ -217,8 +218,11 @@ mod tests {
     fn only_owner_may_update_description() {
         let mut reg = NameRegistry::new();
         reg.register(res("b"), owner("alice"), "v1").unwrap();
-        assert!(reg.update_description(&res("b"), &owner("eve"), "v2").is_err());
-        reg.update_description(&res("b"), &owner("alice"), "v2").unwrap();
+        assert!(reg
+            .update_description(&res("b"), &owner("eve"), "v2")
+            .is_err());
+        reg.update_description(&res("b"), &owner("alice"), "v2")
+            .unwrap();
         assert_eq!(reg.lookup(&res("b")).unwrap().description, "v2");
     }
 
@@ -239,8 +243,10 @@ mod tests {
     fn find_within_filters_subtree() {
         let mut reg = NameRegistry::new();
         let root = Urn::resource("umn.edu", ["catalog"]).unwrap();
-        reg.register(root.child("books").unwrap(), owner("o"), "").unwrap();
-        reg.register(root.child("music").unwrap(), owner("o"), "").unwrap();
+        reg.register(root.child("books").unwrap(), owner("o"), "")
+            .unwrap();
+        reg.register(root.child("music").unwrap(), owner("o"), "")
+            .unwrap();
         reg.register(res("unrelated"), owner("o"), "").unwrap();
         let found: Vec<_> = reg.find_within(&root).collect();
         assert_eq!(found.len(), 2);

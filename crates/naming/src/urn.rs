@@ -264,8 +264,9 @@ fn validate_authority(a: &str) -> Result<(), NameError> {
 
 fn validate_segment(s: &str) -> Result<(), NameError> {
     let ok = !s.is_empty()
-        && s.bytes()
-            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'.' | b'_' | b'-'));
+        && s.bytes().all(|b| {
+            b.is_ascii_lowercase() || b.is_ascii_digit() || matches!(b, b'.' | b'_' | b'-')
+        });
     if ok {
         Ok(())
     } else {
@@ -306,14 +307,28 @@ mod tests {
 
     #[test]
     fn rejects_missing_scheme() {
-        assert_eq!("http://x.org/agent/a".parse::<Urn>(), Err(NameError::BadScheme));
-        assert_eq!("ajn:/x.org/agent/a".parse::<Urn>(), Err(NameError::BadScheme));
+        assert_eq!(
+            "http://x.org/agent/a".parse::<Urn>(),
+            Err(NameError::BadScheme)
+        );
+        assert_eq!(
+            "ajn:/x.org/agent/a".parse::<Urn>(),
+            Err(NameError::BadScheme)
+        );
     }
 
     #[test]
     fn rejects_bad_authority() {
-        for bad in ["ajn:///agent/a", "ajn://UPPER/agent/a", "ajn://-x/agent/a", "ajn://x./agent/a"] {
-            assert!(matches!(bad.parse::<Urn>(), Err(NameError::BadAuthority(_))), "{bad}");
+        for bad in [
+            "ajn:///agent/a",
+            "ajn://UPPER/agent/a",
+            "ajn://-x/agent/a",
+            "ajn://x./agent/a",
+        ] {
+            assert!(
+                matches!(bad.parse::<Urn>(), Err(NameError::BadAuthority(_))),
+                "{bad}"
+            );
         }
     }
 
@@ -327,7 +342,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_path() {
-        assert_eq!("ajn://x.org/agent".parse::<Urn>(), Err(NameError::EmptyPath));
+        assert_eq!(
+            "ajn://x.org/agent".parse::<Urn>(),
+            Err(NameError::EmptyPath)
+        );
         assert!(Urn::agent("x.org", Vec::<String>::new()).is_err());
     }
 

@@ -18,7 +18,11 @@ fn kind() -> impl Strategy<Value = NameKind> {
 }
 
 fn urn() -> impl Strategy<Value = Urn> {
-    (authority(), kind(), proptest::collection::vec(segment(), 1..5))
+    (
+        authority(),
+        kind(),
+        proptest::collection::vec(segment(), 1..5),
+    )
         .prop_map(|(a, k, p)| Urn::new(a, k, p).expect("strategy emits canonical components"))
 }
 

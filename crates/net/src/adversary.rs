@@ -11,6 +11,8 @@ use ajanta_crypto::DetRng;
 use ajanta_naming::Urn;
 use parking_lot::Mutex;
 
+use crate::time::VClock;
+
 /// What the adversary does to one in-transit message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TransitAction {
@@ -163,6 +165,88 @@ impl Adversary for Dropper {
     }
 }
 
+/// A fault model rather than a malicious attacker: lossy links plus
+/// crashed hosts. Every message is dropped independently with
+/// `drop_prob`, and any message to or from a host inside one of its
+/// blackout windows (virtual time) is dropped unconditionally —
+/// simulating a server that is down for that interval. The
+/// fault-tolerant migration layer is measured against this adversary.
+pub struct LinkFault {
+    rng: Mutex<DetRng>,
+    drop_prob: f64,
+    /// Virtual clock for evaluating blackout windows; without one,
+    /// blackouts are ignored and only probabilistic loss applies.
+    clock: Mutex<Option<VClock>>,
+    /// `(host, from_ns, until_ns)` — messages touching `host` while
+    /// `from_ns <= now < until_ns` are dropped.
+    blackouts: Mutex<Vec<(Urn, u64, u64)>>,
+    dropped: Mutex<u64>,
+    blackout_dropped: Mutex<u64>,
+}
+
+impl LinkFault {
+    /// A fault injector dropping each message with `drop_prob`.
+    pub fn new(seed: u64, drop_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_prob));
+        LinkFault {
+            rng: Mutex::new(DetRng::new(seed)),
+            drop_prob,
+            clock: Mutex::new(None),
+            blackouts: Mutex::new(Vec::new()),
+            dropped: Mutex::new(0),
+            blackout_dropped: Mutex::new(0),
+        }
+    }
+
+    /// Attaches the virtual clock blackout windows are evaluated against.
+    pub fn with_clock(self, clock: VClock) -> Self {
+        *self.clock.lock() = Some(clock);
+        self
+    }
+
+    /// Declares that `host` is unreachable for `[from_ns, until_ns)` —
+    /// a crashed server during that window. May be called while the
+    /// network is live.
+    pub fn blackout(&self, host: Urn, from_ns: u64, until_ns: u64) {
+        self.blackouts.lock().push((host, from_ns, until_ns));
+    }
+
+    /// Messages dropped by probabilistic loss.
+    pub fn dropped_count(&self) -> u64 {
+        *self.dropped.lock()
+    }
+
+    /// Messages dropped because an endpoint was blacked out.
+    pub fn blackout_dropped_count(&self) -> u64 {
+        *self.blackout_dropped.lock()
+    }
+
+    fn blacked_out(&self, from: &Urn, to: &Urn) -> bool {
+        let now = match self.clock.lock().as_ref() {
+            Some(clock) => clock.now(),
+            None => return false,
+        };
+        self.blackouts
+            .lock()
+            .iter()
+            .any(|(host, start, end)| (*start..*end).contains(&now) && (host == from || host == to))
+    }
+}
+
+impl Adversary for LinkFault {
+    fn on_transit(&self, from: &Urn, to: &Urn, _bytes: &[u8]) -> TransitAction {
+        if self.blacked_out(from, to) {
+            *self.blackout_dropped.lock() += 1;
+            return TransitAction::Drop;
+        }
+        if self.drop_prob > 0.0 && self.rng.lock().unit_f64() < self.drop_prob {
+            *self.dropped.lock() += 1;
+            return TransitAction::Drop;
+        }
+        TransitAction::Pass
+    }
+}
+
 /// Active attacker: re-sends every observed message a second time
 /// (replay), claiming the original sender's identity.
 #[derive(Default)]
@@ -264,7 +348,10 @@ mod tests {
     #[test]
     fn tamperer_zero_probability_passes() {
         let t = Tamperer::new(1, 0.0);
-        assert_eq!(t.on_transit(&urn("a"), &urn("b"), b"x"), TransitAction::Pass);
+        assert_eq!(
+            t.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Pass
+        );
         assert_eq!(t.tampered_count(), 0);
     }
 
@@ -277,10 +364,16 @@ mod tests {
     #[test]
     fn dropper_honors_probability_extremes() {
         let d = Dropper::new(2, 1.0);
-        assert_eq!(d.on_transit(&urn("a"), &urn("b"), b"x"), TransitAction::Drop);
+        assert_eq!(
+            d.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Drop
+        );
         assert_eq!(d.dropped_count(), 1);
         let d = Dropper::new(2, 0.0);
-        assert_eq!(d.on_transit(&urn("a"), &urn("b"), b"x"), TransitAction::Pass);
+        assert_eq!(
+            d.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Pass
+        );
     }
 
     #[test]
@@ -307,6 +400,67 @@ mod tests {
             }
             other => panic!("expected inject, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn link_fault_honors_probability_extremes() {
+        let f = LinkFault::new(5, 1.0);
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Drop
+        );
+        assert_eq!(f.dropped_count(), 1);
+        let f = LinkFault::new(5, 0.0);
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Pass
+        );
+        assert_eq!(f.dropped_count(), 0);
+    }
+
+    #[test]
+    fn link_fault_blackout_drops_both_directions_within_window() {
+        let clock = VClock::new();
+        let f = LinkFault::new(5, 0.0).with_clock(clock.clone());
+        f.blackout(urn("b"), 100, 200);
+        // Before the window: passes.
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Pass
+        );
+        clock.advance_to(150);
+        // Inside: drops traffic to AND from the dead host.
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Drop
+        );
+        assert_eq!(
+            f.on_transit(&urn("b"), &urn("a"), b"x"),
+            TransitAction::Drop
+        );
+        // Unrelated hosts are unaffected.
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("c"), b"x"),
+            TransitAction::Pass
+        );
+        clock.advance_to(200);
+        // The window is half-open: at until_ns the host is back.
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Pass
+        );
+        assert_eq!(f.blackout_dropped_count(), 2);
+        assert_eq!(f.dropped_count(), 0);
+    }
+
+    #[test]
+    fn link_fault_blackout_without_clock_is_inert() {
+        let f = LinkFault::new(5, 0.0);
+        f.blackout(urn("b"), 0, u64::MAX);
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Pass
+        );
     }
 
     #[test]

@@ -195,7 +195,9 @@ impl SealedDatagram {
         mac.update(&ciphertext);
         let tag = mac.finalize().0;
 
-        let sig = identity.keys.sign(&signed_hash(&header, &ciphertext, &tag), rng);
+        let sig = identity
+            .keys
+            .sign(&signed_hash(&header, &ciphertext, &tag), rng);
         SealedDatagram {
             from: identity.name.clone(),
             to: to.clone(),
@@ -374,7 +376,15 @@ mod tests {
         roots.trust("ca", ca.public);
         let mk = |name: &Urn, serial, rng: &mut DetRng| {
             let keys = KeyPair::generate(rng);
-            let cert = Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, serial, rng);
+            let cert = Certificate::issue(
+                name.to_string(),
+                keys.public,
+                "ca",
+                &ca,
+                u64::MAX,
+                serial,
+                rng,
+            );
             (
                 ChannelIdentity {
                     name: name.clone(),
@@ -410,7 +420,9 @@ mod tests {
             &mut w.rng,
         );
         let mut guard = ReplayGuard::new(1_000_000);
-        let (from, payload) = d.open(&w.b, &w.b_keys, &w.roots, 1_500, &mut guard).unwrap();
+        let (from, payload) = d
+            .open(&w.b, &w.b_keys, &w.roots, 1_500, &mut guard)
+            .unwrap();
         assert_eq!(from, w.a.name);
         assert_eq!(payload, b"agent image bytes");
         let _ = &w.a_keys;
@@ -429,7 +441,9 @@ mod tests {
         let secret = b"credit card 4111";
         let d = SealedDatagram::seal(&w.a, &w.b.name, w.b_keys.public, secret, 0, &mut w.rng);
         let bytes = d.to_bytes();
-        assert!(!bytes.windows(secret.len()).any(|wd| wd == secret.as_slice()));
+        assert!(!bytes
+            .windows(secret.len())
+            .any(|wd| wd == secret.as_slice()));
     }
 
     #[test]
@@ -451,7 +465,10 @@ mod tests {
         let mut guard = ReplayGuard::new(100);
         assert_eq!(
             d.open(&w.b, &w.b_keys, &w.roots, 200, &mut guard),
-            Err(DatagramError::Stale { sent_at: 0, now: 200 })
+            Err(DatagramError::Stale {
+                sent_at: 0,
+                now: 200
+            })
         );
         assert!(guard.is_empty());
     }

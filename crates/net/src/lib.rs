@@ -33,7 +33,9 @@ pub mod secure;
 pub mod sim;
 pub mod time;
 
-pub use adversary::{Adversary, Dropper, Eavesdropper, Forger, Replayer, Tamperer, TransitAction};
+pub use adversary::{
+    Adversary, Dropper, Eavesdropper, Forger, LinkFault, Replayer, Tamperer, TransitAction,
+};
 pub use datagram::{DatagramError, ReplayGuard, SealedDatagram};
 pub use link::LinkModel;
 pub use secure::{ChannelError, ChannelIdentity, PendingInitiation, SecureChannel};

@@ -447,8 +447,7 @@ impl PendingInitiation {
             return Err(ChannelError::BadGroupElement);
         }
         let tbs = ack_transcript(&self.hello_bytes, &ack.from, ack.nonce, ack.dh);
-        sig::verify(&peer_key, &tbs, &ack.sig)
-            .map_err(|_| ChannelError::BadHandshakeSignature)?;
+        sig::verify(&peer_key, &tbs, &ack.sig).map_err(|_| ChannelError::BadHandshakeSignature)?;
 
         let secret = pow_mod(ack.dh, self.dh_secret, P);
         Ok(SecureChannel {
@@ -760,12 +759,11 @@ mod tests {
         let (hello_bytes, _) = SecureChannel::initiate(&w.alice, &w.bob.name, &mut w.rng);
         let mut hello = Hello::from_bytes(&hello_bytes).unwrap();
         hello.dh = 1; // identity element: degenerate shared secret
-        // Re-sign so only the group check can complain.
+                      // Re-sign so only the group check can complain.
         let tbs = hello_transcript(&hello.from, &hello.to, hello.nonce, hello.dh);
         hello.sig = w.alice.keys.sign(&tbs, &mut w.rng);
         assert_eq!(
-            SecureChannel::respond(&w.bob, &w.roots, &hello.to_bytes(), 0, &mut w.rng)
-                .unwrap_err(),
+            SecureChannel::respond(&w.bob, &w.roots, &hello.to_bytes(), 0, &mut w.rng).unwrap_err(),
             ChannelError::BadGroupElement
         );
     }
@@ -778,7 +776,15 @@ mod tests {
         roots.trust("ca.root", ca.public);
         let name = Urn::server("a.org", ["stale"]).unwrap();
         let keys = KeyPair::generate(&mut rng);
-        let cert = Certificate::issue(name.to_string(), keys.public, "ca.root", &ca, 100, 1, &mut rng);
+        let cert = Certificate::issue(
+            name.to_string(),
+            keys.public,
+            "ca.root",
+            &ca,
+            100,
+            1,
+            &mut rng,
+        );
         let stale = ChannelIdentity {
             name: name.clone(),
             keys,

@@ -4,21 +4,37 @@
 
 use ajanta_crypto::cert::Certificate;
 use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
+use ajanta_naming::Urn;
 use ajanta_net::secure::{ChannelIdentity, SecureChannel};
 use ajanta_net::{LinkModel, ReplayGuard, SealedDatagram};
-use ajanta_naming::Urn;
 use ajanta_wire::Wire;
 use proptest::prelude::*;
 
-fn world(seed: u64) -> (RootOfTrust, ChannelIdentity, KeyPair, ChannelIdentity, KeyPair, DetRng) {
+fn world(
+    seed: u64,
+) -> (
+    RootOfTrust,
+    ChannelIdentity,
+    KeyPair,
+    ChannelIdentity,
+    KeyPair,
+    DetRng,
+) {
     let mut rng = DetRng::new(seed);
     let ca = KeyPair::generate(&mut rng);
     let mut roots = RootOfTrust::new();
     roots.trust("ca", ca.public);
     let mk = |name: &Urn, serial: u64, rng: &mut DetRng| {
         let keys = KeyPair::generate(rng);
-        let cert =
-            Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, serial, rng);
+        let cert = Certificate::issue(
+            name.to_string(),
+            keys.public,
+            "ca",
+            &ca,
+            u64::MAX,
+            serial,
+            rng,
+        );
         (
             ChannelIdentity {
                 name: name.clone(),

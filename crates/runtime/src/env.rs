@@ -17,6 +17,7 @@
 //! | import | signature | semantics |
 //! |---|---|---|
 //! | `env.go` | `(bytes dest, bytes entry) -> int` | migrate; never returns |
+//! | `env.go_tour` | `(bytes itinerary, bytes entry) -> int` | migrate to the itinerary's head, carrying the tail as recovery fallbacks |
 //! | `env.get_resource` | `(bytes name) -> int` | bind; returns proxy handle |
 //! | `env.invoke` | `(int handle, bytes method, bytes args) -> bytes` | call through proxy; result encoding below |
 //! | `env.args0..` | various | build `args` payloads |
@@ -64,6 +65,7 @@ pub fn declare_all_imports(b: &mut ajanta_vm::ModuleBuilder) {
 /// The ABI table (name, params, ret).
 pub const IMPORTS: &[(&str, &[Ty], Ty)] = &[
     ("env.go", &[Ty::Bytes, Ty::Bytes], Ty::Int),
+    ("env.go_tour", &[Ty::Bytes, Ty::Bytes], Ty::Int),
     ("env.get_resource", &[Ty::Bytes], Ty::Int),
     ("env.invoke", &[Ty::Int, Ty::Bytes, Ty::Bytes], Ty::Bytes),
     ("env.args0", &[], Ty::Bytes),
@@ -82,11 +84,19 @@ pub const IMPORTS: &[(&str, &[Ty], Ty)] = &[
     ("env.home", &[], Ty::Bytes),
     ("env.time", &[], Ty::Int),
     ("env.send", &[Ty::Bytes, Ty::Bytes], Ty::Int),
-    ("env.send_remote", &[Ty::Bytes, Ty::Bytes, Ty::Bytes], Ty::Int),
+    (
+        "env.send_remote",
+        &[Ty::Bytes, Ty::Bytes, Ty::Bytes],
+        Ty::Int,
+    ),
     ("env.recv", &[], Ty::Bytes),
     ("env.sender", &[], Ty::Bytes),
     ("env.install_resource", &[Ty::Bytes, Ty::Bytes], Ty::Int),
-    ("env.dispatch", &[Ty::Bytes, Ty::Bytes, Ty::Bytes], Ty::Bytes),
+    (
+        "env.dispatch",
+        &[Ty::Bytes, Ty::Bytes, Ty::Bytes],
+        Ty::Bytes,
+    ),
     ("env.itin_head", &[Ty::Bytes], Ty::Bytes),
     ("env.itin_tail", &[Ty::Bytes], Ty::Bytes),
     ("env.rand", &[Ty::Int], Ty::Int),
@@ -127,13 +137,18 @@ pub fn decode_result(bytes: &[u8]) -> Option<Result<Value, String>> {
     }
 }
 
-/// Where the agent asked to go (set by a successful `env.go`).
+/// Where the agent asked to go (set by a successful `env.go` or
+/// `env.go_tour`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PendingGo {
     /// Destination server.
     pub dest: Urn,
     /// Entry function to resume at.
     pub entry: String,
+    /// Later itinerary stops, in order — the recovery plan if `dest`
+    /// stays unreachable after the transfer layer's retries exhaust
+    /// (`env.go_tour` fills this; plain `env.go` leaves it empty).
+    pub fallbacks: Vec<Urn>,
 }
 
 /// The per-agent environment: implements [`HostInterface`] for one agent
@@ -248,7 +263,29 @@ impl HostInterface for AgentEnv {
                 let dest = Self::parse_urn(args[0].as_bytes().expect("verified"), "destination")?;
                 let entry = String::from_utf8(args[1].as_bytes().expect("verified").to_vec())
                     .map_err(|_| HostError::Failed("malformed entry name".into()))?;
-                self.pending_go = Some(PendingGo { dest, entry });
+                self.pending_go = Some(PendingGo {
+                    dest,
+                    entry,
+                    fallbacks: Vec::new(),
+                });
+                Ok(HostResponse::Stop(Value::Int(0)))
+            }
+            "env.go_tour" => {
+                // Like env.go, but the agent hands over its whole
+                // remaining itinerary: head = next stop, tail = the
+                // recovery plan the transfer layer may fall back to.
+                let plan = itinerary::Itinerary::decode(args[0].as_bytes().expect("verified"))
+                    .map_err(|e| HostError::Failed(format!("go_tour: {e}")))?;
+                let entry = String::from_utf8(args[1].as_bytes().expect("verified").to_vec())
+                    .map_err(|_| HostError::Failed("malformed entry name".into()))?;
+                let (dest, rest) = plan.next_stop();
+                let dest =
+                    dest.ok_or_else(|| HostError::Failed("go_tour: empty itinerary".into()))?;
+                self.pending_go = Some(PendingGo {
+                    dest,
+                    entry,
+                    fallbacks: rest.stops().to_vec(),
+                });
                 Ok(HostResponse::Stop(Value::Int(0)))
             }
             "env.get_resource" => {
@@ -313,21 +350,21 @@ impl HostInterface for AgentEnv {
             }
             "env.res_int" => match decode_result(args[0].as_bytes().expect("verified")) {
                 Some(Ok(Value::Int(i))) => val(Value::Int(i)),
-                other => Err(HostError::Failed(format!("result is not an int: {other:?}"))),
+                other => Err(HostError::Failed(format!(
+                    "result is not an int: {other:?}"
+                ))),
             },
             "env.res_bytes" => match decode_result(args[0].as_bytes().expect("verified")) {
                 Some(Ok(Value::Bytes(b))) => val(Value::Bytes(b)),
-                other => Err(HostError::Failed(format!(
-                    "result is not bytes: {other:?}"
-                ))),
+                other => Err(HostError::Failed(format!("result is not bytes: {other:?}"))),
             },
             "env.res_err" => match decode_result(args[0].as_bytes().expect("verified")) {
                 Some(Err(msg)) => val(Value::Bytes(msg.into_bytes())),
                 _ => val(Value::Bytes(Vec::new())),
             },
             "env.log" => {
-                let text = String::from_utf8_lossy(args[0].as_bytes().expect("verified"))
-                    .into_owned();
+                let text =
+                    String::from_utf8_lossy(args[0].as_bytes().expect("verified")).into_owned();
                 self.shared.log(&self.identity, text);
                 val(Value::Int(0))
             }
@@ -345,23 +382,24 @@ impl HostInterface for AgentEnv {
                 let server = Self::parse_urn(args[0].as_bytes().expect("verified"), "server")?;
                 let to = Self::parse_urn(args[1].as_bytes().expect("verified"), "agent")?;
                 let data = args[2].as_bytes().expect("verified").to_vec();
-                match self.shared.remote_mail(self.identity.clone(), server, to, data) {
+                match self
+                    .shared
+                    .remote_mail(self.identity.clone(), server, to, data)
+                {
                     Ok(()) => val(Value::Int(1)),
                     Err(e) => Err(HostError::Failed(e)),
                 }
             }
-            "env.recv" => {
-                match self.shared.take_mail(&self.identity) {
-                    Some((from, data)) => {
-                        self.last_sender = from.to_string().into_bytes();
-                        val(Value::Bytes(data))
-                    }
-                    None => {
-                        self.last_sender.clear();
-                        val(Value::Bytes(Vec::new()))
-                    }
+            "env.recv" => match self.shared.take_mail(&self.identity) {
+                Some((from, data)) => {
+                    self.last_sender = from.to_string().into_bytes();
+                    val(Value::Bytes(data))
                 }
-            }
+                None => {
+                    self.last_sender.clear();
+                    val(Value::Bytes(Vec::new()))
+                }
+            },
             "env.sender" => val(Value::Bytes(self.last_sender.clone())),
             "env.install_resource" => {
                 let name = Self::parse_urn(args[0].as_bytes().expect("verified"), "resource")?;

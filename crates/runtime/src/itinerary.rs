@@ -13,39 +13,85 @@
 
 use ajanta_naming::Urn;
 
+/// Why an itinerary byte encoding failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItineraryError {
+    /// The bytes are not UTF-8 at all.
+    NotUtf8,
+    /// Line `line` (0-based) is not a parseable URN; `text` is the
+    /// offending line, so callers can say *which* stop was malformed
+    /// instead of discarding the whole valid prefix silently.
+    BadStop {
+        /// 0-based index of the malformed line.
+        line: usize,
+        /// The line that failed to parse.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for ItineraryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ItineraryError::NotUtf8 => write!(f, "itinerary is not utf-8"),
+            ItineraryError::BadStop { line, text } => {
+                write!(f, "itinerary line {line} is not a server urn: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ItineraryError {}
+
 /// A predetermined travel plan.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// Advancing is O(1): `next_stop` moves a cursor instead of shifting the
+/// vector (the old `Vec::remove(0)` made an n-stop tour O(n²)). Equality
+/// and the encoding consider only the *remaining* stops, so a partially
+/// consumed itinerary behaves exactly like a freshly built shorter one.
+#[derive(Debug, Clone, Default)]
 pub struct Itinerary {
     stops: Vec<Urn>,
+    cursor: usize,
 }
+
+impl PartialEq for Itinerary {
+    fn eq(&self, other: &Self) -> bool {
+        self.stops() == other.stops()
+    }
+}
+
+impl Eq for Itinerary {}
 
 impl Itinerary {
     /// An itinerary over the given stops, in visiting order.
     pub fn new(stops: impl IntoIterator<Item = Urn>) -> Self {
         Itinerary {
             stops: stops.into_iter().collect(),
+            cursor: 0,
         }
     }
 
     /// The stops remaining.
     pub fn stops(&self) -> &[Urn] {
-        &self.stops
+        &self.stops[self.cursor..]
     }
 
     /// Splits off the next stop, returning it and the remainder.
     pub fn next_stop(mut self) -> (Option<Urn>, Itinerary) {
-        if self.stops.is_empty() {
-            (None, self)
-        } else {
-            let head = self.stops.remove(0);
-            (Some(head), self)
+        match self.stops.get(self.cursor) {
+            Some(head) => {
+                let head = head.clone();
+                self.cursor += 1;
+                (Some(head), self)
+            }
+            None => (None, self),
         }
     }
 
-    /// The byte encoding agents carry in a global.
+    /// The byte encoding agents carry in a global (remaining stops only).
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        for (i, stop) in self.stops.iter().enumerate() {
+        for (i, stop) in self.stops().iter().enumerate() {
             if i > 0 {
                 out.push(b'\n');
             }
@@ -54,14 +100,21 @@ impl Itinerary {
         out
     }
 
-    /// Parses the byte encoding; malformed URNs yield `None`.
-    pub fn decode(bytes: &[u8]) -> Option<Itinerary> {
+    /// Parses the byte encoding, reporting *which* line is malformed
+    /// rather than collapsing every failure to `None`.
+    pub fn decode(bytes: &[u8]) -> Result<Itinerary, ItineraryError> {
         if bytes.is_empty() {
-            return Some(Itinerary::default());
+            return Ok(Itinerary::default());
         }
-        let text = std::str::from_utf8(bytes).ok()?;
-        let stops: Option<Vec<Urn>> = text.split('\n').map(|l| l.parse().ok()).collect();
-        Some(Itinerary { stops: stops? })
+        let text = std::str::from_utf8(bytes).map_err(|_| ItineraryError::NotUtf8)?;
+        let mut stops = Vec::new();
+        for (line, l) in text.split('\n').enumerate() {
+            stops.push(l.parse().map_err(|_| ItineraryError::BadStop {
+                line,
+                text: l.to_string(),
+            })?);
+        }
+        Ok(Itinerary { stops, cursor: 0 })
     }
 }
 
@@ -93,14 +146,14 @@ mod tests {
     fn encode_decode_roundtrip() {
         let it = Itinerary::new([server("a"), server("b"), server("c")]);
         let bytes = it.encode();
-        assert_eq!(Itinerary::decode(&bytes), Some(it));
+        assert_eq!(Itinerary::decode(&bytes), Ok(it));
     }
 
     #[test]
     fn empty_itinerary() {
         let it = Itinerary::default();
         assert!(it.encode().is_empty());
-        assert_eq!(Itinerary::decode(b""), Some(Itinerary::default()));
+        assert_eq!(Itinerary::decode(b""), Ok(Itinerary::default()));
         let (next, rest) = it.next_stop();
         assert_eq!(next, None);
         assert!(rest.stops().is_empty());
@@ -118,9 +171,35 @@ mod tests {
     }
 
     #[test]
-    fn malformed_entries_rejected() {
-        assert_eq!(Itinerary::decode(b"not a urn"), None);
-        assert_eq!(Itinerary::decode(&[0xff, 0xfe]), None);
+    fn partially_consumed_equals_shorter_plan() {
+        let (_, rest) = Itinerary::new([server("a"), server("b"), server("c")]).next_stop();
+        let fresh = Itinerary::new([server("b"), server("c")]);
+        assert_eq!(rest, fresh);
+        assert_eq!(rest.encode(), fresh.encode());
+    }
+
+    #[test]
+    fn malformed_entries_report_the_line() {
+        assert_eq!(
+            Itinerary::decode(b"not a urn"),
+            Err(ItineraryError::BadStop {
+                line: 0,
+                text: "not a urn".into()
+            })
+        );
+        let mut bytes = Itinerary::new([server("a"), server("b")]).encode();
+        bytes.extend_from_slice(b"\nbogus");
+        assert_eq!(
+            Itinerary::decode(&bytes),
+            Err(ItineraryError::BadStop {
+                line: 2,
+                text: "bogus".into()
+            })
+        );
+        assert_eq!(
+            Itinerary::decode(&[0xff, 0xfe]),
+            Err(ItineraryError::NotUtf8)
+        );
     }
 
     #[test]

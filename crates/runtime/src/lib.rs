@@ -35,9 +35,10 @@ pub mod vmres;
 pub mod world;
 
 pub use directory::Directory;
-pub use messages::{Message, Report, ReportStatus};
+pub use itinerary::{Itinerary, ItineraryError};
+pub use messages::{AgentStatus, Message, Report, ReportStatus};
 pub use owner::Owner;
-pub use server::{AgentServer, SecurityEvent, ServerConfig, ServerHandle};
+pub use server::{AgentServer, QueryError, RetryPolicy, SecurityEvent, ServerConfig, ServerHandle};
 pub use vmres::VmResource;
 pub use world::World;
 

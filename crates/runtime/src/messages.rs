@@ -53,7 +53,12 @@ impl Wire for ReportStatus {
             1 => ReportStatus::Failed(s),
             2 => ReportStatus::QuotaExceeded(s),
             3 => ReportStatus::Refused(s),
-            tag => return Err(WireError::BadTag { ty: "ReportStatus", tag }),
+            tag => {
+                return Err(WireError::BadTag {
+                    ty: "ReportStatus",
+                    tag,
+                })
+            }
         })
     }
 }
@@ -135,7 +140,10 @@ impl Wire for AgentStatus {
                 bindings: ajanta_wire::decode_seq(d)?,
             }),
             1 => Ok(AgentStatus::NotResident),
-            tag => Err(WireError::BadTag { ty: "AgentStatus", tag }),
+            tag => Err(WireError::BadTag {
+                ty: "AgentStatus",
+                tag,
+            }),
         }
     }
 }
@@ -167,8 +175,15 @@ pub enum Message {
         /// child.
         arg: Vec<u8>,
     },
-    /// A status report for the home site.
-    Report(Report),
+    /// A status report for the home site. `seq` is the sender-chosen
+    /// delivery sequence the home site echoes in its [`Message::Ack`] and
+    /// dedupes retried copies by.
+    Report {
+        /// The report itself.
+        report: Report,
+        /// Per-sending-server delivery sequence number.
+        seq: u64,
+    },
     /// Mail from one agent to another hosted on the destination server.
     AgentMail {
         /// Sending agent.
@@ -195,6 +210,29 @@ pub enum Message {
         /// Its status at the replying server.
         status: AgentStatus,
     },
+    /// Delivery acknowledgment for a reliable frame ([`Message::Transfer`]
+    /// or [`Message::Report`]): "I processed (or had already processed)
+    /// `(agent, seq)`". The sender stops retrying on receipt. `kind`
+    /// disambiguates the two sequence spaces ([`Ack::TRANSFER`] uses the
+    /// hop number, [`Ack::REPORT`] the report sequence).
+    Ack {
+        /// Which sequence space `seq` lives in.
+        kind: u8,
+        /// The agent the acknowledged frame concerned.
+        agent: Urn,
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+/// Namespacing constants for [`Message::Ack::kind`].
+pub struct Ack;
+
+impl Ack {
+    /// The acked frame was a [`Message::Transfer`]; `seq` is its hop.
+    pub const TRANSFER: u8 = 0;
+    /// The acked frame was a [`Message::Report`]; `seq` is its sequence.
+    pub const REPORT: u8 = 1;
 }
 
 impl Wire for Message {
@@ -214,9 +252,10 @@ impl Wire for Message {
                 run_as.encode(e);
                 e.put_bytes(arg);
             }
-            Message::Report(r) => {
+            Message::Report { report, seq } => {
                 e.put_u8(1);
-                r.encode(e);
+                report.encode(e);
+                e.put_varint(*seq);
             }
             Message::AgentMail { from, to, data } => {
                 e.put_u8(2);
@@ -239,6 +278,12 @@ impl Wire for Message {
                 agent.encode(e);
                 status.encode(e);
             }
+            Message::Ack { kind, agent, seq } => {
+                e.put_u8(5);
+                e.put_u8(*kind);
+                agent.encode(e);
+                e.put_varint(*seq);
+            }
         }
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
@@ -250,7 +295,10 @@ impl Wire for Message {
                 run_as: Urn::decode(d)?,
                 arg: d.get_bytes()?,
             }),
-            1 => Ok(Message::Report(Report::decode(d)?)),
+            1 => Ok(Message::Report {
+                report: Report::decode(d)?,
+                seq: d.get_varint()?,
+            }),
             2 => Ok(Message::AgentMail {
                 from: Urn::decode(d)?,
                 to: Urn::decode(d)?,
@@ -264,6 +312,11 @@ impl Wire for Message {
                 query_id: d.get_varint()?,
                 agent: Urn::decode(d)?,
                 status: AgentStatus::decode(d)?,
+            }),
+            5 => Ok(Message::Ack {
+                kind: d.get_u8()?,
+                agent: Urn::decode(d)?,
+                seq: d.get_varint()?,
             }),
             tag => Err(WireError::BadTag { ty: "Message", tag }),
         }
@@ -280,13 +333,7 @@ mod tests {
     fn sample_image() -> AgentImage {
         let mut b = ModuleBuilder::new("m");
         b.global(Ty::Int);
-        b.function(
-            "run",
-            [Ty::Bytes],
-            [],
-            Ty::Int,
-            vec![Op::PushI(0), Op::Ret],
-        );
+        b.function("run", [Ty::Bytes], [], Ty::Int, vec![Op::PushI(0), Op::Ret]);
         let module = b.build();
         let globals = module.initial_globals();
         AgentImage {
@@ -353,12 +400,15 @@ mod tests {
             ReportStatus::QuotaExceeded("fuel".into()),
             ReportStatus::Refused("bad credentials".into()),
         ] {
-            let m = Message::Report(Report {
-                agent: Urn::agent("x.org", ["a"]).unwrap(),
-                server: Urn::server("x.org", ["s"]).unwrap(),
-                status,
-                at: 777,
-            });
+            let m = Message::Report {
+                report: Report {
+                    agent: Urn::agent("x.org", ["a"]).unwrap(),
+                    server: Urn::server("x.org", ["s"]).unwrap(),
+                    status,
+                    at: 777,
+                },
+                seq: 12,
+            };
             assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
         }
     }
@@ -371,6 +421,18 @@ mod tests {
             data: vec![1, 2, 3],
         };
         assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn ack_roundtrips() {
+        for kind in [Ack::TRANSFER, Ack::REPORT] {
+            let m = Message::Ack {
+                kind,
+                agent: Urn::agent("x.org", ["a"]).unwrap(),
+                seq: 42,
+            };
+            assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+        }
     }
 
     #[test]

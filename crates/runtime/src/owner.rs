@@ -114,8 +114,15 @@ mod tests {
         roots.trust("ca", ca.public);
         let name = Urn::owner("umn.edu", ["alice"]).unwrap();
         let keys = KeyPair::generate(&mut rng);
-        let cert =
-            Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, 1, &mut rng);
+        let cert = Certificate::issue(
+            name.to_string(),
+            keys.public,
+            "ca",
+            &ca,
+            u64::MAX,
+            1,
+            &mut rng,
+        );
         (Owner::new(name, keys, vec![cert], 42), roots)
     }
 

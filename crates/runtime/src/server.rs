@@ -11,13 +11,14 @@
 //! byte-code verification in a fresh name-space → policy authorization →
 //! domain creation → execution under quotas.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use ajanta_core::{
     AccessProtocol, BindError, Credentials, DomainDatabase, DomainId, Event, Guarded, HostMonitor,
@@ -35,8 +36,110 @@ use ajanta_wire::Wire;
 
 use crate::directory::Directory;
 use crate::env::AgentEnv;
-use crate::messages::{AgentStatus, Message, Report, ReportStatus};
+use crate::itinerary::Itinerary;
+use crate::messages::{Ack, AgentStatus, Message, Report, ReportStatus};
 use crate::vmres::VmResource;
+
+/// Retry/backoff policy for the fault-tolerant migration layer.
+///
+/// Reliable frames (agent transfers and home-bound reports) are tracked
+/// until the receiver's delivery ack arrives; a frame still unacked after
+/// [`RetryPolicy::ack_grace`] of *real* time is re-sent, with each retry
+/// modeled at a capped-exponential-backoff instant of **virtual** time
+/// (optionally jittered from the server's deterministic RNG). After
+/// [`RetryPolicy::max_attempts`] total attempts the frame dead-stops:
+/// transfers consult their itinerary fallbacks (skip the unreachable
+/// stop) or report `Failed(hop)` home — no orphans either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total send attempts per destination (1 = fire-and-forget).
+    pub max_attempts: u32,
+    /// Backoff before the first retry (virtual ns); doubles per attempt.
+    pub base_delay_ns: u64,
+    /// Backoff ceiling (virtual ns).
+    pub max_delay_ns: u64,
+    /// Jitter each delay uniformly over `[delay/2, delay]`.
+    pub jitter: bool,
+    /// Real-time grace before an unacked *first* attempt counts as
+    /// lost; each later attempt doubles it, so a healthy-but-busy
+    /// receiver whose acks lag (a burst of admissions queued on its
+    /// loop) wins the race long before attempts exhaust. Healthy acks
+    /// beat the grace comfortably, so fault-free runs never force the
+    /// virtual clock forward and timing experiments are undisturbed.
+    pub ack_grace: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay_ns: 50 * ajanta_net::time::MILLIS,
+            max_delay_ns: 800 * ajanta_net::time::MILLIS,
+            jitter: true,
+            ack_grace: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pre-fault-tolerance behavior: one attempt, no tracking, no
+    /// acks — a dropped transfer strands the agent.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Whether the reliable-delivery layer is active.
+    pub fn enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Backoff after `attempt` total attempts: capped exponential, with
+    /// optional deterministic jitter.
+    fn delay_ns(&self, attempt: u32, rng: &mut DetRng) -> u64 {
+        let exp = attempt.saturating_sub(1).min(16);
+        let full = self
+            .base_delay_ns
+            .saturating_mul(1u64 << exp)
+            .min(self.max_delay_ns)
+            .max(1);
+        if self.jitter {
+            full / 2 + rng.below(full - full / 2 + 1)
+        } else {
+            full
+        }
+    }
+
+    /// Real-time ack grace for a frame on its `attempt`-th attempt:
+    /// doubles per attempt so transient receiver backlog is outwaited.
+    fn grace(&self, attempt: u32) -> Duration {
+        self.ack_grace * (1u32 << attempt.saturating_sub(1).min(10))
+    }
+}
+
+/// Why [`ServerHandle::query_status`] failed — a dead/unreachable server
+/// is now distinguishable from a server that replied "not resident".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query could not even be sent (no directory entry, detached
+    /// endpoint, or the local server is shut down).
+    Unreachable(String),
+    /// No reply arrived within the timeout — the server may be down.
+    Timeout,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Unreachable(e) => write!(f, "status query unreachable: {e}"),
+            QueryError::Timeout => write!(f, "status query timed out"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// A recorded security-relevant rejection (experiment X11's raw data) —
 /// a projection of the journal's [`Event::Rejected`] records, kept as a
@@ -105,6 +208,8 @@ pub struct ServerConfig {
     pub agents_may_dispatch: bool,
     /// Replay-guard freshness window (virtual ns).
     pub replay_window_ns: u64,
+    /// Retry/backoff policy for transfers and reports.
+    pub retry: RetryPolicy,
     /// Seed for this server's nonce/ephemeral randomness.
     pub seed: u64,
     /// Total records the telemetry journal retains (audit decisions,
@@ -115,6 +220,81 @@ pub struct ServerConfig {
 
 /// Queued (sender, payload) mail for one agent.
 type Mailbox = VecDeque<(Urn, Vec<u8>)>;
+
+/// The idempotency key of a reliable frame.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum FrameKey {
+    /// Admission idempotency (ISSUE tentpole 2): `(agent URN, hop)`,
+    /// deliberately sender-agnostic — the same hop arriving twice from
+    /// *anywhere* (retry, replay, dual-path failover) is admitted once.
+    Transfer {
+        /// The executing identity.
+        agent: Urn,
+        /// The hop sequence number carried in the transfer.
+        hop: u64,
+    },
+    /// Report dedup: scoped to the reporting server, whose private
+    /// sequence counter numbers its own reports.
+    Report {
+        /// The reporting server.
+        from: Urn,
+        /// The reported-on agent.
+        agent: Urn,
+        /// The reporter's delivery sequence.
+        seq: u64,
+    },
+}
+
+/// Bounded memory of already-processed reliable frames. FIFO-evicted at
+/// `SEEN_CAP`, so an adversary hammering retries cannot grow it without
+/// bound; the window is far larger than any plausible retry horizon.
+#[derive(Default)]
+struct SeenFrames {
+    set: HashSet<FrameKey>,
+    order: VecDeque<FrameKey>,
+}
+
+const SEEN_CAP: usize = 8192;
+
+impl SeenFrames {
+    /// Returns true when `key` is fresh (first sighting).
+    fn insert(&mut self, key: FrameKey) -> bool {
+        if !self.set.insert(key.clone()) {
+            return false;
+        }
+        self.order.push_back(key);
+        if self.order.len() > SEEN_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+}
+
+/// A transfer's recovery plan, consulted when retries toward its current
+/// destination exhaust.
+struct Recovery {
+    /// Credentials for the `Failed(hop)` home report of last resort.
+    credentials: Credentials,
+    /// Remaining itinerary stops to fall back to, in order.
+    fallbacks: Vec<Urn>,
+}
+
+/// One reliable frame awaiting its delivery ack.
+struct PendingSend {
+    dest: Urn,
+    msg: Message,
+    /// Send attempts so far (≥ 1).
+    attempt: u32,
+    /// Virtual instant the next retry is modeled at.
+    due_ns: u64,
+    /// Real instant of the last attempt; the retry ticker only acts once
+    /// [`RetryPolicy::ack_grace`] of real time has passed without an ack.
+    sent_real: Instant,
+    /// `Some` for transfers (dead-stop recovery), `None` for reports.
+    recovery: Option<Recovery>,
+}
 
 /// Lock shards for the mailbox map. Mail delivery and pickup for
 /// different agents contend only within a shard, so many agent worker
@@ -152,11 +332,23 @@ pub struct Shared {
     /// Bounded; replaces the old unbounded `logs`/`events` vectors.
     journal: Arc<Journal>,
     reports: Mutex<Vec<Report>>,
+    /// Signalled on every report arrival; `wait_reports` blocks here
+    /// instead of busy-polling.
+    reports_cv: Condvar,
     rng: Mutex<DetRng>,
     guard: Mutex<ReplayGuard>,
     stats: ServerStats,
-    pending_queries: Mutex<BTreeMap<u64, crossbeam::channel::Sender<AgentStatus>>>,
+    pending_queries:
+        Mutex<BTreeMap<u64, crossbeam::channel::Sender<Result<AgentStatus, QueryError>>>>,
     next_query_id: AtomicU64,
+    /// The fault-tolerant migration layer's state: policy, unacked
+    /// frames, the ticker's wakeup, and the receive-side dedup memory.
+    retry: RetryPolicy,
+    pending_sends: Mutex<HashMap<(u8, Urn, u64), PendingSend>>,
+    retry_cv: Condvar,
+    retry_shutdown: AtomicBool,
+    seen: Mutex<SeenFrames>,
+    next_report_seq: AtomicU64,
 }
 
 impl Shared {
@@ -261,7 +453,13 @@ impl Shared {
     }
 
     /// Sends mail to an agent on another server.
-    pub fn remote_mail(&self, from: Urn, server: Urn, to: Urn, data: Vec<u8>) -> Result<(), String> {
+    pub fn remote_mail(
+        &self,
+        from: Urn,
+        server: Urn,
+        to: Urn,
+        data: Vec<u8>,
+    ) -> Result<(), String> {
         self.send_message(&server, &Message::AgentMail { from, to, data })
     }
 
@@ -331,7 +529,10 @@ impl Shared {
             hop: 0,
             arg: payload,
         };
-        self.send_message(dest, &msg)?;
+        // Children travel on the reliable layer too: if the destination
+        // stays dark, the dead-stop path reports `Failed(0)` to the
+        // family's home site instead of losing the child silently.
+        self.send_transfer(dest, msg, child.clone(), 0, Vec::new(), credentials.clone())?;
         Ok(child)
     }
 
@@ -353,7 +554,7 @@ impl Shared {
     }
 
     /// Records a report arriving at this (home) server, journaling the
-    /// agent's outcome.
+    /// agent's outcome and waking any [`ServerHandle::wait_reports`].
     fn record_report(&self, report: Report) {
         self.stats.reports_in.fetch_add(1, Ordering::Relaxed);
         self.journal.append(Event::AgentReported {
@@ -366,6 +567,7 @@ impl Shared {
             },
         });
         self.reports.lock().push(report);
+        self.reports_cv.notify_all();
     }
 
     fn report_home(&self, run_as: &Urn, credentials: &Credentials, status: ReportStatus) {
@@ -379,9 +581,213 @@ impl Shared {
             self.record_report(report);
             return;
         }
-        if let Err(e) = self.send_message(&credentials.home.clone(), &Message::Report(report)) {
+        // Reports ride the reliable layer as well — under 20% loss the
+        // tour would otherwise survive only for the home site to miss the
+        // outcome. No recovery plan: a report about an undeliverable
+        // report must not recurse.
+        let seq = self.next_report_seq.fetch_add(1, Ordering::Relaxed);
+        let home = credentials.home.clone();
+        let msg = Message::Report { report, seq };
+        if let Err(e) = self.send_reliable(&home, msg, Ack::REPORT, run_as.clone(), seq, None) {
             self.reject(RejectKind::ReportUndeliverable, e);
         }
+    }
+
+    /// Sends an agent transfer with at-least-once delivery and a
+    /// dead-stop recovery plan (`fallbacks` = remaining itinerary).
+    fn send_transfer(
+        &self,
+        dest: &Urn,
+        msg: Message,
+        agent: Urn,
+        hop: u64,
+        fallbacks: Vec<Urn>,
+        credentials: Credentials,
+    ) -> Result<(), String> {
+        let recovery = Recovery {
+            credentials,
+            fallbacks,
+        };
+        self.send_reliable(dest, msg, Ack::TRANSFER, agent, hop, Some(recovery))
+    }
+
+    /// At-least-once delivery: tracks the frame under `(kind, agent,
+    /// seq)` until the peer's [`Message::Ack`] clears it; the retry
+    /// ticker re-sends and eventually dead-stops it. With retries
+    /// disabled this degenerates to the legacy fire-and-forget
+    /// `send_message`, surfacing the send error to the caller.
+    fn send_reliable(
+        &self,
+        dest: &Urn,
+        msg: Message,
+        kind: u8,
+        agent: Urn,
+        seq: u64,
+        recovery: Option<Recovery>,
+    ) -> Result<(), String> {
+        if !self.retry.enabled() {
+            return self.send_message(dest, &msg);
+        }
+        // A failed first send (unknown peer, detached endpoint) is just
+        // a lost attempt: the ticker retries it and the dead-stop path
+        // eventually resolves the agent's fate.
+        let _ = self.send_message(dest, &msg);
+        let due_ns = {
+            let mut rng = self.rng.lock();
+            self.clock_now() + self.retry.delay_ns(1, &mut rng)
+        };
+        let entry = PendingSend {
+            dest: dest.clone(),
+            msg,
+            attempt: 1,
+            due_ns,
+            sent_real: Instant::now(),
+            recovery,
+        };
+        self.pending_sends.lock().insert((kind, agent, seq), entry);
+        self.retry_cv.notify_all();
+        Ok(())
+    }
+
+    /// One retry-ticker pass: re-send every frame whose real-time ack
+    /// grace has lapsed, dead-stopping those out of attempts.
+    fn service_pending(&self) {
+        let now_real = Instant::now();
+        let due: Vec<((u8, Urn, u64), PendingSend)> = {
+            let mut pending = self.pending_sends.lock();
+            let keys: Vec<_> = pending
+                .iter()
+                .filter(|(_, e)| {
+                    now_real.duration_since(e.sent_real) >= self.retry.grace(e.attempt)
+                })
+                .map(|(k, _)| k.clone())
+                .collect();
+            keys.into_iter()
+                .filter_map(|k| pending.remove(&k).map(|e| (k, e)))
+                .collect()
+        };
+        for ((kind, agent, seq), entry) in due {
+            if entry.attempt >= self.retry.max_attempts {
+                self.dead_stop(kind, agent, seq, entry);
+            } else {
+                self.resend(kind, agent, seq, entry);
+            }
+        }
+    }
+
+    fn resend(&self, kind: u8, agent: Urn, seq: u64, mut entry: PendingSend) {
+        // The retry is *modeled* at its backoff instant: advance the
+        // virtual clock to the due time (a no-op when other traffic has
+        // already passed it) so retry latency is visible in virtual-time
+        // metrics, exactly like link transit is.
+        self.net.clock().advance_to(entry.due_ns);
+        entry.attempt += 1;
+        if kind == Ack::TRANSFER {
+            self.journal.append(Event::TransferRetried {
+                agent: agent.clone(),
+                dest: entry.dest.clone(),
+                hop: seq,
+                attempt: entry.attempt,
+            });
+        }
+        let _ = self.send_message(&entry.dest, &entry.msg);
+        let delay = {
+            let mut rng = self.rng.lock();
+            self.retry.delay_ns(entry.attempt, &mut rng)
+        };
+        entry.due_ns = self.clock_now() + delay;
+        entry.sent_real = Instant::now();
+        self.pending_sends.lock().insert((kind, agent, seq), entry);
+        // If the ack raced the re-insert it cleared the old entry only;
+        // harmless — the receiver acks every duplicate copy too, so the
+        // re-sent frame's own ack clears this one.
+    }
+
+    /// Retries exhausted. Transfers consult the itinerary: skip the dead
+    /// stop if a fallback exists, else report `Failed(hop)` home — the
+    /// home site always learns the agent's fate. Reports just journal;
+    /// there is nothing left to escalate to.
+    fn dead_stop(&self, kind: u8, agent: Urn, seq: u64, entry: PendingSend) {
+        let Some(mut recovery) = entry.recovery else {
+            self.reject(
+                RejectKind::ReportUndeliverable,
+                format!(
+                    "report {seq} about {agent} toward {} lost after {} attempts",
+                    entry.dest, entry.attempt
+                ),
+            );
+            return;
+        };
+        let hop = seq;
+        if recovery.fallbacks.is_empty() {
+            self.journal.append(Event::AgentRecovered {
+                agent: agent.clone(),
+                hop,
+                disposition: "sent-home",
+            });
+            let credentials = recovery.credentials;
+            self.report_home(
+                &agent,
+                &credentials,
+                ReportStatus::Failed(format!(
+                    "hop {hop}: transfer to {} lost after {} attempts",
+                    entry.dest, entry.attempt
+                )),
+            );
+            return;
+        }
+        let next = recovery.fallbacks.remove(0);
+        self.journal.append(Event::HopSkipped {
+            agent: agent.clone(),
+            skipped: entry.dest.clone(),
+            next: next.clone(),
+            hop,
+        });
+        self.journal.append(Event::AgentRecovered {
+            agent: agent.clone(),
+            hop,
+            disposition: "skipped",
+        });
+        // Same frame, same hop — the idempotency key is unchanged, so if
+        // the "dead" stop actually admitted the agent and only its acks
+        // were lost, the fallback copy can at worst duplicate-admit at a
+        // *different* server, never the same one twice.
+        let _ = self.send_message(&next, &entry.msg);
+        let due_ns = {
+            let mut rng = self.rng.lock();
+            self.clock_now() + self.retry.delay_ns(1, &mut rng)
+        };
+        let fresh = PendingSend {
+            dest: next,
+            msg: entry.msg,
+            attempt: 1,
+            due_ns,
+            sent_real: Instant::now(),
+            recovery: Some(recovery),
+        };
+        self.pending_sends.lock().insert((kind, agent, seq), fresh);
+    }
+}
+
+/// The retry ticker: parks while nothing is pending, then services the
+/// unacked set every millisecond until shutdown.
+fn retry_loop(shared: Arc<Shared>) {
+    loop {
+        {
+            let mut pending = shared.pending_sends.lock();
+            while pending.is_empty() && !shared.retry_shutdown.load(Ordering::Acquire) {
+                // The timeout is only a backstop against a lost wakeup.
+                let (g, _) = shared
+                    .retry_cv
+                    .wait_timeout(pending, Duration::from_millis(25));
+                pending = g;
+            }
+        }
+        if shared.retry_shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+        shared.service_pending();
     }
 }
 
@@ -393,11 +799,13 @@ enum Control {
         dest: Urn,
         credentials: Credentials,
         image: AgentImage,
+        /// Itinerary stops after `dest`, for dead-stop recovery.
+        fallbacks: Vec<Urn>,
     },
     QueryStatus {
         server: Urn,
         agent: Urn,
-        reply: crossbeam::channel::Sender<AgentStatus>,
+        reply: crossbeam::channel::Sender<Result<AgentStatus, QueryError>>,
     },
     Shutdown,
 }
@@ -409,6 +817,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     ctrl: Sender<Control>,
     join: Option<std::thread::JoinHandle<()>>,
+    retry_join: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -423,6 +832,29 @@ impl ServerHandle {
             dest,
             credentials,
             image,
+            fallbacks: Vec::new(),
+        });
+    }
+
+    /// Launches an agent along `itinerary`: toward its first stop, with
+    /// the remaining stops registered as dead-stop fallbacks, so even the
+    /// launch leg survives an unreachable first server. An empty
+    /// itinerary is refused immediately (local report).
+    pub fn launch_tour(&self, itinerary: &Itinerary, credentials: Credentials, image: AgentImage) {
+        let (dest, rest) = itinerary.clone().next_stop();
+        let Some(dest) = dest else {
+            self.shared.report_home(
+                &credentials.agent.clone(),
+                &credentials,
+                ReportStatus::Refused("launch with empty itinerary".into()),
+            );
+            return;
+        };
+        let _ = self.ctrl.send(Control::Launch {
+            dest,
+            credentials,
+            image,
+            fallbacks: rest.stops().to_vec(),
         });
     }
 
@@ -447,36 +879,54 @@ impl ServerHandle {
     }
 
     /// Blocks (real time) until at least `n` reports have arrived or the
-    /// timeout elapses; returns the snapshot either way.
+    /// timeout elapses; returns the snapshot either way. Waiters park on
+    /// a condvar signalled per arrival — no busy-poll, no 2 ms stairs.
     pub fn wait_reports(&self, n: usize, timeout: std::time::Duration) -> Vec<Report> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
+        let mut reports = self.shared.reports.lock();
         loop {
-            let reports = self.reports();
-            if reports.len() >= n || std::time::Instant::now() >= deadline {
-                return reports;
+            if reports.len() >= n {
+                return reports.clone();
             }
-            std::thread::sleep(std::time::Duration::from_millis(2));
+            let now = Instant::now();
+            if now >= deadline {
+                return reports.clone();
+            }
+            let (g, _) = self.shared.reports_cv.wait_timeout(reports, deadline - now);
+            reports = g;
         }
     }
 
     /// Asks `server`'s domain database about `agent` over the network —
     /// paper Section 4: the domain database "responds to status queries
-    /// from their owners". Returns `None` on timeout or send failure.
+    /// from their owners".
+    ///
+    /// The error distinguishes a server that could not be asked or never
+    /// answered ([`QueryError::Unreachable`] / [`QueryError::Timeout`])
+    /// from one that answered "not resident" — callers can now tell a
+    /// dead server from a completed agent.
     pub fn query_status(
         &self,
         server: &Urn,
         agent: &Urn,
         timeout: std::time::Duration,
-    ) -> Option<AgentStatus> {
+    ) -> Result<AgentStatus, QueryError> {
         let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
-        self.ctrl
+        if self
+            .ctrl
             .send(Control::QueryStatus {
                 server: server.clone(),
                 agent: agent.clone(),
                 reply: reply_tx,
             })
-            .ok()?;
-        reply_rx.recv_timeout(timeout).ok()
+            .is_err()
+        {
+            return Err(QueryError::Unreachable("local server is shut down".into()));
+        }
+        match reply_rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(_) => Err(QueryError::Timeout),
+        }
     }
 
     /// Per-agent log lines — a filtered view of the journal's
@@ -552,6 +1002,11 @@ impl ServerHandle {
         if let Some(join) = self.join.take() {
             let _ = join.join();
         }
+        self.shared.retry_shutdown.store(true, Ordering::Release);
+        self.shared.retry_cv.notify_all();
+        if let Some(join) = self.retry_join.take() {
+            let _ = join.join();
+        }
     }
 }
 
@@ -592,11 +1047,18 @@ impl AgentServer {
             mailboxes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             journal,
             reports: Mutex::new(Vec::new()),
+            reports_cv: Condvar::new(),
             rng: Mutex::new(DetRng::new(config.seed)),
             guard: Mutex::new(ReplayGuard::new(config.replay_window_ns)),
             stats: ServerStats::default(),
             pending_queries: Mutex::new(BTreeMap::new()),
             next_query_id: AtomicU64::new(1),
+            retry: config.retry,
+            pending_sends: Mutex::new(HashMap::new()),
+            retry_cv: Condvar::new(),
+            retry_shutdown: AtomicBool::new(false),
+            seen: Mutex::new(SeenFrames::default()),
+            next_report_seq: AtomicU64::new(1),
         });
 
         let (ctrl_tx, ctrl_rx) = unbounded();
@@ -605,12 +1067,24 @@ impl AgentServer {
             .name(format!("ajanta-{}", config.name.leaf()))
             .spawn(move || server_loop(loop_shared, endpoint, ctrl_rx))
             .expect("spawning server thread");
+        let retry_join = if shared.retry.enabled() {
+            let retry_shared = Arc::clone(&shared);
+            Some(
+                std::thread::Builder::new()
+                    .name(format!("ajanta-retry-{}", config.name.leaf()))
+                    .spawn(move || retry_loop(retry_shared))
+                    .expect("spawning retry thread"),
+            )
+        } else {
+            None
+        };
 
         ServerHandle {
             name: config.name,
             shared,
             ctrl: ctrl_tx,
             join: Some(join),
+            retry_join,
         }
     }
 }
@@ -620,20 +1094,23 @@ fn server_loop(shared: Arc<Shared>, endpoint: Endpoint, ctrl: Receiver<Control>)
     loop {
         crossbeam::channel::select! {
             recv(ctrl) -> cmd => match cmd {
-                Ok(Control::Launch { dest, credentials, image }) => {
+                Ok(Control::Launch { dest, credentials, image, fallbacks }) => {
                     shared.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
                     shared.journal.append(Event::AgentDispatched {
                         agent: credentials.agent.clone(),
                         dest: dest.clone(),
                     });
+                    let agent = credentials.agent.clone();
                     let msg = Message::Transfer {
-                        run_as: credentials.agent.clone(),
+                        run_as: agent.clone(),
                         credentials: credentials.clone(),
                         image,
                         hop: 0,
                         arg: Vec::new(),
                     };
-                    if let Err(e) = shared.send_message(&dest, &msg) {
+                    if let Err(e) =
+                        shared.send_transfer(&dest, msg, agent, 0, fallbacks, credentials.clone())
+                    {
                         shared.report_home(&credentials.agent.clone(), &credentials, ReportStatus::Refused(
                             format!("launch toward {dest} failed: {e}"),
                         ));
@@ -643,9 +1120,12 @@ fn server_loop(shared: Arc<Shared>, endpoint: Endpoint, ctrl: Receiver<Control>)
                     let query_id = shared.next_query_id.fetch_add(1, Ordering::Relaxed);
                     shared.pending_queries.lock().insert(query_id, reply);
                     let msg = Message::StatusQuery { query_id, agent };
-                    if shared.send_message(&server, &msg).is_err() {
-                        // Drop the pending entry; the caller times out.
-                        shared.pending_queries.lock().remove(&query_id);
+                    if let Err(e) = shared.send_message(&server, &msg) {
+                        // Tell the caller *why* instead of letting it
+                        // time out against a server that was never asked.
+                        if let Some(reply) = shared.pending_queries.lock().remove(&query_id) {
+                            let _ = reply.send(Err(QueryError::Unreachable(e)));
+                        }
                     }
                 }
                 Ok(Control::Shutdown) | Err(_) => break,
@@ -666,7 +1146,11 @@ fn server_loop(shared: Arc<Shared>, endpoint: Endpoint, ctrl: Receiver<Control>)
     }
 }
 
-fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, workers: &mut Vec<std::thread::JoinHandle<()>>) {
+fn handle_delivery(
+    shared: &Arc<Shared>,
+    delivery: Delivery,
+    workers: &mut Vec<std::thread::JoinHandle<()>>,
+) {
     let now = shared.clock_now();
     let datagram = match SealedDatagram::from_bytes(&delivery.payload) {
         Ok(d) => d,
@@ -677,7 +1161,13 @@ fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, workers: &mut Vec<s
     };
     let opened = {
         let mut guard = shared.guard.lock();
-        datagram.open(&shared.identity, &shared.keys, &shared.roots, now, &mut guard)
+        datagram.open(
+            &shared.identity,
+            &shared.keys,
+            &shared.roots,
+            now,
+            &mut guard,
+        )
     };
     let (sender, plaintext) = match opened {
         Ok(x) => x,
@@ -711,9 +1201,57 @@ fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, workers: &mut Vec<s
             hop,
             run_as,
             arg,
-        } => handle_transfer(shared, credentials, image, hop, run_as, arg, workers),
-        Message::Report(report) => {
+        } => {
+            if shared.retry.enabled() {
+                // Ack first — even duplicates: "acknowledged but not
+                // re-admitted". The admission decision itself hinges on
+                // the idempotency key (agent, hop): a retried or
+                // replayed copy of an already-seen hop goes no further.
+                let ack = Message::Ack {
+                    kind: Ack::TRANSFER,
+                    agent: run_as.clone(),
+                    seq: hop,
+                };
+                let _ = shared.send_message(&sender, &ack);
+            }
+            let fresh = shared.seen.lock().insert(FrameKey::Transfer {
+                agent: run_as.clone(),
+                hop,
+            });
+            if !fresh {
+                shared.reject(
+                    RejectKind::DuplicateHop,
+                    format!("transfer of {run_as} hop {hop} already processed"),
+                );
+                return;
+            }
+            handle_transfer(shared, credentials, image, hop, run_as, arg, workers);
+        }
+        Message::Report { report, seq } => {
+            if shared.retry.enabled() {
+                let ack = Message::Ack {
+                    kind: Ack::REPORT,
+                    agent: report.agent.clone(),
+                    seq,
+                };
+                let _ = shared.send_message(&sender, &ack);
+            }
+            let fresh = shared.seen.lock().insert(FrameKey::Report {
+                from: sender.clone(),
+                agent: report.agent.clone(),
+                seq,
+            });
+            if !fresh {
+                shared.reject(
+                    RejectKind::DuplicateHop,
+                    format!("report {seq} from {sender} already recorded"),
+                );
+                return;
+            }
             shared.record_report(report);
+        }
+        Message::Ack { kind, agent, seq } => {
+            shared.pending_sends.lock().remove(&(kind, agent, seq));
         }
         Message::AgentMail { from, to, data } => {
             if !shared.local_mail(from.clone(), to.clone(), data) {
@@ -742,9 +1280,11 @@ fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, workers: &mut Vec<s
                 shared.reject(RejectKind::ReportUndeliverable, e);
             }
         }
-        Message::StatusReply { query_id, status, .. } => {
+        Message::StatusReply {
+            query_id, status, ..
+        } => {
             if let Some(reply) = shared.pending_queries.lock().remove(&query_id) {
-                let _ = reply.send(status);
+                let _ = reply.send(Ok(status));
             }
         }
     }
@@ -794,8 +1334,15 @@ fn handle_transfer(
         }
     };
     if image.validate().is_err() {
-        shared.reject(RejectKind::BadImage, format!("{run_as}: inconsistent image"));
-        shared.report_home(&run_as, &credentials, ReportStatus::Refused("inconsistent image".into()));
+        shared.reject(
+            RejectKind::BadImage,
+            format!("{run_as}: inconsistent image"),
+        );
+        shared.report_home(
+            &run_as,
+            &credentials,
+            ReportStatus::Refused("inconsistent image".into()),
+        );
         return;
     }
     let verified = match namespace.load(image.module.clone()) {
@@ -813,10 +1360,11 @@ fn handle_transfer(
     };
 
     // 3. Authorization: server policy ∩ owner delegation.
-    let authorization = shared
-        .policy
-        .read()
-        .authorize(&credentials.agent, &credentials.owner, &delegated);
+    let authorization =
+        shared
+            .policy
+            .read()
+            .authorize(&credentials.agent, &credentials.owner, &delegated);
 
     // 4. Domain creation. For a dispatched child, the creator is the
     // parent agent; otherwise the credentialed creator.
@@ -844,6 +1392,7 @@ fn handle_transfer(
     shared.journal.append(Event::AgentAdmitted {
         agent: run_as.clone(),
         domain,
+        hop,
     });
 
     // Thread creation for the agent's domain — mediated by the monitor
@@ -902,7 +1451,11 @@ fn run_agent(
         // Evict before reporting: once the home site sees a report, this
         // server must already show no residue for the agent.
         let _ = shared.domains.evict(DomainId::SERVER, domain);
-        shared.report_home(&run_as, &credentials, ReportStatus::Refused("global mismatch".into()));
+        shared.report_home(
+            &run_as,
+            &credentials,
+            ReportStatus::Refused("global mismatch".into()),
+        );
         return;
     }
 
@@ -931,7 +1484,11 @@ fn run_agent(
 
     match outcome {
         ExecOutcome::Finished(v) => {
-            shared.report_home(&run_as, &credentials, ReportStatus::Completed(v.display_lossy()));
+            shared.report_home(
+                &run_as,
+                &credentials,
+                ReportStatus::Completed(v.display_lossy()),
+            );
         }
         ExecOutcome::HostStopped { .. } => {
             let pending = env.pending_go().cloned();
@@ -965,7 +1522,16 @@ fn run_agent(
                             hop: hop + 1,
                             arg: Vec::new(),
                         };
-                        if let Err(e) = shared.send_message(&go.dest, &msg) {
+                        // go_tour's itinerary tail rides along as the
+                        // dead-stop recovery plan; plain go has none.
+                        if let Err(e) = shared.send_transfer(
+                            &go.dest,
+                            msg,
+                            run_as.clone(),
+                            hop + 1,
+                            go.fallbacks.clone(),
+                            credentials.clone(),
+                        ) {
                             shared.report_home(
                                 &run_as,
                                 &credentials,

@@ -17,9 +17,7 @@
 use std::sync::Arc;
 
 use ajanta_naming::Urn;
-use ajanta_vm::{
-    ExecOutcome, Interpreter, Limits, Module, NoHost, Value, VerifiedModule,
-};
+use ajanta_vm::{ExecOutcome, Interpreter, Limits, Module, NoHost, Value, VerifiedModule};
 use parking_lot::Mutex;
 
 use ajanta_core::{MethodSpec, Resource, ResourceError};
@@ -95,7 +93,9 @@ impl Resource for VmResource {
             ExecOutcome::Trapped { kind, .. } => {
                 // State is NOT committed on failure: invocations are
                 // all-or-nothing.
-                Err(ResourceError::Failed(format!("resource code trapped: {kind}")))
+                Err(ResourceError::Failed(format!(
+                    "resource code trapped: {kind}"
+                )))
             }
             ExecOutcome::OutOfFuel => Err(ResourceError::Failed(
                 "resource code exceeded its fuel budget".into(),
@@ -134,7 +134,15 @@ mod tests {
             [],
             [],
             Ty::Int,
-            vec![Op::GLoad(g), Op::PushI(1), Op::GStore(g), Op::PushI(0), Op::PushI(0), Op::Div, Op::Ret],
+            vec![
+                Op::GLoad(g),
+                Op::PushI(1),
+                Op::GStore(g),
+                Op::PushI(0),
+                Op::PushI(0),
+                Op::Div,
+                Op::Ret,
+            ],
         );
         b.build()
     }

@@ -12,7 +12,7 @@ use ajanta_vm::Limits;
 
 use crate::directory::Directory;
 use crate::owner::Owner;
-use crate::server::{AgentServer, ServerConfig, ServerHandle};
+use crate::server::{AgentServer, RetryPolicy, ServerConfig, ServerHandle};
 
 /// Per-server policy factory: (server index, server name) → policy.
 type PolicyFactory = Box<dyn Fn(usize, &Urn) -> SecurityPolicy>;
@@ -28,6 +28,7 @@ pub struct WorldBuilder {
     agents_may_dispatch: bool,
     system_modules: Vec<std::sync::Arc<ajanta_vm::VerifiedModule>>,
     journal_capacity: usize,
+    retry: RetryPolicy,
 }
 
 impl WorldBuilder {
@@ -48,7 +49,22 @@ impl WorldBuilder {
             agents_may_dispatch: true,
             system_modules: Vec::new(),
             journal_capacity: ajanta_core::telemetry::DEFAULT_CAPACITY,
+            retry: RetryPolicy::default(),
         }
+    }
+
+    /// Sets the transfer retry/backoff policy for every server.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Disables the fault-tolerant migration layer (fire-and-forget
+    /// transfers, as before it existed) — the "strands agents" baseline
+    /// of the fault-injection experiments.
+    pub fn no_retry(mut self) -> Self {
+        self.retry = RetryPolicy::disabled();
+        self
     }
 
     /// Sets how many telemetry records each server's journal retains
@@ -147,6 +163,7 @@ impl WorldBuilder {
                 vm_limits: self.vm_limits,
                 agents_may_dispatch: self.agents_may_dispatch,
                 replay_window_ns: u64::MAX / 4,
+                retry: self.retry.clone(),
                 seed: rng.next_u64(),
                 journal_capacity: self.journal_capacity,
             };
@@ -217,10 +234,7 @@ impl World {
     /// directory but runs no server loop — a rogue-but-certified peer for
     /// attack tests (it can seal datagrams other servers will
     /// authenticate, then misbehave at the protocol layer).
-    pub fn certified_rogue(
-        &mut self,
-        tag: &str,
-    ) -> (ajanta_net::secure::ChannelIdentity, KeyPair) {
+    pub fn certified_rogue(&mut self, tag: &str) -> (ajanta_net::secure::ChannelIdentity, KeyPair) {
         let name = Urn::server("rogue.org", [tag]).expect("canonical rogue tag");
         let keys = KeyPair::generate(&mut self.rng);
         self.owner_serial += 1;

@@ -6,7 +6,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use ajanta_core::{
-    BoundedBuffer, Buffer, Guarded, PrincipalPattern, ProxyPolicy, Rights, SecurityPolicy, UsageLimits,
+    BoundedBuffer, Buffer, Guarded, PrincipalPattern, ProxyPolicy, Rights, SecurityPolicy,
+    UsageLimits,
 };
 use ajanta_naming::Urn;
 use ajanta_net::Tamperer;
@@ -133,9 +134,11 @@ fn itinerary_tour_visits_every_server() {
         world.server(3).name().clone(),
     ]);
     let globals = vec![Value::Bytes(rest.encode()), Value::Int(0)];
-    world
-        .server(0)
-        .launch(world.server(1).name().clone(), creds, image(TOUR, globals, "run"));
+    world.server(0).launch(
+        world.server(1).name().clone(),
+        creds,
+        image(TOUR, globals, "run"),
+    );
 
     let reports = world.server(0).wait_reports(1, WAIT);
     assert_eq!(reports.len(), 1);
@@ -202,9 +205,11 @@ fn agent_uses_resource_via_proxy() {
     let agent = owner.next_agent_name("bufuser");
     let home = world.server(0).name().clone();
     let creds = owner.credentials(agent, home, Rights::all(), u64::MAX);
-    world
-        .server(0)
-        .launch(world.server(1).name().clone(), creds, image(BUFFER_USER, vec![], "run"));
+    world.server(0).launch(
+        world.server(1).name().clone(),
+        creds,
+        image(BUFFER_USER, vec![], "run"),
+    );
 
     let reports = world.server(0).wait_reports(1, WAIT);
     // put succeeded, size == 1.
@@ -229,9 +234,11 @@ fn delegation_restricts_resource_access() {
     let agent = owner.next_agent_name("bufuser");
     let home = world.server(0).name().clone();
     let creds = owner.credentials(agent, home, Rights::none(), u64::MAX);
-    world
-        .server(0)
-        .launch(world.server(1).name().clone(), creds, image(BUFFER_USER, vec![], "run"));
+    world.server(0).launch(
+        world.server(1).name().clone(),
+        creds,
+        image(BUFFER_USER, vec![], "run"),
+    );
 
     let reports = world.server(0).wait_reports(1, WAIT);
     match &reports[0].status {
@@ -250,10 +257,8 @@ fn server_policy_restricts_methods_per_agent() {
             if i == 1 {
                 SecurityPolicy::new().allow(
                     PrincipalPattern::Anyone,
-                    Rights::none().grant_method(
-                        Urn::resource("site1.org", ["jobs"]).unwrap(),
-                        "size",
-                    ),
+                    Rights::none()
+                        .grant_method(Urn::resource("site1.org", ["jobs"]).unwrap(), "size"),
                 )
             } else {
                 SecurityPolicy::new().allow(PrincipalPattern::Anyone, Rights::all())
@@ -269,9 +274,11 @@ fn server_policy_restricts_methods_per_agent() {
     let agent = owner.next_agent_name("bufuser");
     let home = world.server(0).name().clone();
     let creds = owner.credentials(agent, home, Rights::all(), u64::MAX);
-    world
-        .server(0)
-        .launch(world.server(1).name().clone(), creds, image(BUFFER_USER, vec![], "run"));
+    world.server(0).launch(
+        world.server(1).name().clone(),
+        creds,
+        image(BUFFER_USER, vec![], "run"),
+    );
 
     let reports = world.server(0).wait_reports(1, WAIT);
     match &reports[0].status {
@@ -353,7 +360,9 @@ fn dynamic_extension_agent_installs_resource() {
         module: installer,
         entry: "run".into(),
     };
-    world.server(0).launch(world.server(1).name().clone(), creds, img);
+    world
+        .server(0)
+        .launch(world.server(1).name().clone(), creds, img);
 
     let reports = world.server(0).wait_reports(1, WAIT);
     assert_eq!(reports[0].status, ReportStatus::Completed("5".into()));
@@ -367,10 +376,18 @@ fn dynamic_extension_agent_installs_resource() {
 
     // …and a later agent can keep using it (state persisted: 5 + 3 = 8).
     let mut b = ajanta_vm::ModuleBuilder::new("user2");
-    let getres = b.import("env.get_resource", [ajanta_vm::Ty::Bytes], ajanta_vm::Ty::Int);
+    let getres = b.import(
+        "env.get_resource",
+        [ajanta_vm::Ty::Bytes],
+        ajanta_vm::Ty::Int,
+    );
     let invoke = b.import(
         "env.invoke",
-        [ajanta_vm::Ty::Int, ajanta_vm::Ty::Bytes, ajanta_vm::Ty::Bytes],
+        [
+            ajanta_vm::Ty::Int,
+            ajanta_vm::Ty::Bytes,
+            ajanta_vm::Ty::Bytes,
+        ],
         ajanta_vm::Ty::Bytes,
     );
     let args_i = b.import("env.args_i", [ajanta_vm::Ty::Int], ajanta_vm::Ty::Bytes);
@@ -404,7 +421,9 @@ fn dynamic_extension_agent_installs_resource() {
         module: user2,
         entry: "run".into(),
     };
-    world.server(0).launch(world.server(1).name().clone(), creds2, img2);
+    world
+        .server(0)
+        .launch(world.server(1).name().clone(), creds2, img2);
     let reports = world.server(0).wait_reports(2, WAIT);
     assert_eq!(reports[1].status, ReportStatus::Completed("8".into()));
     world.shutdown();
@@ -429,9 +448,11 @@ fn runaway_agent_hits_fuel_quota() {
         loop:
           jump loop
     "#;
-    world
-        .server(0)
-        .launch(world.server(1).name().clone(), creds, image(src, vec![], "run"));
+    world.server(0).launch(
+        world.server(1).name().clone(),
+        creds,
+        image(src, vec![], "run"),
+    );
 
     let reports = world.server(0).wait_reports(1, WAIT);
     assert!(matches!(reports[0].status, ReportStatus::QuotaExceeded(_)));
@@ -469,7 +490,9 @@ fn impostor_system_module_refused() {
         module: evil,
         entry: "run".into(),
     };
-    world.server(0).launch(world.server(1).name().clone(), creds, img);
+    world
+        .server(0)
+        .launch(world.server(1).name().clone(), creds, img);
 
     let reports = world.server(0).wait_reports(1, WAIT);
     assert!(matches!(reports[0].status, ReportStatus::Refused(_)));
@@ -491,15 +514,15 @@ fn tampered_transfers_are_rejected() {
     let agent = owner.next_agent_name("hello");
     let home = world.server(0).name().clone();
     let creds = owner.credentials(agent, home, Rights::all(), u64::MAX);
-    world
-        .server(0)
-        .launch(world.server(1).name().clone(), creds, image(HELLO, vec![], "run"));
+    world.server(0).launch(
+        world.server(1).name().clone(),
+        creds,
+        image(HELLO, vec![], "run"),
+    );
 
     // Give the network a moment; then: no agent hosted, tampering logged.
     let deadline = std::time::Instant::now() + WAIT;
-    while world.server(1).security_events().is_empty()
-        && std::time::Instant::now() < deadline
-    {
+    while world.server(1).security_events().is_empty() && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
     let events = world.server(1).security_events();
@@ -521,14 +544,14 @@ fn expired_credentials_refused() {
     let agent = owner.next_agent_name("stale");
     let home = world.server(0).name().clone();
     let creds = owner.credentials(agent, home, Rights::all(), 500_000);
-    world
-        .server(0)
-        .launch(world.server(1).name().clone(), creds, image(HELLO, vec![], "run"));
+    world.server(0).launch(
+        world.server(1).name().clone(),
+        creds,
+        image(HELLO, vec![], "run"),
+    );
 
     let deadline = std::time::Instant::now() + WAIT;
-    while world.server(1).security_events().is_empty()
-        && std::time::Instant::now() < deadline
-    {
+    while world.server(1).security_events().is_empty() && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
     let events = world.server(1).security_events();
@@ -568,9 +591,11 @@ fn binding_quota_limits_proxies() {
     let agent = owner.next_agent_name("greedy");
     let home = world.server(0).name().clone();
     let creds = owner.credentials(agent, home, Rights::all(), u64::MAX);
-    world
-        .server(0)
-        .launch(world.server(1).name().clone(), creds, image(src, vec![], "run"));
+    world.server(0).launch(
+        world.server(1).name().clone(),
+        creds,
+        image(src, vec![], "run"),
+    );
 
     let reports = world.server(0).wait_reports(1, WAIT);
     match &reports[0].status {
@@ -662,8 +687,14 @@ fn colocated_agents_exchange_mail() {
     let reports = world.server(0).wait_reports(2, WAIT);
     let statuses: Vec<&ReportStatus> = reports.iter().map(|r| &r.status).collect();
     // Visitor delivered (returns 1); greeter got 10 bytes of mail.
-    assert!(statuses.contains(&&ReportStatus::Completed("1".into())), "{statuses:?}");
-    assert!(statuses.contains(&&ReportStatus::Completed("10".into())), "{statuses:?}");
+    assert!(
+        statuses.contains(&&ReportStatus::Completed("1".into())),
+        "{statuses:?}"
+    );
+    assert!(
+        statuses.contains(&&ReportStatus::Completed("10".into())),
+        "{statuses:?}"
+    );
     world.shutdown();
 }
 
@@ -729,7 +760,7 @@ fn status_queries_cross_the_network() {
         world
             .server(0)
             .query_status(world.server(1).name(), &ghost, WAIT),
-        Some(AgentStatus::NotResident)
+        Ok(AgentStatus::NotResident)
     );
 
     // Let the idler finish and drain.
@@ -800,10 +831,7 @@ fn parent_dispatches_children_that_report_home() {
     assert_eq!(answers, ["2", "30", "40"]);
 
     // Children are named inside the parent's subtree.
-    let child_reports: Vec<_> = reports
-        .iter()
-        .filter(|r| r.agent != agent)
-        .collect();
+    let child_reports: Vec<_> = reports.iter().filter(|r| r.agent != agent).collect();
     assert_eq!(child_reports.len(), 2);
     for r in child_reports {
         assert!(r.agent.is_within(&agent), "{} not within {agent}", r.agent);
@@ -897,9 +925,7 @@ fn forged_child_identity_outside_subtree_is_rejected() {
     endpoint.send(&dest, dg.to_bytes()).unwrap();
 
     let deadline = std::time::Instant::now() + WAIT;
-    while world.server(1).security_events().is_empty()
-        && std::time::Instant::now() < deadline
-    {
+    while world.server(1).security_events().is_empty() && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
     let events = world.server(1).security_events();

@@ -1,0 +1,121 @@
+//! Property tests for the runtime's migration plumbing: the itinerary
+//! encoding is total and round-trips, and admission stays idempotent no
+//! matter how aggressively the network duplicates transfer frames.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ajanta_core::Rights;
+use ajanta_naming::Urn;
+use ajanta_net::Replayer;
+use ajanta_runtime::itinerary::Itinerary;
+use ajanta_runtime::{Counter, Event, World};
+use ajanta_vm::{assemble, AgentImage, Value};
+use proptest::prelude::*;
+
+/// A strategy for canonical server URNs: lowercase hostnames, short path.
+fn server_urn() -> impl Strategy<Value = Urn> {
+    ("[a-z]{1,8}", "[a-z]{1,6}").prop_map(|(host, seg)| {
+        Urn::server(format!("{host}.org"), [seg]).expect("generated server urn is canonical")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// encode ∘ decode is the identity on any itinerary, including after
+    /// an arbitrary number of stops have been consumed.
+    #[test]
+    fn itinerary_roundtrips(stops in proptest::collection::vec(server_urn(), 0..8),
+                            consumed in 0usize..10) {
+        let mut it = Itinerary::new(stops);
+        for _ in 0..consumed.min(it.stops().len()) {
+            let (_, rest) = it.next_stop();
+            it = rest;
+        }
+        let decoded = Itinerary::decode(&it.encode()).expect("own encoding decodes");
+        prop_assert_eq!(decoded, it);
+    }
+
+    /// decode is total: arbitrary bytes either parse or produce a typed
+    /// error naming the failing line — never a panic, and whatever parses
+    /// re-encodes to something that parses identically.
+    #[test]
+    fn itinerary_decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        match Itinerary::decode(&bytes) {
+            Ok(it) => {
+                let again = Itinerary::decode(&it.encode()).expect("re-encoding decodes");
+                prop_assert_eq!(again, it);
+            }
+            Err(e) => {
+                // The error is renderable and names a cause.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// Appending garbage after a valid itinerary is reported against the
+    /// first garbage line, not blamed on the valid prefix.
+    #[test]
+    fn trailing_garbage_is_located(stops in proptest::collection::vec(server_urn(), 1..5)) {
+        let good = stops.len();
+        let mut bytes = Itinerary::new(stops).encode();
+        bytes.extend_from_slice(b"\n@@not-a-urn@@");
+        match Itinerary::decode(&bytes) {
+            Err(ajanta_runtime::ItineraryError::BadStop { line, .. }) => {
+                prop_assert_eq!(line, good);
+            }
+            other => prop_assert!(false, "expected BadStop, got {:?}", other),
+        }
+    }
+}
+
+proptest! {
+    // Full-world cases are expensive (key generation, threads); a few
+    // seeds exercise distinct frame interleavings.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A network that re-injects every frame a second time (the
+    /// `InjectAfter` replayer) never causes a double admission or a
+    /// duplicate report: retried/replayed copies of a (agent, hop)
+    /// transfer are acknowledged but not re-admitted.
+    #[test]
+    fn replayed_transfers_admit_and_report_once(seed in any::<u64>()) {
+        let mut world = World::builder(2).seed(seed).build();
+        let replayer = Arc::new(Replayer::new());
+        world.net.set_adversary(Some(replayer.clone()));
+
+        let src = r#"
+            module once
+            func run(arg: bytes) -> int
+              push 7
+              ret
+        "#;
+        let module = assemble(src).expect("assembles");
+        let image = AgentImage { module, globals: vec![], entry: "run".into() };
+        image.validate().expect("image consistent");
+
+        let mut owner = world.owner("echo");
+        let agent = owner.next_agent_name("once");
+        let home = world.server(0).name().clone();
+        let creds = owner.credentials(agent.clone(), home, Rights::all(), u64::MAX);
+        world.server(0).launch(world.server(1).name().clone(), creds, image);
+
+        let reports = world.server(0).wait_reports(1, Duration::from_secs(20));
+        prop_assert_eq!(reports.len(), 1);
+        prop_assert_eq!(&reports[0].agent, &agent);
+        // Let any lagging replayed copies land before auditing.
+        std::thread::sleep(Duration::from_millis(100));
+        prop_assert!(replayer.replayed_count() > 0, "replayer saw traffic");
+        prop_assert_eq!(world.server(1).journal().counter(Counter::AgentsAdmitted), 1);
+        let mut admissions = Vec::new();
+        for record in world.server(1).journal().snapshot() {
+            if let Event::AgentAdmitted { agent, hop, .. } = record.event {
+                admissions.push((agent, hop));
+            }
+        }
+        prop_assert_eq!(admissions.len(), 1);
+        prop_assert_eq!(world.server(0).reports().len(), 1);
+        world.shutdown();
+    }
+}

@@ -400,7 +400,10 @@ pub fn assemble(source: &str) -> Result<Module, AsmError> {
         // the verifier will catch genuinely bad targets. An empty body is
         // rejected here with a clearer message.
         if code.is_empty() {
-            return Err(err(f.decl_line, format!("function {:?} has no body", f.name)));
+            return Err(err(
+                f.decl_line,
+                format!("function {:?} has no body", f.name),
+            ));
         }
         functions.push(Function {
             name: f.name.clone(),
@@ -567,7 +570,10 @@ mod tests {
             ("global", "module m\nfunc f() -> int\n  gload ghost\n  ret"),
             ("data", "module m\nfunc f() -> int\n  pushd ghost\n  ret"),
             ("function", "module m\nfunc f() -> int\n  call ghost\n  ret"),
-            ("import", "module m\nfunc f() -> int\n  hostcall ghost\n  ret"),
+            (
+                "import",
+                "module m\nfunc f() -> int\n  hostcall ghost\n  ret",
+            ),
         ] {
             assert!(assemble(src).is_err(), "should reject unknown {line}");
         }

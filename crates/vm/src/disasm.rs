@@ -133,10 +133,9 @@ fn escape(bytes: &[u8]) -> String {
 /// True when every data-pool entry can round-trip through assembler
 /// string syntax (printable ASCII plus the standard escapes).
 pub fn pool_is_textual(m: &Module) -> bool {
-    m.data.iter().all(|d| {
-        d.iter()
-            .all(|&b| matches!(b, 0x20..=0x7e | b'\n' | b'\t'))
-    })
+    m.data
+        .iter()
+        .all(|d| d.iter().all(|&b| matches!(b, 0x20..=0x7e | b'\n' | b'\t')))
 }
 
 /// Keep the unused-ty warning away while documenting intent: the
@@ -207,13 +206,7 @@ mod tests {
     fn escapes_render_and_roundtrip() {
         let mut b = ModuleBuilder::new("esc");
         b.data(b"tab\there \"quoted\" back\\slash\nnewline".to_vec());
-        b.function(
-            "run",
-            [],
-            [],
-            Ty::Int,
-            vec![Op::PushI(0), Op::Ret],
-        );
+        b.function("run", [], [], Ty::Int, vec![Op::PushI(0), Op::Ret]);
         let m = b.build();
         assert!(pool_is_textual(&m));
         let text = disassemble(&m);

@@ -509,7 +509,10 @@ mod tests {
     fn value_tags_strict() {
         assert!(matches!(
             Value::from_bytes(&[7]),
-            Err(WireError::BadTag { ty: "Value", tag: 7 })
+            Err(WireError::BadTag {
+                ty: "Value",
+                tag: 7
+            })
         ));
     }
 }

@@ -456,7 +456,10 @@ impl<'m> Interpreter<'m> {
                 }
                 Op::AToI => {
                     let b = pop_bytes!();
-                    match std::str::from_utf8(&b).ok().and_then(|s| s.parse::<i64>().ok()) {
+                    match std::str::from_utf8(&b)
+                        .ok()
+                        .and_then(|s| s.parse::<i64>().ok())
+                    {
                         Some(v) => frame.stack.push(Value::Int(v)),
                         None => trap!(TrapKind::MalformedNumber),
                     }
@@ -739,7 +742,13 @@ mod tests {
 
         let mut b = ModuleBuilder::new("t");
         let d = b.str_data("not-a-number");
-        b.function("main", [], [], Ty::Int, vec![Op::PushD(d), Op::AToI, Op::Ret]);
+        b.function(
+            "main",
+            [],
+            [],
+            Ty::Int,
+            vec![Op::PushD(d), Op::AToI, Op::Ret],
+        );
         let vm = verify(b.build()).unwrap();
         let mut interp = Interpreter::new(&vm, Limits::default());
         assert!(matches!(
@@ -876,11 +885,7 @@ mod tests {
     }
 
     impl HostInterface for ScriptedHost {
-        fn call(
-            &mut self,
-            import: &HostImport,
-            args: &[Value],
-        ) -> Result<HostResponse, HostError> {
+        fn call(&mut self, import: &HostImport, args: &[Value]) -> Result<HostResponse, HostError> {
             self.log.push((import.name.clone(), args.to_vec()));
             if self.stop_on.as_deref() == Some(import.name.as_str()) {
                 return Ok(HostResponse::Stop(Value::str("dest")));
@@ -909,7 +914,13 @@ mod tests {
             Ty::Int,
             vec![Op::PushI(20), Op::PushI(22), Op::HostCall(add), Op::Ret],
         );
-        b.function("use_deny", [], [], Ty::Int, vec![Op::HostCall(deny), Op::Ret]);
+        b.function(
+            "use_deny",
+            [],
+            [],
+            Ty::Int,
+            vec![Op::HostCall(deny), Op::Ret],
+        );
         b.function("use_bad", [], [], Ty::Int, vec![Op::HostCall(bad), Op::Ret]);
         b.function("use_go", [], [], Ty::Int, vec![Op::HostCall(go), Op::Ret]);
         verify(b.build()).unwrap()

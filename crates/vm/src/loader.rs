@@ -215,7 +215,10 @@ mod tests {
         let sys = system_set();
         let ns1 = Namespace::with_system(&sys).unwrap();
         let ns2 = Namespace::with_system(&sys).unwrap();
-        assert!(Arc::ptr_eq(ns1.resolve("sys.io").unwrap(), ns2.resolve("sys.io").unwrap()));
+        assert!(Arc::ptr_eq(
+            ns1.resolve("sys.io").unwrap(),
+            ns2.resolve("sys.io").unwrap()
+        ));
     }
 
     #[test]

@@ -112,12 +112,7 @@ impl ModuleBuilder {
     }
 
     /// Declares a host import; returns its `HostCall` index.
-    pub fn import(
-        &mut self,
-        name: impl Into<String>,
-        params: impl Into<Vec<Ty>>,
-        ret: Ty,
-    ) -> u32 {
+    pub fn import(&mut self, name: impl Into<String>, params: impl Into<Vec<Ty>>, ret: Ty) -> u32 {
         let idx = self.imports.len() as u32;
         self.imports.push(HostImport {
             name: name.into(),

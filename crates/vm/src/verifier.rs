@@ -287,8 +287,19 @@ fn verify_function(m: &Module, func: u32) -> Result<(), VerifyError> {
                 push(&mut stack, b)?;
                 successors.push(ip + 1);
             }
-            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Rem | Op::Eq | Op::Ne | Op::Lt
-            | Op::Le | Op::Gt | Op::Ge | Op::And | Op::Or => {
+            Op::Add
+            | Op::Sub
+            | Op::Mul
+            | Op::Div
+            | Op::Rem
+            | Op::Eq
+            | Op::Ne
+            | Op::Lt
+            | Op::Le
+            | Op::Gt
+            | Op::Ge
+            | Op::And
+            | Op::Or => {
                 pop(&mut stack, Some(Ty::Int))?;
                 pop(&mut stack, Some(Ty::Int))?;
                 push(&mut stack, Ty::Int)?;
@@ -340,16 +351,16 @@ fn verify_function(m: &Module, func: u32) -> Result<(), VerifyError> {
                 successors.push(ip + 1);
             }
             Op::Load(n) => {
-                let t = f
-                    .local_ty(n as usize)
-                    .ok_or(VerifyError::BadLocal { func, ip, local: n })?;
+                let t =
+                    f.local_ty(n as usize)
+                        .ok_or(VerifyError::BadLocal { func, ip, local: n })?;
                 push(&mut stack, t)?;
                 successors.push(ip + 1);
             }
             Op::Store(n) => {
-                let t = f
-                    .local_ty(n as usize)
-                    .ok_or(VerifyError::BadLocal { func, ip, local: n })?;
+                let t =
+                    f.local_ty(n as usize)
+                        .ok_or(VerifyError::BadLocal { func, ip, local: n })?;
                 pop(&mut stack, Some(t))?;
                 successors.push(ip + 1);
             }
@@ -358,7 +369,11 @@ fn verify_function(m: &Module, func: u32) -> Result<(), VerifyError> {
                     .globals
                     .get(n as usize)
                     .copied()
-                    .ok_or(VerifyError::BadGlobal { func, ip, global: n })?;
+                    .ok_or(VerifyError::BadGlobal {
+                        func,
+                        ip,
+                        global: n,
+                    })?;
                 push(&mut stack, t)?;
                 successors.push(ip + 1);
             }
@@ -367,19 +382,31 @@ fn verify_function(m: &Module, func: u32) -> Result<(), VerifyError> {
                     .globals
                     .get(n as usize)
                     .copied()
-                    .ok_or(VerifyError::BadGlobal { func, ip, global: n })?;
+                    .ok_or(VerifyError::BadGlobal {
+                        func,
+                        ip,
+                        global: n,
+                    })?;
                 pop(&mut stack, Some(t))?;
                 successors.push(ip + 1);
             }
             Op::Jump(t) => {
                 if t as usize >= code.len() {
-                    return Err(VerifyError::BadJumpTarget { func, ip, target: t });
+                    return Err(VerifyError::BadJumpTarget {
+                        func,
+                        ip,
+                        target: t,
+                    });
                 }
                 successors.push(t);
             }
             Op::JumpIfZero(t) => {
                 if t as usize >= code.len() {
-                    return Err(VerifyError::BadJumpTarget { func, ip, target: t });
+                    return Err(VerifyError::BadJumpTarget {
+                        func,
+                        ip,
+                        target: t,
+                    });
                 }
                 pop(&mut stack, Some(Ty::Int))?;
                 successors.push(t);
@@ -399,10 +426,11 @@ fn verify_function(m: &Module, func: u32) -> Result<(), VerifyError> {
                 successors.push(ip + 1);
             }
             Op::HostCall(idx) => {
-                let im = m
-                    .imports
-                    .get(idx as usize)
-                    .ok_or(VerifyError::BadImport { func, ip, import: idx })?;
+                let im = m.imports.get(idx as usize).ok_or(VerifyError::BadImport {
+                    func,
+                    ip,
+                    import: idx,
+                })?;
                 for &pt in im.params.iter().rev() {
                     pop(&mut stack, Some(pt))?;
                 }
@@ -486,7 +514,8 @@ mod tests {
             /*6*/ Op::Sub,
             /*7*/ Op::Store(1),
             // note: ip 8 is the exit, loop back happens below
-            /*8*/ Op::PushI(0),
+            /*8*/
+            Op::PushI(0),
             /*9*/ Op::Ret,
         ])
         .unwrap();

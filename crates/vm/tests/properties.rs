@@ -53,7 +53,13 @@ fn arb_module() -> impl Strategy<Value = Module> {
         b.data(b"0123456789".to_vec());
         b.global(Ty::Int);
         b.global(Ty::Bytes);
-        b.function("main", [], [Ty::Int, Ty::Int, Ty::Bytes, Ty::Bytes], Ty::Int, code);
+        b.function(
+            "main",
+            [],
+            [Ty::Int, Ty::Int, Ty::Bytes, Ty::Bytes],
+            Ty::Int,
+            code,
+        );
         b.build()
     })
 }

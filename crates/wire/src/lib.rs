@@ -451,7 +451,10 @@ mod tests {
         roundtrip((7u64, String::from("x")));
         assert!(matches!(
             Option::<u64>::from_bytes(&[9]),
-            Err(WireError::BadTag { ty: "Option", tag: 9 })
+            Err(WireError::BadTag {
+                ty: "Option",
+                tag: 9
+            })
         ));
     }
 

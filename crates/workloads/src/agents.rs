@@ -50,12 +50,17 @@ pub fn spin_agent() -> AgentImage {
 }
 
 /// An agent carrying `state_bytes` of mobile state along `itinerary`,
-/// returning its hop count — the X10 transfer-cost probe.
+/// returning its hop count — the X10 transfer-cost probe and the X13f
+/// fault-recovery tourist.
+///
+/// It migrates with `env.go_tour`, handing the runtime the *whole*
+/// remaining itinerary: the head is the next stop and the tail rides as
+/// fallbacks, so an unreachable stop is skipped by the reliable-transfer
+/// layer instead of stranding the agent.
 pub fn payload_agent(state_bytes: usize, itinerary: &Itinerary) -> AgentImage {
     let src = r#"
         module payload
-        import env.go (bytes, bytes) -> int
-        import env.itin_head (bytes) -> bytes
+        import env.go_tour (bytes, bytes) -> int
         import env.itin_tail (bytes) -> bytes
         global itin: bytes
         global cargo: bytes
@@ -63,7 +68,7 @@ pub fn payload_agent(state_bytes: usize, itinerary: &Itinerary) -> AgentImage {
         data entry = "run"
 
         func run(arg: bytes) -> int
-          locals next: bytes
+          locals full: bytes
           gload hops
           push 1
           add
@@ -71,15 +76,16 @@ pub fn payload_agent(state_bytes: usize, itinerary: &Itinerary) -> AgentImage {
           gload itin
           blen
           jz done
+          # Keep the full remaining plan for go_tour, but migrate with
+          # only the tail: the head is where the next activation runs.
           gload itin
-          hostcall env.itin_head
-          store next
+          store full
           gload itin
           hostcall env.itin_tail
           gstore itin
-          load next
+          load full
           pushd entry
-          hostcall env.go
+          hostcall env.go_tour
           drop
           push 0
           ret
@@ -461,7 +467,11 @@ mod tests {
         assert_eq!(out, ExecOutcome::Finished(Value::Int(4321)));
         // No price → 0.
         let mut interp = Interpreter::new(&vm, Limits::default());
-        let out = interp.run("parse_price", vec![Value::str("no price here")], &mut NoHost);
+        let out = interp.run(
+            "parse_price",
+            vec![Value::str("no price here")],
+            &mut NoHost,
+        );
         assert_eq!(out, ExecOutcome::Finished(Value::Int(0)));
     }
 

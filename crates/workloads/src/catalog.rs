@@ -66,7 +66,9 @@ pub fn vendor_catalog(vendor: &str, extra: usize, seed: u64) -> Vec<Vec<u8>> {
         records.push(format!("item={item} vendor={vendor} price={price}").into_bytes());
     }
     for i in 0..extra {
-        records.push(format!("filler-{i:05} vendor={vendor} noise={}", rng.below(1 << 30)).into_bytes());
+        records.push(
+            format!("filler-{i:05} vendor={vendor} noise={}", rng.below(1 << 30)).into_bytes(),
+        );
     }
     records
 }
@@ -125,7 +127,9 @@ mod tests {
 
     #[test]
     fn best_quote_finds_minimum() {
-        let blob = b"item=x vendor=a price=500\nitem=x vendor=b price=300\nitem=y vendor=c price=100".to_vec();
+        let blob =
+            b"item=x vendor=a price=500\nitem=x vendor=b price=300\nitem=y vendor=c price=100"
+                .to_vec();
         let best = best_quote(&blob, "x").unwrap();
         assert_eq!(best.vendor, "b");
         assert_eq!(best.price, 300);

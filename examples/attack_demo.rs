@@ -18,9 +18,7 @@ use ajanta::vm::{assemble, AgentImage, ModuleBuilder, Op, Ty, Value};
 
 fn wait_events(world: &World, server: usize, n: usize) {
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    while world.server(server).security_events().len() < n
-        && std::time::Instant::now() < deadline
-    {
+    while world.server(server).security_events().len() < n && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
 }
@@ -59,7 +57,10 @@ fn main() {
         world.server(0).launch(dest.clone(), creds, image);
         wait_events(&world, 1, 1);
         let events = world.server(1).security_events();
-        println!("  server 1 events: {:?}\n", events.last().map(|e| (e.kind, &e.detail)));
+        println!(
+            "  server 1 events: {:?}\n",
+            events.last().map(|e| (e.kind, &e.detail))
+        );
     }
 
     println!("=== attack 2: unverifiable byte-code ===");
@@ -92,13 +93,17 @@ fn main() {
         let creds = mallory.credentials(agent, home.clone(), Rights::all(), u64::MAX);
         let image = AgentImage {
             globals: vec![],
-            module: assemble("module spin\nfunc run(arg: bytes) -> int\nloop:\n  jump loop").unwrap(),
+            module: assemble("module spin\nfunc run(arg: bytes) -> int\nloop:\n  jump loop")
+                .unwrap(),
             entry: "run".into(),
         };
         world.server(0).launch(dest.clone(), creds, image);
         let reports = world.server(0).wait_reports(2, Duration::from_secs(10));
         println!("  home report: {:?}", reports.last().map(|r| &r.status));
-        println!("  server 1 still alive, {} residents\n", world.server(1).resident_agents());
+        println!(
+            "  server 1 still alive, {} residents\n",
+            world.server(1).resident_agents()
+        );
     }
 
     println!("=== attack 4: stolen capability (proxy confinement) ===");
@@ -128,7 +133,9 @@ fn main() {
 
     println!("=== attack 5: wire tampering ===");
     {
-        world.net.set_adversary(Some(Arc::new(Tamperer::new(0xBAD, 1.0))));
+        world
+            .net
+            .set_adversary(Some(Arc::new(Tamperer::new(0xBAD, 1.0))));
         let agent = mallory.next_agent_name("innocent");
         let creds = mallory.credentials(agent, home.clone(), Rights::all(), u64::MAX);
         let image = AgentImage {
@@ -140,7 +147,10 @@ fn main() {
         world.server(0).launch(dest.clone(), creds, image);
         wait_events(&world, 1, before + 1);
         let events = world.server(1).security_events();
-        println!("  server 1 events: {:?}\n", events.last().map(|e| (e.kind, &e.detail)));
+        println!(
+            "  server 1 events: {:?}\n",
+            events.last().map(|e| (e.kind, &e.detail))
+        );
         world.net.set_adversary(None);
     }
 
@@ -176,7 +186,11 @@ fn main() {
         println!(
             "  agent delivered: {completed}; frames captured: {}; secret visible on the wire: {}",
             eve.frame_count(),
-            if eve.saw_plaintext(secret) { "YES (leak!)" } else { "no" }
+            if eve.saw_plaintext(secret) {
+                "YES (leak!)"
+            } else {
+                "no"
+            }
         );
         assert!(!eve.saw_plaintext(secret));
         world.net.set_adversary(None);

@@ -43,7 +43,10 @@ fn main() {
 
     let agent = rows.iter().find(|r| r.paradigm == "mobile agent").unwrap();
     let bulk = rows.iter().find(|r| r.paradigm == "rpc-bulk").unwrap();
-    let chatty = rows.iter().find(|r| r.paradigm == "rpc-per-record").unwrap();
+    let chatty = rows
+        .iter()
+        .find(|r| r.paradigm == "rpc-per-record")
+        .unwrap();
     println!(
         "\nat 5% selectivity the agent moves {:.1}× fewer bytes than bulk RPC \
          and finishes {:.1}× sooner than per-record RPC.",

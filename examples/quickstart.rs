@@ -106,10 +106,7 @@ fn main() {
         println!("  [{}] {}", agent.leaf(), line);
     }
     println!("\nbuffer size observed server-side: {}", buffer.size());
-    println!(
-        "network: {:?}",
-        world.net.stats()
-    );
+    println!("network: {:?}", world.net.stats());
 
     // Everything the server did on the agent's behalf left a typed trace
     // in its telemetry journal: the Prometheus-style counter snapshot
@@ -123,7 +120,10 @@ fn main() {
     }
     println!("last journal events:");
     for record in journal.recent(6) {
-        println!("  #{:<3} t={:<12} {:?}", record.seq, record.at, record.event);
+        println!(
+            "  #{:<3} t={:<12} {:?}",
+            record.seq, record.at, record.event
+        );
     }
     world.shutdown();
     println!("done.");

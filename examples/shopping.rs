@@ -58,10 +58,7 @@ fn main() {
         .map(|i| world.server(i).name().clone())
         .collect();
     let image = shopper_agent(&catalog_name, ITEM, &Itinerary::new(stops));
-    println!(
-        "shopper code+state: {} bytes",
-        image.encoded_len()
-    );
+    println!("shopper code+state: {} bytes", image.encoded_len());
 
     let mut buyer = world.owner("buyer");
     let agent = buyer.next_agent_name("shopper");
@@ -79,7 +76,10 @@ fn main() {
             println!("\nagent's answer: {winner}");
             let agrees = winner.contains(&format!("vendor={}", truth.vendor))
                 && winner.contains(&format!("price={}", truth.price));
-            println!("matches ground truth: {}", if agrees { "yes" } else { "NO" });
+            println!(
+                "matches ground truth: {}",
+                if agrees { "yes" } else { "NO" }
+            );
             assert!(agrees, "the shopper must find the true best quote");
         }
         other => panic!("shopper failed: {other:?}"),

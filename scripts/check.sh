@@ -15,6 +15,7 @@ run() {
     "$@"
 }
 
+run cargo fmt --all --check
 run cargo build --release $OFFLINE
 run cargo test -q $OFFLINE
 run cargo clippy --all-targets $OFFLINE -- -D warnings

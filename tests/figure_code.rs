@@ -70,7 +70,10 @@ fn figure_5_typed_proxy_semantics() {
     proxy.put(Value::str("x"), 0).unwrap();
     assert_eq!(proxy.get(0).unwrap(), Value::str("x"));
     // "size" is disabled → the security exception of Fig. 5.
-    assert_eq!(proxy.size(0), Err(AccessError::MethodDisabled("size".into())));
+    assert_eq!(
+        proxy.size(0),
+        Err(AccessError::MethodDisabled("size".into()))
+    );
     // Accounting accumulated through the same control block.
     assert_eq!(proxy.control().meter().reading().total, 2);
 }

@@ -153,10 +153,7 @@ fn delegation_chain_restricts_through_endorsements() {
     // The forwarding principal (CA-certified, like a server) restricts
     // the agent to `count`.
     let mut forwarder = world.owner("forwarding-server");
-    let restricted = forwarder.endorse(
-        &creds,
-        Rights::none().grant_method(rname.clone(), "count"),
-    );
+    let restricted = forwarder.endorse(&creds, Rights::none().grant_method(rname.clone(), "count"));
     let effective = restricted.verify(&world.roots, 0).unwrap();
     assert!(effective.permits(&rname, "count"));
     assert!(!effective.permits(&rname, "scan"));
@@ -186,8 +183,15 @@ fn secure_channel_sessions_over_the_simnet() {
     roots.trust("ca", ca.public);
     let mk = |name: &Urn, serial: u64, rng: &mut DetRng| {
         let keys = KeyPair::generate(rng);
-        let cert =
-            Certificate::issue(name.to_string(), keys.public, "ca", &ca, u64::MAX, serial, rng);
+        let cert = Certificate::issue(
+            name.to_string(),
+            keys.public,
+            "ca",
+            &ca,
+            u64::MAX,
+            serial,
+            rng,
+        );
         ChannelIdentity {
             name: name.clone(),
             keys,
@@ -210,7 +214,9 @@ fn secure_channel_sessions_over_the_simnet() {
         SecureChannel::respond(&b_id, &roots, &d.payload, net.clock().now(), &mut rng).unwrap();
     b_ep.send(&a_name, ack).unwrap();
     let d = a_ep.recv().unwrap();
-    let mut chan_a = pending.finish(&roots, &d.payload, net.clock().now()).unwrap();
+    let mut chan_a = pending
+        .finish(&roots, &d.payload, net.clock().now())
+        .unwrap();
 
     // Framed traffic both ways.
     for i in 0..5u32 {
@@ -223,7 +229,10 @@ fn secure_channel_sessions_over_the_simnet() {
         let frame = chan_b.seal(format!("pong {i}").as_bytes());
         b_ep.send(&a_name, frame).unwrap();
         let d = a_ep.recv().unwrap();
-        assert_eq!(chan_a.open(&d.payload).unwrap(), format!("pong {i}").as_bytes());
+        assert_eq!(
+            chan_a.open(&d.payload).unwrap(),
+            format!("pong {i}").as_bytes()
+        );
     }
 
     // A replayed frame is rejected by sequence tracking.

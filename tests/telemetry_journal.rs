@@ -68,7 +68,10 @@ fn concurrent_drop_accounting_is_exact_past_capacity() {
     assert_eq!(journal.counter(Counter::EventsAppended), 8000);
     // ...and the retained records still carry unique, monotone seqs.
     let seqs: Vec<u64> = journal.snapshot().iter().map(|r| r.seq).collect();
-    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "non-monotone: {seqs:?}");
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "non-monotone: {seqs:?}"
+    );
 }
 
 #[test]
@@ -119,9 +122,15 @@ fn server_journal_is_bounded_end_to_end() {
     assert_eq!(reports.len(), 1);
 
     let journal = world.server(1).journal();
-    assert!(journal.capacity() <= 24 + 7, "capacity rounds up per-shard only");
+    assert!(
+        journal.capacity() <= 24 + 7,
+        "capacity rounds up per-shard only"
+    );
     assert!(journal.len() <= journal.capacity());
-    assert!(journal.dropped() > 0, "200 log lines must overflow 24 slots");
+    assert!(
+        journal.dropped() > 0,
+        "200 log lines must overflow 24 slots"
+    );
     assert_eq!(journal.counter(Counter::LogLines), 200);
     // The bounded view still returns the most recent lines.
     assert!(!world.server(1).logs().is_empty());

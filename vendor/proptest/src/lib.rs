@@ -670,9 +670,10 @@ macro_rules! prop_assert_eq {
     ($left:expr, $right:expr $(,)?) => {{
         let (__l, __r) = (&$left, &$right);
         if !(__l == __r) {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!("assertion failed: {:?} == {:?}", __l, __r),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {:?} == {:?}",
+                __l, __r
+            )));
         }
     }};
 }
@@ -683,9 +684,10 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (__l, __r) = (&$left, &$right);
         if __l == __r {
-            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
-                format!("assertion failed: {:?} != {:?}", __l, __r),
-            ));
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {:?} != {:?}",
+                __l, __r
+            )));
         }
     }};
 }
