@@ -142,4 +142,13 @@ fn main() {
         print!("{}", bench::x14_credentials::table(iters));
         println!();
     }
+    if wants("x15") {
+        let (agents, drops): (usize, &[f64]) = if quick {
+            (8, &[0.0, 0.2])
+        } else {
+            (32, &[0.0, 0.05, 0.1, 0.2, 0.3])
+        };
+        print!("{}", bench::x15_tail::table(agents, 5, drops));
+        println!();
+    }
 }

@@ -1,5 +1,5 @@
 //! The experiment harness: one driver per experiment in DESIGN.md's
-//! index (X3–X14). Drivers return structured rows; the `report` binary
+//! index (X3–X15). Drivers return structured rows; the `report` binary
 //! renders them as the tables recorded in EXPERIMENTS.md, and the
 //! Criterion benches re-measure the micro-costs with statistical rigor.
 //!
@@ -16,6 +16,7 @@ pub mod x11_attacks;
 pub mod x12_isolation;
 pub mod x13_recovery;
 pub mod x14_credentials;
+pub mod x15_tail;
 pub mod x3_binding;
 pub mod x4_access;
 pub mod x4b_ablation;

@@ -38,7 +38,11 @@
 //! * [`telemetry`] — the typed event journal unifying the monitor's
 //!   audit log (Section 3.2), proxy metering/accounting (Section 5.5),
 //!   and the server's security-event stream into one bounded, sharded,
-//!   counter-backed pipeline.
+//!   counter-backed pipeline — now with distributed-trace spans and
+//!   lock-free latency histograms for the hot paths.
+//! * [`trace`] — causal tour reconstruction: JSONL journal export,
+//!   cross-server merge into per-trace span trees, and anomaly scanning
+//!   (orphan spans, retry storms, accesses after revocation).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +58,7 @@ pub mod registry;
 pub mod resource;
 pub mod rights;
 pub mod telemetry;
+pub mod trace;
 
 pub use buffer::{BoundedBuffer, Buffer, BufferProxy};
 pub use credentials::{CredentialError, Credentials, CredentialsBuilder, Endorsement};
@@ -71,8 +76,10 @@ pub use resource::{
 };
 pub use rights::{Grant, MethodPattern, Rights, Scope};
 pub use telemetry::{
-    Counter, CounterSet, Event, Journal, JournalHook, Record, RejectKind, Severity,
+    Counter, CounterSet, Event, Histo, HistoPath, HistoSet, HistoSnapshot, Journal, JournalHook,
+    Record, RejectKind, Severity, SpanContext, SpanId, SpanKind, TraceId,
 };
+pub use trace::{scan_anomalies, Anomaly, SpanRec, TraceForest, TraceRecord, TraceTree};
 
 /// Hidden re-export used by [`declare_resource_proxy!`] expansions in
 /// downstream crates.

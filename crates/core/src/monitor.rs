@@ -47,6 +47,26 @@ pub enum SystemOp {
     ReplaceMonitor,
 }
 
+impl SystemOp {
+    /// Stable kebab-case label (used by the JSONL trace export).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SystemOp::CreateThread { .. } => "create-thread",
+            SystemOp::ManipulateDomain { .. } => "manipulate-domain",
+            SystemOp::MutateRegistry => "mutate-registry",
+            SystemOp::MutateDomainDatabase => "mutate-domain-database",
+            SystemOp::DispatchAgent => "dispatch-agent",
+            SystemOp::ReplaceMonitor => "replace-monitor",
+        }
+    }
+}
+
+impl std::fmt::Display for SystemOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// A refused operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {

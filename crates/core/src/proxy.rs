@@ -708,7 +708,21 @@ impl ResourceProxy {
         args: &[Value],
         now: u64,
     ) -> Result<Value, AccessError> {
-        self.control.check_id(caller, method, now)?;
+        // When a journal is attached (bound, server-side proxies), the
+        // access check is itself timed into the ProxyCheck histogram;
+        // detached proxies (standalone benches) pay one atomic load.
+        if self.control.journal.is_attached() {
+            let t0 = std::time::Instant::now();
+            let checked = self.control.check_id(caller, method, now);
+            let dt = t0.elapsed().as_nanos() as u64;
+            self.control.journal.with(|j, _| {
+                j.histos()
+                    .record(crate::telemetry::HistoPath::ProxyCheck, dt)
+            });
+            checked?;
+        } else {
+            self.control.check_id(caller, method, now)?;
+        }
         let name = self
             .control
             .table()

@@ -34,6 +34,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ajanta_naming::Urn;
+use ajanta_wire::{Decoder, Encoder, Wire, WireError};
 use parking_lot::Mutex;
 
 use crate::domain::DomainId;
@@ -100,6 +101,161 @@ impl RejectKind {
 impl std::fmt::Display for RejectKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.as_str())
+    }
+}
+
+/// Identifies one agent tour end to end. Minted once at launch and
+/// propagated in every wire frame the tour produces, so the spans of a
+/// whole itinerary — retries, skipped hops, recoveries, reports — merge
+/// into a single causal tree no matter how many servers they crossed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Identifies one span within a trace. Globally unique: the minting
+/// journal's tag occupies the high bits (see [`Journal::with_span_tag`]),
+/// so independently minted ids from different servers never collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// What phase of a tour a span covers — the span taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// The admission pipeline at a receiving server (credential
+    /// verification through domain creation). Child of the transfer that
+    /// delivered the agent.
+    Admission,
+    /// One 6-step bind protocol run (`env.get_resource`). Child of the
+    /// admission of the stay that asked.
+    Bind,
+    /// One proxy invocation (`env.invoke`). Child of the admission.
+    Access,
+    /// A launch or child dispatch leaving the home server. Root of the
+    /// trace (launch) or child of the dispatching stay's admission.
+    Dispatch,
+    /// One reliable transfer leg, from first send to delivery ack (or to
+    /// its dead stop). Child of the dispatch or admission that sent it.
+    Transfer,
+    /// One retry of a reliable frame; `dur_ns` is the backoff actually
+    /// waited. Child of the transfer (or report) frame being retried.
+    Retry,
+    /// A status report's journey home. Child of the admission (normal
+    /// completion) or transfer (dead-stop recovery) that caused it.
+    Report,
+}
+
+impl SpanKind {
+    /// All kinds, in taxonomy order.
+    pub const ALL: [SpanKind; 7] = [
+        SpanKind::Admission,
+        SpanKind::Bind,
+        SpanKind::Access,
+        SpanKind::Dispatch,
+        SpanKind::Transfer,
+        SpanKind::Retry,
+        SpanKind::Report,
+    ];
+
+    /// Stable kebab-case label (used by the JSONL trace export).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Admission => "admission",
+            SpanKind::Bind => "bind",
+            SpanKind::Access => "access",
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::Transfer => "transfer",
+            SpanKind::Retry => "retry",
+            SpanKind::Report => "report",
+        }
+    }
+
+    /// Inverse of [`SpanKind::as_str`].
+    pub fn parse(s: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The causal coordinates of one span: which trace it belongs to, its own
+/// id, and the span that caused it (`None` for a trace root). This is the
+/// context that travels **in the wire frames**, so a receiving server can
+/// parent its admission span to the sender's transfer span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// The tour this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// The causing span (`None` = trace root).
+    pub parent: Option<SpanId>,
+}
+
+impl SpanContext {
+    /// A root context (no parent).
+    pub fn root(trace: TraceId, span: SpanId) -> Self {
+        SpanContext {
+            trace,
+            span,
+            parent: None,
+        }
+    }
+
+    /// A child context in the same trace.
+    pub fn child(&self, span: SpanId) -> Self {
+        SpanContext {
+            trace: self.trace,
+            span,
+            parent: Some(self.span),
+        }
+    }
+}
+
+impl Wire for TraceId {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(self.0);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(TraceId(d.get_varint()?))
+    }
+}
+
+impl Wire for SpanId {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(self.0);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(SpanId(d.get_varint()?))
+    }
+}
+
+impl Wire for SpanContext {
+    fn encode(&self, e: &mut Encoder) {
+        self.trace.encode(e);
+        self.span.encode(e);
+        self.parent.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(SpanContext {
+            trace: TraceId::decode(d)?,
+            span: SpanId::decode(d)?,
+            parent: Option::<SpanId>::decode(d)?,
+        })
     }
 }
 
@@ -233,6 +389,26 @@ pub enum Event {
         /// How it was resolved: `skipped` or `sent-home`.
         disposition: &'static str,
     },
+    /// One completed span of a distributed trace. Each server journals the
+    /// spans it observed locally; merging the journals of every server a
+    /// tour touched reconstructs the full causal tree (see `core::trace`).
+    Span {
+        /// Causal coordinates: trace, own id, parent.
+        ctx: SpanContext,
+        /// Which phase of the tour this span covers.
+        kind: SpanKind,
+        /// The agent the span is about.
+        agent: Urn,
+        /// Kind-specific detail (resource + method + outcome for an
+        /// access, destination for a transfer, attempt for a retry…).
+        detail: String,
+        /// Virtual time the spanned work started.
+        start_ns: u64,
+        /// Duration. Virtual ns for spans that cross the network
+        /// (transfer RTT, retry backoff); real ns for local pipeline
+        /// spans (admission, bind, access).
+        dur_ns: u64,
+    },
 }
 
 impl Event {
@@ -294,11 +470,12 @@ pub enum Counter {
     TransfersRetried,
     HopsSkipped,
     AgentsRecovered,
+    SpansRecorded,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 19] = [
         Counter::EventsAppended,
         Counter::EventsDropped,
         Counter::AuditAllowed,
@@ -317,6 +494,7 @@ impl Counter {
         Counter::TransfersRetried,
         Counter::HopsSkipped,
         Counter::AgentsRecovered,
+        Counter::SpansRecorded,
     ];
 
     /// The exported metric name.
@@ -340,14 +518,25 @@ impl Counter {
             Counter::TransfersRetried => "ajanta_transfers_retried_total",
             Counter::HopsSkipped => "ajanta_hops_skipped_total",
             Counter::AgentsRecovered => "ajanta_agents_recovered_total",
+            Counter::SpansRecorded => "ajanta_spans_total",
         }
     }
 }
+
+/// How many independently locked rings the journal spreads appends over.
+/// The global sequence number doubles as the shard selector, so successive
+/// appends — even from one thread — land on successive shards and writers
+/// only contend at 1/SHARDS probability.
+const SHARDS: usize = 8;
 
 /// A fixed set of atomic counters, cheap to bump from any thread.
 #[derive(Debug, Default)]
 pub struct CounterSet {
     counters: [AtomicU64; Counter::ALL.len()],
+    /// Per-shard eviction counts; `Counter::EventsDropped` is their sum.
+    /// Exposed with a `shard` label so bounded-ring loss is attributable
+    /// to the shard that overflowed.
+    shard_drops: [AtomicU64; SHARDS],
 }
 
 impl CounterSet {
@@ -367,8 +556,21 @@ impl CounterSet {
         self.counters[c as usize].load(Ordering::Relaxed)
     }
 
+    /// Counts one eviction in shard `shard` (and in the aggregate).
+    #[inline]
+    pub fn add_shard_drop(&self, shard: usize) {
+        self.shard_drops[shard].fetch_add(1, Ordering::Relaxed);
+        self.add(Counter::EventsDropped, 1);
+    }
+
+    /// Evictions charged to one shard.
+    pub fn shard_drops(&self, shard: usize) -> u64 {
+        self.shard_drops[shard].load(Ordering::Relaxed)
+    }
+
     /// Prometheus-style text exposition: one `name value` line per
-    /// counter, in [`Counter::ALL`] order.
+    /// counter, in [`Counter::ALL`] order, followed by one
+    /// `ajanta_journal_dropped_total{shard="i"} value` line per shard.
     pub fn snapshot(&self) -> String {
         let mut out = String::new();
         for c in Counter::ALL {
@@ -377,22 +579,252 @@ impl CounterSet {
             out.push_str(&self.get(c).to_string());
             out.push('\n');
         }
+        for (i, d) in self.shard_drops.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{shard=\"{i}\"}} {}\n",
+                Counter::EventsDropped.name(),
+                d.load(Ordering::Relaxed)
+            ));
+        }
         out
     }
 }
 
-/// One shard: a bounded ring plus its own drop counter.
+/// One shard: a bounded ring. Its eviction count lives in the journal's
+/// [`CounterSet`], labeled by shard index.
 #[derive(Debug)]
 struct Shard {
     ring: Mutex<VecDeque<Record>>,
-    dropped: AtomicU64,
 }
 
-/// How many independently locked rings the journal spreads appends over.
-/// The global sequence number doubles as the shard selector, so successive
-/// appends — even from one thread — land on successive shards and writers
-/// only contend at 1/SHARDS probability.
-const SHARDS: usize = 8;
+/// Bucket count of a [`Histo`]: one bucket per power of two, covering the
+/// full `u64` range.
+pub const HISTO_BUCKETS: usize = 64;
+
+/// A lock-free log₂-bucketed histogram of `u64` samples (nanoseconds, in
+/// this crate's use). Bucket `b` holds samples whose value fits in `b`
+/// bits: bucket 0 is exactly `{0}`, bucket `b ≥ 1` covers
+/// `[2^(b-1), 2^b - 1]`. Recording is three relaxed atomic adds plus one
+/// `fetch_max` — safe from any thread, never blocking, and `sum`/`count`
+/// are exact (only the quantiles are bucket-resolution approximations).
+#[derive(Debug)]
+pub struct Histo {
+    buckets: [AtomicU64; HISTO_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histo {
+    fn default() -> Self {
+        Histo {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket a value lands in: 0 for 0, otherwise its bit length.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(HISTO_BUCKETS - 1)
+}
+
+/// The inclusive upper bound of bucket `b` (`u64::MAX` for the last).
+#[inline]
+fn bucket_bound(b: usize) -> u64 {
+    if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+impl Histo {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histo::default()
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy, suitable for merging across servers.
+    pub fn snapshot(&self) -> HistoSnapshot {
+        let mut buckets = [0u64; HISTO_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        HistoSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of a [`Histo`], mergeable across servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoSnapshot {
+    /// Per-bucket sample counts (see [`Histo`] for the bucket layout).
+    pub buckets: [u64; HISTO_BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
+impl Default for HistoSnapshot {
+    fn default() -> Self {
+        HistoSnapshot {
+            buckets: [0; HISTO_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistoSnapshot {
+    /// An empty snapshot (for folding merges).
+    pub fn empty() -> Self {
+        HistoSnapshot::default()
+    }
+
+    /// Accumulates another snapshot into this one — how per-server
+    /// histograms aggregate into a world-wide distribution.
+    pub fn merge(&mut self, other: &HistoSnapshot) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1), resolved to its bucket's inclusive
+    /// upper bound and clamped to the observed max — so `quantile(1.0)`
+    /// is exactly `max`, and larger `q` never yields a smaller answer.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_bound(b).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// The five instrumented hot paths, each with its own [`Histo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistoPath {
+    /// `ProxyControl::check_id` — the per-invocation access check.
+    ProxyCheck,
+    /// The 6-step bind protocol (`Shared::bind_resource`), real ns.
+    Bind,
+    /// Reliable transfer round-trip: first send to delivery ack, virtual
+    /// ns (includes retry backoffs).
+    TransferRtt,
+    /// Backoff actually waited before one retry, virtual ns.
+    RetryBackoff,
+    /// End-to-end hop latency: original virtual send time to admission at
+    /// the destination, virtual ns.
+    HopLatency,
+}
+
+impl HistoPath {
+    /// All paths, in snapshot order.
+    pub const ALL: [HistoPath; 5] = [
+        HistoPath::ProxyCheck,
+        HistoPath::Bind,
+        HistoPath::TransferRtt,
+        HistoPath::RetryBackoff,
+        HistoPath::HopLatency,
+    ];
+
+    /// The exported metric name (a nanosecond distribution).
+    pub fn name(self) -> &'static str {
+        match self {
+            HistoPath::ProxyCheck => "ajanta_proxy_check_ns",
+            HistoPath::Bind => "ajanta_bind_ns",
+            HistoPath::TransferRtt => "ajanta_transfer_rtt_ns",
+            HistoPath::RetryBackoff => "ajanta_retry_backoff_ns",
+            HistoPath::HopLatency => "ajanta_hop_latency_ns",
+        }
+    }
+}
+
+/// One [`Histo`] per [`HistoPath`]; every [`Journal`] owns a set.
+#[derive(Debug, Default)]
+pub struct HistoSet {
+    histos: [Histo; HistoPath::ALL.len()],
+}
+
+impl HistoSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        HistoSet::default()
+    }
+
+    /// Records one sample on one path.
+    #[inline]
+    pub fn record(&self, path: HistoPath, v: u64) {
+        self.histos[path as usize].record(v);
+    }
+
+    /// The histogram for one path.
+    pub fn get(&self, path: HistoPath) -> &Histo {
+        &self.histos[path as usize]
+    }
+
+    /// Prometheus-style text exposition: for each path, quantile gauges
+    /// (`name{quantile="0.5"}` / `0.9` / `0.99`), then `name_max`,
+    /// `name_sum`, `name_count`.
+    pub fn snapshot(&self) -> String {
+        let mut out = String::new();
+        for path in HistoPath::ALL {
+            let s = self.get(path).snapshot();
+            let name = path.name();
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{label}\"}} {}\n",
+                    s.quantile(q)
+                ));
+            }
+            out.push_str(&format!("{name}_max {}\n", s.max));
+            out.push_str(&format!("{name}_sum {}\n", s.sum));
+            out.push_str(&format!("{name}_count {}\n", s.count));
+        }
+        out
+    }
+}
 
 /// Default total capacity (records retained across all shards).
 pub const DEFAULT_CAPACITY: usize = 8192;
@@ -409,6 +841,14 @@ pub struct Journal {
     shards: Box<[Shard]>,
     per_shard: usize,
     counters: CounterSet,
+    histos: HistoSet,
+    /// Next local span serial; combined with `span_tag` by
+    /// [`Journal::mint_span`].
+    next_span: AtomicU64,
+    /// High bits mixed into every minted [`SpanId`]/[`TraceId`] so ids
+    /// from different servers never collide (see
+    /// [`Journal::with_span_tag`]).
+    span_tag: u64,
     /// Virtual-time source; the default returns 0 (standalone use, e.g.
     /// a monitor outside any server, where no clock exists).
     clock: Option<Arc<dyn Fn() -> u64 + Send + Sync>>,
@@ -446,11 +886,13 @@ impl Journal {
             shards: (0..SHARDS)
                 .map(|_| Shard {
                     ring: Mutex::new(VecDeque::new()),
-                    dropped: AtomicU64::new(0),
                 })
                 .collect(),
             per_shard,
             counters: CounterSet::new(),
+            histos: HistoSet::new(),
+            next_span: AtomicU64::new(1),
+            span_tag: 0,
             clock: None,
         }
     }
@@ -460,6 +902,26 @@ impl Journal {
     pub fn with_clock(mut self, clock: impl Fn() -> u64 + Send + Sync + 'static) -> Self {
         self.clock = Some(Arc::new(clock));
         self
+    }
+
+    /// Sets the id-uniqueness tag mixed into every minted span and trace
+    /// id: `tag` occupies the high 32 bits, the local serial the low 32.
+    /// Servers derive the tag from a hash of their name, so ids minted
+    /// independently across a world never collide. (Builder-style: call
+    /// before sharing the journal.)
+    pub fn with_span_tag(mut self, tag: u32) -> Self {
+        self.span_tag = (tag as u64) << 32;
+        self
+    }
+
+    /// Mints a fresh, globally unique [`SpanId`].
+    pub fn mint_span(&self) -> SpanId {
+        SpanId(self.span_tag | (self.next_span.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF))
+    }
+
+    /// Mints a fresh [`TraceId`] (same uniqueness scheme as spans).
+    pub fn mint_trace(&self) -> TraceId {
+        TraceId(self.span_tag | (self.next_span.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF))
     }
 
     /// Current virtual time according to the attached clock (0 if none).
@@ -488,12 +950,11 @@ impl Journal {
             severity: event.severity(),
             event,
         };
-        let shard = &self.shards[(seq % self.shards.len() as u64) as usize];
-        let mut ring = shard.ring.lock();
+        let shard_idx = (seq % self.shards.len() as u64) as usize;
+        let mut ring = self.shards[shard_idx].ring.lock();
         if ring.len() >= self.per_shard {
             ring.pop_front();
-            shard.dropped.fetch_add(1, Ordering::Relaxed);
-            self.counters.add(Counter::EventsDropped, 1);
+            self.counters.add_shard_drop(shard_idx);
         }
         ring.push_back(record);
         seq
@@ -521,6 +982,7 @@ impl Journal {
             Event::TransferRetried { .. } => Counter::TransfersRetried,
             Event::HopSkipped { .. } => Counter::HopsSkipped,
             Event::AgentRecovered { .. } => Counter::AgentsRecovered,
+            Event::Span { .. } => Counter::SpansRecorded,
         };
         self.counters.add(c, 1);
     }
@@ -537,10 +999,7 @@ impl Journal {
 
     /// Total records evicted by the capacity bound.
     pub fn dropped(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| s.dropped.load(Ordering::Relaxed))
-            .sum()
+        self.counters.get(Counter::EventsDropped)
     }
 
     /// Every retained record, globally ordered by sequence number.
@@ -572,6 +1031,19 @@ impl Journal {
     pub fn counter(&self, c: Counter) -> u64 {
         self.counters.get(c)
     }
+
+    /// The hot-path latency histograms.
+    pub fn histos(&self) -> &HistoSet {
+        &self.histos
+    }
+
+    /// Full Prometheus-style exposition: counters (with per-shard drop
+    /// lines) followed by the five hot-path latency distributions.
+    pub fn metrics_snapshot(&self) -> String {
+        let mut out = self.counters.snapshot();
+        out.push_str(&self.histos.snapshot());
+        out
+    }
 }
 
 /// A lazily attachable handle to a journal plus the context a proxy needs
@@ -596,6 +1068,13 @@ impl JournalHook {
     pub fn attach(&self, journal: Arc<Journal>, resource: Urn) {
         *self.slot.lock() = Some((journal, resource));
         self.attached.store(true, Ordering::Release);
+    }
+
+    /// Whether a journal has been attached — one relaxed-cost load, so
+    /// hot paths can skip instrumentation work entirely while detached.
+    #[inline]
+    pub fn is_attached(&self) -> bool {
+        self.attached.load(Ordering::Acquire)
     }
 
     /// Runs `f` with the journal and resource name, if attached.
@@ -719,18 +1198,182 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_snapshot_has_one_line_per_counter() {
+    fn prometheus_snapshot_has_one_line_per_counter_plus_shard_drops() {
         let j = Journal::new();
         j.append(reject("x"));
         let text = j.counters().snapshot();
-        assert_eq!(text.lines().count(), Counter::ALL.len());
+        assert_eq!(text.lines().count(), Counter::ALL.len() + SHARDS);
         assert!(text.contains("ajanta_rejections_total 1\n"));
         assert!(text.contains("ajanta_journal_events_total 1\n"));
+        assert!(text.contains("ajanta_journal_dropped_total{shard=\"0\"} 0\n"));
+        assert!(text.contains("ajanta_journal_dropped_total{shard=\"7\"} 0\n"));
         // Every exported name is unique.
         let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn shard_drop_lines_attribute_ring_loss() {
+        // Capacity 8 = one slot per shard; single-threaded round-robin
+        // appends overflow every shard equally.
+        let j = Journal::with_capacity(8);
+        for i in 0..24u64 {
+            j.append_at(i, reject("x"));
+        }
+        assert_eq!(j.dropped(), 16);
+        for shard in 0..SHARDS {
+            assert_eq!(j.counters().shard_drops(shard), 2, "shard {shard}");
+        }
+        let text = j.counters().snapshot();
+        assert!(text.contains("ajanta_journal_dropped_total{shard=\"3\"} 2\n"));
+    }
+
+    #[test]
+    fn histogram_concurrent_record_is_exact() {
+        // 8 threads × 1000 samples: `sum` and `count` must be exact —
+        // lock-free recording loses nothing.
+        let j = Arc::new(Journal::new());
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let j = Arc::clone(&j);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        j.histos().record(HistoPath::ProxyCheck, t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = j.histos().get(HistoPath::ProxyCheck).snapshot();
+        assert_eq!(s.count, 8000);
+        assert_eq!(s.sum, (0..8000u64).sum::<u64>());
+        assert_eq!(s.max, 7999);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 8000);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 is exactly {0}; bucket b ≥ 1 covers [2^(b-1), 2^b - 1].
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(8), 255);
+        assert_eq!(bucket_bound(64), u64::MAX);
+
+        let h = Histo::new();
+        for v in [0u64, 1, 2, 3, 4, 255, 256, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[3], 1); // 4
+        assert_eq!(s.buckets[8], 1); // 255
+        assert_eq!(s.buckets[9], 1); // 256
+        assert_eq!(s.buckets[63], 1); // u64::MAX
+        assert_eq!(s.max, u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_capped_at_max() {
+        let h = Histo::new();
+        for v in [3u64, 5, 9, 17, 100, 1000, 5000, 5001, 5002, 70_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let qs: Vec<u64> = (1..=100).map(|i| s.quantile(i as f64 / 100.0)).collect();
+        assert!(
+            qs.windows(2).all(|w| w[0] <= w[1]),
+            "non-monotone quantiles: {qs:?}"
+        );
+        assert_eq!(s.quantile(1.0), 70_000, "q=1 is exactly the max");
+        assert!(s.quantile(0.5) >= 100, "median lands in the 100 bucket+");
+        // Merging two snapshots preserves exactness of count/sum/max.
+        let mut merged = HistoSnapshot::empty();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.count, 2 * s.count);
+        assert_eq!(merged.sum, 2 * s.sum);
+        assert_eq!(merged.max, s.max);
+        assert_eq!(merged.quantile(1.0), 70_000);
+    }
+
+    #[test]
+    fn histo_set_snapshot_exports_quantiles_per_path() {
+        let j = Journal::new();
+        j.histos().record(HistoPath::Bind, 1000);
+        j.histos().record(HistoPath::Bind, 3000);
+        let text = j.metrics_snapshot();
+        assert!(text.contains("ajanta_bind_ns{quantile=\"0.5\"} "));
+        assert!(text.contains("ajanta_bind_ns{quantile=\"0.99\"} "));
+        assert!(text.contains("ajanta_bind_ns_count 2\n"));
+        assert!(text.contains("ajanta_bind_ns_sum 4000\n"));
+        assert!(text.contains("ajanta_bind_ns_max 3000\n"));
+        // All five paths appear even when unexercised.
+        for path in HistoPath::ALL {
+            assert!(text.contains(path.name()), "{} missing", path.name());
+        }
+    }
+
+    #[test]
+    fn span_ids_are_unique_across_differently_tagged_journals() {
+        let a = Journal::new().with_span_tag(0xA11C);
+        let b = Journal::new().with_span_tag(0xB0B0);
+        let mut ids: Vec<u64> = Vec::new();
+        for _ in 0..100 {
+            ids.push(a.mint_span().0);
+            ids.push(b.mint_span().0);
+        }
+        ids.push(a.mint_trace().0);
+        ids.push(b.mint_trace().0);
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn span_context_roundtrips_on_the_wire() {
+        let root = SpanContext::root(TraceId(0x70DA), SpanId(7));
+        let child = root.child(SpanId(9));
+        for ctx in [root, child] {
+            let bytes = ctx.to_bytes();
+            assert_eq!(SpanContext::from_bytes(&bytes).unwrap(), ctx);
+        }
+        assert_eq!(child.parent, Some(SpanId(7)));
+        assert_eq!(child.trace, root.trace);
+    }
+
+    #[test]
+    fn span_events_bump_the_span_counter() {
+        let j = Journal::new().with_span_tag(1);
+        let trace = j.mint_trace();
+        let span = j.mint_span();
+        j.append(Event::Span {
+            ctx: SpanContext::root(trace, span),
+            kind: SpanKind::Dispatch,
+            agent: Urn::agent("x.org", ["a"]).unwrap(),
+            detail: "launch".into(),
+            start_ns: 0,
+            dur_ns: 0,
+        });
+        assert_eq!(j.counter(Counter::SpansRecorded), 1);
+        assert_eq!(
+            j.snapshot()[0].severity,
+            Severity::Info,
+            "spans are info-level"
+        );
     }
 
     #[test]

@@ -1,0 +1,879 @@
+//! Causal tour reconstruction from merged telemetry journals.
+//!
+//! Each server journals the [`Event::Span`]s it observed locally (PR 5's
+//! tracing layer). This module turns those per-server journals into a
+//! portable JSONL export, merges exports from every server a tour
+//! touched, rebuilds the per-trace causal trees, and scans them for
+//! anomalies: orphan spans (a parent never journaled anywhere), retry
+//! storms (one transfer leg retried more than a threshold), and accesses
+//! that succeeded after the proxy had been revoked.
+//!
+//! The JSONL schema is deliberately flat — one object per line, string
+//! and unsigned-integer values only — so the hand-rolled writer/parser
+//! below covers it completely without a serde dependency. Span and trace
+//! ids are emitted as 16-digit hex strings because their high bits (the
+//! minting server's tag) exceed JSON's safe-integer range.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::telemetry::{Event, Record, SpanId, SpanKind, TraceId};
+
+// ---------------------------------------------------------------------------
+// Flat JSON writing
+// ---------------------------------------------------------------------------
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_field_str(out: &mut String, key: &str, val: &str) {
+    push_json_str(out, key);
+    out.push(':');
+    push_json_str(out, val);
+    out.push(',');
+}
+
+fn push_field_u64(out: &mut String, key: &str, val: u64) {
+    push_json_str(out, key);
+    out.push(':');
+    out.push_str(&val.to_string());
+    out.push(',');
+}
+
+/// Exports one journal record as a JSONL line, if it is trace-relevant:
+/// spans export fully, proxy revocations export so access-after-revoke is
+/// detectable offline, everything else is omitted.
+pub fn export_record(server: &str, record: &Record) -> Option<String> {
+    let mut out = String::from("{");
+    match &record.event {
+        Event::Span {
+            ctx,
+            kind,
+            agent,
+            detail,
+            start_ns,
+            dur_ns,
+        } => {
+            push_field_str(&mut out, "type", "span");
+            push_field_str(&mut out, "server", server);
+            push_field_u64(&mut out, "seq", record.seq);
+            push_field_u64(&mut out, "at", record.at);
+            push_field_str(&mut out, "trace", &format!("{:016x}", ctx.trace.0));
+            push_field_str(&mut out, "span", &format!("{:016x}", ctx.span.0));
+            if let Some(parent) = ctx.parent {
+                push_field_str(&mut out, "parent", &format!("{:016x}", parent.0));
+            }
+            push_field_str(&mut out, "kind", kind.as_str());
+            push_field_str(&mut out, "agent", &agent.to_string());
+            push_field_str(&mut out, "detail", detail);
+            push_field_u64(&mut out, "start_ns", *start_ns);
+            push_field_u64(&mut out, "dur_ns", *dur_ns);
+        }
+        Event::ProxyRevoke { resource, holder } => {
+            push_field_str(&mut out, "type", "revoke");
+            push_field_str(&mut out, "server", server);
+            push_field_u64(&mut out, "seq", record.seq);
+            push_field_u64(&mut out, "at", record.at);
+            push_field_str(&mut out, "resource", &resource.to_string());
+            push_field_u64(&mut out, "holder", holder.0);
+        }
+        // Reference-monitor denials travel with the export as context for
+        // an operator reading a flagged trace; the parser skips any type
+        // it does not model, so this stays forward-compatible.
+        Event::Audit {
+            caller,
+            op,
+            allowed: false,
+        } => {
+            push_field_str(&mut out, "type", "audit-denied");
+            push_field_str(&mut out, "server", server);
+            push_field_u64(&mut out, "seq", record.seq);
+            push_field_u64(&mut out, "at", record.at);
+            push_field_str(&mut out, "op", op.as_str());
+            push_field_u64(&mut out, "caller", caller.0);
+        }
+        _ => return None,
+    }
+    out.pop(); // trailing comma
+    out.push('}');
+    Some(out)
+}
+
+/// Exports every trace-relevant record of one journal snapshot as JSONL.
+pub fn export_journal(server: &str, records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        if let Some(line) = export_record(server, r) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Flat JSON parsing
+// ---------------------------------------------------------------------------
+
+/// A value the flat schema admits: a string or an unsigned integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JsonVal {
+    Str(String),
+    Num(u64),
+}
+
+/// Errors from [`parse_jsonl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParseError {
+    /// 1-based line number in the concatenated input.
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.detail)
+    }
+}
+
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, JsonVal>, String> {
+    let mut chars = line.chars().peekable();
+    let mut fields = BTreeMap::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while matches!(chars.peek(), Some(' ' | '\t')) {
+            chars.next();
+        }
+    }
+
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> Result<String, String> {
+        if chars.next() != Some('"') {
+            return Err("expected '\"'".into());
+        }
+        let mut s = String::new();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => return Ok(s),
+                Some('\\') => match chars.next() {
+                    Some('"') => s.push('"'),
+                    Some('\\') => s.push('\\'),
+                    Some('/') => s.push('/'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('t') => s.push('\t'),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                        let code = u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape")?;
+                        s.push(char::from_u32(code).ok_or("bad \\u codepoint")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) => s.push(c),
+            }
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        let val = match chars.peek() {
+            Some('"') => JsonVal::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() => {
+                let mut digits = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    digits.push(chars.next().unwrap());
+                }
+                JsonVal::Num(digits.parse().map_err(|_| "number out of range")?)
+            }
+            other => return Err(format!("unexpected value start {other:?}")),
+        };
+        fields.insert(key, val);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    skip_ws(&mut chars);
+    if chars.next().is_some() {
+        return Err("trailing garbage after object".into());
+    }
+    Ok(fields)
+}
+
+fn get_str(f: &BTreeMap<String, JsonVal>, key: &str) -> Result<String, String> {
+    match f.get(key) {
+        Some(JsonVal::Str(s)) => Ok(s.clone()),
+        Some(JsonVal::Num(_)) => Err(format!("field {key:?} is not a string")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn get_u64(f: &BTreeMap<String, JsonVal>, key: &str) -> Result<u64, String> {
+    match f.get(key) {
+        Some(JsonVal::Num(n)) => Ok(*n),
+        Some(JsonVal::Str(_)) => Err(format!("field {key:?} is not a number")),
+        None => Err(format!("missing field {key:?}")),
+    }
+}
+
+fn get_id(f: &BTreeMap<String, JsonVal>, key: &str) -> Result<u64, String> {
+    let hex = get_str(f, key)?;
+    u64::from_str_radix(&hex, 16).map_err(|_| format!("field {key:?} is not a hex id"))
+}
+
+// ---------------------------------------------------------------------------
+// Parsed records
+// ---------------------------------------------------------------------------
+
+/// One span, as reconstructed from a JSONL export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// The server whose journal recorded the span.
+    pub server: String,
+    /// That journal's sequence number.
+    pub seq: u64,
+    /// Virtual time the span was journaled.
+    pub at: u64,
+    /// The tour it belongs to.
+    pub trace: TraceId,
+    /// Its own id.
+    pub span: SpanId,
+    /// Its causal parent (`None` = trace root).
+    pub parent: Option<SpanId>,
+    /// What phase it covers.
+    pub kind: SpanKind,
+    /// The agent it is about (URN text).
+    pub agent: String,
+    /// Kind-specific detail.
+    pub detail: String,
+    /// When the spanned work started (virtual ns).
+    pub start_ns: u64,
+    /// How long it took (see [`Event::Span`] for units).
+    pub dur_ns: u64,
+}
+
+/// One proxy revocation, kept so access-after-revoke is detectable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevokeRec {
+    /// The server that revoked.
+    pub server: String,
+    /// Virtual time of revocation.
+    pub at: u64,
+    /// The revoked resource (URN text).
+    pub resource: String,
+}
+
+/// One parsed JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A span.
+    Span(SpanRec),
+    /// A proxy revocation.
+    Revoke(RevokeRec),
+}
+
+/// Parses a JSONL export (possibly the concatenation of several servers'
+/// exports). Blank lines are skipped; unknown record types are ignored so
+/// the format can grow.
+pub fn parse_jsonl(input: &str) -> Result<Vec<TraceRecord>, TraceParseError> {
+    let mut records = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let err = |detail: String| TraceParseError {
+            line: i + 1,
+            detail,
+        };
+        let fields = parse_flat_object(line).map_err(err)?;
+        match get_str(&fields, "type").map_err(err)?.as_str() {
+            "span" => {
+                let kind_str = get_str(&fields, "kind").map_err(err)?;
+                let kind = SpanKind::parse(&kind_str)
+                    .ok_or_else(|| err(format!("unknown span kind {kind_str:?}")))?;
+                records.push(TraceRecord::Span(SpanRec {
+                    server: get_str(&fields, "server").map_err(err)?,
+                    seq: get_u64(&fields, "seq").map_err(err)?,
+                    at: get_u64(&fields, "at").map_err(err)?,
+                    trace: TraceId(get_id(&fields, "trace").map_err(err)?),
+                    span: SpanId(get_id(&fields, "span").map_err(err)?),
+                    parent: if fields.contains_key("parent") {
+                        Some(SpanId(get_id(&fields, "parent").map_err(err)?))
+                    } else {
+                        None
+                    },
+                    kind,
+                    agent: get_str(&fields, "agent").map_err(err)?,
+                    detail: get_str(&fields, "detail").map_err(err)?,
+                    start_ns: get_u64(&fields, "start_ns").map_err(err)?,
+                    dur_ns: get_u64(&fields, "dur_ns").map_err(err)?,
+                }));
+            }
+            "revoke" => {
+                records.push(TraceRecord::Revoke(RevokeRec {
+                    server: get_str(&fields, "server").map_err(err)?,
+                    at: get_u64(&fields, "at").map_err(err)?,
+                    resource: get_str(&fields, "resource").map_err(err)?,
+                }));
+            }
+            _ => {}
+        }
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------------------
+// Forest reconstruction
+// ---------------------------------------------------------------------------
+
+/// One reconstructed trace: the spans of one tour, indexed causally.
+#[derive(Debug, Clone, Default)]
+pub struct TraceTree {
+    /// Every span of the trace, in merged `(at, server, seq)` order.
+    pub spans: Vec<SpanRec>,
+    /// Root spans (`parent == None`), as indices into `spans`.
+    pub roots: Vec<usize>,
+    /// Children of each span, as indices into `spans`, keyed by span id.
+    pub children: HashMap<SpanId, Vec<usize>>,
+    /// Spans whose parent id was never journaled anywhere — a broken
+    /// causal chain. Empty in a healthy merge.
+    pub orphans: Vec<usize>,
+}
+
+impl TraceTree {
+    /// The span with id `id`, if present.
+    pub fn span(&self, id: SpanId) -> Option<&SpanRec> {
+        self.spans.iter().find(|s| s.span == id)
+    }
+}
+
+/// All traces reconstructed from a merged export, plus the revocations
+/// needed for anomaly scanning.
+#[derive(Debug, Clone, Default)]
+pub struct TraceForest {
+    /// Per-trace trees, keyed and ordered by trace id.
+    pub traces: BTreeMap<TraceId, TraceTree>,
+    /// Revocations seen in the merged journals.
+    pub revokes: Vec<RevokeRec>,
+}
+
+impl TraceForest {
+    /// Builds the forest. At-least-once delivery means the same span can
+    /// be journaled on several servers; duplicates (same span id) keep
+    /// the earliest copy.
+    pub fn build(records: Vec<TraceRecord>) -> TraceForest {
+        let mut spans: Vec<SpanRec> = Vec::new();
+        let mut revokes = Vec::new();
+        for r in records {
+            match r {
+                TraceRecord::Span(s) => spans.push(s),
+                TraceRecord::Revoke(r) => revokes.push(r),
+            }
+        }
+        spans.sort_by(|a, b| (a.at, &a.server, a.seq).cmp(&(b.at, &b.server, b.seq)));
+
+        let mut seen: HashSet<SpanId> = HashSet::new();
+        let mut traces: BTreeMap<TraceId, TraceTree> = BTreeMap::new();
+        for s in spans {
+            if !seen.insert(s.span) {
+                continue;
+            }
+            traces.entry(s.trace).or_default().spans.push(s);
+        }
+        for tree in traces.values_mut() {
+            let ids: HashSet<SpanId> = tree.spans.iter().map(|s| s.span).collect();
+            for (i, s) in tree.spans.iter().enumerate() {
+                match s.parent {
+                    None => tree.roots.push(i),
+                    Some(p) if ids.contains(&p) => tree.children.entry(p).or_default().push(i),
+                    Some(_) => tree.orphans.push(i),
+                }
+            }
+        }
+        TraceForest { traces, revokes }
+    }
+
+    /// Total spans across all traces.
+    pub fn span_count(&self) -> usize {
+        self.traces.values().map(|t| t.spans.len()).sum()
+    }
+
+    /// Total orphan spans across all traces (0 in a complete merge).
+    pub fn orphan_count(&self) -> usize {
+        self.traces.values().map(|t| t.orphans.len()).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Anomaly scanning
+// ---------------------------------------------------------------------------
+
+/// Something a trace scan flagged for an operator's attention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Anomaly {
+    /// A span's parent was never journaled on any merged server: the
+    /// causal chain is broken (lost journal, eviction, or a bug).
+    OrphanSpan {
+        /// The trace it belongs to.
+        trace: TraceId,
+        /// The orphaned span.
+        span: SpanId,
+        /// Its kind.
+        kind: SpanKind,
+        /// The missing parent id.
+        parent: SpanId,
+    },
+    /// One transfer leg was retried more than the threshold — a hop that
+    /// is dominating the tour's tail latency.
+    RetryStorm {
+        /// The trace it belongs to.
+        trace: TraceId,
+        /// The transfer span being retried.
+        span: SpanId,
+        /// The struggling agent (URN text).
+        agent: String,
+        /// How many retries were attached.
+        retries: usize,
+    },
+    /// An access succeeded at a virtual time later than a revocation of
+    /// the same resource — the window the paper's revocation protocol is
+    /// supposed to close.
+    AccessAfterRevoke {
+        /// The trace it belongs to.
+        trace: TraceId,
+        /// The offending access span.
+        span: SpanId,
+        /// The revoked resource (URN text).
+        resource: String,
+        /// When the access happened (virtual time).
+        access_at: u64,
+        /// When the revocation happened (virtual time).
+        revoked_at: u64,
+    },
+}
+
+impl std::fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Anomaly::OrphanSpan {
+                trace,
+                span,
+                kind,
+                parent,
+            } => write!(
+                f,
+                "orphan span: trace {trace} span {span} ({kind}) has unjournaled parent {parent}"
+            ),
+            Anomaly::RetryStorm {
+                trace,
+                span,
+                agent,
+                retries,
+            } => write!(
+                f,
+                "retry storm: trace {trace} transfer {span} of {agent} retried {retries} times"
+            ),
+            Anomaly::AccessAfterRevoke {
+                trace,
+                span,
+                resource,
+                access_at,
+                revoked_at,
+            } => write!(
+                f,
+                "access after revoke: trace {trace} span {span} accessed {resource} at t={access_at} but it was revoked at t={revoked_at}"
+            ),
+        }
+    }
+}
+
+/// Scans the forest: orphan spans, transfers with more than
+/// `retry_threshold` retries, and successful accesses after a revocation
+/// of the same resource.
+pub fn scan_anomalies(forest: &TraceForest, retry_threshold: usize) -> Vec<Anomaly> {
+    let mut anomalies = Vec::new();
+    for (trace, tree) in &forest.traces {
+        for &i in &tree.orphans {
+            let s = &tree.spans[i];
+            anomalies.push(Anomaly::OrphanSpan {
+                trace: *trace,
+                span: s.span,
+                kind: s.kind,
+                parent: s.parent.expect("orphans have parents"),
+            });
+        }
+        for s in &tree.spans {
+            if s.kind != SpanKind::Transfer {
+                continue;
+            }
+            let retries = tree.children.get(&s.span).map_or(0, |kids| {
+                kids.iter()
+                    .filter(|&&k| tree.spans[k].kind == SpanKind::Retry)
+                    .count()
+            });
+            if retries > retry_threshold {
+                anomalies.push(Anomaly::RetryStorm {
+                    trace: *trace,
+                    span: s.span,
+                    agent: s.agent.clone(),
+                    retries,
+                });
+            }
+        }
+        for s in &tree.spans {
+            // Access detail format: "<resource> <method> <outcome>".
+            if s.kind != SpanKind::Access {
+                continue;
+            }
+            let mut parts = s.detail.split_whitespace();
+            let (Some(resource), _method, Some("ok")) = (parts.next(), parts.next(), parts.next())
+            else {
+                continue;
+            };
+            for rev in &forest.revokes {
+                if rev.resource == resource && s.at > rev.at {
+                    anomalies.push(Anomaly::AccessAfterRevoke {
+                        trace: *trace,
+                        span: s.span,
+                        resource: rev.resource.clone(),
+                        access_at: s.at,
+                        revoked_at: rev.at,
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    anomalies
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn render_span(tree: &TraceTree, i: usize, depth: usize, out: &mut String) {
+    let s = &tree.spans[i];
+    out.push_str(&"  ".repeat(depth + 1));
+    out.push_str(&format!(
+        "{} {} @{} dur={}ns [{}] {}\n",
+        s.kind, s.agent, s.at, s.dur_ns, s.server, s.detail
+    ));
+    if let Some(kids) = tree.children.get(&s.span) {
+        for &k in kids {
+            render_span(tree, k, depth + 1, out);
+        }
+    }
+}
+
+/// Renders one trace as an indented causal tree.
+pub fn render_tree(trace: TraceId, tree: &TraceTree) -> String {
+    let mut out = format!("trace {trace} ({} spans)\n", tree.spans.len());
+    for &r in &tree.roots {
+        render_span(tree, r, 0, &mut out);
+    }
+    for &o in &tree.orphans {
+        let s = &tree.spans[o];
+        out.push_str(&format!(
+            "  !! ORPHAN {} {} @{} [{}] {}\n",
+            s.kind, s.agent, s.at, s.server, s.detail
+        ));
+        render_span(tree, o, 1, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::DomainId;
+    use crate::telemetry::{Record, Severity, SpanContext};
+    use ajanta_naming::Urn;
+
+    fn agent() -> Urn {
+        Urn::agent("home.org", ["alice", "a1"]).unwrap()
+    }
+
+    fn span_record(
+        seq: u64,
+        at: u64,
+        trace: u64,
+        span: u64,
+        parent: Option<u64>,
+        kind: SpanKind,
+        detail: &str,
+    ) -> Record {
+        Record {
+            seq,
+            at,
+            severity: Severity::Info,
+            event: Event::Span {
+                ctx: SpanContext {
+                    trace: TraceId(trace),
+                    span: SpanId(span),
+                    parent: parent.map(SpanId),
+                },
+                kind,
+                agent: agent(),
+                detail: detail.into(),
+                start_ns: at,
+                dur_ns: 5,
+            },
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_every_span_field() {
+        let records = vec![
+            span_record(0, 10, 0xABCD, 1, None, SpanKind::Dispatch, "launch"),
+            span_record(
+                1,
+                20,
+                0xABCD,
+                2,
+                Some(1),
+                SpanKind::Transfer,
+                "to \"site1.org\"\nhop 0\t",
+            ),
+        ];
+        let jsonl = export_journal("site0.org", &records);
+        assert_eq!(jsonl.lines().count(), 2);
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed.len(), 2);
+        let TraceRecord::Span(s) = &parsed[1] else {
+            panic!("expected span");
+        };
+        assert_eq!(s.server, "site0.org");
+        assert_eq!(s.seq, 1);
+        assert_eq!(s.at, 20);
+        assert_eq!(s.trace, TraceId(0xABCD));
+        assert_eq!(s.span, SpanId(2));
+        assert_eq!(s.parent, Some(SpanId(1)));
+        assert_eq!(s.kind, SpanKind::Transfer);
+        assert_eq!(s.agent, agent().to_string());
+        assert_eq!(s.detail, "to \"site1.org\"\nhop 0\t");
+        assert_eq!(s.dur_ns, 5);
+    }
+
+    #[test]
+    fn large_ids_survive_the_hex_encoding() {
+        let big = 0xFFFF_FFFF_0000_0001u64; // beyond JSON's 2^53 safe range
+        let jsonl = export_journal(
+            "s",
+            &[span_record(
+                0,
+                1,
+                big,
+                big - 1,
+                Some(big - 2),
+                SpanKind::Retry,
+                "",
+            )],
+        );
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        let TraceRecord::Span(s) = &parsed[0] else {
+            panic!()
+        };
+        assert_eq!(s.trace.0, big);
+        assert_eq!(s.span.0, big - 1);
+        assert_eq!(s.parent, Some(SpanId(big - 2)));
+    }
+
+    #[test]
+    fn revocations_export_and_parse() {
+        let rec = Record {
+            seq: 3,
+            at: 99,
+            severity: Severity::Warn,
+            event: Event::ProxyRevoke {
+                resource: Urn::resource("x.org", ["r"]).unwrap(),
+                holder: DomainId(4),
+            },
+        };
+        let jsonl = export_journal("x.org", &[rec]);
+        let parsed = parse_jsonl(&jsonl).unwrap();
+        let TraceRecord::Revoke(r) = &parsed[0] else {
+            panic!()
+        };
+        assert_eq!(r.at, 99);
+        assert_eq!(r.resource, "ajn://x.org/resource/r");
+    }
+
+    #[test]
+    fn non_trace_events_are_not_exported() {
+        let rec = Record {
+            seq: 0,
+            at: 0,
+            severity: Severity::Info,
+            event: Event::AgentLog {
+                agent: agent(),
+                text: "hi".into(),
+            },
+        };
+        assert_eq!(export_record("s", &rec), None);
+    }
+
+    #[test]
+    fn forest_links_children_detects_orphans_and_dedups() {
+        let mut records = vec![
+            span_record(0, 10, 1, 100, None, SpanKind::Dispatch, "launch"),
+            span_record(1, 20, 1, 101, Some(100), SpanKind::Transfer, "t"),
+            span_record(2, 30, 1, 102, Some(101), SpanKind::Admission, "a"),
+            // parent 999 was never journaled -> orphan
+            span_record(3, 40, 1, 103, Some(999), SpanKind::Bind, "b"),
+            // a second trace
+            span_record(4, 50, 2, 200, None, SpanKind::Dispatch, "launch"),
+        ];
+        // Duplicate delivery: span 102 also journaled on another server.
+        records.push(span_record(
+            9,
+            31,
+            1,
+            102,
+            Some(101),
+            SpanKind::Admission,
+            "a",
+        ));
+
+        let jsonl: String = records
+            .iter()
+            .map(|r| export_record("s", r).unwrap() + "\n")
+            .collect();
+        let forest = TraceForest::build(parse_jsonl(&jsonl).unwrap());
+
+        assert_eq!(forest.traces.len(), 2);
+        assert_eq!(forest.span_count(), 5, "duplicate span deduped");
+        assert_eq!(forest.orphan_count(), 1);
+        let t1 = &forest.traces[&TraceId(1)];
+        assert_eq!(t1.roots.len(), 1);
+        assert_eq!(t1.children[&SpanId(100)].len(), 1);
+        assert_eq!(t1.children[&SpanId(101)].len(), 1);
+        assert_eq!(t1.orphans.len(), 1);
+        assert_eq!(t1.spans[t1.orphans[0]].span, SpanId(103));
+        let rendered = render_tree(TraceId(1), t1);
+        assert!(rendered.contains("ORPHAN"));
+        assert!(rendered.contains("admission"));
+    }
+
+    #[test]
+    fn anomaly_scan_flags_storms_orphans_and_late_accesses() {
+        let mut records = vec![
+            span_record(0, 10, 1, 1, None, SpanKind::Dispatch, "launch"),
+            span_record(1, 20, 1, 2, Some(1), SpanKind::Transfer, "t"),
+        ];
+        for i in 0..4 {
+            records.push(span_record(
+                2 + i,
+                21 + i,
+                1,
+                10 + i,
+                Some(2),
+                SpanKind::Retry,
+                "r",
+            ));
+        }
+        records.push(span_record(
+            8,
+            200,
+            1,
+            20,
+            Some(2),
+            SpanKind::Access,
+            "ajn://x.org/resource/r put ok",
+        ));
+        records.push(span_record(9, 40, 1, 99, Some(777), SpanKind::Bind, "b"));
+        let mut parsed: Vec<TraceRecord> = records
+            .iter()
+            .map(|r| {
+                let line = export_record("s", r).unwrap();
+                parse_jsonl(&line).unwrap().remove(0)
+            })
+            .collect();
+        parsed.push(TraceRecord::Revoke(RevokeRec {
+            server: "s".into(),
+            at: 100,
+            resource: "ajn://x.org/resource/r".into(),
+        }));
+
+        let forest = TraceForest::build(parsed);
+        let anomalies = scan_anomalies(&forest, 3);
+        assert!(anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::RetryStorm { retries: 4, .. })));
+        assert!(anomalies.iter().any(|a| matches!(
+            a,
+            Anomaly::OrphanSpan {
+                span: SpanId(99),
+                ..
+            }
+        )));
+        assert!(anomalies.iter().any(|a| matches!(
+            a,
+            Anomaly::AccessAfterRevoke {
+                access_at: 200,
+                revoked_at: 100,
+                ..
+            }
+        )));
+        // A denied access after revoke is the system working, not an anomaly.
+        let denied = TraceRecord::Span(SpanRec {
+            server: "s".into(),
+            seq: 50,
+            at: 300,
+            trace: TraceId(1),
+            span: SpanId(300),
+            parent: Some(SpanId(1)),
+            kind: SpanKind::Access,
+            agent: "a".into(),
+            detail: "ajn://x.org/resource/r put denied".into(),
+            start_ns: 300,
+            dur_ns: 1,
+        });
+        let forest2 = TraceForest::build(vec![
+            denied,
+            TraceRecord::Revoke(RevokeRec {
+                server: "s".into(),
+                at: 100,
+                resource: "ajn://x.org/resource/r".into(),
+            }),
+        ]);
+        assert!(scan_anomalies(&forest2, 3)
+            .iter()
+            .all(|a| !matches!(a, Anomaly::AccessAfterRevoke { .. })));
+        // Threshold is strict: 4 retries at threshold 4 is not a storm.
+        assert!(scan_anomalies(&forest, 4)
+            .iter()
+            .all(|a| !matches!(a, Anomaly::RetryStorm { .. })));
+    }
+}

@@ -40,4 +40,4 @@ pub use datagram::{DatagramError, ReplayGuard, SealedDatagram};
 pub use link::LinkModel;
 pub use secure::{ChannelError, ChannelIdentity, PendingInitiation, SecureChannel};
 pub use sim::{Delivery, Endpoint, NetError, NetStats, SimNet};
-pub use time::VClock;
+pub use time::{fmt_ns, VClock};

@@ -50,6 +50,22 @@ pub const MICROS: u64 = 1_000;
 /// Convenience: nanoseconds per second.
 pub const SECONDS: u64 = 1_000_000_000;
 
+/// Renders a nanosecond quantity with a human-scale unit (`ns`, `µs`,
+/// `ms`, `s`), one decimal where it matters. Trace and histogram tooling
+/// renders virtual durations through this so a 50 ms link reads as
+/// "50ms", not "50000000".
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= SECONDS {
+        format!("{:.2}s", ns as f64 / SECONDS as f64)
+    } else if ns >= MILLIS {
+        format!("{:.1}ms", ns as f64 / MILLIS as f64)
+    } else if ns >= MICROS {
+        format!("{:.1}µs", ns as f64 / MICROS as f64)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +116,14 @@ mod tests {
     fn unit_constants() {
         assert_eq!(MILLIS, 1_000 * MICROS);
         assert_eq!(SECONDS, 1_000 * MILLIS);
+    }
+
+    #[test]
+    fn fmt_ns_picks_the_human_unit() {
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(50 * MILLIS), "50.0ms");
+        assert_eq!(fmt_ns(2 * SECONDS + SECONDS / 4), "2.25s");
     }
 }

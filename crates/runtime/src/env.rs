@@ -45,6 +45,7 @@ use std::sync::Arc;
 
 use ajanta_core::{
     AccessError, Credentials, DomainId, Requester, ResourceError, ResourceProxy, Rights,
+    SpanContext, SpanKind,
 };
 use ajanta_naming::Urn;
 use ajanta_vm::{HostError, HostImport, HostInterface, HostResponse, Module, Ty, Value};
@@ -168,6 +169,9 @@ pub struct AgentEnv {
     last_sender: Vec<u8>,
     children: u64,
     rng_state: u64,
+    /// This stay's admission span: every bind, access, dispatch, and
+    /// report the agent performs here descends from it in the trace.
+    ctx: SpanContext,
 }
 
 impl AgentEnv {
@@ -178,6 +182,7 @@ impl AgentEnv {
         identity: Urn,
         credentials: Credentials,
         rights: Rights,
+        ctx: SpanContext,
     ) -> Self {
         // Per-agent deterministic randomness derived from the identity,
         // so reruns of an experiment reproduce identical agent behaviour.
@@ -197,6 +202,7 @@ impl AgentEnv {
             last_sender: Vec::new(),
             children: 0,
             rng_state,
+            ctx,
         }
     }
 
@@ -298,7 +304,12 @@ impl HostInterface for AgentEnv {
                 };
                 let proxy = self
                     .shared
-                    .bind_resource(&requester, &name, self.now())
+                    .bind_resource(
+                        &requester,
+                        &name,
+                        self.now(),
+                        Some((self.ctx.trace, self.ctx.span)),
+                    )
                     .map_err(HostError::Denied)?;
                 self.proxies.push(proxy);
                 val(Value::Int(self.proxies.len() as i64))
@@ -317,7 +328,31 @@ impl HostInterface for AgentEnv {
                 let mut d = Decoder::new(args[2].as_bytes().expect("verified"));
                 let call_args: Vec<Value> = decode_seq(&mut d)
                     .map_err(|e| HostError::Failed(format!("malformed args: {e}")))?;
-                match proxy.invoke(self.domain, method, &call_args, self.now()) {
+                let t0 = std::time::Instant::now();
+                let result = proxy.invoke(self.domain, method, &call_args, self.now());
+                // Each access is a child span of the admission; the
+                // detail's three whitespace-separated tokens (resource,
+                // method, outcome) are what `tracectl`'s anomaly scan
+                // parses to spot accesses that postdate a revocation.
+                let outcome = match &result {
+                    Ok(_) => "ok",
+                    Err(AccessError::Resource(_)) => "app-err",
+                    Err(_) => "denied",
+                };
+                let span = SpanContext {
+                    trace: self.ctx.trace,
+                    span: self.shared.journal.mint_span(),
+                    parent: Some(self.ctx.span),
+                };
+                self.shared.emit_span(
+                    span,
+                    SpanKind::Access,
+                    &self.identity,
+                    format!("{} {} {}", proxy.resource_name(), method, outcome),
+                    self.now(),
+                    t0.elapsed().as_nanos() as u64,
+                );
+                match result {
                     Ok(v) => val(Value::Bytes(encode_ok(&v))),
                     // Application-level failures are recoverable results…
                     Err(AccessError::Resource(ResourceError::WouldBlock)) => {
@@ -438,6 +473,7 @@ impl HostInterface for AgentEnv {
                         entry,
                         payload,
                         self.children,
+                        Some((self.ctx.trace, self.ctx.span)),
                     )
                     .map_err(HostError::Denied)?;
                 val(Value::str(child.to_string()))

@@ -44,4 +44,8 @@ pub use world::World;
 
 // Telemetry types surface through the runtime so experiments and
 // examples can match on journal events without a direct core import.
-pub use ajanta_core::telemetry::{Counter, Event, Journal, Record, RejectKind, Severity};
+pub use ajanta_core::telemetry::{
+    Counter, Event, Histo, HistoPath, HistoSet, HistoSnapshot, Journal, Record, RejectKind,
+    Severity, SpanContext, SpanId, SpanKind, TraceId,
+};
+pub use ajanta_core::trace::{scan_anomalies, Anomaly, SpanRec, TraceForest, TraceRecord};

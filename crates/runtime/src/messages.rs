@@ -5,6 +5,7 @@
 //! authentication and replay protection are already guaranteed by the
 //! time one of these is decoded.
 
+use ajanta_core::telemetry::SpanContext;
 use ajanta_core::Credentials;
 use ajanta_naming::Urn;
 use ajanta_vm::AgentImage;
@@ -174,6 +175,13 @@ pub enum Message {
         /// server's name; non-empty = a parent-chosen payload for a
         /// child.
         arg: Vec<u8>,
+        /// The sender's transfer span — trace id, this leg's span id, and
+        /// the causing span. Carried in the frame so the receiver's
+        /// admission span joins the same causal tree.
+        ctx: SpanContext,
+        /// Virtual time of the **first** send of this leg (not updated by
+        /// retries), so the receiver can compute end-to-end hop latency.
+        sent_ns: u64,
     },
     /// A status report for the home site. `seq` is the sender-chosen
     /// delivery sequence the home site echoes in its [`Message::Ack`] and
@@ -183,6 +191,9 @@ pub enum Message {
         report: Report,
         /// Per-sending-server delivery sequence number.
         seq: u64,
+        /// The sender's report span, so the home site's record of the
+        /// report joins the tour's causal tree.
+        ctx: SpanContext,
     },
     /// Mail from one agent to another hosted on the destination server.
     AgentMail {
@@ -244,6 +255,8 @@ impl Wire for Message {
                 hop,
                 run_as,
                 arg,
+                ctx,
+                sent_ns,
             } => {
                 e.put_u8(0);
                 credentials.encode(e);
@@ -251,11 +264,14 @@ impl Wire for Message {
                 e.put_varint(*hop);
                 run_as.encode(e);
                 e.put_bytes(arg);
+                ctx.encode(e);
+                e.put_varint(*sent_ns);
             }
-            Message::Report { report, seq } => {
+            Message::Report { report, seq, ctx } => {
                 e.put_u8(1);
                 report.encode(e);
                 e.put_varint(*seq);
+                ctx.encode(e);
             }
             Message::AgentMail { from, to, data } => {
                 e.put_u8(2);
@@ -294,10 +310,13 @@ impl Wire for Message {
                 hop: d.get_varint()?,
                 run_as: Urn::decode(d)?,
                 arg: d.get_bytes()?,
+                ctx: SpanContext::decode(d)?,
+                sent_ns: d.get_varint()?,
             }),
             1 => Ok(Message::Report {
                 report: Report::decode(d)?,
                 seq: d.get_varint()?,
+                ctx: SpanContext::decode(d)?,
             }),
             2 => Ok(Message::AgentMail {
                 from: Urn::decode(d)?,
@@ -326,9 +345,18 @@ impl Wire for Message {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ajanta_core::telemetry::{SpanId, TraceId};
     use ajanta_core::{CredentialsBuilder, Rights};
     use ajanta_crypto::{DetRng, KeyPair};
     use ajanta_vm::{ModuleBuilder, Op, Ty};
+
+    fn sample_ctx() -> SpanContext {
+        SpanContext {
+            trace: TraceId(0xDEAD_BEEF_0000_0001),
+            span: SpanId(0xCAFE_0000_0000_0002),
+            parent: Some(SpanId(3)),
+        }
+    }
 
     fn sample_image() -> AgentImage {
         let mut b = ModuleBuilder::new("m");
@@ -363,8 +391,32 @@ mod tests {
             image: sample_image(),
             hop: 3,
             arg: b"payload".to_vec(),
+            ctx: sample_ctx(),
+            sent_ns: 123_456_789,
         };
         assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn transfer_carries_trace_context_across_the_wire() {
+        // A root-context transfer (launch: no parent) round-trips too.
+        let creds = sample_credentials();
+        let m = Message::Transfer {
+            run_as: creds.agent.clone(),
+            credentials: creds,
+            image: sample_image(),
+            hop: 0,
+            arg: Vec::new(),
+            ctx: SpanContext::root(TraceId(7), SpanId(8)),
+            sent_ns: 0,
+        };
+        let decoded = Message::from_bytes(&m.to_bytes()).unwrap();
+        let Message::Transfer { ctx, sent_ns, .. } = decoded else {
+            panic!("expected transfer");
+        };
+        assert_eq!(ctx.trace, TraceId(7));
+        assert_eq!(ctx.parent, None);
+        assert_eq!(sent_ns, 0);
     }
 
     #[test]
@@ -408,6 +460,7 @@ mod tests {
                     at: 777,
                 },
                 seq: 12,
+                ctx: sample_ctx(),
             };
             assert_eq!(Message::from_bytes(&m.to_bytes()).unwrap(), m);
         }

@@ -21,9 +21,9 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use ajanta_core::{
-    AccessProtocol, BindError, Credentials, DomainDatabase, DomainId, Event, Guarded, HostMonitor,
-    Journal, ProxyPolicy, RejectKind, Requester, ResourceProxy, ResourceRegistry, Rights,
-    SecurityPolicy, SystemOp, UsageLimits,
+    AccessProtocol, BindError, Credentials, DomainDatabase, DomainId, Event, Guarded, HistoPath,
+    HostMonitor, Journal, ProxyPolicy, RejectKind, Requester, ResourceProxy, ResourceRegistry,
+    Rights, SecurityPolicy, SpanContext, SpanId, SpanKind, SystemOp, TraceId, UsageLimits,
 };
 use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
 use ajanta_naming::Urn;
@@ -294,6 +294,16 @@ struct PendingSend {
     sent_real: Instant,
     /// `Some` for transfers (dead-stop recovery), `None` for reports.
     recovery: Option<Recovery>,
+    /// The frame's span (transfer leg or report journey); retries journal
+    /// as its children, and a transfer's span is emitted when its first
+    /// ack resolves it.
+    ctx: SpanContext,
+    /// Virtual time of the very first send — the transfer-RTT and
+    /// hop-latency baseline. Never updated by retries or fallbacks.
+    first_sent_ns: u64,
+    /// Virtual time of the most recent attempt, so each retry span can
+    /// report the backoff actually waited.
+    last_sent_ns: u64,
 }
 
 /// Lock shards for the mailbox map. Mail delivery and pickup for
@@ -330,7 +340,7 @@ pub struct Shared {
     /// The one telemetry sink: audit decisions (via the monitor),
     /// rejections, agent log lines, lifecycle and proxy/meter events.
     /// Bounded; replaces the old unbounded `logs`/`events` vectors.
-    journal: Arc<Journal>,
+    pub(crate) journal: Arc<Journal>,
     reports: Mutex<Vec<Report>>,
     /// Signalled on every report arrival; `wait_reports` blocks here
     /// instead of busy-polling.
@@ -385,9 +395,65 @@ impl Shared {
         self.journal.append(Event::Rejected { kind, detail });
     }
 
+    /// Journals one completed trace span.
+    pub(crate) fn emit_span(
+        &self,
+        ctx: SpanContext,
+        kind: SpanKind,
+        agent: &Urn,
+        detail: String,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
+        self.journal.append(Event::Span {
+            ctx,
+            kind,
+            agent: agent.clone(),
+            detail,
+            start_ns,
+            dur_ns,
+        });
+    }
+
     /// Fig. 6 steps 2–5 on behalf of an agent, with domain-database
-    /// bookkeeping.
+    /// bookkeeping. When the caller supplies its trace coordinates
+    /// (`tracing` = trace id + the stay's admission span), the whole
+    /// protocol run is journaled as a `Bind` span; the latency lands in
+    /// the `Bind` histogram either way.
     pub fn bind_resource(
+        &self,
+        requester: &Requester,
+        name: &Urn,
+        now: u64,
+        tracing: Option<(TraceId, SpanId)>,
+    ) -> Result<ResourceProxy, String> {
+        let t0 = Instant::now();
+        let result = self.bind_resource_inner(requester, name, now);
+        let dt = t0.elapsed().as_nanos() as u64;
+        self.journal.histos().record(HistoPath::Bind, dt);
+        if let Some((trace, parent)) = tracing {
+            let ctx = SpanContext {
+                trace,
+                span: self.journal.mint_span(),
+                parent: Some(parent),
+            };
+            let outcome = match &result {
+                Ok(_) => "ok".to_string(),
+                Err(e) => format!("denied: {e}"),
+            };
+            self.emit_span(
+                ctx,
+                SpanKind::Bind,
+                &requester.agent,
+                format!("{name} {outcome}"),
+                now,
+                dt,
+            );
+        }
+        result
+    }
+
+    fn bind_resource_inner(
         &self,
         requester: &Requester,
         name: &Urn,
@@ -501,6 +567,7 @@ impl Shared {
         entry: String,
         payload: Vec<u8>,
         seq: u64,
+        tracing: Option<(TraceId, SpanId)>,
     ) -> Result<Urn, String> {
         self.monitor
             .check(caller, SystemOp::DispatchAgent)
@@ -522,12 +589,33 @@ impl Shared {
             agent: child.clone(),
             dest: dest.clone(),
         });
+        // The dispatch joins the parent's tour as a child of the stay
+        // that asked; a caller without coordinates roots a fresh trace.
+        let now = self.clock_now();
+        let dispatch_ctx = match tracing {
+            Some((trace, parent_span)) => SpanContext {
+                trace,
+                span: self.journal.mint_span(),
+                parent: Some(parent_span),
+            },
+            None => SpanContext::root(self.journal.mint_trace(), self.journal.mint_span()),
+        };
+        self.emit_span(
+            dispatch_ctx,
+            SpanKind::Dispatch,
+            &child,
+            format!("child toward {dest}"),
+            now,
+            0,
+        );
         let msg = Message::Transfer {
             run_as: child.clone(),
             credentials: credentials.clone(),
             image,
             hop: 0,
             arg: payload,
+            ctx: dispatch_ctx.child(self.journal.mint_span()),
+            sent_ns: now,
         };
         // Children travel on the reliable layer too: if the destination
         // stays dark, the dead-stop path reports `Failed(0)` to the
@@ -555,8 +643,22 @@ impl Shared {
 
     /// Records a report arriving at this (home) server, journaling the
     /// agent's outcome and waking any [`ServerHandle::wait_reports`].
-    fn record_report(&self, report: Report) {
+    /// `ctx` is the sender's report span for a report that crossed the
+    /// network (the home-side record journals as its child); local
+    /// reports pass `None` — their report span was journaled in
+    /// [`Shared::report_home`] already.
+    fn record_report(&self, report: Report, ctx: Option<SpanContext>) {
         self.stats.reports_in.fetch_add(1, Ordering::Relaxed);
+        if let Some(ctx) = ctx {
+            self.emit_span(
+                ctx.child(self.journal.mint_span()),
+                SpanKind::Report,
+                &report.agent,
+                "recorded".into(),
+                self.clock_now(),
+                0,
+            );
+        }
         self.journal.append(Event::AgentReported {
             agent: report.agent.clone(),
             status: match report.status {
@@ -570,15 +672,49 @@ impl Shared {
         self.reports_cv.notify_all();
     }
 
-    fn report_home(&self, run_as: &Urn, credentials: &Credentials, status: ReportStatus) {
+    /// Reports `status` to the agent's home site. `parent` anchors the
+    /// report's span in the tour: the stay's admission span for normal
+    /// outcomes, the lost transfer's span for dead-stop recovery. `None`
+    /// (a refusal before any trace context existed) roots a fresh trace,
+    /// so even pre-launch refusals are reconstructible.
+    fn report_home(
+        &self,
+        run_as: &Urn,
+        credentials: &Credentials,
+        status: ReportStatus,
+        parent: Option<(TraceId, SpanId)>,
+    ) {
+        let now = self.clock_now();
+        let ctx = match parent {
+            Some((trace, parent_span)) => SpanContext {
+                trace,
+                span: self.journal.mint_span(),
+                parent: Some(parent_span),
+            },
+            None => SpanContext::root(self.journal.mint_trace(), self.journal.mint_span()),
+        };
+        let status_label = match &status {
+            ReportStatus::Completed(_) => "completed",
+            ReportStatus::Failed(_) => "failed",
+            ReportStatus::QuotaExceeded(_) => "quota",
+            ReportStatus::Refused(_) => "refused",
+        };
+        self.emit_span(
+            ctx,
+            SpanKind::Report,
+            run_as,
+            format!("{status_label} toward {}", credentials.home),
+            now,
+            0,
+        );
         let report = Report {
             agent: run_as.clone(),
             server: self.name.clone(),
             status,
-            at: self.clock_now(),
+            at: now,
         };
         if credentials.home == self.name {
-            self.record_report(report);
+            self.record_report(report, None);
             return;
         }
         // Reports ride the reliable layer as well — under 20% loss the
@@ -587,7 +723,7 @@ impl Shared {
         // report must not recurse.
         let seq = self.next_report_seq.fetch_add(1, Ordering::Relaxed);
         let home = credentials.home.clone();
-        let msg = Message::Report { report, seq };
+        let msg = Message::Report { report, seq, ctx };
         if let Err(e) = self.send_reliable(&home, msg, Ack::REPORT, run_as.clone(), seq, None) {
             self.reject(RejectKind::ReportUndeliverable, e);
         }
@@ -625,7 +761,27 @@ impl Shared {
         seq: u64,
         recovery: Option<Recovery>,
     ) -> Result<(), String> {
+        // The frame carries its own span context; the pending entry
+        // remembers it so acks and retries can attach to the same span.
+        let (ctx, first_sent_ns) = match &msg {
+            Message::Transfer { ctx, sent_ns, .. } => (*ctx, *sent_ns),
+            Message::Report { ctx, .. } => (*ctx, self.clock_now()),
+            _ => (SpanContext::root(TraceId(0), SpanId(0)), self.clock_now()),
+        };
         if !self.retry.enabled() {
+            // Fire-and-forget: there will never be an ack to resolve a
+            // transfer's span, so close it at the send — the receiver's
+            // admission span still needs a journaled parent.
+            if kind == Ack::TRANSFER {
+                self.emit_span(
+                    ctx,
+                    SpanKind::Transfer,
+                    &agent,
+                    format!("to {dest} (fire-and-forget)"),
+                    first_sent_ns,
+                    0,
+                );
+            }
             return self.send_message(dest, &msg);
         }
         // A failed first send (unknown peer, detached endpoint) is just
@@ -643,6 +799,9 @@ impl Shared {
             due_ns,
             sent_real: Instant::now(),
             recovery,
+            ctx,
+            first_sent_ns,
+            last_sent_ns: first_sent_ns,
         };
         self.pending_sends.lock().insert((kind, agent, seq), entry);
         self.retry_cv.notify_all();
@@ -690,6 +849,23 @@ impl Shared {
                 attempt: entry.attempt,
             });
         }
+        // Each retry journals as a child span of the frame it re-sends;
+        // its duration is the backoff actually waited since the previous
+        // attempt, which also feeds the RetryBackoff histogram.
+        let now = self.clock_now();
+        let waited = now.saturating_sub(entry.last_sent_ns);
+        self.journal
+            .histos()
+            .record(HistoPath::RetryBackoff, waited);
+        self.emit_span(
+            entry.ctx.child(self.journal.mint_span()),
+            SpanKind::Retry,
+            &agent,
+            format!("attempt {} toward {}", entry.attempt, entry.dest),
+            entry.last_sent_ns,
+            waited,
+        );
+        entry.last_sent_ns = now;
         let _ = self.send_message(&entry.dest, &entry.msg);
         let delay = {
             let mut rng = self.rng.lock();
@@ -725,6 +901,17 @@ impl Shared {
                 hop,
                 disposition: "sent-home",
             });
+            // No fallback ends the leg: close the transfer span as lost
+            // (the Failed report journals as its child), so the tour's
+            // tree still accounts for the agent's whole fate.
+            self.emit_span(
+                entry.ctx,
+                SpanKind::Transfer,
+                &agent,
+                format!("to {} lost after {} attempts", entry.dest, entry.attempt),
+                entry.first_sent_ns,
+                self.clock_now().saturating_sub(entry.first_sent_ns),
+            );
             let credentials = recovery.credentials;
             self.report_home(
                 &agent,
@@ -733,6 +920,7 @@ impl Shared {
                     "hop {hop}: transfer to {} lost after {} attempts",
                     entry.dest, entry.attempt
                 )),
+                Some((entry.ctx.trace, entry.ctx.span)),
             );
             return;
         }
@@ -757,6 +945,9 @@ impl Shared {
             let mut rng = self.rng.lock();
             self.clock_now() + self.retry.delay_ns(1, &mut rng)
         };
+        // The span context and first-send baseline carry over: a skip is
+        // the *same* transfer leg finding another door, and its eventual
+        // RTT should include the time burned on the dead stop.
         let fresh = PendingSend {
             dest: next,
             msg: entry.msg,
@@ -764,6 +955,9 @@ impl Shared {
             due_ns,
             sent_real: Instant::now(),
             recovery: Some(recovery),
+            ctx: entry.ctx,
+            first_sent_ns: entry.first_sent_ns,
+            last_sent_ns: self.clock_now(),
         };
         self.pending_sends.lock().insert((kind, agent, seq), fresh);
     }
@@ -847,6 +1041,7 @@ impl ServerHandle {
                 &credentials.agent.clone(),
                 &credentials,
                 ReportStatus::Refused("launch with empty itinerary".into()),
+                None,
             );
             return;
         };
@@ -969,6 +1164,24 @@ impl ServerHandle {
         Arc::clone(&self.shared.journal)
     }
 
+    /// Number of reliable sends still awaiting an ack (or their
+    /// dead-stop). A trace export is only guaranteed orphan-free once
+    /// every server reports zero here: the Transfer span for a leg is
+    /// journaled when the leg *resolves*, so exporting mid-flight can
+    /// miss parents of already-journaled Retry and Admission spans.
+    pub fn pending_send_count(&self) -> usize {
+        self.shared.pending_sends.lock().len()
+    }
+
+    /// Exports this server's trace-relevant journal records as JSONL for
+    /// offline merging (`ajanta_core::trace::parse_jsonl`, `tracectl`).
+    pub fn export_jsonl(&self) -> String {
+        ajanta_core::trace::export_journal(
+            &self.shared.name().to_string(),
+            &self.shared.journal.snapshot(),
+        )
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -1024,10 +1237,20 @@ impl AgentServer {
             .expect("server name already attached");
         // One journal per server, stamped with the network's virtual
         // clock; the monitor audits into it, so the audit trail shares
-        // the stream (and the bound) with everything else.
+        // the stream (and the bound) with everything else. The span tag
+        // is a hash of the server name so span ids minted on different
+        // servers never collide when journals are merged for tracing.
         let clock = net.clock().clone();
+        let tag = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            config.name.hash(&mut h);
+            h.finish() as u32
+        };
         let journal = Arc::new(
-            Journal::with_capacity(config.journal_capacity).with_clock(move || clock.now()),
+            Journal::with_capacity(config.journal_capacity)
+                .with_clock(move || clock.now())
+                .with_span_tag(tag),
         );
         let monitor = HostMonitor::with_journal(Arc::clone(&journal), config.agents_may_dispatch);
         let shared = Arc::new(Shared {
@@ -1101,19 +1324,37 @@ fn server_loop(shared: Arc<Shared>, endpoint: Endpoint, ctrl: Receiver<Control>)
                         dest: dest.clone(),
                     });
                     let agent = credentials.agent.clone();
+                    // Every launch roots a fresh trace: a Dispatch span
+                    // with no parent, whose id every later span of the
+                    // tour transitively descends from.
+                    let now = shared.clock_now();
+                    let root = SpanContext::root(
+                        shared.journal.mint_trace(),
+                        shared.journal.mint_span(),
+                    );
+                    shared.emit_span(
+                        root,
+                        SpanKind::Dispatch,
+                        &agent,
+                        format!("launch toward {dest}"),
+                        now,
+                        0,
+                    );
                     let msg = Message::Transfer {
                         run_as: agent.clone(),
                         credentials: credentials.clone(),
                         image,
                         hop: 0,
                         arg: Vec::new(),
+                        ctx: root.child(shared.journal.mint_span()),
+                        sent_ns: now,
                     };
                     if let Err(e) =
                         shared.send_transfer(&dest, msg, agent, 0, fallbacks, credentials.clone())
                     {
                         shared.report_home(&credentials.agent.clone(), &credentials, ReportStatus::Refused(
                             format!("launch toward {dest} failed: {e}"),
-                        ));
+                        ), Some((root.trace, root.span)));
                     }
                 }
                 Ok(Control::QueryStatus { server, agent, reply }) => {
@@ -1201,6 +1442,8 @@ fn handle_delivery(
             hop,
             run_as,
             arg,
+            ctx,
+            sent_ns,
         } => {
             if shared.retry.enabled() {
                 // Ack first — even duplicates: "acknowledged but not
@@ -1225,9 +1468,19 @@ fn handle_delivery(
                 );
                 return;
             }
-            handle_transfer(shared, credentials, image, hop, run_as, arg, workers);
+            handle_transfer(
+                shared,
+                credentials,
+                image,
+                hop,
+                run_as,
+                arg,
+                ctx,
+                sent_ns,
+                workers,
+            );
         }
-        Message::Report { report, seq } => {
+        Message::Report { report, seq, ctx } => {
             if shared.retry.enabled() {
                 let ack = Message::Ack {
                     kind: Ack::REPORT,
@@ -1248,10 +1501,32 @@ fn handle_delivery(
                 );
                 return;
             }
-            shared.record_report(report);
+            shared.record_report(report, Some(ctx));
         }
         Message::Ack { kind, agent, seq } => {
-            shared.pending_sends.lock().remove(&(kind, agent, seq));
+            // The first ack resolves the frame; duplicates find nothing
+            // pending and do nothing (so no span is journaled twice). A
+            // resolved transfer closes its Transfer span with the full
+            // virtual round trip since the *first* send — retry backoffs
+            // included, which is exactly the tail the histogram is for.
+            let entry = shared
+                .pending_sends
+                .lock()
+                .remove(&(kind, agent.clone(), seq));
+            if let Some(entry) = entry {
+                if kind == Ack::TRANSFER {
+                    let rtt = shared.clock_now().saturating_sub(entry.first_sent_ns);
+                    shared.journal.histos().record(HistoPath::TransferRtt, rtt);
+                    shared.emit_span(
+                        entry.ctx,
+                        SpanKind::Transfer,
+                        &agent,
+                        format!("to {} acked after {} attempt(s)", entry.dest, entry.attempt),
+                        entry.first_sent_ns,
+                        rtt,
+                    );
+                }
+            }
         }
         Message::AgentMail { from, to, data } => {
             if !shared.local_mail(from.clone(), to.clone(), data) {
@@ -1298,8 +1573,13 @@ fn handle_transfer(
     hop: u64,
     run_as: Urn,
     arg: Vec<u8>,
+    ctx: SpanContext,
+    sent_ns: u64,
     workers: &mut Vec<std::thread::JoinHandle<()>>,
 ) {
+    // Real-time start of the admission pipeline (credential verification
+    // through domain creation) — the Admission span's duration.
+    let pipeline_t0 = Instant::now();
     let now = shared.clock_now();
 
     // 1. Credentials: tamper-evidence, expiry, certification.
@@ -1342,6 +1622,7 @@ fn handle_transfer(
             &run_as,
             &credentials,
             ReportStatus::Refused("inconsistent image".into()),
+            Some((ctx.trace, ctx.span)),
         );
         return;
     }
@@ -1354,7 +1635,12 @@ fn handle_transfer(
                 RejectKind::BadImage
             };
             shared.reject(kind, format!("{run_as}: {e}"));
-            shared.report_home(&run_as, &credentials, ReportStatus::Refused(e.to_string()));
+            shared.report_home(
+                &run_as,
+                &credentials,
+                ReportStatus::Refused(e.to_string()),
+                Some((ctx.trace, ctx.span)),
+            );
             return;
         }
     };
@@ -1385,7 +1671,12 @@ fn handle_transfer(
         Ok(d) => d,
         Err(e) => {
             shared.reject(RejectKind::DuplicateAgent, e.to_string());
-            shared.report_home(&run_as, &credentials, ReportStatus::Refused(e.to_string()));
+            shared.report_home(
+                &run_as,
+                &credentials,
+                ReportStatus::Refused(e.to_string()),
+                Some((ctx.trace, ctx.span)),
+            );
             return;
         }
     };
@@ -1394,6 +1685,29 @@ fn handle_transfer(
         domain,
         hop,
     });
+
+    // End-to-end hop latency on the virtual clock: from the sender's
+    // first transmission to successful admission here — includes every
+    // retry and fallback redirection the frame survived.
+    shared
+        .journal
+        .histos()
+        .record(HistoPath::HopLatency, now.saturating_sub(sent_ns));
+    // The Admission span is a child of the transfer that delivered the
+    // agent; everything the agent does on this server descends from it.
+    let admission_ctx = SpanContext {
+        trace: ctx.trace,
+        span: shared.journal.mint_span(),
+        parent: Some(ctx.span),
+    };
+    shared.emit_span(
+        admission_ctx,
+        SpanKind::Admission,
+        &run_as,
+        format!("hop {hop}"),
+        now,
+        pipeline_t0.elapsed().as_nanos() as u64,
+    );
 
     // Thread creation for the agent's domain — mediated by the monitor
     // (Section 5.3: thread-group manipulation is privileged).
@@ -1420,6 +1734,7 @@ fn handle_transfer(
                 run_as,
                 arg,
                 authorization,
+                admission_ctx,
             );
         })
         .expect("spawning agent thread");
@@ -1437,6 +1752,7 @@ fn run_agent(
     run_as: Urn,
     arg: Vec<u8>,
     authorization: Rights,
+    admission_ctx: SpanContext,
 ) {
     let mut env = AgentEnv::new(
         Arc::clone(&shared),
@@ -1444,7 +1760,9 @@ fn run_agent(
         run_as.clone(),
         credentials.clone(),
         authorization,
+        admission_ctx,
     );
+    let parent = Some((admission_ctx.trace, admission_ctx.span));
     env.set_module(Arc::clone(&verified));
     let mut interp = Interpreter::new(&verified, shared.vm_limits);
     if !interp.restore_globals(image.globals.clone()) {
@@ -1455,6 +1773,7 @@ fn run_agent(
             &run_as,
             &credentials,
             ReportStatus::Refused("global mismatch".into()),
+            parent,
         );
         return;
     }
@@ -1488,6 +1807,7 @@ fn run_agent(
                 &run_as,
                 &credentials,
                 ReportStatus::Completed(v.display_lossy()),
+                parent,
             );
         }
         ExecOutcome::HostStopped { .. } => {
@@ -1508,6 +1828,7 @@ fn run_agent(
                                 "go: entry {:?} missing or misshapen",
                                 image.entry
                             )),
+                            parent,
                         );
                     } else {
                         shared.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
@@ -1515,12 +1836,17 @@ fn run_agent(
                             agent: run_as.clone(),
                             dest: go.dest.clone(),
                         });
+                        // The onward leg is a sibling of the agent's
+                        // other on-server spans: a fresh transfer span
+                        // under this hop's admission.
                         let msg = Message::Transfer {
                             run_as: run_as.clone(),
                             credentials: credentials.clone(),
                             image,
                             hop: hop + 1,
                             arg: Vec::new(),
+                            ctx: admission_ctx.child(shared.journal.mint_span()),
+                            sent_ns: shared.clock_now(),
                         };
                         // go_tour's itinerary tail rides along as the
                         // dead-stop recovery plan; plain go has none.
@@ -1536,6 +1862,7 @@ fn run_agent(
                                 &run_as,
                                 &credentials,
                                 ReportStatus::Failed(format!("go toward {} failed: {e}", go.dest)),
+                                parent,
                             );
                         }
                     }
@@ -1545,6 +1872,7 @@ fn run_agent(
                         &run_as,
                         &credentials,
                         ReportStatus::Failed("host stop without destination".into()),
+                        parent,
                     );
                 }
             }
@@ -1554,6 +1882,7 @@ fn run_agent(
                 &run_as,
                 &credentials,
                 ReportStatus::Failed(format!("trap at fn#{func}@{ip}: {kind}")),
+                parent,
             );
         }
         ExecOutcome::OutOfFuel => {
@@ -1561,6 +1890,7 @@ fn run_agent(
                 &run_as,
                 &credentials,
                 ReportStatus::QuotaExceeded("instruction fuel exhausted".into()),
+                parent,
             );
         }
     }

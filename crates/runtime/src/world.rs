@@ -2,7 +2,9 @@
 //! certificate authority, a simulated network, N agent servers with
 //! published certificates, and owner principals.
 
-use ajanta_core::{PrincipalPattern, Rights, SecurityPolicy, UsageLimits};
+use ajanta_core::{
+    HistoPath, HistoSnapshot, PrincipalPattern, Rights, SecurityPolicy, UsageLimits,
+};
 use ajanta_crypto::cert::Certificate;
 use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
 use ajanta_naming::Urn;
@@ -256,6 +258,28 @@ impl World {
             },
             keys,
         )
+    }
+
+    /// Merges every server's trace-relevant journal records into one
+    /// JSONL document — the input `ajanta_core::trace::parse_jsonl` (and
+    /// the `tracectl` example) reconstructs causal trace trees from.
+    pub fn export_traces(&self) -> String {
+        let mut out = String::new();
+        for server in &self.servers {
+            out.push_str(&server.export_jsonl());
+        }
+        out
+    }
+
+    /// Latency histograms merged across every server in the world, per
+    /// path — the tour-wide view of transfer RTTs, retry backoffs, and
+    /// hop latencies that no single server's journal can give.
+    pub fn merged_histos(&self, path: HistoPath) -> HistoSnapshot {
+        let mut merged = HistoSnapshot::empty();
+        for server in &self.servers {
+            merged.merge(&server.journal().histos().get(path).snapshot());
+        }
+        merged
     }
 
     /// Shuts every server down and joins their threads.

@@ -904,6 +904,8 @@ fn forged_child_identity_outside_subtree_is_rejected() {
         image: img,
         hop: 0,
         arg: vec![],
+        ctx: ajanta_core::SpanContext::root(ajanta_core::TraceId(1), ajanta_core::SpanId(1)),
+        sent_ns: 0,
     };
 
     let (rogue_id, _rogue_keys) = world.certified_rogue("mitm");

@@ -109,11 +109,12 @@ fn main() {
     println!("network: {:?}", world.net.stats());
 
     // Everything the server did on the agent's behalf left a typed trace
-    // in its telemetry journal: the Prometheus-style counter snapshot
-    // gives the aggregates, the tail of the journal the actual events.
+    // in its telemetry journal: the Prometheus-style metrics snapshot
+    // gives counters plus latency-histogram quantiles, the tail of the
+    // journal the actual events.
     let journal = world.server(1).journal();
-    println!("\nserver 1 telemetry counters:");
-    for line in journal.counters().snapshot().lines() {
+    println!("\nserver 1 telemetry snapshot:");
+    for line in journal.metrics_snapshot().lines() {
         if !line.ends_with(" 0") {
             println!("  {line}");
         }
