@@ -148,7 +148,7 @@ impl RevServer {
                         let mut host = StoreHost {
                             store: Arc::clone(&store),
                         };
-                        let mut interp = Interpreter::new(&verified, limits);
+                        let mut interp = Interpreter::new(std::sync::Arc::clone(&verified), limits);
                         match interp.run(
                             &request.entry,
                             vec![Value::Bytes(request.arg.clone())],
@@ -436,7 +436,7 @@ mod tests {
         let mut ns = Namespace::new();
         let verified = ns.load(module).unwrap();
         let mut host = StoreHost { store };
-        let mut interp = Interpreter::new(&verified, Limits::default());
+        let mut interp = Interpreter::new(std::sync::Arc::clone(&verified), Limits::default());
         let out = interp.run("filter", vec![Value::str("red")], &mut host);
         assert_eq!(
             out,
@@ -454,7 +454,7 @@ mod tests {
         let mut ns = Namespace::new();
         let verified = ns.load(filter_program()).unwrap();
         let mut host = StoreHost { store };
-        let mut interp = Interpreter::new(&verified, Limits::default());
+        let mut interp = Interpreter::new(std::sync::Arc::clone(&verified), Limits::default());
         let out = interp.run("filter", vec![Value::str("")], &mut host);
         assert_eq!(out, ExecOutcome::Finished(Value::Bytes(b"a\nb".to_vec())));
     }

@@ -50,10 +50,10 @@ fn bench(c: &mut Criterion) {
             Op::Ret,
         ],
     );
-    let vm = verify(mb.build()).unwrap();
+    let vm = std::sync::Arc::new(verify(mb.build()).unwrap());
     g.bench_function("vm_loop_1000_iters", |b| {
         b.iter(|| {
-            let mut i = Interpreter::new(&vm, Limits::default());
+            let mut i = Interpreter::new(std::sync::Arc::clone(&vm), Limits::default());
             i.run("run", vec![ajanta_vm::Value::Int(1000)], &mut NoHost)
         })
     });

@@ -151,4 +151,32 @@ fn main() {
         print!("{}", bench::x15_tail::table(agents, 5, drops));
         println!();
     }
+    if wants("x16") {
+        // Scheduler capacity: resident-count sweep on a fixed pool, then
+        // worker scaling on a fixed batch. `quick` is the CI smoke
+        // (CHECK_BENCH=1 in scripts/check.sh): 10k agents, short loops.
+        let (counts, iters): (&[usize], i64) = if quick {
+            (&[1_000, 10_000], 500)
+        } else {
+            (&[1_000, 10_000, 100_000], 2_000)
+        };
+        let pool = 4;
+        let resident = bench::x16_sched::resident_sweep(counts, pool, iters);
+        let worker_counts: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+        let batch = if quick { 2_000 } else { 10_000 };
+        let workers = bench::x16_sched::worker_sweep(worker_counts, batch, iters);
+        print!("{}", bench::x16_sched::resident_table(&resident, iters));
+        println!();
+        print!("{}", bench::x16_sched::worker_table(&workers, iters));
+        println!();
+        // CI artifact: X16_JSON=<path> writes a machine-readable summary.
+        if let Ok(path) = std::env::var("X16_JSON") {
+            let json = bench::x16_sched::json_summary(&resident, &workers);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("x16: failed to write {path}: {e}");
+            } else {
+                eprintln!("x16: JSON summary written to {path}");
+            }
+        }
+    }
 }

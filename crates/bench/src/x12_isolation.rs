@@ -25,6 +25,13 @@ pub struct IsolationRow {
     /// agents/s would *rise* with the batch size even at flat capacity;
     /// work/s makes rows comparable.
     pub throughput: f64,
+    /// Scheduler pool width the world ran on.
+    pub workers: usize,
+    /// Completed agents per worker-core per second — throughput
+    /// normalized by the pool width, so rows stay comparable across
+    /// machines (raw agents/s scales with however many cores the host
+    /// happens to have).
+    pub agents_per_core_s: f64,
     /// All agents computed their own-id-derived answer (no cross-talk).
     pub isolated: bool,
     /// Resident agents after completion (must be 0).
@@ -117,6 +124,7 @@ pub fn run(agent_counts: &[usize], iters: i64) -> Vec<IsolationRow> {
             let isolated = answers == want;
             let residue = world.server(1).resident_agents();
             let admitted = world.server(1).journal().counter(Counter::AgentsAdmitted);
+            let workers = world.scheduler().workers();
             world.shutdown();
 
             IsolationRow {
@@ -124,6 +132,8 @@ pub fn run(agent_counts: &[usize], iters: i64) -> Vec<IsolationRow> {
                 admitted,
                 wall_ms,
                 throughput: (n as f64 * iters as f64) / (wall_ms / 1e3),
+                workers,
+                agents_per_core_s: n as f64 / (wall_ms / 1e3) / workers as f64,
                 isolated,
                 residue,
             }
@@ -142,6 +152,7 @@ pub fn table(agent_counts: &[usize], iters: i64) -> String {
                 r.admitted.to_string(),
                 format!("{:.1} ms", r.wall_ms),
                 format!("{:.2} Miters/s", r.throughput / 1e6),
+                format!("{:.0}", r.agents_per_core_s),
                 if r.isolated {
                     "yes".into()
                 } else {
@@ -158,6 +169,7 @@ pub fn table(agent_counts: &[usize], iters: i64) -> String {
             "admitted",
             "wall time",
             "work rate",
+            "agents/core/s",
             "isolation held",
             "residue",
         ],

@@ -471,11 +471,14 @@ pub enum Counter {
     HopsSkipped,
     AgentsRecovered,
     SpansRecorded,
+    AgentsYielded,
+    SlicesRun,
+    Steals,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 22] = [
         Counter::EventsAppended,
         Counter::EventsDropped,
         Counter::AuditAllowed,
@@ -495,6 +498,9 @@ impl Counter {
         Counter::HopsSkipped,
         Counter::AgentsRecovered,
         Counter::SpansRecorded,
+        Counter::AgentsYielded,
+        Counter::SlicesRun,
+        Counter::Steals,
     ];
 
     /// The exported metric name.
@@ -519,6 +525,9 @@ impl Counter {
             Counter::HopsSkipped => "ajanta_hops_skipped_total",
             Counter::AgentsRecovered => "ajanta_agents_recovered_total",
             Counter::SpansRecorded => "ajanta_spans_total",
+            Counter::AgentsYielded => "ajanta_agent_yields_total",
+            Counter::SlicesRun => "ajanta_slices_total",
+            Counter::Steals => "ajanta_sched_steals_total",
         }
     }
 }
@@ -742,7 +751,7 @@ impl HistoSnapshot {
     }
 }
 
-/// The five instrumented hot paths, each with its own [`Histo`].
+/// The instrumented hot paths, each with its own [`Histo`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HistoPath {
     /// `ProxyControl::check_id` — the per-invocation access check.
@@ -757,16 +766,23 @@ pub enum HistoPath {
     /// End-to-end hop latency: original virtual send time to admission at
     /// the destination, virtual ns.
     HopLatency,
+    /// One scheduler slice of agent execution, real ns.
+    SliceDuration,
+    /// Time a ready task waited in a run-queue before a worker picked it
+    /// up, real ns.
+    ReadyDwell,
 }
 
 impl HistoPath {
     /// All paths, in snapshot order.
-    pub const ALL: [HistoPath; 5] = [
+    pub const ALL: [HistoPath; 7] = [
         HistoPath::ProxyCheck,
         HistoPath::Bind,
         HistoPath::TransferRtt,
         HistoPath::RetryBackoff,
         HistoPath::HopLatency,
+        HistoPath::SliceDuration,
+        HistoPath::ReadyDwell,
     ];
 
     /// The exported metric name (a nanosecond distribution).
@@ -777,6 +793,8 @@ impl HistoPath {
             HistoPath::TransferRtt => "ajanta_transfer_rtt_ns",
             HistoPath::RetryBackoff => "ajanta_retry_backoff_ns",
             HistoPath::HopLatency => "ajanta_hop_latency_ns",
+            HistoPath::SliceDuration => "ajanta_slice_ns",
+            HistoPath::ReadyDwell => "ajanta_ready_dwell_ns",
         }
     }
 }

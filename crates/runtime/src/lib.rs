@@ -30,6 +30,7 @@ pub mod env;
 pub mod itinerary;
 pub mod messages;
 pub mod owner;
+pub mod sched;
 pub mod server;
 pub mod vmres;
 pub mod world;
@@ -38,6 +39,7 @@ pub use directory::Directory;
 pub use itinerary::{Itinerary, ItineraryError};
 pub use messages::{AgentStatus, Message, Report, ReportStatus};
 pub use owner::Owner;
+pub use sched::{SchedDepths, Scheduler, DEFAULT_SLICE_FUEL};
 pub use server::{AgentServer, QueryError, RetryPolicy, SecurityEvent, ServerConfig, ServerHandle};
 pub use vmres::VmResource;
 pub use world::World;

@@ -3,8 +3,9 @@
 //! One [`AgentServer`] owns: a network endpoint, the reference monitor,
 //! the resource registry, the domain database, a security policy, the
 //! system module set, and its cryptographic identity. Visiting agents
-//! execute on worker threads, each confined to its own protection domain
-//! and talking to the server only through [`crate::env::AgentEnv`].
+//! execute as resumable fuel-sliced tasks on the cooperative scheduler
+//! ([`crate::sched`]), each confined to its own protection domain and
+//! talking to the server only through [`crate::env::AgentEnv`].
 //!
 //! Admission pipeline for an arriving transfer (Section 5.2's problem
 //! list, in order): datagram authentication → credential verification →
@@ -30,7 +31,8 @@ use ajanta_naming::Urn;
 use ajanta_net::secure::ChannelIdentity;
 use ajanta_net::{Delivery, Endpoint, ReplayGuard, SealedDatagram, SimNet};
 use ajanta_vm::{
-    AgentImage, ExecOutcome, Interpreter, Limits, Module, Namespace, Value, VerifiedModule,
+    AgentImage, ExecOutcome, Interpreter, Limits, Module, Namespace, SliceOutcome, Value,
+    VerifiedModule,
 };
 use ajanta_wire::Wire;
 
@@ -38,6 +40,7 @@ use crate::directory::Directory;
 use crate::env::AgentEnv;
 use crate::itinerary::Itinerary;
 use crate::messages::{Ack, AgentStatus, Message, Report, ReportStatus};
+use crate::sched::{SchedDepths, Scheduler, Task};
 use crate::vmres::VmResource;
 
 /// Retry/backoff policy for the fault-tolerant migration layer.
@@ -216,6 +219,11 @@ pub struct ServerConfig {
     /// rejections, agent log lines, lifecycle and charge events share
     /// this bound; aggregate counters stay exact past it).
     pub journal_capacity: usize,
+    /// The cooperative scheduler agents execute on. `None` makes the
+    /// server start (and own) a private pool sized to the machine's
+    /// parallelism; a [`crate::World`] passes one shared pool to every
+    /// server so the whole world runs on `workers` threads.
+    pub scheduler: Option<Arc<Scheduler>>,
 }
 
 /// Queued (sender, payload) mail for one agent.
@@ -336,6 +344,8 @@ pub struct Shared {
     system_modules: Vec<Arc<VerifiedModule>>,
     agent_limits: UsageLimits,
     vm_limits: Limits,
+    /// The worker pool agents execute on (possibly shared world-wide).
+    sched: Arc<Scheduler>,
     mailboxes: [Mutex<HashMap<Urn, Mailbox>>; MAILBOX_SHARDS],
     /// The one telemetry sink: audit decisions (via the monitor),
     /// rejections, agent log lines, lifecycle and proxy/meter events.
@@ -1012,6 +1022,9 @@ pub struct ServerHandle {
     ctrl: Sender<Control>,
     join: Option<std::thread::JoinHandle<()>>,
     retry_join: Option<std::thread::JoinHandle<()>>,
+    /// Whether this handle started (and must stop) a private scheduler,
+    /// as opposed to borrowing a world-shared one.
+    owns_sched: bool,
 }
 
 impl ServerHandle {
@@ -1209,7 +1222,22 @@ impl ServerHandle {
         self.shared.monitor.audit_len()
     }
 
-    /// Stops the server loop and joins all threads.
+    /// Scheduler queue depths as seen from this server's pool: tasks
+    /// ready (queued), running (on a worker this instant), and parked
+    /// (ready but cold — holding only their VM image, no stack). With a
+    /// world-shared pool the depths span every server on it.
+    pub fn sched_depths(&self) -> SchedDepths {
+        self.shared.sched.depths()
+    }
+
+    /// The worker pool this server's agents execute on.
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.shared.sched
+    }
+
+    /// Stops the server loop and joins all threads. A privately owned
+    /// scheduler is drained and stopped too; a world-shared one is left
+    /// to [`crate::World::shutdown`].
     pub fn shutdown(mut self) {
         let _ = self.ctrl.send(Control::Shutdown);
         if let Some(join) = self.join.take() {
@@ -1219,6 +1247,9 @@ impl ServerHandle {
         self.shared.retry_cv.notify_all();
         if let Some(join) = self.retry_join.take() {
             let _ = join.join();
+        }
+        if self.owns_sched {
+            self.shared.sched.stop();
         }
     }
 }
@@ -1253,6 +1284,10 @@ impl AgentServer {
                 .with_span_tag(tag),
         );
         let monitor = HostMonitor::with_journal(Arc::clone(&journal), config.agents_may_dispatch);
+        let (sched, owns_sched) = match config.scheduler {
+            Some(s) => (s, false),
+            None => (Scheduler::new(crate::sched::default_workers()), true),
+        };
         let shared = Arc::new(Shared {
             name: config.name.clone(),
             identity: config.identity,
@@ -1267,6 +1302,7 @@ impl AgentServer {
             system_modules: config.system_modules,
             agent_limits: config.agent_limits,
             vm_limits: config.vm_limits,
+            sched,
             mailboxes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             journal,
             reports: Mutex::new(Vec::new()),
@@ -1308,12 +1344,15 @@ impl AgentServer {
             ctrl: ctrl_tx,
             join: Some(join),
             retry_join,
+            owns_sched,
         }
     }
 }
 
 fn server_loop(shared: Arc<Shared>, endpoint: Endpoint, ctrl: Receiver<Control>) {
-    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    // Admitted agents collected this tick; handed to the scheduler as
+    // one batch so a delivery burst costs one queue wakeup, not N.
+    let mut batch: Vec<Box<dyn Task>> = Vec::new();
     loop {
         crossbeam::channel::select! {
             recv(ctrl) -> cmd => match cmd {
@@ -1374,24 +1413,30 @@ fn server_loop(shared: Arc<Shared>, endpoint: Endpoint, ctrl: Receiver<Control>)
             recv(endpoint.receiver()) -> delivery => match delivery {
                 Ok(d) => {
                     shared.net.clock().advance_to(d.arrival_ns);
-                    handle_delivery(&shared, d, &mut workers);
+                    handle_delivery(&shared, d, &mut batch);
                 }
                 Err(_) => break,
             },
         }
-        // Reap finished workers so the vector stays bounded.
-        workers.retain(|w| !w.is_finished());
+        // Drain the rest of the burst without blocking, then enqueue
+        // the whole tick's admissions at once.
+        while let Ok(d) = endpoint.receiver().try_recv() {
+            shared.net.clock().advance_to(d.arrival_ns);
+            handle_delivery(&shared, d, &mut batch);
+        }
+        if !batch.is_empty() {
+            shared.sched.spawn_batch(batch.drain(..));
+        }
     }
-    for w in workers {
-        let _ = w.join();
+    // A shutdown racing a delivery burst must not strand admitted (and
+    // domain-registered) agents: flush, then let the scheduler's own
+    // drain-on-stop run them.
+    if !batch.is_empty() {
+        shared.sched.spawn_batch(batch.drain(..));
     }
 }
 
-fn handle_delivery(
-    shared: &Arc<Shared>,
-    delivery: Delivery,
-    workers: &mut Vec<std::thread::JoinHandle<()>>,
-) {
+fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, batch: &mut Vec<Box<dyn Task>>) {
     let now = shared.clock_now();
     let datagram = match SealedDatagram::from_bytes(&delivery.payload) {
         Ok(d) => d,
@@ -1477,7 +1522,7 @@ fn handle_delivery(
                 arg,
                 ctx,
                 sent_ns,
-                workers,
+                batch,
             );
         }
         Message::Report { report, seq, ctx } => {
@@ -1575,7 +1620,7 @@ fn handle_transfer(
     arg: Vec<u8>,
     ctx: SpanContext,
     sent_ns: u64,
-    workers: &mut Vec<std::thread::JoinHandle<()>>,
+    batch: &mut Vec<Box<dyn Task>>,
 ) {
     // Real-time start of the admission pipeline (credential verification
     // through domain creation) — the Admission span's duration.
@@ -1709,8 +1754,9 @@ fn handle_transfer(
         pipeline_t0.elapsed().as_nanos() as u64,
     );
 
-    // Thread creation for the agent's domain — mediated by the monitor
-    // (Section 5.3: thread-group manipulation is privileged).
+    // Scheduling the agent's domain — still mediated by the monitor
+    // (Section 5.3: thread-group manipulation is privileged), though the
+    // "thread" is now a cooperative task on the shared worker pool.
     if shared
         .monitor
         .check(DomainId::SERVER, SystemOp::CreateThread { target: domain })
@@ -1720,178 +1766,265 @@ fn handle_transfer(
     }
 
     shared.stats.agents_hosted.fetch_add(1, Ordering::Relaxed);
-    let shared = Arc::clone(shared);
-    let worker = std::thread::Builder::new()
-        .name(format!("agent-{}", run_as.leaf()))
-        .spawn(move || {
-            run_agent(
-                shared,
-                domain,
-                credentials,
-                verified,
-                image,
-                hop,
-                run_as,
-                arg,
-                authorization,
-                admission_ctx,
-            );
-        })
-        .expect("spawning agent thread");
-    workers.push(worker);
+    batch.push(Box::new(AgentTask {
+        shared: Arc::clone(shared),
+        domain,
+        credentials,
+        entry: image.entry.clone(),
+        module: image.module.clone(),
+        hop,
+        run_as,
+        admission_ctx,
+        state: TaskState::Cold {
+            verified,
+            globals: image.globals,
+            arg,
+            authorization,
+        },
+    }));
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_agent(
+/// One admitted agent as a resumable scheduler task.
+///
+/// Admission leaves the agent **cold**: the serialized image plus its
+/// admission artifacts, no interpreter, no stack — that is all a parked
+/// agent costs, which is what lets a server hold 100k of them. The first
+/// slice warms it up (environment + interpreter + entry frame); every
+/// slice after that resumes the parked call stack inside the
+/// interpreter. When a slice returns [`SliceOutcome::Done`] the task
+/// performs exactly what the old per-agent thread did after `run()`:
+/// fuel accounting, eviction-before-report, and the outcome dispatch.
+struct AgentTask {
     shared: Arc<Shared>,
     domain: DomainId,
     credentials: Credentials,
-    verified: Arc<VerifiedModule>,
-    image: AgentImage,
+    /// Entry function name (from the image; needed for error texts).
+    entry: String,
+    /// The unverified module, kept for re-packaging on `go`.
+    module: Module,
     hop: u64,
     run_as: Urn,
-    arg: Vec<u8>,
-    authorization: Rights,
     admission_ctx: SpanContext,
-) {
-    let mut env = AgentEnv::new(
-        Arc::clone(&shared),
-        domain,
-        run_as.clone(),
-        credentials.clone(),
-        authorization,
-        admission_ctx,
-    );
-    let parent = Some((admission_ctx.trace, admission_ctx.span));
-    env.set_module(Arc::clone(&verified));
-    let mut interp = Interpreter::new(&verified, shared.vm_limits);
-    if !interp.restore_globals(image.globals.clone()) {
-        // Evict before reporting: once the home site sees a report, this
-        // server must already show no residue for the agent.
-        let _ = shared.domains.evict(DomainId::SERVER, domain);
-        shared.report_home(
-            &run_as,
-            &credentials,
-            ReportStatus::Refused("global mismatch".into()),
-            parent,
-        );
-        return;
-    }
+    state: TaskState,
+}
 
-    // By convention an empty entry argument means "the current server's
-    // name"; a dispatching parent may have chosen a payload instead.
-    let entry_arg = if arg.is_empty() {
-        Value::str(shared.name().to_string())
-    } else {
-        Value::Bytes(arg)
-    };
-    let outcome = interp.run(&image.entry, vec![entry_arg], &mut env);
+enum TaskState {
+    /// Admitted, never run: image-only residency.
+    Cold {
+        verified: Arc<VerifiedModule>,
+        globals: Vec<Value>,
+        arg: Vec<u8>,
+        authorization: Rights,
+    },
+    /// Executing or suspended mid-run; the interpreter holds the parked
+    /// call stack between slices.
+    Warm {
+        env: Box<AgentEnv>,
+        interp: Box<Interpreter>,
+    },
+    /// Finished (reported/migrated); only observed transiently.
+    Done,
+}
 
-    // Account fuel against the domain quota (for status queries; the
-    // interpreter's own limit already bounded the run).
-    let _ = shared
-        .domains
-        .charge_fuel(DomainId::SERVER, domain, interp.fuel_used());
-
-    // Departure happens BEFORE any completion report or onward transfer:
-    // the home site (or next hop) learning the agent's fate must
-    // happen-after this server has cleared its residue, so "all reports
-    // in" implies "no domains left" — the isolation invariant X12 checks.
-    // Installed resources stay.
-    shared.mailbox_shard(&run_as).lock().remove(&run_as);
-    let _ = shared.domains.evict(DomainId::SERVER, domain);
-
-    match outcome {
-        ExecOutcome::Finished(v) => {
-            shared.report_home(
-                &run_as,
-                &credentials,
-                ReportStatus::Completed(v.display_lossy()),
-                parent,
+impl Task for AgentTask {
+    fn run_slice(&mut self) -> bool {
+        if matches!(self.state, TaskState::Cold { .. }) {
+            let TaskState::Cold {
+                verified,
+                globals,
+                arg,
+                authorization,
+            } = std::mem::replace(&mut self.state, TaskState::Done)
+            else {
+                unreachable!("state checked above");
+            };
+            let mut env = AgentEnv::new(
+                Arc::clone(&self.shared),
+                self.domain,
+                self.run_as.clone(),
+                self.credentials.clone(),
+                authorization,
+                self.admission_ctx,
             );
+            env.set_module(Arc::clone(&verified));
+            let mut interp = Interpreter::new(verified, self.shared.vm_limits);
+            if !interp.restore_globals(globals) {
+                // Evict before reporting: once the home site sees a
+                // report, this server must already show no residue for
+                // the agent.
+                let _ = self.shared.domains.evict(DomainId::SERVER, self.domain);
+                self.shared.report_home(
+                    &self.run_as,
+                    &self.credentials,
+                    ReportStatus::Refused("global mismatch".into()),
+                    self.parent(),
+                );
+                return true;
+            }
+            // By convention an empty entry argument means "the current
+            // server's name"; a dispatching parent may have chosen a
+            // payload instead.
+            let entry_arg = if arg.is_empty() {
+                Value::str(self.shared.name().to_string())
+            } else {
+                Value::Bytes(arg)
+            };
+            interp.start(&self.entry, vec![entry_arg]);
+            self.state = TaskState::Warm {
+                env: Box::new(env),
+                interp: Box::new(interp),
+            };
         }
-        ExecOutcome::HostStopped { .. } => {
-            let pending = env.pending_go().cloned();
-            match pending {
-                Some(go) => {
-                    // Re-package: same code, current globals, new entry.
-                    let image = AgentImage {
-                        module: image.module,
-                        globals: interp.globals().to_vec(),
-                        entry: go.entry,
-                    };
-                    if image.validate().is_err() {
-                        shared.report_home(
-                            &run_as,
-                            &credentials,
-                            ReportStatus::Failed(format!(
-                                "go: entry {:?} missing or misshapen",
-                                image.entry
-                            )),
-                            parent,
-                        );
-                    } else {
-                        shared.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
-                        shared.journal.append(Event::AgentDispatched {
-                            agent: run_as.clone(),
-                            dest: go.dest.clone(),
-                        });
-                        // The onward leg is a sibling of the agent's
-                        // other on-server spans: a fresh transfer span
-                        // under this hop's admission.
-                        let msg = Message::Transfer {
-                            run_as: run_as.clone(),
-                            credentials: credentials.clone(),
-                            image,
-                            hop: hop + 1,
-                            arg: Vec::new(),
-                            ctx: admission_ctx.child(shared.journal.mint_span()),
-                            sent_ns: shared.clock_now(),
-                        };
-                        // go_tour's itinerary tail rides along as the
-                        // dead-stop recovery plan; plain go has none.
-                        if let Err(e) = shared.send_transfer(
-                            &go.dest,
-                            msg,
-                            run_as.clone(),
-                            hop + 1,
-                            go.fallbacks.clone(),
-                            credentials.clone(),
-                        ) {
-                            shared.report_home(
-                                &run_as,
-                                &credentials,
-                                ReportStatus::Failed(format!("go toward {} failed: {e}", go.dest)),
-                                parent,
-                            );
-                        }
-                    }
-                }
-                None => {
-                    shared.report_home(
-                        &run_as,
-                        &credentials,
-                        ReportStatus::Failed("host stop without destination".into()),
-                        parent,
-                    );
-                }
+        let slice_fuel = self.shared.sched.slice_fuel();
+        let TaskState::Warm { env, interp } = &mut self.state else {
+            return true; // Done: defensive, a finished task is never requeued
+        };
+        match interp.run_slice(slice_fuel, &mut **env) {
+            SliceOutcome::Yielded => false,
+            SliceOutcome::Done(outcome) => {
+                let TaskState::Warm { env, interp } =
+                    std::mem::replace(&mut self.state, TaskState::Done)
+                else {
+                    unreachable!("state checked above");
+                };
+                self.complete(*env, *interp, outcome);
+                true
             }
         }
-        ExecOutcome::Trapped { kind, func, ip } => {
-            shared.report_home(
-                &run_as,
-                &credentials,
-                ReportStatus::Failed(format!("trap at fn#{func}@{ip}: {kind}")),
-                parent,
-            );
-        }
-        ExecOutcome::OutOfFuel => {
-            shared.report_home(
-                &run_as,
-                &credentials,
-                ReportStatus::QuotaExceeded("instruction fuel exhausted".into()),
-                parent,
-            );
+    }
+
+    fn journal(&self) -> &Arc<Journal> {
+        &self.shared.journal
+    }
+
+    fn is_warm(&self) -> bool {
+        matches!(self.state, TaskState::Warm { .. })
+    }
+}
+
+impl AgentTask {
+    fn parent(&self) -> Option<(TraceId, SpanId)> {
+        Some((self.admission_ctx.trace, self.admission_ctx.span))
+    }
+
+    /// Everything that happens after the agent's last instruction:
+    /// identical to the tail of the old per-agent-thread `run_agent`.
+    fn complete(&self, env: AgentEnv, interp: Interpreter, outcome: ExecOutcome) {
+        let shared = &self.shared;
+        let credentials = &self.credentials;
+        let run_as = &self.run_as;
+        let (domain, hop) = (self.domain, self.hop);
+        let parent = self.parent();
+
+        // Account fuel against the domain quota (for status queries; the
+        // interpreter's own limit already bounded the run).
+        let _ = shared
+            .domains
+            .charge_fuel(DomainId::SERVER, domain, interp.fuel_used());
+
+        // Departure happens BEFORE any completion report or onward transfer:
+        // the home site (or next hop) learning the agent's fate must
+        // happen-after this server has cleared its residue, so "all reports
+        // in" implies "no domains left" — the isolation invariant X12 checks.
+        // Installed resources stay.
+        shared.mailbox_shard(run_as).lock().remove(run_as);
+        let _ = shared.domains.evict(DomainId::SERVER, domain);
+
+        match outcome {
+            ExecOutcome::Finished(v) => {
+                shared.report_home(
+                    run_as,
+                    credentials,
+                    ReportStatus::Completed(v.display_lossy()),
+                    parent,
+                );
+            }
+            ExecOutcome::HostStopped { .. } => {
+                let pending = env.pending_go().cloned();
+                match pending {
+                    Some(go) => {
+                        // Re-package: same code, current globals, new entry.
+                        let image = AgentImage {
+                            module: self.module.clone(),
+                            globals: interp.globals().to_vec(),
+                            entry: go.entry,
+                        };
+                        if image.validate().is_err() {
+                            shared.report_home(
+                                run_as,
+                                credentials,
+                                ReportStatus::Failed(format!(
+                                    "go: entry {:?} missing or misshapen",
+                                    image.entry
+                                )),
+                                parent,
+                            );
+                        } else {
+                            shared.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
+                            shared.journal.append(Event::AgentDispatched {
+                                agent: run_as.clone(),
+                                dest: go.dest.clone(),
+                            });
+                            // The onward leg is a sibling of the agent's
+                            // other on-server spans: a fresh transfer span
+                            // under this hop's admission.
+                            let msg = Message::Transfer {
+                                run_as: run_as.clone(),
+                                credentials: credentials.clone(),
+                                image,
+                                hop: hop + 1,
+                                arg: Vec::new(),
+                                ctx: self.admission_ctx.child(shared.journal.mint_span()),
+                                sent_ns: shared.clock_now(),
+                            };
+                            // go_tour's itinerary tail rides along as the
+                            // dead-stop recovery plan; plain go has none.
+                            if let Err(e) = shared.send_transfer(
+                                &go.dest,
+                                msg,
+                                run_as.clone(),
+                                hop + 1,
+                                go.fallbacks.clone(),
+                                credentials.clone(),
+                            ) {
+                                shared.report_home(
+                                    run_as,
+                                    credentials,
+                                    ReportStatus::Failed(format!(
+                                        "go toward {} failed: {e}",
+                                        go.dest
+                                    )),
+                                    parent,
+                                );
+                            }
+                        }
+                    }
+                    None => {
+                        shared.report_home(
+                            run_as,
+                            credentials,
+                            ReportStatus::Failed("host stop without destination".into()),
+                            parent,
+                        );
+                    }
+                }
+            }
+            ExecOutcome::Trapped { kind, func, ip } => {
+                shared.report_home(
+                    run_as,
+                    credentials,
+                    ReportStatus::Failed(format!("trap at fn#{func}@{ip}: {kind}")),
+                    parent,
+                );
+            }
+            ExecOutcome::OutOfFuel => {
+                shared.report_home(
+                    run_as,
+                    credentials,
+                    ReportStatus::QuotaExceeded("instruction fuel exhausted".into()),
+                    parent,
+                );
+            }
         }
     }
 }

@@ -81,7 +81,7 @@ impl Resource for VmResource {
         // Hold the state lock for the whole call: resource methods are
         // synchronized, like the paper's `synchronized` buffer methods.
         let mut globals = self.globals.lock();
-        let mut interp = Interpreter::new(&self.module, self.limits);
+        let mut interp = Interpreter::new(Arc::clone(&self.module), self.limits);
         if !interp.restore_globals(globals.clone()) {
             return Err(ResourceError::Failed("resource state corrupt".into()));
         }

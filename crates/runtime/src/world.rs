@@ -14,6 +14,7 @@ use ajanta_vm::Limits;
 
 use crate::directory::Directory;
 use crate::owner::Owner;
+use crate::sched::{self, Scheduler};
 use crate::server::{AgentServer, RetryPolicy, ServerConfig, ServerHandle};
 
 /// Per-server policy factory: (server index, server name) → policy.
@@ -31,6 +32,7 @@ pub struct WorldBuilder {
     system_modules: Vec<std::sync::Arc<ajanta_vm::VerifiedModule>>,
     journal_capacity: usize,
     retry: RetryPolicy,
+    workers: usize,
 }
 
 impl WorldBuilder {
@@ -52,7 +54,17 @@ impl WorldBuilder {
             system_modules: Vec::new(),
             journal_capacity: ajanta_core::telemetry::DEFAULT_CAPACITY,
             retry: RetryPolicy::default(),
+            workers: sched::default_workers(),
         }
+    }
+
+    /// Sets how many scheduler worker threads the world's shared pool
+    /// runs (default: the machine's available parallelism). Every agent
+    /// on every server executes on this pool, so the whole world costs
+    /// `workers + servers` OS threads regardless of agent count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Sets the transfer retry/backoff policy for every server.
@@ -130,6 +142,7 @@ impl WorldBuilder {
         let mut roots = RootOfTrust::new();
         roots.trust("ca.world", ca.public);
         let directory = Directory::new();
+        let sched = Scheduler::new(self.workers);
 
         let mut servers = Vec::with_capacity(self.servers);
         let mut serial = 1;
@@ -168,6 +181,7 @@ impl WorldBuilder {
                 retry: self.retry.clone(),
                 seed: rng.next_u64(),
                 journal_capacity: self.journal_capacity,
+                scheduler: Some(std::sync::Arc::clone(&sched)),
             };
             servers.push(AgentServer::spawn(&net, config));
         }
@@ -178,6 +192,7 @@ impl WorldBuilder {
             roots,
             ca,
             servers,
+            sched,
             rng,
             owner_serial: serial,
         }
@@ -195,6 +210,8 @@ pub struct World {
     ca: KeyPair,
     /// The running servers, in creation order.
     pub servers: Vec<ServerHandle>,
+    /// The shared scheduler every server's agents execute on.
+    sched: std::sync::Arc<Scheduler>,
     rng: DetRng,
     owner_serial: u64,
 }
@@ -282,8 +299,17 @@ impl World {
         merged
     }
 
-    /// Shuts every server down and joins their threads.
+    /// The world's shared scheduler (for queue-depth inspection).
+    pub fn scheduler(&self) -> &std::sync::Arc<Scheduler> {
+        &self.sched
+    }
+
+    /// Shuts the world down: first the scheduler drains — every queued
+    /// agent runs to completion while all server loops are still alive
+    /// to admit onward hops and record reports — then each server loop
+    /// is stopped and joined.
     pub fn shutdown(self) {
+        self.sched.stop();
         for server in self.servers {
             server.shutdown();
         }

@@ -432,8 +432,8 @@ mod tests {
 
     fn run(source: &str, entry: &str) -> ExecOutcome {
         let module = assemble(source).unwrap();
-        let vm = verify(module).unwrap();
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let vm = std::sync::Arc::new(verify(module).unwrap());
+        let mut interp = Interpreter::new(vm, Limits::default());
         interp.run(entry, vec![], &mut NoHost)
     }
 

@@ -7,6 +7,8 @@
 //! denials). Quota exhaustion is the paper's denial-of-service containment
 //! (Section 2: "inordinate consumption of a host's resources").
 
+use std::sync::Arc;
+
 use crate::module::HostImport;
 use crate::value::Value;
 use crate::verifier::VerifiedModule;
@@ -96,6 +98,25 @@ pub enum ExecOutcome {
     },
 }
 
+/// How one [`Interpreter::run_slice`] call ended: either the slice's fuel
+/// budget was reached with the program still runnable (cooperative yield
+/// point), or the run finished with an [`ExecOutcome`].
+///
+/// The slicing guarantee: a run driven by `start` + any sequence of
+/// `run_slice` calls is **bit-identical** to a single-shot [`Interpreter::run`]
+/// — same outcome, same `fuel_used`, same globals, same host-call sequence.
+/// The op that would overshoot a slice budget is refunded and re-charged on
+/// resume, so no op is ever charged or executed twice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// The slice's fuel budget is exhausted but the program can continue;
+    /// call [`Interpreter::run_slice`] again to resume exactly where it
+    /// left off.
+    Yielded,
+    /// The run ended; the suspended state is discarded.
+    Done(ExecOutcome),
+}
+
 /// How the host answers a host call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HostResponse {
@@ -161,18 +182,26 @@ struct Frame {
 /// The interpreter owns the module's **global state** (the agent's mobile
 /// data); run an entry function, then read the globals back out for
 /// migration.
-pub struct Interpreter<'m> {
-    module: &'m VerifiedModule,
+///
+/// It owns its module via `Arc` (rather than borrowing it) so a suspended
+/// interpreter is a self-contained, parkable value: the cooperative
+/// scheduler in `ajanta-runtime` keeps thousands of them queued with no
+/// thread or stack attached.
+pub struct Interpreter {
+    module: Arc<VerifiedModule>,
     globals: Vec<Value>,
     limits: Limits,
     fuel_used: u64,
     alloc_used: u64,
     host_calls: u64,
+    /// Suspended call stack of an in-progress sliced run; empty when no
+    /// run is in progress.
+    frames: Vec<Frame>,
 }
 
-impl<'m> Interpreter<'m> {
+impl Interpreter {
     /// Creates an interpreter with default-initialized globals.
-    pub fn new(module: &'m VerifiedModule, limits: Limits) -> Self {
+    pub fn new(module: Arc<VerifiedModule>, limits: Limits) -> Self {
         let globals = module.module().initial_globals();
         Interpreter {
             module,
@@ -181,6 +210,7 @@ impl<'m> Interpreter<'m> {
             fuel_used: 0,
             alloc_used: 0,
             host_calls: 0,
+            frames: Vec::new(),
         }
     }
 
@@ -212,19 +242,23 @@ impl<'m> Interpreter<'m> {
         self.host_calls
     }
 
-    /// Runs function `entry` with `args`, returning how execution ended.
+    /// Whether a started run is suspended mid-execution (a `run_slice`
+    /// yielded and the call stack is parked inside the interpreter).
+    pub fn in_progress(&self) -> bool {
+        !self.frames.is_empty()
+    }
+
+    /// Prepares an execution of function `entry` with `args` without
+    /// running any instruction; drive it with [`Interpreter::run_slice`].
+    /// Any previously suspended run is discarded.
     ///
     /// # Panics
     /// Panics if `entry` does not exist or `args` do not match its
     /// signature — programming errors at the embedding boundary, not agent
     /// faults.
-    pub fn run(
-        &mut self,
-        entry: &str,
-        args: Vec<Value>,
-        host: &mut dyn HostInterface,
-    ) -> ExecOutcome {
-        let m = self.module.module();
+    pub fn start(&mut self, entry: &str, args: Vec<Value>) {
+        let module = Arc::clone(&self.module);
+        let m = module.module();
         let func = m
             .function_index(entry)
             .unwrap_or_else(|| panic!("entry function {entry:?} not found"));
@@ -240,18 +274,72 @@ impl<'m> Interpreter<'m> {
 
         let mut locals: Vec<Value> = args;
         locals.extend(f.locals.iter().map(|&t| Value::default_of(t)));
-        let mut frames = vec![Frame {
+        self.frames = vec![Frame {
             func,
             ip: 0,
             locals,
             stack: Vec::new(),
         }];
+    }
+
+    /// Runs function `entry` with `args` to completion, returning how
+    /// execution ended. Equivalent to [`Interpreter::start`] followed by
+    /// one unbounded [`Interpreter::run_slice`].
+    ///
+    /// # Panics
+    /// Panics if `entry` does not exist or `args` do not match its
+    /// signature — programming errors at the embedding boundary, not agent
+    /// faults.
+    pub fn run(
+        &mut self,
+        entry: &str,
+        args: Vec<Value>,
+        host: &mut dyn HostInterface,
+    ) -> ExecOutcome {
+        self.start(entry, args);
+        match self.run_slice(u64::MAX, host) {
+            SliceOutcome::Done(outcome) => outcome,
+            SliceOutcome::Yielded => unreachable!("unbounded slice cannot yield"),
+        }
+    }
+
+    /// Resumes the suspended run for at most `slice_fuel` additional fuel,
+    /// cooperatively yielding once the budget is reached.
+    ///
+    /// Fuel discipline (what makes slicing bit-identical to a single
+    /// shot): each op is charged *before* execution, exactly as in a
+    /// single-shot run. If the charge busts [`Limits::fuel`], the run dies
+    /// `OutOfFuel` with the busting op charged-but-unexecuted — identical
+    /// either way. If the charge merely busts the slice budget, it is
+    /// **refunded**, the instruction pointer stays put, and the slice
+    /// yields: the op will be charged and executed exactly once, on
+    /// resume. A slice always executes at least one op (an op costing more
+    /// than the whole slice budget overshoots rather than spinning), so
+    /// progress is guaranteed.
+    ///
+    /// # Panics
+    /// Panics if no run is in progress (call [`Interpreter::start`]
+    /// first).
+    pub fn run_slice(&mut self, slice_fuel: u64, host: &mut dyn HostInterface) -> SliceOutcome {
+        assert!(
+            !self.frames.is_empty(),
+            "run_slice with no execution in progress (call start first)"
+        );
+        let module = Arc::clone(&self.module);
+        let m = module.module();
+        // The call stack leaves the interpreter for the duration of the
+        // slice (split-borrow with the fields the op arms mutate) and is
+        // parked back only on yield — every Done path drops it.
+        let mut frames = std::mem::take(&mut self.frames);
+        let slice_end = self.fuel_used.saturating_add(slice_fuel);
+        let mut made_progress = false;
 
         loop {
             let depth = frames.len();
-            let frame = frames.last_mut().expect("at least one frame");
-            let func_idx = frame.func;
-            let ip = frame.ip;
+            let (func_idx, ip) = {
+                let frame = frames.last().expect("at least one frame");
+                (frame.func, frame.ip)
+            };
             let code = &m.functions[func_idx as usize].code;
             let op = code[ip as usize];
 
@@ -262,16 +350,24 @@ impl<'m> Interpreter<'m> {
             }
             self.fuel_used += cost;
             if self.fuel_used > self.limits.fuel {
-                return ExecOutcome::OutOfFuel;
+                return SliceOutcome::Done(ExecOutcome::OutOfFuel);
             }
+            if self.fuel_used > slice_end && made_progress {
+                // Cooperative yield: refund the unexecuted op and park.
+                self.fuel_used -= cost;
+                self.frames = frames;
+                return SliceOutcome::Yielded;
+            }
+            made_progress = true;
+            let frame = frames.last_mut().expect("at least one frame");
 
             macro_rules! trap {
                 ($kind:expr) => {
-                    return ExecOutcome::Trapped {
+                    return SliceOutcome::Done(ExecOutcome::Trapped {
                         kind: $kind,
                         func: func_idx,
                         ip,
-                    }
+                    })
                 };
             }
             macro_rules! pop_int {
@@ -524,12 +620,12 @@ impl<'m> Interpreter<'m> {
                     frames.pop();
                     match frames.last_mut() {
                         Some(caller) => caller.stack.push(rv),
-                        None => return ExecOutcome::Finished(rv),
+                        None => return SliceOutcome::Done(ExecOutcome::Finished(rv)),
                     }
                 }
                 Op::Halt => {
                     let rv = Value::Int(pop_int!());
-                    return ExecOutcome::Finished(rv);
+                    return SliceOutcome::Done(ExecOutcome::Finished(rv));
                 }
                 Op::HostCall(idx) => {
                     let import = &m.imports[idx as usize];
@@ -556,10 +652,10 @@ impl<'m> Interpreter<'m> {
                             frame.stack.push(v);
                         }
                         Ok(HostResponse::Stop(payload)) => {
-                            return ExecOutcome::HostStopped {
+                            return SliceOutcome::Done(ExecOutcome::HostStopped {
                                 import: import.name.clone(),
                                 payload,
-                            };
+                            });
                         }
                         Err(e) => trap!(e.into_trap()),
                     }
@@ -584,8 +680,8 @@ mod tests {
     fn run_main_with(code: Vec<Op>, limits: Limits) -> ExecOutcome {
         let mut b = ModuleBuilder::new("t");
         b.function("main", [], [Ty::Int, Ty::Int], Ty::Int, code);
-        let vm = verify(b.build()).unwrap();
-        let mut interp = Interpreter::new(&vm, limits);
+        let vm = Arc::new(verify(b.build()).unwrap());
+        let mut interp = Interpreter::new(Arc::clone(&vm), limits);
         interp.run("main", vec![], &mut NoHost)
     }
 
@@ -671,8 +767,8 @@ mod tests {
                 Op::Ret,
             ],
         );
-        let vm = verify(b.build()).unwrap();
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let vm = Arc::new(verify(b.build()).unwrap());
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert_eq!(
             interp.run("main", vec![], &mut NoHost),
             ExecOutcome::Finished(Value::Int(11))
@@ -711,13 +807,13 @@ mod tests {
                 Op::Ret,
             ],
         );
-        let vm = verify(b.build()).unwrap();
-        let mut i1 = Interpreter::new(&vm, Limits::default());
+        let vm = Arc::new(verify(b.build()).unwrap());
+        let mut i1 = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert_eq!(
             i1.run("ok", vec![], &mut NoHost),
             ExecOutcome::Finished(Value::Int(b'b' as i64))
         );
-        let mut i2 = Interpreter::new(&vm, Limits::default());
+        let mut i2 = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert!(matches!(
             i2.run("bad", vec![], &mut NoHost),
             ExecOutcome::Trapped {
@@ -725,7 +821,7 @@ mod tests {
                 ..
             }
         ));
-        let mut i3 = Interpreter::new(&vm, Limits::default());
+        let mut i3 = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert!(matches!(
             i3.run("badslice", vec![], &mut NoHost),
             ExecOutcome::Trapped {
@@ -749,8 +845,8 @@ mod tests {
             Ty::Int,
             vec![Op::PushD(d), Op::AToI, Op::Ret],
         );
-        let vm = verify(b.build()).unwrap();
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let vm = Arc::new(verify(b.build()).unwrap());
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert!(matches!(
             interp.run("main", vec![], &mut NoHost),
             ExecOutcome::Trapped {
@@ -778,9 +874,9 @@ mod tests {
         // second function); build f() { f() }.
         let mut b = ModuleBuilder::new("t");
         b.function("rec", [], [], Ty::Int, vec![Op::Call(0), Op::Ret]);
-        let vm = verify(b.build()).unwrap();
+        let vm = Arc::new(verify(b.build()).unwrap());
         let mut interp = Interpreter::new(
-            &vm,
+            Arc::clone(&vm),
             Limits {
                 max_call_depth: 16,
                 ..Limits::default()
@@ -816,9 +912,9 @@ mod tests {
                 /*6*/ Op::Jump(2),
             ],
         );
-        let vm = verify(b.build()).unwrap();
+        let vm = Arc::new(verify(b.build()).unwrap());
         let mut interp = Interpreter::new(
-            &vm,
+            Arc::clone(&vm),
             Limits {
                 alloc_budget: 1 << 16,
                 ..Limits::default()
@@ -851,8 +947,8 @@ mod tests {
                 Op::Ret,
             ],
         );
-        let vm = verify(b.build()).unwrap();
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let vm = Arc::new(verify(b.build()).unwrap());
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert_eq!(
             interp.run("bump", vec![], &mut NoHost),
             ExecOutcome::Finished(Value::Int(1))
@@ -870,8 +966,8 @@ mod tests {
         b.global(Ty::Int);
         b.global(Ty::Bytes);
         b.function("main", [], [], Ty::Int, vec![Op::PushI(0), Op::Ret]);
-        let vm = verify(b.build()).unwrap();
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let vm = Arc::new(verify(b.build()).unwrap());
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert!(interp.restore_globals(vec![Value::Int(5), Value::str("s")]));
         assert!(!interp.restore_globals(vec![Value::Int(5)]));
         assert!(!interp.restore_globals(vec![Value::str("s"), Value::Int(5)]));
@@ -901,7 +997,7 @@ mod tests {
         }
     }
 
-    fn host_module() -> VerifiedModule {
+    fn host_module() -> Arc<VerifiedModule> {
         let mut b = ModuleBuilder::new("t");
         let add = b.import("env.add", [Ty::Int, Ty::Int], Ty::Int);
         let deny = b.import("env.deny", [], Ty::Int);
@@ -923,7 +1019,7 @@ mod tests {
         );
         b.function("use_bad", [], [], Ty::Int, vec![Op::HostCall(bad), Op::Ret]);
         b.function("use_go", [], [], Ty::Int, vec![Op::HostCall(go), Op::Ret]);
-        verify(b.build()).unwrap()
+        Arc::new(verify(b.build()).unwrap())
     }
 
     #[test]
@@ -933,7 +1029,7 @@ mod tests {
             log: vec![],
             stop_on: None,
         };
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert_eq!(
             interp.run("use_add", vec![], &mut host),
             ExecOutcome::Finished(Value::Int(42))
@@ -952,7 +1048,7 @@ mod tests {
             log: vec![],
             stop_on: None,
         };
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert!(matches!(
             interp.run("use_deny", vec![], &mut host),
             ExecOutcome::Trapped {
@@ -969,7 +1065,7 @@ mod tests {
             log: vec![],
             stop_on: None,
         };
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert!(matches!(
             interp.run("use_bad", vec![], &mut host),
             ExecOutcome::Trapped {
@@ -986,7 +1082,7 @@ mod tests {
             log: vec![],
             stop_on: Some("env.go".into()),
         };
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert_eq!(
             interp.run("use_go", vec![], &mut host),
             ExecOutcome::HostStopped {
@@ -1006,8 +1102,8 @@ mod tests {
             Ty::Int,
             vec![Op::Load(0), Op::Load(1), Op::Sub, Op::Ret],
         );
-        let vm = verify(b.build()).unwrap();
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let vm = Arc::new(verify(b.build()).unwrap());
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
         assert_eq!(
             interp.run("main", vec![Value::Int(50), Value::Int(8)], &mut NoHost),
             ExecOutcome::Finished(Value::Int(42))
@@ -1018,7 +1114,7 @@ mod tests {
     #[should_panic(expected = "entry function")]
     fn unknown_entry_panics() {
         let vm = host_module();
-        Interpreter::new(&vm, Limits::default()).run("nope", vec![], &mut NoHost);
+        Interpreter::new(Arc::clone(&vm), Limits::default()).run("nope", vec![], &mut NoHost);
     }
 
     #[test]
@@ -1026,19 +1122,171 @@ mod tests {
     fn wrong_arity_panics() {
         let mut b = ModuleBuilder::new("t");
         b.function("main", [Ty::Int], [], Ty::Int, vec![Op::Load(0), Op::Ret]);
-        let vm = verify(b.build()).unwrap();
-        Interpreter::new(&vm, Limits::default()).run("main", vec![], &mut NoHost);
+        let vm = Arc::new(verify(b.build()).unwrap());
+        Interpreter::new(Arc::clone(&vm), Limits::default()).run("main", vec![], &mut NoHost);
     }
 
     #[test]
     fn fuel_accumulates_across_runs() {
         let mut b = ModuleBuilder::new("t");
         b.function("main", [], [], Ty::Int, vec![Op::PushI(0), Op::Ret]);
-        let vm = verify(b.build()).unwrap();
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let vm = Arc::new(verify(b.build()).unwrap());
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
         interp.run("main", vec![], &mut NoHost);
         let f1 = interp.fuel_used();
         interp.run("main", vec![], &mut NoHost);
         assert_eq!(interp.fuel_used(), 2 * f1);
+    }
+
+    /// The countdown-sum loop from `loop_sums_one_to_ten`, reused as the
+    /// canonical multi-slice program.
+    fn sum_loop_code() -> Vec<Op> {
+        vec![
+            /*0*/ Op::PushI(10),
+            /*1*/ Op::Store(1),
+            /*2*/ Op::Load(1),
+            /*3*/ Op::JumpIfZero(12),
+            /*4*/ Op::Load(0),
+            /*5*/ Op::Load(1),
+            /*6*/ Op::Add,
+            /*7*/ Op::Store(0),
+            /*8*/ Op::Load(1),
+            /*9*/ Op::PushI(1),
+            /*10*/ Op::Sub,
+            /*11*/ Op::Store(1),
+            /*12*/ Op::Load(1),
+            /*13*/ Op::PushI(0),
+            /*14*/ Op::Ne,
+            /*15*/ Op::JumpIfZero(17),
+            /*16*/ Op::Jump(2),
+            /*17*/ Op::Load(0),
+            /*18*/ Op::Ret,
+        ]
+    }
+
+    fn sum_loop_module() -> Arc<VerifiedModule> {
+        let mut b = ModuleBuilder::new("t");
+        b.function("main", [], [Ty::Int, Ty::Int], Ty::Int, sum_loop_code());
+        Arc::new(verify(b.build()).unwrap())
+    }
+
+    /// Drives a started run to completion in fixed fuel slices, counting
+    /// the yields along the way.
+    fn drive_slices(
+        interp: &mut Interpreter,
+        slice_fuel: u64,
+        host: &mut dyn HostInterface,
+    ) -> (ExecOutcome, u64) {
+        let mut yields = 0;
+        loop {
+            match interp.run_slice(slice_fuel, host) {
+                SliceOutcome::Yielded => yields += 1,
+                SliceOutcome::Done(outcome) => return (outcome, yields),
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_run_is_bit_identical_to_single_shot() {
+        let vm = sum_loop_module();
+        let mut single = Interpreter::new(Arc::clone(&vm), Limits::default());
+        let expected = single.run("main", vec![], &mut NoHost);
+
+        for slice_fuel in [1u64, 2, 3, 7, 16, 1000] {
+            let mut sliced = Interpreter::new(Arc::clone(&vm), Limits::default());
+            sliced.start("main", vec![]);
+            let (outcome, yields) = drive_slices(&mut sliced, slice_fuel, &mut NoHost);
+            assert_eq!(outcome, expected, "slice {slice_fuel}");
+            assert_eq!(sliced.fuel_used(), single.fuel_used(), "slice {slice_fuel}");
+            assert_eq!(sliced.globals(), single.globals(), "slice {slice_fuel}");
+            if slice_fuel < single.fuel_used() {
+                assert!(yields > 0, "slice {slice_fuel} never yielded");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_yield_parks_and_resumes_in_place() {
+        let vm = sum_loop_module();
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
+        assert!(!interp.in_progress());
+        interp.start("main", vec![]);
+        assert!(interp.in_progress());
+        assert_eq!(interp.run_slice(4, &mut NoHost), SliceOutcome::Yielded);
+        assert!(interp.in_progress(), "yield keeps the run suspended");
+        let fuel_after_yield = interp.fuel_used();
+        let (outcome, _) = drive_slices(&mut interp, 4, &mut NoHost);
+        assert_eq!(outcome, ExecOutcome::Finished(Value::Int(55)));
+        assert!(!interp.in_progress(), "completion discards the call stack");
+        assert!(interp.fuel_used() > fuel_after_yield);
+    }
+
+    #[test]
+    fn zero_fuel_slice_still_makes_progress() {
+        // An op costing more than the whole slice budget overshoots
+        // rather than yielding forever: every slice runs ≥ 1 op.
+        let vm = sum_loop_module();
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
+        interp.start("main", vec![]);
+        let (outcome, yields) = drive_slices(&mut interp, 0, &mut NoHost);
+        assert_eq!(outcome, ExecOutcome::Finished(Value::Int(55)));
+        assert!(yields > 0);
+    }
+
+    #[test]
+    fn sliced_out_of_fuel_matches_single_shot_exactly() {
+        // Fuel exhaustion keeps the busting op charged-but-unexecuted in
+        // both modes, so fuel_used agrees bit-for-bit.
+        let limits = Limits {
+            fuel: 137,
+            ..Limits::default()
+        };
+        let vm = sum_loop_module();
+        let mut single = Interpreter::new(Arc::clone(&vm), limits);
+        assert_eq!(
+            single.run("main", vec![], &mut NoHost),
+            ExecOutcome::OutOfFuel
+        );
+        let mut sliced = Interpreter::new(Arc::clone(&vm), limits);
+        sliced.start("main", vec![]);
+        let (outcome, _) = drive_slices(&mut sliced, 5, &mut NoHost);
+        assert_eq!(outcome, ExecOutcome::OutOfFuel);
+        assert_eq!(sliced.fuel_used(), single.fuel_used());
+    }
+
+    #[test]
+    fn sliced_host_calls_fire_exactly_once() {
+        let vm = host_module();
+        let mut single_host = ScriptedHost {
+            log: vec![],
+            stop_on: None,
+        };
+        let mut single = Interpreter::new(Arc::clone(&vm), Limits::default());
+        let expected = single.run("use_add", vec![], &mut single_host);
+
+        let mut sliced_host = ScriptedHost {
+            log: vec![],
+            stop_on: None,
+        };
+        let mut sliced = Interpreter::new(Arc::clone(&vm), Limits::default());
+        sliced.start("use_add", vec![]);
+        let (outcome, _) = drive_slices(&mut sliced, 1, &mut sliced_host);
+        assert_eq!(outcome, expected);
+        assert_eq!(sliced_host.log, single_host.log, "host calls not replayed");
+        assert_eq!(sliced.fuel_used(), single.fuel_used());
+        assert_eq!(sliced.host_calls(), 1);
+    }
+
+    #[test]
+    fn start_discards_a_suspended_run() {
+        let vm = sum_loop_module();
+        let mut interp = Interpreter::new(Arc::clone(&vm), Limits::default());
+        interp.start("main", vec![]);
+        assert_eq!(interp.run_slice(3, &mut NoHost), SliceOutcome::Yielded);
+        // Restart from scratch: the old suspension is gone, and the fresh
+        // run completes normally (fuel still accumulates, as across runs).
+        interp.start("main", vec![]);
+        let (outcome, _) = drive_slices(&mut interp, 1000, &mut NoHost);
+        assert_eq!(outcome, ExecOutcome::Finished(Value::Int(55)));
     }
 }

@@ -24,7 +24,10 @@
 //!   the server's code (Section 5.3, "Domain creation").
 //! * [`interp`] — a fuel-metered interpreter. Fuel exhaustion is the
 //!   quota mechanism that contains denial-of-service by buggy or malicious
-//!   agents (Section 2).
+//!   agents (Section 2). Execution is resumable in fuel slices
+//!   ([`Interpreter::run_slice`]): a suspended run parks its call stack
+//!   inside the interpreter value, which is what lets the runtime schedule
+//!   thousands of agents cooperatively instead of one thread each.
 //! * [`asm`] — a small text assembler used by examples and workloads.
 //! * [`image`] — serialization of code + mobile state into the byte image
 //!   that `ajanta-runtime` ships between servers.
@@ -52,7 +55,8 @@ pub use asm::{assemble, AsmError};
 pub use disasm::disassemble;
 pub use image::AgentImage;
 pub use interp::{
-    ExecOutcome, HostError, HostInterface, HostResponse, Interpreter, Limits, NoHost, TrapKind,
+    ExecOutcome, HostError, HostInterface, HostResponse, Interpreter, Limits, NoHost, SliceOutcome,
+    TrapKind,
 };
 pub use isa::Op;
 pub use loader::{LoadError, Namespace, Origin};

@@ -7,6 +7,7 @@ use ajanta_vm::{
 };
 use ajanta_wire::Wire;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Strategy over arbitrary (mostly invalid) instruction streams.
 fn arb_op() -> impl Strategy<Value = Op> {
@@ -73,7 +74,7 @@ proptest! {
     #[test]
     fn verified_code_never_type_traps(m in arb_module()) {
         if let Ok(vm) = verify(m) {
-            let mut interp = Interpreter::new(&vm, Limits {
+            let mut interp = Interpreter::new(Arc::new(vm), Limits {
                 fuel: 10_000,
                 ..Limits::default()
             });
@@ -113,9 +114,10 @@ proptest! {
     #[test]
     fn fuel_is_deterministic(m in arb_module()) {
         if let Ok(vm) = verify(m) {
+            let vm = Arc::new(vm);
             let limits = Limits { fuel: 10_000, ..Limits::default() };
-            let mut i1 = Interpreter::new(&vm, limits);
-            let mut i2 = Interpreter::new(&vm, limits);
+            let mut i1 = Interpreter::new(Arc::clone(&vm), limits);
+            let mut i2 = Interpreter::new(Arc::clone(&vm), limits);
             let o1 = i1.run("main", vec![], &mut NoHost);
             let o2 = i2.run("main", vec![], &mut NoHost);
             prop_assert_eq!(o1, o2);
@@ -129,16 +131,48 @@ proptest! {
     #[test]
     fn execution_is_deterministic(m in arb_module(), seed in any::<i64>()) {
         if let Ok(vm) = verify(m) {
+            let vm = Arc::new(vm);
             let run = |vm| {
                 let mut i = Interpreter::new(vm, Limits { fuel: 10_000, ..Limits::default() });
                 let out = i.run("main", vec![], &mut NoHost);
                 (out, i.globals().to_vec())
             };
-            let (o1, g1) = run(&vm);
-            let (o2, g2) = run(&vm);
+            let (o1, g1) = run(Arc::clone(&vm));
+            let (o2, g2) = run(Arc::clone(&vm));
             prop_assert_eq!(o1, o2);
             prop_assert_eq!(g1, g2);
             let _ = seed; // reserved: entry args not exercised by arb bodies
+        }
+    }
+
+    /// Slice/resume equivalence (the cooperative-scheduling contract): a
+    /// run chained through `run_slice` with any slice size produces the
+    /// identical outcome, fuel bill, and final globals as a single-shot
+    /// `run()`. This is what lets the runtime's worker pool suspend an
+    /// agent mid-program without observable effect.
+    #[test]
+    fn sliced_run_matches_single_shot(m in arb_module(), slice in 1u64..97) {
+        if let Ok(vm) = verify(m) {
+            let vm = Arc::new(vm);
+            let limits = Limits { fuel: 10_000, ..Limits::default() };
+
+            let mut single = Interpreter::new(Arc::clone(&vm), limits);
+            let o1 = single.run("main", vec![], &mut NoHost);
+
+            let mut sliced = Interpreter::new(Arc::clone(&vm), limits);
+            sliced.start("main", vec![]);
+            let o2 = loop {
+                match sliced.run_slice(slice, &mut NoHost) {
+                    ajanta_vm::SliceOutcome::Yielded => {
+                        prop_assert!(sliced.in_progress());
+                    }
+                    ajanta_vm::SliceOutcome::Done(out) => break out,
+                }
+            };
+            prop_assert!(!sliced.in_progress());
+            prop_assert_eq!(o1, o2);
+            prop_assert_eq!(single.fuel_used(), sliced.fuel_used());
+            prop_assert_eq!(single.globals(), sliced.globals());
         }
     }
 

@@ -457,8 +457,8 @@ mod tests {
         let it = Itinerary::default();
         let store = Urn::resource("stores.org", ["db"]).unwrap();
         let img = shopper_agent(&store, "modem56k", &it);
-        let vm = verify(img.module).unwrap();
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let vm = std::sync::Arc::new(verify(img.module).unwrap());
+        let mut interp = Interpreter::new(std::sync::Arc::clone(&vm), Limits::default());
         let out = interp.run(
             "parse_price",
             vec![Value::str("item=modem56k vendor=acme price=4321")],
@@ -466,7 +466,7 @@ mod tests {
         );
         assert_eq!(out, ExecOutcome::Finished(Value::Int(4321)));
         // No price → 0.
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let mut interp = Interpreter::new(std::sync::Arc::clone(&vm), Limits::default());
         let out = interp.run(
             "parse_price",
             vec![Value::str("no price here")],
@@ -481,11 +481,11 @@ mod tests {
         let it = Itinerary::default();
         let store = Urn::resource("stores.org", ["db"]).unwrap();
         let img = shopper_agent(&store, "modem56k", &it);
-        let vm = verify(img.module).unwrap();
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let vm = std::sync::Arc::new(verify(img.module).unwrap());
+        let mut interp = Interpreter::new(std::sync::Arc::clone(&vm), Limits::default());
         let out = interp.run("first_line", vec![Value::str("line1\nline2")], &mut NoHost);
         assert_eq!(out, ExecOutcome::Finished(Value::str("line1")));
-        let mut interp = Interpreter::new(&vm, Limits::default());
+        let mut interp = Interpreter::new(std::sync::Arc::clone(&vm), Limits::default());
         let out = interp.run("first_line", vec![Value::str("only")], &mut NoHost);
         assert_eq!(out, ExecOutcome::Finished(Value::str("only")));
     }

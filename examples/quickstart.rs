@@ -119,6 +119,20 @@ fn main() {
             println!("  {line}");
         }
     }
+    // The cooperative scheduler's own telemetry, from the same snapshot:
+    // slices run, yields, steals, and the slice-duration / ready-dwell
+    // histograms the worker pool feeds per admitting server.
+    println!("\nscheduler (fuel-sliced worker pool):");
+    for line in journal.metrics_snapshot().lines() {
+        if line.starts_with("ajanta_slices")
+            || line.starts_with("ajanta_agent_yields")
+            || line.starts_with("ajanta_sched_steals")
+            || line.starts_with("ajanta_slice_ns")
+            || line.starts_with("ajanta_ready_dwell_ns")
+        {
+            println!("  {line}");
+        }
+    }
     println!("last journal events:");
     for record in journal.recent(6) {
         println!(

@@ -19,4 +19,14 @@ run cargo fmt --all --check
 run cargo build --release $OFFLINE
 run cargo test -q $OFFLINE
 run cargo clippy --all-targets $OFFLINE -- -D warnings
+
+# Optional scheduler-capacity smoke (set CHECK_BENCH=1): X16 quick —
+# 10k resident agents at reduced iterations — with a JSON summary CI
+# uploads as an artifact.
+if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
+    mkdir -p target/bench-artifacts
+    echo "+ X16_JSON=target/bench-artifacts/x16_sched.json cargo run --release $OFFLINE -p ajanta-bench --bin report -- x16 quick"
+    X16_JSON=target/bench-artifacts/x16_sched.json \
+        cargo run --release $OFFLINE -p ajanta-bench --bin report -- x16 quick
+fi
 echo "check.sh: all green"
