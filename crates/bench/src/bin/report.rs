@@ -179,4 +179,9 @@ fn main() {
             }
         }
     }
+    if wants("x17") {
+        let (agents, stops) = if quick { (8, 3) } else { (32, 5) };
+        print!("{}", bench::x17_transport::table(agents, stops));
+        println!();
+    }
 }

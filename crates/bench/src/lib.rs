@@ -18,6 +18,7 @@ pub mod x13_recovery;
 pub mod x14_credentials;
 pub mod x15_tail;
 pub mod x16_sched;
+pub mod x17_transport;
 pub mod x3_binding;
 pub mod x4_access;
 pub mod x4b_ablation;

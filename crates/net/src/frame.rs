@@ -1,0 +1,222 @@
+//! Length framing for socket transports.
+//!
+//! A TCP or Unix-domain stream is an undelimited byte pipe; this module
+//! cuts it back into the discrete frames the rest of the stack expects.
+//! Each frame is a varint byte-length prefix (the `ajanta-wire` LEB128
+//! encoding, minimal-form enforced) followed by that many payload
+//! bytes. Decoding is *incremental* — a partial frame is "need more
+//! bytes", never an error — and *total*: any byte sequence either
+//! yields frames or a typed [`FrameError`]; it can never panic, because
+//! frames now arrive from real sockets where any bytes at all can show
+//! up.
+//!
+//! What travels inside a frame on an authenticated connection is a
+//! sealed [`crate::secure::SecureChannel`] record whose plaintext is a
+//! [`ChannelFrame`]: the claimed origin, the destination endpoint, and
+//! the opaque payload — the same triple [`crate::sim::Delivery`]
+//! carries on the simulation.
+
+use ajanta_naming::Urn;
+use ajanta_wire::{Decoder, Encoder, Wire, WireError};
+
+/// Hard ceiling on one frame's payload length (16 MiB). Far above any
+/// legitimate agent transfer, far below an allocation a hostile length
+/// prefix could use to exhaust memory.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Why a byte stream failed to frame-decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix claims a payload over [`MAX_FRAME`] bytes.
+    Oversize(u64),
+    /// The length prefix is not a minimal-form varint (garbage bytes).
+    BadLength,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversize(n) => write!(f, "frame length {n} exceeds {MAX_FRAME}"),
+            FrameError::BadLength => f.write_str("malformed frame length prefix"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one frame: varint length prefix + payload bytes.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut e = Encoder::with_capacity(payload.len() + 5);
+    e.put_bytes(payload);
+    e.finish()
+}
+
+/// Attempts to decode one frame from the front of `buf`.
+///
+/// Returns `Ok(Some((consumed, payload)))` when a complete frame is
+/// present, `Ok(None)` when more bytes are needed, and a [`FrameError`]
+/// when the prefix itself is hostile (oversize or malformed) — the only
+/// sane recovery from which is closing the connection, since frame
+/// boundaries are lost.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(usize, Vec<u8>)>, FrameError> {
+    let mut d = Decoder::new(buf);
+    let len = match d.get_varint() {
+        Ok(n) => n,
+        // An incomplete varint is indistinguishable from a short read.
+        Err(WireError::Truncated) => return Ok(None),
+        Err(_) => return Err(FrameError::BadLength),
+    };
+    if len > MAX_FRAME as u64 {
+        return Err(FrameError::Oversize(len));
+    }
+    let header = buf.len() - d.remaining();
+    if d.remaining() < len as usize {
+        return Ok(None);
+    }
+    let payload = buf[header..header + len as usize].to_vec();
+    Ok(Some((header + len as usize, payload)))
+}
+
+/// An accumulation buffer that turns arbitrary byte chunks (as a socket
+/// read produces them) back into frames.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if one has accumulated. After a
+    /// [`FrameError`] the buffer contents are undefined; the connection
+    /// must be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        match decode_frame(&self.buf)? {
+            None => Ok(None),
+            Some((consumed, payload)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(payload))
+            }
+        }
+    }
+
+    /// Bytes currently buffered (incomplete frame tail).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// The plaintext a secure channel carries per frame: who claims to have
+/// sent it, which endpoint it is for, and the opaque bytes — exactly
+/// the [`crate::sim::Delivery`] triple, minus the arrival instant the
+/// receiver stamps itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelFrame {
+    /// Claimed origin (unauthenticated at this layer, like the
+    /// simulation's `Delivery::from` — sealed datagrams authenticate).
+    pub from: Urn,
+    /// Destination endpoint name.
+    pub to: Urn,
+    /// Opaque payload (a sealed datagram, in the runtime's use).
+    pub payload: Vec<u8>,
+}
+
+impl Wire for ChannelFrame {
+    fn encode(&self, e: &mut Encoder) {
+        self.from.encode(e);
+        self.to.encode(e);
+        e.put_bytes(&self.payload);
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        Ok(ChannelFrame {
+            from: Urn::decode(d)?,
+            to: Urn::decode(d)?,
+            payload: d.get_bytes()?.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let framed = encode_frame(b"hello");
+        let (consumed, payload) = decode_frame(&framed).unwrap().unwrap();
+        assert_eq!(consumed, framed.len());
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn empty_frame_roundtrips() {
+        let framed = encode_frame(b"");
+        let (consumed, payload) = decode_frame(&framed).unwrap().unwrap();
+        assert_eq!(consumed, 1);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more() {
+        let framed = encode_frame(&vec![7u8; 300]);
+        for cut in 0..framed.len() {
+            assert_eq!(decode_frame(&framed[..cut]).unwrap(), None, "cut at {cut}");
+        }
+        assert!(decode_frame(&framed).unwrap().is_some());
+    }
+
+    #[test]
+    fn oversize_length_is_a_typed_error() {
+        let mut e = Encoder::new();
+        e.put_varint(MAX_FRAME as u64 + 1);
+        assert_eq!(
+            decode_frame(&e.finish()),
+            Err(FrameError::Oversize(MAX_FRAME as u64 + 1))
+        );
+    }
+
+    #[test]
+    fn non_minimal_varint_is_a_typed_error() {
+        // 0x80 0x00 encodes zero non-minimally.
+        assert_eq!(decode_frame(&[0x80, 0x00]), Err(FrameError::BadLength));
+    }
+
+    #[test]
+    fn buffer_reassembles_across_chunk_boundaries() {
+        let mut stream = Vec::new();
+        let frames: Vec<Vec<u8>> = (0..10u8).map(|i| vec![i; 1 + i as usize * 37]).collect();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        let mut out = Vec::new();
+        let mut fb = FrameBuffer::new();
+        for chunk in stream.chunks(13) {
+            fb.extend(chunk);
+            while let Some(frame) = fb.next_frame().unwrap() {
+                out.push(frame);
+            }
+        }
+        assert_eq!(out, frames);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn channel_frame_roundtrips() {
+        let f = ChannelFrame {
+            from: Urn::server("a.org", ["s"]).unwrap(),
+            to: Urn::server("b.org", ["s"]).unwrap(),
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(ChannelFrame::from_bytes(&f.to_bytes()).unwrap(), f);
+    }
+}

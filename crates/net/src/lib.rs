@@ -22,22 +22,36 @@
 //!   (HMAC-SHA256), replay-protected (sequence windows) frames. This is
 //!   the "privacy and integrity of communication" + "mutual
 //!   authentication" layer of the paper's requirements list.
+//! * [`transport`] — the [`Transport`] seam the runtime is generic
+//!   over: the simulation and real sockets behind one object-safe
+//!   contract.
+//! * [`frame`] — varint length framing for byte streams, with typed
+//!   (never panicking) decode errors.
+//! * [`socket`] — [`SocketTransport`]: real TCP / Unix-domain
+//!   listeners and dialers carrying secure-channel frames, for worlds
+//!   that span OS processes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
 pub mod datagram;
+pub mod frame;
 pub mod link;
 pub mod secure;
 pub mod sim;
+pub mod socket;
 pub mod time;
+pub mod transport;
 
 pub use adversary::{
     Adversary, Dropper, Eavesdropper, Forger, LinkFault, Replayer, Tamperer, TransitAction,
 };
 pub use datagram::{DatagramError, ReplayGuard, SealedDatagram};
+pub use frame::{ChannelFrame, FrameBuffer, FrameError, MAX_FRAME};
 pub use link::LinkModel;
 pub use secure::{ChannelError, ChannelIdentity, PendingInitiation, SecureChannel};
 pub use sim::{Delivery, Endpoint, NetError, NetStats, SimNet};
+pub use socket::{NetAddr, SocketConfig, SocketTransport};
 pub use time::{fmt_ns, VClock};
+pub use transport::{FrameRejectHook, NetEndpoint, Transport, TransportKind};

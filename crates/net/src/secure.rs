@@ -424,6 +424,23 @@ impl SecureChannel {
     pub fn frames_received(&self) -> u64 {
         self.recv_seq
     }
+
+    /// Splits the session into independently owned halves so a socket
+    /// connection's writer and reader threads never share a lock: the
+    /// first half must only `seal`, the second must only `open`. The
+    /// two sequence counters are already independent (send_seq vs
+    /// recv_seq), so the split changes no wire behaviour.
+    pub(crate) fn split(self) -> (SecureChannel, SecureChannel) {
+        let send = SecureChannel {
+            peer: self.peer.clone(),
+            k_enc: self.k_enc,
+            k_mac: self.k_mac,
+            dir: self.dir,
+            send_seq: self.send_seq,
+            recv_seq: self.recv_seq,
+        };
+        (send, self)
+    }
 }
 
 impl PendingInitiation {

@@ -44,6 +44,9 @@ pub enum NetError {
     Disconnected,
     /// No message available (non-blocking receive).
     Empty,
+    /// A socket-transport I/O failure (dial, handshake, or write). The
+    /// simulation never produces this.
+    Io(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -53,6 +56,7 @@ impl std::fmt::Display for NetError {
             NetError::NameInUse(u) => write!(f, "endpoint name in use: {u}"),
             NetError::Disconnected => f.write_str("endpoint disconnected"),
             NetError::Empty => f.write_str("no message available"),
+            NetError::Io(detail) => write!(f, "transport i/o error: {detail}"),
         }
     }
 }

@@ -1,0 +1,889 @@
+//! A real socket transport: TCP and Unix-domain streams behind the
+//! [`Transport`] seam.
+//!
+//! Layering, bottom to top:
+//!
+//! 1. **Stream** — a TCP or Unix-domain byte pipe. One connection per
+//!    (dialer, peer) pair, cached and redialed on failure.
+//! 2. **Frames** — [`crate::frame`] varint length framing cuts the pipe
+//!    back into discrete records; malformed prefixes surface as typed
+//!    errors and close the connection, never panic.
+//! 3. **Secure channel** — every connection starts with the
+//!    [`crate::secure`] mutual-authentication handshake (dialer
+//!    initiates); each subsequent frame is sealed with the session
+//!    keys. The channel is split into independently owned send/receive
+//!    halves so the writer path and the reader thread never contend.
+//! 4. **Channel frames** — the sealed plaintext is a [`ChannelFrame`]:
+//!    claimed origin, destination endpoint, payload — the same triple
+//!    [`Delivery`] carries on the simulation. The receiver stamps the
+//!    arrival instant from its own clock.
+//!
+//! The transport clock is *wall-clock nanoseconds since the UNIX
+//! epoch*, advanced by a ticker thread and at every send/receive: all
+//! processes on one machine therefore share a clock epoch, which keeps
+//! cross-process hop latencies and the sealed-datagram replay window
+//! meaningful. (The [`crate::datagram::ReplayGuard`] only rejects
+//! *stale* timestamps, so a receiver whose clock trails a sender's by
+//! a tick never false-positives.)
+//!
+//! What the simulation models that a real wire cannot: [`LinkModel`]
+//! latency/loss shaping (`set_link` is a no-op here — the wire is its
+//! own link model) and adversaries between hosts. The [`Adversary`]
+//! hook still applies on the send path, before sealing, so
+//! `Drop`/`Tamper` fault injection behaves identically over sockets.
+//!
+//! [`LinkModel`]: crate::link::LinkModel
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+
+use ajanta_crypto::{DetRng, RootOfTrust};
+use ajanta_naming::Urn;
+use ajanta_wire::Wire;
+
+use crate::adversary::{Adversary, TransitAction};
+use crate::frame::{encode_frame, ChannelFrame, FrameBuffer};
+use crate::secure::{ChannelIdentity, SecureChannel};
+use crate::sim::{Delivery, NetError, NetStats};
+use crate::time::VClock;
+use crate::transport::{FrameRejectHook, NetEndpoint, Transport, TransportKind};
+
+/// Clock-ticker cadence.
+const TICK: Duration = Duration::from_millis(1);
+/// Blocked reads wake this often to check for shutdown.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// Bound on waiting for a handshake message.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Wall-clock nanoseconds since the UNIX epoch.
+fn wall_now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Addresses
+// ---------------------------------------------------------------------------
+
+/// A socket address a transport binds or dials: TCP or Unix-domain.
+/// `Display`/`FromStr` round-trip (`tcp:127.0.0.1:4000`,
+/// `uds:/tmp/a.sock`) so addresses travel through the multi-process
+/// bootstrap exchange as plain text.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NetAddr {
+    /// A TCP address.
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+impl std::fmt::Display for NetAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetAddr::Tcp(a) => write!(f, "tcp:{a}"),
+            NetAddr::Uds(p) => write!(f, "uds:{}", p.display()),
+        }
+    }
+}
+
+impl std::str::FromStr for NetAddr {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix("tcp:") {
+            rest.parse()
+                .map(NetAddr::Tcp)
+                .map_err(|e| format!("bad tcp address {rest:?}: {e}"))
+        } else if let Some(rest) = s.strip_prefix("uds:") {
+            Ok(NetAddr::Uds(PathBuf::from(rest)))
+        } else {
+            Err(format!("address {s:?} must start with tcp: or uds:"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streams and listeners
+// ---------------------------------------------------------------------------
+
+/// One connected byte pipe, TCP or Unix-domain.
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Uds(UnixStream),
+}
+
+impl Stream {
+    fn connect(addr: &NetAddr) -> std::io::Result<Stream> {
+        match addr {
+            NetAddr::Tcp(a) => {
+                let s = TcpStream::connect(a)?;
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            NetAddr::Uds(p) => Ok(Stream::Uds(UnixStream::connect(p)?)),
+            #[cfg(not(unix))]
+            NetAddr::Uds(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix-domain sockets unavailable on this platform",
+            )),
+        }
+    }
+
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.try_clone().map(Stream::Uds),
+        }
+    }
+
+    fn set_read_timeout(&self, t: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(t),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.set_read_timeout(t),
+        }
+    }
+
+    fn shutdown(&self) {
+        let _ = match self {
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.shutdown(std::net::Shutdown::Both),
+        };
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Uds(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Uds(UnixListener, PathBuf),
+}
+
+impl Listener {
+    fn bind(addr: &NetAddr) -> std::io::Result<(Listener, NetAddr)> {
+        match addr {
+            NetAddr::Tcp(a) => {
+                let l = TcpListener::bind(a)?;
+                let bound = NetAddr::Tcp(l.local_addr()?);
+                l.set_nonblocking(true)?;
+                Ok((Listener::Tcp(l), bound))
+            }
+            #[cfg(unix)]
+            NetAddr::Uds(p) => {
+                let l = UnixListener::bind(p)?;
+                l.set_nonblocking(true)?;
+                Ok((Listener::Uds(l, p.clone()), NetAddr::Uds(p.clone())))
+            }
+            #[cfg(not(unix))]
+            NetAddr::Uds(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix-domain sockets unavailable on this platform",
+            )),
+        }
+    }
+
+    /// Non-blocking accept: `Ok(None)` when no connection is pending.
+    fn accept(&self) -> std::io::Result<Option<Stream>> {
+        let res = match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                Stream::Tcp(s)
+            }),
+            #[cfg(unix)]
+            Listener::Uds(l, _) => l.accept().map(|(s, _)| Stream::Uds(s)),
+        };
+        match res {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Listener::Uds(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connections
+// ---------------------------------------------------------------------------
+
+/// The write side of one established connection: the send half of the
+/// secure channel and the stream under one lock, so seal order equals
+/// write order.
+struct ConnTx {
+    chan: SecureChannel,
+    stream: Stream,
+}
+
+struct Conn {
+    /// Cache generation, so a dead reader only evicts *its own*
+    /// connection from the cache, never a redialed successor.
+    generation: u64,
+    tx: Mutex<ConnTx>,
+    /// Clone kept aside purely to shut the connection down.
+    raw: Stream,
+}
+
+// ---------------------------------------------------------------------------
+// The transport
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`SocketTransport::bind`].
+pub struct SocketConfig {
+    /// The identity every connection handshakes as (for a world
+    /// server: that server's certified identity).
+    pub identity: ChannelIdentity,
+    /// Trust roots peer certificates must chain to.
+    pub roots: RootOfTrust,
+    /// Seed for handshake nonces and ephemerals.
+    pub seed: u64,
+}
+
+struct SockInner {
+    kind: TransportKind,
+    clock: VClock,
+    identity: ChannelIdentity,
+    roots: RootOfTrust,
+    rng: Mutex<DetRng>,
+    local: NetAddr,
+    endpoints: Mutex<BTreeMap<Urn, Sender<Delivery>>>,
+    routes: Mutex<BTreeMap<Urn, NetAddr>>,
+    conns: Mutex<BTreeMap<Urn, Arc<Conn>>>,
+    generation: AtomicU64,
+    adversary: Mutex<Option<Arc<dyn Adversary>>>,
+    stats: Mutex<NetStats>,
+    reject: Mutex<Option<FrameRejectHook>>,
+    stop: AtomicBool,
+    /// Stream clones shut down at transport shutdown to unblock
+    /// reader threads immediately.
+    live: Mutex<Vec<Stream>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl SockInner {
+    /// Counts and reports an inbound frame that never became a
+    /// [`Delivery`].
+    fn reject_frame(&self, reason: &str) {
+        self.stats.lock().messages_dropped += 1;
+        let hook = self.reject.lock().clone();
+        if let Some(hook) = hook {
+            hook(reason);
+        }
+    }
+
+    /// Advances the clock to the wall instant and returns it.
+    fn touch_clock(&self) -> u64 {
+        self.clock.advance_to(wall_now_ns());
+        self.clock.now()
+    }
+
+    /// Delivers one decoded channel frame to its local endpoint.
+    fn route(&self, frame: ChannelFrame) {
+        let sender = self.endpoints.lock().get(&frame.to).cloned();
+        match sender {
+            Some(tx) => {
+                let arrival_ns = self.touch_clock();
+                let size = frame.payload.len() as u64;
+                let mut stats = self.stats.lock();
+                if tx
+                    .send(Delivery {
+                        from: frame.from,
+                        arrival_ns,
+                        payload: frame.payload,
+                    })
+                    .is_ok()
+                {
+                    stats.messages_delivered += 1;
+                    stats.bytes_delivered += size;
+                } else {
+                    stats.messages_dropped += 1;
+                }
+            }
+            None => self.reject_frame(&format!("no local endpoint {}", frame.to)),
+        }
+    }
+
+    /// Registers a stream clone for shutdown and reports whether the
+    /// transport is still running.
+    fn register_live(&self, stream: &Stream) -> bool {
+        if let Ok(clone) = stream.try_clone() {
+            self.live.lock().push(clone);
+        }
+        if self.stop.load(Ordering::Acquire) {
+            stream.shutdown();
+            return false;
+        }
+        true
+    }
+
+    /// Dials `peer` at `addr`, runs the handshake as initiator, spawns
+    /// the connection's reader thread.
+    fn dial(self: &Arc<Self>, peer: &Urn, addr: &NetAddr) -> Result<Arc<Conn>, NetError> {
+        let io = |e: std::io::Error| NetError::Io(format!("dial {addr}: {e}"));
+        let mut stream = Stream::connect(addr).map_err(io)?;
+
+        let (hello, pending) = {
+            let mut rng = self.rng.lock();
+            SecureChannel::initiate(&self.identity, peer, &mut rng)
+        };
+        stream.write_all(&encode_frame(&hello)).map_err(io)?;
+        let ack = read_one_frame(&mut stream, HANDSHAKE_TIMEOUT)
+            .map_err(|e| NetError::Io(format!("handshake with {peer}: {e}")))?;
+        let chan = pending
+            .finish(&self.roots, &ack, self.touch_clock())
+            .map_err(|e| NetError::Io(format!("handshake with {peer} failed: {e}")))?;
+        let (send_half, recv_half) = chan.split();
+
+        let reader = stream.try_clone().map_err(io)?;
+        let raw = stream.try_clone().map_err(io)?;
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed);
+        let conn = Arc::new(Conn {
+            generation,
+            tx: Mutex::new(ConnTx {
+                chan: send_half,
+                stream,
+            }),
+            raw,
+        });
+        if !self.register_live(&reader) {
+            return Err(NetError::Disconnected);
+        }
+        let inner = Arc::clone(self);
+        let key = peer.clone();
+        let handle = std::thread::Builder::new()
+            .name("ajanta-conn".into())
+            .spawn(move || reader_loop(inner, reader, recv_half, Some((key, generation))))
+            .expect("spawn reader thread");
+        self.threads.lock().push(handle);
+        Ok(conn)
+    }
+
+    fn cached_or_dial(self: &Arc<Self>, peer: &Urn, addr: &NetAddr) -> Result<Arc<Conn>, NetError> {
+        if let Some(conn) = self.conns.lock().get(peer) {
+            return Ok(Arc::clone(conn));
+        }
+        let conn = self.dial(peer, addr)?;
+        let mut conns = self.conns.lock();
+        if let Some(existing) = conns.get(peer) {
+            // A concurrent dial won the race; keep the first connection.
+            let existing = Arc::clone(existing);
+            drop(conns);
+            conn.raw.shutdown();
+            return Ok(existing);
+        }
+        conns.insert(peer.clone(), Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    /// Seals and writes one channel frame to `peer`, redialing once if
+    /// the cached connection's write fails (reconnect-on-drop).
+    fn send_framed(
+        self: &Arc<Self>,
+        peer: &Urn,
+        addr: &NetAddr,
+        frame: &ChannelFrame,
+    ) -> Result<(), NetError> {
+        let bytes = frame.to_bytes();
+        let mut last_err = None;
+        for _ in 0..2 {
+            let conn = self.cached_or_dial(peer, addr)?;
+            let mut tx = conn.tx.lock();
+            let sealed = tx.chan.seal(&bytes);
+            match tx.stream.write_all(&encode_frame(&sealed)) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    drop(tx);
+                    self.evict(peer, conn.generation);
+                    conn.raw.shutdown();
+                    last_err = Some(NetError::Io(format!("write to {peer}: {e}")));
+                }
+            }
+        }
+        Err(last_err.expect("loop ran"))
+    }
+
+    /// Removes the cached connection for `peer` — but only the given
+    /// generation, so a reconnect is never evicted by its predecessor's
+    /// late death.
+    fn evict(&self, peer: &Urn, generation: u64) {
+        let mut conns = self.conns.lock();
+        if conns.get(peer).is_some_and(|c| c.generation == generation) {
+            conns.remove(peer);
+        }
+    }
+
+    /// Full send path: stats, adversary, local short-circuit, framed
+    /// socket delivery. Mirrors `SimNet::transmit` stage for stage.
+    fn send_as(self: &Arc<Self>, from: &Urn, to: &Urn, payload: Vec<u8>) -> Result<(), NetError> {
+        if self.stop.load(Ordering::Acquire) {
+            return Err(NetError::Disconnected);
+        }
+        self.stats.lock().bytes_sent += payload.len() as u64;
+        self.touch_clock();
+
+        // The adversary sits on the (conceptual) wire, before sealing —
+        // the same position it occupies on the simulation.
+        let adversary = self.adversary.lock().clone();
+        let mut to_deliver: Vec<(Urn, Vec<u8>)> = Vec::with_capacity(1);
+        match adversary.as_ref().map(|a| a.on_transit(from, to, &payload)) {
+            None | Some(TransitAction::Pass) => to_deliver.push((from.clone(), payload)),
+            Some(TransitAction::Tamper(modified)) => to_deliver.push((from.clone(), modified)),
+            Some(TransitAction::Drop) => {
+                self.stats.lock().messages_dropped += 1;
+                return Ok(()); // silently lost, as on a real network
+            }
+            Some(TransitAction::InjectAfter(extra)) => {
+                to_deliver.push((from.clone(), payload));
+                self.stats.lock().messages_injected += extra.len() as u64;
+                to_deliver.extend(extra);
+            }
+        }
+
+        // Local endpoints short-circuit (same-process delivery).
+        if self.endpoints.lock().contains_key(to) {
+            for (claimed_from, bytes) in to_deliver {
+                self.route(ChannelFrame {
+                    from: claimed_from,
+                    to: to.clone(),
+                    payload: bytes,
+                });
+            }
+            return Ok(());
+        }
+
+        let addr = self
+            .routes
+            .lock()
+            .get(to)
+            .cloned()
+            .ok_or_else(|| NetError::UnknownEndpoint(to.clone()))?;
+        for (claimed_from, bytes) in to_deliver {
+            let frame = ChannelFrame {
+                from: claimed_from,
+                to: to.clone(),
+                payload: bytes,
+            };
+            if self.send_framed(to, &addr, &frame).is_err() {
+                // A dead peer is a lost datagram, not a send error: the
+                // runtime's ack/retry layer recovers, as for any drop.
+                self.stats.lock().messages_dropped += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reads frames from `stream`, opens them on the receive half of the
+/// channel, and routes the decoded channel frames. Exits on EOF,
+/// stream error, framing error, or channel error (once a stream
+/// misbehaves its sequence integrity is gone — the dialer reconnects).
+fn reader_loop(
+    inner: Arc<SockInner>,
+    mut stream: Stream,
+    mut chan: SecureChannel,
+    cache_key: Option<(Urn, u64)>,
+) {
+    let mut fb = FrameBuffer::new();
+    let mut buf = [0u8; 64 * 1024];
+    'conn: loop {
+        if inner.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        fb.extend(&buf[..n]);
+        loop {
+            match fb.next_frame() {
+                Ok(None) => break,
+                Ok(Some(frame)) => match chan.open(&frame) {
+                    Ok(plain) => match ChannelFrame::from_bytes(&plain) {
+                        Ok(cf) => inner.route(cf),
+                        Err(e) => inner.reject_frame(&format!(
+                            "undecodable channel frame from {}: {e}",
+                            chan.peer()
+                        )),
+                    },
+                    Err(e) => {
+                        inner.reject_frame(&format!("channel error from {}: {e}", chan.peer()));
+                        break 'conn;
+                    }
+                },
+                Err(e) => {
+                    inner.reject_frame(&format!("bad framing from {}: {e}", chan.peer()));
+                    break 'conn;
+                }
+            }
+        }
+    }
+    stream.shutdown();
+    if let Some((peer, generation)) = cache_key {
+        inner.evict(&peer, generation);
+    }
+}
+
+/// The inbound side of an accepted connection: respond to the
+/// handshake, then read frames until the peer goes away. Handshake
+/// failures are rejected (journaled via the hook) and the stream is
+/// closed — an unauthenticated peer never reaches the frame loop.
+fn inbound_loop(inner: Arc<SockInner>, mut stream: Stream) {
+    let hello = match read_one_frame(&mut stream, HANDSHAKE_TIMEOUT) {
+        Ok(h) => h,
+        Err(e) => {
+            inner.reject_frame(&format!("inbound handshake never arrived: {e}"));
+            stream.shutdown();
+            return;
+        }
+    };
+    let now = inner.touch_clock();
+    let respond = {
+        let mut rng = inner.rng.lock();
+        SecureChannel::respond(&inner.identity, &inner.roots, &hello, now, &mut rng)
+    };
+    let (ack, chan) = match respond {
+        Ok(x) => x,
+        Err(e) => {
+            inner.reject_frame(&format!("inbound handshake rejected: {e}"));
+            stream.shutdown();
+            return;
+        }
+    };
+    if stream.write_all(&encode_frame(&ack)).is_err() {
+        stream.shutdown();
+        return;
+    }
+    // Inbound connections are receive-only: replies dial back through
+    // the route table, so no send half is kept.
+    let (_send_half, recv_half) = chan.split();
+    reader_loop(inner, stream, recv_half, None);
+}
+
+fn accept_loop(inner: Arc<SockInner>, listener: Listener) {
+    while !inner.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok(Some(stream)) => {
+                let _ = stream.set_read_timeout(Some(READ_POLL));
+                if !inner.register_live(&stream) {
+                    break;
+                }
+                let conn_inner = Arc::clone(&inner);
+                let handle = std::thread::Builder::new()
+                    .name("ajanta-conn".into())
+                    .spawn(move || inbound_loop(conn_inner, stream))
+                    .expect("spawn inbound thread");
+                inner.threads.lock().push(handle);
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads exactly one frame (handshake phase), bounded by `timeout`.
+fn read_one_frame(stream: &mut Stream, timeout: Duration) -> std::io::Result<Vec<u8>> {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let deadline = std::time::Instant::now() + timeout;
+    let mut fb = FrameBuffer::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(frame) = fb
+            .next_frame()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            return Ok(frame);
+        }
+        if std::time::Instant::now() >= deadline {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "handshake timed out",
+            ));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "peer closed during handshake",
+                ))
+            }
+            Ok(n) => fb.extend(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A [`Transport`] over real TCP or Unix-domain sockets.
+///
+/// Bind one per process (or per server identity), register peer
+/// listening addresses with [`SocketTransport::add_route`], then hand
+/// it to the runtime as `Arc<dyn Transport>`. Connections are dialed
+/// lazily on first send to a peer, cached per peer, and redialed once
+/// when a cached connection's write fails (reconnect-on-drop); a
+/// failed redial counts the frame as dropped — exactly a lost
+/// datagram, which the runtime's retry layer already recovers.
+pub struct SocketTransport {
+    inner: Arc<SockInner>,
+}
+
+impl SocketTransport {
+    /// Binds a listener on `addr` (`tcp:127.0.0.1:0` picks an
+    /// ephemeral port; a `uds:` path must not exist yet) and starts
+    /// the accept and clock-ticker threads.
+    pub fn bind(addr: &NetAddr, config: SocketConfig) -> std::io::Result<SocketTransport> {
+        let (listener, local) = Listener::bind(addr)?;
+        let kind = match local {
+            NetAddr::Tcp(_) => TransportKind::Tcp,
+            NetAddr::Uds(_) => TransportKind::Uds,
+        };
+        let clock = VClock::new();
+        clock.advance_to(wall_now_ns());
+        let inner = Arc::new(SockInner {
+            kind,
+            clock,
+            identity: config.identity,
+            roots: config.roots,
+            rng: Mutex::new(DetRng::new(config.seed)),
+            local,
+            endpoints: Mutex::new(BTreeMap::new()),
+            routes: Mutex::new(BTreeMap::new()),
+            conns: Mutex::new(BTreeMap::new()),
+            generation: AtomicU64::new(0),
+            adversary: Mutex::new(None),
+            stats: Mutex::new(NetStats::default()),
+            reject: Mutex::new(None),
+            stop: AtomicBool::new(false),
+            live: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+        });
+
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("ajanta-accept".into())
+            .spawn(move || accept_loop(accept_inner, listener))
+            .expect("spawn accept thread");
+        let tick_inner = Arc::clone(&inner);
+        let ticker = std::thread::Builder::new()
+            .name("ajanta-clock".into())
+            .spawn(move || {
+                while !tick_inner.stop.load(Ordering::Acquire) {
+                    tick_inner.clock.advance_to(wall_now_ns());
+                    std::thread::sleep(TICK);
+                }
+            })
+            .expect("spawn ticker thread");
+        inner.threads.lock().extend([accept, ticker]);
+        Ok(SocketTransport { inner })
+    }
+
+    /// The address the listener actually bound (resolves ephemeral
+    /// ports) — what peers must `add_route` to reach this transport.
+    pub fn local_addr(&self) -> NetAddr {
+        self.inner.local.clone()
+    }
+
+    /// Registers where `peer` (a peer transport's identity name, i.e.
+    /// its server URN) listens. Sends to that name dial this address.
+    pub fn add_route(&self, peer: Urn, addr: NetAddr) {
+        self.inner.routes.lock().insert(peer, addr);
+    }
+
+    /// Drops every cached connection; subsequent sends redial. Useful
+    /// when peers are known to have restarted.
+    pub fn drop_connections(&self) {
+        let conns = std::mem::take(&mut *self.inner.conns.lock());
+        for conn in conns.values() {
+            conn.raw.shutdown();
+        }
+    }
+}
+
+impl Drop for SocketTransport {
+    fn drop(&mut self) {
+        Transport::shutdown(self);
+    }
+}
+
+impl Transport for SocketTransport {
+    fn kind(&self) -> TransportKind {
+        self.inner.kind
+    }
+
+    fn clock(&self) -> &VClock {
+        &self.inner.clock
+    }
+
+    fn attach(&self, name: Urn) -> Result<Box<dyn NetEndpoint>, NetError> {
+        let (tx, rx) = unbounded();
+        let mut eps = self.inner.endpoints.lock();
+        if eps.contains_key(&name) {
+            return Err(NetError::NameInUse(name));
+        }
+        eps.insert(name.clone(), tx);
+        Ok(Box::new(SocketEndpoint {
+            name,
+            inner: Arc::clone(&self.inner),
+            rx,
+        }))
+    }
+
+    fn detach(&self, name: &Urn) {
+        self.inner.endpoints.lock().remove(name);
+    }
+
+    fn send_as(&self, from: &Urn, to: &Urn, payload: Vec<u8>) -> Result<(), NetError> {
+        self.inner.send_as(from, to, payload)
+    }
+
+    fn stats(&self) -> NetStats {
+        self.inner.stats.lock().clone()
+    }
+
+    fn reset_stats(&self) {
+        *self.inner.stats.lock() = NetStats::default();
+    }
+
+    fn set_adversary(&self, adversary: Option<Arc<dyn Adversary>>) {
+        *self.inner.adversary.lock() = adversary;
+    }
+
+    fn on_frame_reject(&self, hook: FrameRejectHook) {
+        *self.inner.reject.lock() = Some(hook);
+    }
+
+    fn shutdown(&self) {
+        if self.inner.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for stream in self.inner.live.lock().drain(..) {
+            stream.shutdown();
+        }
+        self.drop_connections();
+        loop {
+            // Threads can spawn threads (accept → inbound), so drain
+            // until the list is empty.
+            let handles: Vec<_> = self.inner.threads.lock().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// An endpoint attached to a [`SocketTransport`].
+struct SocketEndpoint {
+    name: Urn,
+    inner: Arc<SockInner>,
+    rx: Receiver<Delivery>,
+}
+
+impl NetEndpoint for SocketEndpoint {
+    fn name(&self) -> &Urn {
+        &self.name
+    }
+
+    fn send(&self, to: &Urn, payload: Vec<u8>) -> Result<(), NetError> {
+        self.inner.send_as(&self.name, to, payload)
+    }
+
+    fn receiver(&self) -> &Receiver<Delivery> {
+        &self.rx
+    }
+
+    fn recv(&self) -> Result<Delivery, NetError> {
+        let d = self.rx.recv().map_err(|_| NetError::Disconnected)?;
+        self.inner.clock.advance_to(d.arrival_ns);
+        Ok(d)
+    }
+
+    fn try_recv(&self) -> Result<Delivery, NetError> {
+        match self.rx.try_recv() {
+            Ok(d) => {
+                self.inner.clock.advance_to(d.arrival_ns);
+                Ok(d)
+            }
+            Err(TryRecvError::Empty) => Err(NetError::Empty),
+            Err(TryRecvError::Disconnected) => Err(NetError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Delivery, NetError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(d) => {
+                self.inner.clock.advance_to(d.arrival_ns);
+                Ok(d)
+            }
+            Err(_) => Err(NetError::Empty),
+        }
+    }
+}
+
+impl Drop for SocketEndpoint {
+    fn drop(&mut self) {
+        self.inner.endpoints.lock().remove(&self.name);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for the socket length-framing codec: decoding is
+//! *total* — any byte soup yields frames, "need more", or a typed
+//! [`FrameError`], never a panic — and framing round-trips losslessly
+//! under arbitrary chunking.
+
+use ajanta_net::frame::{decode_frame, encode_frame, FrameBuffer, FrameError, MAX_FRAME};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Total decoding: arbitrary garbage never panics, and every error
+    /// is one of the typed variants.
+    #[test]
+    fn decode_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        match decode_frame(&bytes) {
+            Ok(None) => {}
+            Ok(Some((consumed, payload))) => {
+                prop_assert!(consumed <= bytes.len());
+                prop_assert!(payload.len() <= MAX_FRAME);
+                prop_assert!(payload.len() <= consumed);
+            }
+            Err(FrameError::Oversize(n)) => prop_assert!(n > MAX_FRAME as u64),
+            Err(FrameError::BadLength) => {}
+        }
+    }
+
+    /// Every truncation of a valid frame asks for more bytes — never
+    /// errors, never yields a wrong frame.
+    #[test]
+    fn truncation_always_asks_for_more(payload in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let framed = encode_frame(&payload);
+        for cut in 0..framed.len() {
+            prop_assert_eq!(decode_frame(&framed[..cut]).unwrap(), None);
+        }
+        let (consumed, decoded) = decode_frame(&framed).unwrap().unwrap();
+        prop_assert_eq!(consumed, framed.len());
+        prop_assert_eq!(decoded, payload);
+    }
+
+    /// A stream of frames reassembles exactly under arbitrary read
+    /// chunk sizes, as socket reads produce them.
+    #[test]
+    fn chunked_streams_reassemble(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 1..8),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&encode_frame(p));
+        }
+        let mut fb = FrameBuffer::new();
+        let mut out = Vec::new();
+        for c in stream.chunks(chunk) {
+            fb.extend(c);
+            while let Some(f) = fb.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        prop_assert_eq!(out, payloads);
+        prop_assert_eq!(fb.pending(), 0);
+    }
+
+    /// Oversize length prefixes are a typed error, regardless of what
+    /// follows them.
+    #[test]
+    fn oversize_lengths_are_typed_errors(
+        extra in (MAX_FRAME as u64 + 1)..u64::MAX / 2,
+        tail in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let mut e = ajanta_wire::Encoder::new();
+        e.put_varint(extra);
+        let mut bytes = e.finish();
+        bytes.extend_from_slice(&tail);
+        prop_assert_eq!(decode_frame(&bytes), Err(FrameError::Oversize(extra)));
+    }
+
+    /// Garbage *after* a valid frame does not corrupt that frame.
+    #[test]
+    fn trailing_garbage_does_not_affect_the_frame(
+        payload in proptest::collection::vec(any::<u8>(), 0..100),
+        garbage in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let framed = encode_frame(&payload);
+        let mut stream = framed.clone();
+        stream.extend_from_slice(&garbage);
+        let (consumed, decoded) = decode_frame(&stream).unwrap().unwrap();
+        prop_assert_eq!(consumed, framed.len());
+        prop_assert_eq!(decoded, payload);
+    }
+}

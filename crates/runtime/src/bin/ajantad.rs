@@ -1,0 +1,180 @@
+//! `ajantad` — one agent-server process of a multi-process world.
+//!
+//! Two modes:
+//!
+//! * `ajantad child --index I --servers N --seed S --addr A
+//!   --trace-out P [--agents K] [--loss F]` — run one server process,
+//!   controlled over stdin/stdout (see `ajanta_runtime::multiproc` for
+//!   the protocol). Spawned by a parent, not by hand.
+//! * `ajantad --smoke [--servers N] [--agents K] [--loss F] [--tcp]
+//!   [--seed S] [--timeout SECS]` — orchestrate a full cross-process
+//!   smoke run: spawn N child processes of this same binary over
+//!   Unix-domain sockets (or TCP with `--tcp`), drive a lossy
+//!   fault-injection tour, merge the per-process trace exports, and
+//!   verify 100% resolution, zero duplicate admissions, and zero
+//!   orphan spans. Exits non-zero on any violation. Set
+//!   `AJANTA_SMOKE_TRACE` to also write the merged JSONL to a file.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ajanta_net::NetAddr;
+use ajanta_runtime::{run_child, run_parent, ChildOpts, SmokeOpts};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ajantad child --index I --servers N --seed S --addr A --trace-out P \
+         [--agents K] [--loss F]\n       ajantad --smoke [--servers N] [--agents K] \
+         [--loss F] [--tcp] [--seed S] [--timeout SECS]"
+    );
+    std::process::exit(2);
+}
+
+fn take_value(args: &mut std::iter::Peekable<std::env::Args>, flag: &str) -> String {
+    match args.next() {
+        Some(v) => v,
+        None => {
+            eprintln!("ajantad: {flag} needs a value");
+            usage();
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().peekable();
+    let _argv0 = args.next();
+    match args.peek().map(String::as_str) {
+        Some("child") => {
+            args.next();
+            child_main(args);
+        }
+        Some("--smoke") => {
+            args.next();
+            smoke_main(args);
+        }
+        _ => usage(),
+    }
+}
+
+fn child_main(mut args: std::iter::Peekable<std::env::Args>) {
+    let mut index = None;
+    let mut servers = None;
+    let mut seed = None;
+    let mut addr: Option<NetAddr> = None;
+    let mut trace_out = None;
+    let mut agents = 32usize;
+    let mut loss = 0.0f64;
+    while let Some(flag) = args.next() {
+        let v = take_value(&mut args, &flag);
+        match flag.as_str() {
+            "--index" => index = v.parse().ok(),
+            "--servers" => servers = v.parse().ok(),
+            "--seed" => seed = parse_u64(&v),
+            "--addr" => addr = v.parse().ok(),
+            "--trace-out" => trace_out = Some(PathBuf::from(v)),
+            "--agents" => agents = v.parse().unwrap_or(agents),
+            "--loss" => loss = v.parse().unwrap_or(loss),
+            _ => usage(),
+        }
+    }
+    let (Some(index), Some(servers), Some(seed), Some(addr), Some(trace_out)) =
+        (index, servers, seed, addr, trace_out)
+    else {
+        usage();
+    };
+    if let Err(e) = run_child(ChildOpts {
+        index,
+        servers,
+        seed,
+        addr,
+        trace_out,
+        agents,
+        loss,
+    }) {
+        eprintln!("ajantad child {index}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn smoke_main(mut args: std::iter::Peekable<std::env::Args>) {
+    let mut servers = 3usize;
+    let mut agents = 32usize;
+    let mut loss = 0.20f64;
+    let mut seed = 0xC055_10E5u64;
+    let mut uds = true;
+    let mut timeout = Duration::from_secs(300);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--tcp" => uds = false,
+            "--servers" => servers = take_value(&mut args, &flag).parse().unwrap_or(servers),
+            "--agents" => agents = take_value(&mut args, &flag).parse().unwrap_or(agents),
+            "--loss" => loss = take_value(&mut args, &flag).parse().unwrap_or(loss),
+            "--seed" => seed = parse_u64(&take_value(&mut args, &flag)).unwrap_or(seed),
+            "--timeout" => {
+                timeout = Duration::from_secs(
+                    take_value(&mut args, &flag)
+                        .parse()
+                        .unwrap_or(timeout.as_secs()),
+                )
+            }
+            _ => usage(),
+        }
+    }
+    let bin = std::env::current_exe().expect("resolving own binary path");
+    let dir = std::env::temp_dir().join(format!("ajanta-smoke-{}", std::process::id()));
+    let report = match run_parent(SmokeOpts {
+        bin,
+        servers,
+        seed,
+        agents,
+        loss,
+        uds,
+        dir: dir.clone(),
+        timeout,
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ajantad --smoke: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "smoke: {} processes over {}, {} agents at {:.0}% loss: \
+         reported={} completed={} dup_admissions={} traces={} spans={} orphans={}",
+        servers,
+        if uds { "uds" } else { "tcp" },
+        report.agents,
+        loss * 100.0,
+        report.reported,
+        report.completed,
+        report.duplicate_admissions,
+        report.traces,
+        report.spans,
+        report.orphans,
+    );
+    if let Ok(path) = std::env::var("AJANTA_SMOKE_TRACE") {
+        if let Err(e) = std::fs::write(&path, &report.merged_jsonl) {
+            eprintln!("ajantad --smoke: writing {path}: {e}");
+        } else {
+            println!("smoke: merged trace written to {path}");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let ok = report.reported == report.agents
+        && report.duplicate_admissions == 0
+        && report.traces == report.agents
+        && report.orphans == 0
+        && report.completed > 0;
+    if !ok {
+        eprintln!("ajantad --smoke: FAILED acceptance checks");
+        std::process::exit(1);
+    }
+}

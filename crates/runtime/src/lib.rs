@@ -29,6 +29,7 @@ pub mod directory;
 pub mod env;
 pub mod itinerary;
 pub mod messages;
+pub mod multiproc;
 pub mod owner;
 pub mod sched;
 pub mod server;
@@ -38,11 +39,12 @@ pub mod world;
 pub use directory::Directory;
 pub use itinerary::{Itinerary, ItineraryError};
 pub use messages::{AgentStatus, Message, Report, ReportStatus};
+pub use multiproc::{derive_world, run_child, run_parent, ChildOpts, SmokeOpts, SmokeReport};
 pub use owner::Owner;
 pub use sched::{SchedDepths, Scheduler, DEFAULT_SLICE_FUEL};
 pub use server::{AgentServer, QueryError, RetryPolicy, SecurityEvent, ServerConfig, ServerHandle};
 pub use vmres::VmResource;
-pub use world::World;
+pub use world::{TransportMode, World};
 
 // Telemetry types surface through the runtime so experiments and
 // examples can match on journal events without a direct core import.

@@ -1,0 +1,647 @@
+//! Multi-process worlds: N `ajantad` server processes joined over real
+//! sockets into one world, driven by a line-oriented stdio protocol.
+//!
+//! Every process derives the *same* certificate authority, server
+//! identities, and owner from one seed ([`derive_world`]) — only socket
+//! addresses need exchanging at runtime. The parent ([`run_parent`])
+//! spawns the children, wires their route tables (`PEER`), starts the
+//! tour (`GO`), then collects per-process trace exports and duplicate-
+//! admission counts (`STOP` … `DONE`) and merges the JSONL into one
+//! causal forest — the cross-process analogue of
+//! [`World::export_traces`](crate::World::export_traces).
+//!
+//! Protocol (child stdout → parent, parent stdin → child):
+//!
+//! ```text
+//! child:  READY <addr>                     after binding its transport
+//! parent: PEER <index> <addr>              one per remote peer
+//! parent: GO                               child 0 launches the tour
+//! child0: RESULT reported=<n> completed=<n> agents=<n>
+//! parent: STOP                             quiesce + export traces
+//! child:  DONE dups=<n>
+//! parent: EXIT                             shut down and exit
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ajanta_core::trace::{parse_jsonl, TraceForest};
+use ajanta_core::{
+    BoundedBuffer, Counter, Event, Guarded, PrincipalPattern, ProxyPolicy, Rights, SecurityPolicy,
+    UsageLimits,
+};
+use ajanta_crypto::cert::Certificate;
+use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
+use ajanta_naming::Urn;
+use ajanta_net::secure::ChannelIdentity;
+use ajanta_net::{LinkFault, NetAddr, SocketConfig, SocketTransport, Transport};
+use ajanta_vm::{assemble, AgentImage, Value};
+
+use crate::directory::Directory;
+use crate::itinerary::Itinerary;
+use crate::owner::Owner;
+use crate::server::{AgentServer, RetryPolicy, ServerConfig, ServerHandle};
+
+/// The identities every process of a multi-process world derives from
+/// the shared seed. Certificates, keys, and the owner are byte-identical
+/// across processes; only socket addresses are exchanged at runtime.
+pub struct DerivedWorld {
+    /// The trust roots (the derived CA).
+    pub roots: RootOfTrust,
+    /// Server names, index-aligned with the process indices.
+    pub names: Vec<Urn>,
+    /// Per-server channel identities (keys + CA-issued chain).
+    pub identities: Vec<ChannelIdentity>,
+    /// Per-server long-term signing keys.
+    pub keys: Vec<KeyPair>,
+    /// Per-server config seeds (same stream in every process).
+    pub server_seeds: Vec<u64>,
+    /// A directory pre-published with every server's certificate.
+    pub directory: Directory,
+    /// The touring owner (only process 0 mints agents from it).
+    pub owner: Owner,
+}
+
+/// Derives the whole world's identities from `seed`. Mirrors
+/// [`WorldBuilder::build`](crate::world::WorldBuilder::build)'s rng
+/// discipline so the derivation is stable and auditable.
+pub fn derive_world(seed: u64, servers: usize) -> DerivedWorld {
+    let mut rng = DetRng::new(seed);
+    let _net_seed = rng.next_u64();
+    let ca = KeyPair::generate(&mut rng);
+    let mut roots = RootOfTrust::new();
+    roots.trust("ca.world", ca.public);
+    let directory = Directory::new();
+
+    let mut names = Vec::with_capacity(servers);
+    let mut identities = Vec::with_capacity(servers);
+    let mut keys_v = Vec::with_capacity(servers);
+    let mut server_seeds = Vec::with_capacity(servers);
+    let mut serial = 1;
+    for i in 0..servers {
+        let name = Urn::server(format!("proc{i}.org"), ["s".to_string()])
+            .expect("generated name is canonical");
+        let keys = KeyPair::generate(&mut rng);
+        let cert = Certificate::issue(
+            name.to_string(),
+            keys.public,
+            "ca.world",
+            &ca,
+            u64::MAX,
+            serial,
+            &mut rng,
+        );
+        serial += 1;
+        directory.publish(name.clone(), cert.clone());
+        identities.push(ChannelIdentity {
+            name: name.clone(),
+            keys: keys.clone(),
+            chain: vec![cert],
+        });
+        names.push(name);
+        keys_v.push(keys);
+        server_seeds.push(rng.next_u64());
+    }
+
+    let owner_name = Urn::owner("users.org", ["traveler"]).expect("canonical owner name");
+    let owner_keys = KeyPair::generate(&mut rng);
+    serial += 1;
+    let owner_cert = Certificate::issue(
+        owner_name.to_string(),
+        owner_keys.public,
+        "ca.world",
+        &ca,
+        u64::MAX,
+        serial,
+        &mut rng,
+    );
+    let owner = Owner::new(owner_name, owner_keys, vec![owner_cert], rng.next_u64());
+
+    DerivedWorld {
+        roots,
+        names,
+        identities,
+        keys: keys_v,
+        server_seeds,
+        directory,
+        owner,
+    }
+}
+
+/// The touring agent the smoke tour runs: at every stop it binds the
+/// local `jobs` buffer, puts one item, and moves on — exercising
+/// transfer, admission, bind, and access spans on every process.
+const TOURIST: &str = r#"
+    module tracetour
+    import env.go_tour (bytes, bytes) -> int
+    import env.itin_tail (bytes) -> bytes
+    import env.get_resource (bytes) -> int
+    import env.invoke (int, bytes, bytes) -> bytes
+    import env.args_b (bytes) -> bytes
+    global itin: bytes
+    global hops: int
+    data entry = "run"
+    data rname = "ajn://tour.org/resource/jobs"
+    data mput = "put"
+    data item = "trace-probe"
+
+    func run(arg: bytes) -> int
+      locals full: bytes, h: int
+      gload hops
+      push 1
+      add
+      gstore hops
+      pushd rname
+      hostcall env.get_resource
+      store h
+      load h
+      pushd mput
+      pushd item
+      hostcall env.args_b
+      hostcall env.invoke
+      drop
+      gload itin
+      blen
+      jz done
+      gload itin
+      store full
+      gload itin
+      hostcall env.itin_tail
+      gstore itin
+      load full
+      pushd entry
+      hostcall env.go_tour
+      drop
+      push 0
+      ret
+    done:
+      gload hops
+      ret
+"#;
+
+fn tourist_image(tour: &Itinerary) -> AgentImage {
+    let (_, rest) = tour.clone().next_stop();
+    let module = assemble(TOURIST).expect("tourist assembles");
+    let image = AgentImage {
+        module,
+        globals: vec![Value::Bytes(rest.encode()), Value::Int(0)],
+        entry: "run".into(),
+    };
+    image.validate().expect("tourist image consistent");
+    image
+}
+
+/// One child server process's configuration.
+pub struct ChildOpts {
+    /// This process's server index in `0..servers`.
+    pub index: usize,
+    /// Total number of server processes in the world.
+    pub servers: usize,
+    /// The shared world seed.
+    pub seed: u64,
+    /// The address to listen on (`tcp:127.0.0.1:0` or `uds:<path>`).
+    pub addr: NetAddr,
+    /// Where to write this process's trace JSONL export on `STOP`.
+    pub trace_out: PathBuf,
+    /// How many agents process 0 launches on `GO`.
+    pub agents: usize,
+    /// Probabilistic frame loss injected on this process's send path.
+    pub loss: f64,
+}
+
+/// Runs one child server process over stdin/stdout until `EXIT` (or
+/// stdin closes). See the module docs for the protocol.
+pub fn run_child(opts: ChildOpts) -> Result<(), String> {
+    let derived = derive_world(opts.seed, opts.servers);
+    let i = opts.index;
+    if i >= opts.servers {
+        return Err(format!(
+            "index {i} out of range for {} servers",
+            opts.servers
+        ));
+    }
+
+    let transport = SocketTransport::bind(
+        &opts.addr,
+        SocketConfig {
+            identity: derived.identities[i].clone(),
+            roots: derived.roots.clone(),
+            seed: opts.seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        },
+    )
+    .map_err(|e| format!("bind {}: {e}", opts.addr))?;
+    let transport = Arc::new(transport);
+    if opts.loss > 0.0 {
+        let fault = LinkFault::new(opts.seed ^ 0xFA17_0000 ^ i as u64, opts.loss);
+        transport.set_adversary(Some(Arc::new(fault)));
+    }
+
+    let server = AgentServer::spawn_on(
+        Arc::clone(&transport) as Arc<dyn Transport>,
+        ServerConfig {
+            name: derived.names[i].clone(),
+            identity: derived.identities[i].clone(),
+            keys: derived.keys[i].clone(),
+            roots: derived.roots.clone(),
+            directory: derived.directory.clone(),
+            policy: SecurityPolicy::new().allow(PrincipalPattern::Anyone, Rights::all()),
+            system_modules: Vec::new(),
+            agent_limits: UsageLimits::default(),
+            vm_limits: ajanta_vm::Limits::default(),
+            agents_may_dispatch: true,
+            replay_window_ns: u64::MAX / 4,
+            retry: RetryPolicy {
+                max_attempts: 14,
+                ack_grace: Duration::from_millis(10),
+                ..RetryPolicy::default()
+            },
+            seed: derived.server_seeds[i],
+            journal_capacity: 1 << 16,
+            scheduler: None,
+        },
+    );
+
+    // Every stop hosts the tour's buffer; home (process 0) does not.
+    if i > 0 {
+        let buf = BoundedBuffer::new(
+            Urn::resource("tour.org", ["jobs"]).unwrap(),
+            Urn::owner("tour.org", ["admin"]).unwrap(),
+            2 * opts.agents.max(1),
+        );
+        server
+            .register_resource(Guarded::new(buf, ProxyPolicy::default()))
+            .map_err(|e| format!("registering jobs buffer: {e}"))?;
+    }
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "READY {}", transport.local_addr())
+        .and_then(|_| out.flush())
+        .map_err(|e| e.to_string())?;
+
+    let stdin = std::io::stdin();
+    let lines = BufReader::new(stdin.lock()).lines();
+    let mut owner = derived.owner;
+    for line in lines {
+        let line = line.map_err(|e| format!("reading control line: {e}"))?;
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("PEER") => {
+                let idx: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| format!("bad PEER line: {line}"))?;
+                let addr: NetAddr = words
+                    .next()
+                    .ok_or_else(|| format!("bad PEER line: {line}"))?
+                    .parse()?;
+                transport.add_route(derived.names[idx].clone(), addr);
+            }
+            Some("GO") => {
+                if i == 0 {
+                    let (reported, completed) =
+                        drive_tour(&server, &mut owner, &derived.names, opts.agents);
+                    writeln!(
+                        out,
+                        "RESULT reported={reported} completed={completed} agents={}",
+                        opts.agents
+                    )
+                    .and_then(|_| out.flush())
+                    .map_err(|e| e.to_string())?;
+                }
+            }
+            Some("STOP") => {
+                quiesce(&server, Duration::from_secs(60));
+                std::fs::write(&opts.trace_out, server.export_jsonl())
+                    .map_err(|e| format!("writing {}: {e}", opts.trace_out.display()))?;
+                let dups = duplicate_admissions(&server);
+                writeln!(out, "DONE dups={dups}")
+                    .and_then(|_| out.flush())
+                    .map_err(|e| e.to_string())?;
+            }
+            Some("EXIT") | None => break,
+            Some(other) => return Err(format!("unknown control verb {other:?}")),
+        }
+    }
+
+    server.shutdown();
+    transport.shutdown();
+    Ok(())
+}
+
+/// Launches `agents` tourists around all remote stops and waits for
+/// every one of them to report home. Returns (distinct reporters,
+/// completed tours).
+fn drive_tour(
+    server: &ServerHandle,
+    owner: &mut Owner,
+    names: &[Urn],
+    agents: usize,
+) -> (usize, usize) {
+    let home = server.name().clone();
+    let tour = Itinerary::new(names[1..].iter().cloned());
+    for _ in 0..agents {
+        let agent = owner.next_agent_name("tourist");
+        let creds = owner.credentials(agent, home.clone(), Rights::all(), u64::MAX);
+        server.launch_tour(&tour, creds, tourist_image(&tour));
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut want = agents;
+    loop {
+        let reports = server.wait_reports(want, deadline.saturating_duration_since(Instant::now()));
+        let distinct: HashSet<_> = reports.iter().map(|r| r.agent.clone()).collect();
+        if distinct.len() >= agents || Instant::now() >= deadline {
+            let completed = reports
+                .iter()
+                .filter(|r| matches!(r.status, crate::messages::ReportStatus::Completed(_)))
+                .count();
+            return (distinct.len(), completed);
+        }
+        want = reports.len() + 1;
+    }
+}
+
+/// Waits until this process's reliable-send layer has drained and its
+/// journal has stopped recording spans (same discipline as the
+/// in-process trace-tour suite: the pending count alone can lie for a
+/// beat between an ack landing and its span being appended).
+fn quiesce(server: &ServerHandle, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let pending = server.pending_send_count();
+        let spans = server.journal().counter(Counter::SpansRecorded);
+        std::thread::sleep(Duration::from_millis(20));
+        let pending_after = server.pending_send_count();
+        let spans_after = server.journal().counter(Counter::SpansRecorded);
+        if (pending == 0 && pending_after == 0 && spans == spans_after)
+            || Instant::now() >= deadline
+        {
+            return;
+        }
+    }
+}
+
+/// Counts (agent, hop) pairs this server's journal admitted more than
+/// once — zero under the idempotent-admission invariant, no matter how
+/// many retry copies the sockets carried.
+fn duplicate_admissions(server: &ServerHandle) -> usize {
+    let mut seen = HashSet::new();
+    let mut dups = 0;
+    for record in server.journal().snapshot() {
+        if let Event::AgentAdmitted { agent, hop, .. } = record.event {
+            if !seen.insert((agent, hop)) {
+                dups += 1;
+            }
+        }
+    }
+    dups
+}
+
+/// Parent-side configuration for a cross-process smoke run.
+pub struct SmokeOpts {
+    /// Path to the `ajantad` binary to spawn.
+    pub bin: PathBuf,
+    /// Number of server processes (≥ 2: home plus at least one stop).
+    pub servers: usize,
+    /// The shared world seed.
+    pub seed: u64,
+    /// Number of touring agents.
+    pub agents: usize,
+    /// Injected frame loss on every process's send path.
+    pub loss: f64,
+    /// `true` for Unix-domain sockets, `false` for TCP on localhost.
+    pub uds: bool,
+    /// Scratch directory for socket paths and trace exports.
+    pub dir: PathBuf,
+    /// Hard deadline for the whole run; children are killed past it.
+    pub timeout: Duration,
+}
+
+/// What a cross-process smoke run proved.
+pub struct SmokeReport {
+    /// Agents launched.
+    pub agents: usize,
+    /// Distinct agents that reported home.
+    pub reported: usize,
+    /// Tours that completed cleanly (vs failed/refused).
+    pub completed: usize,
+    /// Total duplicate (agent, hop) admissions across all processes.
+    pub duplicate_admissions: usize,
+    /// Trace trees in the merged forest.
+    pub traces: usize,
+    /// Spans in the merged forest.
+    pub spans: usize,
+    /// Spans whose parent is missing from the merge.
+    pub orphans: usize,
+    /// The merged JSONL document itself (for artifact upload).
+    pub merged_jsonl: String,
+}
+
+/// Spawns `servers` child processes of `bin`, joins them into one world,
+/// drives the tour, and merges the per-process trace exports. Kills
+/// every child and errors if anything times out.
+pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
+    std::fs::create_dir_all(&opts.dir).map_err(|e| format!("mkdir {}: {e}", opts.dir.display()))?;
+    let deadline = Instant::now() + opts.timeout;
+
+    let mut children: Vec<Child> = Vec::new();
+    let mut stdins = Vec::new();
+    let trace_paths: Vec<PathBuf> = (0..opts.servers)
+        .map(|i| opts.dir.join(format!("trace-{i}.jsonl")))
+        .collect();
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, String)>();
+
+    let cleanup = |children: &mut Vec<Child>| {
+        for c in children.iter_mut() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    };
+
+    for (i, trace_path) in trace_paths.iter().enumerate() {
+        let addr = if opts.uds {
+            format!("uds:{}", opts.dir.join(format!("s{i}.sock")).display())
+        } else {
+            "tcp:127.0.0.1:0".to_string()
+        };
+        let spawned = Command::new(&opts.bin)
+            .arg("child")
+            .args(["--index", &i.to_string()])
+            .args(["--servers", &opts.servers.to_string()])
+            .args(["--seed", &format!("{:#x}", opts.seed)])
+            .args(["--addr", &addr])
+            .args(["--trace-out", &trace_path.display().to_string()])
+            .args(["--agents", &opts.agents.to_string()])
+            .args(["--loss", &opts.loss.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn();
+        let mut child = match spawned {
+            Ok(c) => c,
+            Err(e) => {
+                cleanup(&mut children);
+                return Err(format!("spawning {}: {e}", opts.bin.display()));
+            }
+        };
+        stdins.push(child.stdin.take().expect("piped stdin"));
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tx = tx.clone();
+        std::thread::Builder::new()
+            .name(format!("ajantad-out-{i}"))
+            .spawn(move || {
+                for line in BufReader::new(stdout).lines() {
+                    match line {
+                        Ok(l) => {
+                            if tx.send((i, l)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawning child reader");
+        children.push(child);
+    }
+    drop(tx);
+
+    // Phase 1: collect READY <addr> from every child.
+    let mut addrs: HashMap<usize, String> = HashMap::new();
+    while addrs.len() < opts.servers {
+        let (i, line) = match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+            Ok(m) => m,
+            Err(_) => {
+                cleanup(&mut children);
+                return Err("timed out waiting for children to bind".into());
+            }
+        };
+        match line.strip_prefix("READY ") {
+            Some(addr) => {
+                addrs.insert(i, addr.to_string());
+            }
+            None => {
+                cleanup(&mut children);
+                return Err(format!("child {i}: expected READY, got {line:?}"));
+            }
+        }
+    }
+
+    // Phase 2: cross-register routes, then start the tour.
+    let send_all = |msg: &str, stdins: &mut [std::process::ChildStdin]| -> Result<(), String> {
+        for (i, sin) in stdins.iter_mut().enumerate() {
+            writeln!(sin, "{msg}")
+                .and_then(|_| sin.flush())
+                .map_err(|e| format!("child {i} stdin: {e}"))?;
+        }
+        Ok(())
+    };
+    for (i, sin) in stdins.iter_mut().enumerate() {
+        for (j, addr) in &addrs {
+            if i != *j {
+                if let Err(e) = writeln!(sin, "PEER {j} {addr}") {
+                    cleanup(&mut children);
+                    return Err(format!("child {i} stdin: {e}"));
+                }
+            }
+        }
+    }
+    if let Err(e) = send_all("GO", &mut stdins) {
+        cleanup(&mut children);
+        return Err(e);
+    }
+
+    // Phase 3: wait for child 0's RESULT.
+    let (mut reported, mut completed) = (0usize, 0usize);
+    loop {
+        let (i, line) = match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+            Ok(m) => m,
+            Err(_) => {
+                cleanup(&mut children);
+                return Err("timed out waiting for the tour to resolve".into());
+            }
+        };
+        if i == 0 && line.starts_with("RESULT ") {
+            for word in line.split_whitespace().skip(1) {
+                if let Some(v) = word.strip_prefix("reported=") {
+                    reported = v.parse().unwrap_or(0);
+                } else if let Some(v) = word.strip_prefix("completed=") {
+                    completed = v.parse().unwrap_or(0);
+                }
+            }
+            break;
+        }
+    }
+
+    // Phase 4: quiesce every process and collect DONE + dup counts.
+    if let Err(e) = send_all("STOP", &mut stdins) {
+        cleanup(&mut children);
+        return Err(e);
+    }
+    let mut dups_total = 0usize;
+    let mut done: HashSet<usize> = HashSet::new();
+    while done.len() < opts.servers {
+        let (i, line) = match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+            Ok(m) => m,
+            Err(_) => {
+                cleanup(&mut children);
+                return Err("timed out waiting for children to quiesce".into());
+            }
+        };
+        if let Some(rest) = line.strip_prefix("DONE ") {
+            done.insert(i);
+            if let Some(v) = rest.trim().strip_prefix("dups=") {
+                dups_total += v.parse::<usize>().unwrap_or(0);
+            }
+        }
+    }
+
+    // Phase 5: clean exit.
+    let _ = send_all("EXIT", &mut stdins);
+    drop(stdins);
+    for (i, mut child) in children.into_iter().enumerate() {
+        while Instant::now() < deadline {
+            match child.try_wait() {
+                Ok(Some(status)) => {
+                    if !status.success() {
+                        return Err(format!("child {i} exited with {status}"));
+                    }
+                    break;
+                }
+                Ok(None) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => return Err(format!("waiting for child {i}: {e}")),
+            }
+        }
+        if child.try_wait().ok().flatten().is_none() {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(format!("child {i} never exited"));
+        }
+    }
+
+    // Phase 6: merge the per-process exports into one causal forest.
+    let mut merged = String::new();
+    for path in &trace_paths {
+        merged.push_str(
+            &std::fs::read_to_string(path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?,
+        );
+    }
+    let records = parse_jsonl(&merged).map_err(|e| format!("merged JSONL does not parse: {e}"))?;
+    let forest = TraceForest::build(records);
+
+    Ok(SmokeReport {
+        agents: opts.agents,
+        reported,
+        completed,
+        duplicate_admissions: dups_total,
+        traces: forest.traces.len(),
+        spans: forest.span_count(),
+        orphans: forest.orphan_count(),
+        merged_jsonl: merged,
+    })
+}

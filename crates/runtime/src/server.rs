@@ -29,7 +29,7 @@ use ajanta_core::{
 use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
 use ajanta_naming::Urn;
 use ajanta_net::secure::ChannelIdentity;
-use ajanta_net::{Delivery, Endpoint, ReplayGuard, SealedDatagram, SimNet};
+use ajanta_net::{Delivery, NetEndpoint, ReplayGuard, SealedDatagram, SimNet, Transport};
 use ajanta_vm::{
     AgentImage, ExecOutcome, Interpreter, Limits, Module, Namespace, SliceOutcome, Value,
     VerifiedModule,
@@ -333,7 +333,7 @@ pub struct Shared {
     keys: KeyPair,
     roots: RootOfTrust,
     directory: Directory,
-    net: SimNet,
+    net: Arc<dyn Transport>,
     monitor: HostMonitor,
     registry: ResourceRegistry,
     /// Internally sharded; every method takes `&self`, so agent worker
@@ -1258,11 +1258,22 @@ impl ServerHandle {
 pub struct AgentServer;
 
 impl AgentServer {
-    /// Starts a server thread attached to `net` and returns its handle.
+    /// Starts a server thread attached to the simulated network and
+    /// returns its handle. Convenience wrapper over [`Self::spawn_on`]
+    /// for the single-process worlds every experiment started from.
     ///
     /// # Panics
     /// Panics if the server name is already attached to the network.
     pub fn spawn(net: &SimNet, config: ServerConfig) -> ServerHandle {
+        Self::spawn_on(Arc::new(net.clone()), config)
+    }
+
+    /// Starts a server thread attached to any [`Transport`] — the
+    /// simulation or a real socket transport — and returns its handle.
+    ///
+    /// # Panics
+    /// Panics if the server name is already attached to the transport.
+    pub fn spawn_on(net: Arc<dyn Transport>, config: ServerConfig) -> ServerHandle {
         let endpoint = net
             .attach(config.name.clone())
             .expect("server name already attached");
@@ -1294,7 +1305,7 @@ impl AgentServer {
             keys: config.keys,
             roots: config.roots,
             directory: config.directory,
-            net: net.clone(),
+            net: Arc::clone(&net),
             monitor,
             registry: ResourceRegistry::new(),
             domains: DomainDatabase::new(),
@@ -1319,6 +1330,20 @@ impl AgentServer {
             seen: Mutex::new(SeenFrames::default()),
             next_report_seq: AtomicU64::new(1),
         });
+
+        // Transport-level frame rejections (undecodable bytes, failed
+        // handshakes, oversize lengths) land in the same journal as
+        // datagram-level ones. The simulation never produces any; a
+        // socket transport facing a hostile peer does.
+        {
+            let journal = Arc::clone(&shared.journal);
+            net.on_frame_reject(Arc::new(move |detail: &str| {
+                journal.append(Event::Rejected {
+                    kind: RejectKind::BadDatagram,
+                    detail: format!("transport: {detail}"),
+                });
+            }));
+        }
 
         let (ctrl_tx, ctrl_rx) = unbounded();
         let loop_shared = Arc::clone(&shared);
@@ -1349,7 +1374,7 @@ impl AgentServer {
     }
 }
 
-fn server_loop(shared: Arc<Shared>, endpoint: Endpoint, ctrl: Receiver<Control>) {
+fn server_loop(shared: Arc<Shared>, endpoint: Box<dyn NetEndpoint>, ctrl: Receiver<Control>) {
     // Admitted agents collected this tick; handed to the scheduler as
     // one batch so a delivery burst costs one queue wakeup, not N.
     let mut batch: Vec<Box<dyn Task>> = Vec::new();

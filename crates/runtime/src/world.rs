@@ -1,6 +1,8 @@
 //! One-call world construction for tests, examples and experiments: a
-//! certificate authority, a simulated network, N agent servers with
-//! published certificates, and owner principals.
+//! certificate authority, a network (simulated or real sockets), N
+//! agent servers with published certificates, and owner principals.
+
+use std::sync::Arc;
 
 use ajanta_core::{
     HistoPath, HistoSnapshot, PrincipalPattern, Rights, SecurityPolicy, UsageLimits,
@@ -9,7 +11,7 @@ use ajanta_crypto::cert::Certificate;
 use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
 use ajanta_naming::Urn;
 use ajanta_net::secure::ChannelIdentity;
-use ajanta_net::{LinkModel, SimNet};
+use ajanta_net::{Adversary, LinkModel, NetAddr, SimNet, SocketConfig, SocketTransport, Transport};
 use ajanta_vm::Limits;
 
 use crate::directory::Directory;
@@ -20,11 +22,26 @@ use crate::server::{AgentServer, RetryPolicy, ServerConfig, ServerHandle};
 /// Per-server policy factory: (server index, server name) → policy.
 type PolicyFactory = Box<dyn Fn(usize, &Urn) -> SecurityPolicy>;
 
+/// Which network a world's servers communicate over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// One in-process [`SimNet`] shared by every server (the default;
+    /// deterministic virtual time, link models, injectable adversaries).
+    #[default]
+    Sim,
+    /// Real TCP sockets on localhost: one [`SocketTransport`] per
+    /// server, ephemeral ports, routes cross-registered at build time.
+    Tcp,
+    /// Real Unix-domain sockets in the system temp directory.
+    Uds,
+}
+
 /// Builder for a [`World`].
 pub struct WorldBuilder {
     servers: usize,
     link: LinkModel,
     seed: u64,
+    transport: TransportMode,
     policy_fn: PolicyFactory,
     agent_limits: UsageLimits,
     vm_limits: Limits,
@@ -42,6 +59,7 @@ impl WorldBuilder {
             servers,
             link: LinkModel::default(),
             seed: 0x0A14_A17A,
+            transport: TransportMode::Sim,
             // Default policy: every authenticated principal may use every
             // resource — examples override with real policies; the
             // delegation intersection still applies.
@@ -94,6 +112,15 @@ impl WorldBuilder {
         self
     }
 
+    /// Selects the network the servers communicate over (default:
+    /// [`TransportMode::Sim`]). Socket modes give every server its own
+    /// transport with routes to all its peers; link models do not apply
+    /// (the real wire is the link).
+    pub fn transport(mut self, mode: TransportMode) -> Self {
+        self.transport = mode;
+        self
+    }
+
     /// Sets the deterministic seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -137,14 +164,18 @@ impl WorldBuilder {
     /// Builds and starts the world.
     pub fn build(self) -> World {
         let mut rng = DetRng::new(self.seed);
-        let net = SimNet::new(self.link, rng.next_u64());
+        // The net seed is always the first draw, whatever the transport
+        // mode, so identities (and everything minted after build) are
+        // identical across modes for the same world seed — the loopback
+        // equivalence tests rely on this.
+        let net_seed = rng.next_u64();
         let ca = KeyPair::generate(&mut rng);
         let mut roots = RootOfTrust::new();
         roots.trust("ca.world", ca.public);
         let directory = Directory::new();
         let sched = Scheduler::new(self.workers);
 
-        let mut servers = Vec::with_capacity(self.servers);
+        let mut configs = Vec::with_capacity(self.servers);
         let mut serial = 1;
         for i in 0..self.servers {
             let name = Urn::server(format!("site{i}.org"), ["s".to_string()])
@@ -166,7 +197,7 @@ impl WorldBuilder {
                 keys: keys.clone(),
                 chain: vec![cert],
             };
-            let config = ServerConfig {
+            configs.push(ServerConfig {
                 name: name.clone(),
                 identity,
                 keys,
@@ -181,17 +212,69 @@ impl WorldBuilder {
                 retry: self.retry.clone(),
                 seed: rng.next_u64(),
                 journal_capacity: self.journal_capacity,
-                scheduler: Some(std::sync::Arc::clone(&sched)),
-            };
-            servers.push(AgentServer::spawn(&net, config));
+                scheduler: Some(Arc::clone(&sched)),
+            });
         }
 
+        let mut servers = Vec::with_capacity(self.servers);
+        let transports: Vec<Arc<dyn Transport>> = match self.transport {
+            TransportMode::Sim => {
+                let net = SimNet::new(self.link, net_seed);
+                for config in configs {
+                    servers.push(AgentServer::spawn(&net, config));
+                }
+                vec![Arc::new(net)]
+            }
+            mode @ (TransportMode::Tcp | TransportMode::Uds) => {
+                // One transport (listener) per server. Socket seeds are
+                // derived from the net seed without consuming `rng`, so
+                // the rng stream stays mode-independent.
+                let names: Vec<Urn> = configs.iter().map(|c| c.name.clone()).collect();
+                let transports: Vec<Arc<SocketTransport>> = configs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, config)| {
+                        let addr = match mode {
+                            TransportMode::Tcp => "tcp:127.0.0.1:0".parse().unwrap(),
+                            _ => NetAddr::Uds(unique_uds_path(net_seed, i)),
+                        };
+                        let t = SocketTransport::bind(
+                            &addr,
+                            SocketConfig {
+                                identity: config.identity.clone(),
+                                roots: config.roots.clone(),
+                                seed: net_seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                            },
+                        )
+                        .expect("binding world socket transport");
+                        Arc::new(t)
+                    })
+                    .collect();
+                for (i, t) in transports.iter().enumerate() {
+                    for (j, peer) in transports.iter().enumerate() {
+                        if i != j {
+                            t.add_route(names[j].clone(), peer.local_addr());
+                        }
+                    }
+                }
+                for (config, t) in configs.into_iter().zip(&transports) {
+                    let net: Arc<dyn Transport> = Arc::clone(t) as Arc<dyn Transport>;
+                    servers.push(AgentServer::spawn_on(net, config));
+                }
+                transports
+                    .into_iter()
+                    .map(|t| t as Arc<dyn Transport>)
+                    .collect()
+            }
+        };
+
         World {
-            net,
+            net: Arc::clone(&transports[0]),
             directory,
             roots,
             ca,
             servers,
+            transports,
             sched,
             rng,
             owner_serial: serial,
@@ -199,10 +282,30 @@ impl WorldBuilder {
     }
 }
 
+/// A collision-free Unix-socket path in the temp directory: seed and
+/// server index make concurrent worlds in one process distinct; the pid
+/// and a process-wide counter make repeated builds (bench trials, test
+/// binaries sharing a machine) distinct.
+fn unique_uds_path(seed: u64, index: usize) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "ajanta-{:08x}-{}-{n}-{index}.sock",
+        seed as u32,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
 /// A running multi-server world.
 pub struct World {
-    /// The simulated network.
-    pub net: SimNet,
+    /// The network. In [`TransportMode::Sim`] this is the one shared
+    /// [`SimNet`]; in socket modes it is server 0's transport (use
+    /// [`World::transports`] or [`World::set_adversary`] to reach all
+    /// of them).
+    pub net: Arc<dyn Transport>,
     /// The shared certificate directory.
     pub directory: Directory,
     /// The trust roots every party uses.
@@ -210,6 +313,9 @@ pub struct World {
     ca: KeyPair,
     /// The running servers, in creation order.
     pub servers: Vec<ServerHandle>,
+    /// Every transport backing the world, in server order (one element
+    /// in sim mode).
+    transports: Vec<Arc<dyn Transport>>,
     /// The shared scheduler every server's agents execute on.
     sched: std::sync::Arc<Scheduler>,
     rng: DetRng,
@@ -304,14 +410,33 @@ impl World {
         &self.sched
     }
 
+    /// Every transport backing the world, in server order. Sim mode has
+    /// one; socket modes have one per server.
+    pub fn transports(&self) -> &[Arc<dyn Transport>] {
+        &self.transports
+    }
+
+    /// Installs (or clears) the network adversary on *every* transport
+    /// in the world — on the simulation that is the one shared net; on
+    /// socket worlds it reaches each server's send path.
+    pub fn set_adversary(&self, adversary: Option<Arc<dyn Adversary>>) {
+        for t in &self.transports {
+            t.set_adversary(adversary.clone());
+        }
+    }
+
     /// Shuts the world down: first the scheduler drains — every queued
     /// agent runs to completion while all server loops are still alive
     /// to admit onward hops and record reports — then each server loop
-    /// is stopped and joined.
+    /// is stopped and joined, and finally the transports release their
+    /// sockets and threads.
     pub fn shutdown(self) {
         self.sched.stop();
         for server in self.servers {
             server.shutdown();
+        }
+        for t in &self.transports {
+            t.shutdown();
         }
     }
 }

@@ -1,0 +1,71 @@
+//! The tentpole acceptance test run for real: a world spanning multiple
+//! OS processes joined over Unix-domain sockets, a 32-agent tour under
+//! 20% injected frame loss, and the per-process trace exports merged
+//! into one causal forest — 100% resolution, zero duplicate admissions,
+//! zero orphan spans.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ajanta_runtime::{run_parent, SmokeOpts};
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ajanta-xproc-{tag}-{}", std::process::id()))
+}
+
+#[cfg(unix)]
+#[test]
+fn three_process_world_survives_lossy_tour_over_uds() {
+    let dir = scratch("uds");
+    let report = run_parent(SmokeOpts {
+        bin: PathBuf::from(env!("CARGO_BIN_EXE_ajantad")),
+        servers: 3,
+        seed: 0xC055_10E5,
+        agents: 32,
+        loss: 0.20,
+        uds: true,
+        dir: dir.clone(),
+        timeout: Duration::from_secs(240),
+    })
+    .expect("cross-process run must resolve");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(report.reported, 32, "every agent must report home");
+    assert_eq!(
+        report.duplicate_admissions, 0,
+        "no process may admit the same (agent, hop) twice"
+    );
+    assert_eq!(report.traces, 32, "one merged trace tree per tour");
+    assert_eq!(
+        report.orphans, 0,
+        "every span must link to its root across process boundaries"
+    );
+    assert!(report.completed > 0, "some tours must complete cleanly");
+    assert!(
+        report.spans > 32 * 3,
+        "a 3-stop tour with retries journals many spans, got {}",
+        report.spans
+    );
+}
+
+#[test]
+fn multi_process_world_works_over_tcp_localhost() {
+    let dir = scratch("tcp");
+    let report = run_parent(SmokeOpts {
+        bin: PathBuf::from(env!("CARGO_BIN_EXE_ajantad")),
+        servers: 3,
+        seed: 0x7C9_0001,
+        agents: 12,
+        loss: 0.10,
+        uds: false,
+        dir: dir.clone(),
+        timeout: Duration::from_secs(240),
+    })
+    .expect("cross-process run must resolve");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(report.reported, 12);
+    assert_eq!(report.duplicate_admissions, 0);
+    assert_eq!(report.traces, 12);
+    assert_eq!(report.orphans, 0);
+}

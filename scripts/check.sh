@@ -20,11 +20,17 @@ run cargo build --release $OFFLINE
 run cargo test -q $OFFLINE
 run cargo clippy --all-targets $OFFLINE -- -D warnings
 
+# Cross-process smoke: three ajantad server processes over Unix-domain
+# sockets, a 32-agent tour at 20% injected loss, bounded by --timeout.
+# Writes the merged causal trace for CI to upload as an artifact.
+mkdir -p target/bench-artifacts
+run env AJANTA_SMOKE_TRACE=target/bench-artifacts/merged-trace.jsonl \
+    ./target/release/ajantad --smoke --timeout 240
+
 # Optional scheduler-capacity smoke (set CHECK_BENCH=1): X16 quick —
 # 10k resident agents at reduced iterations — with a JSON summary CI
 # uploads as an artifact.
 if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
-    mkdir -p target/bench-artifacts
     echo "+ X16_JSON=target/bench-artifacts/x16_sched.json cargo run --release $OFFLINE -p ajanta-bench --bin report -- x16 quick"
     X16_JSON=target/bench-artifacts/x16_sched.json \
         cargo run --release $OFFLINE -p ajanta-bench --bin report -- x16 quick
