@@ -184,4 +184,24 @@ fn main() {
         print!("{}", bench::x17_transport::table(agents, stops));
         println!();
     }
+    if wants("x18") {
+        // Wire data plane: 32-sender burst, coalesced vs one-frame-per-
+        // write baseline. `quick` is the CI smoke.
+        let (senders, per_sender) = if quick { (8, 64) } else { (32, 256) };
+        let rows = bench::x18_wirepath::run(senders, per_sender, 64);
+        print!(
+            "{}",
+            bench::x18_wirepath::table(&rows, senders, per_sender, 64)
+        );
+        println!();
+        // CI artifact: X18_JSON=<path> writes a machine-readable summary.
+        if let Ok(path) = std::env::var("X18_JSON") {
+            let json = bench::x18_wirepath::json_summary(&rows);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("x18: failed to write {path}: {e}");
+            } else {
+                eprintln!("x18: JSON summary written to {path}");
+            }
+        }
+    }
 }

@@ -1,0 +1,353 @@
+//! X18 — wire data plane: what batching the socket send path buys.
+//!
+//! A 32-sender burst pushes small frames from one [`SocketTransport`]
+//! to another over a real loopback connection, twice: once with the
+//! per-peer writer coalescing everything queued into one stream write
+//! per wakeup (the shipped path), and once with coalescing disabled so
+//! the writer drains exactly one frame per write — the one-syscall-
+//! per-frame cost model the pre-batching transport paid. Same frames,
+//! same sealing, same wire format; the only variable is how many
+//! syscalls (and seal-buffer round trips) carry them.
+//!
+//! Reported per row: wall time for the burst, frames/s, the write()
+//! count, and the mean frames-per-write the transport's own coalescing
+//! counters observed. All numbers are wall-clock and machine-dependent;
+//! the *ratio* between the coalesced and baseline rows is the result.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ajanta_crypto::cert::Certificate;
+use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
+use ajanta_naming::Urn;
+use ajanta_net::secure::ChannelIdentity;
+use ajanta_net::{NetAddr, SocketConfig, SocketTransport, Transport, TransportKind};
+
+/// One burst measurement over one transport in one writer mode.
+#[derive(Debug, Clone)]
+pub struct WirePathRow {
+    /// TCP loopback or Unix-domain.
+    pub kind: TransportKind,
+    /// Whether the writer coalesced (true) or ran the one-frame-per-
+    /// write baseline (false).
+    pub coalesced: bool,
+    /// Concurrent sender threads.
+    pub senders: usize,
+    /// Frames the burst sent.
+    pub frames_sent: u64,
+    /// Frames the far side received before the deadline.
+    pub frames_received: u64,
+    /// Wall time from first send to last receive, ns.
+    pub wall_ns: u64,
+    /// Stream writes the sending transport issued for the burst.
+    pub write_syscalls: u64,
+    /// Frames those writes carried in total.
+    pub frames_coalesced: u64,
+}
+
+impl WirePathRow {
+    /// Received frames per wall-clock second.
+    pub fn frames_per_s(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.frames_received as f64 / (self.wall_ns as f64 / 1e9)
+    }
+
+    /// Mean frames carried per stream write.
+    pub fn mean_frames_per_write(&self) -> f64 {
+        if self.write_syscalls == 0 {
+            return 0.0;
+        }
+        self.frames_coalesced as f64 / self.write_syscalls as f64
+    }
+}
+
+/// Mints certified channel identities off one deterministic CA, same
+/// shape as the runtime's world builder.
+struct Authority {
+    roots: RootOfTrust,
+    ca: KeyPair,
+    rng: DetRng,
+    serial: u64,
+}
+
+impl Authority {
+    fn new(seed: u64) -> Authority {
+        let mut rng = DetRng::new(seed);
+        let ca = KeyPair::generate(&mut rng);
+        let mut roots = RootOfTrust::new();
+        roots.trust("ca", ca.public);
+        Authority {
+            roots,
+            ca,
+            rng,
+            serial: 0,
+        }
+    }
+
+    fn bind(&mut self, name: &Urn, addr: &NetAddr) -> SocketTransport {
+        let keys = KeyPair::generate(&mut self.rng);
+        self.serial += 1;
+        let cert = Certificate::issue(
+            name.to_string(),
+            keys.public,
+            "ca",
+            &self.ca,
+            u64::MAX,
+            self.serial,
+            &mut self.rng,
+        );
+        let identity = ChannelIdentity {
+            name: name.clone(),
+            keys,
+            chain: vec![cert],
+        };
+        let seed = self.rng.next_u64();
+        SocketTransport::bind(
+            addr,
+            SocketConfig {
+                identity,
+                roots: self.roots.clone(),
+                seed,
+            },
+        )
+        .expect("bind")
+    }
+}
+
+fn listen_addr(kind: TransportKind, tag: &str) -> NetAddr {
+    match kind {
+        TransportKind::Tcp => "tcp:127.0.0.1:0".parse().unwrap(),
+        TransportKind::Uds => {
+            let path =
+                std::env::temp_dir().join(format!("ajanta-x18-{tag}-{}.sock", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            NetAddr::Uds(path)
+        }
+        TransportKind::Sim => unreachable!("x18 measures real sockets"),
+    }
+}
+
+/// One burst: `senders` threads each fire `per_sender` sealed frames of
+/// `payload_len` bytes at the far transport; the receiver drains until
+/// all arrive (or a generous deadline passes — the transport is lossy
+/// by contract, so the row records what actually landed).
+fn trial(
+    kind: TransportKind,
+    coalesced: bool,
+    senders: usize,
+    per_sender: u64,
+    payload_len: usize,
+) -> WirePathRow {
+    let mut auth = Authority::new(0x18_00 + kind as u64);
+    let a_name = Urn::server("x18-a.test", ["s"]).unwrap();
+    let b_name = Urn::server("x18-b.test", ["s"]).unwrap();
+    let ta = Arc::new(auth.bind(&a_name, &listen_addr(kind, "a")));
+    let tb = auth.bind(&b_name, &listen_addr(kind, "b"));
+    ta.add_route(b_name.clone(), tb.local_addr());
+    tb.add_route(a_name.clone(), ta.local_addr());
+    ta.set_coalescing(coalesced);
+    let eb = tb.attach(b_name.clone()).unwrap();
+
+    // Warm the connection: dial + handshake happen once, outside the
+    // timed region, exactly as a long-lived server pair would have them.
+    ta.send_as(&a_name, &b_name, vec![0u8; payload_len])
+        .unwrap();
+    eb.recv_timeout(Duration::from_secs(10)).expect("warmup");
+    ta.reset_stats();
+
+    let total = senders as u64 * per_sender;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..senders)
+        .map(|_| {
+            let ta = Arc::clone(&ta);
+            let (from, to) = (a_name.clone(), b_name.clone());
+            std::thread::spawn(move || {
+                for _ in 0..per_sender {
+                    ta.send_as(&from, &to, vec![7u8; payload_len]).unwrap();
+                }
+            })
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut received = 0u64;
+    while received < total {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            break;
+        }
+        match eb.recv_timeout(left.min(Duration::from_millis(500))) {
+            Ok(_) => received += 1,
+            Err(_) if Instant::now() >= deadline => break,
+            Err(_) => {}
+        }
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    for h in handles {
+        let _ = h.join();
+    }
+    let stats = ta.stats();
+    ta.shutdown();
+    tb.shutdown();
+
+    WirePathRow {
+        kind,
+        coalesced,
+        senders,
+        frames_sent: total,
+        frames_received: received,
+        wall_ns,
+        write_syscalls: stats.write_syscalls,
+        frames_coalesced: stats.frames_coalesced,
+    }
+}
+
+/// Runs the burst over TCP (and UDS where available), baseline first so
+/// each coalesced row has its comparison partner.
+pub fn run(senders: usize, per_sender: u64, payload_len: usize) -> Vec<WirePathRow> {
+    let kinds: &[TransportKind] = if cfg!(unix) {
+        &[TransportKind::Tcp, TransportKind::Uds]
+    } else {
+        &[TransportKind::Tcp]
+    };
+    let mut rows = Vec::new();
+    for &kind in kinds {
+        for coalesced in [false, true] {
+            rows.push(trial(kind, coalesced, senders, per_sender, payload_len));
+        }
+    }
+    rows
+}
+
+fn mode_label(coalesced: bool) -> &'static str {
+    if coalesced {
+        "coalesced"
+    } else {
+        "frame-per-write"
+    }
+}
+
+/// Renders the table; the speedup column divides each coalesced row's
+/// frames/s by its same-transport baseline row.
+pub fn table(rows: &[WirePathRow], senders: usize, per_sender: u64, payload_len: usize) -> String {
+    let baseline: std::collections::HashMap<&'static str, f64> = rows
+        .iter()
+        .filter(|r| !r.coalesced)
+        .map(|r| (r.kind.as_str(), r.frames_per_s()))
+        .collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let speedup = if r.coalesced {
+                match baseline.get(r.kind.as_str()) {
+                    Some(b) if *b > 0.0 => format!("{:.2}x", r.frames_per_s() / b),
+                    _ => "-".into(),
+                }
+            } else {
+                "1.00x".into()
+            };
+            vec![
+                r.kind.as_str().to_string(),
+                mode_label(r.coalesced).to_string(),
+                format!("{}/{}", r.frames_received, r.frames_sent),
+                crate::fmt_ns(r.wall_ns as f64),
+                format!("{:.0}", r.frames_per_s()),
+                r.write_syscalls.to_string(),
+                format!("{:.1}", r.mean_frames_per_write()),
+                speedup,
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &format!(
+            "X18 — wire data plane, {senders} senders × {per_sender} frames × \
+             {payload_len} B payload (wall time; ratio is the result)"
+        ),
+        &[
+            "transport",
+            "writer mode",
+            "received",
+            "burst wall",
+            "frames/s",
+            "writes",
+            "frames/write",
+            "speedup",
+        ],
+        &rendered,
+    )
+}
+
+/// Machine-readable summary for the CI artifact (`X18_JSON=<path>`).
+pub fn json_summary(rows: &[WirePathRow]) -> String {
+    let mut out = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"coalesced\": {}, \"senders\": {}, \
+             \"frames_sent\": {}, \"frames_received\": {}, \"wall_ms\": {:.3}, \
+             \"frames_per_s\": {:.1}, \"write_syscalls\": {}, \
+             \"mean_frames_per_write\": {:.2}}}{}\n",
+            r.kind.as_str(),
+            r.coalesced,
+            r.senders,
+            r.frames_sent,
+            r.frames_received,
+            r.wall_ns as f64 / 1e6,
+            r.frames_per_s(),
+            r.write_syscalls,
+            r.mean_frames_per_write(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Small burst, both writer modes: everything lands, the counters
+    /// account for every frame, and coalescing actually batches.
+    #[test]
+    fn burst_lands_and_counters_balance() {
+        for row in run(4, 16, 64) {
+            let label = format!("{} {}", row.kind.as_str(), mode_label(row.coalesced));
+            assert_eq!(
+                row.frames_received, row.frames_sent,
+                "{label}: frames lost on loopback"
+            );
+            assert!(row.write_syscalls > 0, "{label}: no writes observed");
+            assert_eq!(
+                row.frames_coalesced, row.frames_sent,
+                "{label}: coalescing counters missed frames"
+            );
+            if !row.coalesced {
+                // Baseline drains exactly one frame per write.
+                assert_eq!(
+                    row.write_syscalls, row.frames_sent,
+                    "{label}: baseline mode must pay one write per frame"
+                );
+            } else {
+                assert!(
+                    row.write_syscalls <= row.frames_sent,
+                    "{label}: coalesced mode issued more writes than frames"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_transports_reported() {
+        let rows = run(2, 4, 32);
+        let kinds: HashSet<&str> = rows.iter().map(|r| r.kind.as_str()).collect();
+        assert!(kinds.contains("tcp"));
+        if cfg!(unix) {
+            assert!(kinds.contains("uds"));
+        }
+        let json = json_summary(&rows);
+        assert!(json.contains("\"transport\": \"tcp\""));
+        assert!(json.contains("\"mean_frames_per_write\""));
+    }
+}

@@ -474,11 +474,13 @@ pub enum Counter {
     AgentsYielded,
     SlicesRun,
     Steals,
+    FramesCoalesced,
+    WriteSyscalls,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 24] = [
         Counter::EventsAppended,
         Counter::EventsDropped,
         Counter::AuditAllowed,
@@ -501,6 +503,8 @@ impl Counter {
         Counter::AgentsYielded,
         Counter::SlicesRun,
         Counter::Steals,
+        Counter::FramesCoalesced,
+        Counter::WriteSyscalls,
     ];
 
     /// The exported metric name.
@@ -528,6 +532,8 @@ impl Counter {
             Counter::AgentsYielded => "ajanta_agent_yields_total",
             Counter::SlicesRun => "ajanta_slices_total",
             Counter::Steals => "ajanta_sched_steals_total",
+            Counter::FramesCoalesced => "ajanta_frames_coalesced_total",
+            Counter::WriteSyscalls => "ajanta_write_syscalls_total",
         }
     }
 }
@@ -771,11 +777,14 @@ pub enum HistoPath {
     /// Time a ready task waited in a run-queue before a worker picked it
     /// up, real ns.
     ReadyDwell,
+    /// Frames carried by one coalesced socket write — a count, not a
+    /// duration (the one non-nanosecond path).
+    FramesPerWrite,
 }
 
 impl HistoPath {
     /// All paths, in snapshot order.
-    pub const ALL: [HistoPath; 7] = [
+    pub const ALL: [HistoPath; 8] = [
         HistoPath::ProxyCheck,
         HistoPath::Bind,
         HistoPath::TransferRtt,
@@ -783,9 +792,11 @@ impl HistoPath {
         HistoPath::HopLatency,
         HistoPath::SliceDuration,
         HistoPath::ReadyDwell,
+        HistoPath::FramesPerWrite,
     ];
 
-    /// The exported metric name (a nanosecond distribution).
+    /// The exported metric name (a nanosecond distribution, except
+    /// `FramesPerWrite`, which distributes a per-write frame count).
     pub fn name(self) -> &'static str {
         match self {
             HistoPath::ProxyCheck => "ajanta_proxy_check_ns",
@@ -795,6 +806,7 @@ impl HistoPath {
             HistoPath::HopLatency => "ajanta_hop_latency_ns",
             HistoPath::SliceDuration => "ajanta_slice_ns",
             HistoPath::ReadyDwell => "ajanta_ready_dwell_ns",
+            HistoPath::FramesPerWrite => "ajanta_frames_per_write",
         }
     }
 }

@@ -10,7 +10,24 @@ use crate::Urn;
 
 impl Wire for Urn {
     fn encode(&self, e: &mut Encoder) {
-        e.put_str(&self.to_string());
+        // The same bytes `put_str(&self.to_string())` would write, built
+        // without the intermediate String: the socket send path encodes
+        // two names per frame and must stay allocation-free at steady
+        // state (its encoder buffers are grow-only and reused).
+        let kind = self.kind().as_str();
+        let mut len = "ajn://".len() + self.authority().len() + 1 + kind.len();
+        for seg in self.path() {
+            len += 1 + seg.len();
+        }
+        e.put_varint(len as u64);
+        e.put_raw(b"ajn://");
+        e.put_raw(self.authority().as_bytes());
+        e.put_raw(b"/");
+        e.put_raw(kind.as_bytes());
+        for seg in self.path() {
+            e.put_raw(b"/");
+            e.put_raw(seg.as_bytes());
+        }
     }
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
@@ -34,6 +51,20 @@ mod tests {
         ] {
             let u: Urn = text.parse().unwrap();
             assert_eq!(Urn::from_bytes(&u.to_bytes()).unwrap(), u);
+        }
+    }
+
+    #[test]
+    fn encode_matches_the_text_form_byte_for_byte() {
+        for text in [
+            "ajn://umn.edu/agent/shopper/42",
+            "ajn://a.b.c/resource/x/y/z",
+            "ajn://x.org/owner/alice",
+        ] {
+            let u: Urn = text.parse().unwrap();
+            let mut via_string = Encoder::new();
+            via_string.put_str(&u.to_string());
+            assert_eq!(u.to_bytes(), via_string.finish(), "{text}");
         }
     }
 

@@ -54,4 +54,4 @@ pub use secure::{ChannelError, ChannelIdentity, PendingInitiation, SecureChannel
 pub use sim::{Delivery, Endpoint, NetError, NetStats, SimNet};
 pub use socket::{NetAddr, SocketConfig, SocketTransport};
 pub use time::{fmt_ns, VClock};
-pub use transport::{FrameRejectHook, NetEndpoint, Transport, TransportKind};
+pub use transport::{FrameRejectHook, NetEndpoint, Transport, TransportKind, WriteBatchHook};

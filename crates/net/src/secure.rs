@@ -31,7 +31,9 @@ use ajanta_crypto::modmath::pow_mod;
 use ajanta_crypto::sig::{self, KeyPair, Signature, G, P, Q};
 use ajanta_crypto::{DetRng, HmacSha256, RootOfTrust, Sha256};
 use ajanta_naming::Urn;
-use ajanta_wire::{decode_seq, encode_seq, Decoder, Encoder, Wire, WireError};
+use ajanta_wire::{
+    decode_seq, encode_seq, varint_len, write_varint, Decoder, Encoder, Wire, WireError, MAX_LEN,
+};
 
 /// What a party needs to authenticate itself.
 #[derive(Clone)]
@@ -356,28 +358,62 @@ impl SecureChannel {
         &self.peer
     }
 
+    /// Exact byte length `seal_into` will append for the *next* frame
+    /// carrying `plaintext_len` payload bytes: `dir(1) ‖ varint(seq) ‖
+    /// varint(len) ‖ ciphertext ‖ tag(32)`. Knowing this up front lets a
+    /// caller write the outer frame's length header before sealing, so
+    /// seal + frame is a single pass over one buffer.
+    pub fn sealed_len(&self, plaintext_len: usize) -> usize {
+        1 + varint_len(self.send_seq) + varint_len(plaintext_len as u64) + plaintext_len + 32
+    }
+
     /// Encrypt-and-MAC one payload into a frame.
     pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.sealed_len(plaintext.len()));
+        self.seal_into(plaintext, &mut out);
+        out
+    }
+
+    /// Encrypt-and-MAC one payload, appending the frame to `out`.
+    ///
+    /// Byte-identical to `seal`, but the ciphertext is produced in place
+    /// on `out`'s tail: no intermediate `Vec` per frame, and a reused
+    /// `out` amortises to zero allocations on the steady-state send path.
+    pub fn seal_into(&mut self, plaintext: &[u8], out: &mut Vec<u8>) {
+        out.reserve(self.sealed_len(plaintext.len()));
         let seq = self.send_seq;
         self.send_seq += 1;
-        let mut ciphertext = plaintext.to_vec();
-        apply_keystream(&self.k_enc, self.dir, seq, &mut ciphertext);
-        let tag = frame_mac(&self.k_mac, self.dir, seq, &ciphertext);
-
-        let mut e = Encoder::with_capacity(ciphertext.len() + 48);
-        e.put_u8(self.dir);
-        e.put_varint(seq);
-        e.put_bytes(&ciphertext);
-        e.put_raw(&tag);
-        e.finish()
+        out.push(self.dir);
+        write_varint(out, seq);
+        write_varint(out, plaintext.len() as u64);
+        let ct_start = out.len();
+        out.extend_from_slice(plaintext);
+        apply_keystream(&self.k_enc, self.dir, seq, &mut out[ct_start..]);
+        let tag = frame_mac(&self.k_mac, self.dir, seq, &out[ct_start..]);
+        out.extend_from_slice(&tag);
     }
 
     /// Verify-and-decrypt one frame from the peer.
     pub fn open(&mut self, frame: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        let mut out = Vec::new();
+        self.open_into(frame, &mut out)?;
+        Ok(out)
+    }
+
+    /// Verify-and-decrypt one frame, appending the plaintext to `out`.
+    ///
+    /// `out` is untouched unless the frame authenticates and carries the
+    /// expected sequence number; a reused `out` gives the receive path
+    /// the same zero-allocation steady state as `seal_into`.
+    pub fn open_into(&mut self, frame: &[u8], out: &mut Vec<u8>) -> Result<(), ChannelError> {
         let mut d = Decoder::new(frame);
         let dir = d.get_u8()?;
         let seq = d.get_varint()?;
-        let ciphertext = d.get_bytes()?;
+        let ct_len = d.get_varint()?;
+        if ct_len > MAX_LEN {
+            return Err(ChannelError::Malformed(WireError::TooLong(ct_len)));
+        }
+        let ciphertext = d.get_raw(ct_len as usize)?;
         let tag: [u8; 32] = d
             .get_raw(32)?
             .try_into()
@@ -387,7 +423,7 @@ impl SecureChannel {
         if dir == self.dir {
             return Err(ChannelError::Reflected);
         }
-        let expected_tag = frame_mac(&self.k_mac, dir, seq, &ciphertext);
+        let expected_tag = frame_mac(&self.k_mac, dir, seq, ciphertext);
         // Non-short-circuit comparison, consistent with HmacSha256::verify.
         let mut diff = 0u8;
         for (a, b) in expected_tag.iter().zip(tag.iter()) {
@@ -408,9 +444,10 @@ impl SecureChannel {
             }),
             std::cmp::Ordering::Equal => {
                 self.recv_seq += 1;
-                let mut plaintext = ciphertext;
-                apply_keystream(&self.k_enc, dir, seq, &mut plaintext);
-                Ok(plaintext)
+                let pt_start = out.len();
+                out.extend_from_slice(ciphertext);
+                apply_keystream(&self.k_enc, dir, seq, &mut out[pt_start..]);
+                Ok(())
             }
         }
     }
@@ -585,6 +622,78 @@ mod tests {
         }
         assert_eq!(a.frames_sent(), 10);
         assert_eq!(a.frames_received(), 10);
+    }
+
+    fn clone_chan(c: &SecureChannel) -> SecureChannel {
+        SecureChannel {
+            peer: c.peer.clone(),
+            k_enc: c.k_enc,
+            k_mac: c.k_mac,
+            dir: c.dir,
+            send_seq: c.send_seq,
+            recv_seq: c.recv_seq,
+        }
+    }
+
+    #[test]
+    fn seal_into_is_byte_identical_to_seal_and_reuses_the_buffer() {
+        let mut w = world();
+        let (a, mut b) = establish(&mut w);
+        let mut via_seal = clone_chan(&a);
+        let mut via_into = clone_chan(&a);
+        // Push the sequence number across a varint width boundary too.
+        via_seal.send_seq = 126;
+        via_into.send_seq = 126;
+        b.recv_seq = 126;
+
+        let mut out = Vec::new();
+        for len in [0usize, 1, 31, 32, 33, 100, 1000] {
+            let payload = vec![0xA5u8; len];
+            let expect = via_seal.seal(&payload);
+            out.clear();
+            let cap_before = out.capacity();
+            via_into.seal_into(&payload, &mut out);
+            assert_eq!(out, expect, "len {len}");
+            if cap_before >= out.len() {
+                assert_eq!(out.capacity(), cap_before, "no realloc for len {len}");
+            }
+            assert_eq!(b.open(&out).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn sealed_len_predicts_exact_frame_length() {
+        let mut w = world();
+        let (mut a, _b) = establish(&mut w);
+        for seq in [0u64, 1, 127, 128, 16_383, 16_384] {
+            a.send_seq = seq;
+            for len in [0usize, 5, 127, 128, 4096] {
+                let predicted = a.sealed_len(len);
+                let frame = a.seal(&vec![7u8; len]);
+                assert_eq!(frame.len(), predicted, "seq {seq} len {len}");
+                a.send_seq = seq; // rewind for the next payload size
+            }
+        }
+    }
+
+    #[test]
+    fn open_into_appends_after_existing_bytes_and_skips_output_on_error() {
+        let mut w = world();
+        let (mut a, mut b) = establish(&mut w);
+        let frame = a.seal(b"payload");
+        let mut tampered = frame.clone();
+        *tampered.last_mut().unwrap() ^= 1;
+
+        let mut out = b"prefix:".to_vec();
+        let mut b_probe = clone_chan(&b);
+        assert_eq!(
+            b_probe.open_into(&tampered, &mut out),
+            Err(ChannelError::BadMac)
+        );
+        assert_eq!(out, b"prefix:", "failed open must not touch the buffer");
+
+        b.open_into(&frame, &mut out).unwrap();
+        assert_eq!(out, b"prefix:payload");
     }
 
     #[test]

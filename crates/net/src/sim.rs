@@ -76,6 +76,11 @@ pub struct NetStats {
     pub bytes_sent: u64,
     /// Payload bytes delivered.
     pub bytes_delivered: u64,
+    /// Frames pushed through coalesced socket writes (SimNet has no
+    /// write path, so this stays 0 on the simulated transport).
+    pub frames_coalesced: u64,
+    /// Actual `write` calls issued on socket streams (0 on SimNet).
+    pub write_syscalls: u64,
 }
 
 struct Inner {

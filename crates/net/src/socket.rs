@@ -4,7 +4,8 @@
 //! Layering, bottom to top:
 //!
 //! 1. **Stream** — a TCP or Unix-domain byte pipe. One connection per
-//!    (dialer, peer) pair, cached and redialed on failure.
+//!    (dialer, peer) pair, owned by that peer's writer thread and
+//!    redialed on failure.
 //! 2. **Frames** — [`crate::frame`] varint length framing cuts the pipe
 //!    back into discrete records; malformed prefixes surface as typed
 //!    errors and close the connection, never panic.
@@ -26,6 +27,18 @@
 //! *stale* timestamps, so a receiver whose clock trails a sender's by
 //! a tick never false-positives.)
 //!
+//! **The outbound data plane is batched.** `send_as` never touches a
+//! socket: it encodes the frame body into the destination peer's
+//! outbound lane (pooled, grow-only buffers — zero heap allocation at
+//! steady state) and wakes that peer's writer thread. The writer seals
+//! everything queued since its last wakeup — each frame's varint
+//! length header is written up front from [`SecureChannel::sealed_len`],
+//! so encode → seal → frame is one pass over one buffer — and pushes
+//! the whole batch through a single `write_all`. A burst of N frames
+//! costs one syscall instead of N; the frames-per-write distribution is
+//! observable via [`Transport::on_write_batch`] and the
+//! `frames_coalesced` / `write_syscalls` counters in [`NetStats`].
+//!
 //! What the simulation models that a real wire cannot: [`LinkModel`]
 //! latency/loss shaping (`set_link` is a no-op here — the wire is its
 //! own link model) and adversaries between hosts. The [`Adversary`]
@@ -45,21 +58,24 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use ajanta_crypto::{DetRng, RootOfTrust};
 use ajanta_naming::Urn;
-use ajanta_wire::Wire;
+use ajanta_wire::{write_varint, Decoder, Wire};
 
 use crate::adversary::{Adversary, TransitAction};
-use crate::frame::{encode_frame, ChannelFrame, FrameBuffer};
+use crate::frame::{encode_channel_frame_into, encode_frame, ChannelFrame, FrameBuffer};
 use crate::secure::{ChannelIdentity, SecureChannel};
 use crate::sim::{Delivery, NetError, NetStats};
 use crate::time::VClock;
-use crate::transport::{FrameRejectHook, NetEndpoint, Transport, TransportKind};
+use crate::transport::{FrameRejectHook, NetEndpoint, Transport, TransportKind, WriteBatchHook};
 
-/// Clock-ticker cadence.
+/// Clock-ticker cadence while traffic is flowing.
 const TICK: Duration = Duration::from_millis(1);
+/// Parked ticker / idle writer backstop wakeup, bounding how stale the
+/// stop flag can go unnoticed.
+const PARK_BACKSTOP: Duration = Duration::from_millis(250);
 /// Blocked reads wake this often to check for shutdown.
 const READ_POLL: Duration = Duration::from_millis(100);
 /// Bound on waiting for a handshake message.
@@ -253,24 +269,88 @@ impl Drop for Listener {
 }
 
 // ---------------------------------------------------------------------------
-// Connections
+// The outbound data plane
 // ---------------------------------------------------------------------------
 
-/// The write side of one established connection: the send half of the
-/// secure channel and the stream under one lock, so seal order equals
-/// write order.
-struct ConnTx {
-    chan: SecureChannel,
-    stream: Stream,
+/// Lock-free traffic counters, bumped on every frame. A `Mutex<NetStats>`
+/// here would be taken once per frame on the hottest path in the
+/// transport; plain relaxed atomics make the accounting free.
+#[derive(Default)]
+struct TransportStats {
+    messages_delivered: AtomicU64,
+    messages_dropped: AtomicU64,
+    messages_injected: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_delivered: AtomicU64,
+    frames_coalesced: AtomicU64,
+    write_syscalls: AtomicU64,
 }
 
-struct Conn {
-    /// Cache generation, so a dead reader only evicts *its own*
-    /// connection from the cache, never a redialed successor.
-    generation: u64,
-    tx: Mutex<ConnTx>,
-    /// Clone kept aside purely to shut the connection down.
+impl TransportStats {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
+            messages_dropped: self.messages_dropped.load(Ordering::Relaxed),
+            messages_injected: self.messages_injected.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_delivered: self.bytes_delivered.load(Ordering::Relaxed),
+            frames_coalesced: self.frames_coalesced.load(Ordering::Relaxed),
+            write_syscalls: self.write_syscalls.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.messages_delivered.store(0, Ordering::Relaxed);
+        self.messages_dropped.store(0, Ordering::Relaxed);
+        self.messages_injected.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_delivered.store(0, Ordering::Relaxed);
+        self.frames_coalesced.store(0, Ordering::Relaxed);
+        self.write_syscalls.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Pending outbound traffic for one peer: `varint-length ‖ plaintext
+/// channel-frame body` records appended by senders, drained in order by
+/// the peer's writer thread. Bodies stay plaintext in the queue so a
+/// redial can re-seal them on the fresh session — sealed bytes are
+/// bound to one channel's keys and sequence space.
+#[derive(Default)]
+struct PeerTx {
+    queue: Vec<u8>,
+    frames: u64,
+    /// Scratch for one encoded body (reused per enqueue, grow-only).
+    scratch: Vec<u8>,
+    /// Set when the writer has exited; late enqueues error instead of
+    /// parking bytes nobody will ever drain.
+    closed: bool,
+}
+
+/// One peer's outbound lane: the queue plus the condvar its writer
+/// thread parks on. Created on first send to the peer, lives for the
+/// transport's lifetime (connections come and go underneath it).
+struct PeerLink {
+    peer: Urn,
+    tx: Mutex<PeerTx>,
+    wake: Condvar,
+}
+
+/// What the transport keeps about a writer's established connection —
+/// enough for `drop_connections` to kill it from outside.
+struct ConnHandle {
+    dead: Arc<AtomicBool>,
     raw: Stream,
+}
+
+/// The writer thread's view of its established connection.
+struct WriterConn {
+    /// Send half of the secure channel (the recv half lives on the
+    /// connection's reader thread).
+    chan: SecureChannel,
+    stream: Stream,
+    /// Set by the reader thread on EOF/error, by `drop_connections`,
+    /// or by the writer itself on a failed write.
+    dead: Arc<AtomicBool>,
 }
 
 // ---------------------------------------------------------------------------
@@ -297,15 +377,24 @@ struct SockInner {
     local: NetAddr,
     endpoints: Mutex<BTreeMap<Urn, Sender<Delivery>>>,
     routes: Mutex<BTreeMap<Urn, NetAddr>>,
-    conns: Mutex<BTreeMap<Urn, Arc<Conn>>>,
-    generation: AtomicU64,
+    /// Per-peer outbound lanes (queue + writer thread), keyed by peer.
+    links: Mutex<BTreeMap<Urn, Arc<PeerLink>>>,
+    /// Established outbound connections, for `drop_connections`.
+    conns: Mutex<BTreeMap<Urn, ConnHandle>>,
     adversary: Mutex<Option<Arc<dyn Adversary>>>,
-    stats: Mutex<NetStats>,
+    stats: TransportStats,
     reject: Mutex<Option<FrameRejectHook>>,
+    write_hook: Mutex<Option<WriteBatchHook>>,
+    /// `false` switches writers to one-frame-per-write — the pre-batching
+    /// wire path, kept as the X18 bench baseline.
+    coalesce: AtomicBool,
     stop: AtomicBool,
-    /// Stream clones shut down at transport shutdown to unblock
-    /// reader threads immediately.
-    live: Mutex<Vec<Stream>>,
+    /// Bumped by every send/receive; the ticker parks when it stops
+    /// moving instead of spinning the clock forward for nobody.
+    activity: AtomicU64,
+    ticker_parked: AtomicBool,
+    tick_lock: Mutex<()>,
+    tick_cv: Condvar,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
@@ -313,17 +402,47 @@ impl SockInner {
     /// Counts and reports an inbound frame that never became a
     /// [`Delivery`].
     fn reject_frame(&self, reason: &str) {
-        self.stats.lock().messages_dropped += 1;
+        self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
         let hook = self.reject.lock().clone();
         if let Some(hook) = hook {
             hook(reason);
         }
     }
 
-    /// Advances the clock to the wall instant and returns it.
+    /// Reports one coalesced write of `frames` frames to the installed
+    /// observer (if any) and the atomic counters.
+    fn record_write_batch(&self, frames: u64) {
+        self.stats.write_syscalls.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .frames_coalesced
+            .fetch_add(frames, Ordering::Relaxed);
+        let hook = self.write_hook.lock().clone();
+        if let Some(hook) = hook {
+            hook(frames);
+        }
+    }
+
+    /// Advances the clock to the wall instant and returns it. Also
+    /// marks the transport active, unparking the ticker if it idled.
     fn touch_clock(&self) -> u64 {
         self.clock.advance_to(wall_now_ns());
+        self.activity.fetch_add(1, Ordering::Release);
+        if self.ticker_parked.load(Ordering::Acquire) {
+            // Notify under the ticker's lock so the wakeup can't slip
+            // between its activity re-check and its wait.
+            let _guard = self.tick_lock.lock();
+            self.tick_cv.notify_all();
+        }
         self.clock.now()
+    }
+
+    /// Tracks a spawned thread for join-at-shutdown, reaping handles of
+    /// threads that already finished so connection churn cannot grow
+    /// the list without bound.
+    fn track_thread(&self, handle: std::thread::JoinHandle<()>) {
+        let mut threads = self.threads.lock();
+        threads.retain(|h| !h.is_finished());
+        threads.push(handle);
     }
 
     /// Delivers one decoded channel frame to its local endpoint.
@@ -333,50 +452,55 @@ impl SockInner {
             Some(tx) => {
                 let arrival_ns = self.touch_clock();
                 let size = frame.payload.len() as u64;
-                let mut stats = self.stats.lock();
+                // Count before the handoff so a receiver that already
+                // holds the delivery never reads a stale counter; the
+                // rare failed send undoes it.
+                self.stats
+                    .messages_delivered
+                    .fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .bytes_delivered
+                    .fetch_add(size, Ordering::Relaxed);
                 if tx
                     .send(Delivery {
                         from: frame.from,
                         arrival_ns,
                         payload: frame.payload,
                     })
-                    .is_ok()
+                    .is_err()
                 {
-                    stats.messages_delivered += 1;
-                    stats.bytes_delivered += size;
-                } else {
-                    stats.messages_dropped += 1;
+                    self.stats
+                        .messages_delivered
+                        .fetch_sub(1, Ordering::Relaxed);
+                    self.stats
+                        .bytes_delivered
+                        .fetch_sub(size, Ordering::Relaxed);
+                    self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
                 }
             }
             None => self.reject_frame(&format!("no local endpoint {}", frame.to)),
         }
     }
 
-    /// Registers a stream clone for shutdown and reports whether the
-    /// transport is still running.
-    fn register_live(&self, stream: &Stream) -> bool {
-        if let Ok(clone) = stream.try_clone() {
-            self.live.lock().push(clone);
-        }
-        if self.stop.load(Ordering::Acquire) {
-            stream.shutdown();
-            return false;
-        }
-        true
-    }
-
-    /// Dials `peer` at `addr`, runs the handshake as initiator, spawns
-    /// the connection's reader thread.
-    fn dial(self: &Arc<Self>, peer: &Urn, addr: &NetAddr) -> Result<Arc<Conn>, NetError> {
+    /// Dials `peer` through the route table, runs the handshake as
+    /// initiator, and spawns the connection's reader thread. Called
+    /// only from the peer's writer thread.
+    fn connect(self: &Arc<Self>, peer: &Urn) -> Result<WriterConn, NetError> {
+        let addr = self
+            .routes
+            .lock()
+            .get(peer)
+            .cloned()
+            .ok_or_else(|| NetError::UnknownEndpoint(peer.clone()))?;
         let io = |e: std::io::Error| NetError::Io(format!("dial {addr}: {e}"));
-        let mut stream = Stream::connect(addr).map_err(io)?;
+        let mut stream = Stream::connect(&addr).map_err(io)?;
 
         let (hello, pending) = {
             let mut rng = self.rng.lock();
             SecureChannel::initiate(&self.identity, peer, &mut rng)
         };
         stream.write_all(&encode_frame(&hello)).map_err(io)?;
-        let ack = read_one_frame(&mut stream, HANDSHAKE_TIMEOUT)
+        let ack = read_one_frame(self, &mut stream, HANDSHAKE_TIMEOUT)
             .map_err(|e| NetError::Io(format!("handshake with {peer}: {e}")))?;
         let chan = pending
             .finish(&self.roots, &ack, self.touch_clock())
@@ -385,140 +509,256 @@ impl SockInner {
 
         let reader = stream.try_clone().map_err(io)?;
         let raw = stream.try_clone().map_err(io)?;
-        let generation = self.generation.fetch_add(1, Ordering::Relaxed);
-        let conn = Arc::new(Conn {
-            generation,
-            tx: Mutex::new(ConnTx {
-                chan: send_half,
-                stream,
-            }),
-            raw,
-        });
-        if !self.register_live(&reader) {
+        let dead = Arc::new(AtomicBool::new(false));
+        if self.stop.load(Ordering::Acquire) {
+            stream.shutdown();
             return Err(NetError::Disconnected);
         }
         let inner = Arc::clone(self);
-        let key = peer.clone();
+        let reader_dead = Arc::clone(&dead);
         let handle = std::thread::Builder::new()
             .name("ajanta-conn".into())
-            .spawn(move || reader_loop(inner, reader, recv_half, Some((key, generation))))
+            .spawn(move || reader_loop(inner, reader, recv_half, Some(reader_dead)))
             .expect("spawn reader thread");
-        self.threads.lock().push(handle);
-        Ok(conn)
+        self.track_thread(handle);
+        self.conns.lock().insert(
+            peer.clone(),
+            ConnHandle {
+                dead: Arc::clone(&dead),
+                raw,
+            },
+        );
+        Ok(WriterConn {
+            chan: send_half,
+            stream,
+            dead,
+        })
     }
 
-    fn cached_or_dial(self: &Arc<Self>, peer: &Urn, addr: &NetAddr) -> Result<Arc<Conn>, NetError> {
-        if let Some(conn) = self.conns.lock().get(peer) {
-            return Ok(Arc::clone(conn));
+    /// The outbound lane for `peer`, creating it (and its writer
+    /// thread) on first use.
+    fn link_for(self: &Arc<Self>, peer: &Urn) -> Arc<PeerLink> {
+        let mut links = self.links.lock();
+        if let Some(link) = links.get(peer) {
+            return Arc::clone(link);
         }
-        let conn = self.dial(peer, addr)?;
-        let mut conns = self.conns.lock();
-        if let Some(existing) = conns.get(peer) {
-            // A concurrent dial won the race; keep the first connection.
-            let existing = Arc::clone(existing);
-            drop(conns);
-            conn.raw.shutdown();
-            return Ok(existing);
-        }
-        conns.insert(peer.clone(), Arc::clone(&conn));
-        Ok(conn)
+        let link = Arc::new(PeerLink {
+            peer: peer.clone(),
+            tx: Mutex::new(PeerTx::default()),
+            wake: Condvar::new(),
+        });
+        links.insert(peer.clone(), Arc::clone(&link));
+        drop(links);
+        let inner = Arc::clone(self);
+        let writer_link = Arc::clone(&link);
+        let handle = std::thread::Builder::new()
+            .name("ajanta-writer".into())
+            .spawn(move || writer_loop(inner, writer_link))
+            .expect("spawn writer thread");
+        self.track_thread(handle);
+        link
     }
 
-    /// Seals and writes one channel frame to `peer`, redialing once if
-    /// the cached connection's write fails (reconnect-on-drop).
-    fn send_framed(
+    /// Queues one frame body on `to`'s outbound lane. The sender never
+    /// touches the socket: it encodes the body into the lane's pooled
+    /// buffers (zero heap allocation at steady state) and wakes the
+    /// writer, which seals and coalesces everything queued into one
+    /// stream write.
+    fn enqueue_remote(
         self: &Arc<Self>,
-        peer: &Urn,
-        addr: &NetAddr,
-        frame: &ChannelFrame,
+        from: &Urn,
+        to: &Urn,
+        payload: &[u8],
     ) -> Result<(), NetError> {
-        let bytes = frame.to_bytes();
-        let mut last_err = None;
-        for _ in 0..2 {
-            let conn = self.cached_or_dial(peer, addr)?;
-            let mut tx = conn.tx.lock();
-            let sealed = tx.chan.seal(&bytes);
-            match tx.stream.write_all(&encode_frame(&sealed)) {
-                Ok(()) => return Ok(()),
-                Err(e) => {
-                    drop(tx);
-                    self.evict(peer, conn.generation);
-                    conn.raw.shutdown();
-                    last_err = Some(NetError::Io(format!("write to {peer}: {e}")));
-                }
-            }
+        if !self.routes.lock().contains_key(to) {
+            return Err(NetError::UnknownEndpoint(to.clone()));
         }
-        Err(last_err.expect("loop ran"))
+        let link = self.link_for(to);
+        let mut tx = link.tx.lock();
+        if tx.closed {
+            return Err(NetError::Disconnected);
+        }
+        let PeerTx {
+            queue,
+            frames,
+            scratch,
+            ..
+        } = &mut *tx;
+        scratch.clear();
+        encode_channel_frame_into(from, to, payload, scratch);
+        write_varint(queue, scratch.len() as u64);
+        queue.extend_from_slice(scratch);
+        *frames += 1;
+        drop(tx);
+        link.wake.notify_one();
+        Ok(())
     }
 
-    /// Removes the cached connection for `peer` — but only the given
-    /// generation, so a reconnect is never evicted by its predecessor's
-    /// late death.
-    fn evict(&self, peer: &Urn, generation: u64) {
-        let mut conns = self.conns.lock();
-        if conns.get(peer).is_some_and(|c| c.generation == generation) {
-            conns.remove(peer);
+    /// Routes one frame: local endpoints short-circuit in-process,
+    /// everything else goes through the peer's outbound lane.
+    fn dispatch(self: &Arc<Self>, from: &Urn, to: &Urn, payload: Vec<u8>) -> Result<(), NetError> {
+        if self.endpoints.lock().contains_key(to) {
+            self.route(ChannelFrame {
+                from: from.clone(),
+                to: to.clone(),
+                payload,
+            });
+            return Ok(());
         }
+        self.enqueue_remote(from, to, &payload)
     }
 
-    /// Full send path: stats, adversary, local short-circuit, framed
-    /// socket delivery. Mirrors `SimNet::transmit` stage for stage.
+    /// Full send path: stats, adversary, local short-circuit, lane
+    /// enqueue. Mirrors `SimNet::transmit` stage for stage.
     fn send_as(self: &Arc<Self>, from: &Urn, to: &Urn, payload: Vec<u8>) -> Result<(), NetError> {
         if self.stop.load(Ordering::Acquire) {
             return Err(NetError::Disconnected);
         }
-        self.stats.lock().bytes_sent += payload.len() as u64;
+        self.stats
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
         self.touch_clock();
 
         // The adversary sits on the (conceptual) wire, before sealing —
         // the same position it occupies on the simulation.
         let adversary = self.adversary.lock().clone();
-        let mut to_deliver: Vec<(Urn, Vec<u8>)> = Vec::with_capacity(1);
         match adversary.as_ref().map(|a| a.on_transit(from, to, &payload)) {
-            None | Some(TransitAction::Pass) => to_deliver.push((from.clone(), payload)),
-            Some(TransitAction::Tamper(modified)) => to_deliver.push((from.clone(), modified)),
+            None | Some(TransitAction::Pass) => self.dispatch(from, to, payload),
+            Some(TransitAction::Tamper(modified)) => self.dispatch(from, to, modified),
             Some(TransitAction::Drop) => {
-                self.stats.lock().messages_dropped += 1;
-                return Ok(()); // silently lost, as on a real network
+                self.stats.messages_dropped.fetch_add(1, Ordering::Relaxed);
+                Ok(()) // silently lost, as on a real network
             }
             Some(TransitAction::InjectAfter(extra)) => {
-                to_deliver.push((from.clone(), payload));
-                self.stats.lock().messages_injected += extra.len() as u64;
-                to_deliver.extend(extra);
+                self.stats
+                    .messages_injected
+                    .fetch_add(extra.len() as u64, Ordering::Relaxed);
+                let sent = self.dispatch(from, to, payload);
+                for (claimed_from, bytes) in extra {
+                    // Injected frames share the primary's route; their
+                    // failures surface identically, so the primary's
+                    // result is the one reported.
+                    let _ = self.dispatch(&claimed_from, to, bytes);
+                }
+                sent
+            }
+        }
+    }
+}
+
+/// Splits the next `varint-length ‖ body` record off a lane queue. The
+/// queue format is produced solely by `enqueue_remote`, so a malformed
+/// record is a bug, not input.
+fn split_next_body(buf: &[u8]) -> (&[u8], &[u8]) {
+    let mut d = Decoder::new(buf);
+    let len = d.get_varint().expect("lane queue varint") as usize;
+    let consumed = buf.len() - d.remaining();
+    (&buf[consumed..consumed + len], &buf[consumed + len..])
+}
+
+/// Drains one peer's outbound lane: waits for queued frame bodies,
+/// seals each on the connection's channel with the outer frame header
+/// written up front (one pass, no copies), and pushes the whole batch
+/// through a single `write_all`. Owns the connection lifecycle — dials
+/// lazily, redials once per batch on a failed write and re-seals on
+/// the fresh session (reconnect-on-drop); a batch that still cannot be
+/// written counts as dropped datagrams, which the runtime's ack/retry
+/// layer recovers.
+fn writer_loop(inner: Arc<SockInner>, link: Arc<PeerLink>) {
+    let mut conn: Option<WriterConn> = None;
+    // Swapped-in queue of length-prefixed plaintext bodies.
+    let mut pending: Vec<u8> = Vec::new();
+    let mut pending_frames: u64 = 0;
+    // Sealed-and-framed bytes for one coalesced write.
+    let mut out: Vec<u8> = Vec::new();
+
+    loop {
+        // Pull the next batch (or a single frame in baseline mode).
+        {
+            let mut tx = link.tx.lock();
+            loop {
+                if inner.stop.load(Ordering::Acquire) {
+                    tx.closed = true;
+                    let orphaned = tx.frames + pending_frames;
+                    if orphaned > 0 {
+                        inner
+                            .stats
+                            .messages_dropped
+                            .fetch_add(orphaned, Ordering::Relaxed);
+                    }
+                    return;
+                }
+                if !tx.queue.is_empty() {
+                    break;
+                }
+                tx = link.wake.wait_timeout(tx, PARK_BACKSTOP).0;
+            }
+            if inner.coalesce.load(Ordering::Relaxed) {
+                std::mem::swap(&mut pending, &mut tx.queue);
+                pending_frames = tx.frames;
+                tx.frames = 0;
+            } else {
+                // Baseline (pre-batching) mode: one frame per write.
+                let take = {
+                    let (_, rest) = split_next_body(&tx.queue);
+                    tx.queue.len() - rest.len()
+                };
+                pending.extend_from_slice(&tx.queue[..take]);
+                tx.queue.drain(..take);
+                tx.frames -= 1;
+                pending_frames = 1;
             }
         }
 
-        // Local endpoints short-circuit (same-process delivery).
-        if self.endpoints.lock().contains_key(to) {
-            for (claimed_from, bytes) in to_deliver {
-                self.route(ChannelFrame {
-                    from: claimed_from,
-                    to: to.clone(),
-                    payload: bytes,
-                });
+        // Seal and write the batch; redial once on failure.
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            if attempt > 2 {
+                inner
+                    .stats
+                    .messages_dropped
+                    .fetch_add(pending_frames, Ordering::Relaxed);
+                break;
             }
-            return Ok(());
-        }
-
-        let addr = self
-            .routes
-            .lock()
-            .get(to)
-            .cloned()
-            .ok_or_else(|| NetError::UnknownEndpoint(to.clone()))?;
-        for (claimed_from, bytes) in to_deliver {
-            let frame = ChannelFrame {
-                from: claimed_from,
-                to: to.clone(),
-                payload: bytes,
+            if conn
+                .as_ref()
+                .is_some_and(|c| c.dead.load(Ordering::Acquire))
+            {
+                conn = None;
+            }
+            let c = match &mut conn {
+                Some(c) => c,
+                None => match inner.connect(&link.peer) {
+                    Ok(c) => conn.insert(c),
+                    Err(_) => continue,
+                },
             };
-            if self.send_framed(to, &addr, &frame).is_err() {
-                // A dead peer is a lost datagram, not a send error: the
-                // runtime's ack/retry layer recovers, as for any drop.
-                self.stats.lock().messages_dropped += 1;
+            out.clear();
+            let mut rest: &[u8] = &pending;
+            while !rest.is_empty() {
+                let (body, tail) = split_next_body(rest);
+                write_varint(&mut out, c.chan.sealed_len(body.len()) as u64);
+                c.chan.seal_into(body, &mut out);
+                rest = tail;
+            }
+            match c.stream.write_all(&out) {
+                Ok(()) => {
+                    inner.record_write_batch(pending_frames);
+                    break;
+                }
+                Err(_) => {
+                    // The plaintext batch is still in `pending`: a
+                    // redial re-seals it on the fresh channel (sealed
+                    // bytes cannot cross sessions).
+                    c.dead.store(true, Ordering::Release);
+                    c.stream.shutdown();
+                    conn = None;
+                }
             }
         }
-        Ok(())
+        pending.clear();
+        pending_frames = 0;
     }
 }
 
@@ -530,10 +770,14 @@ fn reader_loop(
     inner: Arc<SockInner>,
     mut stream: Stream,
     mut chan: SecureChannel,
-    cache_key: Option<(Urn, u64)>,
+    dead: Option<Arc<AtomicBool>>,
 ) {
+    // All three buffers are grow-only and reused across frames: the
+    // receive path allocates nothing per frame until the decoded
+    // `ChannelFrame` itself (whose payload the Delivery must own).
     let mut fb = FrameBuffer::new();
     let mut buf = [0u8; 64 * 1024];
+    let mut plain: Vec<u8> = Vec::new();
     'conn: loop {
         if inner.stop.load(Ordering::Acquire) {
             break;
@@ -551,21 +795,24 @@ fn reader_loop(
         };
         fb.extend(&buf[..n]);
         loop {
-            match fb.next_frame() {
+            match fb.next_frame_ref() {
                 Ok(None) => break,
-                Ok(Some(frame)) => match chan.open(&frame) {
-                    Ok(plain) => match ChannelFrame::from_bytes(&plain) {
-                        Ok(cf) => inner.route(cf),
-                        Err(e) => inner.reject_frame(&format!(
-                            "undecodable channel frame from {}: {e}",
-                            chan.peer()
-                        )),
-                    },
-                    Err(e) => {
-                        inner.reject_frame(&format!("channel error from {}: {e}", chan.peer()));
-                        break 'conn;
+                Ok(Some(frame)) => {
+                    plain.clear();
+                    match chan.open_into(frame, &mut plain) {
+                        Ok(()) => match ChannelFrame::from_bytes(&plain) {
+                            Ok(cf) => inner.route(cf),
+                            Err(e) => inner.reject_frame(&format!(
+                                "undecodable channel frame from {}: {e}",
+                                chan.peer()
+                            )),
+                        },
+                        Err(e) => {
+                            inner.reject_frame(&format!("channel error from {}: {e}", chan.peer()));
+                            break 'conn;
+                        }
                     }
-                },
+                }
                 Err(e) => {
                     inner.reject_frame(&format!("bad framing from {}: {e}", chan.peer()));
                     break 'conn;
@@ -574,8 +821,10 @@ fn reader_loop(
         }
     }
     stream.shutdown();
-    if let Some((peer, generation)) = cache_key {
-        inner.evict(&peer, generation);
+    if let Some(dead) = dead {
+        // Tell the peer's writer its connection is gone; the next batch
+        // redials instead of writing into a dead socket.
+        dead.store(true, Ordering::Release);
     }
 }
 
@@ -584,7 +833,7 @@ fn reader_loop(
 /// failures are rejected (journaled via the hook) and the stream is
 /// closed — an unauthenticated peer never reaches the frame loop.
 fn inbound_loop(inner: Arc<SockInner>, mut stream: Stream) {
-    let hello = match read_one_frame(&mut stream, HANDSHAKE_TIMEOUT) {
+    let hello = match read_one_frame(&inner, &mut stream, HANDSHAKE_TIMEOUT) {
         Ok(h) => h,
         Err(e) => {
             inner.reject_frame(&format!("inbound handshake never arrived: {e}"));
@@ -620,7 +869,8 @@ fn accept_loop(inner: Arc<SockInner>, listener: Listener) {
         match listener.accept() {
             Ok(Some(stream)) => {
                 let _ = stream.set_read_timeout(Some(READ_POLL));
-                if !inner.register_live(&stream) {
+                if inner.stop.load(Ordering::Acquire) {
+                    stream.shutdown();
                     break;
                 }
                 let conn_inner = Arc::clone(&inner);
@@ -628,7 +878,7 @@ fn accept_loop(inner: Arc<SockInner>, listener: Listener) {
                     .name("ajanta-conn".into())
                     .spawn(move || inbound_loop(conn_inner, stream))
                     .expect("spawn inbound thread");
-                inner.threads.lock().push(handle);
+                inner.track_thread(handle);
             }
             Ok(None) => std::thread::sleep(Duration::from_millis(5)),
             Err(_) => break,
@@ -636,8 +886,13 @@ fn accept_loop(inner: Arc<SockInner>, listener: Listener) {
     }
 }
 
-/// Reads exactly one frame (handshake phase), bounded by `timeout`.
-fn read_one_frame(stream: &mut Stream, timeout: Duration) -> std::io::Result<Vec<u8>> {
+/// Reads exactly one frame (handshake phase), bounded by `timeout` and
+/// by transport shutdown (the read timeout doubles as the stop poll).
+fn read_one_frame(
+    inner: &SockInner,
+    stream: &mut Stream,
+    timeout: Duration,
+) -> std::io::Result<Vec<u8>> {
     let _ = stream.set_read_timeout(Some(READ_POLL));
     let deadline = std::time::Instant::now() + timeout;
     let mut fb = FrameBuffer::new();
@@ -648,6 +903,12 @@ fn read_one_frame(stream: &mut Stream, timeout: Duration) -> std::io::Result<Vec
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
         {
             return Ok(frame);
+        }
+        if inner.stop.load(Ordering::Acquire) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "transport shut down",
+            ));
         }
         if std::time::Instant::now() >= deadline {
             return Err(std::io::Error::new(
@@ -678,10 +939,12 @@ fn read_one_frame(stream: &mut Stream, timeout: Duration) -> std::io::Result<Vec
 ///
 /// Bind one per process (or per server identity), register peer
 /// listening addresses with [`SocketTransport::add_route`], then hand
-/// it to the runtime as `Arc<dyn Transport>`. Connections are dialed
-/// lazily on first send to a peer, cached per peer, and redialed once
-/// when a cached connection's write fails (reconnect-on-drop); a
-/// failed redial counts the frame as dropped — exactly a lost
+/// it to the runtime as `Arc<dyn Transport>`. Sends enqueue on a
+/// per-peer outbound lane; the lane's writer thread dials lazily on
+/// the first batch, coalesces queued frames into single writes, and
+/// redials once per batch when a write fails (reconnect-on-drop),
+/// re-sealing the still-plaintext batch on the fresh session. A batch
+/// that cannot be written counts as dropped — exactly a lost
 /// datagram, which the runtime's retry layer already recovers.
 pub struct SocketTransport {
     inner: Arc<SockInner>,
@@ -708,13 +971,18 @@ impl SocketTransport {
             local,
             endpoints: Mutex::new(BTreeMap::new()),
             routes: Mutex::new(BTreeMap::new()),
+            links: Mutex::new(BTreeMap::new()),
             conns: Mutex::new(BTreeMap::new()),
-            generation: AtomicU64::new(0),
             adversary: Mutex::new(None),
-            stats: Mutex::new(NetStats::default()),
+            stats: TransportStats::default(),
             reject: Mutex::new(None),
+            write_hook: Mutex::new(None),
+            coalesce: AtomicBool::new(true),
             stop: AtomicBool::new(false),
-            live: Mutex::new(Vec::new()),
+            activity: AtomicU64::new(0),
+            ticker_parked: AtomicBool::new(false),
+            tick_lock: Mutex::new(()),
+            tick_cv: Condvar::new(),
             threads: Mutex::new(Vec::new()),
         });
 
@@ -727,13 +995,34 @@ impl SocketTransport {
         let ticker = std::thread::Builder::new()
             .name("ajanta-clock".into())
             .spawn(move || {
+                // Tick the clock forward while traffic flows; park when
+                // the activity counter stops moving (every send/receive
+                // advances the clock itself, so an idle transport needs
+                // no ticking — and no 1 ms wakeups).
+                let mut last = u64::MAX;
                 while !tick_inner.stop.load(Ordering::Acquire) {
+                    let seen = tick_inner.activity.load(Ordering::Acquire);
+                    if seen == last {
+                        tick_inner.ticker_parked.store(true, Ordering::Release);
+                        let guard = tick_inner.tick_lock.lock();
+                        if tick_inner.activity.load(Ordering::Acquire) == last
+                            && !tick_inner.stop.load(Ordering::Acquire)
+                        {
+                            let _ = tick_inner.tick_cv.wait_timeout(guard, PARK_BACKSTOP);
+                        }
+                        tick_inner.ticker_parked.store(false, Ordering::Release);
+                        continue;
+                    }
+                    last = seen;
                     tick_inner.clock.advance_to(wall_now_ns());
                     std::thread::sleep(TICK);
                 }
             })
             .expect("spawn ticker thread");
-        inner.threads.lock().extend([accept, ticker]);
+        {
+            let mut threads = inner.threads.lock();
+            threads.extend([accept, ticker]);
+        }
         Ok(SocketTransport { inner })
     }
 
@@ -754,8 +1043,17 @@ impl SocketTransport {
     pub fn drop_connections(&self) {
         let conns = std::mem::take(&mut *self.inner.conns.lock());
         for conn in conns.values() {
+            conn.dead.store(true, Ordering::Release);
             conn.raw.shutdown();
         }
+    }
+
+    /// Enables or disables write coalescing. With `false`, each writer
+    /// drains one frame per stream write — the pre-batching wire path —
+    /// which is what the X18 bench measures the data plane against.
+    /// Defaults to enabled.
+    pub fn set_coalescing(&self, enabled: bool) {
+        self.inner.coalesce.store(enabled, Ordering::Relaxed);
     }
 }
 
@@ -797,11 +1095,11 @@ impl Transport for SocketTransport {
     }
 
     fn stats(&self) -> NetStats {
-        self.inner.stats.lock().clone()
+        self.inner.stats.snapshot()
     }
 
     fn reset_stats(&self) {
-        *self.inner.stats.lock() = NetStats::default();
+        self.inner.stats.reset();
     }
 
     fn set_adversary(&self, adversary: Option<Arc<dyn Adversary>>) {
@@ -812,12 +1110,23 @@ impl Transport for SocketTransport {
         *self.inner.reject.lock() = Some(hook);
     }
 
+    fn on_write_batch(&self, hook: WriteBatchHook) {
+        *self.inner.write_hook.lock() = Some(hook);
+    }
+
     fn shutdown(&self) {
         if self.inner.stop.swap(true, Ordering::AcqRel) {
             return;
         }
-        for stream in self.inner.live.lock().drain(..) {
-            stream.shutdown();
+        // Unpark the ticker and every lane writer so they observe the
+        // stop flag now instead of at their next backstop timeout.
+        {
+            let _guard = self.inner.tick_lock.lock();
+            self.inner.tick_cv.notify_all();
+        }
+        for link in self.inner.links.lock().values() {
+            let _guard = link.tx.lock();
+            link.wake.notify_all();
         }
         self.drop_connections();
         loop {
@@ -885,5 +1194,98 @@ impl NetEndpoint for SocketEndpoint {
 impl Drop for SocketEndpoint {
     fn drop(&mut self) {
         self.inner.endpoints.lock().remove(&self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ajanta_crypto::cert::Certificate;
+    use ajanta_crypto::KeyPair;
+
+    fn identity(name: &Urn, ca: &KeyPair, rng: &mut DetRng, serial: u64) -> ChannelIdentity {
+        let keys = KeyPair::generate(rng);
+        let cert = Certificate::issue(
+            name.to_string(),
+            keys.public,
+            "ca",
+            ca,
+            u64::MAX,
+            serial,
+            rng,
+        );
+        ChannelIdentity {
+            name: name.clone(),
+            keys,
+            chain: vec![cert],
+        }
+    }
+
+    /// Connection churn must not grow the thread-handle list without
+    /// bound: finished reader/inbound handles are reaped whenever a new
+    /// thread is tracked.
+    #[test]
+    fn thread_handles_are_reaped_under_connection_churn() {
+        let mut rng = DetRng::new(41);
+        let ca = KeyPair::generate(&mut rng);
+        let mut roots = RootOfTrust::new();
+        roots.trust("ca", ca.public);
+        let a_name = Urn::server("churn-a.test", ["s"]).unwrap();
+        let b_name = Urn::server("churn-b.test", ["s"]).unwrap();
+        let addr: NetAddr = "tcp:127.0.0.1:0".parse().unwrap();
+        let bind = |name: &Urn, rng: &mut DetRng, serial| {
+            let id = identity(name, &ca, rng, serial);
+            let seed = rng.next_u64();
+            SocketTransport::bind(
+                &addr,
+                SocketConfig {
+                    identity: id,
+                    roots: roots.clone(),
+                    seed,
+                },
+            )
+            .expect("bind")
+        };
+        let ta = bind(&a_name, &mut rng, 1);
+        let tb = bind(&b_name, &mut rng, 2);
+        ta.add_route(b_name.clone(), tb.local_addr());
+        let ea = ta.attach(a_name.clone()).unwrap();
+        let eb = tb.attach(b_name.clone()).unwrap();
+
+        let cycles: usize = 16;
+        for i in 0..cycles {
+            ea.send(&b_name, vec![i as u8]).unwrap();
+            // Wait until the frame arrives so the connection is up...
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            loop {
+                match eb.recv_timeout(Duration::from_millis(200)) {
+                    Ok(_) => break,
+                    Err(_) => {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "cycle {i} never delivered"
+                        );
+                        // Writer may have hit a racing dead connection;
+                        // datagram semantics allow the loss — resend.
+                        ea.send(&b_name, vec![i as u8]).unwrap();
+                    }
+                }
+            }
+            // ...then kill it, stranding one reader thread per side.
+            ta.drop_connections();
+        }
+        // Let the stranded readers notice their sockets died.
+        std::thread::sleep(Duration::from_millis(300));
+        // One more dial makes track_thread reap everything finished.
+        ea.send(&b_name, vec![0xFF]).unwrap();
+        let _ = eb.recv_timeout(Duration::from_secs(10));
+
+        let tracked = ta.inner.threads.lock().len();
+        assert!(
+            tracked < cycles,
+            "thread list grew with churn: {tracked} handles after {cycles} cycles"
+        );
+        ta.shutdown();
+        tb.shutdown();
     }
 }

@@ -73,6 +73,12 @@ impl std::fmt::Display for TransportKind {
 /// channel that only ever carries well-formed sends).
 pub type FrameRejectHook = Arc<dyn Fn(&str) + Send + Sync>;
 
+/// Callback a socket transport invokes after each coalesced stream
+/// write, with the number of frames the write carried. Servers use
+/// this to feed the frames-per-write histogram and coalescing
+/// counters; the simulation never calls it (it has no write path).
+pub type WriteBatchHook = Arc<dyn Fn(u64) + Send + Sync>;
+
 /// One attached endpoint: the receive side of a name on some transport.
 ///
 /// The trait mirrors [`Endpoint`]'s inherent API so the server loop can
@@ -146,6 +152,12 @@ pub trait Transport: Send + Sync {
     /// [`FrameRejectHook`]). Default: discarded silently, which is what
     /// the simulation does since it cannot produce malformed frames.
     fn on_frame_reject(&self, hook: FrameRejectHook) {
+        let _ = hook;
+    }
+
+    /// Installs the per-write batch hook (see [`WriteBatchHook`]).
+    /// Default: no observation — only socket transports issue writes.
+    fn on_write_batch(&self, hook: WriteBatchHook) {
         let _ = hook;
     }
 

@@ -139,4 +139,79 @@ proptest! {
     fn datagram_decode_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         let _ = SealedDatagram::from_bytes(&bytes);
     }
+
+    /// The writer's coalesced batch — `varint(len) ‖ sealed` records
+    /// laid back to back in one stream write — decodes to exactly the
+    /// frame sequence N single-record writes produce, the receiving
+    /// channel opens it back to the original payloads, and decoding
+    /// stays total when the batch is split at *every* byte boundary.
+    #[test]
+    fn coalesced_batches_decode_like_single_writes(
+        seed in any::<u64>(),
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..120), 1..6),
+    ) {
+        use ajanta_net::frame::FrameBuffer;
+
+        let (roots, a, _ak, b, _bk, mut rng) = world(seed);
+        let (hello, pending) = SecureChannel::initiate(&a, &b.name, &mut rng);
+        let (ack, mut chan_b) = SecureChannel::respond(&b, &roots, &hello, 0, &mut rng).unwrap();
+        let mut chan_a = pending.finish(&roots, &ack, 0).unwrap();
+
+        // Lay the records out exactly as the socket writer does.
+        let mut batch = Vec::new();
+        let mut records = Vec::new();
+        for p in &payloads {
+            let mut rec = Vec::new();
+            ajanta_wire::write_varint(&mut rec, chan_a.sealed_len(p.len()) as u64);
+            chan_a.seal_into(p, &mut rec);
+            batch.extend_from_slice(&rec);
+            records.push(rec);
+        }
+
+        // One coalesced write parses to one frame per record, in order.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&batch);
+        let mut batched_frames = Vec::new();
+        while let Some(f) = fb.next_frame().unwrap() {
+            batched_frames.push(f);
+        }
+        prop_assert_eq!(fb.pending(), 0);
+        prop_assert_eq!(batched_frames.len(), payloads.len());
+
+        // N single writes yield byte-identical frames.
+        let mut single_frames = Vec::new();
+        for rec in &records {
+            let mut fb = FrameBuffer::new();
+            fb.extend(rec);
+            single_frames.push(fb.next_frame().unwrap().unwrap());
+            prop_assert!(fb.next_frame().unwrap().is_none());
+            prop_assert_eq!(fb.pending(), 0);
+        }
+        prop_assert_eq!(&batched_frames, &single_frames);
+
+        // The receive channel opens the batched frames to the payloads.
+        for (f, p) in batched_frames.iter().zip(&payloads) {
+            prop_assert_eq!(&chan_b.open(f).unwrap(), p);
+        }
+
+        // Truncation-total: at every split point the prefix yields only
+        // whole frames (never an error, never a partial), and prefix +
+        // suffix reassemble the identical sequence.
+        for cut in 0..=batch.len() {
+            let mut fb = FrameBuffer::new();
+            let mut got = Vec::new();
+            fb.extend(&batch[..cut]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+            prop_assert!(got.len() <= payloads.len());
+            fb.extend(&batch[cut..]);
+            while let Some(f) = fb.next_frame().unwrap() {
+                got.push(f);
+            }
+            prop_assert_eq!(&got, &single_frames);
+            prop_assert_eq!(fb.pending(), 0);
+        }
+    }
 }

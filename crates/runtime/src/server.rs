@@ -22,9 +22,10 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use ajanta_core::{
-    AccessProtocol, BindError, Credentials, DomainDatabase, DomainId, Event, Guarded, HistoPath,
-    HostMonitor, Journal, ProxyPolicy, RejectKind, Requester, ResourceProxy, ResourceRegistry,
-    Rights, SecurityPolicy, SpanContext, SpanId, SpanKind, SystemOp, TraceId, UsageLimits,
+    AccessProtocol, BindError, Counter, Credentials, DomainDatabase, DomainId, Event, Guarded,
+    HistoPath, HostMonitor, Journal, ProxyPolicy, RejectKind, Requester, ResourceProxy,
+    ResourceRegistry, Rights, SecurityPolicy, SpanContext, SpanId, SpanKind, SystemOp, TraceId,
+    UsageLimits,
 };
 use ajanta_crypto::{DetRng, KeyPair, RootOfTrust};
 use ajanta_naming::Urn;
@@ -1344,6 +1345,18 @@ impl AgentServer {
                 });
             }));
         }
+        // Write-batch observations from the socket data plane: each
+        // coalesced stream write lands one sample in the frames-per-write
+        // histogram plus the two coalescing counters. The simulation
+        // issues no writes, so on a SimNet this hook never fires.
+        {
+            let journal = Arc::clone(&shared.journal);
+            net.on_write_batch(Arc::new(move |frames: u64| {
+                journal.histos().record(HistoPath::FramesPerWrite, frames);
+                journal.counters().add(Counter::FramesCoalesced, frames);
+                journal.counters().add(Counter::WriteSyscalls, 1);
+            }));
+        }
 
         let (ctrl_tx, ctrl_rx) = unbounded();
         let loop_shared = Arc::clone(&shared);
@@ -1378,6 +1391,14 @@ fn server_loop(shared: Arc<Shared>, endpoint: Box<dyn NetEndpoint>, ctrl: Receiv
     // Admitted agents collected this tick; handed to the scheduler as
     // one batch so a delivery burst costs one queue wakeup, not N.
     let mut batch: Vec<Box<dyn Task>> = Vec::new();
+    // Ack/report-ack frames owed for this tick's deliveries. Collected
+    // here and sent after the burst drain so a burst of N transfers
+    // hands the transport N back-to-back acks in one go — which the
+    // socket writer then coalesces into few writes. Only the flush
+    // granularity moves: each ack is still decided (and ordered) at the
+    // same point in handle_delivery it always was, before the dedup
+    // check, so "ack first, even duplicates" is unchanged.
+    let mut outbox: Vec<(Urn, Message)> = Vec::new();
     loop {
         crossbeam::channel::select! {
             recv(ctrl) -> cmd => match cmd {
@@ -1438,7 +1459,7 @@ fn server_loop(shared: Arc<Shared>, endpoint: Box<dyn NetEndpoint>, ctrl: Receiv
             recv(endpoint.receiver()) -> delivery => match delivery {
                 Ok(d) => {
                     shared.net.clock().advance_to(d.arrival_ns);
-                    handle_delivery(&shared, d, &mut batch);
+                    handle_delivery(&shared, d, &mut batch, &mut outbox);
                 }
                 Err(_) => break,
             },
@@ -1447,7 +1468,10 @@ fn server_loop(shared: Arc<Shared>, endpoint: Box<dyn NetEndpoint>, ctrl: Receiv
         // the whole tick's admissions at once.
         while let Ok(d) = endpoint.receiver().try_recv() {
             shared.net.clock().advance_to(d.arrival_ns);
-            handle_delivery(&shared, d, &mut batch);
+            handle_delivery(&shared, d, &mut batch, &mut outbox);
+        }
+        for (dest, msg) in outbox.drain(..) {
+            let _ = shared.send_message(&dest, &msg);
         }
         if !batch.is_empty() {
             shared.sched.spawn_batch(batch.drain(..));
@@ -1455,13 +1479,22 @@ fn server_loop(shared: Arc<Shared>, endpoint: Box<dyn NetEndpoint>, ctrl: Receiv
     }
     // A shutdown racing a delivery burst must not strand admitted (and
     // domain-registered) agents: flush, then let the scheduler's own
-    // drain-on-stop run them.
+    // drain-on-stop run them. Acks owed for that last burst go out
+    // first — a peer must not re-send a transfer this server admitted.
+    for (dest, msg) in outbox.drain(..) {
+        let _ = shared.send_message(&dest, &msg);
+    }
     if !batch.is_empty() {
         shared.sched.spawn_batch(batch.drain(..));
     }
 }
 
-fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, batch: &mut Vec<Box<dyn Task>>) {
+fn handle_delivery(
+    shared: &Arc<Shared>,
+    delivery: Delivery,
+    batch: &mut Vec<Box<dyn Task>>,
+    outbox: &mut Vec<(Urn, Message)>,
+) {
     let now = shared.clock_now();
     let datagram = match SealedDatagram::from_bytes(&delivery.payload) {
         Ok(d) => d,
@@ -1525,7 +1558,7 @@ fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, batch: &mut Vec<Box
                     agent: run_as.clone(),
                     seq: hop,
                 };
-                let _ = shared.send_message(&sender, &ack);
+                outbox.push((sender.clone(), ack));
             }
             let fresh = shared.seen.lock().insert(FrameKey::Transfer {
                 agent: run_as.clone(),
@@ -1557,7 +1590,7 @@ fn handle_delivery(shared: &Arc<Shared>, delivery: Delivery, batch: &mut Vec<Box
                     agent: report.agent.clone(),
                     seq,
                 };
-                let _ = shared.send_message(&sender, &ack);
+                outbox.push((sender.clone(), ack));
             }
             let fresh = shared.seen.lock().insert(FrameKey::Report {
                 from: sender.clone(),

@@ -67,6 +67,33 @@ impl std::error::Error for WireError {}
 /// peer from making a decoder pre-allocate unbounded memory.
 pub const MAX_LEN: u64 = 64 << 20;
 
+/// Appends `v` as a LEB128 varint to `out` — the standalone form of
+/// [`Encoder::put_varint`] for hot paths that build frames in pooled
+/// buffers without constructing an `Encoder`.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// The exact number of bytes [`write_varint`] emits for `v` — what lets
+/// a single-pass frame encoder reserve its varint length header up
+/// front instead of encoding into a temporary and copying.
+pub const fn varint_len(v: u64) -> usize {
+    // ceil(bits/7), minimum 1 byte for zero.
+    if v == 0 {
+        1
+    } else {
+        (64 - v.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
 /// Encoder: an append-only byte sink.
 #[derive(Debug, Default)]
 pub struct Encoder {
@@ -84,6 +111,26 @@ impl Encoder {
         Encoder {
             buf: Vec::with_capacity(cap),
         }
+    }
+
+    /// Wraps an existing buffer and appends to it — the reuse path: a
+    /// pooled `Vec` keeps its capacity across frames instead of every
+    /// encode paying a fresh allocation. Existing contents are kept
+    /// (callers that want a clean slate call [`Encoder::reset`] or
+    /// `Vec::clear` first).
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Encoder { buf }
+    }
+
+    /// Clears the contents, keeping the allocated capacity — reuse
+    /// between frames without reallocating.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes written so far, borrowed.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Consumes the encoder, yielding the bytes.
@@ -107,16 +154,8 @@ impl Encoder {
     }
 
     /// Writes a `u64` as LEB128.
-    pub fn put_varint(&mut self, mut v: u64) {
-        loop {
-            let byte = (v & 0x7f) as u8;
-            v >>= 7;
-            if v == 0 {
-                self.buf.push(byte);
-                return;
-            }
-            self.buf.push(byte | 0x80);
-        }
+    pub fn put_varint(&mut self, v: u64) {
+        write_varint(&mut self.buf, v);
     }
 
     /// Writes an `i64` zig-zag encoded.
@@ -248,6 +287,17 @@ pub trait Wire: Sized {
         let mut e = Encoder::new();
         self.encode(&mut e);
         e.finish()
+    }
+
+    /// Appends the canonical encoding to an existing buffer — the
+    /// pooled-buffer path. Byte-identical to [`Wire::to_bytes`] (it
+    /// runs the same [`Wire::encode`]) but reuses `out`'s capacity, so
+    /// a steady-state send loop never allocates per value. The buffer
+    /// is moved through an [`Encoder`] and back; no copy is made.
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut e = Encoder::from_vec(std::mem::take(out));
+        self.encode(&mut e);
+        *out = e.finish();
     }
 
     /// Decodes a complete value, rejecting trailing bytes.
@@ -531,5 +581,70 @@ mod tests {
         assert!(e.is_empty());
         e.put_u8(1);
         assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn varint_len_matches_encoding_width() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            (1 << 21) - 1,
+            1 << 21,
+            (1 << 28) - 1,
+            1 << 28,
+            (1 << 35) - 1,
+            1 << 35,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let mut out = Vec::new();
+            write_varint(&mut out, v);
+            assert_eq!(out.len(), varint_len(v), "width mismatch for {v}");
+            assert_eq!(out, v.to_bytes(), "free fn diverges from Encoder for {v}");
+        }
+    }
+
+    #[test]
+    fn encode_into_is_byte_identical_and_reuses_capacity() {
+        let mut buf = Vec::new();
+        let values: Vec<(u64, String)> = (0..64).map(|i| (i * 257, format!("value-{i}"))).collect();
+        for v in &values {
+            buf.clear();
+            v.encode_into(&mut buf);
+            assert_eq!(buf, v.to_bytes());
+        }
+        // After warmup the buffer's capacity is stable: reuse must not
+        // shrink or reallocate for same-sized values.
+        buf.clear();
+        values[0].encode_into(&mut buf);
+        let cap = buf.capacity();
+        for v in &values {
+            buf.clear();
+            v.encode_into(&mut buf);
+        }
+        assert!(buf.capacity() >= cap, "reuse lost the pooled capacity");
+    }
+
+    #[test]
+    fn encode_into_appends_after_existing_bytes() {
+        let mut buf = vec![0xAA, 0xBB];
+        7u64.encode_into(&mut buf);
+        assert_eq!(&buf[..2], &[0xAA, 0xBB]);
+        assert_eq!(&buf[2..], 7u64.to_bytes().as_slice());
+    }
+
+    #[test]
+    fn encoder_from_vec_and_reset_keep_capacity() {
+        let mut e = Encoder::from_vec(Vec::with_capacity(128));
+        e.put_bytes(&[1; 100]);
+        assert_eq!(e.as_slice().len(), 101);
+        e.reset();
+        assert!(e.is_empty());
+        let buf = e.finish();
+        assert!(buf.capacity() >= 128);
     }
 }

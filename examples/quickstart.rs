@@ -106,7 +106,26 @@ fn main() {
         println!("  [{}] {}", agent.leaf(), line);
     }
     println!("\nbuffer size observed server-side: {}", buffer.size());
-    println!("network: {:?}", world.net.stats());
+
+    // Transport-level accounting, including the wire data plane's
+    // coalescing counters. The simulation issues no stream writes, so
+    // frames/write stays 0/0 here; run a world over `TransportMode::Tcp`
+    // or `Uds` (see X18 in EXPERIMENTS.md) and the same two counters
+    // show how many frames each socket write carried.
+    let net = world.net.stats();
+    println!("\ntransport stats:");
+    println!(
+        "  delivered {} / dropped {} / injected {}",
+        net.messages_delivered, net.messages_dropped, net.messages_injected
+    );
+    println!(
+        "  bytes sent {} / delivered {}",
+        net.bytes_sent, net.bytes_delivered
+    );
+    println!(
+        "  coalescing: {} frames over {} writes",
+        net.frames_coalesced, net.write_syscalls
+    );
 
     // Everything the server did on the agent's behalf left a typed trace
     // in its telemetry journal: the Prometheus-style metrics snapshot

@@ -27,12 +27,15 @@ mkdir -p target/bench-artifacts
 run env AJANTA_SMOKE_TRACE=target/bench-artifacts/merged-trace.jsonl \
     ./target/release/ajantad --smoke --timeout 240
 
-# Optional scheduler-capacity smoke (set CHECK_BENCH=1): X16 quick —
-# 10k resident agents at reduced iterations — with a JSON summary CI
-# uploads as an artifact.
+# Optional bench smokes (set CHECK_BENCH=1), each with a JSON summary
+# CI uploads as an artifact: X16 quick — 10k resident agents at reduced
+# iterations — and X18 quick — the coalesced-vs-baseline wire burst.
 if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     echo "+ X16_JSON=target/bench-artifacts/x16_sched.json cargo run --release $OFFLINE -p ajanta-bench --bin report -- x16 quick"
     X16_JSON=target/bench-artifacts/x16_sched.json \
         cargo run --release $OFFLINE -p ajanta-bench --bin report -- x16 quick
+    echo "+ X18_JSON=target/bench-artifacts/x18_wirepath.json cargo run --release $OFFLINE -p ajanta-bench --bin report -- x18 quick"
+    X18_JSON=target/bench-artifacts/x18_wirepath.json \
+        cargo run --release $OFFLINE -p ajanta-bench --bin report -- x18 quick
 fi
 echo "check.sh: all green"
