@@ -204,4 +204,21 @@ fn main() {
             }
         }
     }
+    if wants("x19") {
+        // Durability: hibernate/wake cycle cost and memory trade, plus
+        // WAL replay throughput at restart.
+        let (cycles, records) = if quick { (64, 256) } else { (512, 4_096) };
+        let (rows, replay) = bench::x19_durability::run(cycles, records);
+        print!("{}", bench::x19_durability::table(&rows, &replay));
+        println!();
+        // CI artifact: X19_JSON=<path> writes a machine-readable summary.
+        if let Ok(path) = std::env::var("X19_JSON") {
+            let json = bench::x19_durability::json_summary(&rows, &replay);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("x19: failed to write {path}: {e}");
+            } else {
+                eprintln!("x19: JSON summary written to {path}");
+            }
+        }
+    }
 }

@@ -1,5 +1,5 @@
 //! The experiment harness: one driver per experiment in DESIGN.md's
-//! index (X3–X18). Drivers return structured rows; the `report` binary
+//! index (X3–X19). Drivers return structured rows; the `report` binary
 //! renders them as the tables recorded in EXPERIMENTS.md, and the
 //! Criterion benches re-measure the micro-costs with statistical rigor.
 //!
@@ -20,6 +20,7 @@ pub mod x15_tail;
 pub mod x16_sched;
 pub mod x17_transport;
 pub mod x18_wirepath;
+pub mod x19_durability;
 pub mod x3_binding;
 pub mod x4_access;
 pub mod x4b_ablation;

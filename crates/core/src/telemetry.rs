@@ -389,6 +389,33 @@ pub enum Event {
         /// How it was resolved: `skipped` or `sent-home`.
         disposition: &'static str,
     },
+    /// An idle agent was serialized into the bundle store and its
+    /// scheduler task released; it holds only its encoded bytes until
+    /// a message or tour resume wakes it.
+    AgentHibernated {
+        /// The agent that was spilled.
+        agent: Urn,
+        /// The hop it was admitted at (half of the wake identity).
+        hop: u64,
+        /// Serialized bundle size, bytes.
+        bytes: u64,
+    },
+    /// A hibernated agent was rehydrated from its bundle and handed
+    /// back to the scheduler.
+    AgentWoken {
+        /// The agent that was woken.
+        agent: Urn,
+        /// The hop it resumes at.
+        hop: u64,
+    },
+    /// A restarted server re-admitted an in-flight agent recorded in
+    /// its admission write-ahead log (idempotent on `(agent, hop)`).
+    WalReplayed {
+        /// The agent that was re-admitted.
+        agent: Urn,
+        /// The hop the logged admission was for.
+        hop: u64,
+    },
     /// One completed span of a distributed trace. Each server journals the
     /// spans it observed locally; merging the journals of every server a
     /// tour touched reconstructs the full causal tree (see `core::trace`).
@@ -427,7 +454,8 @@ impl Event {
             | Event::ProxyExpiry { .. }
             | Event::TransferRetried { .. }
             | Event::HopSkipped { .. }
-            | Event::AgentRecovered { .. } => Severity::Warn,
+            | Event::AgentRecovered { .. }
+            | Event::WalReplayed { .. } => Severity::Warn,
             _ => Severity::Info,
         }
     }
@@ -476,11 +504,15 @@ pub enum Counter {
     Steals,
     FramesCoalesced,
     WriteSyscalls,
+    AgentsHibernated,
+    AgentsWoken,
+    WalAppends,
+    WalReplays,
 }
 
 impl Counter {
     /// All counters, in snapshot order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 28] = [
         Counter::EventsAppended,
         Counter::EventsDropped,
         Counter::AuditAllowed,
@@ -505,6 +537,10 @@ impl Counter {
         Counter::Steals,
         Counter::FramesCoalesced,
         Counter::WriteSyscalls,
+        Counter::AgentsHibernated,
+        Counter::AgentsWoken,
+        Counter::WalAppends,
+        Counter::WalReplays,
     ];
 
     /// The exported metric name.
@@ -534,6 +570,10 @@ impl Counter {
             Counter::Steals => "ajanta_sched_steals_total",
             Counter::FramesCoalesced => "ajanta_frames_coalesced_total",
             Counter::WriteSyscalls => "ajanta_write_syscalls_total",
+            Counter::AgentsHibernated => "ajanta_agents_hibernated_total",
+            Counter::AgentsWoken => "ajanta_agents_woken_total",
+            Counter::WalAppends => "ajanta_wal_appends_total",
+            Counter::WalReplays => "ajanta_wal_replays_total",
         }
     }
 }
@@ -780,11 +820,17 @@ pub enum HistoPath {
     /// Frames carried by one coalesced socket write — a count, not a
     /// duration (the one non-nanosecond path).
     FramesPerWrite,
+    /// Serializing an idle agent into its bundle and spilling it to
+    /// the store, real ns.
+    HibernateLatency,
+    /// Rehydrating a hibernated agent's bundle back into a runnable
+    /// task, real ns.
+    WakeLatency,
 }
 
 impl HistoPath {
     /// All paths, in snapshot order.
-    pub const ALL: [HistoPath; 8] = [
+    pub const ALL: [HistoPath; 10] = [
         HistoPath::ProxyCheck,
         HistoPath::Bind,
         HistoPath::TransferRtt,
@@ -793,6 +839,8 @@ impl HistoPath {
         HistoPath::SliceDuration,
         HistoPath::ReadyDwell,
         HistoPath::FramesPerWrite,
+        HistoPath::HibernateLatency,
+        HistoPath::WakeLatency,
     ];
 
     /// The exported metric name (a nanosecond distribution, except
@@ -807,6 +855,8 @@ impl HistoPath {
             HistoPath::SliceDuration => "ajanta_slice_ns",
             HistoPath::ReadyDwell => "ajanta_ready_dwell_ns",
             HistoPath::FramesPerWrite => "ajanta_frames_per_write",
+            HistoPath::HibernateLatency => "ajanta_hibernate_ns",
+            HistoPath::WakeLatency => "ajanta_wake_ns",
         }
     }
 }
@@ -1012,6 +1062,9 @@ impl Journal {
             Event::TransferRetried { .. } => Counter::TransfersRetried,
             Event::HopSkipped { .. } => Counter::HopsSkipped,
             Event::AgentRecovered { .. } => Counter::AgentsRecovered,
+            Event::AgentHibernated { .. } => Counter::AgentsHibernated,
+            Event::AgentWoken { .. } => Counter::AgentsWoken,
+            Event::WalReplayed { .. } => Counter::WalReplays,
             Event::Span { .. } => Counter::SpansRecorded,
         };
         self.counters.add(c, 1);

@@ -247,6 +247,73 @@ impl Adversary for LinkFault {
     }
 }
 
+/// Crash-fault adversary: a SIGKILLed server, as the network sees it.
+///
+/// Unlike [`LinkFault`]'s blackout windows (scheduled against virtual
+/// time up front), a crash is a runtime *switch*: [`ServerCrash::crash`]
+/// makes a host fall silent — every message to or from it drops
+/// unconditionally, in both directions, exactly the connectivity a
+/// killed process presents — and [`ServerCrash::restart`] brings it
+/// back. This is the in-process twin of the cross-process
+/// kill-and-restart smoke: the durability layer (admission WAL plus
+/// retry custody) can be driven against it without spawning real
+/// processes, with the crash instant chosen mid-test rather than
+/// pre-scheduled.
+#[derive(Default)]
+pub struct ServerCrash {
+    down: Mutex<std::collections::BTreeSet<Urn>>,
+    dropped: Mutex<u64>,
+    crashes: Mutex<u64>,
+}
+
+impl ServerCrash {
+    /// A crash injector with every host up.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Kills `host`: from now until [`ServerCrash::restart`], the
+    /// network drops everything touching it. Idempotent (re-crashing a
+    /// dead host neither counts nor errors).
+    pub fn crash(&self, host: Urn) {
+        if self.down.lock().insert(host) {
+            *self.crashes.lock() += 1;
+        }
+    }
+
+    /// Brings `host` back; its traffic flows again.
+    pub fn restart(&self, host: &Urn) {
+        self.down.lock().remove(host);
+    }
+
+    /// Whether `host` is currently crashed.
+    pub fn is_down(&self, host: &Urn) -> bool {
+        self.down.lock().contains(host)
+    }
+
+    /// Messages swallowed by dead hosts so far.
+    pub fn dropped_count(&self) -> u64 {
+        *self.dropped.lock()
+    }
+
+    /// Distinct crash transitions (up → down) so far.
+    pub fn crash_count(&self) -> u64 {
+        *self.crashes.lock()
+    }
+}
+
+impl Adversary for ServerCrash {
+    fn on_transit(&self, from: &Urn, to: &Urn, _bytes: &[u8]) -> TransitAction {
+        let down = self.down.lock();
+        if down.contains(from) || down.contains(to) {
+            drop(down);
+            *self.dropped.lock() += 1;
+            return TransitAction::Drop;
+        }
+        TransitAction::Pass
+    }
+}
+
 /// Active attacker: re-sends every observed message a second time
 /// (replay), claiming the original sender's identity.
 #[derive(Default)]
@@ -461,6 +528,39 @@ mod tests {
             f.on_transit(&urn("a"), &urn("b"), b"x"),
             TransitAction::Pass
         );
+    }
+
+    #[test]
+    fn server_crash_silences_a_host_until_restart() {
+        let f = ServerCrash::new();
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Pass
+        );
+        f.crash(urn("b"));
+        f.crash(urn("b")); // idempotent
+        assert!(f.is_down(&urn("b")));
+        assert_eq!(f.crash_count(), 1);
+        // Both directions drop while down; unrelated hosts still talk.
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Drop
+        );
+        assert_eq!(
+            f.on_transit(&urn("b"), &urn("a"), b"x"),
+            TransitAction::Drop
+        );
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("c"), b"x"),
+            TransitAction::Pass
+        );
+        f.restart(&urn("b"));
+        assert!(!f.is_down(&urn("b")));
+        assert_eq!(
+            f.on_transit(&urn("a"), &urn("b"), b"x"),
+            TransitAction::Pass
+        );
+        assert_eq!(f.dropped_count(), 2);
     }
 
     #[test]

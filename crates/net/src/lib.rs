@@ -45,7 +45,8 @@ pub mod time;
 pub mod transport;
 
 pub use adversary::{
-    Adversary, Dropper, Eavesdropper, Forger, LinkFault, Replayer, Tamperer, TransitAction,
+    Adversary, Dropper, Eavesdropper, Forger, LinkFault, Replayer, ServerCrash, Tamperer,
+    TransitAction,
 };
 pub use datagram::{DatagramError, ReplayGuard, SealedDatagram};
 pub use frame::{ChannelFrame, FrameBuffer, FrameError, MAX_FRAME};

@@ -25,7 +25,10 @@
 //! cross-process hop latencies and the sealed-datagram replay window
 //! meaningful. (The [`crate::datagram::ReplayGuard`] only rejects
 //! *stale* timestamps, so a receiver whose clock trails a sender's by
-//! a tick never false-positives.)
+//! a tick never false-positives.) The wall is sampled **once**, at
+//! bind, and extended by the monotonic clock thereafter ([`WallAnchor`]
+//! internally) — a backwards NTP step after bind therefore cannot stall
+//! the transport clock or freeze frame timestamps.
 //!
 //! **The outbound data plane is batched.** `send_as` never touches a
 //! socket: it encodes the frame body into the destination peer's
@@ -81,12 +84,50 @@ const READ_POLL: Duration = Duration::from_millis(100);
 /// Bound on waiting for a handshake message.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Wall-clock nanoseconds since the UNIX epoch.
+/// Wall-clock nanoseconds since the UNIX epoch — sampled exactly once,
+/// when a [`WallAnchor`] is created.
 fn wall_now_ns() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(0)
+}
+
+/// A monotonic extension of one wall-clock sample.
+///
+/// The transport stamps every frame with "wall nanoseconds", but
+/// `SystemTime` is not monotone: an NTP step (or a VM resume) can move
+/// it backwards, and a naive `advance_to(wall_now_ns())` would then pin
+/// the transport clock for the whole regression window — freezing hop
+/// latencies at zero and aging every outbound datagram toward the
+/// receiver's replay horizon. So the wall is read once, here, and all
+/// later "wall" reads are `epoch + Instant::elapsed()`: same epoch, but
+/// immune to steps in either direction.
+struct WallAnchor {
+    epoch_wall_ns: u64,
+    epoch: std::time::Instant,
+}
+
+impl WallAnchor {
+    fn new() -> Self {
+        Self::at(wall_now_ns())
+    }
+
+    /// Anchors at an explicit epoch (tests simulate clock steps with
+    /// this; production code uses [`WallAnchor::new`]).
+    fn at(epoch_wall_ns: u64) -> Self {
+        WallAnchor {
+            epoch_wall_ns,
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    /// Wall nanoseconds now: the bind-time epoch plus monotonic elapsed
+    /// time. Never decreases between calls.
+    fn now_ns(&self) -> u64 {
+        self.epoch_wall_ns
+            .saturating_add(self.epoch.elapsed().as_nanos() as u64)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -371,6 +412,9 @@ pub struct SocketConfig {
 struct SockInner {
     kind: TransportKind,
     clock: VClock,
+    /// The one wall-clock sample this transport ever takes, extended
+    /// monotonically — see [`WallAnchor`].
+    wall: WallAnchor,
     identity: ChannelIdentity,
     roots: RootOfTrust,
     rng: Mutex<DetRng>,
@@ -425,7 +469,7 @@ impl SockInner {
     /// Advances the clock to the wall instant and returns it. Also
     /// marks the transport active, unparking the ticker if it idled.
     fn touch_clock(&self) -> u64 {
-        self.clock.advance_to(wall_now_ns());
+        self.clock.advance_to(self.wall.now_ns());
         self.activity.fetch_add(1, Ordering::Release);
         if self.ticker_parked.load(Ordering::Acquire) {
             // Notify under the ticker's lock so the wakeup can't slip
@@ -961,10 +1005,12 @@ impl SocketTransport {
             NetAddr::Uds(_) => TransportKind::Uds,
         };
         let clock = VClock::new();
-        clock.advance_to(wall_now_ns());
+        let wall = WallAnchor::new();
+        clock.advance_to(wall.now_ns());
         let inner = Arc::new(SockInner {
             kind,
             clock,
+            wall,
             identity: config.identity,
             roots: config.roots,
             rng: Mutex::new(DetRng::new(config.seed)),
@@ -1014,7 +1060,7 @@ impl SocketTransport {
                         continue;
                     }
                     last = seen;
-                    tick_inner.clock.advance_to(wall_now_ns());
+                    tick_inner.clock.advance_to(tick_inner.wall.now_ns());
                     std::thread::sleep(TICK);
                 }
             })
@@ -1287,5 +1333,54 @@ mod tests {
         );
         ta.shutdown();
         tb.shutdown();
+    }
+
+    /// The regression the anchor exists for: before it, every
+    /// `touch_clock` resampled `SystemTime`, so an NTP step backwards
+    /// pinned the transport clock (`advance_to` is monotone) for the
+    /// whole regression window — frames all stamped identically, hop
+    /// latencies zero, outbound datagrams aging toward the peer's
+    /// replay horizon. The anchored clock takes one wall sample and
+    /// extends it monotonically, so a post-bind step in either
+    /// direction is invisible.
+    #[test]
+    fn transport_clock_survives_backwards_wall_step() {
+        // Bind-time wall reading: T0 = 10 s after the epoch.
+        let t0 = 10 * crate::time::SECONDS;
+        let anchor = WallAnchor::at(t0);
+        let clock = VClock::new();
+        clock.advance_to(anchor.now_ns());
+        let at_bind = clock.now();
+        assert!(at_bind >= t0);
+
+        // NTP now steps the wall back 5 s. A resampling implementation
+        // would feed this into advance_to and pin the clock until the
+        // wall catches back up.
+        let stepped_wall = t0 - 5 * crate::time::SECONDS;
+        clock.advance_to(stepped_wall); // monotone: pins, never regresses
+        assert_eq!(clock.now(), at_bind, "advance_to must never go back");
+
+        // The anchored clock keeps moving through the regression window.
+        std::thread::sleep(Duration::from_millis(5));
+        let after = clock.advance_to(anchor.now_ns());
+        assert!(
+            after > at_bind,
+            "anchored transport clock froze across a wall regression"
+        );
+        // And it stays on the bind-time epoch, not the stepped one.
+        assert!(after > stepped_wall + 4 * crate::time::SECONDS);
+    }
+
+    /// Two samples of the same anchor never run backwards, regardless
+    /// of what `SystemTime` does in between (it is never re-read).
+    #[test]
+    fn wall_anchor_is_monotone() {
+        let anchor = WallAnchor::new();
+        let mut last = anchor.now_ns();
+        for _ in 0..1000 {
+            let next = anchor.now_ns();
+            assert!(next >= last);
+            last = next;
+        }
     }
 }

@@ -169,6 +169,9 @@ pub struct AgentEnv {
     last_sender: Vec<u8>,
     children: u64,
     rng_state: u64,
+    /// Consecutive empty `env.recv` polls since the last delivery — the
+    /// idleness signal hibernation keys off.
+    mail_misses: u32,
     /// This stay's admission span: every bind, access, dispatch, and
     /// report the agent performs here descends from it in the trace.
     ctx: SpanContext,
@@ -202,6 +205,7 @@ impl AgentEnv {
             last_sender: Vec::new(),
             children: 0,
             rng_state,
+            mail_misses: 0,
             ctx,
         }
     }
@@ -219,6 +223,27 @@ impl AgentEnv {
     /// Number of live proxies (bindings) this agent holds.
     pub fn binding_count(&self) -> usize {
         self.proxies.len()
+    }
+
+    /// Consecutive empty `env.recv` polls since the last delivered mail.
+    pub fn mail_misses(&self) -> u32 {
+        self.mail_misses
+    }
+
+    /// The session state that must ride in a hibernation bundle:
+    /// `(rng_state, children, last_sender)`. Everything else in the
+    /// environment is rebuilt from the admission inputs on wake.
+    pub(crate) fn export_session(&self) -> (u64, u64, Vec<u8>) {
+        (self.rng_state, self.children, self.last_sender.clone())
+    }
+
+    /// Restores the counterpart of [`AgentEnv::export_session`] into a
+    /// freshly built environment, making the woken agent's observable
+    /// behaviour identical to one that never hibernated.
+    pub(crate) fn restore_session(&mut self, rng_state: u64, children: u64, last_sender: Vec<u8>) {
+        self.rng_state = rng_state;
+        self.children = children;
+        self.last_sender = last_sender;
     }
 
     fn now(&self) -> u64 {
@@ -427,10 +452,12 @@ impl HostInterface for AgentEnv {
             }
             "env.recv" => match self.shared.take_mail(&self.identity) {
                 Some((from, data)) => {
+                    self.mail_misses = 0;
                     self.last_sender = from.to_string().into_bytes();
                     val(Value::Bytes(data))
                 }
                 None => {
+                    self.mail_misses = self.mail_misses.saturating_add(1);
                     self.last_sender.clear();
                     val(Value::Bytes(Vec::new()))
                 }

@@ -15,6 +15,10 @@
 //!   installs a resource, dies, and later agents call it.
 //! * [`env`] — the agent environment: `go`, `get_resource`, proxy
 //!   invocation, messaging, logging — every primitive mediated.
+//! * [`bundle`] — durable agent state: the serialized bundle and the
+//!   store hibernated agents spill to.
+//! * [`wal`] — the admission write-ahead log a restarted server replays
+//!   so in-flight agents survive a crash.
 //! * [`server`] — the server proper plus its control handle.
 //! * [`owner`] — the owner-side application endpoint that mints
 //!   credentials and launches agents.
@@ -25,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod directory;
 pub mod env;
 pub mod itinerary;
@@ -34,16 +39,21 @@ pub mod owner;
 pub mod sched;
 pub mod server;
 pub mod vmres;
+pub mod wal;
 pub mod world;
 
+pub use bundle::{AgentBundle, BundleStore, WarmState, BUNDLE_VERSION};
 pub use directory::Directory;
 pub use itinerary::{Itinerary, ItineraryError};
 pub use messages::{AgentStatus, Message, Report, ReportStatus};
-pub use multiproc::{derive_world, run_child, run_parent, ChildOpts, SmokeOpts, SmokeReport};
+pub use multiproc::{
+    derive_world, run_child, run_parent, ChildOpts, KillPlan, SmokeOpts, SmokeReport,
+};
 pub use owner::Owner;
 pub use sched::{SchedDepths, Scheduler, DEFAULT_SLICE_FUEL};
 pub use server::{AgentServer, QueryError, RetryPolicy, SecurityEvent, ServerConfig, ServerHandle};
 pub use vmres::VmResource;
+pub use wal::{AdmissionWal, WalRecord, WalRecovery};
 pub use world::{TransportMode, World};
 
 // Telemetry types surface through the runtime so experiments and

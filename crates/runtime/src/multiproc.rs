@@ -211,6 +211,10 @@ pub struct ChildOpts {
     pub agents: usize,
     /// Probabilistic frame loss injected on this process's send path.
     pub loss: f64,
+    /// Admission write-ahead log path. A respawned child given the same
+    /// path replays the admissions its previous incarnation had not
+    /// resolved — the kill-and-restart smoke's durability mechanism.
+    pub wal: Option<PathBuf>,
 }
 
 /// Runs one child server process over stdin/stdout until `EXIT` (or
@@ -262,6 +266,8 @@ pub fn run_child(opts: ChildOpts) -> Result<(), String> {
             seed: derived.server_seeds[i],
             journal_capacity: 1 << 16,
             scheduler: None,
+            wal: opts.wal.clone(),
+            hibernate_after_misses: None,
         },
     );
 
@@ -319,7 +325,8 @@ pub fn run_child(opts: ChildOpts) -> Result<(), String> {
                 std::fs::write(&opts.trace_out, server.export_jsonl())
                     .map_err(|e| format!("writing {}: {e}", opts.trace_out.display()))?;
                 let dups = duplicate_admissions(&server);
-                writeln!(out, "DONE dups={dups}")
+                let replays = server.journal().counter(Counter::WalReplays);
+                writeln!(out, "DONE dups={dups} replays={replays}")
                     .and_then(|_| out.flush())
                     .map_err(|e| e.to_string())?;
             }
@@ -419,6 +426,21 @@ pub struct SmokeOpts {
     pub dir: PathBuf,
     /// Hard deadline for the whole run; children are killed past it.
     pub timeout: Duration,
+    /// Crash-fault injection: kill and restart one child mid-tour.
+    pub kill: Option<KillPlan>,
+}
+
+/// Kill-and-restart fault plan for [`run_parent`]: SIGKILL one child
+/// mid-tour, keep it down for a window, then respawn it with the same
+/// identity and WAL so replay (plus the peers' retry layer) must deliver
+/// every agent anyway.
+pub struct KillPlan {
+    /// Which child to kill (must be ≥ 1 — child 0 drives the tour).
+    pub victim: usize,
+    /// How long after `GO` the kill lands.
+    pub after: Duration,
+    /// How long the victim stays down before the respawn.
+    pub down: Duration,
 }
 
 /// What a cross-process smoke run proved.
@@ -437,6 +459,10 @@ pub struct SmokeReport {
     pub spans: usize,
     /// Spans whose parent is missing from the merge.
     pub orphans: usize,
+    /// Children killed and successfully restarted mid-run.
+    pub restarts: usize,
+    /// Agents re-admitted from an admission WAL across all processes.
+    pub wal_replays: usize,
     /// The merged JSONL document itself (for artifact upload).
     pub merged_jsonl: String,
 }
@@ -446,12 +472,30 @@ pub struct SmokeReport {
 /// every child and errors if anything times out.
 pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
     std::fs::create_dir_all(&opts.dir).map_err(|e| format!("mkdir {}: {e}", opts.dir.display()))?;
+    if let Some(plan) = &opts.kill {
+        if plan.victim == 0 || plan.victim >= opts.servers {
+            return Err(format!(
+                "kill victim {} out of range (need 1..{})",
+                plan.victim, opts.servers
+            ));
+        }
+        if !opts.uds {
+            return Err("kill-and-restart needs UDS (the respawn rebinds the same path)".into());
+        }
+    }
     let deadline = Instant::now() + opts.timeout;
 
-    let mut children: Vec<Child> = Vec::new();
-    let mut stdins = Vec::new();
     let trace_paths: Vec<PathBuf> = (0..opts.servers)
         .map(|i| opts.dir.join(format!("trace-{i}.jsonl")))
+        .collect();
+    // Every child gets a WAL when a crash is planned, so the victim's
+    // respawn has admissions to replay.
+    let wal_paths: Vec<Option<PathBuf>> = (0..opts.servers)
+        .map(|i| {
+            opts.kill
+                .as_ref()
+                .map(|_| opts.dir.join(format!("wal-{i}.log")))
+        })
         .collect();
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, String)>();
 
@@ -462,33 +506,33 @@ pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
         }
     };
 
-    for (i, trace_path) in trace_paths.iter().enumerate() {
+    // Spawning is reused by the restart phase, so the argv (identity,
+    // seed, address, WAL path) must be a pure function of the index.
+    let spawn_child = |i: usize| -> Result<(Child, std::process::ChildStdin), String> {
         let addr = if opts.uds {
             format!("uds:{}", opts.dir.join(format!("s{i}.sock")).display())
         } else {
             "tcp:127.0.0.1:0".to_string()
         };
-        let spawned = Command::new(&opts.bin)
-            .arg("child")
+        let mut cmd = Command::new(&opts.bin);
+        cmd.arg("child")
             .args(["--index", &i.to_string()])
             .args(["--servers", &opts.servers.to_string()])
             .args(["--seed", &format!("{:#x}", opts.seed)])
             .args(["--addr", &addr])
-            .args(["--trace-out", &trace_path.display().to_string()])
+            .args(["--trace-out", &trace_paths[i].display().to_string()])
             .args(["--agents", &opts.agents.to_string()])
             .args(["--loss", &opts.loss.to_string()])
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
-            .stderr(Stdio::inherit())
-            .spawn();
-        let mut child = match spawned {
-            Ok(c) => c,
-            Err(e) => {
-                cleanup(&mut children);
-                return Err(format!("spawning {}: {e}", opts.bin.display()));
-            }
-        };
-        stdins.push(child.stdin.take().expect("piped stdin"));
+            .stderr(Stdio::inherit());
+        if let Some(wal) = &wal_paths[i] {
+            cmd.args(["--wal", &wal.display().to_string()]);
+        }
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| format!("spawning {}: {e}", opts.bin.display()))?;
+        let sin = child.stdin.take().expect("piped stdin");
         let stdout = child.stdout.take().expect("piped stdout");
         let tx = tx.clone();
         std::thread::Builder::new()
@@ -506,9 +550,23 @@ pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
                 }
             })
             .expect("spawning child reader");
-        children.push(child);
+        Ok((child, sin))
+    };
+
+    let mut children: Vec<Child> = Vec::new();
+    let mut stdins = Vec::new();
+    for i in 0..opts.servers {
+        match spawn_child(i) {
+            Ok((child, sin)) => {
+                children.push(child);
+                stdins.push(sin);
+            }
+            Err(e) => {
+                cleanup(&mut children);
+                return Err(e);
+            }
+        }
     }
-    drop(tx);
 
     // Phase 1: collect READY <addr> from every child.
     let mut addrs: HashMap<usize, String> = HashMap::new();
@@ -555,15 +613,89 @@ pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
         return Err(e);
     }
 
+    // Phase 3a: crash-fault injection. SIGKILL the victim mid-tour, wait
+    // out the down window, then respawn it on the same UDS path with the
+    // same identity and WAL. Peers keep retrying into the outage; the
+    // respawn replays its WAL, so every admitted agent must still arrive.
+    let mut restarts = 0usize;
+    let mut parked: Vec<(usize, String)> = Vec::new();
+    if let Some(plan) = &opts.kill {
+        let victim = plan.victim;
+        std::thread::sleep(plan.after);
+        let _ = children[victim].kill();
+        let _ = children[victim].wait();
+        std::thread::sleep(plan.down);
+        // The SIGKILLed process left its socket file behind; the rebind
+        // needs the path free.
+        let _ = std::fs::remove_file(opts.dir.join(format!("s{victim}.sock")));
+        match spawn_child(victim) {
+            Ok((child, sin)) => {
+                children[victim] = child;
+                stdins[victim] = sin;
+            }
+            Err(e) => {
+                cleanup(&mut children);
+                return Err(format!("respawning child {victim}: {e}"));
+            }
+        }
+        // Wait for the reborn child's READY, parking unrelated lines
+        // (child 0's RESULT may already be in flight).
+        loop {
+            let (i, line) =
+                match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                    Ok(m) => m,
+                    Err(_) => {
+                        cleanup(&mut children);
+                        return Err("timed out waiting for the restarted child to bind".into());
+                    }
+                };
+            if i == victim {
+                if let Some(addr) = line.strip_prefix("READY ") {
+                    addrs.insert(victim, addr.to_string());
+                    break;
+                }
+            }
+            parked.push((i, line));
+        }
+        // Re-teach the reborn child its routes (its table died with the
+        // old process) and refresh the survivors' route to it.
+        for (j, addr) in &addrs {
+            if *j != victim {
+                if let Err(e) = writeln!(stdins[victim], "PEER {j} {addr}") {
+                    cleanup(&mut children);
+                    return Err(format!("child {victim} stdin: {e}"));
+                }
+            }
+        }
+        let victim_addr = addrs[&victim].clone();
+        for (i, sin) in stdins.iter_mut().enumerate() {
+            if i != victim {
+                if let Err(e) = writeln!(sin, "PEER {victim} {victim_addr}") {
+                    cleanup(&mut children);
+                    return Err(format!("child {i} stdin: {e}"));
+                }
+            }
+        }
+        if let Err(e) = stdins[victim].flush() {
+            cleanup(&mut children);
+            return Err(format!("child {victim} stdin: {e}"));
+        }
+        restarts = 1;
+    }
+
     // Phase 3: wait for child 0's RESULT.
     let (mut reported, mut completed) = (0usize, 0usize);
     loop {
-        let (i, line) = match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
-            Ok(m) => m,
-            Err(_) => {
-                cleanup(&mut children);
-                return Err("timed out waiting for the tour to resolve".into());
+        let (i, line) = if parked.is_empty() {
+            match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                Ok(m) => m,
+                Err(_) => {
+                    cleanup(&mut children);
+                    return Err("timed out waiting for the tour to resolve".into());
+                }
             }
+        } else {
+            parked.remove(0)
         };
         if i == 0 && line.starts_with("RESULT ") {
             for word in line.split_whitespace().skip(1) {
@@ -583,6 +715,7 @@ pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
         return Err(e);
     }
     let mut dups_total = 0usize;
+    let mut replays_total = 0usize;
     let mut done: HashSet<usize> = HashSet::new();
     while done.len() < opts.servers {
         let (i, line) = match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
@@ -594,8 +727,12 @@ pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
         };
         if let Some(rest) = line.strip_prefix("DONE ") {
             done.insert(i);
-            if let Some(v) = rest.trim().strip_prefix("dups=") {
-                dups_total += v.parse::<usize>().unwrap_or(0);
+            for word in rest.split_whitespace() {
+                if let Some(v) = word.strip_prefix("dups=") {
+                    dups_total += v.parse::<usize>().unwrap_or(0);
+                } else if let Some(v) = word.strip_prefix("replays=") {
+                    replays_total += v.parse::<usize>().unwrap_or(0);
+                }
             }
         }
     }
@@ -642,6 +779,8 @@ pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
         traces: forest.traces.len(),
         spans: forest.span_count(),
         orphans: forest.orphan_count(),
+        restarts,
+        wal_replays: replays_total,
         merged_jsonl: merged,
     })
 }

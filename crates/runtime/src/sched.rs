@@ -457,4 +457,70 @@ mod tests {
         sched.stop();
         assert_eq!(hits.load(Ordering::Relaxed), 10);
     }
+
+    /// The hibernate/wake lifecycle at the scheduler seam, under drain
+    /// churn. A hibernating agent task spills its state and *completes
+    /// its slot* (`run_slice` → true); a wake re-admits it as a fresh
+    /// spawn. Two invariants the server's `try_hibernate`/`wake_agent`
+    /// pair relies on: (1) a wake that lands while `stop` is draining
+    /// still runs to completion, not left queued; (2) racing wakes
+    /// admit the agent exactly once — taking the spilled state is the
+    /// winner-picks-one gate, exactly like `BundleStore::take`.
+    #[test]
+    fn hibernated_task_woken_during_drain_resumes_exactly_once() {
+        struct Sleeper {
+            sched: Arc<Scheduler>,
+            /// The "bundle store": `Some(state)` while hibernated.
+            store: Arc<Mutex<Option<u32>>>,
+            woken: bool,
+            hits: Arc<AtomicU64>,
+            journal: Arc<Journal>,
+        }
+        impl Task for Sleeper {
+            fn run_slice(&mut self) -> bool {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if self.woken {
+                    return true;
+                }
+                // First life: hibernate — spill state, free the slot.
+                *self.store.lock() = Some(7);
+                // Mail arrives while the pool is draining; two wakers
+                // race for the bundle, exactly one may spawn.
+                for _ in 0..2 {
+                    if self.store.lock().take().is_some() {
+                        self.sched.spawn(Box::new(Sleeper {
+                            sched: Arc::clone(&self.sched),
+                            store: Arc::clone(&self.store),
+                            woken: true,
+                            hits: Arc::clone(&self.hits),
+                            journal: Arc::clone(&self.journal),
+                        }));
+                    }
+                }
+                true
+            }
+            fn journal(&self) -> &Arc<Journal> {
+                &self.journal
+            }
+            fn is_warm(&self) -> bool {
+                self.woken
+            }
+        }
+        let sched = Scheduler::new(2);
+        let hits = Arc::new(AtomicU64::new(0));
+        let store = Arc::new(Mutex::new(None));
+        let journal = Arc::new(Journal::with_capacity(64));
+        sched.spawn(Box::new(Sleeper {
+            sched: Arc::clone(&sched),
+            store: Arc::clone(&store),
+            woken: false,
+            hits: Arc::clone(&hits),
+            journal,
+        }));
+        sched.stop();
+        // One slice per life: hibernation, then exactly one resume.
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        assert!(store.lock().is_none(), "spilled state must be consumed");
+        assert_eq!(sched.depths(), SchedDepths::default());
+    }
 }

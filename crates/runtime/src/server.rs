@@ -117,11 +117,22 @@ impl RetryPolicy {
     }
 
     /// Real-time ack grace for a frame on its `attempt`-th attempt:
-    /// doubles per attempt so transient receiver backlog is outwaited.
+    /// doubles per attempt so transient receiver backlog is outwaited,
+    /// saturating at [`MAX_ACK_GRACE`]. The multiplication saturates too:
+    /// a large configured `ack_grace` times `2^10` must clamp, not panic
+    /// (`Duration * u32` overflow aborts in both debug and release).
     fn grace(&self, attempt: u32) -> Duration {
-        self.ack_grace * (1u32 << attempt.saturating_sub(1).min(10))
+        let factor = 1u32 << attempt.saturating_sub(1).min(10);
+        self.ack_grace
+            .checked_mul(factor)
+            .unwrap_or(MAX_ACK_GRACE)
+            .min(MAX_ACK_GRACE)
     }
 }
+
+/// Ceiling on the per-attempt ack grace: no backoff doubling waits more
+/// than a minute of real time before a frame is declared lost.
+const MAX_ACK_GRACE: Duration = Duration::from_secs(60);
 
 /// Why [`ServerHandle::query_status`] failed — a dead/unreachable server
 /// is now distinguishable from a server that replied "not resident".
@@ -225,6 +236,17 @@ pub struct ServerConfig {
     /// parallelism; a [`crate::World`] passes one shared pool to every
     /// server so the whole world runs on `workers` threads.
     pub scheduler: Option<Arc<Scheduler>>,
+    /// Path of the admission write-ahead log, or `None` for a purely
+    /// in-memory server. With a WAL, every admission is logged before its
+    /// ack leaves and a restarted server replays unresolved admissions —
+    /// see [`crate::wal`].
+    pub wal: Option<std::path::PathBuf>,
+    /// Hibernation trigger: an agent that yields with this many
+    /// consecutive empty `env.recv` polls (and no bindings or pending
+    /// migration) is serialized to the bundle store and its scheduler
+    /// task freed, until mail or an explicit wake revives it. `None`
+    /// disables hibernation.
+    pub hibernate_after_misses: Option<u32>,
 }
 
 /// Queued (sender, payload) mail for one agent.
@@ -313,6 +335,12 @@ struct PendingSend {
     /// Virtual time of the most recent attempt, so each retry span can
     /// report the backoff actually waited.
     last_sent_ns: u64,
+    /// The WAL admission this frame settles: when the ack for this frame
+    /// arrives, custody of `(agent, hop)` has passed to the receiver (or
+    /// home) and a `Resolve` record is appended. Custody must ride the
+    /// pending-send entry — resolving at *send* time would drop the
+    /// admission from the log while the frame could still be lost.
+    custody: Option<(Urn, u64)>,
 }
 
 /// Lock shards for the mailbox map. Mail delivery and pickup for
@@ -370,6 +398,13 @@ pub struct Shared {
     retry_shutdown: AtomicBool,
     seen: Mutex<SeenFrames>,
     next_report_seq: AtomicU64,
+    /// Hibernated agents, serialized (tentpole: durability). Present on
+    /// every server; empty unless `hibernate_after_misses` is set.
+    bundles: crate::bundle::BundleStore,
+    /// The admission write-ahead log, when configured.
+    wal: Option<crate::wal::AdmissionWal>,
+    /// See [`ServerConfig::hibernate_after_misses`].
+    hibernate_after_misses: Option<u32>,
 }
 
 impl Shared {
@@ -514,19 +549,31 @@ impl Shared {
     }
 
     /// Delivers mail to a co-located agent's mailbox. Returns whether the
-    /// recipient is resident here.
-    pub fn local_mail(&self, from: Urn, to: Urn, data: Vec<u8>) -> bool {
+    /// recipient is resident here. A hibernated recipient (still
+    /// resident — its domain survives the spill) is woken to read it.
+    pub fn local_mail(self: &Arc<Self>, from: Urn, to: Urn, data: Vec<u8>) -> bool {
         let resident = self.domains.domain_of(&to).is_some();
         if !resident {
             return false;
         }
         self.mailbox_shard(&to)
             .lock()
-            .entry(to)
+            .entry(to.clone())
             .or_default()
             .push_back((from, data));
         self.stats.mail_delivered.fetch_add(1, Ordering::Relaxed);
+        if self.bundles.contains(&to) {
+            self.wake_agent(&to);
+        }
         true
+    }
+
+    /// Whether any mail is queued for `agent`.
+    fn has_mail(&self, agent: &Urn) -> bool {
+        self.mailbox_shard(agent)
+            .lock()
+            .get(agent)
+            .is_some_and(|m| !m.is_empty())
     }
 
     /// Sends mail to an agent on another server.
@@ -631,7 +678,15 @@ impl Shared {
         // Children travel on the reliable layer too: if the destination
         // stays dark, the dead-stop path reports `Failed(0)` to the
         // family's home site instead of losing the child silently.
-        self.send_transfer(dest, msg, child.clone(), 0, Vec::new(), credentials.clone())?;
+        self.send_transfer(
+            dest,
+            msg,
+            child.clone(),
+            0,
+            Vec::new(),
+            credentials.clone(),
+            None,
+        )?;
         Ok(child)
     }
 
@@ -687,13 +742,16 @@ impl Shared {
     /// report's span in the tour: the stay's admission span for normal
     /// outcomes, the lost transfer's span for dead-stop recovery. `None`
     /// (a refusal before any trace context existed) roots a fresh trace,
-    /// so even pre-launch refusals are reconstructible.
+    /// so even pre-launch refusals are reconstructible. `custody` is the
+    /// WAL admission this report settles: resolved immediately for a
+    /// local (home == here) report, else when the report's ack arrives.
     fn report_home(
         &self,
         run_as: &Urn,
         credentials: &Credentials,
         status: ReportStatus,
         parent: Option<(TraceId, SpanId)>,
+        custody: Option<(Urn, u64)>,
     ) {
         let now = self.clock_now();
         let ctx = match parent {
@@ -726,6 +784,9 @@ impl Shared {
         };
         if credentials.home == self.name {
             self.record_report(report, None);
+            if let Some((agent, hop)) = custody {
+                self.wal_resolve(&agent, hop);
+            }
             return;
         }
         // Reports ride the reliable layer as well — under 20% loss the
@@ -735,13 +796,20 @@ impl Shared {
         let seq = self.next_report_seq.fetch_add(1, Ordering::Relaxed);
         let home = credentials.home.clone();
         let msg = Message::Report { report, seq, ctx };
-        if let Err(e) = self.send_reliable(&home, msg, Ack::REPORT, run_as.clone(), seq, None) {
+        if let Err(e) =
+            self.send_reliable(&home, msg, Ack::REPORT, run_as.clone(), seq, None, custody)
+        {
             self.reject(RejectKind::ReportUndeliverable, e);
         }
     }
 
     /// Sends an agent transfer with at-least-once delivery and a
     /// dead-stop recovery plan (`fallbacks` = remaining itinerary).
+    /// `custody` names the local WAL admission the transfer's ack will
+    /// settle (the departing agent's own `(agent, hop)` for a `go`;
+    /// `None` for launches and child dispatches, which were never
+    /// admitted here).
+    #[allow(clippy::too_many_arguments)]
     fn send_transfer(
         &self,
         dest: &Urn,
@@ -750,12 +818,21 @@ impl Shared {
         hop: u64,
         fallbacks: Vec<Urn>,
         credentials: Credentials,
+        custody: Option<(Urn, u64)>,
     ) -> Result<(), String> {
         let recovery = Recovery {
             credentials,
             fallbacks,
         };
-        self.send_reliable(dest, msg, Ack::TRANSFER, agent, hop, Some(recovery))
+        self.send_reliable(
+            dest,
+            msg,
+            Ack::TRANSFER,
+            agent,
+            hop,
+            Some(recovery),
+            custody,
+        )
     }
 
     /// At-least-once delivery: tracks the frame under `(kind, agent,
@@ -763,6 +840,7 @@ impl Shared {
     /// ticker re-sends and eventually dead-stops it. With retries
     /// disabled this degenerates to the legacy fire-and-forget
     /// `send_message`, surfacing the send error to the caller.
+    #[allow(clippy::too_many_arguments)]
     fn send_reliable(
         &self,
         dest: &Urn,
@@ -771,6 +849,7 @@ impl Shared {
         agent: Urn,
         seq: u64,
         recovery: Option<Recovery>,
+        custody: Option<(Urn, u64)>,
     ) -> Result<(), String> {
         // The frame carries its own span context; the pending entry
         // remembers it so acks and retries can attach to the same span.
@@ -793,7 +872,14 @@ impl Shared {
                     0,
                 );
             }
-            return self.send_message(dest, &msg);
+            let result = self.send_message(dest, &msg);
+            // No ack will ever settle this frame; resolve the admission
+            // now so the WAL does not replay an agent we chose to treat
+            // as handed off.
+            if let Some((agent, hop)) = custody {
+                self.wal_resolve(&agent, hop);
+            }
+            return result;
         }
         // A failed first send (unknown peer, detached endpoint) is just
         // a lost attempt: the ticker retries it and the dead-stop path
@@ -813,6 +899,7 @@ impl Shared {
             ctx,
             first_sent_ns,
             last_sent_ns: first_sent_ns,
+            custody,
         };
         self.pending_sends.lock().insert((kind, agent, seq), entry);
         self.retry_cv.notify_all();
@@ -924,6 +1011,8 @@ impl Shared {
                 self.clock_now().saturating_sub(entry.first_sent_ns),
             );
             let credentials = recovery.credentials;
+            // Custody passes to the Failed report: the home site learning
+            // the fate is what settles the admission.
             self.report_home(
                 &agent,
                 &credentials,
@@ -932,6 +1021,7 @@ impl Shared {
                     entry.dest, entry.attempt
                 )),
                 Some((entry.ctx.trace, entry.ctx.span)),
+                entry.custody,
             );
             return;
         }
@@ -969,8 +1059,169 @@ impl Shared {
             ctx: entry.ctx,
             first_sent_ns: entry.first_sent_ns,
             last_sent_ns: self.clock_now(),
+            custody: entry.custody,
         };
         self.pending_sends.lock().insert((kind, agent, seq), fresh);
+    }
+
+    /// Appends an [`crate::wal::WalRecord::Admit`] for `bundle` — called
+    /// on the server loop inside `handle_transfer`, which runs (and
+    /// flushes) *before* the loop flushes the tick's outbox, so the
+    /// admission is durable before its ack can physically leave.
+    fn wal_admit(&self, bundle: crate::bundle::AgentBundle) {
+        if let Some(wal) = &self.wal {
+            let record = crate::wal::WalRecord::Admit(Box::new(bundle));
+            if wal.append(&record).is_ok() {
+                self.journal.counters().add(Counter::WalAppends, 1);
+            }
+        }
+    }
+
+    /// Appends an [`crate::wal::WalRecord::Resolve`] for `(agent, hop)`:
+    /// custody ended (the onward transfer or home report was acked, or
+    /// the outcome was recorded locally).
+    fn wal_resolve(&self, agent: &Urn, hop: u64) {
+        if let Some(wal) = &self.wal {
+            let record = crate::wal::WalRecord::Resolve {
+                agent: agent.clone(),
+                hop,
+            };
+            if wal.append(&record).is_ok() {
+                self.journal.counters().add(Counter::WalAppends, 1);
+            }
+        }
+    }
+
+    /// Revives a hibernated agent: takes its bundle (atomically — exactly
+    /// one concurrent wake wins), re-verifies its credentials, rebuilds
+    /// interpreter and environment, and hands a fresh task to the
+    /// scheduler. Returns whether a bundle was found and revived.
+    pub(crate) fn wake_agent(self: &Arc<Self>, agent: &Urn) -> bool {
+        let t0 = Instant::now();
+        let Some(bundle) = self.bundles.take(agent) else {
+            return false;
+        };
+        let Some(domain) = self.domains.domain_of(agent) else {
+            // Evicted while hibernated (a shutdown or kill raced the
+            // wake); there is no stay to resume.
+            return false;
+        };
+        let now = self.clock_now();
+        let hop = bundle.hop;
+        let delegated = match bundle.credentials.verify(&self.roots, now) {
+            Ok(rights) => rights,
+            Err(e) => {
+                self.wake_fail(
+                    agent,
+                    domain,
+                    &bundle,
+                    format!("credentials no longer verify: {e}"),
+                );
+                return true;
+            }
+        };
+        let rights = self.policy.read().authorize(
+            &bundle.credentials.agent,
+            &bundle.credentials.owner,
+            &delegated,
+        );
+        let mut namespace = match Namespace::with_system(&self.system_modules) {
+            Ok(ns) => ns,
+            Err(e) => {
+                self.wake_fail(agent, domain, &bundle, format!("system namespace: {e}"));
+                return true;
+            }
+        };
+        let verified = match namespace.load(bundle.image.module.clone()) {
+            Ok(v) => v,
+            Err(e) => {
+                self.wake_fail(
+                    agent,
+                    domain,
+                    &bundle,
+                    format!("module no longer loads: {e}"),
+                );
+                return true;
+            }
+        };
+        let state = match bundle.warm.clone() {
+            Some(warm) => {
+                let mut env = AgentEnv::new(
+                    Arc::clone(self),
+                    domain,
+                    agent.clone(),
+                    bundle.credentials.clone(),
+                    rights,
+                    bundle.ctx,
+                );
+                env.set_module(Arc::clone(&verified));
+                env.restore_session(warm.rng_state, warm.children, warm.last_sender);
+                let Some(interp) = Interpreter::import_state(verified, self.vm_limits, warm.interp)
+                else {
+                    self.wake_fail(
+                        agent,
+                        domain,
+                        &bundle,
+                        "hibernated state inconsistent with module".into(),
+                    );
+                    return true;
+                };
+                TaskState::Warm {
+                    env: Box::new(env),
+                    interp: Box::new(interp),
+                }
+            }
+            // A cold bundle (never ran here) restarts from its entry.
+            None => TaskState::Cold {
+                verified,
+                globals: bundle.image.globals,
+                arg: bundle.arg,
+                authorization: rights,
+            },
+        };
+        self.journal.append(Event::AgentWoken {
+            agent: agent.clone(),
+            hop,
+        });
+        self.journal
+            .histos()
+            .record(HistoPath::WakeLatency, t0.elapsed().as_nanos() as u64);
+        self.sched.spawn(Box::new(AgentTask {
+            shared: Arc::clone(self),
+            domain,
+            credentials: bundle.credentials,
+            entry: bundle.image.entry,
+            module: bundle.image.module,
+            hop,
+            run_as: agent.clone(),
+            admission_ctx: bundle.ctx,
+            state,
+        }));
+        true
+    }
+
+    /// A failed revival must leave no residue and must still settle the
+    /// agent's fate — the same obligations `AgentTask::complete` meets.
+    fn wake_fail(
+        &self,
+        agent: &Urn,
+        domain: DomainId,
+        bundle: &crate::bundle::AgentBundle,
+        detail: String,
+    ) {
+        self.reject(
+            RejectKind::BadCredentials,
+            format!("wake {agent}: {detail}"),
+        );
+        self.mailbox_shard(agent).lock().remove(agent);
+        let _ = self.domains.evict(DomainId::SERVER, domain);
+        self.report_home(
+            agent,
+            &bundle.credentials,
+            ReportStatus::Failed(format!("wake failed: {detail}")),
+            Some((bundle.ctx.trace, bundle.ctx.span)),
+            Some((agent.clone(), bundle.hop)),
+        );
     }
 }
 
@@ -1055,6 +1306,7 @@ impl ServerHandle {
                 &credentials.agent.clone(),
                 &credentials,
                 ReportStatus::Refused("launch with empty itinerary".into()),
+                None,
                 None,
             );
             return;
@@ -1236,6 +1488,32 @@ impl ServerHandle {
         &self.shared.sched
     }
 
+    /// Number of agents currently hibernated (resident but spilled to
+    /// the bundle store, holding no interpreter or scheduler task).
+    pub fn hibernated_agents(&self) -> usize {
+        self.shared.bundles.len()
+    }
+
+    /// Total encoded bytes the hibernated agents occupy — the entire
+    /// per-agent footprint while asleep, versus a warm agent's live
+    /// interpreter ([`ajanta_vm::Interpreter`] memory) plus environment.
+    pub fn hibernated_bytes(&self) -> usize {
+        self.shared.bundles.stored_bytes()
+    }
+
+    /// Explicitly wakes a hibernated agent (the tour-resume wake path;
+    /// mail arrival wakes implicitly). Returns whether a bundle was
+    /// found and revived.
+    pub fn wake(&self, agent: &Urn) -> bool {
+        self.shared.wake_agent(agent)
+    }
+
+    /// Delivers local mail from the control plane (tests, tools) as if a
+    /// co-located agent had sent it.
+    pub fn deliver_mail(&self, from: Urn, to: Urn, data: Vec<u8>) -> bool {
+        self.shared.local_mail(from, to, data)
+    }
+
     /// Stops the server loop and joins all threads. A privately owned
     /// scheduler is drained and stopped too; a world-shared one is left
     /// to [`crate::World::shutdown`].
@@ -1300,6 +1578,27 @@ impl AgentServer {
             Some(s) => (s, false),
             None => (Scheduler::new(crate::sched::default_workers()), true),
         };
+        // Crash recovery happens before the loop starts: read whatever
+        // log a previous incarnation left, then reopen it for appending.
+        // Resolved keys pre-seed the duplicate filter (peer retries of
+        // settled frames are acked and dropped); unresolved admissions
+        // are re-admitted once the loop is live.
+        let (wal, recovery) = match &config.wal {
+            Some(path) => {
+                let records = crate::wal::AdmissionWal::replay(path).unwrap_or_default();
+                let recovery = crate::wal::AdmissionWal::recover(records);
+                (crate::wal::AdmissionWal::open(path).ok(), Some(recovery))
+            }
+            None => (None, None),
+        };
+        let mut seen = SeenFrames::default();
+        let mut replay_bundles = Vec::new();
+        if let Some(recovery) = recovery {
+            for (agent, hop) in recovery.resolved {
+                seen.insert(FrameKey::Transfer { agent, hop });
+            }
+            replay_bundles = recovery.unresolved;
+        }
         let shared = Arc::new(Shared {
             name: config.name.clone(),
             identity: config.identity,
@@ -1328,8 +1627,11 @@ impl AgentServer {
             pending_sends: Mutex::new(HashMap::new()),
             retry_cv: Condvar::new(),
             retry_shutdown: AtomicBool::new(false),
-            seen: Mutex::new(SeenFrames::default()),
+            seen: Mutex::new(seen),
             next_report_seq: AtomicU64::new(1),
+            bundles: crate::bundle::BundleStore::in_memory(),
+            wal,
+            hibernate_after_misses: config.hibernate_after_misses,
         });
 
         // Transport-level frame rejections (undecodable bytes, failed
@@ -1362,7 +1664,7 @@ impl AgentServer {
         let loop_shared = Arc::clone(&shared);
         let join = std::thread::Builder::new()
             .name(format!("ajanta-{}", config.name.leaf()))
-            .spawn(move || server_loop(loop_shared, endpoint, ctrl_rx))
+            .spawn(move || server_loop(loop_shared, endpoint, ctrl_rx, replay_bundles))
             .expect("spawning server thread");
         let retry_join = if shared.retry.enabled() {
             let retry_shared = Arc::clone(&shared);
@@ -1387,10 +1689,50 @@ impl AgentServer {
     }
 }
 
-fn server_loop(shared: Arc<Shared>, endpoint: Box<dyn NetEndpoint>, ctrl: Receiver<Control>) {
+fn server_loop(
+    shared: Arc<Shared>,
+    endpoint: Box<dyn NetEndpoint>,
+    ctrl: Receiver<Control>,
+    replay: Vec<crate::bundle::AgentBundle>,
+) {
     // Admitted agents collected this tick; handed to the scheduler as
     // one batch so a delivery burst costs one queue wakeup, not N.
     let mut batch: Vec<Box<dyn Task>> = Vec::new();
+    // WAL replay (tentpole): re-admit every agent a previous incarnation
+    // owned but had not resolved, through the normal admission pipeline.
+    // The `seen` insert makes the replay idempotent against the peer's
+    // own retry of the same frame arriving later — and `wal_log: false`
+    // keeps the replay from re-logging admissions that are already in
+    // the log unresolved.
+    for bundle in replay {
+        let fresh = shared.seen.lock().insert(FrameKey::Transfer {
+            agent: bundle.agent.clone(),
+            hop: bundle.hop,
+        });
+        if !fresh {
+            continue;
+        }
+        shared.journal.append(Event::WalReplayed {
+            agent: bundle.agent.clone(),
+            hop: bundle.hop,
+        });
+        let sent_ns = shared.clock_now();
+        handle_transfer(
+            &shared,
+            bundle.credentials,
+            bundle.image,
+            bundle.hop,
+            bundle.agent,
+            bundle.arg,
+            bundle.ctx,
+            sent_ns,
+            false,
+            &mut batch,
+        );
+    }
+    if !batch.is_empty() {
+        shared.sched.spawn_batch(batch.drain(..));
+    }
     // Ack/report-ack frames owed for this tick's deliveries. Collected
     // here and sent after the burst drain so a burst of N transfers
     // hands the transport N back-to-back acks in one go — which the
@@ -1434,12 +1776,12 @@ fn server_loop(shared: Arc<Shared>, endpoint: Box<dyn NetEndpoint>, ctrl: Receiv
                         ctx: root.child(shared.journal.mint_span()),
                         sent_ns: now,
                     };
-                    if let Err(e) =
-                        shared.send_transfer(&dest, msg, agent, 0, fallbacks, credentials.clone())
-                    {
+                    if let Err(e) = shared.send_transfer(
+                        &dest, msg, agent, 0, fallbacks, credentials.clone(), None,
+                    ) {
                         shared.report_home(&credentials.agent.clone(), &credentials, ReportStatus::Refused(
                             format!("launch toward {dest} failed: {e}"),
-                        ), Some((root.trace, root.span)));
+                        ), Some((root.trace, root.span)), None);
                     }
                 }
                 Ok(Control::QueryStatus { server, agent, reply }) => {
@@ -1580,6 +1922,7 @@ fn handle_delivery(
                 arg,
                 ctx,
                 sent_ns,
+                true,
                 batch,
             );
         }
@@ -1629,6 +1972,12 @@ fn handle_delivery(
                         rtt,
                     );
                 }
+                // The ack is the custody hand-off: the receiver (or the
+                // home site) now durably owns the agent's fate, so the
+                // local WAL admission is settled.
+                if let Some((custody_agent, custody_hop)) = entry.custody {
+                    shared.wal_resolve(&custody_agent, custody_hop);
+                }
             }
         }
         Message::AgentMail { from, to, data } => {
@@ -1668,6 +2017,9 @@ fn handle_delivery(
     }
 }
 
+/// `wal_log = false` only on the WAL-replay path: the admission being
+/// replayed already has an unresolved `Admit` record in the log, so
+/// re-appending would only grow it.
 #[allow(clippy::too_many_arguments)]
 fn handle_transfer(
     shared: &Arc<Shared>,
@@ -1678,6 +2030,7 @@ fn handle_transfer(
     arg: Vec<u8>,
     ctx: SpanContext,
     sent_ns: u64,
+    wal_log: bool,
     batch: &mut Vec<Box<dyn Task>>,
 ) {
     // Real-time start of the admission pipeline (credential verification
@@ -1726,6 +2079,7 @@ fn handle_transfer(
             &credentials,
             ReportStatus::Refused("inconsistent image".into()),
             Some((ctx.trace, ctx.span)),
+            None,
         );
         return;
     }
@@ -1743,6 +2097,7 @@ fn handle_transfer(
                 &credentials,
                 ReportStatus::Refused(e.to_string()),
                 Some((ctx.trace, ctx.span)),
+                None,
             );
             return;
         }
@@ -1779,6 +2134,7 @@ fn handle_transfer(
                 &credentials,
                 ReportStatus::Refused(e.to_string()),
                 Some((ctx.trace, ctx.span)),
+                None,
             );
             return;
         }
@@ -1788,6 +2144,21 @@ fn handle_transfer(
         domain,
         hop,
     });
+    // Durability point (tentpole): log the admission before this tick's
+    // outbox — carrying the ack queued above — is flushed. After this
+    // line a crash cannot lose the agent: either the ack never left (the
+    // sender retries) or the WAL replays it.
+    if wal_log && shared.wal.is_some() {
+        shared.wal_admit(crate::bundle::AgentBundle {
+            agent: run_as.clone(),
+            hop,
+            credentials: credentials.clone(),
+            image: image.clone(),
+            arg: arg.clone(),
+            ctx,
+            warm: None,
+        });
+    }
 
     // End-to-end hop latency on the virtual clock: from the sender's
     // first transmission to successful admission here — includes every
@@ -1916,6 +2287,7 @@ impl Task for AgentTask {
                     &self.credentials,
                     ReportStatus::Refused("global mismatch".into()),
                     self.parent(),
+                    Some((self.run_as.clone(), self.hop)),
                 );
                 return true;
             }
@@ -1938,7 +2310,7 @@ impl Task for AgentTask {
             return true; // Done: defensive, a finished task is never requeued
         };
         match interp.run_slice(slice_fuel, &mut **env) {
-            SliceOutcome::Yielded => false,
+            SliceOutcome::Yielded => self.try_hibernate(),
             SliceOutcome::Done(outcome) => {
                 let TaskState::Warm { env, interp } =
                     std::mem::replace(&mut self.state, TaskState::Done)
@@ -1965,6 +2337,80 @@ impl AgentTask {
         Some((self.admission_ctx.trace, self.admission_ctx.span))
     }
 
+    /// Spills this agent to the bundle store when it is demonstrably
+    /// idle — enough consecutive empty mail polls, no live proxies whose
+    /// leases would silently expire, no pending migration. Returns `true`
+    /// (task done, never requeued) when the agent hibernated; the bundle
+    /// holds everything [`Shared::wake_agent`] needs, the domain stays
+    /// admitted (the agent is still *resident*, just not *running*), and
+    /// the mailbox stays so late mail queues across the gap.
+    fn try_hibernate(&mut self) -> bool {
+        let Some(threshold) = self.shared.hibernate_after_misses else {
+            return false;
+        };
+        {
+            let TaskState::Warm { env, .. } = &self.state else {
+                return false;
+            };
+            if env.mail_misses() < threshold
+                || env.binding_count() != 0
+                || env.pending_go().is_some()
+            {
+                return false;
+            }
+        }
+        let t0 = Instant::now();
+        let TaskState::Warm { env, interp } = std::mem::replace(&mut self.state, TaskState::Done)
+        else {
+            unreachable!("state checked above");
+        };
+        let (rng_state, children, last_sender) = env.export_session();
+        let bundle = crate::bundle::AgentBundle {
+            agent: self.run_as.clone(),
+            hop: self.hop,
+            credentials: self.credentials.clone(),
+            image: AgentImage {
+                module: self.module.clone(),
+                globals: interp.globals().to_vec(),
+                entry: self.entry.clone(),
+            },
+            arg: Vec::new(),
+            ctx: self.admission_ctx,
+            warm: Some(crate::bundle::WarmState {
+                interp: interp.export_state(),
+                rng_state,
+                children,
+                last_sender,
+            }),
+        };
+        match self.shared.bundles.put(&bundle) {
+            Ok(bytes) => {
+                self.shared.journal.append(Event::AgentHibernated {
+                    agent: self.run_as.clone(),
+                    hop: self.hop,
+                    bytes: bytes as u64,
+                });
+                self.shared
+                    .journal
+                    .histos()
+                    .record(HistoPath::HibernateLatency, t0.elapsed().as_nanos() as u64);
+                // Mail may have been delivered between the last empty
+                // poll and the spill: re-check now that the bundle is
+                // visible. `take` is atomic, so this self-wake and any
+                // concurrent deliverer's wake revive exactly one copy.
+                if self.shared.has_mail(&self.run_as) {
+                    self.shared.wake_agent(&self.run_as);
+                }
+                true
+            }
+            Err(_) => {
+                // Spill failed (disk store trouble): keep running warm.
+                self.state = TaskState::Warm { env, interp };
+                false
+            }
+        }
+    }
+
     /// Everything that happens after the agent's last instruction:
     /// identical to the tail of the old per-agent-thread `run_agent`.
     fn complete(&self, env: AgentEnv, interp: Interpreter, outcome: ExecOutcome) {
@@ -1973,6 +2419,9 @@ impl AgentTask {
         let run_as = &self.run_as;
         let (domain, hop) = (self.domain, self.hop);
         let parent = self.parent();
+        // The WAL admission this stay's outcome settles, resolved when
+        // the outcome's frame (report or onward transfer) is acked.
+        let custody = || Some((run_as.clone(), hop));
 
         // Account fuel against the domain quota (for status queries; the
         // interpreter's own limit already bounded the run).
@@ -1995,6 +2444,7 @@ impl AgentTask {
                     credentials,
                     ReportStatus::Completed(v.display_lossy()),
                     parent,
+                    custody(),
                 );
             }
             ExecOutcome::HostStopped { .. } => {
@@ -2016,6 +2466,7 @@ impl AgentTask {
                                     image.entry
                                 )),
                                 parent,
+                                custody(),
                             );
                         } else {
                             shared.stats.transfers_out.fetch_add(1, Ordering::Relaxed);
@@ -2044,6 +2495,7 @@ impl AgentTask {
                                 hop + 1,
                                 go.fallbacks.clone(),
                                 credentials.clone(),
+                                custody(),
                             ) {
                                 shared.report_home(
                                     run_as,
@@ -2053,6 +2505,7 @@ impl AgentTask {
                                         go.dest
                                     )),
                                     parent,
+                                    custody(),
                                 );
                             }
                         }
@@ -2063,6 +2516,7 @@ impl AgentTask {
                             credentials,
                             ReportStatus::Failed("host stop without destination".into()),
                             parent,
+                            custody(),
                         );
                     }
                 }
@@ -2073,6 +2527,7 @@ impl AgentTask {
                     credentials,
                     ReportStatus::Failed(format!("trap at fn#{func}@{ip}: {kind}")),
                     parent,
+                    custody(),
                 );
             }
             ExecOutcome::OutOfFuel => {
@@ -2081,8 +2536,52 @@ impl AgentTask {
                     credentials,
                     ReportStatus::QuotaExceeded("instruction fuel exhausted".into()),
                     parent,
+                    custody(),
                 );
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: `Duration * u32` aborts on overflow in both debug and
+    /// release. A generously configured `ack_grace` crossed with the
+    /// per-attempt doubling used to do exactly that around attempt 11;
+    /// now both the multiplication and the result saturate at the
+    /// ceiling.
+    #[test]
+    fn ack_grace_backoff_saturates_instead_of_panicking() {
+        let policy = RetryPolicy {
+            ack_grace: Duration::from_secs(u64::MAX / 2),
+            ..RetryPolicy::default()
+        };
+        for attempt in [0, 1, 2, 10, 11, 12, 31, 32, 64, u32::MAX] {
+            assert_eq!(policy.grace(attempt), MAX_ACK_GRACE);
+        }
+    }
+
+    /// The intended shape below the ceiling: doubles per attempt, factor
+    /// capped at 2^10, absolute wait capped at [`MAX_ACK_GRACE`].
+    #[test]
+    fn ack_grace_doubles_then_hits_both_ceilings() {
+        let policy = RetryPolicy {
+            ack_grace: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.grace(1), Duration::from_millis(10));
+        assert_eq!(policy.grace(2), Duration::from_millis(20));
+        assert_eq!(policy.grace(5), Duration::from_millis(160));
+        // The doubling factor freezes at 2^10...
+        assert_eq!(policy.grace(11), Duration::from_millis(10_240));
+        assert_eq!(policy.grace(64), Duration::from_millis(10_240));
+        // ...and a wider base clamps to the one-minute ceiling instead.
+        let wide = RetryPolicy {
+            ack_grace: Duration::from_secs(1),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(wide.grace(10), MAX_ACK_GRACE);
     }
 }

@@ -50,6 +50,8 @@ pub struct WorldBuilder {
     journal_capacity: usize,
     retry: RetryPolicy,
     workers: usize,
+    hibernate_after_misses: Option<u32>,
+    wal_dir: Option<std::path::PathBuf>,
 }
 
 impl WorldBuilder {
@@ -73,7 +75,25 @@ impl WorldBuilder {
             journal_capacity: ajanta_core::telemetry::DEFAULT_CAPACITY,
             retry: RetryPolicy::default(),
             workers: sched::default_workers(),
+            hibernate_after_misses: None,
+            wal_dir: None,
         }
+    }
+
+    /// Enables hibernation on every server: agents that yield with
+    /// `misses` consecutive empty mail polls (and no bindings or pending
+    /// migration) spill to the bundle store until mail or an explicit
+    /// wake revives them.
+    pub fn hibernation(mut self, misses: u32) -> Self {
+        self.hibernate_after_misses = Some(misses);
+        self
+    }
+
+    /// Gives every server an admission write-ahead log under `dir`
+    /// (`<dir>/site<i>.wal`), enabling crash recovery via replay.
+    pub fn wal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
     }
 
     /// Sets how many scheduler worker threads the world's shared pool
@@ -213,6 +233,11 @@ impl WorldBuilder {
                 seed: rng.next_u64(),
                 journal_capacity: self.journal_capacity,
                 scheduler: Some(Arc::clone(&sched)),
+                wal: self
+                    .wal_dir
+                    .as_ref()
+                    .map(|d| d.join(format!("site{i}.wal"))),
+                hibernate_after_misses: self.hibernate_after_misses,
             });
         }
 

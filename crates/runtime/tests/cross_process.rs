@@ -7,7 +7,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use ajanta_runtime::{run_parent, SmokeOpts};
+use ajanta_runtime::{run_parent, KillPlan, SmokeOpts};
 
 fn scratch(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("ajanta-xproc-{tag}-{}", std::process::id()))
@@ -26,6 +26,7 @@ fn three_process_world_survives_lossy_tour_over_uds() {
         uds: true,
         dir: dir.clone(),
         timeout: Duration::from_secs(240),
+        kill: None,
     })
     .expect("cross-process run must resolve");
     let _ = std::fs::remove_dir_all(&dir);
@@ -48,6 +49,49 @@ fn three_process_world_survives_lossy_tour_over_uds() {
     );
 }
 
+/// The durability acceptance run: one of the three server processes is
+/// SIGKILLed mid-tour and restarted against its admission WAL. Agents
+/// the dead process had admitted but not handed off replay on restart;
+/// agents still in flight toward it are re-delivered by the peers'
+/// retry layer (and deduplicated by the replay filter the WAL re-seeds).
+/// Zero agents may be lost, and no (agent, hop) may be admitted twice.
+#[cfg(unix)]
+#[test]
+fn kill_and_restart_loses_no_agents_over_uds() {
+    let dir = scratch("kill");
+    let report = run_parent(SmokeOpts {
+        bin: PathBuf::from(env!("CARGO_BIN_EXE_ajantad")),
+        servers: 3,
+        seed: 0xD0_0D1E,
+        agents: 32,
+        loss: 0.20,
+        uds: true,
+        dir: dir.clone(),
+        timeout: Duration::from_secs(240),
+        kill: Some(KillPlan {
+            victim: 1,
+            after: Duration::from_millis(150),
+            down: Duration::from_millis(400),
+        }),
+    })
+    .expect("kill-and-restart run must resolve");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(report.restarts, 1, "the victim must be restarted");
+    assert_eq!(
+        report.reported, 32,
+        "zero lost agents: every agent must report home across the crash"
+    );
+    assert_eq!(
+        report.duplicate_admissions, 0,
+        "WAL replay plus the re-seeded dedup filter must keep admission idempotent"
+    );
+    assert!(report.completed > 0, "some tours must complete cleanly");
+    // No orphan-span assertion here: the killed incarnation's in-memory
+    // journal dies with it, so spans it parented are legitimately absent
+    // from the merged forest.
+}
+
 #[test]
 fn multi_process_world_works_over_tcp_localhost() {
     let dir = scratch("tcp");
@@ -60,6 +104,7 @@ fn multi_process_world_works_over_tcp_localhost() {
         uds: false,
         dir: dir.clone(),
         timeout: Duration::from_secs(240),
+        kill: None,
     })
     .expect("cross-process run must resolve");
     let _ = std::fs::remove_dir_all(&dir);

@@ -10,7 +10,7 @@ use ajanta_naming::Urn;
 use ajanta_net::Replayer;
 use ajanta_runtime::itinerary::Itinerary;
 use ajanta_runtime::{Counter, Event, World};
-use ajanta_vm::{assemble, AgentImage, Value};
+use ajanta_vm::{assemble, AgentImage};
 use proptest::prelude::*;
 
 /// A strategy for canonical server URNs: lowercase hostnames, short path.

@@ -170,11 +170,11 @@ impl HostInterface for NoHost {
     }
 }
 
-struct Frame {
-    func: u32,
-    ip: u32,
-    locals: Vec<Value>,
-    stack: Vec<Value>,
+pub(crate) struct Frame {
+    pub(crate) func: u32,
+    pub(crate) ip: u32,
+    pub(crate) locals: Vec<Value>,
+    pub(crate) stack: Vec<Value>,
 }
 
 /// Executes entry functions of one verified module against a host.
@@ -240,6 +240,64 @@ impl Interpreter {
     /// Number of host calls made so far.
     pub fn host_calls(&self) -> u64 {
         self.host_calls
+    }
+
+    /// Allocation budget consumed so far.
+    pub fn alloc_used(&self) -> u64 {
+        self.alloc_used
+    }
+
+    /// The suspended call stack (empty when no run is in progress) — read
+    /// by `state::InterpState` capture.
+    pub(crate) fn frames_ref(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Overwrites globals, quota meters, and the suspended call stack
+    /// from a snapshot the caller has already validated against this
+    /// interpreter's module and limits.
+    pub(crate) fn adopt_state(&mut self, state: crate::state::InterpState) {
+        self.globals = state.globals;
+        self.fuel_used = state.fuel_used;
+        self.alloc_used = state.alloc_used;
+        self.host_calls = state.host_calls;
+        self.frames = state
+            .frames
+            .into_iter()
+            .map(|f| Frame {
+                func: f.func,
+                ip: f.ip,
+                locals: f.locals,
+                stack: f.stack,
+            })
+            .collect();
+    }
+
+    /// A rough estimate of this interpreter's resident heap footprint:
+    /// the value vectors' capacities plus per-value byte payloads. Used
+    /// by the hibernation bench to compare a warm agent against its
+    /// serialized bundle.
+    pub fn approx_mem_bytes(&self) -> usize {
+        fn vals(v: &[Value], cap: usize) -> usize {
+            cap * std::mem::size_of::<Value>()
+                + v.iter()
+                    .map(|x| match x {
+                        Value::Bytes(b) => b.capacity(),
+                        Value::Int(_) => 0,
+                    })
+                    .sum::<usize>()
+        }
+        std::mem::size_of::<Interpreter>()
+            + vals(&self.globals, self.globals.capacity())
+            + self
+                .frames
+                .iter()
+                .map(|f| {
+                    std::mem::size_of::<Frame>()
+                        + vals(&f.locals, f.locals.capacity())
+                        + vals(&f.stack, f.stack.capacity())
+                })
+                .sum::<usize>()
     }
 
     /// Whether a started run is suspended mid-execution (a `run_slice`

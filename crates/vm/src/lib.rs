@@ -48,6 +48,7 @@ pub mod interp;
 pub mod isa;
 pub mod loader;
 pub mod module;
+pub mod state;
 pub mod value;
 pub mod verifier;
 
@@ -61,5 +62,6 @@ pub use interp::{
 pub use isa::Op;
 pub use loader::{LoadError, Namespace, Origin};
 pub use module::{Function, HostImport, Module, ModuleBuilder};
+pub use state::{FrameState, InterpState, INTERP_STATE_VERSION};
 pub use value::{Ty, Value};
 pub use verifier::{verify, VerifiedModule, VerifyError};

@@ -1,0 +1,309 @@
+//! Mid-run interpreter state capture for agent hibernation.
+//!
+//! The migration model stays application-level (globals + entry, see the
+//! crate docs) — this module serves a different need: a *server* spilling
+//! an idle agent it is already hosting. A suspended [`Interpreter`] parks
+//! its call stack inside the value; [`InterpState`] is that parked state
+//! as canonical bytes, so the runtime can drop the live interpreter (and
+//! its Vec capacities) and later rebuild one that resumes bit-identically.
+//!
+//! Import is a trust boundary: snapshots are only ever produced and
+//! consumed by the *same server's* bundle store and write-ahead log,
+//! never accepted from agents or peers. Decoding is total (typed errors,
+//! no panics) and [`Interpreter::import_state`] re-validates the
+//! structural invariants the interpreter relies on — function and
+//! instruction indices in range, local slots matching the verified
+//! declarations, call depth and fuel within limits — rejecting anything
+//! inconsistent with the module rather than trusting the bytes.
+
+use ajanta_wire::{decode_seq, encode_seq, Decoder, Encoder, Wire, WireError};
+
+use crate::interp::{Interpreter, Limits};
+use crate::value::Value;
+use crate::verifier::VerifiedModule;
+
+/// Version tag leading every [`InterpState`] encoding. Bump on any layout
+/// change; decoders reject versions they do not understand.
+pub const INTERP_STATE_VERSION: u8 = 1;
+
+/// One suspended call frame: which function, where in it, and the frame's
+/// local slots and operand stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameState {
+    /// Function index in the module.
+    pub func: u32,
+    /// Instruction index of the next op to execute.
+    pub ip: u32,
+    /// Local slots (params first, then declared locals).
+    pub locals: Vec<Value>,
+    /// Operand stack.
+    pub stack: Vec<Value>,
+}
+
+impl Wire for FrameState {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(u64::from(self.func));
+        e.put_varint(u64::from(self.ip));
+        encode_seq(&self.locals, e);
+        encode_seq(&self.stack, e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let func = u32::try_from(d.get_varint()?).map_err(|_| WireError::Invalid("frame func"))?;
+        let ip = u32::try_from(d.get_varint()?).map_err(|_| WireError::Invalid("frame ip"))?;
+        let locals = decode_seq(d)?;
+        let stack = decode_seq(d)?;
+        Ok(FrameState {
+            func,
+            ip,
+            locals,
+            stack,
+        })
+    }
+}
+
+/// A serializable snapshot of one interpreter: globals, quota meters, and
+/// the suspended call stack (empty when no run is in progress).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpState {
+    /// The agent's mobile state.
+    pub globals: Vec<Value>,
+    /// Fuel consumed so far (resumes against the same budget).
+    pub fuel_used: u64,
+    /// Allocation budget consumed so far.
+    pub alloc_used: u64,
+    /// Host calls made so far.
+    pub host_calls: u64,
+    /// Suspended call stack, outermost frame first.
+    pub frames: Vec<FrameState>,
+}
+
+impl Wire for InterpState {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u8(INTERP_STATE_VERSION);
+        e.put_varint(self.fuel_used);
+        e.put_varint(self.alloc_used);
+        e.put_varint(self.host_calls);
+        encode_seq(&self.globals, e);
+        encode_seq(&self.frames, e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let version = d.get_u8()?;
+        if version != INTERP_STATE_VERSION {
+            return Err(WireError::BadTag {
+                ty: "InterpState version",
+                tag: version,
+            });
+        }
+        let fuel_used = d.get_varint()?;
+        let alloc_used = d.get_varint()?;
+        let host_calls = d.get_varint()?;
+        let globals = decode_seq(d)?;
+        let frames = decode_seq(d)?;
+        Ok(InterpState {
+            globals,
+            fuel_used,
+            alloc_used,
+            host_calls,
+            frames,
+        })
+    }
+}
+
+impl InterpState {
+    /// Validates this snapshot against `module` under `limits`: every
+    /// structural invariant the interpreter assumes must hold before the
+    /// state is allowed back into a live [`Interpreter`].
+    pub fn validate(&self, module: &VerifiedModule, limits: &Limits) -> bool {
+        let m = module.module();
+        if self.fuel_used > limits.fuel
+            || self.alloc_used > limits.alloc_budget
+            || self.frames.len() > limits.max_call_depth
+        {
+            return false;
+        }
+        let decl = &m.globals;
+        if self.globals.len() != decl.len()
+            || self.globals.iter().zip(decl).any(|(v, &t)| v.ty() != t)
+        {
+            return false;
+        }
+        for frame in &self.frames {
+            let Some(f) = m.functions.get(frame.func as usize) else {
+                return false;
+            };
+            if frame.ip as usize >= f.code.len() {
+                return false;
+            }
+            let want = f.params.len() + f.locals.len();
+            if frame.locals.len() != want {
+                return false;
+            }
+            let declared = f.params.iter().chain(f.locals.iter());
+            if frame.locals.iter().zip(declared).any(|(v, &t)| v.ty() != t) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Interpreter {
+    /// Captures the interpreter's globals, quota meters, and suspended
+    /// call stack as a serializable snapshot. Works both mid-run (after a
+    /// [`Interpreter::run_slice`] yield) and idle (empty stack).
+    pub fn export_state(&self) -> InterpState {
+        InterpState {
+            globals: self.globals().to_vec(),
+            fuel_used: self.fuel_used(),
+            alloc_used: self.alloc_used(),
+            host_calls: self.host_calls(),
+            frames: self
+                .frames_ref()
+                .iter()
+                .map(|f| FrameState {
+                    func: f.func,
+                    ip: f.ip,
+                    locals: f.locals.clone(),
+                    stack: f.stack.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds an interpreter from a snapshot, resuming bit-identically
+    /// where [`Interpreter::export_state`] left off. Returns `None` (and
+    /// constructs nothing) when the snapshot fails
+    /// [`InterpState::validate`] against the module.
+    pub fn import_state(
+        module: std::sync::Arc<VerifiedModule>,
+        limits: Limits,
+        state: InterpState,
+    ) -> Option<Interpreter> {
+        if !state.validate(&module, &limits) {
+            return None;
+        }
+        let mut interp = Interpreter::new(module, limits);
+        interp.adopt_state(state);
+        Some(interp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::interp::{NoHost, SliceOutcome};
+    use crate::verifier::verify;
+    use std::sync::Arc;
+
+    fn counting_module() -> Arc<VerifiedModule> {
+        let src = r#"
+            module counting
+            global acc: int
+
+            func main(arg: bytes) -> int
+              locals i: int
+              push 0
+              store i
+            loop:
+              gload acc
+              push 1
+              add
+              gstore acc
+              load i
+              push 1
+              add
+              store i
+              load i
+              push 200
+              lt
+              jz done
+              jump loop
+            done:
+              gload acc
+              ret
+        "#;
+        Arc::new(verify(assemble(src).expect("assembles")).expect("verifies"))
+    }
+
+    #[test]
+    fn snapshot_resume_is_bit_identical_to_uninterrupted_run() {
+        let module = counting_module();
+        let limits = Limits::default();
+
+        let mut reference = Interpreter::new(Arc::clone(&module), limits);
+        let baseline = reference.run("main", vec![Value::Bytes(vec![])], &mut NoHost);
+
+        let mut interp = Interpreter::new(Arc::clone(&module), limits);
+        interp.start("main", vec![Value::Bytes(vec![])]);
+        // Run a few slices, snapshot mid-run, drop the live interpreter,
+        // resume from the snapshot.
+        for _ in 0..3 {
+            assert_eq!(interp.run_slice(40, &mut NoHost), SliceOutcome::Yielded);
+        }
+        let state = interp.export_state();
+        let bytes = state.to_bytes();
+        drop(interp);
+
+        let restored = InterpState::from_bytes(&bytes).expect("snapshot decodes");
+        assert_eq!(restored, state);
+        let mut resumed =
+            Interpreter::import_state(Arc::clone(&module), limits, restored).expect("valid state");
+        let outcome = loop {
+            match resumed.run_slice(40, &mut NoHost) {
+                SliceOutcome::Yielded => continue,
+                SliceOutcome::Done(o) => break o,
+            }
+        };
+        assert_eq!(outcome, baseline);
+        assert_eq!(resumed.fuel_used(), reference.fuel_used());
+        assert_eq!(resumed.globals(), reference.globals());
+    }
+
+    #[test]
+    fn import_rejects_states_inconsistent_with_the_module() {
+        let module = counting_module();
+        let limits = Limits::default();
+        let mut interp = Interpreter::new(Arc::clone(&module), limits);
+        interp.start("main", vec![Value::Bytes(vec![])]);
+        assert_eq!(interp.run_slice(40, &mut NoHost), SliceOutcome::Yielded);
+        let good = interp.export_state();
+        assert!(good.validate(&module, &limits));
+
+        let mut bad_func = good.clone();
+        bad_func.frames[0].func = 99;
+        assert!(Interpreter::import_state(Arc::clone(&module), limits, bad_func).is_none());
+
+        let mut bad_ip = good.clone();
+        bad_ip.frames[0].ip = u32::MAX;
+        assert!(Interpreter::import_state(Arc::clone(&module), limits, bad_ip).is_none());
+
+        let mut bad_locals = good.clone();
+        bad_locals.frames[0].locals.push(Value::Int(1));
+        assert!(Interpreter::import_state(Arc::clone(&module), limits, bad_locals).is_none());
+
+        let mut bad_global = good.clone();
+        bad_global.globals[0] = Value::Bytes(vec![1]);
+        assert!(Interpreter::import_state(Arc::clone(&module), limits, bad_global).is_none());
+
+        let mut bad_fuel = good.clone();
+        bad_fuel.fuel_used = limits.fuel + 1;
+        assert!(Interpreter::import_state(Arc::clone(&module), limits, bad_fuel).is_none());
+    }
+
+    #[test]
+    fn decode_is_total_on_truncated_and_corrupt_bytes() {
+        let module = counting_module();
+        let limits = Limits::default();
+        let mut interp = Interpreter::new(Arc::clone(&module), limits);
+        interp.start("main", vec![Value::Bytes(vec![])]);
+        assert_eq!(interp.run_slice(40, &mut NoHost), SliceOutcome::Yielded);
+        let bytes = interp.export_state().to_bytes();
+        for cut in 0..bytes.len() {
+            let _ = InterpState::from_bytes(&bytes[..cut]); // must not panic
+        }
+        let mut wrong_version = bytes.clone();
+        wrong_version[0] = INTERP_STATE_VERSION + 1;
+        assert!(InterpState::from_bytes(&wrong_version).is_err());
+    }
+}

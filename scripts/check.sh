@@ -27,9 +27,15 @@ mkdir -p target/bench-artifacts
 run env AJANTA_SMOKE_TRACE=target/bench-artifacts/merged-trace.jsonl \
     ./target/release/ajantad --smoke --timeout 240
 
+# Durability smoke: the same tour, but server 1 is SIGKILLed mid-tour
+# and restarted on the same socket with its admission WAL — every agent
+# must still resolve with zero duplicate admissions.
+run ./target/release/ajantad --smoke --kill 1 --timeout 240
+
 # Optional bench smokes (set CHECK_BENCH=1), each with a JSON summary
 # CI uploads as an artifact: X16 quick — 10k resident agents at reduced
-# iterations — and X18 quick — the coalesced-vs-baseline wire burst.
+# iterations — X18 quick — the coalesced-vs-baseline wire burst — and
+# X19 quick — the hibernate/wake cycle and WAL replay throughput.
 if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     echo "+ X16_JSON=target/bench-artifacts/x16_sched.json cargo run --release $OFFLINE -p ajanta-bench --bin report -- x16 quick"
     X16_JSON=target/bench-artifacts/x16_sched.json \
@@ -37,5 +43,8 @@ if [[ "${CHECK_BENCH:-0}" == "1" ]]; then
     echo "+ X18_JSON=target/bench-artifacts/x18_wirepath.json cargo run --release $OFFLINE -p ajanta-bench --bin report -- x18 quick"
     X18_JSON=target/bench-artifacts/x18_wirepath.json \
         cargo run --release $OFFLINE -p ajanta-bench --bin report -- x18 quick
+    echo "+ X19_JSON=target/bench-artifacts/x19_durability.json cargo run --release $OFFLINE -p ajanta-bench --bin report -- x19 quick"
+    X19_JSON=target/bench-artifacts/x19_durability.json \
+        cargo run --release $OFFLINE -p ajanta-bench --bin report -- x19 quick
 fi
 echo "check.sh: all green"
