@@ -51,6 +51,38 @@ pub enum Severity {
     Security,
 }
 
+impl Severity {
+    /// Stable lower-case label, for rendering and wire transport.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Security => "security",
+        }
+    }
+
+    /// Dense discriminant (0, 1, 2) for wire transport.
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Severity::index`].
+    pub fn from_index(i: u8) -> Option<Severity> {
+        match i {
+            0 => Some(Severity::Info),
+            1 => Some(Severity::Warn),
+            2 => Some(Severity::Security),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Typed category for a rejected input — the former `&'static str` kinds
 /// of the server's `SecurityEvent`, promoted to an enum so experiments and
 /// tests match on variants instead of strings.
@@ -459,6 +491,130 @@ impl Event {
             _ => Severity::Info,
         }
     }
+
+    /// Stable kebab-case label for the variant — the discriminant a
+    /// control-plane client can match on without shipping the full enum
+    /// over the wire.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Event::Audit { .. } => "audit",
+            Event::ProxyGrant { .. } => "proxy-grant",
+            Event::ProxyDeny { .. } => "proxy-deny",
+            Event::ProxyRevoke { .. } => "proxy-revoke",
+            Event::ProxyExpiry { .. } => "proxy-expiry",
+            Event::MeterCharge { .. } => "meter-charge",
+            Event::AgentAdmitted { .. } => "agent-admitted",
+            Event::AgentDispatched { .. } => "agent-dispatched",
+            Event::AgentReported { .. } => "agent-reported",
+            Event::AgentLog { .. } => "agent-log",
+            Event::Rejected { .. } => "rejected",
+            Event::TransferRetried { .. } => "transfer-retried",
+            Event::HopSkipped { .. } => "hop-skipped",
+            Event::AgentRecovered { .. } => "agent-recovered",
+            Event::AgentHibernated { .. } => "agent-hibernated",
+            Event::AgentWoken { .. } => "agent-woken",
+            Event::WalReplayed { .. } => "wal-replayed",
+            Event::Span { .. } => "span",
+        }
+    }
+
+    /// The agent this event is about, when it is about one.
+    pub fn agent(&self) -> Option<&Urn> {
+        match self {
+            Event::AgentAdmitted { agent, .. }
+            | Event::AgentDispatched { agent, .. }
+            | Event::AgentReported { agent, .. }
+            | Event::AgentLog { agent, .. }
+            | Event::TransferRetried { agent, .. }
+            | Event::HopSkipped { agent, .. }
+            | Event::AgentRecovered { agent, .. }
+            | Event::AgentHibernated { agent, .. }
+            | Event::AgentWoken { agent, .. }
+            | Event::WalReplayed { agent, .. }
+            | Event::Span { agent, .. } => Some(agent),
+            _ => None,
+        }
+    }
+
+    /// One-line human rendering of the variant's fields (the label is
+    /// *not* included — pair with [`Event::label`]). Deterministic, so
+    /// remote and local renderings of the same record compare equal.
+    pub fn render(&self) -> String {
+        match self {
+            Event::Audit {
+                caller,
+                op,
+                allowed,
+            } => {
+                format!("caller={caller:?} op={op:?} allowed={allowed}")
+            }
+            Event::ProxyGrant { resource, holder } => {
+                format!("resource={resource} holder={holder:?}")
+            }
+            Event::ProxyDeny {
+                resource,
+                holder,
+                detail,
+            } => format!("resource={resource} holder={holder:?} detail={detail}"),
+            Event::ProxyRevoke { resource, holder } => {
+                format!("resource={resource} holder={holder:?}")
+            }
+            Event::ProxyExpiry {
+                resource,
+                holder,
+                not_after,
+            } => format!("resource={resource} holder={holder:?} not_after={not_after}"),
+            Event::MeterCharge {
+                resource,
+                holder,
+                method,
+                amount,
+            } => format!("resource={resource} holder={holder:?} method={method} amount={amount}"),
+            Event::AgentAdmitted { agent, domain, hop } => {
+                format!("agent={agent} domain={domain:?} hop={hop}")
+            }
+            Event::AgentDispatched { agent, dest } => format!("agent={agent} dest={dest}"),
+            Event::AgentReported { agent, status } => format!("agent={agent} status={status}"),
+            Event::AgentLog { agent, text } => format!("agent={agent} text={text}"),
+            Event::Rejected { kind, detail } => format!("kind={kind} detail={detail}"),
+            Event::TransferRetried {
+                agent,
+                dest,
+                hop,
+                attempt,
+            } => format!("agent={agent} dest={dest} hop={hop} attempt={attempt}"),
+            Event::HopSkipped {
+                agent,
+                skipped,
+                next,
+                hop,
+            } => format!("agent={agent} skipped={skipped} next={next} hop={hop}"),
+            Event::AgentRecovered {
+                agent,
+                hop,
+                disposition,
+            } => format!("agent={agent} hop={hop} disposition={disposition}"),
+            Event::AgentHibernated { agent, hop, bytes } => {
+                format!("agent={agent} hop={hop} bytes={bytes}")
+            }
+            Event::AgentWoken { agent, hop } => format!("agent={agent} hop={hop}"),
+            Event::WalReplayed { agent, hop } => format!("agent={agent} hop={hop}"),
+            Event::Span {
+                ctx,
+                kind,
+                agent,
+                detail,
+                start_ns,
+                dur_ns,
+            } => format!(
+                "trace={} span={} parent={} kind={kind} agent={agent} detail={detail} \
+                 start_ns={start_ns} dur_ns={dur_ns}",
+                ctx.trace,
+                ctx.span,
+                ctx.parent.map_or("-".to_string(), |p| p.to_string()),
+            ),
+        }
+    }
 }
 
 /// One journaled record: a globally ordered, timestamped [`Event`].
@@ -576,7 +732,49 @@ impl Counter {
             Counter::WalReplays => "ajanta_wal_replays_total",
         }
     }
+
+    /// One-line `# HELP` text for the exported metric.
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::EventsAppended => "Events appended to the telemetry journal.",
+            Counter::EventsDropped => "Journal records evicted by the capacity bound.",
+            Counter::AuditAllowed => "Reference-monitor decisions that allowed the operation.",
+            Counter::AuditDenied => "Reference-monitor decisions that denied the operation.",
+            Counter::ProxyGrants => "Resource proxies issued at bind time.",
+            Counter::ProxyDenials => "Bind requests refused by policy, quota, or lookup.",
+            Counter::ProxyRevocations => "Proxies invalidated by a resource manager.",
+            Counter::ProxyExpiries => "Invocations refused because the proxy had expired.",
+            Counter::MeterCharges => "Metered invocations charged.",
+            Counter::ChargeUnits => "Total tariff units charged across all meters.",
+            Counter::AgentsAdmitted => "Agents that passed admission and got a domain.",
+            Counter::AgentsDispatched => "Agents (or launches) sent toward another server.",
+            Counter::AgentsReported => "Status reports recorded at this home server.",
+            Counter::LogLines => "Lines agents wrote through env.log.",
+            Counter::Rejections => "Security-relevant rejections of any kind.",
+            Counter::TransfersRetried => "Reliable-transfer frames re-sent after ack timeout.",
+            Counter::HopsSkipped => "Dead stops routed around via itinerary fallback.",
+            Counter::AgentsRecovered => "Dead-stopped agents resolved (skipped or sent home).",
+            Counter::SpansRecorded => "Trace spans journaled locally.",
+            Counter::AgentsYielded => "Cooperative yields taken by agent slices.",
+            Counter::SlicesRun => "Scheduler slices executed by the worker pool.",
+            Counter::Steals => "Run-queue steals between scheduler workers.",
+            Counter::FramesCoalesced => "Wire frames carried by coalesced socket writes.",
+            Counter::WriteSyscalls => "Socket write syscalls issued by the data plane.",
+            Counter::AgentsHibernated => "Idle agents serialized into the bundle store.",
+            Counter::AgentsWoken => "Hibernated agents rehydrated back to the scheduler.",
+            Counter::WalAppends => "Admission records appended to the write-ahead log.",
+            Counter::WalReplays => "In-flight agents re-admitted from a replayed WAL.",
+        }
+    }
 }
+
+/// Exported name of the per-shard journal eviction counter family
+/// (labeled `{shard="i"}`); [`Counter::EventsDropped`] is its sum.
+pub const SHARD_DROPPED_NAME: &str = "ajanta_journal_shard_dropped_total";
+
+/// `# HELP` text for [`SHARD_DROPPED_NAME`].
+pub const SHARD_DROPPED_HELP: &str =
+    "Journal ring evictions attributed to the shard that overflowed.";
 
 /// How many independently locked rings the journal spreads appends over.
 /// The global sequence number doubles as the shard selector, so successive
@@ -623,25 +821,127 @@ impl CounterSet {
         self.shard_drops[shard].load(Ordering::Relaxed)
     }
 
-    /// Prometheus-style text exposition: one `name value` line per
-    /// counter, in [`Counter::ALL`] order, followed by one
-    /// `ajanta_journal_dropped_total{shard="i"} value` line per shard.
+    /// A point-in-time typed copy of every counter — the single source
+    /// both the Prometheus text renderer and the control-plane wire
+    /// encoding serialize from.
+    pub fn typed_snapshot(&self) -> CountersSnapshot {
+        CountersSnapshot {
+            values: Counter::ALL.iter().map(|c| self.get(*c)).collect(),
+            shard_drops: self
+                .shard_drops
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Prometheus-style text exposition (see
+    /// [`CountersSnapshot::render`]).
     pub fn snapshot(&self) -> String {
+        self.typed_snapshot().render()
+    }
+}
+
+/// A plain-value copy of a [`CounterSet`]: one value per [`Counter::ALL`]
+/// entry plus the per-shard journal eviction counts. Wire-encodable, so a
+/// control-plane server ships it instead of pre-rendered text, and
+/// mergeable, so a CLI can aggregate a whole fleet.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CountersSnapshot {
+    /// Counter values, in [`Counter::ALL`] order.
+    pub values: Vec<u64>,
+    /// Per-shard eviction counts ([`Counter::EventsDropped`] is the sum).
+    pub shard_drops: Vec<u64>,
+}
+
+impl CountersSnapshot {
+    /// An all-zero snapshot (for folding merges).
+    pub fn empty() -> Self {
+        CountersSnapshot {
+            values: vec![0; Counter::ALL.len()],
+            shard_drops: vec![0; SHARDS],
+        }
+    }
+
+    /// The captured value of one counter (0 if the snapshot predates it).
+    pub fn get(&self, c: Counter) -> u64 {
+        self.values.get(c as usize).copied().unwrap_or(0)
+    }
+
+    /// Accumulates another snapshot into this one, element-wise — how
+    /// per-server counters aggregate into a fleet-wide view.
+    pub fn merge(&mut self, other: &CountersSnapshot) {
+        if self.values.len() < other.values.len() {
+            self.values.resize(other.values.len(), 0);
+        }
+        for (v, o) in self.values.iter_mut().zip(other.values.iter()) {
+            *v += o;
+        }
+        if self.shard_drops.len() < other.shard_drops.len() {
+            self.shard_drops.resize(other.shard_drops.len(), 0);
+        }
+        for (v, o) in self.shard_drops.iter_mut().zip(other.shard_drops.iter()) {
+            *v += o;
+        }
+    }
+
+    /// Prometheus text exposition: for every counter a `# HELP` line, a
+    /// `# TYPE … counter` line, and the `name value` sample, in
+    /// [`Counter::ALL`] order; then the per-shard eviction family
+    /// [`SHARD_DROPPED_NAME`] with one `{shard="i"}` sample per shard.
+    pub fn render(&self) -> String {
         let mut out = String::new();
         for c in Counter::ALL {
-            out.push_str(c.name());
-            out.push(' ');
-            out.push_str(&self.get(c).to_string());
-            out.push('\n');
-        }
-        for (i, d) in self.shard_drops.iter().enumerate() {
             out.push_str(&format!(
-                "{}{{shard=\"{i}\"}} {}\n",
-                Counter::EventsDropped.name(),
-                d.load(Ordering::Relaxed)
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}\n",
+                self.get(c),
+                name = c.name(),
+                help = c.help(),
             ));
         }
+        out.push_str(&format!(
+            "# HELP {SHARD_DROPPED_NAME} {SHARD_DROPPED_HELP}\n\
+             # TYPE {SHARD_DROPPED_NAME} counter\n"
+        ));
+        for (i, d) in self.shard_drops.iter().enumerate() {
+            out.push_str(&format!("{SHARD_DROPPED_NAME}{{shard=\"{i}\"}} {d}\n"));
+        }
         out
+    }
+}
+
+impl Wire for CountersSnapshot {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_varint(self.values.len() as u64);
+        for v in &self.values {
+            e.put_varint(*v);
+        }
+        e.put_varint(self.shard_drops.len() as u64);
+        for v in &self.shard_drops {
+            e.put_varint(*v);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = d.get_varint()? as usize;
+        if n > 4096 {
+            return Err(WireError::TooLong(n as u64));
+        }
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(d.get_varint()?);
+        }
+        let m = d.get_varint()? as usize;
+        if m > 4096 {
+            return Err(WireError::TooLong(m as u64));
+        }
+        let mut shard_drops = Vec::with_capacity(m);
+        for _ in 0..m {
+            shard_drops.push(d.get_varint()?);
+        }
+        Ok(CountersSnapshot {
+            values,
+            shard_drops,
+        })
     }
 }
 
@@ -797,6 +1097,45 @@ impl HistoSnapshot {
     }
 }
 
+impl Wire for HistoSnapshot {
+    fn encode(&self, e: &mut Encoder) {
+        // Sparse bucket encoding: only non-zero buckets travel, as
+        // (index, count) pairs — most histograms occupy a handful of
+        // the 64 log₂ buckets.
+        let nonzero = self.buckets.iter().filter(|b| **b != 0).count();
+        e.put_varint(nonzero as u64);
+        for (i, b) in self.buckets.iter().enumerate() {
+            if *b != 0 {
+                e.put_varint(i as u64);
+                e.put_varint(*b);
+            }
+        }
+        e.put_varint(self.count);
+        e.put_varint(self.sum);
+        e.put_varint(self.max);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let n = d.get_varint()? as usize;
+        if n > HISTO_BUCKETS {
+            return Err(WireError::TooLong(n as u64));
+        }
+        let mut buckets = [0u64; HISTO_BUCKETS];
+        for _ in 0..n {
+            let i = d.get_varint()? as usize;
+            if i >= HISTO_BUCKETS {
+                return Err(WireError::Invalid("histogram bucket index out of range"));
+            }
+            buckets[i] = d.get_varint()?;
+        }
+        Ok(HistoSnapshot {
+            buckets,
+            count: d.get_varint()?,
+            sum: d.get_varint()?,
+            max: d.get_varint()?,
+        })
+    }
+}
+
 /// The instrumented hot paths, each with its own [`Histo`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HistoPath {
@@ -859,6 +1198,50 @@ impl HistoPath {
             HistoPath::WakeLatency => "ajanta_wake_ns",
         }
     }
+
+    /// One-line `# HELP` text for the exported distribution.
+    pub fn help(self) -> &'static str {
+        match self {
+            HistoPath::ProxyCheck => "Per-invocation proxy access check, real ns.",
+            HistoPath::Bind => "The 6-step resource bind protocol, real ns.",
+            HistoPath::TransferRtt => {
+                "Reliable transfer round-trip (first send to delivery ack), virtual ns."
+            }
+            HistoPath::RetryBackoff => "Backoff actually waited before one retry, virtual ns.",
+            HistoPath::HopLatency => {
+                "End-to-end hop latency (send to admission at destination), virtual ns."
+            }
+            HistoPath::SliceDuration => "One scheduler slice of agent execution, real ns.",
+            HistoPath::ReadyDwell => "Time a ready task waited in a run-queue, real ns.",
+            HistoPath::FramesPerWrite => "Frames carried by one coalesced socket write (count).",
+            HistoPath::HibernateLatency => "Serializing an idle agent into its bundle, real ns.",
+            HistoPath::WakeLatency => "Rehydrating a hibernated agent's bundle, real ns.",
+        }
+    }
+}
+
+/// Renders one histogram in Prometheus summary style: `# HELP` /
+/// `# TYPE … summary`, the three quantile gauges, `_sum` and `_count`,
+/// then the observed max as its own single-sample gauge family.
+pub fn render_histo(path: HistoPath, s: &HistoSnapshot, out: &mut String) {
+    let name = path.name();
+    out.push_str(&format!(
+        "# HELP {name} {}\n# TYPE {name} summary\n",
+        path.help()
+    ));
+    for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+        out.push_str(&format!(
+            "{name}{{quantile=\"{label}\"}} {}\n",
+            s.quantile(q)
+        ));
+    }
+    out.push_str(&format!("{name}_sum {}\n", s.sum));
+    out.push_str(&format!("{name}_count {}\n", s.count));
+    out.push_str(&format!(
+        "# HELP {name}_max Largest sample observed on this path.\n\
+         # TYPE {name}_max gauge\n{name}_max {}\n",
+        s.max
+    ));
 }
 
 /// One [`Histo`] per [`HistoPath`]; every [`Journal`] owns a set.
@@ -884,25 +1267,95 @@ impl HistoSet {
         &self.histos[path as usize]
     }
 
-    /// Prometheus-style text exposition: for each path, quantile gauges
-    /// (`name{quantile="0.5"}` / `0.9` / `0.99`), then `name_max`,
-    /// `name_sum`, `name_count`.
+    /// A point-in-time typed copy of every path's histogram, in
+    /// [`HistoPath::ALL`] order.
+    pub fn typed_snapshot(&self) -> Vec<HistoSnapshot> {
+        HistoPath::ALL
+            .iter()
+            .map(|p| self.get(*p).snapshot())
+            .collect()
+    }
+
+    /// Prometheus-style text exposition of every path (see
+    /// [`render_histo`]).
     pub fn snapshot(&self) -> String {
         let mut out = String::new();
-        for path in HistoPath::ALL {
-            let s = self.get(path).snapshot();
-            let name = path.name();
-            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
-                out.push_str(&format!(
-                    "{name}{{quantile=\"{label}\"}} {}\n",
-                    s.quantile(q)
-                ));
-            }
-            out.push_str(&format!("{name}_max {}\n", s.max));
-            out.push_str(&format!("{name}_sum {}\n", s.sum));
-            out.push_str(&format!("{name}_count {}\n", s.count));
+        for (path, s) in HistoPath::ALL.iter().zip(self.typed_snapshot().iter()) {
+            render_histo(*path, s, &mut out);
         }
         out
+    }
+}
+
+/// Everything a journal exports, as one typed, Wire-encodable value:
+/// counters (with per-shard drop attribution) plus every hot-path
+/// histogram. The Prometheus text renderer and the control-plane protocol
+/// both serialize from this — one source of truth for every metric.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// The aggregate counters.
+    pub counters: CountersSnapshot,
+    /// Histograms, in [`HistoPath::ALL`] order.
+    pub histos: Vec<HistoSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// An all-zero snapshot (for folding merges).
+    pub fn empty() -> Self {
+        TelemetrySnapshot {
+            counters: CountersSnapshot::empty(),
+            histos: vec![HistoSnapshot::empty(); HistoPath::ALL.len()],
+        }
+    }
+
+    /// The captured histogram of one path (empty if absent).
+    pub fn histo(&self, path: HistoPath) -> HistoSnapshot {
+        self.histos.get(path as usize).cloned().unwrap_or_default()
+    }
+
+    /// Accumulates another snapshot into this one — counters add, each
+    /// path's histogram merges bucket-wise.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        self.counters.merge(&other.counters);
+        if self.histos.len() < other.histos.len() {
+            self.histos
+                .resize(other.histos.len(), HistoSnapshot::empty());
+        }
+        for (h, o) in self.histos.iter_mut().zip(other.histos.iter()) {
+            h.merge(o);
+        }
+    }
+
+    /// Full Prometheus text exposition: counters then histograms, with
+    /// `# HELP` / `# TYPE` metadata on every family.
+    pub fn render(&self) -> String {
+        let mut out = self.counters.render();
+        for (path, s) in HistoPath::ALL.iter().zip(self.histos.iter()) {
+            render_histo(*path, s, &mut out);
+        }
+        out
+    }
+}
+
+impl Wire for TelemetrySnapshot {
+    fn encode(&self, e: &mut Encoder) {
+        self.counters.encode(e);
+        e.put_varint(self.histos.len() as u64);
+        for h in &self.histos {
+            h.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, WireError> {
+        let counters = CountersSnapshot::decode(d)?;
+        let n = d.get_varint()? as usize;
+        if n > 256 {
+            return Err(WireError::TooLong(n as u64));
+        }
+        let mut histos = Vec::with_capacity(n);
+        for _ in 0..n {
+            histos.push(HistoSnapshot::decode(d)?);
+        }
+        Ok(TelemetrySnapshot { counters, histos })
     }
 }
 
@@ -1105,6 +1558,34 @@ impl Journal {
         all
     }
 
+    /// Every retained record with `seq >= cursor`, globally ordered — the
+    /// journal-follow primitive. Sequence numbers are dense, so a reader
+    /// holding `cursor` detects loss exactly: if the first returned
+    /// record's seq exceeds the cursor, the gap was evicted (and is
+    /// accounted in [`Journal::dropped`]).
+    pub fn since(&self, cursor: u64) -> Vec<Record> {
+        let mut all: Vec<Record> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.ring
+                    .lock()
+                    .iter()
+                    .filter(|r| r.seq >= cursor)
+                    .cloned()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        all.sort_unstable_by_key(|r| r.seq);
+        all
+    }
+
+    /// The sequence number the *next* append will get — i.e. one past the
+    /// newest existing record. A fresh follow cursor starts here.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
     /// The aggregate counters.
     pub fn counters(&self) -> &CounterSet {
         &self.counters
@@ -1120,12 +1601,21 @@ impl Journal {
         &self.histos
     }
 
+    /// A typed copy of every counter and histogram this journal exports —
+    /// what the control plane ships over the wire, and what
+    /// [`Journal::metrics_snapshot`] renders.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self.counters.typed_snapshot(),
+            histos: self.histos.typed_snapshot(),
+        }
+    }
+
     /// Full Prometheus-style exposition: counters (with per-shard drop
-    /// lines) followed by the five hot-path latency distributions.
+    /// attribution) followed by every hot-path latency distribution, each
+    /// family carrying `# HELP` / `# TYPE` metadata.
     pub fn metrics_snapshot(&self) -> String {
-        let mut out = self.counters.snapshot();
-        out.push_str(&self.histos.snapshot());
-        out
+        self.telemetry_snapshot().render()
     }
 }
 
@@ -1281,15 +1771,20 @@ mod tests {
     }
 
     #[test]
-    fn prometheus_snapshot_has_one_line_per_counter_plus_shard_drops() {
+    fn prometheus_snapshot_has_help_type_and_value_per_counter_plus_shard_drops() {
         let j = Journal::new();
         j.append(reject("x"));
         let text = j.counters().snapshot();
-        assert_eq!(text.lines().count(), Counter::ALL.len() + SHARDS);
+        // Per counter: # HELP, # TYPE, value. Then the shard-drop family:
+        // one # HELP, one # TYPE, one labeled sample per shard.
+        assert_eq!(text.lines().count(), Counter::ALL.len() * 3 + 2 + SHARDS);
         assert!(text.contains("ajanta_rejections_total 1\n"));
         assert!(text.contains("ajanta_journal_events_total 1\n"));
-        assert!(text.contains("ajanta_journal_dropped_total{shard=\"0\"} 0\n"));
-        assert!(text.contains("ajanta_journal_dropped_total{shard=\"7\"} 0\n"));
+        assert!(text.contains("# TYPE ajanta_rejections_total counter\n"));
+        assert!(text.contains("# HELP ajanta_journal_events_total "));
+        assert!(text.contains("# TYPE ajanta_journal_shard_dropped_total counter\n"));
+        assert!(text.contains("ajanta_journal_shard_dropped_total{shard=\"0\"} 0\n"));
+        assert!(text.contains("ajanta_journal_shard_dropped_total{shard=\"7\"} 0\n"));
         // Every exported name is unique.
         let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
         names.sort_unstable();
@@ -1310,7 +1805,112 @@ mod tests {
             assert_eq!(j.counters().shard_drops(shard), 2, "shard {shard}");
         }
         let text = j.counters().snapshot();
-        assert!(text.contains("ajanta_journal_dropped_total{shard=\"3\"} 2\n"));
+        assert!(text.contains("ajanta_journal_shard_dropped_total{shard=\"3\"} 2\n"));
+        // The typed snapshot is the same source of truth.
+        let typed = j.counters().typed_snapshot();
+        assert_eq!(typed.shard_drops, vec![2u64; SHARDS]);
+        assert_eq!(typed.get(Counter::EventsDropped), 16);
+    }
+
+    #[test]
+    fn counters_snapshot_roundtrips_on_the_wire_and_merges() {
+        let j = Journal::new();
+        j.append(reject("x"));
+        j.append(reject("y"));
+        let snap = j.counters().typed_snapshot();
+        let decoded = CountersSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded, snap);
+        assert_eq!(decoded.get(Counter::Rejections), 2);
+
+        let mut merged = CountersSnapshot::empty();
+        merged.merge(&snap);
+        merged.merge(&snap);
+        assert_eq!(merged.get(Counter::Rejections), 4);
+        assert_eq!(merged.get(Counter::EventsAppended), 4);
+    }
+
+    #[test]
+    fn histo_snapshot_roundtrips_on_the_wire() {
+        let h = Histo::new();
+        for v in [0u64, 1, 3, 255, 70_000, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let decoded = HistoSnapshot::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(decoded, s);
+        assert_eq!(decoded.quantile(1.0), s.quantile(1.0));
+        // An empty histogram (all buckets zero) also round-trips.
+        let empty = HistoSnapshot::empty();
+        assert_eq!(HistoSnapshot::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn telemetry_snapshot_is_the_single_source_of_render() {
+        let j = Journal::new();
+        j.append(reject("x"));
+        j.histos().record(HistoPath::Bind, 1000);
+        let snap = j.telemetry_snapshot();
+        // The text exposition is exactly the typed snapshot's rendering.
+        assert_eq!(j.metrics_snapshot(), snap.render());
+        // And it survives the wire intact — remote render == local render.
+        let decoded = TelemetrySnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(decoded.render(), snap.render());
+        assert_eq!(decoded.histo(HistoPath::Bind).count, 1);
+        // Fleet aggregation: merging two servers' snapshots adds.
+        let mut fleet = TelemetrySnapshot::empty();
+        fleet.merge(&snap);
+        fleet.merge(&snap);
+        assert_eq!(fleet.counters.get(Counter::Rejections), 2);
+        assert_eq!(fleet.histo(HistoPath::Bind).count, 2);
+    }
+
+    #[test]
+    fn journal_since_pages_by_cursor() {
+        let j = Journal::with_capacity(64);
+        for i in 0..10 {
+            j.append_at(i, reject("x"));
+        }
+        assert_eq!(j.next_seq(), 10);
+        let page = j.since(6);
+        assert_eq!(page.iter().map(|r| r.seq).collect::<Vec<_>>(), [6, 7, 8, 9]);
+        assert!(j.since(10).is_empty());
+        assert_eq!(j.since(0).len(), 10);
+    }
+
+    #[test]
+    fn journal_since_exposes_eviction_gaps() {
+        // Capacity 16, 100 appends: only 84..100 survive; a reader who
+        // paused at cursor 50 sees the gap start at 84 and the drop
+        // counter accounts for what it missed.
+        let j = Journal::with_capacity(16);
+        for i in 0..100u64 {
+            j.append_at(i, reject("x"));
+        }
+        let page = j.since(50);
+        assert_eq!(page.first().unwrap().seq, 84);
+        assert_eq!(j.dropped(), 84);
+    }
+
+    #[test]
+    fn event_labels_and_renderings_are_deterministic() {
+        let e = Event::AgentAdmitted {
+            agent: Urn::agent("x.org", ["a"]).unwrap(),
+            domain: DomainId(3),
+            hop: 2,
+        };
+        assert_eq!(e.label(), "agent-admitted");
+        assert_eq!(e.agent().unwrap().to_string(), "ajn://x.org/agent/a");
+        assert_eq!(e.render(), e.clone().render());
+        let r = reject("boom");
+        assert_eq!(r.label(), "rejected");
+        assert!(r.agent().is_none());
+        assert!(r.render().contains("detail=boom"));
+        assert_eq!(Severity::Security.as_str(), "security");
+        assert_eq!(
+            Severity::from_index(Severity::Warn.index()),
+            Some(Severity::Warn)
+        );
+        assert_eq!(Severity::from_index(9), None);
     }
 
     #[test]

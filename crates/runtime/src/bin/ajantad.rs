@@ -28,9 +28,9 @@ use ajanta_runtime::{run_child, run_parent, ChildOpts, KillPlan, SmokeOpts};
 fn usage() -> ! {
     eprintln!(
         "usage: ajantad child --index I --servers N --seed S --addr A --trace-out P \
-         [--agents K] [--loss F] [--wal P]\n       ajantad --smoke [--servers N] [--agents K] \
-         [--loss F] [--tcp] [--seed S] [--timeout SECS] \
-         [--kill I --kill-after-ms MS --down-ms MS]"
+         [--agents K] [--loss F] [--wal P] [--ctl A]\n       ajantad --smoke [--servers N] \
+         [--agents K] [--loss F] [--tcp] [--seed S] [--timeout SECS] \
+         [--kill I --kill-after-ms MS --down-ms MS] [--ctl] [--ctl-transcript P]"
     );
     std::process::exit(2);
 }
@@ -78,6 +78,7 @@ fn child_main(mut args: std::iter::Peekable<std::env::Args>) {
     let mut agents = 32usize;
     let mut loss = 0.0f64;
     let mut wal = None;
+    let mut ctl: Option<NetAddr> = None;
     while let Some(flag) = args.next() {
         let v = take_value(&mut args, &flag);
         match flag.as_str() {
@@ -89,6 +90,7 @@ fn child_main(mut args: std::iter::Peekable<std::env::Args>) {
             "--agents" => agents = v.parse().unwrap_or(agents),
             "--loss" => loss = v.parse().unwrap_or(loss),
             "--wal" => wal = Some(PathBuf::from(v)),
+            "--ctl" => ctl = v.parse().ok(),
             _ => usage(),
         }
     }
@@ -106,6 +108,7 @@ fn child_main(mut args: std::iter::Peekable<std::env::Args>) {
         agents,
         loss,
         wal,
+        ctl,
     }) {
         eprintln!("ajantad child {index}: {e}");
         std::process::exit(1);
@@ -122,9 +125,15 @@ fn smoke_main(mut args: std::iter::Peekable<std::env::Args>) {
     let mut kill_victim: Option<usize> = None;
     let mut kill_after = Duration::from_millis(150);
     let mut down = Duration::from_millis(400);
+    let mut ctl = false;
+    let mut ctl_transcript: Option<PathBuf> = None;
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--tcp" => uds = false,
+            "--ctl" => ctl = true,
+            "--ctl-transcript" => {
+                ctl_transcript = Some(PathBuf::from(take_value(&mut args, &flag)))
+            }
             "--servers" => servers = take_value(&mut args, &flag).parse().unwrap_or(servers),
             "--agents" => agents = take_value(&mut args, &flag).parse().unwrap_or(agents),
             "--loss" => loss = take_value(&mut args, &flag).parse().unwrap_or(loss),
@@ -170,6 +179,8 @@ fn smoke_main(mut args: std::iter::Peekable<std::env::Args>) {
             after: kill_after,
             down,
         }),
+        ctl,
+        ctl_transcript: ctl_transcript.clone(),
     }) {
         Ok(r) => r,
         Err(e) => {
@@ -194,6 +205,15 @@ fn smoke_main(mut args: std::iter::Peekable<std::env::Args>) {
         report.restarts,
         report.wal_replays,
     );
+    if report.ctl_exercised {
+        match &ctl_transcript {
+            Some(p) => println!(
+                "smoke: control plane exercised; transcript at {}",
+                p.display()
+            ),
+            None => println!("smoke: control plane exercised"),
+        }
+    }
     if let Ok(path) = std::env::var("AJANTA_SMOKE_TRACE") {
         if let Err(e) = std::fs::write(&path, &report.merged_jsonl) {
             eprintln!("ajantad --smoke: writing {path}: {e}");
@@ -206,11 +226,13 @@ fn smoke_main(mut args: std::iter::Peekable<std::env::Args>) {
     // spans it emitted before dying are absent from the merge: survivors'
     // child spans legitimately orphan, and whole traces can drop out of
     // the forest. The durability bars (every agent reported, no
-    // duplicate admissions) hold regardless.
+    // duplicate admissions) hold regardless. The control-plane exercise
+    // plants one sleeper agent, whose launch adds one trace to the tour's.
     let crashed = kill_victim.is_some();
+    let expected_traces = report.agents + usize::from(ctl);
     let ok = report.reported == report.agents
         && report.duplicate_admissions == 0
-        && (crashed || report.traces == report.agents)
+        && (crashed || report.traces == expected_traces)
         && (crashed || report.orphans == 0)
         && report.completed > 0;
     if !ok {

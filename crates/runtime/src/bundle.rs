@@ -225,6 +225,20 @@ impl BundleStore {
         AgentBundle::from_bytes(&bytes).ok()
     }
 
+    /// Names of every hibernated agent, sorted — the control plane's
+    /// inventory of the store.
+    pub fn list(&self) -> Vec<Urn> {
+        let mut agents: Vec<Urn> = self
+            .index
+            .lock()
+            .expect("bundle index poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        agents.sort();
+        agents
+    }
+
     /// Whether a bundle for `agent` is currently stored.
     pub fn contains(&self, agent: &Urn) -> bool {
         self.index

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod bundle;
+pub mod control;
 pub mod directory;
 pub mod env;
 pub mod itinerary;
@@ -43,6 +44,10 @@ pub mod wal;
 pub mod world;
 
 pub use bundle::{AgentBundle, BundleStore, WarmState, BUNDLE_VERSION};
+pub use control::{
+    AgentDetail, AgentEntry, AgentState, ControlClient, ControlRequest, ControlResponse,
+    ControlServer, JournalEntry, JournalFollower, JournalPage, ServerStatus, CONTROL_VERSION,
+};
 pub use directory::Directory;
 pub use itinerary::{Itinerary, ItineraryError};
 pub use messages::{AgentStatus, Message, Report, ReportStatus};
@@ -51,7 +56,9 @@ pub use multiproc::{
 };
 pub use owner::Owner;
 pub use sched::{SchedDepths, Scheduler, DEFAULT_SLICE_FUEL};
-pub use server::{AgentServer, QueryError, RetryPolicy, SecurityEvent, ServerConfig, ServerHandle};
+pub use server::{
+    AgentServer, ControlView, QueryError, RetryPolicy, SecurityEvent, ServerConfig, ServerHandle,
+};
 pub use vmres::VmResource;
 pub use wal::{AdmissionWal, WalRecord, WalRecovery};
 pub use world::{TransportMode, World};
@@ -59,7 +66,7 @@ pub use world::{TransportMode, World};
 // Telemetry types surface through the runtime so experiments and
 // examples can match on journal events without a direct core import.
 pub use ajanta_core::telemetry::{
-    Counter, Event, Histo, HistoPath, HistoSet, HistoSnapshot, Journal, Record, RejectKind,
-    Severity, SpanContext, SpanId, SpanKind, TraceId,
+    Counter, CountersSnapshot, Event, Histo, HistoPath, HistoSet, HistoSnapshot, Journal, Record,
+    RejectKind, Severity, SpanContext, SpanId, SpanKind, TelemetrySnapshot, TraceId,
 };
 pub use ajanta_core::trace::{scan_anomalies, Anomaly, SpanRec, TraceForest, TraceRecord};

@@ -17,6 +17,10 @@
 //! parent: PEER <index> <addr>              one per remote peer
 //! parent: GO                               child 0 launches the tour
 //! child0: RESULT reported=<n> completed=<n> agents=<n>
+//! parent: SLEEPER <idx>                    (--ctl) launch an idle resident toward server idx
+//! child:  SLEEPER <urn>                    the launched sleeper's name
+//! parent: PARITY <urn>                     (--ctl) assert remote/local control parity
+//! child:  PARITY ok | PARITY fail: <why>   verdict, incl. hibernate/wake round trip
 //! parent: STOP                             quiesce + export traces
 //! child:  DONE dups=<n>
 //! parent: EXIT                             shut down and exit
@@ -183,6 +187,34 @@ const TOURIST: &str = r#"
       ret
 "#;
 
+/// A deliberately idle resident: polls its mailbox forever (each empty
+/// poll is a mail miss), terminating only if mail ever arrives. Yields
+/// every slice, holds no bindings, plans no migration — the ideal
+/// subject for a control-plane hibernate/wake round trip.
+const SLEEPER: &str = r#"
+    module sleeper
+    import env.recv () -> bytes
+
+    func run(arg: bytes) -> int
+      wait:
+      hostcall env.recv
+      blen
+      jz wait
+      push 0
+      ret
+"#;
+
+fn sleeper_image() -> AgentImage {
+    let module = assemble(SLEEPER).expect("sleeper assembles");
+    let image = AgentImage {
+        globals: module.initial_globals(),
+        module,
+        entry: "run".into(),
+    };
+    image.validate().expect("sleeper image consistent");
+    image
+}
+
 fn tourist_image(tour: &Itinerary) -> AgentImage {
     let (_, rest) = tour.clone().next_stop();
     let module = assemble(TOURIST).expect("tourist assembles");
@@ -215,6 +247,10 @@ pub struct ChildOpts {
     /// path replays the admissions its previous incarnation had not
     /// resolved — the kill-and-restart smoke's durability mechanism.
     pub wal: Option<PathBuf>,
+    /// Control-plane socket to serve alongside the data plane
+    /// (`uds:<path>` or `tcp:127.0.0.1:<port>`). Enables the `PARITY`
+    /// stdio verb.
+    pub ctl: Option<NetAddr>,
 }
 
 /// Runs one child server process over stdin/stdout until `EXIT` (or
@@ -254,7 +290,17 @@ pub fn run_child(opts: ChildOpts) -> Result<(), String> {
             directory: derived.directory.clone(),
             policy: SecurityPolicy::new().allow(PrincipalPattern::Anyone, Rights::all()),
             system_modules: Vec::new(),
-            agent_limits: UsageLimits::default(),
+            // The PARITY sleeper busy-polls its mailbox between the
+            // hibernate/wake round trips; under the default quota it
+            // would burn its fuel and retire mid-exercise.
+            agent_limits: if opts.ctl.is_some() {
+                UsageLimits {
+                    fuel: u64::MAX,
+                    ..UsageLimits::default()
+                }
+            } else {
+                UsageLimits::default()
+            },
             vm_limits: ajanta_vm::Limits::default(),
             agents_may_dispatch: true,
             replay_window_ns: u64::MAX / 4,
@@ -282,6 +328,16 @@ pub fn run_child(opts: ChildOpts) -> Result<(), String> {
             .register_resource(Guarded::new(buf, ProxyPolicy::default()))
             .map_err(|e| format!("registering jobs buffer: {e}"))?;
     }
+
+    // The control plane serves this server's handle surface over its
+    // own socket, beside the data plane.
+    let ctl = match &opts.ctl {
+        Some(addr) => Some(
+            crate::control::ControlServer::serve(addr, vec![server.control_view()])
+                .map_err(|e| format!("binding control socket {addr}: {e}"))?,
+        ),
+        None => None,
+    };
 
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -330,13 +386,130 @@ pub fn run_child(opts: ChildOpts) -> Result<(), String> {
                     .and_then(|_| out.flush())
                     .map_err(|e| e.to_string())?;
             }
+            Some("SLEEPER") => {
+                // Launch one idle resident toward server `idx` — the
+                // hibernate/wake subject for a later PARITY.
+                let idx: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .filter(|&n| n < opts.servers)
+                    .ok_or_else(|| format!("bad SLEEPER line: {line}"))?;
+                let agent = owner.next_agent_name("sleeper");
+                let creds = owner.credentials(
+                    agent.clone(),
+                    derived.names[i].clone(),
+                    Rights::all(),
+                    u64::MAX,
+                );
+                server.launch(derived.names[idx].clone(), creds, sleeper_image());
+                writeln!(out, "SLEEPER {agent}")
+                    .and_then(|_| out.flush())
+                    .map_err(|e| e.to_string())?;
+            }
+            Some("PARITY") => {
+                let subject = words
+                    .next()
+                    .and_then(|w| w.parse::<Urn>().ok())
+                    .ok_or_else(|| format!("bad PARITY line: {line}"))?;
+                let verdict = match &opts.ctl {
+                    None => Err("PARITY needs --ctl".to_string()),
+                    Some(addr) => parity_check(&server, addr, &subject),
+                };
+                match verdict {
+                    Ok(()) => writeln!(out, "PARITY ok"),
+                    Err(e) => writeln!(out, "PARITY fail: {e}"),
+                }
+                .and_then(|_| out.flush())
+                .map_err(|e| e.to_string())?;
+            }
             Some("EXIT") | None => break,
             Some(other) => return Err(format!("unknown control verb {other:?}")),
         }
     }
 
+    if let Some(ctl) = ctl {
+        ctl.shutdown();
+    }
     server.shutdown();
     transport.shutdown();
+    Ok(())
+}
+
+/// The remote/local parity oracle: every control answer obtained over a
+/// genuine socket round trip through this process's own control server
+/// must equal the answer computed directly on the server's handle. Run
+/// while a sleeper (see [`SLEEPER`]) is resident so the hibernate/wake
+/// round trip has a subject.
+fn parity_check(server: &ServerHandle, ctl: &NetAddr, sleeper: &Urn) -> Result<(), String> {
+    use crate::control::{serve_request, ControlClient, ControlRequest, ControlResponse};
+    let views = vec![server.control_view()];
+    let mut client = ControlClient::connect(ctl).map_err(|e| format!("connecting {ctl}: {e}"))?;
+
+    // Park the resident sleeper in the bundle store first: a running
+    // agent moves the very state being compared (fuel, slice counters,
+    // journal), so parity is asserted on the quiescent server. The
+    // hibernate itself IS the remote half of the round trip.
+    if views[0].record_of(sleeper).is_none() {
+        return Err(format!("sleeper {sleeper} is not resident here"));
+    }
+    let sleeper = sleeper.clone();
+    match client.call(&ControlRequest::Hibernate {
+        agent: sleeper.clone(),
+    }) {
+        Ok(ControlResponse::Ack(true)) => {}
+        Ok(other) => return Err(format!("remote hibernate answered {other:?}")),
+        Err(e) => return Err(format!("remote hibernate: {e}")),
+    }
+    if !views[0].is_hibernated(&sleeper) {
+        return Err("remote hibernate acked but no bundle is stored locally".into());
+    }
+
+    // Remote and local answers must be identical. Journal appends from
+    // the spill (event + latency histogram) can still be landing, so
+    // each comparison retries briefly before declaring a mismatch.
+    let mut agree = |req: ControlRequest| -> Result<ControlResponse, String> {
+        let mut last = String::new();
+        for _ in 0..100 {
+            let remote = client.call(&req).map_err(|e| e.to_string())?;
+            let local = serve_request(&views, &req);
+            if remote == local {
+                return Ok(remote);
+            }
+            last = format!("remote {remote:?} != local {local:?}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        Err(format!("{req:?}: {last}"))
+    };
+    let ControlResponse::Agents(agents) = agree(ControlRequest::ListAgents)? else {
+        return Err("unexpected ListAgents response shape".into());
+    };
+    if !agents
+        .iter()
+        .any(|a| a.agent == sleeper && a.state == crate::control::AgentState::Hibernated)
+    {
+        return Err("agent list does not show the sleeper as hibernated".into());
+    }
+    agree(ControlRequest::Metrics)?;
+    agree(ControlRequest::JournalTail {
+        cursor: None,
+        max: 50,
+    })?;
+    agree(ControlRequest::Status)?;
+
+    // Wake over the socket; the local handle must see it resident again.
+    match client.call(&ControlRequest::Wake {
+        agent: sleeper.clone(),
+    }) {
+        Ok(ControlResponse::Ack(true)) => {}
+        Ok(other) => return Err(format!("remote wake answered {other:?}")),
+        Err(e) => return Err(format!("remote wake: {e}")),
+    }
+    if views[0].is_hibernated(&sleeper) {
+        return Err("woken sleeper still sits in the bundle store".into());
+    }
+    if views[0].record_of(&sleeper).is_none() {
+        return Err("woken sleeper is no longer resident".into());
+    }
     Ok(())
 }
 
@@ -428,6 +601,14 @@ pub struct SmokeOpts {
     pub timeout: Duration,
     /// Crash-fault injection: kill and restart one child mid-tour.
     pub kill: Option<KillPlan>,
+    /// Serve a control socket (UDS, under `dir`) per child and exercise
+    /// the control plane after the tour: sleeper + `PARITY` on child 1,
+    /// then an `ajantactl` session (list/metrics/journal/revoke, built
+    /// next to `bin`) whose fleet-wide revocation must be visible in
+    /// every child's journal.
+    pub ctl: bool,
+    /// Where to write the `ajantactl` session transcript (CI artifact).
+    pub ctl_transcript: Option<PathBuf>,
 }
 
 /// Kill-and-restart fault plan for [`run_parent`]: SIGKILL one child
@@ -463,6 +644,9 @@ pub struct SmokeReport {
     pub restarts: usize,
     /// Agents re-admitted from an admission WAL across all processes.
     pub wal_replays: usize,
+    /// Whether the control-plane exercise (PARITY + `ajantactl`
+    /// session) ran and passed.
+    pub ctl_exercised: bool,
     /// The merged JSONL document itself (for artifact upload).
     pub merged_jsonl: String,
 }
@@ -506,6 +690,14 @@ pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
         }
     };
 
+    // Control sockets are UDS under the scratch dir regardless of the
+    // data plane's transport (the control plane is local-operator
+    // trusted), and a pure function of the index so a respawned victim
+    // rebinds the same path.
+    let ctl_addrs: Vec<String> = (0..opts.servers)
+        .map(|i| format!("uds:{}", opts.dir.join(format!("ctl{i}.sock")).display()))
+        .collect();
+
     // Spawning is reused by the restart phase, so the argv (identity,
     // seed, address, WAL path) must be a pure function of the index.
     let spawn_child = |i: usize| -> Result<(Child, std::process::ChildStdin), String> {
@@ -526,6 +718,9 @@ pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());
+        if opts.ctl {
+            cmd.args(["--ctl", &ctl_addrs[i]]);
+        }
         if let Some(wal) = &wal_paths[i] {
             cmd.args(["--wal", &wal.display().to_string()]);
         }
@@ -709,6 +904,22 @@ pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
         }
     }
 
+    // Phase 3b: control-plane exercise. With the tour resolved, plant a
+    // sleeper on child 1, assert remote/local parity inside that child,
+    // then drive an `ajantactl` session against every child's control
+    // socket — including a fleet-wide revocation that must surface in
+    // every journal.
+    let mut ctl_exercised = false;
+    if opts.ctl {
+        match control_phase(&opts, &ctl_addrs, &mut stdins, &rx, &mut parked, deadline) {
+            Ok(()) => ctl_exercised = true,
+            Err(e) => {
+                cleanup(&mut children);
+                return Err(format!("control-plane exercise: {e}"));
+            }
+        }
+    }
+
     // Phase 4: quiesce every process and collect DONE + dup counts.
     if let Err(e) = send_all("STOP", &mut stdins) {
         cleanup(&mut children);
@@ -781,6 +992,211 @@ pub fn run_parent(opts: SmokeOpts) -> Result<SmokeReport, String> {
         orphans: forest.orphan_count(),
         restarts,
         wal_replays: replays_total,
+        ctl_exercised,
         merged_jsonl: merged,
     })
+}
+
+/// Drives the post-tour control-plane exercise (see phase 3b).
+fn control_phase(
+    opts: &SmokeOpts,
+    ctl_addrs: &[String],
+    stdins: &mut [std::process::ChildStdin],
+    rx: &crossbeam::channel::Receiver<(usize, String)>,
+    parked: &mut Vec<(usize, String)>,
+    deadline: Instant,
+) -> Result<(), String> {
+    use crate::control::{AgentState, ControlClient, ControlRequest, ControlResponse};
+
+    let mut recv_from = |want: usize, prefix: &str| -> Result<String, String> {
+        if let Some(pos) = parked
+            .iter()
+            .position(|(i, l)| *i == want && l.starts_with(prefix))
+        {
+            return Ok(parked.remove(pos).1);
+        }
+        loop {
+            match rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                Ok((i, line)) if i == want && line.starts_with(prefix) => return Ok(line),
+                Ok(other) => parked.push(other),
+                Err(_) => {
+                    return Err(format!(
+                        "timed out waiting for {prefix:?} from child {want}"
+                    ))
+                }
+            }
+        }
+    };
+
+    // Plant the hibernation subject: child 0 launches a sleeper to
+    // child 1, and the parent watches child 1's control socket until
+    // the admission lands.
+    writeln!(stdins[0], "SLEEPER 1")
+        .and_then(|_| stdins[0].flush())
+        .map_err(|e| format!("child 0 stdin: {e}"))?;
+    let line = recv_from(0, "SLEEPER ")?;
+    let sleeper = line.trim_start_matches("SLEEPER ").trim().to_string();
+    let mut client = loop {
+        match ControlClient::connect_str(&ctl_addrs[1]) {
+            Ok(c) => break c,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("connecting {}: {e}", ctl_addrs[1]));
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    loop {
+        let resident = match client.call(&ControlRequest::ListAgents) {
+            Ok(ControlResponse::Agents(list)) => list
+                .iter()
+                .any(|a| a.agent.to_string() == sleeper && a.state == AgentState::Resident),
+            Ok(_) => false,
+            Err(e) => return Err(format!("listing agents on {}: {e}", ctl_addrs[1])),
+        };
+        if resident {
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "sleeper {sleeper} never became resident on child 1"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(client);
+
+    // Remote/local parity, asserted inside child 1 against its own
+    // control socket (including the hibernate/wake round trip).
+    writeln!(stdins[1], "PARITY {sleeper}")
+        .and_then(|_| stdins[1].flush())
+        .map_err(|e| format!("child 1 stdin: {e}"))?;
+    let verdict = recv_from(1, "PARITY")?;
+    if verdict != "PARITY ok" {
+        return Err(format!("child 1: {verdict}"));
+    }
+
+    // The ajantactl session. Transcript is written even when a step
+    // fails, so CI keeps the evidence either way.
+    let ajantactl = opts.bin.with_file_name("ajantactl");
+    if !ajantactl.exists() {
+        return Err(format!("{} not built", ajantactl.display()));
+    }
+    let mut transcript = String::new();
+    let result = ctl_session(&ajantactl, ctl_addrs, opts.agents, &mut transcript);
+    if let Some(path) = &opts.ctl_transcript {
+        std::fs::write(path, &transcript)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+
+    // Park the sleeper for good: it would otherwise busy-poll its
+    // mailbox through quiesce and shutdown. Best effort — the exercise
+    // verdict is already decided.
+    if let (Ok(mut client), Ok(urn)) = (
+        ControlClient::connect_str(&ctl_addrs[1]),
+        sleeper.parse::<Urn>(),
+    ) {
+        let _ = client.call(&ControlRequest::Hibernate { agent: urn });
+    }
+    result
+}
+
+/// Runs the `ajantactl` binary through the acceptance session: health,
+/// list, metrics, histograms, a gap-checked journal follow, the tour's
+/// full admission history, and a fleet-wide revocation visible in every
+/// server's journal. Every invocation must exit 0 with non-empty
+/// output; everything is appended to `transcript`.
+fn ctl_session(
+    bin: &std::path::Path,
+    endpoints: &[String],
+    agents: usize,
+    transcript: &mut String,
+) -> Result<(), String> {
+    let run = |ctls: &[String], extra: &[&str], transcript: &mut String| {
+        let mut args: Vec<String> = Vec::new();
+        for e in ctls {
+            args.push("--ctl".into());
+            args.push(e.clone());
+        }
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = Command::new(bin)
+            .args(&args)
+            .output()
+            .map_err(|e| format!("spawning ajantactl: {e}"))?;
+        transcript.push_str(&format!("$ ajantactl {}\n", args.join(" ")));
+        let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+        transcript.push_str(&stdout);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        if !stderr.is_empty() {
+            transcript.push_str(&stderr);
+        }
+        transcript.push('\n');
+        if !out.status.success() {
+            return Err(format!(
+                "ajantactl {} exited {}",
+                extra.join(" "),
+                out.status
+            ));
+        }
+        if stdout.trim().is_empty() {
+            return Err(format!("ajantactl {} produced no output", extra.join(" ")));
+        }
+        Ok(stdout)
+    };
+
+    run(endpoints, &["--json", "health"], transcript)?;
+    run(endpoints, &["--json", "list"], transcript)?;
+    run(endpoints, &["--json", "metrics"], transcript)?;
+    run(endpoints, &["--json", "histo"], transcript)?;
+    run(endpoints, &["--json", "status"], transcript)?;
+    // The follower's drop-aware gap accounting over the whole retained
+    // journal: exits non-zero on any hole the drop counters don't cover.
+    run(
+        endpoints,
+        &["follow", "--for-ms", "300", "--max", "100000"],
+        transcript,
+    )?;
+    // Every touring agent must be visible in the control plane's
+    // admission history.
+    let journal = run(
+        endpoints,
+        &["--json", "journal", "--tail", "100000"],
+        transcript,
+    )?;
+    let mut admitted: HashSet<&str> = HashSet::new();
+    for chunk in journal.split("\"label\":\"agent-admitted\"").skip(1) {
+        if let Some(agent) = chunk
+            .split("\"agent\":\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+        {
+            if agent.contains("/tourist") {
+                admitted.insert(agent);
+            }
+        }
+    }
+    if admitted.len() < agents {
+        return Err(format!(
+            "journal shows {} distinct touring agents, expected {agents}",
+            admitted.len()
+        ));
+    }
+    // Fleet-wide revocation, then its mark in every server's journal.
+    run(
+        endpoints,
+        &["--json", "revoke", "ajn://tour.org/resource/jobs"],
+        transcript,
+    )?;
+    for e in endpoints {
+        let page = run(
+            std::slice::from_ref(e),
+            &["--json", "journal", "--tail", "50"],
+            transcript,
+        )?;
+        if !page.contains("\"label\":\"proxy-revoke\"") {
+            return Err(format!("revocation not visible in the journal via {e}"));
+        }
+    }
+    Ok(())
 }

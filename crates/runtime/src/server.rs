@@ -405,6 +405,22 @@ pub struct Shared {
     wal: Option<crate::wal::AdmissionWal>,
     /// See [`ServerConfig::hibernate_after_misses`].
     hibernate_after_misses: Option<u32>,
+    /// Every live proxy grant this server issued at bind time, held
+    /// weakly so a dropped proxy costs nothing. The control plane's
+    /// fleet-wide revocation walks this list; dead entries are pruned
+    /// as they are encountered.
+    grants: Mutex<Vec<GrantEntry>>,
+    /// Agents an administrator asked to hibernate at their next safe
+    /// yield point (control plane `hibernate` op). A request bypasses
+    /// the idle-miss threshold but never the safety gates (no live
+    /// proxies, no pending migration).
+    hibernate_requests: Mutex<HashSet<Urn>>,
+}
+
+/// One proxy grant tracked for control-plane revocation.
+struct GrantEntry {
+    resource: Urn,
+    control: std::sync::Weak<ajanta_core::ProxyControl>,
 }
 
 impl Shared {
@@ -524,6 +540,10 @@ impl Shared {
                 proxy
                     .control()
                     .attach_journal(Arc::clone(&self.journal), name.clone());
+                self.grants.lock().push(GrantEntry {
+                    resource: name.clone(),
+                    control: Arc::downgrade(proxy.control()),
+                });
                 self.journal.append(Event::ProxyGrant {
                     resource: name.clone(),
                     holder: requester.domain,
@@ -1200,6 +1220,55 @@ impl Shared {
         true
     }
 
+    /// Revokes every live proxy for `resource` that this server issued
+    /// (Section 5.5 revocation, driven administratively). Each live grant
+    /// is invalidated through its [`ajanta_core::ProxyControl`] — which
+    /// journals a per-holder `ProxyRevoke` through its attached hook —
+    /// and dead grant entries are pruned in the same pass. An
+    /// administrative `ProxyRevoke { holder: SERVER }` record is always
+    /// appended, so the revocation *decision* is visible in this server's
+    /// journal even when every holder has already departed. Returns the
+    /// number of live proxies invalidated.
+    pub fn revoke_resource(&self, resource: &Urn) -> usize {
+        let mut revoked = 0usize;
+        self.grants.lock().retain(|g| {
+            let Some(control) = g.control.upgrade() else {
+                return false;
+            };
+            if g.resource == *resource {
+                if control.revoke(DomainId::SERVER).is_ok() {
+                    revoked += 1;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        self.journal.append(Event::ProxyRevoke {
+            resource: resource.clone(),
+            holder: DomainId::SERVER,
+        });
+        revoked
+    }
+
+    /// Asks a resident, non-hibernated agent to hibernate at its next
+    /// safe yield point (control plane `hibernate` op). Returns whether
+    /// the request was accepted — the spill itself happens when the
+    /// agent's task next yields with no live bindings and no pending
+    /// migration.
+    pub fn request_hibernate(&self, agent: &Urn) -> bool {
+        if self.domains.domain_of(agent).is_none() || self.bundles.contains(agent) {
+            return false;
+        }
+        self.hibernate_requests.lock().insert(agent.clone());
+        true
+    }
+
+    /// Whether `agent` currently sits in the bundle store.
+    pub fn is_hibernated(&self, agent: &Urn) -> bool {
+        self.bundles.contains(agent)
+    }
+
     /// A failed revival must leave no residue and must still settle the
     /// agent's fate — the same obligations `AgentTask::complete` meets.
     fn wake_fail(
@@ -1395,15 +1464,14 @@ impl ServerHandle {
     /// exact lifetime count (including evicted lines) is the journal's
     /// `LogLines` counter.
     pub fn logs(&self) -> Vec<(Urn, String)> {
-        self.shared
-            .journal
-            .snapshot()
-            .into_iter()
-            .filter_map(|r| match r.event {
-                Event::AgentLog { agent, text } => Some((agent, text)),
-                _ => None,
-            })
-            .collect()
+        self.logs_tail(usize::MAX)
+    }
+
+    /// The `n` most recent per-agent log lines, oldest first — the
+    /// bounded variant the control plane serves, so one request can't
+    /// clone an unbounded log vector.
+    pub fn logs_tail(&self, n: usize) -> Vec<(Urn, String)> {
+        logs_tail_of(&self.shared.journal, n)
     }
 
     /// Security events recorded by this server — a filtered view of the
@@ -1508,6 +1576,56 @@ impl ServerHandle {
         self.shared.wake_agent(agent)
     }
 
+    /// Asks a resident agent to hibernate at its next safe yield point
+    /// (see [`Shared::request_hibernate`]).
+    pub fn hibernate(&self, agent: &Urn) -> bool {
+        self.shared.request_hibernate(agent)
+    }
+
+    /// Revokes every live proxy this server issued for `resource` (see
+    /// [`Shared::revoke_resource`]). Returns the live proxies
+    /// invalidated.
+    pub fn revoke_resource(&self, resource: &Urn) -> usize {
+        self.shared.revoke_resource(resource)
+    }
+
+    /// Domain-database records of every resident agent (including
+    /// hibernated ones — their domains survive the spill).
+    pub fn agent_records(&self) -> Vec<ajanta_core::AgentRecord> {
+        self.shared.domains.iter().collect()
+    }
+
+    /// Names of the agents currently hibernated in the bundle store.
+    pub fn hibernated_list(&self) -> Vec<Urn> {
+        self.shared.bundles.list()
+    }
+
+    /// `(agent, hop)` pairs whose custody is still in flight: reliable
+    /// frames carrying a WAL admission that has not been resolved by an
+    /// ack yet.
+    pub fn in_flight_agents(&self) -> Vec<(Urn, u64)> {
+        let mut v: Vec<(Urn, u64)> = self
+            .shared
+            .pending_sends
+            .lock()
+            .values()
+            .filter_map(|p| p.custody.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// A cheap, cloneable view of this server for the control plane —
+    /// everything `runtime::control` serves, without owning the server's
+    /// lifecycle.
+    pub fn control_view(&self) -> ControlView {
+        ControlView {
+            name: self.name.clone(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// Delivers local mail from the control plane (tests, tools) as if a
     /// co-located agent had sent it.
     pub fn deliver_mail(&self, from: Urn, to: Urn, data: Vec<u8>) -> bool {
@@ -1530,6 +1648,130 @@ impl ServerHandle {
         if self.owns_sched {
             self.shared.sched.stop();
         }
+    }
+}
+
+/// The `n` most recent [`Event::AgentLog`] lines in `journal`, oldest
+/// first.
+fn logs_tail_of(journal: &Journal, n: usize) -> Vec<(Urn, String)> {
+    let mut lines: Vec<(Urn, String)> = journal
+        .snapshot()
+        .into_iter()
+        .filter_map(|r| match r.event {
+            Event::AgentLog { agent, text } => Some((agent, text)),
+            _ => None,
+        })
+        .collect();
+    if n < lines.len() {
+        lines.drain(..lines.len() - n);
+    }
+    lines
+}
+
+/// A cheap, cloneable, read-mostly view of one server for the control
+/// plane: everything `runtime::control` serves — agent inventory,
+/// telemetry, journal pages, logs, trace export, hibernate/wake, and
+/// proxy revocation — without owning the server's lifecycle (no
+/// shutdown, no join handles). Obtained from
+/// [`ServerHandle::control_view`].
+#[derive(Clone)]
+pub struct ControlView {
+    name: Urn,
+    shared: Arc<Shared>,
+}
+
+impl ControlView {
+    /// The server's name.
+    pub fn name(&self) -> &Urn {
+        &self.name
+    }
+
+    /// The server's telemetry journal.
+    pub fn journal(&self) -> Arc<Journal> {
+        Arc::clone(&self.shared.journal)
+    }
+
+    /// A typed copy of every counter and histogram (see
+    /// [`Journal::telemetry_snapshot`]).
+    pub fn telemetry(&self) -> ajanta_core::telemetry::TelemetrySnapshot {
+        self.shared.journal.telemetry_snapshot()
+    }
+
+    /// Domain-database records of every resident agent.
+    pub fn agent_records(&self) -> Vec<ajanta_core::AgentRecord> {
+        self.shared.domains.iter().collect()
+    }
+
+    /// The record of one resident agent, if present.
+    pub fn record_of(&self, agent: &Urn) -> Option<ajanta_core::AgentRecord> {
+        self.shared.domains.record_of(agent)
+    }
+
+    /// Names of the agents currently hibernated in the bundle store.
+    pub fn hibernated_list(&self) -> Vec<Urn> {
+        self.shared.bundles.list()
+    }
+
+    /// Whether `agent` currently sits in the bundle store.
+    pub fn is_hibernated(&self, agent: &Urn) -> bool {
+        self.shared.is_hibernated(agent)
+    }
+
+    /// `(agent, hop)` pairs whose custody is still in flight (unacked
+    /// reliable frames carrying a WAL admission).
+    pub fn in_flight_agents(&self) -> Vec<(Urn, u64)> {
+        let mut v: Vec<(Urn, u64)> = self
+            .shared
+            .pending_sends
+            .lock()
+            .values()
+            .filter_map(|p| p.custody.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The `n` most recent per-agent log lines, oldest first.
+    pub fn logs_tail(&self, n: usize) -> Vec<(Urn, String)> {
+        logs_tail_of(&self.shared.journal, n)
+    }
+
+    /// Bytes the hibernated bundles currently occupy.
+    pub fn hibernated_bytes(&self) -> usize {
+        self.shared.bundles.stored_bytes()
+    }
+
+    /// Names in the resource registry.
+    pub fn resources(&self) -> Vec<Urn> {
+        self.shared.registry.list()
+    }
+
+    /// Reliable sends still awaiting an ack.
+    pub fn pending_send_count(&self) -> usize {
+        self.shared.pending_sends.lock().len()
+    }
+
+    /// Trace-relevant journal records as JSONL (see
+    /// [`ServerHandle::export_jsonl`]).
+    pub fn export_jsonl(&self) -> String {
+        ajanta_core::trace::export_journal(&self.name.to_string(), &self.shared.journal.snapshot())
+    }
+
+    /// Asks a resident agent to hibernate at its next safe yield point.
+    pub fn hibernate(&self, agent: &Urn) -> bool {
+        self.shared.request_hibernate(agent)
+    }
+
+    /// Wakes a hibernated agent. Returns whether a bundle was revived.
+    pub fn wake(&self, agent: &Urn) -> bool {
+        self.shared.wake_agent(agent)
+    }
+
+    /// Revokes every live proxy this server issued for `resource`;
+    /// returns how many were invalidated.
+    pub fn revoke_resource(&self, resource: &Urn) -> usize {
+        self.shared.revoke_resource(resource)
     }
 }
 
@@ -1632,6 +1874,8 @@ impl AgentServer {
             bundles: crate::bundle::BundleStore::in_memory(),
             wal,
             hibernate_after_misses: config.hibernate_after_misses,
+            grants: Mutex::new(Vec::new()),
+            hibernate_requests: Mutex::new(HashSet::new()),
         });
 
         // Transport-level frame rejections (undecodable bytes, failed
@@ -2345,18 +2589,27 @@ impl AgentTask {
     /// admitted (the agent is still *resident*, just not *running*), and
     /// the mailbox stays so late mail queues across the gap.
     fn try_hibernate(&mut self) -> bool {
-        let Some(threshold) = self.shared.hibernate_after_misses else {
-            return false;
-        };
+        let requested = self.shared.hibernate_requests.lock().contains(&self.run_as);
         {
             let TaskState::Warm { env, .. } = &self.state else {
                 return false;
             };
-            if env.mail_misses() < threshold
-                || env.binding_count() != 0
-                || env.pending_go().is_some()
-            {
+            // Safety gates apply unconditionally: live proxies would
+            // silently expire in the bundle, and a pending migration
+            // must run to completion.
+            if env.binding_count() != 0 || env.pending_go().is_some() {
                 return false;
+            }
+            // A control-plane request bypasses the idle-miss threshold
+            // (and works even when auto-hibernation is off); otherwise
+            // the agent must be demonstrably idle.
+            if !requested {
+                let Some(threshold) = self.shared.hibernate_after_misses else {
+                    return false;
+                };
+                if env.mail_misses() < threshold {
+                    return false;
+                }
             }
         }
         let t0 = Instant::now();
@@ -2385,6 +2638,7 @@ impl AgentTask {
         };
         match self.shared.bundles.put(&bundle) {
             Ok(bytes) => {
+                self.shared.hibernate_requests.lock().remove(&self.run_as);
                 self.shared.journal.append(Event::AgentHibernated {
                     agent: self.run_as.clone(),
                     hop: self.hop,

@@ -363,6 +363,13 @@ impl World {
         &self.servers[i]
     }
 
+    /// Control-plane views of every server in this world — what a
+    /// [`crate::control::ControlServer`] serves to expose the whole
+    /// world over one socket.
+    pub fn control_views(&self) -> Vec<crate::server::ControlView> {
+        self.servers.iter().map(|s| s.control_view()).collect()
+    }
+
     /// Mints an owner with a CA-issued certificate.
     pub fn owner(&mut self, tag: &str) -> Owner {
         let name = Urn::owner("users.org", [tag]).expect("canonical owner tag");

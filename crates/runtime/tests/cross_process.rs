@@ -27,6 +27,8 @@ fn three_process_world_survives_lossy_tour_over_uds() {
         dir: dir.clone(),
         timeout: Duration::from_secs(240),
         kill: None,
+        ctl: false,
+        ctl_transcript: None,
     })
     .expect("cross-process run must resolve");
     let _ = std::fs::remove_dir_all(&dir);
@@ -73,6 +75,8 @@ fn kill_and_restart_loses_no_agents_over_uds() {
             after: Duration::from_millis(150),
             down: Duration::from_millis(400),
         }),
+        ctl: false,
+        ctl_transcript: None,
     })
     .expect("kill-and-restart run must resolve");
     let _ = std::fs::remove_dir_all(&dir);
@@ -92,6 +96,56 @@ fn kill_and_restart_loses_no_agents_over_uds() {
     // from the merged forest.
 }
 
+/// The control-plane parity run: the same 3-process UDS world, but each
+/// child also serves a control socket. Between the tour resolving and
+/// shutdown, the parent (a) has child 0 launch a sleeper agent onto
+/// child 1, (b) asks child 1 to compare — over a genuine socket round
+/// trip — every control query against the in-process `serve_request`
+/// answers, including a hibernate + wake round trip of the sleeper, and
+/// (c) drives the real `ajantactl` binary through a full session:
+/// list/metrics/histo/status, a gap-checked journal follow, an
+/// admission-history check covering all 32 tourists, and a fleet-wide
+/// proxy revocation that must surface in every server's journal.
+#[cfg(unix)]
+#[test]
+fn control_plane_answers_match_in_process_queries_over_uds() {
+    // Referenced so cargo builds the CLI binary this test shells out to.
+    let ajantactl = PathBuf::from(env!("CARGO_BIN_EXE_ajantactl"));
+    assert!(ajantactl.exists(), "ajantactl must be built for this test");
+
+    let dir = scratch("ctl");
+    let transcript = dir.join("ctl-transcript.txt");
+    let report = run_parent(SmokeOpts {
+        bin: PathBuf::from(env!("CARGO_BIN_EXE_ajantad")),
+        servers: 3,
+        seed: 0x0C71_0C71,
+        agents: 32,
+        loss: 0.10,
+        uds: true,
+        dir: dir.clone(),
+        timeout: Duration::from_secs(240),
+        kill: None,
+        ctl: true,
+        ctl_transcript: Some(transcript.clone()),
+    })
+    .expect("control-plane parity run must resolve");
+
+    let session = std::fs::read_to_string(&transcript).expect("transcript must be written");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert!(report.ctl_exercised, "control phase must have run");
+    assert_eq!(report.reported, 32, "every agent must report home");
+    assert_eq!(report.duplicate_admissions, 0);
+    assert!(
+        session.contains("$ ajantactl"),
+        "transcript must record the CLI session"
+    );
+    assert!(
+        session.contains("proxy-revoke"),
+        "transcript must show the revocation landing in journals"
+    );
+}
+
 #[test]
 fn multi_process_world_works_over_tcp_localhost() {
     let dir = scratch("tcp");
@@ -105,6 +159,8 @@ fn multi_process_world_works_over_tcp_localhost() {
         dir: dir.clone(),
         timeout: Duration::from_secs(240),
         kill: None,
+        ctl: false,
+        ctl_transcript: None,
     })
     .expect("cross-process run must resolve");
     let _ = std::fs::remove_dir_all(&dir);

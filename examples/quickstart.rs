@@ -134,7 +134,7 @@ fn main() {
     let journal = world.server(1).journal();
     println!("\nserver 1 telemetry snapshot:");
     for line in journal.metrics_snapshot().lines() {
-        if !line.ends_with(" 0") {
+        if !line.ends_with(" 0") && !line.starts_with('#') {
             println!("  {line}");
         }
     }

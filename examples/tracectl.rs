@@ -1,252 +1,37 @@
-//! `tracectl` — reconstruct causal tour traces from merged journals.
+//! `tracectl` — DEPRECATED: folded into `ajantactl trace`.
 //!
-//! Every agent server journals its half of each tour as spans carrying
-//! `(TraceId, SpanId, parent)` that travelled **in the wire frames**.
-//! This tool merges per-server JSONL journal exports, rebuilds one
-//! causal tree per tour, renders the trees, and flags anomalies:
-//! orphan spans (a parent missing from the merge — an incomplete or
-//! truncated export), hops that needed more than N retries, and
-//! accesses that postdate a revocation of the same resource.
+//! The merge/render/anomaly logic this example used to carry now lives
+//! in the `ajantactl` control-plane CLI:
 //!
 //! ```text
-//! # offline: merge previously exported journals
-//! cargo run --example tracectl -- server0.jsonl server1.jsonl ...
-//!
-//! # demo: run a lossy 4-agent tour in-process, then analyse it
-//! cargo run --example tracectl
+//! cargo run --bin ajantactl -- trace server0.jsonl server1.jsonl ...
+//! cargo run --bin ajantactl -- --ctl uds:/tmp/ajanta.ctl trace
 //! ```
+//!
+//! This shim forwards its arguments to `ajantactl trace` when the
+//! binary is built next to it, so existing invocations keep working.
 
-use std::collections::HashSet;
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-use ajanta::core::trace::{parse_jsonl, render_tree, scan_anomalies, TraceForest};
-use ajanta::core::{BoundedBuffer, Counter, Guarded, HistoPath, ProxyPolicy, Rights, SpanKind};
-use ajanta::naming::Urn;
-use ajanta::net::{fmt_ns, LinkFault};
-use ajanta::runtime::itinerary::Itinerary;
-use ajanta::runtime::{RetryPolicy, World};
-use ajanta::vm::{assemble, AgentImage, Value};
-
-/// Retry count above which a hop is reported as a retry storm.
-const RETRY_THRESHOLD: usize = 3;
+use std::process::Command;
 
 fn main() {
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    let jsonl = if files.is_empty() {
-        println!("no journal files given; running the in-process demo tour\n");
-        demo_jsonl()
-    } else {
-        let mut merged = String::new();
-        for f in &files {
-            match std::fs::read_to_string(f) {
-                Ok(s) => merged.push_str(&s),
-                Err(e) => {
-                    eprintln!("tracectl: cannot read {f}: {e}");
-                    std::process::exit(2);
-                }
-            }
-        }
-        merged
+    eprintln!("tracectl is deprecated; use `ajantactl trace` (forwarding)\n");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Examples land in target/<profile>/examples/, bins one level up.
+    let ajantactl = std::env::current_exe()
+        .ok()
+        .and_then(|p| Some(p.parent()?.parent()?.join("ajantactl")))
+        .filter(|p| p.exists());
+    let Some(bin) = ajantactl else {
+        eprintln!(
+            "tracectl: ajantactl binary not found; run\n  cargo run --bin ajantactl -- trace {}",
+            args.join(" ")
+        );
+        std::process::exit(2);
     };
-
-    let records = match parse_jsonl(&jsonl) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("tracectl: {e}");
-            std::process::exit(2);
-        }
-    };
-    let forest = TraceForest::build(records);
-    println!(
-        "{} trace(s), {} span(s), {} orphan(s), {} revocation(s)\n",
-        forest.traces.len(),
-        forest.span_count(),
-        forest.orphan_count(),
-        forest.revokes.len()
-    );
-
-    for (trace, tree) in &forest.traces {
-        print!("{}", render_tree(*trace, tree));
-        // Per-trace rollup: how long each phase of the tour cost.
-        let mut retries = 0usize;
-        let mut transfer_ns = 0u64;
-        for s in &tree.spans {
-            match s.kind {
-                SpanKind::Retry => retries += 1,
-                SpanKind::Transfer => transfer_ns += s.dur_ns,
-                _ => {}
-            }
-        }
-        println!(
-            "  = {} spans, {} retries, {} cumulative transfer RTT\n",
-            tree.spans.len(),
-            retries,
-            fmt_ns(transfer_ns)
-        );
-    }
-
-    let anomalies = scan_anomalies(&forest, RETRY_THRESHOLD);
-    if anomalies.is_empty() {
-        println!("no anomalies (retry threshold {RETRY_THRESHOLD})");
-    } else {
-        println!("{} anomalie(s):", anomalies.len());
-        for a in &anomalies {
-            println!("  {a}");
-        }
-    }
-}
-
-/// The demo tourist: binds the local buffer, puts one item, moves on.
-const TOURIST: &str = r#"
-    module tracetour
-    import env.go_tour (bytes, bytes) -> int
-    import env.itin_tail (bytes) -> bytes
-    import env.get_resource (bytes) -> int
-    import env.invoke (int, bytes, bytes) -> bytes
-    import env.args_b (bytes) -> bytes
-    global itin: bytes
-    global hops: int
-    data entry = "run"
-    data rname = "ajn://tour.org/resource/jobs"
-    data mput = "put"
-    data item = "trace-probe"
-
-    func run(arg: bytes) -> int
-      locals full: bytes, h: int
-      gload hops
-      push 1
-      add
-      gstore hops
-      pushd rname
-      hostcall env.get_resource
-      store h
-      load h
-      pushd mput
-      pushd item
-      hostcall env.args_b
-      hostcall env.invoke
-      drop
-      gload itin
-      blen
-      jz done
-      gload itin
-      store full
-      gload itin
-      hostcall env.itin_tail
-      gstore itin
-      load full
-      pushd entry
-      hostcall env.go_tour
-      drop
-      push 0
-      ret
-    done:
-      gload hops
-      ret
-"#;
-
-/// Runs a 4-agent, 3-stop tour over a 15%-lossy link and returns the
-/// merged JSONL export — the same bytes a deployment would ship to this
-/// tool from each server's journal endpoint.
-fn demo_jsonl() -> String {
-    const AGENTS: usize = 4;
-    const STOPS: usize = 3;
-    let mut world = World::builder(STOPS + 1)
-        .retry(RetryPolicy {
-            max_attempts: 12,
-            ack_grace: Duration::from_millis(10),
-            ..RetryPolicy::default()
-        })
-        .journal_capacity(1 << 14)
-        .build();
-    world
-        .net
-        .set_adversary(Some(Arc::new(LinkFault::new(0x7ace, 0.15))));
-
-    for i in 1..=STOPS {
-        let buf = BoundedBuffer::new(
-            Urn::resource("tour.org", ["jobs"]).unwrap(),
-            Urn::owner("tour.org", ["admin"]).unwrap(),
-            2 * AGENTS,
-        );
-        world
-            .server(i)
-            .register_resource(Guarded::new(buf, ProxyPolicy::default()))
-            .expect("resource registers");
-    }
-
-    let module = assemble(TOURIST).expect("tourist assembles");
-    let tour = Itinerary::new((1..=STOPS).map(|i| world.server(i).name().clone()));
-    let (_, rest) = tour.clone().next_stop();
-    let mut owner = world.owner("traveler");
-    let home = world.server(0).name().clone();
-    let mut launched = HashSet::new();
-    for _ in 0..AGENTS {
-        let agent = owner.next_agent_name("tracer");
-        launched.insert(agent.clone());
-        let creds = owner.credentials(agent, home.clone(), Rights::all(), u64::MAX);
-        let image = AgentImage {
-            module: module.clone(),
-            globals: vec![Value::Bytes(rest.encode()), Value::Int(0)],
-            entry: "run".into(),
-        };
-        world.server(0).launch_tour(&tour, creds, image);
-    }
-
-    // Wait for every tour to finish, then for the trace to quiesce (a
-    // transfer's span is journaled when the leg resolves, so in-flight
-    // acks must drain before the export is complete).
-    let deadline = Instant::now() + Duration::from_secs(60);
-    let reports = world
-        .server(0)
-        .wait_reports(AGENTS, Duration::from_secs(60));
-    println!("{} report(s) home", reports.len());
-    loop {
-        let pending: usize = world.servers.iter().map(|s| s.pending_send_count()).sum();
-        let spans: u64 = world
-            .servers
-            .iter()
-            .map(|s| s.journal().counter(Counter::SpansRecorded))
-            .sum();
-        std::thread::sleep(Duration::from_millis(10));
-        let pending_after: usize = world.servers.iter().map(|s| s.pending_send_count()).sum();
-        let spans_after: u64 = world
-            .servers
-            .iter()
-            .map(|s| s.journal().counter(Counter::SpansRecorded))
-            .sum();
-        if (pending == 0 && pending_after == 0 && spans == spans_after)
-            || Instant::now() >= deadline
-        {
-            break;
-        }
-    }
-
-    // While the world is still up, show the tour-wide latency tails the
-    // merged histograms give (the per-server snapshots only see their
-    // own half of each leg).
-    println!("\nmerged latency histograms (virtual ns unless noted):");
-    for path in [
-        HistoPath::ProxyCheck,
-        HistoPath::Bind,
-        HistoPath::TransferRtt,
-        HistoPath::RetryBackoff,
-        HistoPath::HopLatency,
-    ] {
-        let s = world.merged_histos(path);
-        println!(
-            "  {:<24} n={:<5} p50={:<10} p99={:<10} max={}",
-            path.name(),
-            s.count,
-            fmt_ns(s.quantile(0.50)),
-            fmt_ns(s.quantile(0.99)),
-            fmt_ns(s.max)
-        );
-    }
-    println!();
-
-    let jsonl = world.export_traces();
-    world.shutdown();
-    jsonl
+    let status = Command::new(bin)
+        .arg("trace")
+        .args(&args)
+        .status()
+        .expect("spawning ajantactl");
+    std::process::exit(status.code().unwrap_or(1));
 }

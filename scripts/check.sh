@@ -22,10 +22,15 @@ run cargo clippy --all-targets $OFFLINE -- -D warnings
 
 # Cross-process smoke: three ajantad server processes over Unix-domain
 # sockets, a 32-agent tour at 20% injected loss, bounded by --timeout.
-# Writes the merged causal trace for CI to upload as an artifact.
+# --ctl also serves a control socket per process and drives a full
+# `ajantactl` session against the live world (remote/local parity, a
+# gap-checked journal follow, the tour's admission history, and a
+# fleet-wide revocation); the session transcript and the merged causal
+# trace are written for CI to upload as artifacts.
 mkdir -p target/bench-artifacts
 run env AJANTA_SMOKE_TRACE=target/bench-artifacts/merged-trace.jsonl \
-    ./target/release/ajantad --smoke --timeout 240
+    ./target/release/ajantad --smoke --timeout 240 \
+    --ctl --ctl-transcript target/bench-artifacts/ctl-transcript.txt
 
 # Durability smoke: the same tour, but server 1 is SIGKILLed mid-tour
 # and restarted on the same socket with its admission WAL — every agent

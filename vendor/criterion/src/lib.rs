@@ -159,6 +159,23 @@ impl Bencher {
         }
         self.elapsed = start.elapsed();
     }
+
+    /// Times `iters` runs of `routine`, excluding a per-iteration `setup`
+    /// that builds the input the routine consumes.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
 }
 
 fn run_benchmark<F>(label: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
